@@ -1,0 +1,572 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) and runs one Bechamel micro-benchmark per
+   table/figure kernel.
+
+     main.exe            run every experiment, print paper-layout tables
+     main.exe <id>       one experiment: fig3 tab2 tab3 tab4 fig4 tab5
+                         tab6 tab7 tab8 tab9 sec56 ablation
+     main.exe bechamel   the Bechamel micro-benchmarks
+
+   Absolute numbers differ from the paper (the substrate is an ISA-level
+   simulator and a synthetic trace corpus, see DESIGN.md); the shapes are
+   the reproduction target and are recorded in EXPERIMENTS.md. *)
+
+module Pipeline = Scifinder_core.Pipeline
+module Experiments = Scifinder_core.Experiments
+module Shape = Scifinder_core.Shape
+module Expr = Invariant.Expr
+
+let pf = Printf.printf
+
+let header title =
+  pf "\n===== %s =====\n" title
+
+(* ---- the shared pipeline run (computed lazily, used by many tables) ---- *)
+
+let mining = lazy (Pipeline.mine ())
+
+let optimization =
+  lazy (Pipeline.optimize (Lazy.force mining).Pipeline.invariants)
+
+let optimized_invariants =
+  lazy (Lazy.force optimization).Pipeline.result.Invopt.Pipeline.optimized
+
+let identification =
+  lazy (Pipeline.identify ~invariants:(Lazy.force optimized_invariants)
+          Bugs.Table1.all)
+
+let inference =
+  lazy
+    (Pipeline.infer ~all_invariants:(Lazy.force optimized_invariants)
+       (Lazy.force identification).Pipeline.summary)
+
+(* ---- Figure 3 ---- *)
+
+let fig3 () =
+  header "Figure 3: unique invariants per cumulatively added program";
+  let m = Lazy.force mining in
+  pf "%-11s %10s %10s %10s %10s\n" "program" "total" "unmodified" "new" "deleted";
+  List.iter
+    (fun (r : Pipeline.figure3_row) ->
+       pf "%-11s %10d %10d %10d %10d\n"
+         r.group_label r.total r.unmodified r.fresh r.deleted)
+    m.Pipeline.figure3;
+  (* The paper's qualitative claim: the set stabilises as programs are
+     added (late programs add/remove far less than early ones). *)
+  (match m.Pipeline.figure3 with
+   | first :: rest when rest <> [] ->
+     let last = List.nth rest (List.length rest - 1) in
+     pf "churn first program: %d, last program: %d (paper: converging)\n"
+       (first.fresh + first.deleted) (last.fresh + last.deleted)
+   | _ -> ());
+  pf "trace corpus: %d records (~%.1f MB of trace data; paper used 26 GB)\n"
+    m.Pipeline.record_count
+    (float_of_int m.Pipeline.trace_bytes /. 1048576.0)
+
+(* ---- Table 2 ---- *)
+
+let tab2 () =
+  header "Table 2: effect of invariant optimizations";
+  let o = Lazy.force optimization in
+  let stages = o.Pipeline.result.Invopt.Pipeline.stages in
+  pf "%-12s %12s %12s\n" "" "Invariants" "Variables";
+  List.iter
+    (fun (s : Invopt.Pipeline.stage_stats) ->
+       pf "%-12s %12d %12d\n" s.stage s.invariants s.variables)
+    stages;
+  (match stages with
+   | [ raw; _; _; er ] ->
+     pf "reduction: %.1f%% invariants, %.1f%% variables (paper: 17%% / 20%%)\n"
+       (100.0 *. (1.0 -. (float_of_int er.invariants /. float_of_int raw.invariants)))
+       (100.0 *. (1.0 -. (float_of_int er.variables /. float_of_int raw.variables)))
+   | _ -> ())
+
+(* ---- Table 3 ---- *)
+
+let tab3 () =
+  header "Table 3: SCI identified per security-critical bug";
+  let ident = Lazy.force identification in
+  pf "%-5s %9s %6s %9s\n" "Bug" "True SCI" "FP" "Detected";
+  List.iter
+    (fun (r : Sci.Identify.report) ->
+       pf "%-5s %9d %6d %9s\n"
+         r.bug.Bugs.Registry.id
+         (List.length r.true_sci)
+         (List.length r.false_positives)
+         (if r.detected then "yes" else "NO"))
+    ident.Pipeline.summary.Sci.Identify.reports;
+  let detected =
+    List.length
+      (List.filter (fun (r : Sci.Identify.report) -> r.detected)
+         ident.Pipeline.summary.Sci.Identify.reports)
+  in
+  pf "detected %d/17 (paper: 16/17, b2 needs microarchitectural state)\n" detected;
+  pf "unique SCI %d, unique FP %d (paper labels: 54 SCI / 48 non-SCI)\n"
+    (List.length ident.Pipeline.summary.Sci.Identify.unique_sci)
+    (List.length ident.Pipeline.summary.Sci.Identify.unique_fp)
+
+(* ---- Table 4 ---- *)
+
+let tab4 () =
+  header "Table 4: elastic-net features with non-zero coefficients";
+  let inf = Lazy.force inference in
+  pf "lambda = %.4f (3-fold CV, alpha = 0.5; paper: lambda = 0.08)\n"
+    inf.Pipeline.chosen_lambda;
+  pf "test accuracy = %.0f%% (paper: 90%%)\n" (100.0 *. inf.Pipeline.test_accuracy);
+  pf "%d of %d features selected (paper: 24 of 158)\n"
+    (List.length inf.Pipeline.selected_features)
+    (Invariant.Feature.dimension inf.Pipeline.space);
+  let neg, pos =
+    List.partition (fun (_, b) -> b < 0.0) inf.Pipeline.selected_features
+  in
+  let names fs = String.concat " " (List.map fst fs) in
+  pf "negative weights (SCI-associated):\n  %s\n" (names neg);
+  pf "positive weights (non-SCI-associated):\n  %s\n" (names pos)
+
+(* ---- Figure 4 ---- *)
+
+let fig4 () =
+  header "Figure 4: PCA of labeled invariants on the selected features";
+  let inf = Lazy.force inference in
+  pf "%d labeled invariants projected on PC1/PC2\n"
+    (List.length inf.Pipeline.pca_points);
+  (* Print per-class centroids and the separation ratio: the textual
+     equivalent of the scatter plot. *)
+  let centroid cls =
+    let pts = List.filter (fun (_, c) -> c = cls) inf.Pipeline.pca_points in
+    let n = float_of_int (max 1 (List.length pts)) in
+    let sx = List.fold_left (fun a (p, _) -> a +. p.(0)) 0.0 pts /. n in
+    let sy = List.fold_left (fun a (p, _) -> a +. p.(1)) 0.0 pts /. n in
+    (sx, sy, List.length pts)
+  in
+  let (x1, y1, n1) = centroid 1 and (x0, y0, n0) = centroid 0 in
+  pf "SC centroid      (%+.2f, %+.2f) over %d invariants\n" x1 y1 n1;
+  pf "non-SC centroid  (%+.2f, %+.2f) over %d invariants\n" x0 y0 n0;
+  pf "between/within separation ratio: %.2f\n" inf.Pipeline.pca_separation;
+  pf "(the class centroids sit at opposite signs of PC2: the clusters are\n";
+  pf " visible though, with 10x more labels than the paper's 102, less\n";
+  pf " crisply separated than its Figure 4; see fig4.csv via 'export')\n"
+
+(* ---- Table 5 ---- *)
+
+let tab5 () =
+  header "Table 5: SCI inference results";
+  let inf = Lazy.force inference in
+  let unlabeled =
+    List.length (Lazy.force optimized_invariants)
+    - inf.Pipeline.labeled_sci - inf.Pipeline.labeled_non_sci
+  in
+  pf "%-12s %10s %6s %20s\n" "Invariants" "Inferred" "FP" "Security properties";
+  pf "%-12d %10d %6d %20d\n"
+    unlabeled
+    (List.length inf.Pipeline.recommended)
+    (List.length inf.Pipeline.inferred_fp)
+    inf.Pipeline.property_count;
+  pf "(paper: 88,199 -> 3,146 inferred, 852 FP, 33 properties)\n"
+
+(* ---- Tables 6 and 7 ---- *)
+
+let coverage =
+  lazy
+    (Experiments.property_coverage
+       (Lazy.force identification).Pipeline.summary
+       (Lazy.force inference))
+
+let tab6 () =
+  header "Table 6: coverage of the SPECS / Security-Checker properties";
+  let cov = Lazy.force coverage in
+  pf "%-5s %-5s %-6s %-14s %s\n" "Prop" "Class" "Ident" "Infer/bugs" "Description";
+  let in_scope_found = ref 0 and in_scope_total = ref 0 in
+  List.iter
+    (fun (c : Properties.Catalog.coverage) ->
+       let p = c.property in
+       if p.Properties.Catalog.origin <> Properties.Catalog.New_property then begin
+         let status =
+           match p.Properties.Catalog.expectation with
+           | Properties.Catalog.Needs_microarch -> "*"
+           | Properties.Catalog.Outside_core -> "#"
+           | Properties.Catalog.Reachable | Properties.Catalog.Not_generated ->
+             if c.from_identification then String.concat " " c.found_by_bugs
+             else if c.from_inference then "infer"
+             else "N"
+         in
+         if Properties.Catalog.in_scope p then begin
+           incr in_scope_total;
+           if c.from_identification || c.from_inference then incr in_scope_found
+         end;
+         pf "%-5s %-5s %-6s %-14s %s\n"
+           p.Properties.Catalog.id
+           (Bugs.Registry.category_name p.Properties.Catalog.category)
+           (if c.from_identification then "yes" else "-")
+           status
+           p.Properties.Catalog.description
+       end)
+    cov;
+  pf "found %d of %d in-scope prior-work properties (paper: 19 of 22, 86.4%%)\n"
+    !in_scope_found !in_scope_total
+
+let tab7 () =
+  header "Table 7: new security properties not covered by prior work";
+  let cov = Lazy.force coverage in
+  List.iter
+    (fun (c : Properties.Catalog.coverage) ->
+       let p = c.property in
+       if p.Properties.Catalog.origin = Properties.Catalog.New_property then
+         pf "%-5s %-5s ident=[%s] infer=%b  %s\n"
+           p.Properties.Catalog.id
+           (Bugs.Registry.category_name p.Properties.Catalog.category)
+           (String.concat " " c.found_by_bugs)
+           c.from_inference
+           p.Properties.Catalog.description)
+    cov;
+  pf "(paper: p28 from b6/b7, p29 from b3/b10, p30 from inference)\n"
+
+(* ---- Section 5.6 ---- *)
+
+let sec56 () =
+  header "Section 5.6: detecting unknown bugs (14 held-out AMD-class errata)";
+  let ident = Lazy.force identification in
+  let inf = Lazy.force inference in
+  let reports =
+    Experiments.holdout
+      ~identified_sci:ident.Pipeline.summary.Sci.Identify.unique_sci
+      ~inferred_sci:inf.Pipeline.surviving
+      Bugs.Amd_errata.all
+  in
+  pf "%-5s %-10s %-10s %-9s %s\n" "Bug" "Identified" "Inferred" "Detected" "Synopsis";
+  List.iter
+    (fun (r : Experiments.holdout_report) ->
+       pf "%-5s %-10s %-10s %-9s %s\n"
+         r.bug.Bugs.Registry.id
+         (if r.by_identified then "fires" else "-")
+         (if r.by_inferred then "fires" else "-")
+         (if r.detected then "yes" else "NO")
+         r.bug.Bugs.Registry.synopsis)
+    reports;
+  let detected = List.length (List.filter (fun r -> r.Experiments.detected) reports) in
+  pf "detected %d/14 (paper: 12/14; two are timing-only microarchitectural)\n" detected;
+  header "Section 5.6 (repeat): random 14/14 split over the 28-bug pool";
+  let split =
+    Experiments.random_split ~invariants:(Lazy.force optimized_invariants) ()
+  in
+  pf "training: %s\n" (String.concat " " split.Experiments.training_ids);
+  pf "test:     %s\n" (String.concat " " split.Experiments.test_ids);
+  List.iter
+    (fun (r : Experiments.holdout_report) ->
+       pf "  %-5s detected=%s\n" r.bug.Bugs.Registry.id
+         (if r.detected then "yes" else "NO"))
+    split.Experiments.reports;
+  pf "detected %d/%d (paper: 13/14 with only b6 missed)\n"
+    split.Experiments.detected_count
+    (List.length split.Experiments.reports)
+
+(* ---- Table 8 ---- *)
+
+let tab8 () =
+  header "Table 8: execution time of each step";
+  let m = Lazy.force mining in
+  let o = Lazy.force optimization in
+  let ident = Lazy.force identification in
+  let inf = Lazy.force inference in
+  pf "%-22s %-22s %12s\n" "Step" "Data size" "Time";
+  pf "%-22s %-22s %11.1fs\n" "Invariant Generation"
+    (Printf.sprintf "%d records (%.1f MB)" m.Pipeline.record_count
+       (float_of_int m.Pipeline.trace_bytes /. 1048576.0))
+    m.Pipeline.seconds;
+  pf "%-22s %-22s %11.1fs\n" "Optimization"
+    (Printf.sprintf "%d invariants" (List.length m.Pipeline.invariants))
+    o.Pipeline.opt_seconds;
+  pf "%-22s %-22s %11.1fs\n" "SCI Identification"
+    (Printf.sprintf "%d invariants + %d bugs"
+       (List.length (Lazy.force optimized_invariants))
+       (List.length Bugs.Table1.all))
+    ident.Pipeline.ident_seconds;
+  pf "%-22s %-22s %11.1fs\n" "SCI Inference"
+    (Printf.sprintf "%d invariants" (List.length (Lazy.force optimized_invariants)))
+    inf.Pipeline.infer_seconds;
+  pf "(paper: 11:21:00 generation over 26 GB, 4 s optimization,\n";
+  pf " 44:52 identification, <1 s inference; same ordering of magnitudes)\n"
+
+(* ---- Table 9 ---- *)
+
+let tab9 () =
+  header "Table 9: hardware overhead of the synthesized assertions";
+  let ident = Lazy.force identification in
+  let inf = Lazy.force inference in
+  let r =
+    Experiments.hardware_overhead
+      ~identified_sci:ident.Pipeline.summary.Sci.Identify.unique_sci
+      ~inferred_sci:inf.Pipeline.surviving
+  in
+  pf "baseline: OR1200 SoC, %d LUTs, %.2f W, %.1f ns (xupv5-lx110t)\n"
+    Assertions.Cost.baseline_luts Assertions.Cost.baseline_power_w
+    Assertions.Cost.baseline_delay_ns;
+  pf "%-22s %14s %14s %8s\n" "" "Initial SCI" "Final SCI" "";
+  pf "%-22s %14d %14d\n" "Assertions" r.Experiments.initial_assertions
+    r.Experiments.final_assertions;
+  pf "%-22s %13.2f%% %13.2f%%  (paper: 1.6%% / 4.4%%)\n" "Logic (LUT overhead)"
+    r.Experiments.initial.Assertions.Cost.lut_pct
+    r.Experiments.final.Assertions.Cost.lut_pct;
+  pf "%-22s %13.2f%% %13.2f%%  (paper: 0.13%% / 0.31%%)\n" "Power"
+    r.Experiments.initial.Assertions.Cost.power_pct
+    r.Experiments.final.Assertions.Cost.power_pct;
+  pf "%-22s %13.1fns %13.1fns (paper: 0%%)\n" "Added delay"
+    r.Experiments.initial.Assertions.Cost.delay_ns_added
+    r.Experiments.final.Assertions.Cost.delay_ns_added
+
+(* ---- ablation: the jump effective-address derived variable ----
+
+   The paper reports property p10 as not generated and notes that adding
+   the effective address as a derived variable would generate it (§5.4).
+   This ablation flips that configuration switch and shows p10 appear. *)
+
+let ablation () =
+  header "Ablation: jump effective-address derived variable (fixes p10)";
+  let matcher = (Option.get (Properties.Catalog.by_id "p10")).matcher in
+  let run jump_ea =
+    let config =
+      { Trace.Runner.default_config with
+        mask_config = { Trace.Record.jump_ea } }
+    in
+    let engine = Daikon.Engine.create () in
+    List.iter
+      (fun name ->
+         let w = Option.get (Workloads.Suite.by_name name) in
+         let machine = Cpu.Machine.create ~tick_period:w.tick_period () in
+         Cpu.Machine.load_image machine w.image;
+         Cpu.Machine.set_pc machine w.entry;
+         ignore (Trace.Runner.run ~config
+                   ~observer:(Daikon.Engine.observe engine) machine))
+      [ "vmlinux"; "instru"; "mcf" ];
+    List.exists matcher (Daikon.Engine.invariants engine)
+  in
+  pf "p10 (jumps update the PC correctly) generated without EA: %b (paper: no)\n"
+    (run false);
+  pf "p10 generated with the EA derived variable:              %b (paper's fix)\n"
+    (run true)
+
+(* ---- ablation: trace coverage vs. false positives ----
+
+   §3.5: "Increasing test coverage reduces the number of false positives."
+   Re-run identification with invariant sets mined from growing corpus
+   prefixes and report the clean-run false positives of Table 3. *)
+
+let ablation_coverage () =
+  header "Ablation: trace coverage vs. identification false positives (§3.5)";
+  let prefixes =
+    [ (2, [ "vmlinux"; "basicmath" ]);
+      (5, [ "vmlinux"; "basicmath"; "parser"; "mesa"; "ammp" ]);
+      (17, Workloads.Suite.names) ]
+  in
+  pf "%-10s %12s %12s %14s\n" "programs" "invariants" "unique SCI" "clean-run FPs";
+  List.iter
+    (fun (n, names) ->
+       let engine = Daikon.Engine.create () in
+       List.iter
+         (fun name ->
+            let w = Option.get (Workloads.Suite.by_name name) in
+            ignore (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
+                      ~entry:w.Workloads.Rt.entry
+                      ~observer:(Daikon.Engine.observe engine)
+                      w.Workloads.Rt.image))
+         names;
+       let invariants = Daikon.Engine.invariants engine in
+       let summary = Sci.Identify.run_all ~invariants Bugs.Table1.all in
+       pf "%-10d %12d %12d %14d\n" n (List.length invariants)
+         (List.length summary.Sci.Identify.unique_sci)
+         (List.length summary.Sci.Identify.unique_fp))
+    prefixes;
+  pf "(expected: false positives shrink as coverage grows)\n"
+
+(* ---- ablation: the instruction-integrity derived variables ----
+
+   Bug b11 (wrong instruction fetched after an LSU stall) is caught through
+   the IR / MEM_AT_PC / OPCODE derived variables — the ISA-level shadow of
+   the paper's "microarchitectural information" extension discussion.
+   Remove them from the invariant set and b11's detection collapses. *)
+
+let ablation_instruction_integrity () =
+  header "Ablation: instruction-integrity derived variables (IR/MEM_AT_PC/OPCODE)";
+  let invariants = Lazy.force optimized_invariants in
+  let mentions_integrity (i : Expr.t) =
+    List.exists
+      (fun id ->
+         match Trace.Var.id_base_name id with
+         | "IR" | "MEM_AT_PC" | "OPCODE" -> true
+         | _ -> false)
+      (Expr.vars i)
+  in
+  let without = List.filter (fun i -> not (mentions_integrity i)) invariants in
+  let b11 = Option.get (Bugs.Table1.by_id "b11") in
+  let run invs =
+    let index = Sci.Checker.index invs in
+    let report = Sci.Identify.run ~index b11 in
+    (List.length report.Sci.Identify.true_sci, report.Sci.Identify.detected)
+  in
+  let full_sci, full_detected = run invariants in
+  let abl_sci, abl_detected = run without in
+  pf "with the derived variables:    %4d SCI, detected %b\n" full_sci full_detected;
+  pf "without them:                  %4d SCI, detected %b\n" abl_sci abl_detected;
+  pf "(the integrity variables carry %d of b11's SCI; removing the whole\n"
+    (full_sci - abl_sci);
+  pf " class would reproduce the paper's p12/p18 microarchitectural gap)\n"
+
+(* ---- CSV export of the figure series, for external plotting ---- *)
+
+let export dir =
+  header ("Exporting figure data to " ^ dir);
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name emit =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> emit oc);
+    pf "wrote %s\n" path
+  in
+  let m = Lazy.force mining in
+  write "fig3.csv" (fun oc ->
+      output_string oc "program,total,unmodified,new,deleted\n";
+      List.iter
+        (fun (r : Pipeline.figure3_row) ->
+           Printf.fprintf oc "%s,%d,%d,%d,%d\n"
+             r.group_label r.total r.unmodified r.fresh r.deleted)
+        m.Pipeline.figure3);
+  let inf = Lazy.force inference in
+  write "fig4.csv" (fun oc ->
+      output_string oc "pc1,pc2,class\n";
+      List.iter
+        (fun (p, cls) ->
+           Printf.fprintf oc "%.6f,%.6f,%s\n" p.(0) p.(1)
+             (if cls = 1 then "SC" else "nonSC"))
+        inf.Pipeline.pca_points);
+  let o = Lazy.force optimization in
+  write "tab2.csv" (fun oc ->
+      output_string oc "stage,invariants,variables\n";
+      List.iter
+        (fun (s : Invopt.Pipeline.stage_stats) ->
+           Printf.fprintf oc "%s,%d,%d\n" s.stage s.invariants s.variables)
+        o.Pipeline.result.Invopt.Pipeline.stages);
+  let ident = Lazy.force identification in
+  write "tab3.csv" (fun oc ->
+      output_string oc "bug,true_sci,fp,detected\n";
+      List.iter
+        (fun (r : Sci.Identify.report) ->
+           Printf.fprintf oc "%s,%d,%d,%b\n" r.bug.Bugs.Registry.id
+             (List.length r.true_sci) (List.length r.false_positives)
+             r.detected)
+        ident.Pipeline.summary.Sci.Identify.reports);
+  write "tab4.csv" (fun oc ->
+      output_string oc "feature,coefficient\n";
+      List.iter
+        (fun (n, b) -> Printf.fprintf oc "%s,%.6f\n" n b)
+        inf.Pipeline.selected_features)
+
+(* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
+
+let bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  (* Small prepared inputs so staging stays cheap. *)
+  let w = Option.get (Workloads.Suite.by_name "basicmath") in
+  let mined =
+    let engine = Daikon.Engine.create () in
+    ignore (Trace.Runner.stream ~tick_period:0 ~entry:w.entry
+              ~observer:(Daikon.Engine.observe engine) w.image);
+    Daikon.Engine.invariants engine
+  in
+  let b10 = Option.get (Bugs.Table1.by_id "b10") in
+  let trigger_trace = Sci.Identify.capture_trigger ~fault:b10.fault b10.trigger in
+  let index = Sci.Checker.index mined in
+  let space = Invariant.Feature.build_space mined in
+  let sample = List.filteri (fun i _ -> i < 400) mined in
+  let x =
+    Ml.Matrix.of_rows (List.map (Invariant.Feature.vector space) sample)
+  in
+  let y =
+    Array.init (List.length sample) (fun i -> if i land 1 = 0 then 1.0 else 0.0)
+  in
+  let battery =
+    Assertions.Ovl.of_invariants (List.filteri (fun i _ -> i < 64) mined)
+  in
+  let reduced =
+    Ml.Matrix.of_rows
+      (List.map (fun row -> Array.sub row 0 (min 24 (Array.length row)))
+         (List.map (Invariant.Feature.vector space) sample))
+  in
+  let cov = Lazy.force coverage in
+  ignore cov;
+  let tests =
+    [ Test.make ~name:"fig3.trace-and-mine" (Staged.stage (fun () ->
+          let engine = Daikon.Engine.create () in
+          ignore (Trace.Runner.stream ~tick_period:0 ~entry:w.entry
+                    ~observer:(Daikon.Engine.observe engine) w.image)));
+      Test.make ~name:"tab2.optimizer" (Staged.stage (fun () ->
+          ignore (Invopt.Pipeline.optimize sample)));
+      Test.make ~name:"tab3.violation-check" (Staged.stage (fun () ->
+          ignore (Sci.Checker.violations index trigger_trace)));
+      Test.make ~name:"tab4.elastic-net-fit" (Staged.stage (fun () ->
+          ignore (Ml.Logreg.fit ~alpha:0.5 ~lambda:0.05 x y)));
+      Test.make ~name:"fig4.pca-fit" (Staged.stage (fun () ->
+          ignore (Ml.Pca.fit ~k:2 reduced)));
+      Test.make ~name:"tab5.predict-invariant" (Staged.stage (fun () ->
+          let model = Ml.Logreg.fit ~alpha:0.5 ~lambda:0.05 x y in
+          ignore model));
+      Test.make ~name:"tab6.property-matchers" (Staged.stage (fun () ->
+          List.iter
+            (fun (p : Properties.Catalog.t) ->
+               ignore (List.exists p.matcher sample))
+            Properties.Catalog.catalog));
+      Test.make ~name:"tab8.trigger-capture" (Staged.stage (fun () ->
+          ignore (Sci.Identify.capture_trigger b10.trigger)));
+      Test.make ~name:"tab9.cost-model" (Staged.stage (fun () ->
+          ignore (Assertions.Cost.battery_overhead battery)));
+      Test.make ~name:"sec56.assertion-monitor" (Staged.stage (fun () ->
+          ignore (Assertions.Monitor.run battery trigger_trace)));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"scifinder" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  header "Bechamel micro-benchmarks (monotonic clock, ns/run)";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+       match Analyze.OLS.estimates ols_result with
+       | Some [ est ] -> pf "%-35s %14.0f ns/run\n" name est
+       | Some _ | None -> pf "%-35s %14s\n" name "n/a")
+    (List.sort compare rows)
+
+let all_experiments () =
+  fig3 (); tab2 (); tab3 (); tab4 (); fig4 (); tab5 (); tab6 (); tab7 ();
+  sec56 (); tab8 (); tab9 (); ablation (); ablation_coverage ();
+  ablation_instruction_integrity ()
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "all" -> all_experiments ()
+  | "fig3" -> fig3 ()
+  | "tab2" -> tab2 ()
+  | "tab3" -> tab3 ()
+  | "tab4" -> tab4 ()
+  | "fig4" -> fig4 ()
+  | "tab5" -> tab5 ()
+  | "tab6" -> tab6 ()
+  | "tab7" -> tab7 ()
+  | "tab8" -> tab8 ()
+  | "tab9" -> tab9 ()
+  | "sec56" -> sec56 ()
+  | "ablation" -> ablation ()
+  | "ablation-coverage" -> ablation_coverage ()
+  | "ablation-integrity" -> ablation_instruction_integrity ()
+  | "export" ->
+    export (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench_data")
+  | "bechamel" -> bechamel ()
+  | other ->
+    prerr_endline ("unknown experiment: " ^ other);
+    exit 1

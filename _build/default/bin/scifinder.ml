@@ -1,0 +1,280 @@
+(* The scifinder command line tool.
+
+     scifinder mine              trace the corpus and print mined invariants
+     scifinder identify [-b ID]  identify SCI for one or all Table 1 bugs
+     scifinder infer             run the full pipeline and print inferred SCI
+     scifinder verify -b ID      enforce SCI as assertions against a bug
+     scifinder verilog -o FILE   emit a synthesizable monitor for the SCI
+     scifinder bugs              list the bug registry
+     scifinder workloads         list the trace corpus *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Info)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+(* Shared pipeline pieces. *)
+
+let mine_invariants ?(names = None) () =
+  let suite =
+    match names with
+    | None -> Workloads.Suite.all
+    | Some names ->
+      List.map (fun n -> Option.get (Workloads.Suite.by_name n)) names
+  in
+  let engine = Daikon.Engine.create () in
+  List.iter
+    (fun (w : Workloads.Rt.t) ->
+       Logs.info (fun m -> m "tracing %s" w.name);
+       ignore
+         (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+            ~observer:(Daikon.Engine.observe engine) w.image))
+    suite;
+  Daikon.Engine.invariants engine
+
+let find_bug id =
+  match Bugs.Table1.by_id id with
+  | Some b -> Ok b
+  | None ->
+    (match Bugs.Amd_errata.by_id id with
+     | Some b -> Ok b
+     | None -> Error (`Msg (Printf.sprintf "unknown bug %S (b1..b17, a1..a14)" id)))
+
+(* ---- mine ---- *)
+
+let mine_cmd =
+  let run verbose limit point workload_names output =
+    setup_logs verbose;
+    let names = match workload_names with [] -> None | l -> Some l in
+    let invariants = mine_invariants ~names () in
+    (match output with
+     | Some path ->
+       Invariant.Io.save path invariants;
+       Printf.printf "saved %d invariants to %s\n" (List.length invariants) path
+     | None -> ());
+    let invariants =
+      match point with
+      | None -> invariants
+      | Some p ->
+        List.filter (fun (i : Invariant.Expr.t) -> String.equal i.point p)
+          invariants
+    in
+    Printf.printf "%d invariants\n" (List.length invariants);
+    List.iteri
+      (fun i inv ->
+         if i < limit then print_endline (Invariant.Expr.to_string inv))
+      invariants;
+    if List.length invariants > limit then
+      Printf.printf "... (%d more; raise --limit)\n"
+        (List.length invariants - limit)
+  in
+  let limit =
+    Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Invariants to print.")
+  in
+  let point =
+    Arg.(value & opt (some string) None
+         & info [ "point" ] ~docv:"MNEMONIC"
+           ~doc:"Only invariants of this program point (e.g. l.rfe).")
+  in
+  let workloads =
+    Arg.(value & opt_all string []
+         & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Trace only this workload (repeatable; default: all 17).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Save the mined set for later identify/verify runs.")
+  in
+  Cmd.v (Cmd.info "mine" ~doc:"Mine likely processor invariants from the trace corpus.")
+    Term.(const run $ verbose_arg $ limit $ point $ workloads $ output)
+
+(* ---- identify ---- *)
+
+let load_or_mine = function
+  | Some path ->
+    let invs = Invariant.Io.load path in
+    Logs.info (fun m -> m "loaded %d invariants from %s" (List.length invs) path);
+    invs
+  | None -> mine_invariants ()
+
+let input_arg =
+  Arg.(value & opt (some string) None
+       & info [ "i"; "invariants" ] ~docv:"FILE"
+         ~doc:"Load a saved invariant set instead of re-mining the corpus.")
+
+let identify_cmd =
+  let run verbose bug_id input =
+    setup_logs verbose;
+    let invariants = load_or_mine input in
+    let optimized = (Invopt.Pipeline.optimize invariants).optimized in
+    let bugs =
+      match bug_id with
+      | None -> Ok Bugs.Table1.all
+      | Some id -> Result.map (fun b -> [ b ]) (find_bug id)
+    in
+    match bugs with
+    | Error (`Msg e) -> prerr_endline e; exit 1
+    | Ok bugs ->
+      let summary = Sci.Identify.run_all ~invariants:optimized bugs in
+      List.iter
+        (fun (r : Sci.Identify.report) ->
+           Printf.printf "%s: %d SCI, %d false positives, %s\n"
+             r.bug.Bugs.Registry.id
+             (List.length r.true_sci)
+             (List.length r.false_positives)
+             (if r.detected then "detected" else "NOT detected");
+           List.iteri
+             (fun i inv ->
+                if i < 10 then
+                  Printf.printf "  %s\n" (Invariant.Expr.to_string inv))
+             r.true_sci)
+        summary.reports
+  in
+  let bug =
+    Arg.(value & opt (some string) None
+         & info [ "b"; "bug" ] ~docv:"ID" ~doc:"A single bug id (default: all of Table 1).")
+  in
+  Cmd.v (Cmd.info "identify" ~doc:"Identify security-critical invariants from known errata.")
+    Term.(const run $ verbose_arg $ bug $ input_arg)
+
+(* ---- infer ---- *)
+
+let infer_cmd =
+  let run verbose limit =
+    setup_logs verbose;
+    let mining = Scifinder_core.Pipeline.mine () in
+    let optimized =
+      (Scifinder_core.Pipeline.optimize mining.invariants).result.optimized
+    in
+    let ident = Scifinder_core.Pipeline.identify ~invariants:optimized Bugs.Table1.all in
+    let inf = Scifinder_core.Pipeline.infer ~all_invariants:optimized ident.summary in
+    Printf.printf
+      "model: lambda %.4f, test accuracy %.0f%%, %d features selected\n"
+      inf.chosen_lambda (100.0 *. inf.test_accuracy)
+      (List.length inf.selected_features);
+    Printf.printf "%d recommended, %d false positives, %d surviving (%d property classes)\n"
+      (List.length inf.recommended) (List.length inf.inferred_fp)
+      (List.length inf.surviving) inf.property_count;
+    List.iteri
+      (fun i (key, members) ->
+         if i < limit then
+           Printf.printf "%-40s (%d SCI) e.g. %s\n" key (List.length members)
+             (Invariant.Expr.to_string (List.hd members)))
+      (Scifinder_core.Shape.group inf.surviving)
+  in
+  let limit =
+    Arg.(value & opt int 40 & info [ "limit" ] ~doc:"Property classes to print.")
+  in
+  Cmd.v (Cmd.info "infer" ~doc:"Run the full pipeline and print inferred security properties.")
+    Term.(const run $ verbose_arg $ limit)
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run verbose bug_id input =
+    setup_logs verbose;
+    match find_bug bug_id with
+    | Error (`Msg e) -> prerr_endline e; exit 1
+    | Ok bug ->
+      let invariants = load_or_mine input in
+      let optimized = (Invopt.Pipeline.optimize invariants).optimized in
+      let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
+      let battery = Assertions.Ovl.of_invariants summary.unique_sci in
+      let buggy = Sci.Identify.capture_trigger ~fault:bug.fault bug.trigger in
+      let clean = Sci.Identify.capture_trigger bug.trigger in
+      let fired = Assertions.Monitor.fired_assertions battery buggy in
+      let fired_clean = Assertions.Monitor.fired_assertions battery clean in
+      let clean_names = List.map (fun (a : Assertions.Ovl.t) -> a.name) fired_clean in
+      let real =
+        List.filter
+          (fun (a : Assertions.Ovl.t) -> not (List.mem a.name clean_names))
+          fired
+      in
+      Printf.printf "%d assertions deployed; %d fire on the %s exploit\n"
+        (List.length battery) (List.length real) bug.Bugs.Registry.id;
+      List.iteri
+        (fun i (a : Assertions.Ovl.t) ->
+           if i < 10 then Printf.printf "  %s\n" (Assertions.Ovl.to_ovl_string a))
+        real;
+      if real = [] then begin
+        Printf.printf "bug %s evades the assertion battery\n" bug.id;
+        exit 2
+      end
+  in
+  let bug =
+    Arg.(required & opt (some string) None
+         & info [ "b"; "bug" ] ~docv:"ID" ~doc:"Bug to attack (required).")
+  in
+  Cmd.v (Cmd.info "verify" ~doc:"Dynamic verification: enforce the SCI as assertions against an exploit.")
+    Term.(const run $ verbose_arg $ bug $ input_arg)
+
+(* ---- verilog ---- *)
+
+let verilog_cmd =
+  let run verbose input output =
+    setup_logs verbose;
+    let invariants = load_or_mine input in
+    let optimized = (Invopt.Pipeline.optimize invariants).optimized in
+    let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
+    let reps = Scifinder_core.Shape.representatives summary.unique_sci in
+    let battery = Assertions.Ovl.of_invariants reps in
+    let cost = Assertions.Cost.battery_overhead battery in
+    let text = Assertions.Verilog.emit battery in
+    (match output with
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc text);
+       Printf.printf "wrote %s: %d assertions, est. %d LUTs (%.2f%% of the SoC)\n"
+         path (List.length battery) cost.total_luts cost.lut_pct
+     | None -> print_string text)
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the module here (default: stdout).")
+  in
+  Cmd.v (Cmd.info "verilog"
+           ~doc:"Emit a synthesizable monitor module for the identified SCI.")
+    Term.(const run $ verbose_arg $ input_arg $ output)
+
+(* ---- bugs / workloads listings ---- *)
+
+let bugs_cmd =
+  let run () =
+    Printf.printf "%-5s %-4s %-6s %s\n" "Id" "Cls" "ISA?" "Synopsis";
+    List.iter
+      (fun (b : Bugs.Registry.t) ->
+         Printf.printf "%-5s %-4s %-6s %s  [%s]\n"
+           b.id
+           (Bugs.Registry.category_name b.category)
+           (if b.isa_visible then "yes" else "uarch")
+           b.synopsis b.source)
+      (Bugs.Table1.all @ Bugs.Amd_errata.all)
+  in
+  Cmd.v (Cmd.info "bugs" ~doc:"List the security-critical bug registry.")
+    Term.(const run $ const ())
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workloads.Rt.t) ->
+         Printf.printf "%-12s %5d words%s\n" w.name (List.length w.image)
+           (if w.tick_period > 0 then
+              Printf.sprintf "  (tick timer every %d insns)" w.tick_period
+            else ""))
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "workloads" ~doc:"List the 17-program trace corpus.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "semi-automatic generation of security-critical processor invariants" in
+  let info = Cmd.info "scifinder" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
+                      verilog_cmd; bugs_cmd; workloads_cmd ]))

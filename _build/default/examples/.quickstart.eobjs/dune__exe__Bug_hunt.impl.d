@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Array Bugs Daikon Invariant List Option Printf Sci Scifinder_core Sys Trace Workloads

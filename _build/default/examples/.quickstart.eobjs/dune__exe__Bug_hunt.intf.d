@@ -1,0 +1,1 @@
+examples/bug_hunt.mli:

@@ -1,0 +1,1 @@
+examples/custom_bug.ml: Asm Assertions Bugs Cpu Daikon Insn Invariant Isa List Option Printf Sci Scifinder_core String Trace Util Workloads

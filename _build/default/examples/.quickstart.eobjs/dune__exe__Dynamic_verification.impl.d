@@ -1,0 +1,1 @@
+examples/dynamic_verification.ml: Assertions Bugs Daikon Invariant List Option Printf Sci Trace Workloads

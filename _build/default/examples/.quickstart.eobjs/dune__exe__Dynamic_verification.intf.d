@@ -1,0 +1,1 @@
+examples/dynamic_verification.mli:

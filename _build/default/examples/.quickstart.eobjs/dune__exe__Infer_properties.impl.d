@@ -1,0 +1,1 @@
+examples/infer_properties.ml: Bugs Invariant Invopt List Ml Printf Scifinder_core String Trace

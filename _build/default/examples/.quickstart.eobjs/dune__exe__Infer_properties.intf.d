@@ -1,0 +1,1 @@
+examples/infer_properties.mli:

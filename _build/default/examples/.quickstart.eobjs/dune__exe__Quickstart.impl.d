@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpu Daikon Invariant Isa List Printf Trace Workloads

@@ -1,0 +1,1 @@
+examples/recovery.ml: Array Asm Assertions Bugs Cpu Invariant Isa List Option Printf Trace Workloads

@@ -1,0 +1,1 @@
+examples/recovery.mli:

@@ -1,0 +1,87 @@
+(* Recovery from a fired assertion: the §2 design space, live.
+
+   We deploy the GPR0 = 0 assertion on the b10-buggy processor ("GPR0 can
+   be assigned") and run a program whose computation is poisoned through
+   r0. Under the Halt policy the machine simply stops at the exploit.
+   Under the Exception policy the assertion throws to a software handler
+   that repairs the zero register and returns — and the program runs to
+   completion with the correct result, the Hicks et al. forward-progress
+   story.
+
+     dune exec examples/recovery.exe *)
+
+open Isa
+module M = Cpu.Machine
+
+let recovery_vector = 0x800 (* the unused external-interrupt slot *)
+
+(* The victim program: r0 gets poisoned, later arithmetic depends on the
+   architectural zero. Result lands in memory at data+0. *)
+let victim =
+  let open Asm.Build in
+  { Asm.origin = Workloads.Rt.code_base;
+    items =
+      List.concat
+        [ Workloads.Rt.prologue;
+          [ li 3 41; li 4 1;
+            add 0 3 4;                (* the exploit: r0 <- 42 *)
+            addi 5 0 100;             (* should be 100; poisoned: 142 *)
+            sw 0 2 5 ];
+          Workloads.Rt.exit_program ] }
+
+(* The recovery handler: repair r0 (the write path is open on the buggy
+   core, so sub r0,r0,r0 lands) and resume. *)
+let handler =
+  let open Asm.Build in
+  { Asm.origin = recovery_vector;
+    items = [ sub 0 0 0; rfe ] }
+
+let battery =
+  Assertions.Ovl.of_invariants
+    [ { Invariant.Expr.point = "l.add";
+        body = Invariant.Expr.Cmp
+            (Invariant.Expr.Eq,
+             Invariant.Expr.V (Trace.Var.post_id (Trace.Var.Gpr 0)),
+             Invariant.Expr.Imm 0) };
+      { Invariant.Expr.point = "l.addi";
+        body = Invariant.Expr.Cmp
+            (Invariant.Expr.Eq,
+             Invariant.Expr.V (Trace.Var.post_id (Trace.Var.Gpr 0)),
+             Invariant.Expr.Imm 0) } ]
+
+let fresh_machine () =
+  let b10 = Option.get (Bugs.Table1.by_id "b10") in
+  let m = M.create ~fault:b10.fault () in
+  M.load_image m (Asm.assemble victim);
+  M.load_image m (Asm.assemble handler);
+  M.set_pc m Workloads.Rt.code_base;
+  m
+
+let describe (o : Assertions.Recovery.outcome) m =
+  Printf.printf "  %d firing(s), %d recover(ies), halted: %s\n"
+    (List.length o.firings) o.recoveries
+    (match o.halted with
+     | `Assertion_halt -> "by the assertion"
+     | `Machine M.Exit -> "clean exit"
+     | `Machine _ -> "abnormal"
+     | `Max_steps -> "step budget");
+  Printf.printf "  result word: %d, r0 = %d\n"
+    (Cpu.Memory.read32 m.M.mem Workloads.Rt.data_base)
+    m.M.gpr.(0)
+
+let () =
+  print_endline "policy: Halt (the simple design choice)";
+  let m = fresh_machine () in
+  let o = Assertions.Recovery.run ~policy:Assertions.Recovery.Halt battery m in
+  describe o m;
+  print_endline "\npolicy: Exception to software (SPECS-style recovery)";
+  let m = fresh_machine () in
+  let o =
+    Assertions.Recovery.run
+      ~policy:(Assertions.Recovery.Exception recovery_vector) battery m
+  in
+  describe o m;
+  (match o.halted, Cpu.Memory.read32 m.M.mem Workloads.Rt.data_base with
+   | `Machine M.Exit, 100 ->
+     print_endline "\nrecovered past the buggy state with the correct result. \\o/"
+   | _ -> print_endline "\nunexpected outcome")

@@ -1,0 +1,1 @@
+lib/assertions/cost.ml: Hashtbl Invariant List Ovl

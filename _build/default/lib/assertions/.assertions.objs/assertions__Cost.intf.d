@@ -1,0 +1,1 @@
+lib/assertions/cost.mli: Ovl

@@ -1,0 +1,1 @@
+lib/assertions/monitor.ml: Hashtbl Invariant List Option Ovl Trace

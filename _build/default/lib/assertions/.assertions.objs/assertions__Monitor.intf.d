@@ -1,0 +1,1 @@
+lib/assertions/monitor.mli: Ovl Trace

@@ -1,0 +1,1 @@
+lib/assertions/ovl.ml: Format Invariant List Printf String Trace

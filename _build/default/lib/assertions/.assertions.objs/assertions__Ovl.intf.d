@@ -1,0 +1,1 @@
+lib/assertions/ovl.mli: Invariant Trace

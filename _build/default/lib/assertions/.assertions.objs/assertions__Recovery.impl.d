@@ -1,0 +1,1 @@
+lib/assertions/recovery.ml: Cpu Hashtbl Invariant Isa List Monitor Option Ovl Trace

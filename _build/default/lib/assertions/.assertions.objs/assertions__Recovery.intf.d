@@ -1,0 +1,1 @@
+lib/assertions/recovery.mli: Cpu Monitor Ovl

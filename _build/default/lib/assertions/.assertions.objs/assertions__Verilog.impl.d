@@ -1,0 +1,1 @@
+lib/assertions/verilog.ml: Buffer Hashtbl Invariant List Ovl Printf String Trace

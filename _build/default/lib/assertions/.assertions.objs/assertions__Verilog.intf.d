@@ -1,0 +1,1 @@
+lib/assertions/verilog.mli: Ovl Trace

@@ -1,0 +1,106 @@
+(* Hardware overhead model for Table 9.
+
+   The paper synthesised the OR1200 System-on-Chip for a Xilinx
+   xupv5-lx110t and reports: baseline 10073 LUTs / 3.24 W / 19.1 ns; the
+   14 identification assertions cost 1.6 % logic and 0.13 % power; the
+   full 33 assertions 4.4 % and 0.31 %; neither adds delay (the monitors
+   sit off the critical path).
+
+   Without a synthesis tool we estimate marginal LUT cost from the
+   assertion expression structure, with the constants calibrated against
+   OVL monitor synthesis folklore: a shared instruction decoder and
+   control, per-assertion comparators, and 32-bit previous-cycle holding
+   registers (flip-flops, which also consume slice LUT resources for their
+   enables). Dynamic power is modelled as proportional to the added logic,
+   using the paper's own watts-per-LUT operating point. *)
+
+module Expr = Invariant.Expr
+
+type cost = {
+  luts : int;
+  flipflops : int;
+  power_w : float;
+}
+
+(* Baseline platform numbers (Table 9). *)
+let baseline_luts = 10073
+let baseline_power_w = 3.24
+let baseline_delay_ns = 19.1
+
+(* Calibration constants (marginal LUTs). *)
+let shared_monitor_luts = 24    (* one-off: decode tree, valid/fire logic *)
+let decode_luts = 2             (* per assertion: opcode match against IR *)
+let eq32_luts = 6               (* 32-bit equality comparator *)
+let ord32_luts = 9              (* 32-bit magnitude comparator *)
+let addsub32_luts = 10          (* carry-chain assisted add/sub *)
+let mul_const_luts = 4          (* constant multiply = shift/add network *)
+let mod_pow2_luts = 1
+let not_luts = 1
+let history_enable_luts = 4     (* per 32-bit holding register *)
+let history_ffs = 32
+
+let watts_per_lut = baseline_power_w *. 0.0013 /. (0.016 *. float_of_int baseline_luts)
+(* = power fraction per logic fraction at the paper's operating point *)
+
+let term_luts = function
+  | Expr.V _ -> 0
+  | Expr.Imm _ -> 0
+  | Expr.Mul (_, _) -> mul_const_luts
+  | Expr.Mod (_, _) -> mod_pow2_luts
+  | Expr.Notv _ -> not_luts
+  | Expr.Bin ((Expr.Plus | Expr.Minus), _, _) -> addsub32_luts
+  | Expr.Bin ((Expr.Band | Expr.Bor), _, _) -> 2
+
+let body_luts = function
+  | Expr.Cmp (op, lhs, rhs) ->
+    let cmp = match op with
+      | Expr.Eq | Expr.Ne -> eq32_luts
+      | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge -> ord32_luts
+    in
+    cmp + term_luts lhs + term_luts rhs
+  | Expr.In (term, values) ->
+    (eq32_luts * List.length values) + 1 + term_luts term
+
+let assertion_cost (a : Ovl.t) =
+  let history = List.length a.Ovl.history_vars in
+  let luts =
+    decode_luts + body_luts a.Ovl.invariant.Expr.body
+    + (history * history_enable_luts)
+  in
+  let flipflops = history * history_ffs in
+  { luts; flipflops; power_w = float_of_int luts *. watts_per_lut }
+
+type overhead = {
+  total_luts : int;
+  total_ffs : int;
+  lut_pct : float;
+  total_power_w : float;
+  power_pct : float;
+  delay_ns_added : float;
+}
+
+(* Aggregate overhead of an assertion battery. History registers for the
+   same variable are shared between assertions, as a synthesis tool
+   would. *)
+let battery_overhead assertions =
+  let history = Hashtbl.create 16 in
+  let luts = ref shared_monitor_luts and ffs = ref 0 in
+  List.iter
+    (fun (a : Ovl.t) ->
+       luts := !luts + decode_luts + body_luts a.Ovl.invariant.Expr.body;
+       List.iter
+         (fun v ->
+            if not (Hashtbl.mem history v) then begin
+              Hashtbl.replace history v ();
+              luts := !luts + history_enable_luts;
+              ffs := !ffs + history_ffs
+            end)
+         a.Ovl.history_vars)
+    assertions;
+  let power = float_of_int !luts *. watts_per_lut in
+  { total_luts = !luts;
+    total_ffs = !ffs;
+    lut_pct = 100.0 *. float_of_int !luts /. float_of_int baseline_luts;
+    total_power_w = power;
+    power_pct = 100.0 *. power /. baseline_power_w;
+    delay_ns_added = 0.0 (* monitors are off the critical path *) }

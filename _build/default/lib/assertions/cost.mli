@@ -1,0 +1,30 @@
+(** Hardware overhead model for Table 9, calibrated against the paper's
+    platform (OR1200 SoC on a Xilinx xupv5-lx110t: 10073 LUTs, 3.24 W,
+    19.1 ns; 14 assertions cost 1.6 % logic / 0.13 % power, 33 cost
+    4.4 % / 0.31 %, no delay). Marginal LUTs are estimated from the
+    assertion expression structure; history registers are shared across a
+    battery as a synthesis tool would. *)
+
+type cost = {
+  luts : int;
+  flipflops : int;
+  power_w : float;
+}
+
+val baseline_luts : int
+val baseline_power_w : float
+val baseline_delay_ns : float
+
+val assertion_cost : Ovl.t -> cost
+(** Stand-alone marginal cost of one assertion. *)
+
+type overhead = {
+  total_luts : int;
+  total_ffs : int;
+  lut_pct : float;           (** relative to {!baseline_luts} *)
+  total_power_w : float;
+  power_pct : float;
+  delay_ns_added : float;    (** always 0: monitors are off the critical path *)
+}
+
+val battery_overhead : Ovl.t list -> overhead

@@ -1,0 +1,52 @@
+(* The SPECS-like runtime monitor: assertions are "kept in the design
+   through synthesis" and watch the named signals on every instruction
+   boundary (§2). Here the monitor consumes the same instruction-boundary
+   records the miner sees — each record carries both the sampled and the
+   previous-cycle (orig) values, so next(.., 1) templates check directly. *)
+
+type firing = {
+  assertion : Ovl.t;
+  step : int;           (* index of the offending record *)
+  record : Trace.Record.t;
+}
+
+(* Check one assertion battery against a trace; returns every firing (one
+   per assertion per offending step). *)
+let run assertions records =
+  let by_point = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Ovl.t) ->
+       let point = a.invariant.Invariant.Expr.point in
+       Hashtbl.replace by_point point
+         (a :: Option.value ~default:[] (Hashtbl.find_opt by_point point)))
+    assertions;
+  let firings = ref [] in
+  List.iteri
+    (fun step (record : Trace.Record.t) ->
+       match Hashtbl.find_opt by_point record.Trace.Record.point with
+       | None -> ()
+       | Some batch ->
+         List.iter
+           (fun (a : Ovl.t) ->
+              if Invariant.Expr.violated a.invariant record then
+                firings := { assertion = a; step; record } :: !firings)
+           batch)
+    records;
+  List.rev !firings
+
+(* Does any assertion fire on this trace? The dynamic-verification verdict
+   used by Table 3's "Detected" column and the §5.6 experiment. *)
+let detects assertions records = run assertions records <> []
+
+(* Distinct assertions that fired at least once. *)
+let fired_assertions assertions records =
+  let firings = run assertions records in
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun f ->
+       if Hashtbl.mem seen f.assertion.Ovl.name then None
+       else begin
+         Hashtbl.replace seen f.assertion.Ovl.name ();
+         Some f.assertion
+       end)
+    firings

@@ -1,0 +1,20 @@
+(** The SPECS-like runtime monitor (§2): assertions stay in the fabricated
+    design and watch the named signals at every instruction boundary.
+    Here they consume the same records the miner sees — each record
+    carries both the sampled and the previous-cycle values, so
+    [next(...,1)] templates check directly. *)
+
+type firing = {
+  assertion : Ovl.t;
+  step : int;                (** index of the offending record *)
+  record : Trace.Record.t;
+}
+
+val run : Ovl.t list -> Trace.Record.t list -> firing list
+(** Every firing, in trace order. *)
+
+val detects : Ovl.t list -> Trace.Record.t list -> bool
+(** The dynamic-verification verdict of Table 3 and §5.6. *)
+
+val fired_assertions : Ovl.t list -> Trace.Record.t list -> Ovl.t list
+(** The distinct assertions that fired at least once. *)

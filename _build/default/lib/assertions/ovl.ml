@@ -1,0 +1,80 @@
+(* Translation from SCI to synthesizable assertions (§4.2).
+
+   All SCI translate to one of the four OVL templates the paper uses:
+
+   - always : the expression holds on every cycle;
+   - edge   : the expression holds at the cycle the instruction is sampled;
+   - next   : the expression holds N cycles after the instruction is
+              sampled (used whenever the invariant references orig() state,
+              which needs a previous-cycle holding register);
+   - delta  : a monitored value stays within a bounded range.
+
+   The paper's worked example:
+     I = risingEdge(l.rfe) -> SR = orig(ESR0)
+     A = next(INSN = l.rfe, SR = ESR0_PREV, 1). *)
+
+module Expr = Invariant.Expr
+
+type template =
+  | Always
+  | Edge
+  | Next of int
+  | Delta of { low : int; high : int }
+
+type t = {
+  name : string;
+  invariant : Expr.t;
+  template : template;
+  (* orig() variables that need a previous-cycle holding register. *)
+  history_vars : Trace.Var.id list;
+}
+
+let template_name = function
+  | Always -> "always"
+  | Edge -> "edge"
+  | Next n -> Printf.sprintf "next(%d)" n
+  | Delta { low; high } -> Printf.sprintf "delta(%d,%d)" low high
+
+let history_vars_of invariant =
+  List.sort_uniq compare
+    (List.filter Trace.Var.is_orig (Expr.vars invariant))
+
+let of_invariant ?(name = "") invariant =
+  let history_vars = history_vars_of invariant in
+  let template =
+    match invariant.Expr.body with
+    | Expr.Cmp ((Expr.Ge | Expr.Le), Expr.V v, Expr.Imm bound)
+      when Trace.Var.id_kind v = Trace.Var.Diff ->
+      (match invariant.Expr.body with
+       | Expr.Cmp (Expr.Ge, _, _) -> Delta { low = bound; high = max_int }
+       | _ -> Delta { low = min_int; high = bound })
+    | Expr.Cmp (_, _, _) | Expr.In (_, _) ->
+      if history_vars <> [] then Next 1 else Edge
+  in
+  let name =
+    if String.equal name "" then
+      Printf.sprintf "assert_%s_%s" invariant.Expr.point
+        (template_name template)
+    else name
+  in
+  { name; invariant; template; history_vars }
+
+let of_invariants invariants =
+  List.mapi
+    (fun i inv ->
+       of_invariant ~name:(Printf.sprintf "a%03d_%s" i inv.Expr.point) inv)
+    invariants
+
+(* Render the assertion in OVL-flavoured pseudo-Verilog, as documentation
+   of the translation (the paper keeps this step manual as well). *)
+let to_ovl_string t =
+  let insn = t.invariant.Expr.point in
+  let expr = Format.asprintf "%a" Expr.pp_body t.invariant.Expr.body in
+  match t.template with
+  | Always -> Printf.sprintf "assert_always(%s)" expr
+  | Edge -> Printf.sprintf "assert_edge(INSN = %s, %s)" insn expr
+  | Next n -> Printf.sprintf "assert_next(INSN = %s, %s, %d)" insn expr n
+  | Delta { low; high } ->
+    Printf.sprintf "assert_delta(INSN = %s, %s, [%s, %s])" insn expr
+      (if low = min_int then "-inf" else string_of_int low)
+      (if high = max_int then "+inf" else string_of_int high)

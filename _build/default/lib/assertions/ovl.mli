@@ -1,0 +1,35 @@
+(** Translation from SCI to synthesizable assertions (§4.2). Every SCI
+    maps to one of the four OVL templates the paper uses; invariants
+    referencing orig() state need a previous-cycle holding register and
+    become [next(..., 1)] — the paper's worked example:
+
+    {v
+    I = risingEdge(l.rfe) -> SR = orig(ESR0)
+    A = next(INSN = l.rfe, SR = ESR0_PREV, 1)
+    v} *)
+
+type template =
+  | Always
+  | Edge                               (** true when the insn is sampled *)
+  | Next of int                        (** true N cycles later *)
+  | Delta of { low : int; high : int } (** a monitored value stays bounded *)
+
+type t = {
+  name : string;
+  invariant : Invariant.Expr.t;
+  template : template;
+  history_vars : Trace.Var.id list;
+      (** orig() variables needing a holding register *)
+}
+
+val template_name : template -> string
+
+val history_vars_of : Invariant.Expr.t -> Trace.Var.id list
+
+val of_invariant : ?name:string -> Invariant.Expr.t -> t
+
+val of_invariants : Invariant.Expr.t list -> t list
+(** A battery with unique generated names. *)
+
+val to_ovl_string : t -> string
+(** OVL-flavoured pseudo-Verilog, documenting the translation. *)

@@ -1,0 +1,104 @@
+(* Assertion-triggered recovery.
+
+   §2 of the paper: "What action is taken once the assertion fires depends
+   on the system design. A simple design choice is to halt execution;
+   another option is to throw an exception to software. Hicks et al. found
+   that software can often recover and move the processor past the buggy
+   state to continue making forward progress." The paper leaves this out
+   of scope; this module implements both designs on top of the monitor:
+
+   - [Halt]: stop the machine at the first firing;
+   - [Exception of vector]: SPECS-style recovery — enter an
+     assertion-violation exception (ESR <- SR, EPCR <- resume point,
+     supervisor mode, control to the recovery vector) and let a software
+     handler repair state and l.rfe back. *)
+
+module M = Cpu.Machine
+module Sr = Isa.Spr.Sr_bits
+
+type policy =
+  | Halt
+  | Exception of int  (* recovery vector address *)
+
+type outcome = {
+  firings : Monitor.firing list;   (* in occurrence order *)
+  recoveries : int;                (* exception entries performed *)
+  steps : int;                     (* records observed *)
+  halted : [ `Assertion_halt | `Machine of M.halt_reason | `Max_steps ];
+}
+
+(* Enter the assertion-violation exception, as the synthesized monitor
+   wired to the exception unit would. *)
+let enter_recovery machine ~vector =
+  machine.M.esr <- machine.M.sr;
+  machine.M.epcr <- machine.M.pc;  (* resume where the pipeline stopped *)
+  machine.M.eear <- machine.M.pc;
+  let sr = machine.M.sr in
+  let sr = Sr.set sr Sr.sm in
+  let sr = Sr.clear sr Sr.iee in
+  let sr = Sr.clear sr Sr.tee in
+  machine.M.sr <- sr lor (1 lsl Sr.fo);
+  machine.M.delay_target <- None;
+  machine.M.pc <- vector
+
+(* Run [machine] under the battery's watch. [cooldown] records execute
+   after a recovery before assertions re-arm, so the handler itself (and
+   the instruction stream it repairs) cannot re-trigger a livelock. *)
+let run ?(max_steps = 100_000) ?(max_recoveries = 32) ?(cooldown = 16)
+    ~policy battery machine =
+  let by_point = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Ovl.t) ->
+       let point = a.Ovl.invariant.Invariant.Expr.point in
+       Hashtbl.replace by_point point
+         (a :: Option.value ~default:[] (Hashtbl.find_opt by_point point)))
+    battery;
+  let firings = ref [] in
+  let recoveries = ref 0 in
+  let steps = ref 0 in
+  let armed_at = ref 0 in
+  let assertion_halt = ref false in
+  (* The observer runs between fused records, where the runner holds no
+     pending delay-slot state, so redirecting the machine here is safe:
+     the next fetch starts from the recovery vector. *)
+  let observer (record : Trace.Record.t) =
+    let i = !steps in
+    incr steps;
+    if not !assertion_halt && i >= !armed_at then
+      match Hashtbl.find_opt by_point record.Trace.Record.point with
+      | None -> ()
+      | Some batch ->
+        List.iter
+          (fun (a : Ovl.t) ->
+             if not !assertion_halt
+             && Invariant.Expr.violated a.Ovl.invariant record then begin
+               firings := { Monitor.assertion = a; step = i; record } :: !firings;
+               match policy with
+               | Halt ->
+                 assertion_halt := true;
+                 machine.M.halted <- Some M.Exit
+               | Exception vector ->
+                 if !recoveries >= max_recoveries then begin
+                   assertion_halt := true;
+                   machine.M.halted <- Some M.Exit
+                 end else begin
+                   incr recoveries;
+                   armed_at := i + cooldown;
+                   enter_recovery machine ~vector
+                 end
+             end)
+          batch
+  in
+  let config = { Trace.Runner.default_config with max_steps } in
+  let outcome = Trace.Runner.run ~config ~observer machine in
+  let halted =
+    if !assertion_halt then `Assertion_halt
+    else
+      match outcome with
+      | `Halted reason -> `Machine reason
+      | `Max_steps -> `Max_steps
+  in
+  { firings = List.rev !firings;
+    recoveries = !recoveries;
+    steps = !steps;
+    halted }

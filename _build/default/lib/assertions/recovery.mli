@@ -1,0 +1,27 @@
+(** Assertion-triggered recovery — the §2 system-design question the
+    paper leaves out of scope: what happens when an assertion fires.
+    Both published designs are provided: halt execution, or throw an
+    exception to software so it can repair state and continue making
+    forward progress (the SPECS result of Hicks et al.). *)
+
+type policy =
+  | Halt                (** stop the machine at the first firing *)
+  | Exception of int    (** enter a recovery handler at this vector *)
+
+type outcome = {
+  firings : Monitor.firing list;  (** in occurrence order *)
+  recoveries : int;               (** exception entries performed *)
+  steps : int;                    (** records observed *)
+  halted : [ `Assertion_halt | `Machine of Cpu.Machine.halt_reason | `Max_steps ];
+}
+
+val enter_recovery : Cpu.Machine.t -> vector:int -> unit
+(** The assertion-violation exception entry: ESR <- SR, EPCR <- the
+    resume point, supervisor mode, control to [vector]. *)
+
+val run :
+  ?max_steps:int -> ?max_recoveries:int -> ?cooldown:int ->
+  policy:policy -> Ovl.t list -> Cpu.Machine.t -> outcome
+(** Drive the machine under the battery's watch. After a recovery,
+    assertions re-arm only after [cooldown] further records so the
+    handler cannot livelock the monitor. *)

@@ -1,0 +1,188 @@
+(* Synthesizable Verilog generation for an assertion battery.
+
+   The paper keeps the SCI -> RTL translation manual (§4.2: "our tool does
+   not yet provide the automatic translation from SCI to hardware
+   assertions ... in our experience the process is straightforward"); this
+   module provides it. The emitted module is a SPECS-style bolt-on monitor
+   for the OR1200: it watches the architectural signals at instruction
+   retirement (the `valid` strobe), holds previous-cycle copies of the
+   orig() operands, and raises one `fire` wire per assertion plus an OR of
+   all of them.
+
+   Inputs follow the trace variable universe: each dual variable is a
+   32-bit port (flags are 1-bit), and the instruction-derived variables
+   arrive from the retirement stage. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+let sanitize name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+       | _ -> '_')
+    name
+
+(* Verilog signal name of a post/insn variable. *)
+let signal_of_id id =
+  if Var.is_orig id then
+    Printf.sprintf "%s_prev" (sanitize (Var.id_base_name id))
+  else sanitize (Var.id_base_name id)
+
+let width_of_id id =
+  match Var.id_kind id with
+  | Var.Flag -> 1
+  | Var.Regidx -> 5
+  | Var.Addr | Var.Data | Var.Srword | Var.Imm | Var.Diff -> 32
+
+let hex32 v = Printf.sprintf "32'h%08X" (v land 0xFFFF_FFFF)
+
+let term_to_verilog = function
+  | Expr.V id -> signal_of_id id
+  | Expr.Imm k -> hex32 k
+  | Expr.Mul (id, k) -> Printf.sprintf "(%s * %s)" (signal_of_id id) (hex32 k)
+  | Expr.Mod (id, k) ->
+    (* power-of-two moduli only, as mined *)
+    Printf.sprintf "(%s & %s)" (signal_of_id id) (hex32 (k - 1))
+  | Expr.Notv id -> Printf.sprintf "(~%s)" (signal_of_id id)
+  | Expr.Bin (op, a, b) ->
+    let o = match op with
+      | Expr.Band -> "&" | Expr.Bor -> "|" | Expr.Plus -> "+" | Expr.Minus -> "-"
+    in
+    Printf.sprintf "(%s %s %s)" (signal_of_id a) o (signal_of_id b)
+
+(* Diff-kind comparisons are signed; everything else unsigned. *)
+let body_to_verilog body =
+  let signedness t =
+    match t with
+    | Expr.V id | Expr.Mul (id, _) | Expr.Mod (id, _) | Expr.Notv id ->
+      Var.id_kind id = Var.Diff
+    | Expr.Imm k -> k < 0
+    | Expr.Bin (Expr.Minus, _, _) -> true
+    | Expr.Bin (_, _, _) -> false
+  in
+  match body with
+  | Expr.Cmp (op, lhs, rhs) ->
+    let s = if signedness lhs || signedness rhs then "$signed" else "" in
+    let wrap t = if s = "" then term_to_verilog t
+      else Printf.sprintf "$signed(%s)" (term_to_verilog t) in
+    let o = match op with
+      | Expr.Eq -> "==" | Expr.Ne -> "!=" | Expr.Lt -> "<"
+      | Expr.Le -> "<=" | Expr.Gt -> ">" | Expr.Ge -> ">="
+    in
+    Printf.sprintf "(%s %s %s)" (wrap lhs) o (wrap rhs)
+  | Expr.In (term, values) ->
+    let t = term_to_verilog term in
+    values
+    |> List.map (fun v -> Printf.sprintf "(%s == %s)" t (hex32 v))
+    |> String.concat " || "
+    |> Printf.sprintf "(%s)"
+
+(* The retirement-point qualifier: primary opcode match on the IR. *)
+let point_qualifier point =
+  (* Decode the point back to its primary opcode via a representative
+     encoding; the "illegal" pseudo-point fires on the decoder's
+     illegal-instruction strobe instead. *)
+  if String.equal point "illegal" then "illegal_insn"
+  else
+    let opcode_of = function
+      | "l.j" -> 0x00 | "l.jal" -> 0x01 | "l.bnf" -> 0x03 | "l.bf" -> 0x04
+      | "l.nop" -> 0x05 | "l.movhi" -> 0x06 | "l.macrc" -> 0x06
+      | "l.sys" -> 0x08 | "l.trap" -> 0x08 | "l.rfe" -> 0x09
+      | "l.jr" -> 0x11 | "l.jalr" -> 0x12 | "l.maci" -> 0x13
+      | "l.lwz" -> 0x21 | "l.lws" -> 0x22 | "l.lbz" -> 0x23 | "l.lbs" -> 0x24
+      | "l.lhz" -> 0x25 | "l.lhs" -> 0x26
+      | "l.addi" -> 0x27 | "l.addic" -> 0x28 | "l.andi" -> 0x29
+      | "l.ori" -> 0x2A | "l.xori" -> 0x2B | "l.muli" -> 0x2C
+      | "l.mfspr" -> 0x2D | "l.mtspr" -> 0x30
+      | "l.mac" -> 0x31 | "l.msb" -> 0x31
+      | "l.sw" -> 0x35 | "l.sb" -> 0x36 | "l.sh" -> 0x37
+      | p when String.length p > 4 && String.sub p 0 4 = "l.sf" ->
+        if String.length p > 2 && p.[String.length p - 1] = 'i' then 0x2F
+        else 0x39
+      | p when String.length p > 4 && String.sub p 0 5 = "l.sll"
+               || String.length p > 4 && String.sub p 0 5 = "l.srl"
+               || String.length p > 4 && String.sub p 0 5 = "l.sra"
+               || String.length p > 4 && String.sub p 0 5 = "l.ror" ->
+        if String.length p > 2 && p.[String.length p - 1] = 'i' then 0x2E
+        else 0x38
+      | _ -> 0x38 (* register ALU / extend forms *)
+    in
+    Printf.sprintf "(IR[31:26] == 6'h%02X) /* %s */" (opcode_of point) point
+
+(* Every variable a battery references, post and orig separated. *)
+let referenced_vars battery =
+  let post = Hashtbl.create 32 and orig = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Ovl.t) ->
+       List.iter
+         (fun id ->
+            if Var.is_orig id then Hashtbl.replace orig id ()
+            else Hashtbl.replace post id ())
+         (Expr.vars a.Ovl.invariant))
+    battery;
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
+  (sorted post, sorted orig)
+
+(* Emit the monitor module. *)
+let emit ?(module_name = "scifinder_monitor") battery =
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let posts, origs = referenced_vars battery in
+  out "// Generated by SCIFinder: %d security-critical assertions.\n"
+    (List.length battery);
+  out "// Bolt-on monitor in the SPECS style: sample at retirement (valid).\n";
+  out "module %s (\n" module_name;
+  out "  input wire clk,\n";
+  out "  input wire rst,\n";
+  out "  input wire valid,          // instruction retirement strobe\n";
+  out "  input wire illegal_insn,   // decoder illegal strobe\n";
+  out "  input wire [31:0] IR,\n";
+  let port id =
+    let w = width_of_id id in
+    if w = 1 then out "  input wire %s,\n" (sanitize (Var.id_base_name id))
+    else out "  input wire [%d:0] %s,\n" (w - 1) (sanitize (Var.id_base_name id))
+  in
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+       let base = Var.id_base_name id in
+       if not (Hashtbl.mem seen base) && base <> "IR" then begin
+         Hashtbl.replace seen base ();
+         port id
+       end)
+    (posts @ origs);
+  out "  output wire [%d:0] fire,\n" (max 0 (List.length battery - 1));
+  out "  output wire any_fire\n";
+  out ");\n\n";
+  (* Previous-cycle holding registers for the orig() operands. *)
+  if origs <> [] then out "  // next(...,1) holding registers\n";
+  List.iter
+    (fun id ->
+       let w = width_of_id id in
+       let base = sanitize (Var.id_base_name id) in
+       if w = 1 then out "  reg %s_prev;\n" base
+       else out "  reg [%d:0] %s_prev;\n" (w - 1) base)
+    origs;
+  if origs <> [] then begin
+    out "  always @(posedge clk) begin\n";
+    out "    if (valid) begin\n";
+    List.iter
+      (fun id ->
+         let base = sanitize (Var.id_base_name id) in
+         out "      %s_prev <= %s;\n" base base)
+      origs;
+    out "    end\n  end\n\n"
+  end;
+  List.iteri
+    (fun i (a : Ovl.t) ->
+       out "  // %s\n" (Expr.to_string a.Ovl.invariant);
+       out "  assign fire[%d] = valid && %s && !rst && !%s;\n"
+         i
+         (point_qualifier a.Ovl.invariant.Expr.point)
+         (body_to_verilog a.Ovl.invariant.Expr.body))
+    battery;
+  out "\n  assign any_fire = |fire;\n";
+  out "endmodule\n";
+  Buffer.contents buf

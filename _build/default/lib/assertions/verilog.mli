@@ -1,0 +1,18 @@
+(** Synthesizable Verilog generation for an assertion battery — the
+    SCI -> RTL translation the paper performs by hand (§4.2). The emitted
+    module is a SPECS-style bolt-on monitor: it samples the architectural
+    signals at the retirement strobe, holds previous-cycle copies of the
+    orig() operands, and raises one [fire] wire per assertion plus
+    [any_fire]. *)
+
+val sanitize : string -> string
+(** Identifier-safe signal name. *)
+
+val signal_of_id : Trace.Var.id -> string
+(** The Verilog signal of a variable; orig() variables map to their
+    [_prev] holding register. *)
+
+val width_of_id : Trace.Var.id -> int
+
+val emit : ?module_name:string -> Ovl.t list -> string
+(** The complete Verilog module source. *)

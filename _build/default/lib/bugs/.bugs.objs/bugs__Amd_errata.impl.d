@@ -1,0 +1,1 @@
+lib/bugs/amd_errata.ml: Asm Cpu Insn Isa List Registry Spr String Util Workloads

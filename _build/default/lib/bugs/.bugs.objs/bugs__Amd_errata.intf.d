@@ -1,0 +1,1 @@
+lib/bugs/amd_errata.mli: Registry

@@ -1,0 +1,1 @@
+lib/bugs/registry.mli: Cpu Workloads

@@ -1,0 +1,1 @@
+lib/bugs/table1.ml: Asm Cpu Insn Isa List Registry Spr String Util Workloads

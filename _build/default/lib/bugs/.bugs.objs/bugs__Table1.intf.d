@@ -1,0 +1,1 @@
+lib/bugs/table1.mli: Registry

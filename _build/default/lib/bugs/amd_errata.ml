@@ -1,0 +1,321 @@
+(* Fourteen held-out bugs for the unknown-bug experiment (§5.6).
+
+   The paper reused the 14 AMD errata that the SPECS artifact had
+   reproduced on the OR1200. Those particular errata documents are not
+   available here, so we model fourteen faults spanning the same SPECS
+   erratum classes (invalid register update, execute incorrect
+   instruction, memory access, incorrect results, exception related);
+   two of them are timing/microarchitectural-only, mirroring the errata
+   that need microarchitectural state and defeat any ISA-level assertion
+   (the paper's 12-of-14 detection ceiling). None of these faults is used
+   during identification or inference. *)
+
+open Isa
+module F = Cpu.Fault
+module B = Asm.Build
+
+let none = F.none
+
+let trig name ?tick_period items =
+  Workloads.Rt.build ~name ?tick_period
+    (List.concat [ Workloads.Rt.prologue; items; Workloads.Rt.exit_program ])
+
+(* a1 (XR): exception entry fails to mask TEE/IEE. *)
+let a1_fault =
+  { none with
+    F.name = "a1";
+    on_exception_sr = (fun _ sr ->
+        sr lor (1 lsl Spr.Sr_bits.tee) lor (1 lsl Spr.Sr_bits.iee)) }
+
+let a1_trigger =
+  trig "a1-trigger"
+    B.[ mfspr 12 0 Workloads.Rt.spr_sr;
+        ori 12 12 0x0002;               (* enable TEE *)
+        mtspr 0 12 Workloads.Rt.spr_sr;
+        li 3 1; li 4 2;
+        sys 21;                         (* entry should clear TEE *)
+        add 5 11 0;
+        sys 22;
+        add 6 11 0 ]
+
+(* a2 (XR): EPCR saved on a tick interrupt is off by four. *)
+let a2_fault =
+  { none with
+    F.name = "a2";
+    on_exception_epcr = (fun ctx epcr ->
+        match ctx.F.kind with
+        | Spr.Vector.Tick_timer -> Util.U32.add epcr 4
+        | _ -> epcr) }
+
+let a2_trigger =
+  trig "a2-trigger" ~tick_period:37
+    B.[ mfspr 12 0 Workloads.Rt.spr_sr;
+        ori 12 12 0x0002;
+        mtspr 0 12 Workloads.Rt.spr_sr;
+        li 21 0;
+        label "a2_loop";
+        addi 21 21 1;
+        xori 22 21 0x55;
+        add 23 22 21;
+        sfltui 21 300;
+        bf "a2_loop";
+        nop ]
+
+(* a3 (XR): l.rfe forces supervisor mode regardless of the saved ESR. *)
+let a3_fault =
+  { none with F.name = "a3"; on_rfe_sr = (fun sr -> sr lor 1) }
+
+let a3_trigger =
+  trig "a3-trigger"
+    (List.concat
+       B.[ [ la 24 "a3_user";
+             mtspr 0 24 Workloads.Rt.spr_epcr;
+             mfspr 25 0 Workloads.Rt.spr_sr;
+             andi 25 25 0xFFFE;
+             mtspr 0 25 Workloads.Rt.spr_esr;
+             rfe;                       (* should drop privilege; bug keeps SM *)
+             label "a3_user";
+             li 3 1; li 4 2;
+             add 5 3 4;
+             sys 23;
+             add 6 11 0 ] ])
+
+(* a4 (MA): word stores drop the low half-word. *)
+let a4_fault =
+  { none with
+    F.name = "a4";
+    on_store = (fun insn ~addr:_ ~exec_pc:_ v ->
+        match insn with
+        | Insn.Store (Insn.Sw, _, _, _) -> v land 0xFFFF_0000
+        | _ -> v) }
+
+let a4_trigger =
+  trig "a4-trigger"
+    (List.concat
+       B.[ li32 3 0x1234_5678;
+           [ sw 700 2 3;
+             lwz 4 2 700;
+             sw 704 2 4;
+             lwz 5 2 704;
+             add 6 4 5 ] ])
+
+(* a5 (CR): l.movhi places the immediate in the low half-word. *)
+let a5_fault =
+  { none with
+    F.name = "a5";
+    on_writeback = (fun insn ~reg:_ ~pc:_ v ->
+        match insn with Insn.Movhi _ -> v lsr 16 | _ -> v) }
+
+let a5_trigger =
+  trig "a5-trigger"
+    B.[ movhi 3 0x1234;
+        ori 3 3 0x5678;
+        movhi 4 0x00FF;
+        add 5 3 4;
+        movhi 6 0x8000;
+        or_ 7 5 6 ]
+
+(* a6 (CR): l.sfeq inverted when both operands have the sign bit set. *)
+let a6_fault =
+  { none with
+    F.name = "a6";
+    on_compare = (fun op ~a ~b r ->
+        match op with
+        | Insn.Sfeq when Util.U32.is_negative a && Util.U32.is_negative b -> not r
+        | _ -> r) }
+
+let a6_trigger =
+  trig "a6-trigger"
+    (List.concat
+       B.[ li32 3 0x8000_1234;
+           li32 4 0x8000_1234;
+           [ sfeq 3 4;                  (* equal negatives: flag flipped *)
+             bf "a6_eq";
+             nop;
+             addi 5 5 1;
+             label "a6_eq";
+             sfeq 3 3;
+             sfne 3 4 ] ])
+
+(* a7 (CR/RU): l.mfspr returns a stale zero for EEAR0. *)
+let a7_fault =
+  { none with
+    F.name = "a7";
+    on_writeback = (fun insn ~reg:_ ~pc:_ v ->
+        match insn with
+        | Insn.Mfspr (_, _, k) when k land 0xFFFF = Spr.address Spr.Eear0 -> 0
+        | _ -> v) }
+
+let a7_trigger =
+  trig "a7-trigger"
+    (List.concat
+       B.[ li32 3 0xCAFE;
+           [ mtspr 0 3 Workloads.Rt.spr_eear;
+             mfspr 4 0 Workloads.Rt.spr_eear;   (* returns 0 *)
+             add 5 4 3;
+             mfspr 6 0 Workloads.Rt.spr_eear;
+             add 7 6 5 ] ])
+
+(* a8 (MA): loads from addresses with bit 15 set return the address. *)
+let a8_fault =
+  { none with
+    F.name = "a8";
+    on_load = (fun insn ~addr ~raw:_ v ->
+        match insn with
+        | Insn.Load (Insn.Lwz, _, _, _) when addr land 0x8000 <> 0 -> addr
+        | _ -> v) }
+
+let a8_trigger =
+  trig "a8-trigger"
+    (List.concat
+       B.[ li32 3 0x5151;
+           li32 8 0x0001_8000;          (* address with bit 15 set *)
+           [ sw 0 8 3;
+             lwz 4 8 0;                 (* returns 0x18000, not 0x5151 *)
+             lwz 5 2 0;                 (* clean load *)
+             add 6 4 5 ] ])
+
+(* a9 (XR): the syscall vector is computed one slot too high. *)
+let a9_fault =
+  { none with
+    F.name = "a9";
+    on_exception_vector = (fun ctx v ->
+        match ctx.F.kind with
+        | Spr.Vector.Syscall -> v + 0x100
+        | _ -> v) }
+
+let a9_trigger =
+  trig "a9-trigger"
+    B.[ li 3 4; li 4 5;
+        sys 31;                         (* vectors to 0xD00 instead of 0xC00 *)
+        add 5 11 0 ]
+
+(* a10 (IE): the decoder executes l.xori as l.ori. *)
+let a10_fault =
+  { none with
+    F.name = "a10";
+    on_decode = (fun insn ->
+        match insn with
+        | Insn.Alui (Insn.Xori, rd, ra, k) -> Insn.Alui (Insn.Ori, rd, ra, k)
+        | _ -> insn) }
+
+let a10_trigger =
+  trig "a10-trigger"
+    (List.concat
+       B.[ li32 3 0x0F0F_1111;
+           [ xori 4 3 0x5555;
+             xori 5 4 0x0F0F;
+             add 6 4 5;
+             ori 7 3 0x0033 ] ])
+
+(* a11 (XR): EPCR for a syscall points at the l.sys itself. *)
+let a11_fault =
+  { none with
+    F.name = "a11";
+    on_exception_epcr = (fun ctx epcr ->
+        match ctx.F.kind with
+        | Spr.Vector.Syscall when not ctx.F.in_delay_slot -> ctx.F.faulting_pc
+        | _ -> epcr) }
+
+let a11_trigger =
+  trig "a11-trigger"
+    B.[ li 3 2; li 4 3;
+        sys 41;                         (* re-executes forever: capped *)
+        add 5 11 0 ]
+
+(* a12 (CF): l.jalr records the delay-slot address as the return address. *)
+let a12_fault =
+  { none with
+    F.name = "a12";
+    on_writeback = (fun insn ~reg ~pc:_ v ->
+        match insn with
+        | Insn.Jump_link_reg _ when reg = 9 -> Util.U32.sub v 4
+        | _ -> v) }
+
+let a12_trigger =
+  trig "a12-trigger"
+    B.[ la 20 "a12_fn";
+        jalr 20;                        (* r9 off by 4: returns into the pad *)
+        nop;
+        nop;
+        addi 5 5 1;
+        j "a12_out";
+        nop;
+        label "a12_fn";
+        addi 21 21 1;
+        jr 9;
+        nop;
+        label "a12_out";
+        addi 5 5 2 ]
+
+(* a13 (microarchitectural): write buffer not drained on cache maintenance;
+   a timing-only defect with no ISA-visible state change. *)
+let a13_fault = { none with F.name = "a13" }
+
+let a13_trigger =
+  trig "a13-trigger"
+    B.[ li 3 9;
+        sw 900 2 3;
+        lwz 4 2 900;
+        add 5 4 3 ]
+
+(* a14 (microarchitectural): branch predictor state survives a privilege
+   switch; observable only as timing, never as architectural state. *)
+let a14_fault = { none with F.name = "a14" }
+
+let a14_trigger =
+  trig "a14-trigger"
+    B.[ li 3 0;
+        label "a14_loop";
+        addi 3 3 1;
+        sfltui 3 6;
+        bf "a14_loop";
+        nop ]
+
+let all : Registry.t list =
+  let open Registry in
+  [ { id = "a1"; synopsis = "Exception entry fails to mask TEE/IEE";
+      source = "AMD-class errata (SPECS set), XR"; category = Xr;
+      fault = a1_fault; trigger = a1_trigger; isa_visible = true };
+    { id = "a2"; synopsis = "EPCR on tick interrupt is off by four";
+      source = "AMD-class errata (SPECS set), XR"; category = Xr;
+      fault = a2_fault; trigger = a2_trigger; isa_visible = true };
+    { id = "a3"; synopsis = "l.rfe forces supervisor mode";
+      source = "AMD-class errata (SPECS set), XR"; category = Xr;
+      fault = a3_fault; trigger = a3_trigger; isa_visible = true };
+    { id = "a4"; synopsis = "Word store drops the low half-word";
+      source = "AMD-class errata (SPECS set), MA"; category = Ma;
+      fault = a4_fault; trigger = a4_trigger; isa_visible = true };
+    { id = "a5"; synopsis = "l.movhi writes the immediate to the low half";
+      source = "AMD-class errata (SPECS set), CR"; category = Cr;
+      fault = a5_fault; trigger = a5_trigger; isa_visible = true };
+    { id = "a6"; synopsis = "l.sfeq inverted for negative operands";
+      source = "AMD-class errata (SPECS set), CR"; category = Cf;
+      fault = a6_fault; trigger = a6_trigger; isa_visible = true };
+    { id = "a7"; synopsis = "l.mfspr returns stale zero for EEAR0";
+      source = "AMD-class errata (SPECS set), RU"; category = Ru;
+      fault = a7_fault; trigger = a7_trigger; isa_visible = true };
+    { id = "a8"; synopsis = "Load from bit-15 addresses returns the address";
+      source = "AMD-class errata (SPECS set), MA"; category = Ma;
+      fault = a8_fault; trigger = a8_trigger; isa_visible = true };
+    { id = "a9"; synopsis = "Syscall vector computed one slot too high";
+      source = "AMD-class errata (SPECS set), XR"; category = Xr;
+      fault = a9_fault; trigger = a9_trigger; isa_visible = true };
+    { id = "a10"; synopsis = "Decoder executes l.xori as l.ori";
+      source = "AMD-class errata (SPECS set), IE"; category = Ie;
+      fault = a10_fault; trigger = a10_trigger; isa_visible = true };
+    { id = "a11"; synopsis = "EPCR for syscall points at the l.sys itself";
+      source = "AMD-class errata (SPECS set), XR"; category = Xr;
+      fault = a11_fault; trigger = a11_trigger; isa_visible = true };
+    { id = "a12"; synopsis = "l.jalr records a wrong return address";
+      source = "AMD-class errata (SPECS set), CF"; category = Cf;
+      fault = a12_fault; trigger = a12_trigger; isa_visible = true };
+    { id = "a13"; synopsis = "Write buffer not drained (timing only)";
+      source = "AMD-class errata (SPECS set), microarchitectural"; category = Ma;
+      fault = a13_fault; trigger = a13_trigger; isa_visible = false };
+    { id = "a14"; synopsis = "Branch predictor leak across privilege switch (timing only)";
+      source = "AMD-class errata (SPECS set), microarchitectural"; category = Cf;
+      fault = a14_fault; trigger = a14_trigger; isa_visible = false };
+  ]
+
+let by_id id = List.find_opt (fun b -> String.equal b.Registry.id id) all

@@ -1,0 +1,10 @@
+(** Fourteen held-out bugs for the unknown-bug experiment (§5.6),
+    modelled on the SPECS erratum classes (the original AMD errata
+    documents are not available; DESIGN.md records the substitution).
+    None are used during identification or inference; two are timing-only
+    microarchitectural faults, mirroring the paper's detection ceiling. *)
+
+val all : Registry.t list
+(** a1 .. a14. *)
+
+val by_id : string -> Registry.t option

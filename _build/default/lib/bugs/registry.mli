@@ -1,0 +1,36 @@
+(** The bug registry: the output of the paper's phase 2 (§4.1), where
+    human experts classified 185 collected errata and deemed 25
+    security-critical, reproducing 17. Each entry carries the erratum's
+    synopsis and source, its security class, the injected fault, and an
+    exploit (trigger) program. *)
+
+(** The six security-property classes of §5.5. *)
+type category =
+  | Cf (** control flow *)
+  | Xr (** exception related *)
+  | Ma (** memory access *)
+  | Ie (** executes the specified instruction *)
+  | Cr (** correct result update *)
+  | Ru (** register update / privilege *)
+
+val category_name : category -> string
+
+type t = {
+  id : string;                  (** "b1".."b17" (Table 1), "a1".."a14" (§5.6) *)
+  synopsis : string;
+  source : string;
+  category : category;
+  fault : Cpu.Fault.t;
+  trigger : Workloads.Rt.t;
+  isa_visible : bool;
+      (** false for the microarchitectural/timing-only errata that no
+          ISA-level invariant can see (the paper's b2 / p18 / p24
+          limitation) *)
+}
+
+(** §4.1 funnel statistics, kept as data for the harness. *)
+
+val collected_bug_count : int
+val security_critical_count : int
+val reproduced_count : int
+val not_reproducible_count : int

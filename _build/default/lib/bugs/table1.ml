@@ -1,0 +1,435 @@
+(* The 17 security-critical bugs of Table 1, reproduced as semantic faults
+   with one trigger program each (§3.3: "we first implement the defect ...
+   we then write a program that triggers the vulnerability"). Each fault
+   perturbs exactly the ISA-visible behaviour the published erratum
+   describes. *)
+
+open Isa
+module F = Cpu.Fault
+module B = Asm.Build
+
+let none = F.none
+
+(* Common trigger prologue/epilogue. *)
+let trig name ?extra items =
+  Workloads.Rt.build ~name ?extra
+    (List.concat [ Workloads.Rt.prologue; items; Workloads.Rt.exit_program ])
+
+(* ---- b1: l.sys in delay slot will run into infinite loop ---- *)
+
+let b1_fault = { none with F.name = "b1"; syscall_in_delay_slot_loops = true }
+
+let b1_trigger =
+  trig "b1-trigger"
+    B.[ li 3 1; li 4 2;
+        j "b1_after";
+        sys 1;                          (* delay slot: loops forever *)
+        label "b1_after";
+        add 5 11 0 ]
+
+(* ---- b2: l.macrc immediately after l.mac stalls the pipeline ---- *)
+
+let b2_fault = { none with F.name = "b2"; macrc_after_mac_stalls = true }
+
+let b2_trigger =
+  trig "b2-trigger"
+    B.[ li 3 7; li 4 9;
+        mac 3 4;
+        macrc 5;                        (* wedges the pipeline *)
+        add 6 5 3 ]
+
+(* ---- b3: l.extw instructions behave incorrectly ---- *)
+
+let b3_fault =
+  { none with
+    F.name = "b3";
+    on_alu = (fun insn r ->
+        match insn with
+        | Insn.Ext ((Insn.Extws | Insn.Extwz), _, _) -> Util.U32.sext16 r
+        | _ -> r) }
+
+let b3_trigger =
+  trig "b3-trigger"
+    (List.concat
+       B.[ li32 3 0x0001_4678;
+           [ extws 4 3;                 (* should copy r3 *)
+             lwz 5 4 0;                 (* address computed from extw result *)
+             extwz 6 3;
+             lwz 7 6 4;
+             extws 8 3;
+             add 9 8 3 ] ])
+
+(* ---- b4: Delay Slot Exception bit is not implemented in SR ---- *)
+
+let b4_fault =
+  { none with
+    F.name = "b4";
+    on_exception_sr = (fun _ sr -> sr land lnot (1 lsl Spr.Sr_bits.dsx)) }
+
+let b4_trigger =
+  trig "b4-trigger"
+    B.[ li 3 5; li 4 6;
+        j "b4_after";
+        sys 2;                          (* DSX should be set; bug drops it *)
+        label "b4_after";
+        add 5 11 0 ]
+
+(* ---- b5: EPCR on range exception is incorrect ---- *)
+
+let b5_fault =
+  { none with
+    F.name = "b5";
+    on_exception_epcr = (fun ctx epcr ->
+        match ctx.F.kind with
+        | Spr.Vector.Range -> Util.U32.add epcr 4
+        | _ -> epcr) }
+
+let b5_trigger =
+  trig "b5-trigger"
+    (List.concat
+       (List.map
+          (fun k ->
+             List.concat
+               B.[ [ mfspr 12 0 Workloads.Rt.spr_sr;
+                     ori 12 12 0x1000;
+                     mtspr 0 12 Workloads.Rt.spr_sr ];
+                   li32 13 0x7FFF_FFF0;
+                   [ li 14 (21 + k);
+                     add 15 13 14;      (* overflow -> range exception *)
+                     nop; nop;          (* landing room for the skewed EPCR *)
+                     mfspr 12 0 Workloads.Rt.spr_sr;
+                     andi 12 12 0xEFFF;
+                     mtspr 0 12 Workloads.Rt.spr_sr ] ])
+          [ 0; 1; 2; 3; 4 ]))
+
+(* ---- b6: comparison wrong for unsigned inequality with different MSB ---- *)
+
+let b6_fault =
+  { none with
+    F.name = "b6";
+    on_compare = (fun op ~a ~b r ->
+        let different_msb = Util.U32.is_negative a <> Util.U32.is_negative b in
+        match op with
+        | Insn.Sfgtu | Insn.Sfgeu | Insn.Sfltu | Insn.Sfleu
+          when different_msb -> not r
+        | _ -> r) }
+
+let b6_trigger =
+  trig "b6-trigger"
+    (List.concat
+       B.[ li32 3 0x8000_0010;
+           [ li 4 5;
+             sfltu 3 4;                 (* 0x80000010 <u 5 : false; bug flips *)
+             bf "b6_wrong";
+             nop;
+             addi 5 5 1;
+             label "b6_wrong";
+             sfgtu 3 4;
+             sfleu 4 3;
+             sfgeu 3 4;
+             sfltu 4 3 ] ])
+
+(* ---- b7: incorrect unsigned integer less-than compare ---- *)
+
+let b7_fault =
+  { none with
+    F.name = "b7";
+    on_compare = (fun op ~a ~b r ->
+        match op with
+        | Insn.Sfltu -> Util.U32.slt a b  (* computes the signed compare *)
+        | _ -> r) }
+
+let b7_trigger =
+  trig "b7-trigger"
+    (List.concat
+       B.[ li32 3 0xFFFF_FF00;
+           [ li 4 16;
+             sfltu 3 4;                 (* big unsigned <u 16 : false *)
+             bf "b7_taken";
+             nop;
+             addi 5 5 1;
+             label "b7_taken";
+             sfltu 4 3;
+             sfltui 3 100 ] ])
+
+(* ---- b8: logical error in l.rori: a pending exception is dropped ---- *)
+
+let b8_fault =
+  { none with
+    F.name = "b8";
+    suppress_exception = (fun ctx ~prev ->
+        match ctx.F.kind, prev with
+        | Spr.Vector.Syscall, Some (Insn.Shifti (Insn.Rori, _, _, _)) -> true
+        | _ -> false) }
+
+let b8_trigger =
+  trig "b8-trigger"
+    (List.concat
+       B.[ li32 3 0x1234_5678;
+           [ li 4 1;
+             rori 5 3 7;
+             sys 3;                     (* silently ignored by the bug *)
+             add 6 11 0;
+             rori 7 3 13;
+             sys 4;
+             add 8 11 0 ] ])
+
+(* ---- b9: EPCR on illegal instruction exception is incorrect ---- *)
+
+let b9_fault =
+  { none with
+    F.name = "b9";
+    on_exception_epcr = (fun ctx epcr ->
+        match ctx.F.kind with
+        | Spr.Vector.Illegal -> ctx.F.next_pc
+        | _ -> epcr) }
+
+let b9_trigger =
+  trig "b9-trigger"
+    B.[ li 3 1;
+        word 0xEC00_0000;               (* undecodable word *)
+        addi 3 3 1;
+        word 0xEC00_0001;
+        addi 3 3 2;
+        word 0xEC00_0002;
+        addi 3 3 3 ]
+
+(* ---- b10: GPR0 can be assigned ---- *)
+
+let b10_fault = { none with F.name = "b10"; allow_gpr0_write = true }
+
+let b10_trigger =
+  trig "b10-trigger"
+    B.[ li 3 41; li 4 1;
+        add 0 3 4;                      (* writes 42 into r0 *)
+        add 5 0 0;                      (* propagates the poison *)
+        addi 6 0 10;
+        sw 64 2 0;
+        lwz 7 2 64;
+        nop; nop ]
+
+(* ---- b11: incorrect instruction fetched after an LSU stall ---- *)
+
+let b11_fault =
+  { none with
+    F.name = "b11";
+    on_fetch = (fun ctx word ->
+        match ctx.F.prev_insn with
+        | Some (Insn.Load (Insn.Lws, _, _, _)) -> word lor ctx.F.prev_word
+        | _ -> word) }
+
+let b11_trigger =
+  trig "b11-trigger"
+    B.[ li 3 12;
+        sw 96 2 3;
+        lws 4 2 96;                     (* LSU stall *)
+        add 5 4 3;                      (* this fetch is contaminated *)
+        lws 6 2 96;
+        xor 7 6 3;
+        nop ]
+
+(* ---- b12: l.mtspr to some SPRs in supervisor mode treated as l.nop ---- *)
+
+let b12_fault =
+  { none with
+    F.name = "b12";
+    mtspr_is_nop = (fun ~spr_addr ->
+        spr_addr = Spr.address Spr.Esr0 || spr_addr = Spr.address Spr.Eear0) }
+
+let b12_trigger =
+  trig "b12-trigger"
+    (List.concat
+       B.[ li32 3 0xBEE0;
+           [ mtspr 0 3 Workloads.Rt.spr_eear;   (* silently dropped *)
+             mfspr 4 0 Workloads.Rt.spr_eear;
+             mtspr 0 3 Workloads.Rt.spr_esr;
+             mfspr 5 0 Workloads.Rt.spr_esr;
+             mtspr 0 3 Workloads.Rt.spr_maclo;  (* unaffected SPR *)
+             mfspr 6 0 Workloads.Rt.spr_maclo ] ])
+
+(* ---- b13: call return address failure with large displacement ---- *)
+
+let b13_fault =
+  { none with
+    F.name = "b13";
+    on_writeback = (fun insn ~reg ~pc:_ v ->
+        match insn with
+        | Insn.Jump_link d
+          when reg = 9
+            && abs (Util.U32.signed (Util.U32.sext ~bits:26 d)) >= 0x8000 ->
+          Util.U32.sub v 4
+        | _ -> v) }
+
+let b13_far = 0x42000
+
+let b13_trigger =
+  (* The prologue is 4 words, so the first far call sits at 0x2010. *)
+  let jal_at addr = Asm.I (Insn.Jump_link (((b13_far - addr) / 4) land 0x3FF_FFFF)) in
+  trig "b13-trigger"
+    ~extra:[ { Asm.origin = b13_far;
+               items = B.[ addi 20 20 1; jr 9; nop ] } ]
+    B.[ jal_at 0x2010; nop;
+        jal_at 0x2018; nop;
+        jal_at 0x2020; nop;
+        jal_at 0x2028; nop ]
+
+(* ---- b14: byte/half-word write failure when executing from SDRAM ---- *)
+
+let b14_fault =
+  { none with
+    F.name = "b14";
+    on_store = (fun insn ~addr:_ ~exec_pc v ->
+        match insn with
+        | Insn.Store ((Insn.Sb | Insn.Sh), _, _, _)
+          when exec_pc >= Cpu.Memory.sdram_base -> v lxor 0xFF
+        | _ -> v) }
+
+let b14_trigger =
+  trig "b14-trigger"
+    ~extra:[ { Asm.origin = Workloads.Rt.sdram_code_base;
+               items =
+                 B.[ li 3 0x21;
+                     sb 512 2 3;        (* corrupted: issued from SDRAM *)
+                     li 3 0x43;
+                     sh 514 2 3;
+                     li 3 0x65;
+                     sb 516 2 3;
+                     jr 9;
+                     nop ] } ]
+    (List.concat
+       B.[ [ li 3 0x11; sb 520 2 3 ];   (* clean: issued from SRAM *)
+           li32 20 Workloads.Rt.sdram_code_base;
+           [ jalr 20;
+             nop;
+             lbz 4 2 512;
+             lhz 5 2 514 ] ])
+
+(* ---- b15: wrong PC stored during FPU exception trap ----
+   The LEON2 erratum concerns the FPU trap; our basic instruction set has
+   no FPU, so the substitution uses the software trap, the same XR class:
+   the saved EPCR is skewed when the trap vectors. *)
+
+let b15_fault =
+  { none with
+    F.name = "b15";
+    on_exception_epcr = (fun ctx epcr ->
+        match ctx.F.kind with
+        | Spr.Vector.Trap -> Util.U32.add epcr 8
+        | _ -> epcr) }
+
+let b15_trigger =
+  trig "b15-trigger"
+    B.[ li 3 1;
+        trap 1;
+        addi 3 3 1;
+        nop; nop;
+        trap 2;
+        addi 3 3 2;
+        nop; nop;
+        trap 3;
+        addi 3 3 3;
+        nop; nop ]
+
+(* ---- b16: sign/unsign extend of data alignment in LSU ---- *)
+
+let b16_fault =
+  { none with
+    F.name = "b16";
+    on_load = (fun insn ~addr ~raw v ->
+        match insn with
+        | Insn.Load (Insn.Lbs, _, _, _) when addr land 1 = 1 -> raw land 0xFF
+        | Insn.Load (Insn.Lhs, _, _, _) when addr land 3 = 2 -> raw land 0xFFFF
+        | _ -> v) }
+
+let b16_trigger =
+  trig "b16-trigger"
+    (List.concat
+       B.[ li32 3 0xF5;
+           [ sb 601 2 3 ];              (* negative byte at odd address *)
+           li32 3 0x9ABC;
+           [ sh 602 2 3;                (* negative half at addr % 4 = 2 *)
+             lbs 4 2 601;               (* should sign-extend; bug zero-extends *)
+             lhs 5 2 602;
+             lbs 6 2 601;
+             add 7 4 5 ] ])
+
+(* ---- b17: overwrite of load data with subsequent store data ---- *)
+
+let b17_fault =
+  { none with
+    F.name = "b17";
+    store_after_load_clobbers = (fun ~prev insn ->
+        match prev, insn with
+        | Some (Insn.Load (_, rd, _, _)), Insn.Store (_, _, _, _) -> Some rd
+        | _ -> None) }
+
+let b17_trigger =
+  trig "b17-trigger"
+    B.[ li 3 77;
+        sw 640 2 3;
+        li 6 55;
+        lwz 5 2 640;                    (* r5 <- 77 *)
+        sw 644 2 6;                     (* bug: r5 <- 55 as well *)
+        add 7 5 6;
+        lwz 8 2 640;
+        sw 648 2 8;
+        add 9 8 7 ]
+
+(* ---- The Table 1 registry ---- *)
+
+let all : Registry.t list =
+  let open Registry in
+  [ { id = "b1"; synopsis = "l.sys in delay slot will run into infinite loop";
+      source = "OR1200, Bugzilla #33"; category = Xr;
+      fault = b1_fault; trigger = b1_trigger; isa_visible = true };
+    { id = "b2"; synopsis = "l.macrc immediately after l.mac stalls the pipeline";
+      source = "OR1200, Bugtracker #1930"; category = Ie;
+      fault = b2_fault; trigger = b2_trigger; isa_visible = false };
+    { id = "b3"; synopsis = "l.extw instructions behave incorrectly";
+      source = "OR1200, Bugzilla #88"; category = Ma;
+      fault = b3_fault; trigger = b3_trigger; isa_visible = true };
+    { id = "b4"; synopsis = "Delay Slot Exception bit is not implemented in SR";
+      source = "OR1200, Bugzilla #85"; category = Xr;
+      fault = b4_fault; trigger = b4_trigger; isa_visible = true };
+    { id = "b5"; synopsis = "EPCR on range exception is incorrect";
+      source = "OR1200, Bugzilla #90"; category = Xr;
+      fault = b5_fault; trigger = b5_trigger; isa_visible = true };
+    { id = "b6"; synopsis = "Comparison wrong for unsigned inequality with different MSB";
+      source = "OR1200, Bugzilla #51"; category = Cf;
+      fault = b6_fault; trigger = b6_trigger; isa_visible = true };
+    { id = "b7"; synopsis = "Incorrect unsigned integer less-than compare";
+      source = "OR1200, Bugzilla #76"; category = Cf;
+      fault = b7_fault; trigger = b7_trigger; isa_visible = true };
+    { id = "b8"; synopsis = "Logical error in l.rori instruction";
+      source = "OR1200, Bugzilla #97"; category = Xr;
+      fault = b8_fault; trigger = b8_trigger; isa_visible = true };
+    { id = "b9"; synopsis = "EPCR on illegal instruction exception is incorrect";
+      source = "OR1200, Mail #01767"; category = Xr;
+      fault = b9_fault; trigger = b9_trigger; isa_visible = true };
+    { id = "b10"; synopsis = "GPR0 can be assigned";
+      source = "OR1200, Mail #00007"; category = Ma;
+      fault = b10_fault; trigger = b10_trigger; isa_visible = true };
+    { id = "b11"; synopsis = "Incorrect instruction fetched after an LSU stall";
+      source = "OR1200, Bugzilla #101"; category = Ie;
+      fault = b11_fault; trigger = b11_trigger; isa_visible = true };
+    { id = "b12"; synopsis = "l.mtspr to some SPRs in supervisor mode treated as l.nop";
+      source = "OR1200, Bugzilla #95"; category = Ru;
+      fault = b12_fault; trigger = b12_trigger; isa_visible = true };
+    { id = "b13"; synopsis = "Call return address failure with large displacement";
+      source = "LEON2, Atmel-errata #2"; category = Cf;
+      fault = b13_fault; trigger = b13_trigger; isa_visible = true };
+    { id = "b14"; synopsis = "Byte and half-word write to SRAM failure when executing from SDRAM";
+      source = "LEON2, Atmel-errata #3"; category = Ma;
+      fault = b14_fault; trigger = b14_trigger; isa_visible = true };
+    { id = "b15"; synopsis = "Wrong PC stored during FPU exception trap";
+      source = "LEON2, Atmel-errata #4"; category = Xr;
+      fault = b15_fault; trigger = b15_trigger; isa_visible = true };
+    { id = "b16"; synopsis = "Sign/unsign extend of data alignment in LSU";
+      source = "OpenSPARC T1"; category = Ma;
+      fault = b16_fault; trigger = b16_trigger; isa_visible = true };
+    { id = "b17"; synopsis = "Overwrite of ldxa-data with subsequent st-data";
+      source = "OpenSPARC T1"; category = Ma;
+      fault = b17_fault; trigger = b17_trigger; isa_visible = true };
+  ]
+
+let by_id id = List.find_opt (fun b -> String.equal b.Registry.id id) all

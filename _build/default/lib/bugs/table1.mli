@@ -1,0 +1,9 @@
+(** The 17 security-critical bugs of the paper's Table 1, reproduced as
+    semantic faults with one trigger program each (§3.3): 12 OR1200
+    errata, 3 LEON2, 2 OpenSPARC T1. b2 (a pipeline stall) is the
+    microarchitectural one no ISA-level invariant catches. *)
+
+val all : Registry.t list
+(** b1 .. b17, in Table 1 order. *)
+
+val by_id : string -> Registry.t option

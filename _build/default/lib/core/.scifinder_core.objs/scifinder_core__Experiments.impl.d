@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Assertions Bugs Invariant List Pipeline Properties Sci Shape Util

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Invariant List String Trace

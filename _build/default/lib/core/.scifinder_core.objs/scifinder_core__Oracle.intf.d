@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Invariant Trace

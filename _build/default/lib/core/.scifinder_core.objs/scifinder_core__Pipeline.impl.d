@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Daikon Float Hashtbl Invariant Invopt Isa List Ml Oracle Sci Shape Trace Unix Util Workloads

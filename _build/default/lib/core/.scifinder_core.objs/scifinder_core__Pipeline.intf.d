@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Bugs Daikon Invariant Invopt Ml Sci Workloads

@@ -1,0 +1,1 @@
+lib/core/shape.ml: Hashtbl Invariant List Printf String Trace

@@ -1,0 +1,113 @@
+(* Evaluation drivers for §5.4 (Tables 6/7), §5.6 (unknown-bug detection
+   and the random-split repeat) and Table 9 (hardware overhead). *)
+
+module Expr = Invariant.Expr
+
+(* ---- Table 6/7: coverage of prior-work properties ---- *)
+
+let property_coverage (identification : Sci.Identify.summary)
+    (inference : Pipeline.inference) =
+  let identified =
+    List.map
+      (fun (r : Sci.Identify.report) -> (r.bug.Bugs.Registry.id, r.true_sci))
+      identification.reports
+  in
+  Properties.Catalog.evaluate ~identified ~inferred:inference.Pipeline.surviving
+
+(* ---- §5.6: detection of held-out bugs ---- *)
+
+type holdout_report = {
+  bug : Bugs.Registry.t;
+  by_identified : bool;
+  by_inferred : bool;
+  detected : bool;
+}
+
+(* An assertion battery "detects" a held-out bug when it fires on the
+   buggy run of the bug's trigger but stays silent on the clean run of
+   the same trigger (a battery that cries wolf detects nothing). *)
+let battery_detects battery (bug : Bugs.Registry.t) =
+  let buggy = Sci.Identify.capture_trigger ~fault:bug.fault bug.trigger in
+  let clean = Sci.Identify.capture_trigger bug.trigger in
+  let fired_buggy = Assertions.Monitor.fired_assertions battery buggy in
+  if fired_buggy = [] then false
+  else begin
+    let fired_clean = Assertions.Monitor.fired_assertions battery clean in
+    let clean_names =
+      List.map (fun (a : Assertions.Ovl.t) -> a.name) fired_clean
+    in
+    List.exists
+      (fun (a : Assertions.Ovl.t) -> not (List.mem a.name clean_names))
+      fired_buggy
+  end
+
+let holdout ~identified_sci ~inferred_sci held_out_bugs =
+  let battery_ident = Assertions.Ovl.of_invariants identified_sci in
+  let battery_infer = Assertions.Ovl.of_invariants inferred_sci in
+  List.map
+    (fun bug ->
+       let by_identified = battery_detects battery_ident bug in
+       let by_inferred = battery_detects battery_infer bug in
+       { bug; by_identified; by_inferred;
+         detected = by_identified || by_inferred })
+    held_out_bugs
+
+(* ---- §5.6: random re-split to avoid selection bias ----
+
+   Pool = the 28 ISA-visible bugs (17 + 14 minus the 3 microarchitectural
+   ones); 14 are drawn for identification + inference, the remaining 14
+   are the test set. *)
+
+type split_result = {
+  training_ids : string list;
+  test_ids : string list;
+  reports : holdout_report list;
+  detected_count : int;
+}
+
+let random_split ?(seed = 42) ~invariants () =
+  let pool =
+    List.filter
+      (fun (b : Bugs.Registry.t) -> b.isa_visible)
+      (Bugs.Table1.all @ Bugs.Amd_errata.all)
+  in
+  let arr = Array.of_list pool in
+  let rng = Util.Prng.create seed in
+  Util.Prng.shuffle rng arr;
+  let training = Array.to_list (Array.sub arr 0 14) in
+  let test = Array.to_list (Array.sub arr 14 (Array.length arr - 14)) in
+  let identification = Pipeline.identify ~invariants training in
+  let inference =
+    Pipeline.infer ~all_invariants:invariants identification.summary
+  in
+  let reports =
+    holdout
+      ~identified_sci:identification.summary.unique_sci
+      ~inferred_sci:inference.surviving
+      test
+  in
+  { training_ids = List.map (fun (b : Bugs.Registry.t) -> b.id) training;
+    test_ids = List.map (fun (b : Bugs.Registry.t) -> b.id) test;
+    reports;
+    detected_count =
+      List.length (List.filter (fun r -> r.detected) reports) }
+
+(* ---- Table 9: hardware overhead ---- *)
+
+type overhead_report = {
+  initial_assertions : int;   (* one per identified SCI shape class *)
+  initial : Assertions.Cost.overhead;
+  final_assertions : int;     (* identified + inferred shape classes *)
+  final : Assertions.Cost.overhead;
+}
+
+let hardware_overhead ~identified_sci ~inferred_sci =
+  let initial_reps = Shape.representatives identified_sci in
+  let final_reps = Shape.representatives (identified_sci @ inferred_sci) in
+  let battery_of reps = Assertions.Ovl.of_invariants reps in
+  let initial_battery = battery_of initial_reps in
+  let final_battery = battery_of final_reps in
+  { initial_assertions = List.length initial_battery;
+    initial = Assertions.Cost.battery_overhead initial_battery;
+    final_assertions = List.length final_battery;
+    final = Assertions.Cost.battery_overhead final_battery }

@@ -1,0 +1,48 @@
+(** Evaluation drivers for §5.4 (Tables 6/7), §5.6 (unknown-bug detection
+    and the random-split repeat) and Table 9 (hardware overhead). *)
+
+val property_coverage :
+  Sci.Identify.summary -> Pipeline.inference -> Properties.Catalog.coverage list
+
+type holdout_report = {
+  bug : Bugs.Registry.t;
+  by_identified : bool;
+  by_inferred : bool;
+  detected : bool;
+}
+
+val battery_detects : Assertions.Ovl.t list -> Bugs.Registry.t -> bool
+(** Fires on the buggy run of the bug's trigger while staying silent on
+    the clean run of the same trigger (a battery that cries wolf detects
+    nothing). *)
+
+val holdout :
+  identified_sci:Invariant.Expr.t list ->
+  inferred_sci:Invariant.Expr.t list ->
+  Bugs.Registry.t list -> holdout_report list
+(** §5.6: each held-out bug against the identification-derived and the
+    inference-derived assertion batteries. *)
+
+type split_result = {
+  training_ids : string list;
+  test_ids : string list;
+  reports : holdout_report list;
+  detected_count : int;
+}
+
+val random_split :
+  ?seed:int -> invariants:Invariant.Expr.t list -> unit -> split_result
+(** §5.6's selection-bias check: 14 of the 28 ISA-visible bugs drawn for
+    identification + inference, the other 14 tested. *)
+
+type overhead_report = {
+  initial_assertions : int;  (** one per identified SCI shape class *)
+  initial : Assertions.Cost.overhead;
+  final_assertions : int;    (** identified + inferred classes *)
+  final : Assertions.Cost.overhead;
+}
+
+val hardware_overhead :
+  identified_sci:Invariant.Expr.t list ->
+  inferred_sci:Invariant.Expr.t list -> overhead_report
+(** Table 9. *)

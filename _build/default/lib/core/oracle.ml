@@ -1,0 +1,111 @@
+(* The expert-validation oracle.
+
+   §5.7: a graduate student spent five hours classifying the 3,146
+   model-recommended SCI, marking the "clearly non-invariant (as
+   determined by the ISA)" ones as false positives — mostly invariants
+   that pin registers or operands to incidental corpus values. This module
+   is the deterministic stand-in for that manual pass: an invariant is
+   ruled a false positive when it cannot be an ISA-level truth because it
+   mentions incidental data (a specific non-zero GPR's value, a data
+   constant, an inter-register coincidence), and plausible when it only
+   constrains structural state (control flow, exception machinery,
+   privilege, instruction identity, operand/bus relations, the zero
+   register, compare-direction witnesses). *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+(* Variables whose relations are structural rather than data accidents. *)
+let structural_base name =
+  match name with
+  | "PC" | "NPC" | "NNPC" | "SR" | "SF" | "SM" | "CY" | "OV" | "DSX"
+  | "TEE" | "IEE" | "EPCR0" | "ESR0" | "EEAR0"
+  | "VEC" | "EXN" | "EPCR_D" | "DSX_OK"
+  | "IR" | "MEM_AT_PC" | "OPCODE" | "IMM"
+  | "OPA" | "OPB" | "DEST" | "EA" | "EA_REF" | "MEMBUS"
+  | "SPR" | "orig(SPR)"
+  | "PROD_U" | "PROD_S" | "CMPDIFF_U" | "CMPDIFF_S" | "CMPZ"
+  | "EXT_SIGN" | "EXT_HI"
+  | "GPR0" | "GPR9" (* the architectural zero and link registers *)
+  | "REGD" | "REGA" | "REGB" -> true
+  | _ -> false
+
+let var_plausible id = structural_base (Var.id_base_name id)
+
+(* A var framed against its own orig() is structural for any register:
+   "this instruction does not touch GPRn". *)
+let self_frame (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, Expr.V x, Expr.V y) ->
+    String.equal (Var.id_base_name x) (Var.id_base_name y)
+    && Var.is_orig x <> Var.is_orig y
+  | _ -> false
+
+(* Constants that are architecturally meaningful rather than incidental:
+   exception vectors, word-step offsets, flags, alignment residues. *)
+let const_plausible c =
+  (c >= 0 && c <= 63) (* small structure: offsets, shifts, opcodes *)
+  || (c >= -16 && c < 0)
+  || (c >= 0x100 && c <= 0xF04 && c land 0x3 = 0)
+  || c = 0xFFFF || c = 0xFF_FFFF || c = 0x10000
+
+let term_plausible = function
+  | Expr.V id -> var_plausible id
+  | Expr.Imm c -> const_plausible c
+  | Expr.Mul (id, k) -> var_plausible id && const_plausible k
+  | Expr.Mod (id, _) -> var_plausible id
+  | Expr.Notv id -> var_plausible id
+  | Expr.Bin (_, a, b) -> var_plausible a && var_plausible b
+
+(* The verdict: [true] means the invariant survives expert validation. *)
+let plausible (inv : Expr.t) =
+  self_frame inv
+  ||
+  match inv.Expr.body with
+  | Expr.Cmp (op, lhs, rhs) ->
+    let structural = term_plausible lhs && term_plausible rhs in
+    let term_kind = function
+      | Expr.V v | Expr.Mul (v, _) | Expr.Mod (v, _) | Expr.Notv v ->
+        Some (Var.id_kind v)
+      | Expr.Imm _ | Expr.Bin _ -> None
+    in
+    (match op with
+     (* Disequalities between live values are coincidences of the corpus,
+        the classic manual-validation reject (and the paper's explanation
+        for missing p16: the <> operator carries strong non-SCI weight). *)
+     | Expr.Ne ->
+       structural
+       && (match lhs, rhs with
+           | Expr.V a, Expr.V b ->
+             Var.id_kind a = Var.Flag && Var.id_kind b = Var.Flag
+           | _ -> false)
+     (* An ordering between two live data values is equally incidental;
+        orderings carry ISA meaning only as bounds on the derived
+        difference variables or between addresses. *)
+     | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge ->
+       structural
+       && (match term_kind lhs, term_kind rhs with
+           | Some Var.Diff, _ | _, Some Var.Diff -> true
+           | Some Var.Addr, Some Var.Addr -> true
+           | Some Var.Addr, None | None, Some Var.Addr -> true
+           | _ -> false)
+     | Expr.Eq -> structural)
+  | Expr.In (term, values) ->
+    (* Value-set invariants are ISA truths only over structural ranges:
+       flags, register indices, immediates/opcodes, vectors, status
+       words. A value set over a live datum is a corpus accident (the
+       paper's "an SPR must equal 0" example of an easy reject). *)
+    term_plausible term
+    && List.for_all const_plausible values
+    && (match term with
+        | Expr.V v | Expr.Mul (v, _) | Expr.Mod (v, _) | Expr.Notv v ->
+          (match Var.id_kind v with
+           | Var.Flag | Var.Imm | Var.Regidx | Var.Srword -> true
+           | Var.Addr ->
+             let n = Var.id_base_name v in
+             String.equal n "VEC" || String.equal n "PC" || String.equal n "NPC"
+           | Var.Data | Var.Diff -> false)
+        | Expr.Imm _ | Expr.Bin _ -> false)
+
+let validate invariants =
+  List.partition plausible invariants

@@ -1,0 +1,27 @@
+(** The expert-validation oracle: the deterministic stand-in for the
+    paper's manual pass (§5.7, a graduate student classifying the 3,146
+    model-recommended SCI in five hours). An invariant is ruled a false
+    positive when it pins incidental corpus data — a specific live
+    register's value, an inter-register coincidence, an ordering or value
+    set over live data — and plausible when it only constrains structural
+    state: control flow, the exception machinery, privilege, instruction
+    identity, operand/bus relations, the zero and link registers, the
+    compare-direction witnesses, or a register framed against its own
+    orig(). *)
+
+val structural_base : string -> bool
+(** Is this variable base-name structural? *)
+
+val var_plausible : Trace.Var.id -> bool
+
+val self_frame : Invariant.Expr.t -> bool
+(** [GPRn = orig(GPRn)]: structural for any register. *)
+
+val const_plausible : int -> bool
+
+val plausible : Invariant.Expr.t -> bool
+(** The verdict: [true] survives expert validation. *)
+
+val validate :
+  Invariant.Expr.t list -> Invariant.Expr.t list * Invariant.Expr.t list
+(** Partition into (surviving, false positives). *)

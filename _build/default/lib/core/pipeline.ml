@@ -1,0 +1,266 @@
+(* The four-phase SCIFinder pipeline (Figure 1):
+
+     1. invariant generation  (workload tracing + the Daikon engine)
+     2. errata classification (encoded as data in [Bugs])
+     3. SCI identification    (buggy-vs-clean violation differencing)
+     4. SCI inference         (elastic-net logistic regression)
+
+   plus the evaluation drivers behind every table and figure of §5. *)
+
+module Expr = Invariant.Expr
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* ---- Phase 1: invariant generation (§3.1, Figure 3, Table 8) ---- *)
+
+type figure3_row = {
+  group_label : string;
+  unmodified : int;
+  fresh : int;
+  deleted : int;
+  total : int;
+}
+
+type mining = {
+  invariants : Expr.t list;         (* the raw invariant set *)
+  figure3 : figure3_row list;
+  record_count : int;
+  trace_bytes : int;                (* §5.1's "26GB of trace data" analogue *)
+  mnemonic_coverage : string list;  (* instructions never observed (want []) *)
+  seconds : float;
+}
+
+let canon_set invs =
+  let s = Hashtbl.create 65536 in
+  List.iter (fun i -> Hashtbl.replace s (Expr.canonical i) ()) invs;
+  s
+
+let mine ?(config = Daikon.Config.default)
+    ?(workloads = Workloads.Suite.all)
+    ?(groups = Workloads.Suite.figure3_groups)
+    ?(labels = Workloads.Suite.figure3_labels)
+    () =
+  ignore workloads;
+  let t0 = Unix.gettimeofday () in
+  let engine = Daikon.Engine.create ~config () in
+  let seen_points = Hashtbl.create 97 in
+  let previous = ref (Hashtbl.create 1) in
+  let rows = ref [] in
+  List.iter2
+    (fun group label ->
+       List.iter
+         (fun name ->
+            match Workloads.Suite.by_name name with
+            | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
+            | Some w ->
+              ignore
+                (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
+                   ~entry:w.Workloads.Rt.entry
+                   ~observer:(fun r ->
+                       Hashtbl.replace seen_points r.Trace.Record.point ();
+                       Daikon.Engine.observe engine r)
+                   w.Workloads.Rt.image))
+         group;
+       let snapshot = Daikon.Engine.invariants engine in
+       let current = canon_set snapshot in
+       let fresh = ref 0 and unmodified = ref 0 in
+       Hashtbl.iter
+         (fun k () ->
+            if Hashtbl.mem !previous k then incr unmodified else incr fresh)
+         current;
+       let deleted = ref 0 in
+       Hashtbl.iter
+         (fun k () -> if not (Hashtbl.mem current k) then incr deleted)
+         !previous;
+       previous := current;
+       rows :=
+         { group_label = label;
+           unmodified = !unmodified;
+           fresh = !fresh;
+           deleted = !deleted;
+           total = Hashtbl.length current }
+         :: !rows)
+    groups labels;
+  let invariants = Daikon.Engine.invariants engine in
+  let record_count = Daikon.Engine.record_count engine in
+  let missing =
+    List.filter
+      (fun m -> not (Hashtbl.mem seen_points m))
+      Isa.Insn.all_mnemonics
+  in
+  { invariants;
+    figure3 = List.rev !rows;
+    record_count;
+    trace_bytes = record_count * Trace.Var.total * 8;
+    mnemonic_coverage = missing;
+    seconds = Unix.gettimeofday () -. t0 }
+
+(* ---- §3.2: optimisation (Table 2) ---- *)
+
+type optimization = {
+  result : Invopt.Pipeline.result;
+  opt_seconds : float;
+}
+
+let optimize invariants =
+  let result, opt_seconds = time (fun () -> Invopt.Pipeline.optimize invariants) in
+  { result; opt_seconds }
+
+(* ---- Phase 3: identification (Table 3) ---- *)
+
+type identification = {
+  summary : Sci.Identify.summary;
+  ident_seconds : float;
+}
+
+let identify ~invariants bug_list =
+  let summary, ident_seconds =
+    time (fun () -> Sci.Identify.run_all ~invariants bug_list)
+  in
+  { summary; ident_seconds }
+
+(* ---- Phase 4: inference (§3.4, §5.3; Tables 4 and 5, Figure 4) ---- *)
+
+type inference = {
+  space : Invariant.Feature.space;
+  model : Ml.Logreg.model;
+  chosen_lambda : float;
+  cv_accuracy : float;
+  test_accuracy : float;
+  labeled_sci : int;
+  labeled_non_sci : int;
+  selected_features : (string * float) list; (* Table 4 *)
+  recommended : Expr.t list;
+  inferred_fp : Expr.t list;
+  surviving : Expr.t list;
+  property_count : int;                      (* Table 5's rightmost column *)
+  pca_points : (float array * int) list;     (* (PC1/PC2, 1 = SC) *)
+  pca_separation : float;
+  infer_seconds : float;
+}
+
+let infer ?(seed = 20170408) ?(alpha = 0.5) ~all_invariants
+    (summary : Sci.Identify.summary) =
+  let t0 = Unix.gettimeofday () in
+  let space = Invariant.Feature.build_space all_invariants in
+  let sci = summary.Sci.Identify.unique_sci in
+  let non_sci_all = summary.Sci.Identify.unique_fp in
+  (* Balance the classes as the paper's near-even 54/48 labels were. *)
+  let rng = Util.Prng.create seed in
+  let non_arr = Array.of_list non_sci_all in
+  Util.Prng.shuffle rng non_arr;
+  let n_non = min (Array.length non_arr) (List.length sci) in
+  let non_sci = Array.to_list (Array.sub non_arr 0 (max 1 n_non)) in
+  (* y = 1 for non-security-critical (the paper models pi = P(non-SC)). *)
+  let labeled =
+    List.map (fun i -> (i, 0.0)) sci @ List.map (fun i -> (i, 1.0)) non_sci
+  in
+  let labeled = Array.of_list labeled in
+  Util.Prng.shuffle rng labeled;
+  let n = Array.length labeled in
+  let n_train = max 2 (n * 7 / 10) in
+  let to_xy arr =
+    let x = Ml.Matrix.of_rows
+        (Array.to_list (Array.map (fun (i, _) -> Invariant.Feature.vector space i) arr))
+    and y = Array.map snd arr in
+    (x, y)
+  in
+  let train = Array.sub labeled 0 n_train in
+  let test = Array.sub labeled n_train (n - n_train) in
+  let x_train, y_train = to_xy train in
+  let x_test, y_test = to_xy test in
+  (* alpha = 0.5, 3-fold CV to choose lambda (§5.3). glmnet practice: take
+     the sparsest lambda whose CV accuracy is within one standard error of
+     the best (the lambda.1se rule), which is what gives the paper its 24
+     non-zero coefficients out of 158. *)
+  let _best_lambda, best_acc, table =
+    Ml.Logreg.cross_validate ~alpha ~folds:3 ~seed x_train y_train
+  in
+  let chosen_lambda, cv_accuracy =
+    List.fold_left
+      (fun (bl, ba) (l, a) ->
+         if a >= best_acc -. 0.01 && l > bl then (l, a) else (bl, ba))
+      (0.0, 0.0) table
+  in
+  let model = Ml.Logreg.fit ~alpha ~lambda:chosen_lambda x_train y_train in
+  let test_accuracy =
+    if Array.length test = 0 then 1.0 else Ml.Logreg.accuracy model x_test y_test
+  in
+  (* Refit on all labeled data for deployment, as glmnet users do. *)
+  let x_all, y_all = to_xy labeled in
+  let model = Ml.Logreg.fit ~alpha ~lambda:chosen_lambda x_all y_all in
+  let selected_features =
+    List.map
+      (fun (j, beta) -> (Invariant.Feature.feature_name space j, beta))
+      (Ml.Logreg.nonzero_features model)
+  in
+  (* Predict the unlabeled remainder: p < 0.5 means security critical. *)
+  let labeled_keys = Hashtbl.create 1024 in
+  Array.iter
+    (fun (i, _) -> Hashtbl.replace labeled_keys (Expr.canonical i) ())
+    labeled;
+  List.iter
+    (fun i -> Hashtbl.replace labeled_keys (Expr.canonical i) ())
+    non_sci_all;
+  let unlabeled =
+    List.filter
+      (fun i -> not (Hashtbl.mem labeled_keys (Expr.canonical i)))
+      all_invariants
+  in
+  let recommended =
+    List.filter
+      (fun i ->
+         Ml.Logreg.predict_proba model (Invariant.Feature.vector space i) < 0.5)
+      unlabeled
+  in
+  (* Expert validation of the recommendations (§5.7's manual pass). *)
+  let surviving, inferred_fp = Oracle.validate recommended in
+  let property_count = Shape.class_count surviving in
+  (* Figure 4: PCA over the labeled invariants on the selected features
+     (the paper used its 24 non-zero-coefficient features; we take the 24
+     largest coefficients by magnitude when more survive). *)
+  let selected_idx =
+    selected_features
+    |> List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a))
+    |> List.filteri (fun i _ -> i < 24)
+    |> List.map
+      (fun (name, _) ->
+         match Hashtbl.find_opt space.Invariant.Feature.index name with
+         | Some j -> j
+         | None -> assert false)
+  in
+  let pca_points, pca_separation =
+    if selected_idx = [] || Array.length labeled < 4 then ([], 0.0)
+    else begin
+      let reduce row = Array.of_list (List.map (fun j -> row.(j)) selected_idx) in
+      let rows =
+        Array.to_list
+          (Array.map
+             (fun (i, _) -> reduce (Invariant.Feature.vector space i))
+             labeled)
+      in
+      let x = Ml.Matrix.of_rows rows in
+      let pca = Ml.Pca.fit ~k:2 x in
+      let points =
+        List.mapi
+          (fun idx row ->
+             let _, y = labeled.(idx) in
+             (Ml.Pca.project pca row, if y = 0.0 then 1 else 0))
+          rows
+      in
+      let sep =
+        Ml.Pca.separation (List.map fst points) (List.map snd points)
+      in
+      (points, sep)
+    end
+  in
+  { space; model; chosen_lambda; cv_accuracy; test_accuracy;
+    labeled_sci = List.length sci;
+    labeled_non_sci = List.length non_sci;
+    selected_features;
+    recommended; inferred_fp; surviving; property_count;
+    pca_points; pca_separation;
+    infer_seconds = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,84 @@
+(** The four-phase SCIFinder pipeline (the paper's Figure 1):
+    invariant generation, errata classification (data in [Bugs]),
+    SCI identification, and SCI inference — plus the measurements behind
+    the evaluation tables. *)
+
+val time : (unit -> 'a) -> 'a * float
+
+(** {1 Phase 1: invariant generation (§3.1, Figure 3)} *)
+
+type figure3_row = {
+  group_label : string;
+  unmodified : int;  (** invariants shared with the previous snapshot *)
+  fresh : int;       (** newly justified *)
+  deleted : int;     (** falsified by the new trace *)
+  total : int;
+}
+
+type mining = {
+  invariants : Invariant.Expr.t list;  (** the raw invariant set *)
+  figure3 : figure3_row list;
+  record_count : int;
+  trace_bytes : int;                   (** the "26 GB of trace data" analogue *)
+  mnemonic_coverage : string list;     (** instructions never observed; want [] *)
+  seconds : float;
+}
+
+val mine :
+  ?config:Daikon.Config.t ->
+  ?workloads:Workloads.Rt.t list ->
+  ?groups:string list list ->
+  ?labels:string list ->
+  unit -> mining
+(** Trace the corpus cumulatively (default: the 17 programs in Figure 3
+    order), snapshotting the invariant set after each group. *)
+
+(** {1 §3.2 optimisation (Table 2)} *)
+
+type optimization = {
+  result : Invopt.Pipeline.result;
+  opt_seconds : float;
+}
+
+val optimize : Invariant.Expr.t list -> optimization
+
+(** {1 Phase 3: identification (Table 3)} *)
+
+type identification = {
+  summary : Sci.Identify.summary;
+  ident_seconds : float;
+}
+
+val identify :
+  invariants:Invariant.Expr.t list -> Bugs.Registry.t list -> identification
+
+(** {1 Phase 4: inference (§3.4, §5.3; Tables 4-5, Figure 4)} *)
+
+type inference = {
+  space : Invariant.Feature.space;
+  model : Ml.Logreg.model;
+  chosen_lambda : float;        (** lambda.1se-style choice from 3-fold CV *)
+  cv_accuracy : float;
+  test_accuracy : float;        (** on the held-out 30 % (paper: 90 %) *)
+  labeled_sci : int;
+  labeled_non_sci : int;
+  selected_features : (string * float) list;
+      (** Table 4: negative weights are SCI-associated *)
+  recommended : Invariant.Expr.t list;
+      (** unlabeled invariants the model flags as security critical *)
+  inferred_fp : Invariant.Expr.t list;
+      (** rejected by the expert-validation oracle *)
+  surviving : Invariant.Expr.t list;
+  property_count : int;         (** Table 5's shape-class count *)
+  pca_points : (float array * int) list;
+      (** Figure 4: (PC1/PC2 projection, 1 = security critical) *)
+  pca_separation : float;
+  infer_seconds : float;
+}
+
+val infer :
+  ?seed:int -> ?alpha:float ->
+  all_invariants:Invariant.Expr.t list ->
+  Sci.Identify.summary -> inference
+(** [alpha] defaults to the paper's 0.5; class balance, the 70/30 split
+    and CV folds all derive from [seed]. *)

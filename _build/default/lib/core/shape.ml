@@ -1,0 +1,109 @@
+(* Shape normalisation: SCI that differ only in the specific general
+   purpose register (other than GPR0), the specific program point of the
+   same instruction family, or an incidental constant, express the same
+   security property. The paper relies on the same idea: "a single SCI can
+   concisely represent multiple manually written security properties"
+   (§5.4) and the 3,146 inferred SCI "can be concisely described as 33
+   security properties" (Table 5). *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+(* Normalise a variable name: GPRn (n > 0) collapses to GPR*, in both
+   orig and post forms. GPR0 is kept: the zero register is architectural. *)
+(* The orig()/post distinction and the PC/NPC/NNPC pipeline of counters do
+   not differentiate *properties*: "NPC = orig(NNPC)" and "PC = orig(NPC)"
+   both say control flow is continuous. *)
+let norm_var id =
+  let base = Var.id_base_name id in
+  if String.length base > 3
+  && String.sub base 0 3 = "GPR"
+  && not (String.equal base "GPR0")
+  && not (String.equal base "GPR9") (* the link register is special *)
+  then "GPR*"
+  else
+    match base with
+    | "SF" | "CY" | "OV" -> "FLAG*"        (* condition/arithmetic flags *)
+    | "TEE" | "IEE" -> "XEE*"              (* exception-enable bits *)
+    | "MACHI" | "MACLO" -> "MAC*"
+    | "PC" | "NPC" | "NNPC" -> "PC*"
+    | other -> other
+
+(* Normalise a constant: exception vectors and a few structural constants
+   are meaningful; everything else collapses to K. *)
+let norm_const c =
+  if c >= 0x100 && c <= 0xF04 && c land 0xFF <= 0x04 then Printf.sprintf "0x%X" c
+  else if c = 0 || c = 1 then string_of_int c
+  else "K"
+
+let norm_term = function
+  | Expr.V id -> norm_var id
+  | Expr.Imm c -> norm_const c
+  | Expr.Mul (id, k) -> Printf.sprintf "%s*%s" (norm_var id) (norm_const k)
+  | Expr.Mod (id, k) -> Printf.sprintf "%s mod %d" (norm_var id) k
+  | Expr.Notv id -> Printf.sprintf "not %s" (norm_var id)
+  | Expr.Bin (op, a, b) ->
+    let na = norm_var a and nb = norm_var b in
+    (match op with
+     | Expr.Band | Expr.Bor | Expr.Plus ->
+       let x, y = if String.compare na nb <= 0 then (na, nb) else (nb, na) in
+       Printf.sprintf "(%s %s %s)" x (Expr.op2_name op) y
+     | Expr.Minus -> Printf.sprintf "(%s - %s)" na nb)
+
+(* Instruction family: points whose invariants express the same property
+   are grouped (all loads, all stores, all set-flag compares, ...). *)
+let point_family point =
+  match point with
+  | "l.lwz" | "l.lws" | "l.lbz" | "l.lbs" | "l.lhz" | "l.lhs" -> "load"
+  | "l.sw" | "l.sb" | "l.sh" -> "store"
+  | "l.j" | "l.jal" | "l.jr" | "l.jalr" | "l.bf" | "l.bnf" -> "jump"
+  | "l.sys" | "l.trap" | "illegal" -> "exception"
+  | "l.mtspr" | "l.mfspr" -> "sprmove"
+  | "l.extbs" | "l.extbz" | "l.exths" | "l.exthz" | "l.extws" | "l.extwz" -> "extend"
+  | "l.rfe" -> "l.rfe"
+  | p when String.length p > 3 && String.sub p 0 4 = "l.sf" -> "setflag"
+  | _ -> "compute" (* the plain ALU/move/mac instructions *)
+
+let body_key = function
+  | Expr.Cmp (op, lhs, rhs) ->
+    let sl = norm_term lhs and sr = norm_term rhs in
+    (match op with
+     | Expr.Eq | Expr.Ne ->
+       let x, y = if String.compare sl sr <= 0 then (sl, sr) else (sr, sl) in
+       Printf.sprintf "%s %s %s" x (Expr.cmp_name op) y
+     | Expr.Lt | Expr.Le -> Printf.sprintf "%s %s %s" sl (Expr.cmp_name op) sr
+     | Expr.Gt -> Printf.sprintf "%s < %s" sr sl
+     | Expr.Ge -> Printf.sprintf "%s <= %s" sr sl)
+  | Expr.In (term, _) -> Printf.sprintf "%s in {...}" (norm_term term)
+
+(* The class key is the normalised body alone. The instruction family is
+   already reflected where it matters (family-specific variables such as
+   MEMBUS or PROD_U only occur at their own points); keying on it would
+   multiply every universal property (register framing, control-flow
+   continuity, GPR0 = 0, ...) by the number of families. *)
+let key (inv : Expr.t) = body_key inv.Expr.body
+
+(* Group invariants into shape classes; each class keeps its members in
+   input order. *)
+let group invariants =
+  let table = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun inv ->
+       let k = key inv in
+       match Hashtbl.find_opt table k with
+       | None ->
+         order := k :: !order;
+         Hashtbl.add table k [ inv ]
+       | Some members -> Hashtbl.replace table k (inv :: members))
+    invariants;
+  List.map (fun k -> (k, List.rev (Hashtbl.find table k))) (List.rev !order)
+
+let class_count invariants = List.length (group invariants)
+
+(* One representative per shape class (the first member). *)
+let representatives invariants =
+  List.filter_map (fun (_, members) -> match members with
+      | [] -> None
+      | first :: _ -> Some first)
+    (group invariants)

@@ -1,0 +1,30 @@
+(** Shape normalisation: SCI that differ only in the specific general
+    purpose register (other than GPR0 and the link register), the member
+    of the PC/NPC/NNPC family, the orig()/post side, an incidental
+    constant, or the instruction within a family express the same
+    *security property*. The paper relies on the same collapse: 3,146
+    inferred SCI "can be concisely described as 33 security properties"
+    (Table 5). *)
+
+val norm_var : Trace.Var.id -> string
+
+val norm_const : int -> string
+(** Exception vectors and 0/1 are meaningful; other constants are [K]. *)
+
+val point_family : string -> string
+(** load / store / jump / exception / sprmove / extend / setflag /
+    l.rfe / compute. *)
+
+val body_key : Invariant.Expr.body -> string
+
+val key : Invariant.Expr.t -> string
+(** The property-class key of an invariant. *)
+
+val group : Invariant.Expr.t list -> (string * Invariant.Expr.t list) list
+(** Invariants by class, both in first-seen order. *)
+
+val class_count : Invariant.Expr.t list -> int
+(** The "security properties" count of Table 5. *)
+
+val representatives : Invariant.Expr.t list -> Invariant.Expr.t list
+(** One invariant per class: the assertion battery of Table 9. *)

@@ -1,0 +1,1 @@
+lib/cpu/machine.ml: Array Code Fault Insn Int64 Isa Memory Spr Util

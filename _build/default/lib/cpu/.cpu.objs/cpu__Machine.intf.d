@@ -1,0 +1,1 @@
+lib/cpu/machine.mli: Fault Isa Memory

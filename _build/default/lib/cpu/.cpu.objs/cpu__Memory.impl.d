@@ -1,0 +1,1 @@
+lib/cpu/memory.ml: Bytes Char List

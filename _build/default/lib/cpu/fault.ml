@@ -1,0 +1,128 @@
+(* Fault injection interface.
+
+   The paper's phase 3 reproduces each published erratum "in an open source
+   processor (in Verilog), creating a buggy processor" (§3.3). Our analogue:
+   a fault is a set of hooks that perturb the ISA-level semantics at well
+   defined points of [Machine.step]. The clean processor runs with [none];
+   a buggy processor runs with the hooks of one (or more) bugs installed.
+
+   Hooks receive enough context to express every bug in Table 1 and the
+   held-out AMD-style errata of §5.6. Unused hooks are identities. *)
+
+type exn_kind = Isa.Spr.Vector.kind
+
+type fetch_ctx = {
+  fetch_pc : int;
+  (* Previously retired instruction, if any: several errata are triggered by
+     an instruction sequence (LSU stall, l.macrc after l.mac, ...). *)
+  prev_insn : Isa.Insn.t option;
+  prev_word : int;
+}
+
+type exn_ctx = {
+  kind : exn_kind;
+  faulting_pc : int;       (* address of the instruction raising *)
+  next_pc : int;           (* address of the next unexecuted instruction *)
+  in_delay_slot : bool;
+  branch_pc : int;         (* address of the branch when in a delay slot *)
+}
+
+type t = {
+  name : string;
+  (* Corrupt the fetched instruction word. *)
+  on_fetch : fetch_ctx -> int -> int;
+  (* Replace the decoded instruction (e.g. treat it as a nop). *)
+  on_decode : Isa.Insn.t -> Isa.Insn.t;
+  (* Override an ALU/extend result. *)
+  on_alu : Isa.Insn.t -> int -> int;
+  (* Override a set-flag comparison result. *)
+  on_compare : Isa.Insn.sf_op -> a:int -> b:int -> bool -> bool;
+  (* Perturb a computed load/store effective address. *)
+  on_eff_addr : Isa.Insn.t -> int -> int;
+  (* Corrupt a loaded value (after extension). [addr] is the effective
+     address, [raw] the unextended memory data. *)
+  on_load : Isa.Insn.t -> addr:int -> raw:int -> int -> int;
+  (* Corrupt a stored value. [exec_pc] allows region-dependent bugs. *)
+  on_store : Isa.Insn.t -> addr:int -> exec_pc:int -> int -> int;
+  (* Corrupt the value written back to a GPR (including the link
+     register written by l.jal / l.jalr). *)
+  on_writeback : Isa.Insn.t -> reg:int -> pc:int -> int -> int;
+  (* Allow architectural zero register writes (bug b10). *)
+  allow_gpr0_write : bool;
+  (* Turn an l.mtspr into a no-op for the given SPR address (bug b12). *)
+  mtspr_is_nop : spr_addr:int -> bool;
+  (* Suppress an exception entirely: the instruction completes as if the
+     exception had not been requested (bug b8's exploit face). *)
+  suppress_exception : exn_ctx -> prev:Isa.Insn.t option -> bool;
+  (* Corrupt the EPCR value saved on exception entry. *)
+  on_exception_epcr : exn_ctx -> int -> int;
+  (* Corrupt the SR value installed on exception entry (after the
+     architectural SM/IEE/TEE/DSX updates). *)
+  on_exception_sr : exn_ctx -> int -> int;
+  (* Corrupt the vector address control transfers to. *)
+  on_exception_vector : exn_ctx -> int -> int;
+  (* Corrupt the SR restored by l.rfe. *)
+  on_rfe_sr : int -> int;
+  (* Corrupt the PC restored by l.rfe. *)
+  on_rfe_pc : int -> int;
+  (* b1: an l.sys in a delay slot loops instead of vectoring. *)
+  syscall_in_delay_slot_loops : bool;
+  (* b2: l.macrc immediately after l.mac wedges the pipeline. *)
+  macrc_after_mac_stalls : bool;
+  (* b17: a store immediately after a load clobbers the load's destination
+     register with the store data. Returns the GPR index to clobber. *)
+  store_after_load_clobbers : prev:Isa.Insn.t option -> Isa.Insn.t -> int option;
+}
+
+let none = {
+  name = "none";
+  on_fetch = (fun _ w -> w);
+  on_decode = (fun i -> i);
+  on_alu = (fun _ r -> r);
+  on_compare = (fun _ ~a:_ ~b:_ r -> r);
+  on_eff_addr = (fun _ a -> a);
+  on_load = (fun _ ~addr:_ ~raw:_ v -> v);
+  on_store = (fun _ ~addr:_ ~exec_pc:_ v -> v);
+  on_writeback = (fun _ ~reg:_ ~pc:_ v -> v);
+  allow_gpr0_write = false;
+  mtspr_is_nop = (fun ~spr_addr:_ -> false);
+  suppress_exception = (fun _ ~prev:_ -> false);
+  on_exception_epcr = (fun _ v -> v);
+  on_exception_sr = (fun _ v -> v);
+  on_exception_vector = (fun _ v -> v);
+  on_rfe_sr = (fun v -> v);
+  on_rfe_pc = (fun v -> v);
+  syscall_in_delay_slot_loops = false;
+  macrc_after_mac_stalls = false;
+  store_after_load_clobbers = (fun ~prev:_ _ -> None);
+}
+
+(* Compose two faults; [a]'s hooks run first (inner), then [b]'s. Used when
+   a processor carries several injected bugs at once (§5.6 random-split
+   experiment installs one bug at a time, but composition keeps the
+   interface closed). *)
+let compose a b = {
+  name = a.name ^ "+" ^ b.name;
+  on_fetch = (fun ctx w -> b.on_fetch ctx (a.on_fetch ctx w));
+  on_decode = (fun i -> b.on_decode (a.on_decode i));
+  on_alu = (fun i r -> b.on_alu i (a.on_alu i r));
+  on_compare = (fun op ~a:x ~b:y r -> b.on_compare op ~a:x ~b:y (a.on_compare op ~a:x ~b:y r));
+  on_eff_addr = (fun i ad -> b.on_eff_addr i (a.on_eff_addr i ad));
+  on_load = (fun i ~addr ~raw v -> b.on_load i ~addr ~raw (a.on_load i ~addr ~raw v));
+  on_store = (fun i ~addr ~exec_pc v -> b.on_store i ~addr ~exec_pc (a.on_store i ~addr ~exec_pc v));
+  on_writeback = (fun i ~reg ~pc v -> b.on_writeback i ~reg ~pc (a.on_writeback i ~reg ~pc v));
+  allow_gpr0_write = a.allow_gpr0_write || b.allow_gpr0_write;
+  mtspr_is_nop = (fun ~spr_addr -> a.mtspr_is_nop ~spr_addr || b.mtspr_is_nop ~spr_addr);
+  suppress_exception = (fun c ~prev -> a.suppress_exception c ~prev || b.suppress_exception c ~prev);
+  on_exception_epcr = (fun c v -> b.on_exception_epcr c (a.on_exception_epcr c v));
+  on_exception_sr = (fun c v -> b.on_exception_sr c (a.on_exception_sr c v));
+  on_exception_vector = (fun c v -> b.on_exception_vector c (a.on_exception_vector c v));
+  on_rfe_sr = (fun v -> b.on_rfe_sr (a.on_rfe_sr v));
+  on_rfe_pc = (fun v -> b.on_rfe_pc (a.on_rfe_pc v));
+  syscall_in_delay_slot_loops = a.syscall_in_delay_slot_loops || b.syscall_in_delay_slot_loops;
+  macrc_after_mac_stalls = a.macrc_after_mac_stalls || b.macrc_after_mac_stalls;
+  store_after_load_clobbers = (fun ~prev i ->
+    match a.store_after_load_clobbers ~prev i with
+    | Some r -> Some r
+    | None -> b.store_after_load_clobbers ~prev i);
+}

@@ -1,0 +1,73 @@
+(** Fault injection: the "buggy processor" of §3.3.
+
+    A fault is a set of hooks that perturb the ISA-level semantics at well
+    defined points of {!Machine.step}. The clean processor runs with
+    {!none}; reproduced errata install their own hooks (see [Bugs]).
+    Unused hooks are identities. *)
+
+type exn_kind = Isa.Spr.Vector.kind
+
+type fetch_ctx = {
+  fetch_pc : int;
+  prev_insn : Isa.Insn.t option;
+      (** previously retired instruction: sequence-triggered errata *)
+  prev_word : int;
+}
+
+type exn_ctx = {
+  kind : exn_kind;
+  faulting_pc : int;   (** address of the instruction raising *)
+  next_pc : int;       (** address of the next unexecuted instruction *)
+  in_delay_slot : bool;
+  branch_pc : int;     (** address of the branch when in a delay slot *)
+}
+
+type t = {
+  name : string;
+  on_fetch : fetch_ctx -> int -> int;
+      (** corrupt the fetched instruction word *)
+  on_decode : Isa.Insn.t -> Isa.Insn.t;
+      (** replace the decoded instruction *)
+  on_alu : Isa.Insn.t -> int -> int;
+      (** override an ALU/extend result *)
+  on_compare : Isa.Insn.sf_op -> a:int -> b:int -> bool -> bool;
+      (** override a set-flag comparison *)
+  on_eff_addr : Isa.Insn.t -> int -> int;
+      (** perturb a load/store effective address *)
+  on_load : Isa.Insn.t -> addr:int -> raw:int -> int -> int;
+      (** corrupt a loaded value (after extension); [raw] is the
+          unextended memory datum *)
+  on_store : Isa.Insn.t -> addr:int -> exec_pc:int -> int -> int;
+      (** corrupt a stored value; [exec_pc] allows region-dependent bugs *)
+  on_writeback : Isa.Insn.t -> reg:int -> pc:int -> int -> int;
+      (** corrupt a GPR writeback, including l.jal's link value *)
+  allow_gpr0_write : bool;
+      (** bug b10: the architectural zero register becomes writable *)
+  mtspr_is_nop : spr_addr:int -> bool;
+      (** bug b12: l.mtspr to the given SPR silently dropped *)
+  suppress_exception : exn_ctx -> prev:Isa.Insn.t option -> bool;
+      (** drop a requested exception entirely (bug b8's exploit face) *)
+  on_exception_epcr : exn_ctx -> int -> int;
+      (** corrupt the EPCR saved on exception entry *)
+  on_exception_sr : exn_ctx -> int -> int;
+      (** corrupt the SR installed on exception entry *)
+  on_exception_vector : exn_ctx -> int -> int;
+      (** corrupt the vector address *)
+  on_rfe_sr : int -> int;
+      (** corrupt the SR restored by l.rfe *)
+  on_rfe_pc : int -> int;
+      (** corrupt the PC restored by l.rfe *)
+  syscall_in_delay_slot_loops : bool;
+      (** bug b1 *)
+  macrc_after_mac_stalls : bool;
+      (** bug b2 *)
+  store_after_load_clobbers : prev:Isa.Insn.t option -> Isa.Insn.t -> int option;
+      (** bug b17: the GPR to clobber with the store data *)
+}
+
+val none : t
+(** The identity fault: the clean processor. *)
+
+val compose : t -> t -> t
+(** [compose a b] runs [a]'s hooks first (inner), then [b]'s; boolean
+    switches are or-combined. *)

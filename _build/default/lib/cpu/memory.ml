@@ -1,0 +1,62 @@
+(* Flat big-endian memory with two regions mirroring the OR1200 SoC used in
+   the paper's evaluation platform: on-chip SRAM at the bottom of the address
+   space and SDRAM above it. The region distinction matters only to bug b14
+   ("byte and half-word write to SRAM failure when executing from SDRAM"). *)
+
+type t = { data : Bytes.t; size : int }
+
+let sram_base = 0x0000_0000
+let sdram_base = 0x0010_0000
+let default_size = 0x0020_0000 (* 2 MiB *)
+
+type region = Sram | Sdram
+
+let region_of addr = if addr >= sdram_base then Sdram else Sram
+
+let create ?(size = default_size) () =
+  { data = Bytes.make size '\000'; size }
+
+let in_bounds t addr width = addr >= 0 && addr + width <= t.size
+
+exception Bus_error of int
+
+let check t addr width =
+  if not (in_bounds t addr width) then raise (Bus_error addr)
+
+let read8 t addr =
+  check t addr 1;
+  Char.code (Bytes.get t.data addr)
+
+let write8 t addr v =
+  check t addr 1;
+  Bytes.set t.data addr (Char.chr (v land 0xFF))
+
+let read16 t addr =
+  check t addr 2;
+  (read8 t addr lsl 8) lor read8 t (addr + 1)
+
+let write16 t addr v =
+  check t addr 2;
+  write8 t addr (v lsr 8);
+  write8 t (addr + 1) v
+
+let read32 t addr =
+  check t addr 4;
+  (read8 t addr lsl 24) lor (read8 t (addr + 1) lsl 16)
+  lor (read8 t (addr + 2) lsl 8) lor read8 t (addr + 3)
+
+let write32 t addr v =
+  check t addr 4;
+  write8 t addr (v lsr 24);
+  write8 t (addr + 1) (v lsr 16);
+  write8 t (addr + 2) (v lsr 8);
+  write8 t (addr + 3) v
+
+(* Read a word for tracing without raising: out-of-bounds reads as 0. *)
+let peek32 t addr =
+  if in_bounds t addr 4 && addr land 3 = 0 then read32 t addr else 0
+
+let load_image t image =
+  List.iter (fun (addr, word) -> write32 t addr word) image
+
+let size t = t.size

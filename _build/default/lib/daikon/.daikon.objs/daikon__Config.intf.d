@@ -1,0 +1,1 @@
+lib/daikon/config.mli:

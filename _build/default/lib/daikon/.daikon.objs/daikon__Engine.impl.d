@@ -1,0 +1,1 @@
+lib/daikon/engine.ml: Array Config Hashtbl Invariant List Trace Util

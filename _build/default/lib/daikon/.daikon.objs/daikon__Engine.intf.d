@@ -1,0 +1,1 @@
+lib/daikon/engine.mli: Config Invariant Trace

@@ -1,0 +1,52 @@
+(* Tuning knobs of the invariant detector.
+
+   The paper configures Daikon "with a confidence limit of 0.99, reducing
+   the risk of generating false-positive invariants that hold by chance"
+   (§5.1). For each template the confidence requirement translates into a
+   minimum number of supporting samples before the invariant is reported;
+   the defaults below correspond to the conservative setting. *)
+
+type t = {
+  (* Minimum observations of a program point before any invariant over it
+     is justified. *)
+  min_samples : int;
+  (* Minimum samples for an ordering invariant (<, <=, >, >=). *)
+  order_min : int;
+  (* Minimum samples for a disequality: <> holds by chance very easily, so
+     its confidence bar is the highest. *)
+  ne_min : int;
+  (* Minimum samples for OneOf (set inclusion) invariants. *)
+  oneof_min : int;
+  (* Maximum cardinality of an In {...} set. *)
+  max_oneof : int;
+  (* Minimum samples for mod-alignment and bound invariants. *)
+  mod_min : int;
+  (* Minimum non-zero samples supporting a scaling invariant Y = X * k. *)
+  scale_nonzero_min : int;
+  (* Largest |constant| admitted in "Y - X = imm" difference invariants. *)
+  max_diff : int;
+}
+
+let default = {
+  min_samples = 5;
+  order_min = 8;
+  ne_min = 20;
+  oneof_min = 8;
+  max_oneof = 3;
+  mod_min = 8;
+  scale_nonzero_min = 3;
+  max_diff = 65536;
+}
+
+(* A permissive configuration used in tests to exercise templates with
+   tiny hand-built traces. *)
+let relaxed = {
+  min_samples = 2;
+  order_min = 2;
+  ne_min = 4;
+  oneof_min = 2;
+  max_oneof = 3;
+  mod_min = 2;
+  scale_nonzero_min = 1;
+  max_diff = 65536;
+}

@@ -1,0 +1,20 @@
+(** Tuning knobs of the invariant detector. The paper configures Daikon
+    "with a confidence limit of 0.99" (§5.1); each template's confidence
+    requirement translates into a minimum number of supporting samples. *)
+
+type t = {
+  min_samples : int;        (** floor for any invariant of a point *)
+  order_min : int;          (** <, <=, >, >= *)
+  ne_min : int;             (** <> holds by chance easily: highest bar *)
+  oneof_min : int;          (** In {...} value sets *)
+  max_oneof : int;          (** maximum cardinality of a value set *)
+  mod_min : int;            (** mod-alignment and bound invariants *)
+  scale_nonzero_min : int;  (** non-zero samples behind Y = X * k *)
+  max_diff : int;           (** largest |c| in "Y - X = c" *)
+}
+
+val default : t
+(** The conservative, paper-faithful setting. *)
+
+val relaxed : t
+(** Permissive thresholds for unit tests over tiny hand-built traces. *)

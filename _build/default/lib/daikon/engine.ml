@@ -1,0 +1,354 @@
+(* The dynamic invariant detector (the paper's modified Daikon, §3.1.2).
+
+   The engine is incremental: records stream in via [observe]; candidate
+   invariants are tracked per program point and falsified on the fly, in
+   the style of Daikon's inference engine. [invariants] extracts the
+   currently justified set at any time, which is how the Figure 3
+   program-by-program convergence series is produced. *)
+
+module Var = Trace.Var
+module Expr = Invariant.Expr
+
+(* Template-policy bits controlling which invariants a variable pair may
+   yield, by comparability kind (Daikon's comparability analysis). *)
+let p_order = 1
+let p_eq = 2
+let p_ne = 4
+let p_diff = 8
+let p_scale = 16
+
+let pair_policy ki kj =
+  let open Var in
+  match ki, kj with
+  | Data, Data -> p_order lor p_eq lor p_ne lor p_diff lor p_scale
+  | Addr, Addr -> p_order lor p_eq lor p_diff
+  | Addr, Data | Data, Addr -> p_eq lor p_diff lor p_scale
+  | Flag, Flag -> p_eq lor p_ne
+  | Srword, Srword -> p_eq
+  | Regidx, Regidx -> p_eq lor p_order
+  | Imm, Data | Data, Imm -> p_eq lor p_diff lor p_scale
+  | (Addr | Data | Srword | Flag | Regidx | Imm | Diff), _ -> 0
+
+(* Per-variable value statistics. *)
+type vstat = {
+  mutable vmin : int;
+  mutable vmax : int;
+  (* Distinct values in observation order; length capped. *)
+  mutable values : int list;
+  mutable ndistinct : int; (* -1 once more than max_oneof+1 seen *)
+  mutable mod4 : int;      (* residue, or -1 once falsified *)
+  mutable mod2 : int;
+}
+
+(* Relation bits observed for a pair. *)
+let r_lt = 1
+let r_eq = 2
+let r_gt = 4
+
+type ptracker = {
+  pi : int;                 (* var id, pi < pj *)
+  pj : int;
+  policy : int;
+  mutable rel : int;
+  mutable diff : int;       (* signed (vj - vi) *)
+  mutable diff_live : bool;
+  mutable scale_ij : int;   (* bitmask over k in {2,4,8}: vj = vi * k *)
+  mutable scale_ji : int;   (* vi = vj * k *)
+  mutable scale_nonzero : int;
+}
+
+type point_state = {
+  pname : string;
+  vars : int array;           (* applicable var ids *)
+  stats : vstat option array; (* length Var.total; Some for applicable *)
+  pairs : ptracker array;
+  mutable n : int;
+}
+
+type t = {
+  config : Config.t;
+  points : (string, point_state) Hashtbl.t;
+  mutable nrecords : int;
+}
+
+let create ?(config = Config.default) () =
+  { config; points = Hashtbl.create 97; nrecords = 0 }
+
+let record_count t = t.nrecords
+let point_count t = Hashtbl.length t.points
+let points t = Hashtbl.fold (fun k _ acc -> k :: acc) t.points []
+
+(* Scale factors for Y = X * k: small word/index scalings plus the
+   half-word and sign-replication factors used by l.movhi and the
+   sign-extending loads. *)
+let scale_candidates = [| 2; 4; 8; 0x10000; 0xFFFF; 0xFF_FFFF |]
+let full_scale_mask = 0x3F
+
+let new_point config name (mask : bool array) values =
+  ignore config;
+  let vars =
+    Var.all_ids
+    |> List.filter (fun id -> mask.(id))
+    |> Array.of_list
+  in
+  let stats = Array.make Var.total None in
+  Array.iter
+    (fun id ->
+       let v = values.(id) in
+       stats.(id) <- Some {
+         vmin = v; vmax = v;
+         values = [ v ]; ndistinct = 1;
+         mod4 = (if Var.id_kind id = Var.Addr then v land 3 else -1);
+         mod2 = (if Var.id_kind id = Var.Addr then v land 1 else -1);
+       })
+    vars;
+  let pairs = ref [] in
+  let nv = Array.length vars in
+  for a = 0 to nv - 1 do
+    for b = a + 1 to nv - 1 do
+      let i = vars.(a) and j = vars.(b) in
+      let policy = pair_policy (Var.id_kind i) (Var.id_kind j) in
+      if policy <> 0 then
+        pairs := { pi = i; pj = j; policy;
+                   rel = 0; diff = 0; diff_live = false;
+                   scale_ij = full_scale_mask; scale_ji = full_scale_mask;
+                   scale_nonzero = 0 }
+                 :: !pairs
+    done
+  done;
+  { pname = name; vars; stats; pairs = Array.of_list !pairs; n = 0 }
+
+let update_vstat max_oneof st v =
+  if v < st.vmin then st.vmin <- v;
+  if v > st.vmax then st.vmax <- v;
+  if st.ndistinct >= 0 && not (List.mem v st.values) then begin
+    if st.ndistinct >= max_oneof then begin
+      st.values <- [];
+      st.ndistinct <- -1
+    end else begin
+      st.values <- v :: st.values;
+      st.ndistinct <- st.ndistinct + 1
+    end
+  end;
+  if st.mod4 >= 0 && v land 3 <> st.mod4 then st.mod4 <- -1;
+  if st.mod2 >= 0 && v land 1 <> st.mod2 then st.mod2 <- -1
+
+let update_pair first p vi vj =
+  (* relation *)
+  if vi < vj then p.rel <- p.rel lor r_lt
+  else if vi = vj then p.rel <- p.rel lor r_eq
+  else p.rel <- p.rel lor r_gt;
+  (* constant difference *)
+  if p.policy land p_diff <> 0 then begin
+    let d = Util.U32.signed (Util.U32.sub vj vi) in
+    if first then begin p.diff <- d; p.diff_live <- true end
+    else if p.diff_live && p.diff <> d then p.diff_live <- false
+  end;
+  (* scaling *)
+  if p.policy land p_scale <> 0
+  && (p.scale_ij <> 0 || p.scale_ji <> 0) then begin
+    if vi <> 0 || vj <> 0 then p.scale_nonzero <- p.scale_nonzero + 1;
+    if p.scale_ij <> 0 then begin
+      let m = ref p.scale_ij in
+      Array.iteri
+        (fun bit k ->
+           if !m land (1 lsl bit) <> 0 && Util.U32.mul vi k <> vj then
+             m := !m land lnot (1 lsl bit))
+        scale_candidates;
+      p.scale_ij <- !m
+    end;
+    if p.scale_ji <> 0 then begin
+      let m = ref p.scale_ji in
+      Array.iteri
+        (fun bit k ->
+           if !m land (1 lsl bit) <> 0 && Util.U32.mul vj k <> vi then
+             m := !m land lnot (1 lsl bit))
+        scale_candidates;
+      p.scale_ji <- !m
+    end
+  end
+
+let observe t (record : Trace.Record.t) =
+  t.nrecords <- t.nrecords + 1;
+  let values = record.values in
+  let st =
+    match Hashtbl.find_opt t.points record.point with
+    | Some st -> st
+    | None ->
+      let st = new_point t.config record.point record.mask values in
+      Hashtbl.add t.points record.point st;
+      st
+  in
+  let first = st.n = 0 in
+  st.n <- st.n + 1;
+  if first then
+    (* The stats were initialised from this record's values. *)
+    ()
+  else
+    Array.iter
+      (fun id ->
+         match st.stats.(id) with
+         | Some vs -> update_vstat t.config.Config.max_oneof vs values.(id)
+         | None -> ())
+      st.vars;
+  let pairs = st.pairs in
+  for k = 0 to Array.length pairs - 1 do
+    let p = pairs.(k) in
+    update_pair first p values.(p.pi) values.(p.pj)
+  done
+
+(* ---- Extraction ---- *)
+
+let is_constant st = st.ndistinct = 1
+
+let constant_value st =
+  match st.values with [ v ] -> v | _ -> invalid_arg "constant_value"
+
+let extract_point config st acc =
+  let cfg = config in
+  let add inv acc = inv :: acc in
+  if st.n < cfg.Config.min_samples then acc
+  else begin
+    let acc = ref acc in
+    let point = st.pname in
+    (* Daikon-style equality-set suppression: among constant variables that
+       share a value, only one leader per orig()/post side participates in
+       pair invariants; the rest are fully described by their constancy.
+       (orig and post variables live in separate equality sets, as in
+       Daikon; the cross-side redundancy that survives here is what the
+       §3.2 constant-propagation and equivalence-removal passes exist to
+       clean up.) *)
+    let leaders = Hashtbl.create 32 in
+    Array.iter
+      (fun id ->
+         match st.stats.(id) with
+         | Some vs when is_constant vs ->
+           let key = (constant_value vs, Var.is_orig id) in
+           if not (Hashtbl.mem leaders key) then Hashtbl.replace leaders key id
+         | Some _ | None -> ())
+      st.vars;
+    let is_pair_leader id =
+      match st.stats.(id) with
+      | Some vs when is_constant vs ->
+        Hashtbl.find_opt leaders (constant_value vs, Var.is_orig id) = Some id
+      | Some _ -> true
+      | None -> false
+    in
+    (* Unary invariants. *)
+    Array.iter
+      (fun id ->
+         match st.stats.(id) with
+         | None -> ()
+         | Some vs ->
+           if is_constant vs then
+             acc := add { Expr.point; body = Expr.Cmp (Expr.Eq, Expr.V id, Expr.Imm (constant_value vs)) } !acc
+           else begin
+             if vs.ndistinct > 1 && st.n >= cfg.oneof_min then
+               acc := add { Expr.point;
+                            body = Expr.In (Expr.V id, List.sort compare vs.values) } !acc;
+             if st.n >= cfg.mod_min then begin
+               if vs.mod4 >= 0 then
+                 acc := add { Expr.point;
+                              body = Expr.Cmp (Expr.Eq, Expr.Mod (id, 4), Expr.Imm vs.mod4) } !acc
+               else if vs.mod2 >= 0 then
+                 acc := add { Expr.point;
+                              body = Expr.Cmp (Expr.Eq, Expr.Mod (id, 2), Expr.Imm vs.mod2) } !acc
+             end;
+             (* Signed bounds for derived difference variables. *)
+             if Var.id_kind id = Var.Diff && st.n >= cfg.mod_min then begin
+               let lower =
+                 if vs.vmin >= 1 then Some 1
+                 else if vs.vmin >= 0 then Some 0
+                 else if vs.vmin >= -1 then Some (-1)
+                 else None
+               and upper =
+                 if vs.vmax <= -1 then Some (-1)
+                 else if vs.vmax <= 0 then Some 0
+                 else if vs.vmax <= 1 then Some 1
+                 else None
+               in
+               (match lower with
+                | Some b ->
+                  acc := add { Expr.point;
+                               body = Expr.Cmp (Expr.Ge, Expr.V id, Expr.Imm b) } !acc
+                | None -> ());
+               (match upper with
+                | Some b ->
+                  acc := add { Expr.point;
+                               body = Expr.Cmp (Expr.Le, Expr.V id, Expr.Imm b) } !acc
+                | None -> ())
+             end
+           end)
+      st.vars;
+    (* Pairwise invariants. *)
+    Array.iter
+      (fun p ->
+         let si = st.stats.(p.pi) and sj = st.stats.(p.pj) in
+         match si, sj with
+         | Some si, Some sj ->
+           let both_const = is_constant si && is_constant sj in
+           if not both_const
+           && is_pair_leader p.pi && is_pair_leader p.pj then begin
+             let n = st.n in
+             (* Ordering / equality / disequality. *)
+             let emit_cmp op =
+               acc := add { Expr.point;
+                            body = Expr.Cmp (op, Expr.V p.pi, Expr.V p.pj) } !acc
+             in
+             (match p.rel with
+              | 2 when p.policy land p_eq <> 0 && n >= cfg.min_samples ->
+                emit_cmp Expr.Eq
+              | 1 when p.policy land p_order <> 0 && n >= cfg.order_min ->
+                emit_cmp Expr.Lt
+              | 3 when p.policy land p_order <> 0 && n >= cfg.order_min ->
+                emit_cmp Expr.Le
+              | 4 when p.policy land p_order <> 0 && n >= cfg.order_min ->
+                emit_cmp Expr.Gt
+              | 6 when p.policy land p_order <> 0 && n >= cfg.order_min ->
+                emit_cmp Expr.Ge
+              | 5 when p.policy land p_ne <> 0 && n >= cfg.ne_min ->
+                emit_cmp Expr.Ne
+              | _ -> ());
+             (* Constant difference, skipping the d = 0 case (that is Eq). *)
+             if p.diff_live && p.diff <> 0 && abs p.diff <= cfg.max_diff
+             && p.policy land p_diff <> 0 && n >= cfg.min_samples then
+               acc := add { Expr.point;
+                            body = Expr.Cmp (Expr.Eq,
+                                             Expr.Bin (Expr.Minus, p.pj, p.pi),
+                                             Expr.Imm p.diff) } !acc;
+             (* Scaling Y = X * k (pick the smallest surviving k). *)
+             if p.policy land p_scale <> 0
+             && p.scale_nonzero >= cfg.scale_nonzero_min
+             && n >= cfg.min_samples then begin
+               let pick mask =
+                 let rec go bit =
+                   if bit >= Array.length scale_candidates then None
+                   else if mask land (1 lsl bit) <> 0 then Some scale_candidates.(bit)
+                   else go (bit + 1)
+                 in
+                 go 0
+               in
+               (match pick p.scale_ij with
+                | Some k ->
+                  acc := add { Expr.point;
+                               body = Expr.Cmp (Expr.Eq, Expr.V p.pj,
+                                                Expr.Mul (p.pi, k)) } !acc
+                | None ->
+                  (match pick p.scale_ji with
+                   | Some k ->
+                     acc := add { Expr.point;
+                                  body = Expr.Cmp (Expr.Eq, Expr.V p.pi,
+                                                   Expr.Mul (p.pj, k)) } !acc
+                   | None -> ()))
+             end
+           end
+         | _ -> ())
+      st.pairs;
+    !acc
+  end
+
+(* The currently justified invariant set. Deterministic order: sorted by
+   canonical form. *)
+let invariants t =
+  let raw = Hashtbl.fold (fun _ st acc -> extract_point t.config st acc) t.points [] in
+  List.sort_uniq Expr.compare raw

@@ -1,0 +1,38 @@
+(** The dynamic invariant detector (the paper's modified Daikon, §3.1.2).
+
+    The engine is incremental: records stream in through {!observe} and
+    candidate invariants are falsified on the fly; {!invariants} extracts
+    the currently justified set at any time — which is how the Figure 3
+    program-by-program convergence series is produced.
+
+    Templates: equality to a constant, small value sets (OneOf), pairwise
+    relations ([=], [<>], [<], [<=], [>], [>=]) between comparable
+    variables, constant differences (Y - X = c), constant scalings
+    (Y = X * k), power-of-two alignment (X mod 4 = r), and signed bounds
+    on the derived difference variables. Daikon-style equality-set leaders
+    suppress redundant pairs over same-valued constants. *)
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+
+val observe : t -> Trace.Record.t -> unit
+(** Feed one instruction-boundary record. *)
+
+val invariants : t -> Invariant.Expr.t list
+(** The currently justified set, deduplicated and in canonical order. *)
+
+val record_count : t -> int
+
+val point_count : t -> int
+
+val points : t -> string list
+
+val scale_candidates : int array
+(** The Y = X * k factors tried: word/index scalings plus the half-word
+    and sign-replication factors. *)
+
+val pair_policy : Trace.Var.kind -> Trace.Var.kind -> int
+(** Template-permission bits for a variable-pair kind combination
+    (Daikon's comparability analysis); 0 means the pair is never
+    tracked. *)

@@ -1,0 +1,1 @@
+lib/invariant/expr.ml: Format List Printf String Trace Util

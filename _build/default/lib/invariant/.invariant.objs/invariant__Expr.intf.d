@@ -1,0 +1,1 @@
+lib/invariant/expr.mli: Format Trace

@@ -1,0 +1,1 @@
+lib/invariant/feature.ml: Array Expr Hashtbl List String Trace

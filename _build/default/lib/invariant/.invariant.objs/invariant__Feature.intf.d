@@ -1,0 +1,1 @@
+lib/invariant/feature.mli: Expr Hashtbl

@@ -1,0 +1,1 @@
+lib/invariant/io.ml: Buffer Expr Fun Hashtbl Lazy List Printf String Trace

@@ -1,0 +1,1 @@
+lib/invariant/io.mli: Expr

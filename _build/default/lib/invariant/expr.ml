@@ -1,0 +1,184 @@
+(* Invariant expressions, following the grammar of Figure 2:
+
+     EXPR  := OPER OP1 OPER | OPER in {imm, ...}
+     OPER  := VAR | orig(VAR) | imm
+     OP1   := = | <> | < | <= | > | >=
+     VAR   := GPR | SPR | flag | mem_address | VAR x imm
+            | not VAR | VAR mod imm | VAR OP2 VAR
+     OP2   := and | or | + | -
+
+   Variables are [Trace.Var.id]s; the orig()/post distinction is encoded in
+   the id space. An invariant is a program point (instruction mnemonic) and
+   a body: risingEdge(point) -> body. *)
+
+type op2 = Band | Bor | Plus | Minus
+
+type term =
+  | V of Trace.Var.id
+  | Imm of int
+  | Mul of Trace.Var.id * int          (* VAR x imm *)
+  | Mod of Trace.Var.id * int          (* VAR mod imm *)
+  | Notv of Trace.Var.id               (* bitwise not VAR *)
+  | Bin of op2 * Trace.Var.id * Trace.Var.id
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type body =
+  | Cmp of cmp * term * term
+  | In of term * int list              (* OPER in {imm, ...} *)
+
+type t = { point : string; body : body }
+
+(* ---- Evaluation against a trace record ----
+
+   u32-kinded variables hold non-negative ints and are compared in unsigned
+   order; Diff-kinded derived variables hold exact signed ints and are only
+   ever compared with immediates, so a plain int comparison is correct for
+   both. Bin(Minus) is evaluated as the sign-interpreted 32-bit difference
+   so that "Y - X = imm" means a consistent machine-level offset. *)
+
+let eval_term record term =
+  let v id = Trace.Record.get record id in
+  match term with
+  | V id -> v id
+  | Imm k -> k
+  | Mul (id, k) -> Util.U32.mul (v id) k
+  | Mod (id, k) -> if k = 0 then 0 else v id mod k
+  | Notv id -> Util.U32.lognot (v id)
+  | Bin (op, a, b) ->
+    let va = v a and vb = v b in
+    (match op with
+     | Band -> va land vb
+     | Bor -> va lor vb
+     | Plus -> Util.U32.add va vb
+     | Minus -> Util.U32.signed (Util.U32.sub va vb))
+
+let eval_cmp op a b =
+  match op with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+(* Does the invariant hold on this record? Records at other program points
+   are vacuously satisfied (risingEdge of another instruction). *)
+let holds t record =
+  if not (String.equal t.point record.Trace.Record.point) then true
+  else
+    match t.body with
+    | Cmp (op, lhs, rhs) ->
+      eval_cmp op (eval_term record lhs) (eval_term record rhs)
+    | In (term, values) ->
+      let x = eval_term record term in
+      List.mem x values
+
+let violated t record = not (holds t record)
+
+(* ---- Structural helpers ---- *)
+
+let term_vars = function
+  | V id -> [ id ]
+  | Imm _ -> []
+  | Mul (id, _) | Mod (id, _) | Notv id -> [ id ]
+  | Bin (_, a, b) -> [ a; b ]
+
+let body_vars = function
+  | Cmp (_, lhs, rhs) -> term_vars lhs @ term_vars rhs
+  | In (term, _) -> term_vars term
+
+let vars t = body_vars t.body
+
+(* Number of variable occurrences, the unit counted in Table 2. *)
+let var_occurrences t = List.length (vars t)
+
+let has_immediate t =
+  match t.body with
+  | Cmp (_, Imm _, _) | Cmp (_, _, Imm _) -> true
+  | Cmp (_, lhs, rhs) ->
+    let imm_in = function
+      | Mul _ | Mod _ -> true
+      | V _ | Imm _ | Notv _ | Bin _ -> false
+    in
+    imm_in lhs || imm_in rhs
+  | In _ -> true
+
+(* ---- Canonical form ----
+
+   §3.2.2: invariants are canonicalised to "lhs OP rhs" with
+   OP in {>, >=, =} (< and <= are flipped), each side rendered as a sorted
+   postfix string; symmetric operators sort their operands. The canonical
+   string is the equivalence-class key for the deducible-removal and
+   equivalence-removal passes. *)
+
+let op2_name = function Band -> "and" | Bor -> "or" | Plus -> "+" | Minus -> "-"
+
+let canon_term term =
+  match term with
+  | V id -> Trace.Var.id_name id
+  | Imm k -> string_of_int k
+  | Mul (id, k) -> Printf.sprintf "%s %d *" (Trace.Var.id_name id) k
+  | Mod (id, k) -> Printf.sprintf "%s %d mod" (Trace.Var.id_name id) k
+  | Notv id -> Printf.sprintf "%s not" (Trace.Var.id_name id)
+  | Bin (op, a, b) ->
+    let na = Trace.Var.id_name a and nb = Trace.Var.id_name b in
+    (match op with
+     | Band | Bor | Plus ->
+       (* commutative: sorted operand order *)
+       let x, y = if String.compare na nb <= 0 then (na, nb) else (nb, na) in
+       Printf.sprintf "%s %s %s" x y (op2_name op)
+     | Minus -> Printf.sprintf "%s %s -" na nb)
+
+(* Normalised (op, lhs, rhs) with op in {Eq, Ne, Gt, Ge, In-marker}. *)
+let canon_body body =
+  match body with
+  | In (term, values) ->
+    let values = List.sort_uniq compare values in
+    Printf.sprintf "in|%s|{%s}" (canon_term term)
+      (String.concat "," (List.map string_of_int values))
+  | Cmp (op, lhs, rhs) ->
+    let sl = canon_term lhs and sr = canon_term rhs in
+    (match op with
+     | Eq | Ne ->
+       let x, y = if String.compare sl sr <= 0 then (sl, sr) else (sr, sl) in
+       Printf.sprintf "%s|%s|%s" (if op = Eq then "=" else "<>") x y
+     | Gt -> Printf.sprintf ">|%s|%s" sl sr
+     | Ge -> Printf.sprintf ">=|%s|%s" sl sr
+     | Lt -> Printf.sprintf ">|%s|%s" sr sl
+     | Le -> Printf.sprintf ">=|%s|%s" sr sl)
+
+let canonical t = t.point ^ "|" ^ canon_body t.body
+
+(* ---- Pretty printing, in the paper's notation ---- *)
+
+let cmp_name = function
+  | Eq -> "=" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let pp_term fmt term =
+  match term with
+  | V id -> Format.pp_print_string fmt (Trace.Var.id_name id)
+  | Imm k ->
+    if k >= 0 && k land 3 = 0 && k > 255 then Format.fprintf fmt "0x%X" k
+    else Format.pp_print_int fmt k
+  | Mul (id, k) -> Format.fprintf fmt "%s * %d" (Trace.Var.id_name id) k
+  | Mod (id, k) -> Format.fprintf fmt "%s mod %d" (Trace.Var.id_name id) k
+  | Notv id -> Format.fprintf fmt "not %s" (Trace.Var.id_name id)
+  | Bin (op, a, b) ->
+    Format.fprintf fmt "(%s %s %s)" (Trace.Var.id_name a) (op2_name op)
+      (Trace.Var.id_name b)
+
+let pp_body fmt = function
+  | Cmp (op, lhs, rhs) ->
+    Format.fprintf fmt "%a %s %a" pp_term lhs (cmp_name op) pp_term rhs
+  | In (term, values) ->
+    Format.fprintf fmt "%a in {%s}" pp_term term
+      (String.concat ", " (List.map (Printf.sprintf "0x%X") values))
+
+let pp fmt t =
+  Format.fprintf fmt "risingEdge(%s) -> %a" t.point pp_body t.body
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b = String.equal (canonical a) (canonical b)
+let compare a b = String.compare (canonical a) (canonical b)

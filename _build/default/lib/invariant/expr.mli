@@ -1,0 +1,79 @@
+(** Invariant expressions, following the paper's Figure 2 grammar:
+
+    {v
+    EXPR  := OPER OP1 OPER | OPER in {imm, ...}
+    OPER  := VAR | orig(VAR) | imm
+    OP1   := = | <> | < | <= | > | >=
+    VAR   := GPR | SPR | flag | mem_address | VAR x imm
+           | not VAR | VAR mod imm | VAR OP2 VAR
+    OP2   := and | or | + | -
+    v}
+
+    Variables are {!Trace.Var.id}s; the orig()/post distinction is encoded
+    in the id space. An invariant is a program point (instruction
+    mnemonic) and a body: [risingEdge(point) -> body]. *)
+
+type op2 = Band | Bor | Plus | Minus
+
+type term =
+  | V of Trace.Var.id
+  | Imm of int
+  | Mul of Trace.Var.id * int          (** VAR x imm *)
+  | Mod of Trace.Var.id * int          (** VAR mod imm *)
+  | Notv of Trace.Var.id               (** bitwise not *)
+  | Bin of op2 * Trace.Var.id * Trace.Var.id
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type body =
+  | Cmp of cmp * term * term
+  | In of term * int list              (** OPER in {imm, ...} *)
+
+type t = { point : string; body : body }
+
+val eval_term : Trace.Record.t -> term -> int
+(** [Bin Minus] evaluates as the sign-interpreted 32-bit difference so
+    "Y - X = imm" means a consistent machine-level offset. *)
+
+val eval_cmp : cmp -> int -> int -> bool
+
+val holds : t -> Trace.Record.t -> bool
+(** True on records of other program points (vacuous implication). *)
+
+val violated : t -> Trace.Record.t -> bool
+
+val term_vars : term -> Trace.Var.id list
+val body_vars : body -> Trace.Var.id list
+val vars : t -> Trace.Var.id list
+
+val var_occurrences : t -> int
+(** The unit counted in the paper's Table 2 "Variables" row. *)
+
+val has_immediate : t -> bool
+
+val op2_name : op2 -> string
+val cmp_name : cmp -> string
+
+val canon_term : term -> string
+(** Sorted-postfix rendering of a side, the unit of the §3.2.2
+    canonical form. *)
+
+val canon_body : body -> string
+
+val canonical : t -> string
+(** The equivalence-class key: lhs OP rhs with OP in [{>, >=, =, <>}]
+    (< and <= are flipped), symmetric operators sorted, prefixed by the
+    program point. *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_body : Format.formatter -> body -> unit
+
+val pp : Format.formatter -> t -> unit
+(** The paper's notation: ["risingEdge(l.rfe) -> SR = orig(ESR0)"]. *)
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Canonical-form equality. *)
+
+val compare : t -> t -> int

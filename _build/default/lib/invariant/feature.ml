@@ -1,0 +1,77 @@
+(* Feature extraction for the SCI inference model (§3.4).
+
+   "The features are all the ISA-level variables such as general purpose
+   registers, flags, and memory addresses, and also operators such as
+   >, <, <>." — we emit one boolean feature per variable mentioned (with
+   orig() variants kept distinct, as in Table 4's orig(OPA), orig(SPR)),
+   one per comparison/arithmetic operator used, a CONST feature for
+   immediate operands, and one feature for the instruction mnemonic
+   (Table 4's ROR and DIV features). *)
+
+let mnemonic_feature point =
+  (* "l.ror" -> "ROR" *)
+  let base =
+    if String.length point > 2 && String.sub point 0 2 = "l."
+    then String.sub point 2 (String.length point - 2)
+    else point
+  in
+  String.uppercase_ascii base
+
+let term_features term =
+  let var_feats ids = List.map Trace.Var.id_name ids in
+  match term with
+  | Expr.V id -> var_feats [ id ]
+  | Expr.Imm _ -> [ "CONST" ]
+  | Expr.Mul (id, _) -> "*" :: var_feats [ id ]
+  | Expr.Mod (id, _) -> "mod" :: var_feats [ id ]
+  | Expr.Notv id -> "not" :: var_feats [ id ]
+  | Expr.Bin (op, a, b) -> Expr.op2_name op :: var_feats [ a; b ]
+
+let cmp_feature = function
+  | Expr.Eq -> "==" | Expr.Ne -> "!=" | Expr.Lt -> "<"
+  | Expr.Le -> "<=" | Expr.Gt -> ">" | Expr.Ge -> ">="
+
+(* The feature names of one invariant (with duplicates removed). *)
+let of_invariant (t : Expr.t) =
+  let body_feats = match t.Expr.body with
+    | Expr.Cmp (op, lhs, rhs) ->
+      (cmp_feature op :: term_features lhs) @ term_features rhs
+    | Expr.In (term, _) -> "in" :: term_features term
+  in
+  List.sort_uniq String.compare (mnemonic_feature t.Expr.point :: body_feats)
+
+(* A feature space maps names to dense indices, built from a corpus. *)
+type space = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+}
+
+let build_space invariants =
+  let index = Hashtbl.create 256 in
+  let names = ref [] in
+  List.iter
+    (fun inv ->
+       List.iter
+         (fun f ->
+            if not (Hashtbl.mem index f) then begin
+              Hashtbl.add index f (Hashtbl.length index);
+              names := f :: !names
+            end)
+         (of_invariant inv))
+    invariants;
+  { names = Array.of_list (List.rev !names); index }
+
+let dimension space = Array.length space.names
+
+let feature_name space i = space.names.(i)
+
+(* Dense 0/1 feature vector of an invariant in the given space. *)
+let vector space inv =
+  let v = Array.make (dimension space) 0.0 in
+  List.iter
+    (fun f ->
+       match Hashtbl.find_opt space.index f with
+       | Some i -> v.(i) <- 1.0
+       | None -> ())
+    (of_invariant inv);
+  v

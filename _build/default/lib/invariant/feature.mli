@@ -1,0 +1,26 @@
+(** Feature extraction for the SCI inference model (§3.4): one boolean
+    feature per variable mentioned (orig() variants distinct, as in the
+    paper's Table 4), one per operator, a CONST feature for immediates,
+    and one for the instruction mnemonic (Table 4's ROR/DIV features). *)
+
+val mnemonic_feature : string -> string
+(** ["l.ror"] -> ["ROR"]. *)
+
+val of_invariant : Expr.t -> string list
+(** The (deduplicated, sorted) feature names of one invariant. *)
+
+(** A feature space maps names to dense indices, built from a corpus. *)
+type space = {
+  names : string array;
+  index : (string, int) Hashtbl.t;
+}
+
+val build_space : Expr.t list -> space
+
+val dimension : space -> int
+
+val feature_name : space -> int -> string
+
+val vector : space -> Expr.t -> float array
+(** The dense 0/1 feature vector; features outside the space are
+    ignored. *)

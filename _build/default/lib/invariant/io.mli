@@ -1,0 +1,19 @@
+(** Textual persistence of invariant sets, in the exact paper notation the
+    pretty-printer emits (one invariant per line; ['#'] comments and blank
+    lines ignored). Supports the paper's Table 8 workflow — generation
+    runs once, later phases re-load the saved set — and hand curation by
+    experts before deployment. *)
+
+exception Parse_error of string * int
+(** Message and 1-based line number. *)
+
+val to_channel : out_channel -> Expr.t list -> unit
+
+val save : string -> Expr.t list -> unit
+
+val of_string : string -> Expr.t list
+(** @raise Parse_error on malformed input. *)
+
+val load : string -> Expr.t list
+(** @raise Parse_error on malformed input.
+    @raise Sys_error when unreadable. *)

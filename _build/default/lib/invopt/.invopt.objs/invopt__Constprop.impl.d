@@ -1,0 +1,1 @@
+lib/invopt/constprop.ml: Array Hashtbl Invariant List Option Trace Util

@@ -1,0 +1,1 @@
+lib/invopt/constprop.mli: Invariant

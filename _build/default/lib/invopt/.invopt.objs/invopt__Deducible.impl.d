@@ -1,0 +1,1 @@
+lib/invopt/deducible.ml: Hashtbl Invariant List Option

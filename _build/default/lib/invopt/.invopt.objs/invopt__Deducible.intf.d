@@ -1,0 +1,1 @@
+lib/invopt/deducible.mli: Invariant

@@ -1,0 +1,1 @@
+lib/invopt/equivalence.ml: Hashtbl Invariant List

@@ -1,0 +1,1 @@
+lib/invopt/equivalence.mli: Invariant

@@ -1,0 +1,1 @@
+lib/invopt/pipeline.ml: Constprop Deducible Equivalence Invariant List

@@ -1,0 +1,1 @@
+lib/invopt/pipeline.mli: Invariant

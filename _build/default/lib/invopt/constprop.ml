@@ -1,0 +1,104 @@
+(* Constant propagation (§3.2.1).
+
+   Equality-to-constant invariants (A = 0) are used to substitute constants
+   into the other invariants of the same program point, iteratively: any new
+   equality-to-constant produced by a substitution feeds later rounds, as in
+   the compiler optimisation. The invariant *count* is unchanged (cf.
+   Table 2); the number of variable occurrences drops. *)
+
+module Expr = Invariant.Expr
+
+(* The variable -> constant map of one program point. *)
+type env = (Trace.Var.id, int) Hashtbl.t
+
+let const_of_body = function
+  | Expr.Cmp (Expr.Eq, Expr.V id, Expr.Imm c)
+  | Expr.Cmp (Expr.Eq, Expr.Imm c, Expr.V id) -> Some (id, c)
+  | Expr.Cmp (_, _, _) | Expr.In (_, _) -> None
+
+let subst_term env term =
+  let lookup id = Hashtbl.find_opt env id in
+  match term with
+  | Expr.V id ->
+    (match lookup id with Some c -> Expr.Imm c | None -> term)
+  | Expr.Imm _ -> term
+  | Expr.Mul (id, k) ->
+    (match lookup id with Some c -> Expr.Imm (Util.U32.mul c k) | None -> term)
+  | Expr.Mod (id, k) ->
+    (match lookup id with
+     | Some c -> Expr.Imm (if k = 0 then 0 else c mod k)
+     | None -> term)
+  | Expr.Notv id ->
+    (match lookup id with Some c -> Expr.Imm (Util.U32.lognot c) | None -> term)
+  | Expr.Bin (op, a, b) ->
+    (match lookup a, lookup b with
+     | Some ca, Some cb ->
+       let v = match op with
+         | Expr.Band -> ca land cb
+         | Expr.Bor -> ca lor cb
+         | Expr.Plus -> Util.U32.add ca cb
+         | Expr.Minus -> Util.U32.signed (Util.U32.sub ca cb)
+       in
+       Expr.Imm v
+     | _ -> term)
+
+(* Rewrite "B - A = d" with A = c into "B = c + d" (and symmetric cases),
+   so partial knowledge of a Bin operand is still exploited. *)
+let simplify_body env body =
+  let lookup id = Hashtbl.find_opt env id in
+  match body with
+  | Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, j, i), Expr.Imm d) ->
+    (match lookup i, lookup j with
+     | Some ci, None ->
+       Expr.Cmp (Expr.Eq, Expr.V j, Expr.Imm (Util.U32.add ci (d land 0xFFFF_FFFF)))
+     | None, Some cj ->
+       Expr.Cmp (Expr.Eq, Expr.V i, Expr.Imm (Util.U32.sub cj (d land 0xFFFF_FFFF)))
+     | _ ->
+       Expr.Cmp (Expr.Eq, subst_term env (Expr.Bin (Expr.Minus, j, i)), Expr.Imm d))
+  | Expr.Cmp (op, lhs, rhs) -> Expr.Cmp (op, subst_term env lhs, subst_term env rhs)
+  | Expr.In (term, vs) -> Expr.In (subst_term env term, vs)
+
+(* One program point's worth of invariants. *)
+let run_point invs =
+  let env : env = Hashtbl.create 32 in
+  let bodies = Array.of_list invs in
+  let changed = ref true in
+  (* Seed the environment. *)
+  Array.iter
+    (fun (inv : Expr.t) ->
+       match const_of_body inv.Expr.body with
+       | Some (id, c) -> Hashtbl.replace env id c
+       | None -> ())
+    bodies;
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun k (inv : Expr.t) ->
+         match const_of_body inv.Expr.body with
+         | Some _ -> () (* defining invariants are kept as is *)
+         | None ->
+           let body' = simplify_body env inv.Expr.body in
+           if body' <> inv.Expr.body then begin
+             bodies.(k) <- { inv with Expr.body = body' };
+             changed := true;
+             (* A substitution may expose a new equality-to-constant. *)
+             match const_of_body body' with
+             | Some (id, c) when not (Hashtbl.mem env id) ->
+               Hashtbl.replace env id c
+             | _ -> ()
+           end)
+      bodies
+  done;
+  Array.to_list bodies
+
+let run invariants =
+  let by_point = Hashtbl.create 97 in
+  List.iter
+    (fun (inv : Expr.t) ->
+       let existing =
+         Option.value ~default:[] (Hashtbl.find_opt by_point inv.Expr.point)
+       in
+       Hashtbl.replace by_point inv.Expr.point (inv :: existing))
+    invariants;
+  Hashtbl.fold (fun _ invs acc -> run_point (List.rev invs) @ acc) by_point []
+  |> List.sort Expr.compare

@@ -1,0 +1,8 @@
+(** Constant propagation (§3.2.1).
+
+    Equality-to-constant invariants ([A = 0]) substitute constants into
+    the other invariants of the same program point, iterating until no new
+    equality-to-constant appears. The invariant count is unchanged
+    (cf. Table 2); variable occurrences drop. *)
+
+val run : Invariant.Expr.t list -> Invariant.Expr.t list

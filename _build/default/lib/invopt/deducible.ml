@@ -1,0 +1,135 @@
+(* Deducible removal (§3.2.2).
+
+   Invariants over transitive operators that follow from other invariants
+   are removed by computing a transitive reduction. Invariants are first
+   canonicalised to lhs OP rhs with OP in {>, >=, =}; for each program
+   point a graph over canonical side-strings is built, and:
+
+   - the equality relation keeps one spanning forest per connected
+     component (a transitive reduction of an equivalence relation);
+   - the order relation drops an edge u -> v when another u ~> v path
+     derives it (a strict conclusion needs at least one strict edge on
+     the path). *)
+
+module Expr = Invariant.Expr
+
+type edge_kind = Strict | Nonstrict
+
+(* Canonical (kind, lhs, rhs) of an order invariant: lhs OP rhs. *)
+let order_edge (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Gt, l, r) -> Some (Strict, Expr.canon_term l, Expr.canon_term r)
+  | Expr.Cmp (Expr.Ge, l, r) -> Some (Nonstrict, Expr.canon_term l, Expr.canon_term r)
+  | Expr.Cmp (Expr.Lt, l, r) -> Some (Strict, Expr.canon_term r, Expr.canon_term l)
+  | Expr.Cmp (Expr.Le, l, r) -> Some (Nonstrict, Expr.canon_term r, Expr.canon_term l)
+  | Expr.Cmp ((Expr.Eq | Expr.Ne), _, _) | Expr.In _ -> None
+
+let eq_edge (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, l, r) -> Some (Expr.canon_term l, Expr.canon_term r)
+  | Expr.Cmp (_, _, _) | Expr.In _ -> None
+
+module Uf = struct
+  type t = (string, string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let rec find t x =
+    match Hashtbl.find_opt t x with
+    | None -> x
+    | Some p ->
+      let root = find t p in
+      if root <> p then Hashtbl.replace t x root;
+      root
+
+  (* Returns true when the union merged two distinct components. *)
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra = rb then false
+    else begin Hashtbl.replace t ra rb; true end
+end
+
+(* Keep the order edge (kind, u, v) only if no alternative derivation
+   u ~> v exists among [edges] (excluding the edge itself). A strict edge
+   is derivable from a path containing at least one strict edge; a
+   non-strict edge from any path of length >= 2, or a strict path of any
+   length. *)
+let order_edge_derivable edges (kind, u, v) =
+  (* adjacency: node -> (next, strict?) list *)
+  let adj = Hashtbl.create 64 in
+  List.iter
+    (fun (k, a, b) ->
+       if not (k = kind && a = u && b = v) then
+         Hashtbl.replace adj a ((b, k) :: Option.value ~default:[] (Hashtbl.find_opt adj a)))
+    edges;
+  (* DFS over (node, saw_strict) states. *)
+  let visited = Hashtbl.create 64 in
+  let rec dfs node saw_strict length =
+    if node = v
+    && length >= 1
+    && (match kind with Strict -> saw_strict | Nonstrict -> true)
+    then true
+    else begin
+      let key = (node, saw_strict) in
+      if Hashtbl.mem visited key then false
+      else begin
+        Hashtbl.add visited key ();
+        List.exists
+          (fun (next, k) -> dfs next (saw_strict || k = Strict) (length + 1))
+          (Option.value ~default:[] (Hashtbl.find_opt adj node))
+      end
+    end
+  in
+  (* A single remaining parallel edge (same endpoints, adequate strength)
+     also derives this one, which the generic DFS covers via length 1. *)
+  dfs u false 0
+
+let run_point invs =
+  (* Partition invariants into order, equality and other. *)
+  let order = ref [] and keep = ref [] in
+  let eq_uf = Uf.create () in
+  let classified =
+    List.map
+      (fun inv ->
+         match order_edge inv with
+         | Some e -> `Order (inv, e)
+         | None ->
+           (match eq_edge inv with
+            | Some (l, r) -> `Eq (inv, l, r)
+            | None -> `Other inv))
+      invs
+  in
+  let order_edges =
+    List.filter_map (function `Order (_, e) -> Some e | `Eq _ | `Other _ -> None)
+      classified
+  in
+  List.iter
+    (function
+      | `Other inv -> keep := inv :: !keep
+      | `Eq (inv, l, r) ->
+        (* Keep an equality only when it connects two new components:
+           transitive reduction of the equivalence relation. *)
+        if Uf.union eq_uf l r then keep := inv :: !keep
+      | `Order (inv, e) -> order := (inv, e) :: !order)
+    classified;
+  List.iter
+    (fun (inv, e) ->
+       if not (order_edge_derivable order_edges e) then keep := inv :: !keep)
+    (List.rev !order);
+  List.rev !keep
+
+let run invariants =
+  let by_point = Hashtbl.create 97 in
+  let point_order = ref [] in
+  List.iter
+    (fun (inv : Expr.t) ->
+       (match Hashtbl.find_opt by_point inv.Expr.point with
+        | None ->
+          point_order := inv.Expr.point :: !point_order;
+          Hashtbl.add by_point inv.Expr.point [ inv ]
+        | Some invs -> Hashtbl.replace by_point inv.Expr.point (inv :: invs)))
+    invariants;
+  List.concat_map
+    (fun point -> run_point (List.rev (Hashtbl.find by_point point)))
+    (List.rev !point_order)
+  |> List.sort Expr.compare

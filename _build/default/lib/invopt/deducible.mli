@@ -1,0 +1,10 @@
+(** Deducible removal (§3.2.2).
+
+    Transitive-operator invariants derivable from others are removed:
+    invariants are canonicalised to [lhs OP rhs] with OP in [{>, >=, =}],
+    a graph over canonical side strings is built per program point, the
+    order relation is transitively reduced (a strict conclusion needs at
+    least one strict edge on the deriving path) and the equality relation
+    keeps one spanning forest per connected component. *)
+
+val run : Invariant.Expr.t list -> Invariant.Expr.t list

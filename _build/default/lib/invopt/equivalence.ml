@@ -1,0 +1,19 @@
+(* Equivalence removal (§3.2.3).
+
+   Logically equivalent invariants are clustered by their canonical form
+   (the same form used by the deducible-removal pass) and one representative
+   per class is kept. *)
+
+module Expr = Invariant.Expr
+
+let run invariants =
+  let seen = Hashtbl.create 4096 in
+  List.filter
+    (fun inv ->
+       let key = Expr.canonical inv in
+       if Hashtbl.mem seen key then false
+       else begin
+         Hashtbl.add seen key ();
+         true
+       end)
+    invariants

@@ -1,0 +1,4 @@
+(** Equivalence removal (§3.2.3): logically equivalent invariants are
+    clustered by canonical form and one representative per class kept. *)
+
+val run : Invariant.Expr.t list -> Invariant.Expr.t list

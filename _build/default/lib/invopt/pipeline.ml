@@ -1,0 +1,34 @@
+(* The full §3.2 optimisation pipeline with the Table 2 accounting:
+   raw -> constant propagation -> deducible removal -> equivalence
+   removal, tracking the number of invariants and the total number of
+   variable occurrences at each stage. *)
+
+module Expr = Invariant.Expr
+
+type stage_stats = {
+  stage : string;
+  invariants : int;
+  variables : int;
+}
+
+let measure stage invs = {
+  stage;
+  invariants = List.length invs;
+  variables = List.fold_left (fun acc inv -> acc + Expr.var_occurrences inv) 0 invs;
+}
+
+type result = {
+  optimized : Expr.t list;
+  stages : stage_stats list; (* raw; after CP; after DR; after ER *)
+}
+
+let optimize invariants =
+  let raw_stats = measure "raw" invariants in
+  let after_cp = Constprop.run invariants in
+  let cp_stats = measure "after CP" after_cp in
+  let after_dr = Deducible.run after_cp in
+  let dr_stats = measure "after DR" after_dr in
+  let after_er = Equivalence.run after_dr in
+  let er_stats = measure "after ER" after_er in
+  { optimized = after_er;
+    stages = [ raw_stats; cp_stats; dr_stats; er_stats ] }

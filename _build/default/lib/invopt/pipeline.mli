@@ -1,0 +1,18 @@
+(** The full §3.2 optimisation pipeline with Table 2 accounting:
+    raw -> constant propagation -> deducible removal -> equivalence
+    removal. *)
+
+type stage_stats = {
+  stage : string;
+  invariants : int;
+  variables : int;  (** total variable occurrences *)
+}
+
+val measure : string -> Invariant.Expr.t list -> stage_stats
+
+type result = {
+  optimized : Invariant.Expr.t list;
+  stages : stage_stats list;  (** raw; after CP; after DR; after ER *)
+}
+
+val optimize : Invariant.Expr.t list -> result

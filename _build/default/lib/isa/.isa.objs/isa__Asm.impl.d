@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Code Hashtbl Insn List

@@ -1,0 +1,1 @@
+lib/isa/code.mli: Insn

@@ -1,0 +1,178 @@
+(* A small assembler: programs are lists of items with symbolic labels;
+   [assemble] resolves labels into branch displacements and absolute
+   addresses and produces the memory image. Workload programs and bug
+   trigger programs are written against the [Build] combinators. *)
+
+type jump_kind = Jmp | Jal | Bf | Bnf
+
+type item =
+  | Label of string
+  | I of Insn.t                 (* a concrete instruction *)
+  | J of jump_kind * string     (* control flow to a label *)
+  | La of Insn.reg * string     (* load label address: movhi + ori, 2 words *)
+  | Word of int                 (* literal data word *)
+
+type program = { origin : int; items : item list }
+
+let size_of_item = function
+  | Label _ -> 0
+  | I _ | J _ | Word _ -> 4
+  | La _ -> 8
+
+exception Unknown_label of string
+
+let resolve_labels { origin; items } =
+  let table = Hashtbl.create 16 in
+  let addr = ref origin in
+  List.iter
+    (fun item ->
+       (match item with
+        | Label name -> Hashtbl.replace table name !addr
+        | I _ | J _ | La _ | Word _ -> ());
+       addr := !addr + size_of_item item)
+    items;
+  table
+
+let lookup table name =
+  match Hashtbl.find_opt table name with
+  | Some a -> a
+  | None -> raise (Unknown_label name)
+
+(* Branch displacement in instruction words, encoded on 26 bits. *)
+let displacement ~pc ~target = ((target - pc) asr 2) land 0x3FF_FFFF
+
+(* Produce the list of (address, word) pairs of the assembled image. *)
+let assemble program =
+  let table = resolve_labels program in
+  let addr = ref program.origin in
+  let out = ref [] in
+  let emit word = out := (!addr, word land 0xFFFF_FFFF) :: !out; addr := !addr + 4 in
+  List.iter
+    (fun item ->
+       match item with
+       | Label _ -> ()
+       | Word w -> emit w
+       | I insn -> emit (Code.encode insn)
+       | J (kind, name) ->
+         let target = lookup table name in
+         let d = displacement ~pc:!addr ~target in
+         let insn = match kind with
+           | Jmp -> Insn.Jump d
+           | Jal -> Insn.Jump_link d
+           | Bf -> Insn.Branch_flag d
+           | Bnf -> Insn.Branch_noflag d
+         in
+         emit (Code.encode insn)
+       | La (rd, name) ->
+         let target = lookup table name in
+         emit (Code.encode (Insn.Movhi (rd, (target lsr 16) land 0xFFFF)));
+         emit (Code.encode (Insn.Alui (Insn.Ori, rd, rd, target land 0xFFFF))))
+    program.items;
+  List.rev !out
+
+let label_address program name = lookup (resolve_labels program) name
+
+(* Combinators: workloads read much like OR1k assembly listings. *)
+module Build = struct
+  open Insn
+
+  let label s = Label s
+  let word w = Word w
+
+  let add rd ra rb = I (Alu (Add, rd, ra, rb))
+  let addc rd ra rb = I (Alu (Addc, rd, ra, rb))
+  let sub rd ra rb = I (Alu (Sub, rd, ra, rb))
+  let and_ rd ra rb = I (Alu (And, rd, ra, rb))
+  let or_ rd ra rb = I (Alu (Or, rd, ra, rb))
+  let xor rd ra rb = I (Alu (Xor, rd, ra, rb))
+  let mul rd ra rb = I (Alu (Mul, rd, ra, rb))
+  let mulu rd ra rb = I (Alu (Mulu, rd, ra, rb))
+  let div rd ra rb = I (Alu (Div, rd, ra, rb))
+  let divu rd ra rb = I (Alu (Divu, rd, ra, rb))
+  let sll rd ra rb = I (Alu (Sll, rd, ra, rb))
+  let srl rd ra rb = I (Alu (Srl, rd, ra, rb))
+  let sra rd ra rb = I (Alu (Sra, rd, ra, rb))
+  let ror rd ra rb = I (Alu (Ror, rd, ra, rb))
+
+  let addi rd ra k = I (Alui (Addi, rd, ra, k))
+  let addic rd ra k = I (Alui (Addic, rd, ra, k))
+  let andi rd ra k = I (Alui (Andi, rd, ra, k))
+  let ori rd ra k = I (Alui (Ori, rd, ra, k))
+  let xori rd ra k = I (Alui (Xori, rd, ra, k))
+  let muli rd ra k = I (Alui (Muli, rd, ra, k))
+
+  let slli rd ra k = I (Shifti (Slli, rd, ra, k))
+  let srli rd ra k = I (Shifti (Srli, rd, ra, k))
+  let srai rd ra k = I (Shifti (Srai, rd, ra, k))
+  let rori rd ra k = I (Shifti (Rori, rd, ra, k))
+
+  let extbs rd ra = I (Ext (Extbs, rd, ra))
+  let extbz rd ra = I (Ext (Extbz, rd, ra))
+  let exths rd ra = I (Ext (Exths, rd, ra))
+  let exthz rd ra = I (Ext (Exthz, rd, ra))
+  let extws rd ra = I (Ext (Extws, rd, ra))
+  let extwz rd ra = I (Ext (Extwz, rd, ra))
+
+  let sfeq ra rb = I (Setflag (Sfeq, ra, rb))
+  let sfne ra rb = I (Setflag (Sfne, ra, rb))
+  let sfgtu ra rb = I (Setflag (Sfgtu, ra, rb))
+  let sfgeu ra rb = I (Setflag (Sfgeu, ra, rb))
+  let sfltu ra rb = I (Setflag (Sfltu, ra, rb))
+  let sfleu ra rb = I (Setflag (Sfleu, ra, rb))
+  let sfgts ra rb = I (Setflag (Sfgts, ra, rb))
+  let sfges ra rb = I (Setflag (Sfges, ra, rb))
+  let sflts ra rb = I (Setflag (Sflts, ra, rb))
+  let sfles ra rb = I (Setflag (Sfles, ra, rb))
+
+  let sfeqi ra k = I (Setflagi (Sfeq, ra, k))
+  let sfnei ra k = I (Setflagi (Sfne, ra, k))
+  let sfgtui ra k = I (Setflagi (Sfgtu, ra, k))
+  let sfgeui ra k = I (Setflagi (Sfgeu, ra, k))
+  let sfltui ra k = I (Setflagi (Sfltu, ra, k))
+  let sfleui ra k = I (Setflagi (Sfleu, ra, k))
+  let sfgtsi ra k = I (Setflagi (Sfgts, ra, k))
+  let sfgesi ra k = I (Setflagi (Sfges, ra, k))
+  let sfltsi ra k = I (Setflagi (Sflts, ra, k))
+  let sflesi ra k = I (Setflagi (Sfles, ra, k))
+
+  let lwz rd ra off = I (Load (Lwz, rd, ra, off))
+  let lws rd ra off = I (Load (Lws, rd, ra, off))
+  let lbz rd ra off = I (Load (Lbz, rd, ra, off))
+  let lbs rd ra off = I (Load (Lbs, rd, ra, off))
+  let lhz rd ra off = I (Load (Lhz, rd, ra, off))
+  let lhs rd ra off = I (Load (Lhs, rd, ra, off))
+
+  let sw off ra rb = I (Store (Sw, off, ra, rb))
+  let sb off ra rb = I (Store (Sb, off, ra, rb))
+  let sh off ra rb = I (Store (Sh, off, ra, rb))
+
+  let j name = J (Jmp, name)
+  let jal name = J (Jal, name)
+  let bf name = J (Bf, name)
+  let bnf name = J (Bnf, name)
+  let jr rb = I (Jump_reg rb)
+  let jalr rb = I (Jump_link_reg rb)
+
+  let movhi rd k = I (Movhi (rd, k))
+  let mfspr rd ra k = I (Mfspr (rd, ra, k))
+  let mtspr ra rb k = I (Mtspr (ra, rb, k))
+  let mac ra rb = I (Macc (Mac, ra, rb))
+  let msb ra rb = I (Macc (Msb, ra, rb))
+  let maci ra k = I (Maci (ra, k))
+  let macrc rd = I (Macrc rd)
+  let sys k = I (Sys k)
+  let trap k = I (Trap k)
+  let rfe = I Rfe
+  let nop = I (Nop 0)
+
+  let la rd name = La (rd, name)
+
+  (* Load a full 32-bit constant into [rd] with movhi + ori. *)
+  let li32 rd value =
+    [ movhi rd ((value lsr 16) land 0xFFFF); ori rd rd (value land 0xFFFF) ]
+
+  (* Load a small non-negative constant (< 0x8000) into [rd]. *)
+  let li rd value =
+    if value < 0 || value >= 0x8000 then invalid_arg "Build.li: use li32";
+    addi rd 0 value
+end

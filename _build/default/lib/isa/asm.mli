@@ -1,0 +1,138 @@
+(** A small assembler: programs are item lists with symbolic labels;
+    {!assemble} resolves labels into branch displacements and produces the
+    memory image. Workloads and bug triggers are written against
+    {!Build}. *)
+
+type jump_kind = Jmp | Jal | Bf | Bnf
+
+type item =
+  | Label of string
+  | I of Insn.t                 (** a concrete instruction (4 bytes) *)
+  | J of jump_kind * string     (** control flow to a label (4 bytes) *)
+  | La of Insn.reg * string     (** load label address: movhi + ori (8 bytes) *)
+  | Word of int                 (** literal data word *)
+
+type program = { origin : int; items : item list }
+
+exception Unknown_label of string
+
+val size_of_item : item -> int
+
+val assemble : program -> (int * int) list
+(** The [(address, word)] memory image.
+    @raise Unknown_label on an unresolved label. *)
+
+val label_address : program -> string -> int
+(** The resolved address of a label.
+    @raise Unknown_label when absent. *)
+
+val displacement : pc:int -> target:int -> int
+(** The encoded 26-bit word displacement from [pc] to [target]. *)
+
+(** Combinators that read like OR1k assembly listings. Branches
+    ([j]/[jal]/[bf]/[bnf]/[jr]/[jalr]) have an architectural delay slot:
+    always follow them with one more instruction. *)
+module Build : sig
+  val label : string -> item
+  val word : int -> item
+
+  val add : int -> int -> int -> item
+  val addc : int -> int -> int -> item
+  val sub : int -> int -> int -> item
+  val and_ : int -> int -> int -> item
+  val or_ : int -> int -> int -> item
+  val xor : int -> int -> int -> item
+  val mul : int -> int -> int -> item
+  val mulu : int -> int -> int -> item
+  val div : int -> int -> int -> item
+  val divu : int -> int -> int -> item
+  val sll : int -> int -> int -> item
+  val srl : int -> int -> int -> item
+  val sra : int -> int -> int -> item
+  val ror : int -> int -> int -> item
+
+  val addi : int -> int -> int -> item
+  val addic : int -> int -> int -> item
+  val andi : int -> int -> int -> item
+  val ori : int -> int -> int -> item
+  val xori : int -> int -> int -> item
+  val muli : int -> int -> int -> item
+
+  val slli : int -> int -> int -> item
+  val srli : int -> int -> int -> item
+  val srai : int -> int -> int -> item
+  val rori : int -> int -> int -> item
+
+  val extbs : int -> int -> item
+  val extbz : int -> int -> item
+  val exths : int -> int -> item
+  val exthz : int -> int -> item
+  val extws : int -> int -> item
+  val extwz : int -> int -> item
+
+  val sfeq : int -> int -> item
+  val sfne : int -> int -> item
+  val sfgtu : int -> int -> item
+  val sfgeu : int -> int -> item
+  val sfltu : int -> int -> item
+  val sfleu : int -> int -> item
+  val sfgts : int -> int -> item
+  val sfges : int -> int -> item
+  val sflts : int -> int -> item
+  val sfles : int -> int -> item
+
+  val sfeqi : int -> int -> item
+  val sfnei : int -> int -> item
+  val sfgtui : int -> int -> item
+  val sfgeui : int -> int -> item
+  val sfltui : int -> int -> item
+  val sfleui : int -> int -> item
+  val sfgtsi : int -> int -> item
+  val sfgesi : int -> int -> item
+  val sfltsi : int -> int -> item
+  val sflesi : int -> int -> item
+
+  val lwz : int -> int -> int -> item
+  (** [lwz rd ra off]: rd <- mem\[ra + off\]. *)
+
+  val lws : int -> int -> int -> item
+  val lbz : int -> int -> int -> item
+  val lbs : int -> int -> int -> item
+  val lhz : int -> int -> int -> item
+  val lhs : int -> int -> int -> item
+
+  val sw : int -> int -> int -> item
+  (** [sw off ra rb]: mem\[ra + off\] <- rb. *)
+
+  val sb : int -> int -> int -> item
+  val sh : int -> int -> int -> item
+
+  val j : string -> item
+  val jal : string -> item
+  val bf : string -> item
+  val bnf : string -> item
+  val jr : int -> item
+  val jalr : int -> item
+
+  val movhi : int -> int -> item
+  val mfspr : int -> int -> int -> item
+  val mtspr : int -> int -> int -> item
+  val mac : int -> int -> item
+  val msb : int -> int -> item
+  val maci : int -> int -> item
+  val macrc : int -> item
+  val sys : int -> item
+  val trap : int -> item
+  val rfe : item
+  val nop : item
+
+  val la : int -> string -> item
+  (** Load a label's address (two words). *)
+
+  val li32 : int -> int -> item list
+  (** Load a full 32-bit constant (movhi + ori). *)
+
+  val li : int -> int -> item
+  (** Load a small constant in [\[0, 0x8000)].
+      @raise Invalid_argument outside that range (use {!li32}). *)
+end

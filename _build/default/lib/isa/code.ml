@@ -1,0 +1,207 @@
+(* Binary encoding and decoding of ORBIS32 instructions, following the
+   OpenRISC 1000 architecture manual opcode map. [decode] is total: words
+   that do not correspond to an implemented instruction return [None] and
+   the processor raises an illegal-instruction exception on them. *)
+
+open Insn
+
+let reg_ok r = r >= 0 && r <= 31
+
+let check_reg r = if not (reg_ok r) then invalid_arg "Code.encode: bad register"
+
+let imm16 i = i land 0xFFFF
+let disp26 d = d land 0x3FF_FFFF
+
+(* Split a 16-bit immediate across bits [25:21] and [10:0] as l.mtspr and
+   the store instructions do. *)
+let split_imm16 i =
+  let i = imm16 i in
+  ((i lsr 11) lsl 21) lor (i land 0x7FF)
+
+let join_imm16 word = (((word lsr 21) land 0x1F) lsl 11) lor (word land 0x7FF)
+
+let sf_code = function
+  | Sfeq -> 0x0 | Sfne -> 0x1
+  | Sfgtu -> 0x2 | Sfgeu -> 0x3 | Sfltu -> 0x4 | Sfleu -> 0x5
+  | Sfgts -> 0xA | Sfges -> 0xB | Sflts -> 0xC | Sfles -> 0xD
+
+let sf_of_code = function
+  | 0x0 -> Some Sfeq | 0x1 -> Some Sfne
+  | 0x2 -> Some Sfgtu | 0x3 -> Some Sfgeu | 0x4 -> Some Sfltu | 0x5 -> Some Sfleu
+  | 0xA -> Some Sfgts | 0xB -> Some Sfges | 0xC -> Some Sflts | 0xD -> Some Sfles
+  | _ -> None
+
+let load_opc = function
+  | Lwz -> 0x21 | Lws -> 0x22 | Lbz -> 0x23 | Lbs -> 0x24 | Lhz -> 0x25 | Lhs -> 0x26
+
+let store_opc = function Sw -> 0x35 | Sb -> 0x36 | Sh -> 0x37
+
+let alui_opc = function
+  | Addi -> 0x27 | Addic -> 0x28 | Andi -> 0x29
+  | Ori -> 0x2A | Xori -> 0x2B | Muli -> 0x2C
+
+let shifti_code = function Slli -> 0 | Srli -> 1 | Srai -> 2 | Rori -> 3
+
+(* (secondary bits 9:8 or 9:6, low nibble) for opcode 0x38 ALU forms. *)
+let alu_code = function
+  | Add -> (0x0, 0x0) | Addc -> (0x0, 0x1) | Sub -> (0x0, 0x2)
+  | And -> (0x0, 0x3) | Or -> (0x0, 0x4) | Xor -> (0x0, 0x5)
+  | Mul -> (0x3, 0x6) | Div -> (0x3, 0x9) | Divu -> (0x3, 0xA) | Mulu -> (0x3, 0xB)
+  | Sll -> (0x0, 0x8) | Srl -> (0x1, 0x8) | Sra -> (0x2, 0x8) | Ror -> (0x3, 0x8)
+
+let ext_code = function
+  | Exths -> (0x0, 0xC) | Extbs -> (0x1, 0xC) | Exthz -> (0x2, 0xC)
+  | Extbz -> (0x3, 0xC) | Extws -> (0x0, 0xD) | Extwz -> (0x1, 0xD)
+
+let encode t =
+  let opc o = o lsl 26 in
+  match t with
+  | Jump d -> opc 0x00 lor disp26 d
+  | Jump_link d -> opc 0x01 lor disp26 d
+  | Branch_noflag d -> opc 0x03 lor disp26 d
+  | Branch_flag d -> opc 0x04 lor disp26 d
+  | Nop k -> opc 0x05 lor (1 lsl 24) lor imm16 k
+  | Movhi (rd, k) -> check_reg rd; opc 0x06 lor (rd lsl 21) lor imm16 k
+  | Macrc rd -> check_reg rd; opc 0x06 lor (rd lsl 21) lor (1 lsl 16)
+  | Sys k -> opc 0x08 lor imm16 k
+  | Trap k -> opc 0x08 lor (0x8 lsl 21) lor imm16 k
+  | Rfe -> opc 0x09
+  | Jump_reg rb -> check_reg rb; opc 0x11 lor (rb lsl 11)
+  | Jump_link_reg rb -> check_reg rb; opc 0x12 lor (rb lsl 11)
+  | Maci (ra, k) -> check_reg ra; opc 0x13 lor (ra lsl 16) lor imm16 k
+  | Load (op, rd, ra, off) ->
+    check_reg rd; check_reg ra;
+    opc (load_opc op) lor (rd lsl 21) lor (ra lsl 16) lor imm16 off
+  | Alui (op, rd, ra, k) ->
+    check_reg rd; check_reg ra;
+    opc (alui_opc op) lor (rd lsl 21) lor (ra lsl 16) lor imm16 k
+  | Mfspr (rd, ra, k) ->
+    check_reg rd; check_reg ra;
+    opc 0x2D lor (rd lsl 21) lor (ra lsl 16) lor imm16 k
+  | Shifti (op, rd, ra, l6) ->
+    check_reg rd; check_reg ra;
+    opc 0x2E lor (rd lsl 21) lor (ra lsl 16) lor (shifti_code op lsl 6) lor (l6 land 0x3F)
+  | Setflagi (op, ra, k) ->
+    check_reg ra;
+    opc 0x2F lor (sf_code op lsl 21) lor (ra lsl 16) lor imm16 k
+  | Mtspr (ra, rb, k) ->
+    check_reg ra; check_reg rb;
+    opc 0x30 lor (ra lsl 16) lor (rb lsl 11) lor split_imm16 k
+  | Macc (op, ra, rb) ->
+    check_reg ra; check_reg rb;
+    let nibble = match op with Mac -> 0x1 | Msb -> 0x2 in
+    opc 0x31 lor (ra lsl 16) lor (rb lsl 11) lor nibble
+  | Store (op, off, ra, rb) ->
+    check_reg ra; check_reg rb;
+    opc (store_opc op) lor (ra lsl 16) lor (rb lsl 11) lor split_imm16 off
+  | Alu (op, rd, ra, rb) ->
+    check_reg rd; check_reg ra; check_reg rb;
+    let hi, lo = alu_code op in
+    let shift_bits = match op with
+      | Sll | Srl | Sra | Ror -> hi lsl 6
+      | Add | Addc | Sub | And | Or | Xor | Mul | Mulu | Div | Divu -> hi lsl 8
+    in
+    opc 0x38 lor (rd lsl 21) lor (ra lsl 16) lor (rb lsl 11) lor shift_bits lor lo
+  | Ext (op, rd, ra) ->
+    check_reg rd; check_reg ra;
+    let hi, lo = ext_code op in
+    opc 0x38 lor (rd lsl 21) lor (ra lsl 16) lor (hi lsl 6) lor lo
+  | Setflag (op, ra, rb) ->
+    check_reg ra; check_reg rb;
+    opc 0x39 lor (sf_code op lsl 21) lor (ra lsl 16) lor (rb lsl 11)
+
+let decode word =
+  let word = word land 0xFFFF_FFFF in
+  let opcode = word lsr 26 in
+  let rd = (word lsr 21) land 0x1F in
+  let ra = (word lsr 16) land 0x1F in
+  let rb = (word lsr 11) land 0x1F in
+  let k = word land 0xFFFF in
+  let d26 = word land 0x3FF_FFFF in
+  match opcode with
+  | 0x00 -> Some (Jump d26)
+  | 0x01 -> Some (Jump_link d26)
+  | 0x03 -> Some (Branch_noflag d26)
+  | 0x04 -> Some (Branch_flag d26)
+  | 0x05 -> if (word lsr 24) land 1 = 1 then Some (Nop k) else None
+  | 0x06 ->
+    if (word lsr 16) land 1 = 1 then Some (Macrc rd) else Some (Movhi (rd, k))
+  | 0x08 ->
+    (match (word lsr 21) land 0x1F with
+     | 0x0 -> Some (Sys k)
+     | 0x8 -> Some (Trap k)
+     | _ -> None)
+  | 0x09 -> Some Rfe
+  | 0x11 -> Some (Jump_reg rb)
+  | 0x12 -> Some (Jump_link_reg rb)
+  | 0x13 -> Some (Maci (ra, k))
+  | 0x21 -> Some (Load (Lwz, rd, ra, k))
+  | 0x22 -> Some (Load (Lws, rd, ra, k))
+  | 0x23 -> Some (Load (Lbz, rd, ra, k))
+  | 0x24 -> Some (Load (Lbs, rd, ra, k))
+  | 0x25 -> Some (Load (Lhz, rd, ra, k))
+  | 0x26 -> Some (Load (Lhs, rd, ra, k))
+  | 0x27 -> Some (Alui (Addi, rd, ra, k))
+  | 0x28 -> Some (Alui (Addic, rd, ra, k))
+  | 0x29 -> Some (Alui (Andi, rd, ra, k))
+  | 0x2A -> Some (Alui (Ori, rd, ra, k))
+  | 0x2B -> Some (Alui (Xori, rd, ra, k))
+  | 0x2C -> Some (Alui (Muli, rd, ra, k))
+  | 0x2D -> Some (Mfspr (rd, ra, k))
+  | 0x2E ->
+    let op = match (word lsr 6) land 0x3 with
+      | 0 -> Slli | 1 -> Srli | 2 -> Srai | _ -> Rori
+    in
+    Some (Shifti (op, rd, ra, word land 0x3F))
+  | 0x2F ->
+    (match sf_of_code ((word lsr 21) land 0x1F) with
+     | Some op -> Some (Setflagi (op, ra, k))
+     | None -> None)
+  | 0x30 -> Some (Mtspr (ra, rb, join_imm16 word))
+  | 0x31 ->
+    (match word land 0xF with
+     | 0x1 -> Some (Macc (Mac, ra, rb))
+     | 0x2 -> Some (Macc (Msb, ra, rb))
+     | _ -> None)
+  | 0x35 -> Some (Store (Sw, join_imm16 word, ra, rb))
+  | 0x36 -> Some (Store (Sb, join_imm16 word, ra, rb))
+  | 0x37 -> Some (Store (Sh, join_imm16 word, ra, rb))
+  | 0x38 ->
+    let lo = word land 0xF in
+    (match lo with
+     | 0x8 ->
+       let op = match (word lsr 6) land 0x3 with
+         | 0 -> Sll | 1 -> Srl | 2 -> Sra | _ -> Ror
+       in
+       Some (Alu (op, rd, ra, rb))
+     | 0xC ->
+       (match (word lsr 6) land 0xF with
+        | 0x0 -> Some (Ext (Exths, rd, ra))
+        | 0x1 -> Some (Ext (Extbs, rd, ra))
+        | 0x2 -> Some (Ext (Exthz, rd, ra))
+        | 0x3 -> Some (Ext (Extbz, rd, ra))
+        | _ -> None)
+     | 0xD ->
+       (match (word lsr 6) land 0xF with
+        | 0x0 -> Some (Ext (Extws, rd, ra))
+        | 0x1 -> Some (Ext (Extwz, rd, ra))
+        | _ -> None)
+     | _ ->
+       let hi = (word lsr 8) land 0x3 in
+       (match hi, lo with
+        | 0x0, 0x0 -> Some (Alu (Add, rd, ra, rb))
+        | 0x0, 0x1 -> Some (Alu (Addc, rd, ra, rb))
+        | 0x0, 0x2 -> Some (Alu (Sub, rd, ra, rb))
+        | 0x0, 0x3 -> Some (Alu (And, rd, ra, rb))
+        | 0x0, 0x4 -> Some (Alu (Or, rd, ra, rb))
+        | 0x0, 0x5 -> Some (Alu (Xor, rd, ra, rb))
+        | 0x3, 0x6 -> Some (Alu (Mul, rd, ra, rb))
+        | 0x3, 0x9 -> Some (Alu (Div, rd, ra, rb))
+        | 0x3, 0xA -> Some (Alu (Divu, rd, ra, rb))
+        | 0x3, 0xB -> Some (Alu (Mulu, rd, ra, rb))
+        | _ -> None))
+  | 0x39 ->
+    (match sf_of_code ((word lsr 21) land 0x1F) with
+     | Some op -> Some (Setflag (op, ra, rb))
+     | None -> None)
+  | _ -> None

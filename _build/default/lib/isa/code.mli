@@ -1,0 +1,12 @@
+(** Binary encoding and decoding of ORBIS32 instructions, following the
+    OpenRISC 1000 architecture manual opcode map. *)
+
+val encode : Insn.t -> int
+(** The 32-bit instruction word.
+    @raise Invalid_argument on an out-of-range register index. *)
+
+val decode : int -> Insn.t option
+(** Total: words that do not correspond to an implemented instruction
+    return [None] and the processor raises an illegal-instruction
+    exception on them. [decode (encode i) = Some i] for every well-formed
+    [i]. *)

@@ -1,0 +1,217 @@
+(* OR1k ORBIS32 basic instruction set.
+
+   This is the instruction population the paper's evaluation targets: the
+   OR1200 implements the basic set (no floating point or custom extensions),
+   and the paper's execution traces "cover all 56 instructions" including
+   system calls, bit rotations, word extensions, and exceptions (§3.1.1,
+   §5.1). We implement that set plus the immediate set-flag forms. *)
+
+type reg = int (* 0 .. 31 *)
+
+type alu_op =
+  | Add | Addc | Sub | And | Or | Xor
+  | Mul | Mulu | Div | Divu
+  | Sll | Srl | Sra | Ror
+
+type alui_op = Addi | Addic | Andi | Ori | Xori | Muli
+
+type shifti_op = Slli | Srli | Srai | Rori
+
+type ext_op = Extbs | Extbz | Exths | Exthz | Extws | Extwz
+
+type sf_op =
+  | Sfeq | Sfne
+  | Sfgtu | Sfgeu | Sfltu | Sfleu
+  | Sfgts | Sfges | Sflts | Sfles
+
+type load_op = Lwz | Lws | Lbz | Lbs | Lhz | Lhs
+
+type store_op = Sw | Sb | Sh
+
+type mac_op = Mac | Msb
+
+type t =
+  | Alu of alu_op * reg * reg * reg          (* rD <- rA op rB *)
+  | Alui of alui_op * reg * reg * int        (* rD <- rA op imm16 *)
+  | Shifti of shifti_op * reg * reg * int    (* rD <- rA shift l6 *)
+  | Ext of ext_op * reg * reg                (* rD <- extend rA *)
+  | Setflag of sf_op * reg * reg             (* SR[F] <- rA cmp rB *)
+  | Setflagi of sf_op * reg * int            (* SR[F] <- rA cmp imm16 *)
+  | Load of load_op * reg * reg * int        (* rD <- mem[rA + simm16] *)
+  | Store of store_op * int * reg * reg      (* mem[rA + simm16] <- rB *)
+  | Jump of int                              (* l.j disp26 *)
+  | Jump_link of int                         (* l.jal disp26 *)
+  | Jump_reg of reg                          (* l.jr rB *)
+  | Jump_link_reg of reg                     (* l.jalr rB *)
+  | Branch_flag of int                       (* l.bf disp26 *)
+  | Branch_noflag of int                     (* l.bnf disp26 *)
+  | Movhi of reg * int                       (* rD <- imm16 << 16 *)
+  | Mfspr of reg * reg * int                 (* rD <- spr[rA | imm16] *)
+  | Mtspr of reg * reg * int                 (* spr[rA | imm16] <- rB *)
+  | Macc of mac_op * reg * reg                (* MACHI:MACLO +/-= rA * rB *)
+  | Maci of reg * int                        (* MACHI:MACLO += rA * simm16 *)
+  | Macrc of reg                             (* rD <- MACLO; MAC <- 0 *)
+  | Sys of int                               (* system call *)
+  | Trap of int                              (* trap *)
+  | Rfe                                      (* return from exception *)
+  | Nop of int
+
+let alu_op_name = function
+  | Add -> "add" | Addc -> "addc" | Sub -> "sub" | And -> "and"
+  | Or -> "or" | Xor -> "xor" | Mul -> "mul" | Mulu -> "mulu"
+  | Div -> "div" | Divu -> "divu" | Sll -> "sll" | Srl -> "srl"
+  | Sra -> "sra" | Ror -> "ror"
+
+let alui_op_name = function
+  | Addi -> "addi" | Addic -> "addic" | Andi -> "andi"
+  | Ori -> "ori" | Xori -> "xori" | Muli -> "muli"
+
+let shifti_op_name = function
+  | Slli -> "slli" | Srli -> "srli" | Srai -> "srai" | Rori -> "rori"
+
+let ext_op_name = function
+  | Extbs -> "extbs" | Extbz -> "extbz" | Exths -> "exths"
+  | Exthz -> "exthz" | Extws -> "extws" | Extwz -> "extwz"
+
+let sf_op_name = function
+  | Sfeq -> "sfeq" | Sfne -> "sfne"
+  | Sfgtu -> "sfgtu" | Sfgeu -> "sfgeu" | Sfltu -> "sfltu" | Sfleu -> "sfleu"
+  | Sfgts -> "sfgts" | Sfges -> "sfges" | Sflts -> "sflts" | Sfles -> "sfles"
+
+let load_op_name = function
+  | Lwz -> "lwz" | Lws -> "lws" | Lbz -> "lbz"
+  | Lbs -> "lbs" | Lhz -> "lhz" | Lhs -> "lhs"
+
+let store_op_name = function Sw -> "sw" | Sb -> "sb" | Sh -> "sh"
+
+let mac_op_name = function Mac -> "mac" | Msb -> "msb"
+
+(* The program-point name used throughout the tool chain: the paper's
+   invariants are of the form risingEdge(l.xxx) -> EXPR, keyed by mnemonic. *)
+let mnemonic = function
+  | Alu (op, _, _, _) -> "l." ^ alu_op_name op
+  | Alui (op, _, _, _) -> "l." ^ alui_op_name op
+  | Shifti (op, _, _, _) -> "l." ^ shifti_op_name op
+  | Ext (op, _, _) -> "l." ^ ext_op_name op
+  | Setflag (op, _, _) -> "l." ^ sf_op_name op
+  | Setflagi (op, _, _) -> "l." ^ sf_op_name op ^ "i"
+  | Load (op, _, _, _) -> "l." ^ load_op_name op
+  | Store (op, _, _, _) -> "l." ^ store_op_name op
+  | Jump _ -> "l.j"
+  | Jump_link _ -> "l.jal"
+  | Jump_reg _ -> "l.jr"
+  | Jump_link_reg _ -> "l.jalr"
+  | Branch_flag _ -> "l.bf"
+  | Branch_noflag _ -> "l.bnf"
+  | Movhi _ -> "l.movhi"
+  | Mfspr _ -> "l.mfspr"
+  | Mtspr _ -> "l.mtspr"
+  | Macc (op, _, _) -> "l." ^ mac_op_name op
+  | Maci _ -> "l.maci"
+  | Macrc _ -> "l.macrc"
+  | Sys _ -> "l.sys"
+  | Trap _ -> "l.trap"
+  | Rfe -> "l.rfe"
+  | Nop _ -> "l.nop"
+
+(* Is this a control-flow instruction with a branch delay slot? *)
+let has_delay_slot = function
+  | Jump _ | Jump_link _ | Jump_reg _ | Jump_link_reg _
+  | Branch_flag _ | Branch_noflag _ -> true
+  | Alu _ | Alui _ | Shifti _ | Ext _ | Setflag _ | Setflagi _
+  | Load _ | Store _ | Movhi _ | Mfspr _ | Mtspr _
+  | Macc _ | Maci _ | Macrc _ | Sys _ | Trap _ | Rfe | Nop _ -> false
+
+(* Destination register written by the instruction, if any. *)
+let dest_reg = function
+  | Alu (_, rd, _, _) | Alui (_, rd, _, _) | Shifti (_, rd, _, _)
+  | Ext (_, rd, _) | Load (_, rd, _, _) | Movhi (rd, _)
+  | Mfspr (rd, _, _) | Macrc rd -> Some rd
+  | Jump_link _ | Jump_link_reg _ -> Some 9 (* link register r9 *)
+  | Setflag _ | Setflagi _ | Store _ | Jump _ | Jump_reg _
+  | Branch_flag _ | Branch_noflag _ | Mtspr _ | Macc _ | Maci _
+  | Sys _ | Trap _ | Rfe | Nop _ -> None
+
+(* Source registers read by the instruction, as (rA, rB) options. *)
+let src_regs = function
+  | Alu (_, _, ra, rb) | Setflag (_, ra, rb) | Mtspr (ra, rb, _)
+  | Macc (_, ra, rb) -> (Some ra, Some rb)
+  | Alui (_, _, ra, _) | Shifti (_, _, ra, _) | Ext (_, _, ra)
+  | Setflagi (_, ra, _) | Load (_, _, ra, _) | Mfspr (_, ra, _)
+  | Maci (ra, _) -> (Some ra, None)
+  | Store (_, _, ra, rb) -> (Some ra, Some rb)
+  | Jump_reg rb | Jump_link_reg rb -> (None, Some rb)
+  | Jump _ | Jump_link _ | Branch_flag _ | Branch_noflag _ | Movhi _
+  | Macrc _ | Sys _ | Trap _ | Rfe | Nop _ -> (None, None)
+
+(* Immediate field of the instruction, if any (sign-interpreted where the
+   semantics sign-extend it). *)
+let immediate = function
+  | Alui (op, _, _, imm) ->
+    (match op with
+     | Addi | Addic | Muli -> Some (Util.U32.signed (Util.U32.sext16 imm))
+     | Andi | Ori | Xori -> Some (imm land 0xFFFF))
+  | Shifti (_, _, _, l6) -> Some (l6 land 0x3F)
+  | Setflagi (_, _, imm) -> Some (Util.U32.signed (Util.U32.sext16 imm))
+  | Load (_, _, _, off) | Store (_, off, _, _) ->
+    Some (Util.U32.signed (Util.U32.sext16 off))
+  | Jump d | Jump_link d | Branch_flag d | Branch_noflag d ->
+    Some (Util.U32.signed (Util.U32.sext ~bits:26 d))
+  | Movhi (_, imm) | Mfspr (_, _, imm) | Mtspr (_, _, imm)
+  | Sys imm | Trap imm | Nop imm -> Some (imm land 0xFFFF)
+  | Maci (_, imm) -> Some (Util.U32.signed (Util.U32.sext16 imm))
+  | Alu _ | Ext _ | Setflag _ | Jump_reg _ | Jump_link_reg _
+  | Macc _ | Macrc _ | Rfe -> None
+
+let pp fmt t =
+  let f = Format.fprintf in
+  match t with
+  | Alu (op, rd, ra, rb) -> f fmt "l.%s r%d,r%d,r%d" (alu_op_name op) rd ra rb
+  | Alui (op, rd, ra, i) -> f fmt "l.%s r%d,r%d,%d" (alui_op_name op) rd ra i
+  | Shifti (op, rd, ra, i) -> f fmt "l.%s r%d,r%d,%d" (shifti_op_name op) rd ra i
+  | Ext (op, rd, ra) -> f fmt "l.%s r%d,r%d" (ext_op_name op) rd ra
+  | Setflag (op, ra, rb) -> f fmt "l.%s r%d,r%d" (sf_op_name op) ra rb
+  | Setflagi (op, ra, i) -> f fmt "l.%si r%d,%d" (sf_op_name op) ra i
+  | Load (op, rd, ra, off) -> f fmt "l.%s r%d,%d(r%d)" (load_op_name op) rd off ra
+  | Store (op, off, ra, rb) -> f fmt "l.%s %d(r%d),r%d" (store_op_name op) off ra rb
+  | Jump d -> f fmt "l.j %d" d
+  | Jump_link d -> f fmt "l.jal %d" d
+  | Jump_reg rb -> f fmt "l.jr r%d" rb
+  | Jump_link_reg rb -> f fmt "l.jalr r%d" rb
+  | Branch_flag d -> f fmt "l.bf %d" d
+  | Branch_noflag d -> f fmt "l.bnf %d" d
+  | Movhi (rd, i) -> f fmt "l.movhi r%d,0x%04X" rd i
+  | Mfspr (rd, ra, i) -> f fmt "l.mfspr r%d,r%d,0x%04X" rd ra i
+  | Mtspr (ra, rb, i) -> f fmt "l.mtspr r%d,r%d,0x%04X" ra rb i
+  | Macc (op, ra, rb) -> f fmt "l.%s r%d,r%d" (mac_op_name op) ra rb
+  | Maci (ra, i) -> f fmt "l.maci r%d,%d" ra i
+  | Macrc rd -> f fmt "l.macrc r%d" rd
+  | Sys k -> f fmt "l.sys %d" k
+  | Trap k -> f fmt "l.trap %d" k
+  | Rfe -> f fmt "l.rfe"
+  | Nop k -> f fmt "l.nop %d" k
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Every mnemonic of the implemented instruction set, used by coverage
+   checks (the trace corpus must exercise all of them, §3.1.1). *)
+let all_mnemonics =
+  let alu = List.map (fun op -> "l." ^ alu_op_name op)
+      [ Add; Addc; Sub; And; Or; Xor; Mul; Mulu; Div; Divu; Sll; Srl; Sra; Ror ]
+  and alui = List.map (fun op -> "l." ^ alui_op_name op)
+      [ Addi; Addic; Andi; Ori; Xori; Muli ]
+  and shifti = List.map (fun op -> "l." ^ shifti_op_name op)
+      [ Slli; Srli; Srai; Rori ]
+  and ext = List.map (fun op -> "l." ^ ext_op_name op)
+      [ Extbs; Extbz; Exths; Exthz; Extws; Extwz ]
+  and sf =
+    List.concat_map (fun op -> [ "l." ^ sf_op_name op; "l." ^ sf_op_name op ^ "i" ])
+      [ Sfeq; Sfne; Sfgtu; Sfgeu; Sfltu; Sfleu; Sfgts; Sfges; Sflts; Sfles ]
+  and load = List.map (fun op -> "l." ^ load_op_name op) [ Lwz; Lws; Lbz; Lbs; Lhz; Lhs ]
+  and store = List.map (fun op -> "l." ^ store_op_name op) [ Sw; Sb; Sh ]
+  and rest =
+    [ "l.j"; "l.jal"; "l.jr"; "l.jalr"; "l.bf"; "l.bnf"; "l.movhi";
+      "l.mfspr"; "l.mtspr"; "l.mac"; "l.msb"; "l.maci"; "l.macrc";
+      "l.sys"; "l.trap"; "l.rfe"; "l.nop" ]
+  in
+  alu @ alui @ shifti @ ext @ sf @ load @ store @ rest

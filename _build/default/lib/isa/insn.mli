@@ -1,0 +1,92 @@
+(** The OR1k ORBIS32 basic instruction set.
+
+    This is the instruction population the paper evaluates on: the OR1200
+    implements the basic set (no floating point or custom extensions) and
+    the trace corpus must cover all of it (§3.1.1). *)
+
+type reg = int
+(** A register index, [0 .. 31]. r0 is hardwired to zero; r9 is the link
+    register. *)
+
+type alu_op =
+  | Add | Addc | Sub | And | Or | Xor
+  | Mul | Mulu | Div | Divu
+  | Sll | Srl | Sra | Ror
+
+type alui_op = Addi | Addic | Andi | Ori | Xori | Muli
+
+type shifti_op = Slli | Srli | Srai | Rori
+
+type ext_op = Extbs | Extbz | Exths | Exthz | Extws | Extwz
+
+type sf_op =
+  | Sfeq | Sfne
+  | Sfgtu | Sfgeu | Sfltu | Sfleu
+  | Sfgts | Sfges | Sflts | Sfles
+
+type load_op = Lwz | Lws | Lbz | Lbs | Lhz | Lhs
+
+type store_op = Sw | Sb | Sh
+
+type mac_op = Mac | Msb
+
+type t =
+  | Alu of alu_op * reg * reg * reg          (** rD <- rA op rB *)
+  | Alui of alui_op * reg * reg * int        (** rD <- rA op imm16 *)
+  | Shifti of shifti_op * reg * reg * int    (** rD <- rA shift l6 *)
+  | Ext of ext_op * reg * reg                (** rD <- extend rA *)
+  | Setflag of sf_op * reg * reg             (** SR\[F\] <- rA cmp rB *)
+  | Setflagi of sf_op * reg * int            (** SR\[F\] <- rA cmp imm16 *)
+  | Load of load_op * reg * reg * int        (** rD <- mem\[rA + simm16\] *)
+  | Store of store_op * int * reg * reg      (** mem\[rA + simm16\] <- rB *)
+  | Jump of int                              (** l.j disp26 *)
+  | Jump_link of int                         (** l.jal disp26 *)
+  | Jump_reg of reg                          (** l.jr rB *)
+  | Jump_link_reg of reg                     (** l.jalr rB *)
+  | Branch_flag of int                       (** l.bf disp26 *)
+  | Branch_noflag of int                     (** l.bnf disp26 *)
+  | Movhi of reg * int                       (** rD <- imm16 << 16 *)
+  | Mfspr of reg * reg * int                 (** rD <- spr\[rA | imm16\] *)
+  | Mtspr of reg * reg * int                 (** spr\[rA | imm16\] <- rB *)
+  | Macc of mac_op * reg * reg               (** MACHI:MACLO +/-= rA * rB *)
+  | Maci of reg * int                        (** MACHI:MACLO += rA * simm16 *)
+  | Macrc of reg                             (** rD <- MACLO; MAC <- 0 *)
+  | Sys of int                               (** system call *)
+  | Trap of int                              (** trap *)
+  | Rfe                                      (** return from exception *)
+  | Nop of int                               (** l.nop 1 exits simulation *)
+
+val alu_op_name : alu_op -> string
+val alui_op_name : alui_op -> string
+val shifti_op_name : shifti_op -> string
+val ext_op_name : ext_op -> string
+val sf_op_name : sf_op -> string
+val load_op_name : load_op -> string
+val store_op_name : store_op -> string
+val mac_op_name : mac_op -> string
+
+val mnemonic : t -> string
+(** The program-point name: the paper's invariants have the form
+    [risingEdge(l.xxx) -> EXPR], keyed by this string ("l.add", ...). *)
+
+val has_delay_slot : t -> bool
+(** Is this a control-flow instruction with a branch delay slot? *)
+
+val dest_reg : t -> reg option
+(** The GPR written by the instruction, if any; l.jal/l.jalr write r9. *)
+
+val src_regs : t -> reg option * reg option
+(** The (rA, rB) register operands read, if any. *)
+
+val immediate : t -> int option
+(** The immediate field, sign-interpreted where the semantics
+    sign-extend it (so [Alui (Addi, _, _, 0xFFFF)] reports [-1]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Assembly syntax: ["l.add r3,r1,r2"]. *)
+
+val to_string : t -> string
+
+val all_mnemonics : string list
+(** Every mnemonic of the implemented set; used by the corpus-coverage
+    checks (the traces must exercise all of them, §3.1.1). *)

@@ -1,0 +1,113 @@
+(* Special-purpose registers and the supervision register bit layout of the
+   OR1200 (OpenRISC 1000 group 0), restricted to the registers the paper
+   tracks: SR, EPCR0, ESR0, EEAR0 plus the MAC unit registers. *)
+
+type t =
+  | Vr      (* version, read-only *)
+  | Sr      (* supervision register *)
+  | Epcr0   (* exception PC *)
+  | Eear0   (* exception effective address *)
+  | Esr0    (* exception SR *)
+  | Machi
+  | Maclo
+
+(* OR1k SPR addresses: group in bits 15:11, index in bits 10:0. *)
+let address = function
+  | Vr -> 0x0000
+  | Sr -> 0x0011
+  | Epcr0 -> 0x0020
+  | Eear0 -> 0x0030
+  | Esr0 -> 0x0040
+  | Machi -> 0x2801 (* group 5 *)
+  | Maclo -> 0x2802
+
+let of_address = function
+  | 0x0000 -> Some Vr
+  | 0x0011 -> Some Sr
+  | 0x0020 -> Some Epcr0
+  | 0x0030 -> Some Eear0
+  | 0x0040 -> Some Esr0
+  | 0x2801 -> Some Machi
+  | 0x2802 -> Some Maclo
+  | _ -> None
+
+let name = function
+  | Vr -> "VR" | Sr -> "SR" | Epcr0 -> "EPCR0" | Eear0 -> "EEAR0"
+  | Esr0 -> "ESR0" | Machi -> "MACHI" | Maclo -> "MACLO"
+
+let all = [ Vr; Sr; Epcr0; Eear0; Esr0; Machi; Maclo ]
+
+(* Supervision register bits (OR1k architecture manual, §16.2.2). *)
+module Sr_bits = struct
+  let sm = 0       (* supervisor mode *)
+  let tee = 1      (* tick timer exception enable *)
+  let iee = 2      (* interrupt exception enable *)
+  let dce = 3      (* data cache enable *)
+  let ice = 4      (* instruction cache enable *)
+  let dme = 5      (* data MMU enable *)
+  let ime = 6      (* instruction MMU enable *)
+  let f = 9        (* conditional branch flag *)
+  let cy = 10      (* carry *)
+  let ov = 11      (* overflow *)
+  let ove = 12     (* overflow exception enable *)
+  let dsx = 13     (* delay slot exception *)
+  let eph = 14     (* exception prefix high *)
+  let fo = 15      (* fixed one *)
+
+  let get sr bit = (sr lsr bit) land 1
+  let set sr bit = sr lor (1 lsl bit)
+  let clear sr bit = sr land lnot (1 lsl bit)
+  let put sr bit v = if v = 0 then clear sr bit else set sr bit
+
+  (* Reset value: fixed-one + supervisor mode. *)
+  let reset = (1 lsl fo) lor (1 lsl sm)
+
+  (* Writable mask for l.mtspr to SR: FO stays 1, reserved bits stay 0. *)
+  let writable_mask = 0xFFFF
+end
+
+(* Exception vectors (physical addresses with EPH = 0). *)
+module Vector = struct
+  type kind =
+    | Reset
+    | Bus_error
+    | Data_page_fault
+    | Insn_page_fault
+    | Tick_timer
+    | Alignment
+    | Illegal
+    | External_interrupt
+    | Range
+    | Syscall
+    | Trap
+
+  let address = function
+    | Reset -> 0x100
+    | Bus_error -> 0x200
+    | Data_page_fault -> 0x300
+    | Insn_page_fault -> 0x400
+    | Tick_timer -> 0x500
+    | Alignment -> 0x600
+    | Illegal -> 0x700
+    | External_interrupt -> 0x800
+    | Range -> 0xB00
+    | Syscall -> 0xC00
+    | Trap -> 0xE00
+
+  let name = function
+    | Reset -> "reset"
+    | Bus_error -> "bus-error"
+    | Data_page_fault -> "data-page-fault"
+    | Insn_page_fault -> "insn-page-fault"
+    | Tick_timer -> "tick-timer"
+    | Alignment -> "alignment"
+    | Illegal -> "illegal-instruction"
+    | External_interrupt -> "external-interrupt"
+    | Range -> "range"
+    | Syscall -> "syscall"
+    | Trap -> "trap"
+
+  let all =
+    [ Reset; Bus_error; Data_page_fault; Insn_page_fault; Tick_timer;
+      Alignment; Illegal; External_interrupt; Range; Syscall; Trap ]
+end

@@ -1,0 +1,82 @@
+(** Special-purpose registers and the supervision-register bit layout of
+    the OR1200 (the subset the paper tracks: SR, EPCR0, ESR0, EEAR0 and
+    the MAC unit registers). *)
+
+type t =
+  | Vr      (** version register, read-only *)
+  | Sr      (** supervision register *)
+  | Epcr0   (** exception PC *)
+  | Eear0   (** exception effective address *)
+  | Esr0    (** exception SR *)
+  | Machi
+  | Maclo
+
+val address : t -> int
+(** The OR1k SPR address (group in bits 15:11, index in 10:0). *)
+
+val of_address : int -> t option
+
+val name : t -> string
+
+val all : t list
+
+(** Supervision register bit positions (OR1k architecture manual
+    §16.2.2): [sm] supervisor mode, [tee]/[iee] tick/interrupt enables,
+    [f] the conditional branch flag, [cy]/[ov] carry and overflow, [ove]
+    the overflow-exception enable, [dsx] the delay-slot exception bit,
+    [fo] the fixed-one bit. *)
+module Sr_bits : sig
+  val sm : int
+  val tee : int
+  val iee : int
+  val dce : int
+  val ice : int
+  val dme : int
+  val ime : int
+  val f : int
+  val cy : int
+  val ov : int
+  val ove : int
+  val dsx : int
+  val eph : int
+  val fo : int
+
+  val get : int -> int -> int
+  (** [get sr bit] is 0 or 1. *)
+
+  val set : int -> int -> int
+
+  val clear : int -> int -> int
+
+  val put : int -> int -> int -> int
+  (** [put sr bit v] writes bit [bit] with [v <> 0]. *)
+
+  val reset : int
+  (** Power-on SR: FO | SM. *)
+
+  val writable_mask : int
+  (** Bits an l.mtspr to SR may change. *)
+end
+
+(** Exception vectors (physical addresses, EPH = 0). *)
+module Vector : sig
+  type kind =
+    | Reset
+    | Bus_error
+    | Data_page_fault
+    | Insn_page_fault
+    | Tick_timer
+    | Alignment
+    | Illegal
+    | External_interrupt
+    | Range
+    | Syscall
+    | Trap
+
+  val address : kind -> int
+  (** 0x100 for reset, 0xC00 for syscall, ... *)
+
+  val name : kind -> string
+
+  val all : kind list
+end

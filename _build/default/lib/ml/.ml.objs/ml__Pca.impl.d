@@ -1,0 +1,1 @@
+lib/ml/pca.ml: Array Float List Matrix

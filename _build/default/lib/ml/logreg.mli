@@ -1,0 +1,49 @@
+(** Elastic-net penalised logistic regression (§3.4): the glmnet
+    algorithm implemented from scratch — an IRLS outer loop builds a
+    weighted quadratic approximation of the log-likelihood; an inner
+    cyclic coordinate-descent loop solves the penalised weighted least
+    squares with soft-thresholding updates (Friedman, Hastie &
+    Tibshirani, J. Stat. Software 2010). *)
+
+type model = {
+  beta : float array;   (** coefficients in standardised feature space *)
+  intercept : float;
+  lambda : float;
+  alpha : float;        (** 1 = lasso, 0 = ridge; the paper uses 0.5 *)
+  stats : float array * float array;
+      (** feature means/stds captured at fit time *)
+}
+
+val sigmoid : float -> float
+
+val soft_threshold : float -> float -> float
+
+val fit :
+  ?alpha:float -> ?max_iter:int -> lambda:float ->
+  Matrix.t -> float array -> model
+(** Fit on raw features (standardisation handled internally); [y] holds
+    0/1 labels. *)
+
+val predict_proba : model -> float array -> float
+(** Probability of class 1 for one raw-feature observation. *)
+
+val predict : model -> float array -> int
+
+val nonzero_features : model -> (int * float) list
+(** The (feature index, coefficient) pairs surviving the l1 penalty:
+    the paper's Table 4. *)
+
+val lambda_max : Matrix.t -> float array -> alpha:float -> float
+(** The smallest lambda that zeroes every coefficient. *)
+
+val lambda_path :
+  Matrix.t -> float array -> alpha:float -> count:int -> float list
+(** Log-spaced, strictly decreasing from {!lambda_max}. *)
+
+val accuracy : model -> Matrix.t -> float array -> float
+
+val cross_validate :
+  ?alpha:float -> ?folds:int -> ?path:int -> seed:int ->
+  Matrix.t -> float array -> float * float * (float * float) list
+(** k-fold CV over a lambda path; returns the best (lambda, accuracy)
+    and the full CV table for 1-SE-style rules. *)

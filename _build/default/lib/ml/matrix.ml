@@ -1,0 +1,104 @@
+(* Minimal dense float matrices for the inference models. Rows are
+   observations, columns features. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array; (* row major *)
+}
+
+let create rows cols = { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let of_rows rows_list =
+  match rows_list with
+  | [] -> invalid_arg "Matrix.of_rows: empty"
+  | first :: _ ->
+    let cols = Array.length first in
+    let rows = List.length rows_list in
+    let m = create rows cols in
+    List.iteri
+      (fun i row ->
+         if Array.length row <> cols then invalid_arg "Matrix.of_rows: ragged";
+         Array.blit row 0 m.data (i * cols) cols)
+      rows_list;
+    m
+
+let get m i j = m.data.((i * m.cols) + j)
+let set m i j v = m.data.((i * m.cols) + j) <- v
+
+let row m i = Array.sub m.data (i * m.cols) m.cols
+
+let column m j = Array.init m.rows (fun i -> get m i j)
+
+let transpose m =
+  let t = create m.cols m.rows in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+(* C = A * B *)
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.cols - 1 do
+          set c i j (get c i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  c
+
+(* Column means and (population) standard deviations, for standardising. *)
+let column_stats m =
+  let means = Array.make m.cols 0.0 and stds = Array.make m.cols 0.0 in
+  let n = float_of_int m.rows in
+  for j = 0 to m.cols - 1 do
+    let s = ref 0.0 in
+    for i = 0 to m.rows - 1 do s := !s +. get m i j done;
+    means.(j) <- !s /. n
+  done;
+  for j = 0 to m.cols - 1 do
+    let s = ref 0.0 in
+    for i = 0 to m.rows - 1 do
+      let d = get m i j -. means.(j) in
+      s := !s +. (d *. d)
+    done;
+    stds.(j) <- sqrt (!s /. n)
+  done;
+  (means, stds)
+
+(* Standardise columns in a copy; zero-variance columns stay zero. *)
+let standardize ?stats m =
+  let means, stds = match stats with Some s -> s | None -> column_stats m in
+  let out = create m.rows m.cols in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      let sd = stds.(j) in
+      set out i j (if sd > 1e-12 then (get m i j -. means.(j)) /. sd else 0.0)
+    done
+  done;
+  (out, (means, stds))
+
+(* Sample covariance matrix of the columns. *)
+let covariance m =
+  let means, _ = column_stats m in
+  let c = create m.cols m.cols in
+  let n = float_of_int (max 1 (m.rows - 1)) in
+  for j = 0 to m.cols - 1 do
+    for k = j to m.cols - 1 do
+      let s = ref 0.0 in
+      for i = 0 to m.rows - 1 do
+        s := !s +. ((get m i j -. means.(j)) *. (get m i k -. means.(k)))
+      done;
+      let v = !s /. n in
+      set c j k v;
+      set c k j v
+    done
+  done;
+  c

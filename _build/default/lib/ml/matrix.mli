@@ -1,0 +1,35 @@
+(** Minimal dense float matrices for the inference models. Rows are
+    observations, columns features. *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;  (** row major *)
+}
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val of_rows : float array list -> t
+(** @raise Invalid_argument on an empty or ragged row list. *)
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val row : t -> int -> float array
+val column : t -> int -> float array
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Matrix product. @raise Invalid_argument on dimension mismatch. *)
+
+val column_stats : t -> float array * float array
+(** Per-column means and population standard deviations. *)
+
+val standardize :
+  ?stats:float array * float array -> t -> t * (float array * float array)
+(** Column-standardised copy; zero-variance columns map to zero. *)
+
+val covariance : t -> t
+(** Sample covariance of the columns. *)

@@ -1,0 +1,128 @@
+(* Principal component analysis via a cyclic Jacobi eigensolver on the
+   covariance matrix, used to reproduce Figure 4: the projection of the
+   labeled invariants onto the first two principal components of the
+   selected (non-zero-coefficient) features. *)
+
+type t = {
+  components : float array array; (* [k][p], rows are eigenvectors *)
+  eigenvalues : float array;
+  means : float array;
+  stds : float array;
+}
+
+(* Jacobi eigendecomposition of a symmetric matrix. Returns eigenvalues
+   and the orthogonal matrix of eigenvectors (as columns). *)
+let jacobi (a : Matrix.t) ~max_sweeps =
+  let n = a.Matrix.rows in
+  let m = Matrix.create n n in
+  Array.blit a.Matrix.data 0 m.Matrix.data 0 (n * n);
+  let v = Matrix.create n n in
+  for i = 0 to n - 1 do Matrix.set v i i 1.0 done;
+  let off_diag () =
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        s := !s +. (Matrix.get m i j ** 2.0)
+      done
+    done;
+    !s
+  in
+  let sweep = ref 0 in
+  while off_diag () > 1e-18 && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let apq = Matrix.get m p q in
+        if Float.abs apq > 1e-15 then begin
+          let app = Matrix.get m p p and aqq = Matrix.get m q q in
+          let theta = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let s = if theta >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs theta +. sqrt ((theta *. theta) +. 1.0))
+          in
+          let c = 1.0 /. sqrt ((t *. t) +. 1.0) in
+          let s = t *. c in
+          (* Rotate rows/columns p and q. *)
+          for k = 0 to n - 1 do
+            let mkp = Matrix.get m k p and mkq = Matrix.get m k q in
+            Matrix.set m k p ((c *. mkp) -. (s *. mkq));
+            Matrix.set m k q ((s *. mkp) +. (c *. mkq))
+          done;
+          for k = 0 to n - 1 do
+            let mpk = Matrix.get m p k and mqk = Matrix.get m q k in
+            Matrix.set m p k ((c *. mpk) -. (s *. mqk));
+            Matrix.set m q k ((s *. mpk) +. (c *. mqk))
+          done;
+          for k = 0 to n - 1 do
+            let vkp = Matrix.get v k p and vkq = Matrix.get v k q in
+            Matrix.set v k p ((c *. vkp) -. (s *. vkq));
+            Matrix.set v k q ((s *. vkp) +. (c *. vkq))
+          done
+        end
+      done
+    done
+  done;
+  let eigenvalues = Array.init n (fun i -> Matrix.get m i i) in
+  (eigenvalues, v)
+
+(* Fit a PCA keeping the top [k] components of the standardised data. *)
+let fit ?(k = 2) (x : Matrix.t) =
+  let xs, (means, stds) = Matrix.standardize x in
+  let cov = Matrix.covariance xs in
+  let eigenvalues, vectors = jacobi cov ~max_sweeps:100 in
+  let p = x.Matrix.cols in
+  let order = Array.init p (fun i -> i) in
+  Array.sort (fun a b -> compare eigenvalues.(b) eigenvalues.(a)) order;
+  let k = min k p in
+  let components =
+    Array.init k
+      (fun rank ->
+         let col = order.(rank) in
+         Array.init p (fun row -> Matrix.get vectors row col))
+  in
+  { components;
+    eigenvalues = Array.init k (fun rank -> eigenvalues.(order.(rank)));
+    means; stds }
+
+(* Project one observation onto the principal components. *)
+let project t row =
+  Array.map
+    (fun component ->
+       let s = ref 0.0 in
+       Array.iteri
+         (fun j cj ->
+            if t.stds.(j) > 1e-12 then
+              s := !s +. (cj *. ((row.(j) -. t.means.(j)) /. t.stds.(j))))
+         component;
+       !s)
+    t.components
+
+let explained_variance t =
+  let total = Array.fold_left ( +. ) 0.0 t.eigenvalues in
+  if total <= 0.0 then Array.map (fun _ -> 0.0) t.eigenvalues
+  else Array.map (fun e -> e /. total) t.eigenvalues
+
+(* Between/within-class separation of a labeled 2-D projection: the ratio
+   of the distance between class centroids to the mean intra-class spread.
+   Used to quantify Figure 4's "invariants cluster adequately". *)
+let separation points labels =
+  let centroid sel =
+    let xs = List.filteri (fun i _ -> sel i) points in
+    let n = float_of_int (max 1 (List.length xs)) in
+    let sx = List.fold_left (fun a p -> a +. p.(0)) 0.0 xs /. n in
+    let sy = List.fold_left (fun a p -> a +. p.(1)) 0.0 xs /. n in
+    (sx, sy, xs)
+  in
+  let labels = Array.of_list labels in
+  let cx0, cy0, pts0 = centroid (fun i -> labels.(i) = 0) in
+  let cx1, cy1, pts1 = centroid (fun i -> labels.(i) = 1) in
+  let dist = sqrt (((cx1 -. cx0) ** 2.0) +. ((cy1 -. cy0) ** 2.0)) in
+  let spread cx cy pts =
+    let n = float_of_int (max 1 (List.length pts)) in
+    List.fold_left
+      (fun a p -> a +. sqrt (((p.(0) -. cx) ** 2.0) +. ((p.(1) -. cy) ** 2.0)))
+      0.0 pts
+    /. n
+  in
+  let within = 0.5 *. (spread cx0 cy0 pts0 +. spread cx1 cy1 pts1) in
+  if within <= 1e-12 then infinity else dist /. within

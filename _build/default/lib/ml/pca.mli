@@ -1,0 +1,27 @@
+(** Principal component analysis with a cyclic Jacobi eigensolver, used to
+    reproduce Figure 4: the projection of the labeled invariants onto the
+    first two principal components of the selected features. *)
+
+type t = {
+  components : float array array;  (** rows are eigenvectors *)
+  eigenvalues : float array;
+  means : float array;
+  stds : float array;
+}
+
+val jacobi : Matrix.t -> max_sweeps:int -> float array * Matrix.t
+(** Eigendecomposition of a symmetric matrix: eigenvalues and the
+    orthogonal eigenvector matrix (columns). *)
+
+val fit : ?k:int -> Matrix.t -> t
+(** The top [k] (default 2) components of the standardised data. *)
+
+val project : t -> float array -> float array
+(** One raw-feature observation onto the retained components. *)
+
+val explained_variance : t -> float array
+
+val separation : float array list -> int list -> float
+(** Between/within-class separation of a labeled 2-D projection: the
+    centroid distance over the mean intra-class spread. Quantifies
+    Figure 4's "invariants cluster adequately". *)

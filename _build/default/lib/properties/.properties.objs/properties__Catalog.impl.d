@@ -1,0 +1,1 @@
+lib/properties/catalog.ml: Bugs Invariant List String Trace

@@ -1,0 +1,1 @@
+lib/properties/catalog.mli: Bugs Invariant

@@ -1,0 +1,281 @@
+(* The security-property catalog of §5.4/§5.5: the 24 processor-core
+   properties from SPECS [22] and Security-Checker [11] (p1..p24), the
+   three out-of-core ones (p25..p27, not targets), and the three new
+   properties this tool chain contributes (p28..p30, Table 7).
+
+   Each in-scope property carries a structural matcher deciding whether a
+   given invariant *represents* it, which is how Table 6/7 coverage is
+   evaluated against the identified and inferred SCI sets. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+type origin = Specs | Security_checker | New_property
+
+type expectation =
+  | Reachable            (* expressible over our ISA-level variables *)
+  | Needs_microarch      (* the paper's starred rows: p18, p24 *)
+  | Not_generated        (* the paper's N rows: p10, p22 *)
+  | Outside_core         (* the paper's peripheral rows: p25..p27 *)
+
+type t = {
+  id : string;
+  description : string;
+  category : Bugs.Registry.category;
+  origin : origin;
+  expectation : expectation;
+  matcher : Expr.t -> bool;
+}
+
+(* ---- matcher building blocks ---- *)
+
+let never _ = false
+
+let mentions name inv =
+  List.exists (fun id -> String.equal (Var.id_name id) name) (Expr.vars inv)
+
+let mentions_base name inv =
+  List.exists (fun id -> String.equal (Var.id_base_name id) name) (Expr.vars inv)
+
+let point_is names (inv : Expr.t) = List.mem inv.Expr.point names
+
+let point_pred p (inv : Expr.t) = p inv.Expr.point
+
+let is_load_point = point_is [ "l.lwz"; "l.lws"; "l.lbz"; "l.lbs"; "l.lhz"; "l.lhs" ]
+let is_store_point = point_is [ "l.sw"; "l.sb"; "l.sh" ]
+let is_jump_point = point_is [ "l.j"; "l.jal"; "l.jr"; "l.jalr"; "l.bf"; "l.bnf" ]
+let is_setflag_point =
+  point_pred (fun p ->
+      String.length p > 3 && String.sub p 0 4 = "l.sf")
+
+(* Points at which an exception can be observed in our corpus. *)
+let is_exception_point inv =
+  point_is [ "l.sys"; "l.trap"; "illegal" ] inv
+  || mentions "VEC" inv || mentions "EXN" inv || mentions "EPCR_D" inv
+
+let eq_between a b (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, Expr.V x, Expr.V y) ->
+    let nx = Var.id_name x and ny = Var.id_name y in
+    (String.equal nx a && String.equal ny b)
+    || (String.equal nx b && String.equal ny a)
+  | _ -> false
+
+let eq_const name value (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, Expr.V x, Expr.Imm c)
+  | Expr.Cmp (Expr.Eq, Expr.Imm c, Expr.V x) ->
+    String.equal (Var.id_name x) name && c = value
+  | _ -> false
+
+(* "Y - X = c" or "X = Y + c"-shaped link between two named variables. *)
+let diff_between a b (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, x, y), Expr.Imm _) ->
+    let nx = Var.id_name x and ny = Var.id_name y in
+    (String.equal nx a && String.equal ny b)
+    || (String.equal nx b && String.equal ny a)
+  | _ -> false
+
+(* A self-framing invariant GPRn = orig(GPRn). *)
+let same_reg_frame (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, Expr.V x, Expr.V y) ->
+    let bx = Var.id_base_name x and by = Var.id_base_name y in
+    String.equal bx by
+    && Var.is_orig x <> Var.is_orig y
+    && String.length bx > 3 && String.sub bx 0 3 = "GPR"
+  | _ -> false
+
+let vector_const (inv : Expr.t) =
+  match inv.Expr.body with
+  | Expr.Cmp (Expr.Eq, Expr.V x, Expr.Imm c)
+  | Expr.Cmp (Expr.Eq, Expr.Imm c, Expr.V x) ->
+    (String.equal (Var.id_name x) "PC"
+     || String.equal (Var.id_name x) "VEC"
+     || String.equal (Var.id_name x) "NPC")
+    && c land 0xFF = 0 && c > 0 && c <= 0xF04
+  | _ -> false
+
+(* ---- the catalog ---- *)
+
+let catalog : t list =
+  let open Bugs.Registry in
+  [ (* SPECS properties *)
+    { id = "p1"; description = "Execution privilege matches page privilege";
+      category = Xr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          (is_load_point inv || is_store_point inv) && mentions_base "SM" inv) };
+    { id = "p2"; description = "SPR equals GPR in register move instructions";
+      category = Ru; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          point_is [ "l.mtspr"; "l.mfspr" ] inv
+          && (eq_between "SPR" "OPB" inv || eq_between "SPR" "DEST" inv
+              || eq_between "orig(SPR)" "DEST" inv)) };
+    { id = "p3"; description = "Updates to exception registers make sense";
+      category = Xr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          mentions "EPCR_D" inv
+          || eq_between "ESR0" "orig(SR)" inv
+          || eq_between "EEAR0" "orig(PC)" inv
+          || (is_exception_point inv && diff_between "EEAR0" "orig(NPC)" inv)) };
+    { id = "p4"; description = "Destination matches the target";
+      category = Cr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv -> mentions "REGD" inv && mentions "DEST" inv) };
+    { id = "p5"; description = "Memory value in equals register value out";
+      category = Ma; origin = Specs; expectation = Reachable;
+      matcher = (fun inv -> is_store_point inv && eq_between "MEMBUS" "OPB" inv) };
+    { id = "p6"; description = "Register value in equals memory value out";
+      category = Ma; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          is_load_point inv
+          && (eq_between "DEST" "MEMBUS" inv
+              || mentions "EXT_HI" inv || mentions "EXT_SIGN" inv)) };
+    { id = "p7"; description = "Memory address equals effective address";
+      category = Ma; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          (is_load_point inv || is_store_point inv)
+          && (eq_between "EA" "EA_REF" inv || diff_between "EA" "EA_REF" inv)) };
+    { id = "p8"; description = "Privilege escalates correctly";
+      category = Xr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv -> is_exception_point inv && eq_const "SM" 1 inv) };
+    { id = "p9"; description = "Privilege deescalates correctly";
+      category = Xr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          point_is [ "l.rfe" ] inv
+          && (eq_between "SR" "orig(ESR0)" inv || mentions_base "SM" inv)) };
+    { id = "p10"; description = "Jumps update the PC correctly";
+      category = Cf; origin = Specs; expectation = Not_generated;
+      matcher = (fun inv ->
+          is_jump_point inv
+          && (eq_between "PC" "EA" inv || diff_between "PC" "EA" inv)) };
+    { id = "p11"; description = "Jumps update the LR correctly";
+      category = Cf; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          point_is [ "l.jal"; "l.jalr" ] inv
+          && (diff_between "GPR9" "orig(PC)" inv
+              || diff_between "GPR9" "orig(NPC)" inv
+              || diff_between "DEST" "orig(PC)" inv
+              || diff_between "DEST" "orig(NPC)" inv)) };
+    { id = "p12"; description = "Instruction is in a valid format";
+      category = Ie; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          eq_between "IR" "MEM_AT_PC" inv || mentions "OPCODE" inv) };
+    { id = "p13"; description = "Continuous control flow";
+      category = Cf; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          (not (is_jump_point inv))
+          && (diff_between "PC" "orig(PC)" inv
+              || diff_between "NPC" "PC" inv
+              || diff_between "NPC" "orig(NPC)" inv
+              || vector_const inv)) };
+    { id = "p14"; description = "Exception return updates state correctly";
+      category = Xr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          point_is [ "l.rfe" ] inv
+          && (mentions_base "EPCR0" inv || mentions_base "SR" inv
+              || mentions_base "ESR0" inv)) };
+    { id = "p15"; description = "Reg change implies that it is the instruction target";
+      category = Cr; origin = Specs; expectation = Reachable;
+      matcher = same_reg_frame };
+    { id = "p16"; description = "SR is not written to a GPR in user mode";
+      category = Ru; origin = Specs; expectation = Reachable;
+      matcher = (fun inv ->
+          match inv.Expr.body with
+          | Expr.Cmp (Expr.Ne, Expr.V x, Expr.V y) ->
+            let names = [ Var.id_name x; Var.id_name y ] in
+            List.mem "SR" names && (List.mem "DEST" names)
+          | _ -> false) };
+    { id = "p17"; description = "Interrupt implies handled";
+      category = Xr; origin = Specs; expectation = Reachable;
+      matcher = (fun inv -> is_exception_point inv && vector_const inv) };
+    { id = "p18"; description = "Instr unchanged in pipeline";
+      category = Ie; origin = Specs; expectation = Needs_microarch;
+      matcher = never };
+    (* Security-Checker properties *)
+    { id = "p19"; description = "SPR modified only in supervisor mode";
+      category = Ru; origin = Security_checker; expectation = Reachable;
+      matcher = (fun inv ->
+          point_is [ "l.mtspr"; "l.mfspr" ] inv && eq_const "SM" 1 inv) };
+    { id = "p20"; description = "Enter supervisor mode is on reset or exception";
+      category = Xr; origin = Security_checker; expectation = Reachable;
+      matcher = (fun inv ->
+          is_exception_point inv && mentions_base "SM" inv
+          && (mentions "VEC" inv || mentions "EXN" inv || eq_const "SM" 1 inv)) };
+    { id = "p21"; description = "Exception handling implies exception mechanism activated";
+      category = Xr; origin = Security_checker; expectation = Reachable;
+      matcher = (fun inv ->
+          is_exception_point inv
+          && (eq_const "EXN" 1 inv || eq_between "ESR0" "orig(SR)" inv)) };
+    { id = "p22"; description = "Unspecified custom instructions are not allowed";
+      category = Ie; origin = Security_checker; expectation = Not_generated;
+      matcher = never };
+    { id = "p23"; description = "Exception handler accessed only during exception, in supvr mode, or on reset";
+      category = Xr; origin = Security_checker; expectation = Reachable;
+      matcher = (fun inv ->
+          vector_const inv
+          || (is_exception_point inv && mentions "VEC" inv)) };
+    { id = "p24"; description = "Page fault generated if MMU detects an access control violation";
+      category = Ma; origin = Security_checker; expectation = Needs_microarch;
+      matcher = never };
+    (* Outside the processor core *)
+    { id = "p25"; description = "UART output changes on a write command from CPU";
+      category = Ma; origin = Security_checker; expectation = Outside_core;
+      matcher = never };
+    { id = "p26"; description = "Only transmit cmd or initialization change Ethernet data output";
+      category = Ma; origin = Security_checker; expectation = Outside_core;
+      matcher = never };
+    { id = "p27"; description = "Debug Unit's value and ctrl regs only accessible from supvr mode";
+      category = Ru; origin = Security_checker; expectation = Outside_core;
+      matcher = never };
+    (* New properties (Table 7) *)
+    { id = "p28"; description = "Flags that influence control flow should be set correctly";
+      category = Cf; origin = New_property; expectation = Reachable;
+      matcher = (fun inv ->
+          is_setflag_point inv
+          && (mentions "PROD_U" inv || mentions "PROD_S" inv
+              || mentions "CMPZ" inv)) };
+    { id = "p29"; description = "Calculation of memory address or memory data is correct";
+      category = Ma; origin = New_property; expectation = Reachable;
+      matcher = (fun inv ->
+          eq_const "GPR0" 0 inv || eq_const "orig(GPR0)" 0 inv
+          || (point_pred (fun p -> String.length p > 5 && String.sub p 0 6 = "l.extw") inv
+              && eq_between "DEST" "OPA" inv)
+          || mentions "EA_REF" inv) };
+    { id = "p30"; description = "Link address is not modified during function call execution";
+      category = Cf; origin = New_property; expectation = Reachable;
+      matcher = (fun inv ->
+          (not (point_is [ "l.jal"; "l.jalr" ] inv))
+          && (eq_between "GPR9" "orig(GPR9)" inv)) };
+  ]
+
+let by_id id = List.find_opt (fun p -> String.equal p.id id) catalog
+
+let in_scope p =
+  match p.expectation with
+  | Reachable | Not_generated -> true
+  | Needs_microarch | Outside_core -> false
+
+(* ---- coverage evaluation (the Table 6/7 harness) ---- *)
+
+type coverage = {
+  property : t;
+  from_identification : bool;
+  found_by_bugs : string list; (* bug ids whose SCI matched *)
+  from_inference : bool;
+}
+
+let evaluate ~(identified : (string * Expr.t list) list) ~(inferred : Expr.t list) =
+  List.map
+    (fun property ->
+       let found_by_bugs =
+         List.filter_map
+           (fun (bug_id, sci) ->
+              if List.exists property.matcher sci then Some bug_id else None)
+           identified
+       in
+       { property;
+         from_identification = found_by_bugs <> [];
+         found_by_bugs;
+         from_inference = List.exists property.matcher inferred })
+    catalog

@@ -1,0 +1,46 @@
+(** The security-property catalog of §5.4/§5.5: the 24 processor-core
+    properties from SPECS and Security-Checker (p1..p24), the three
+    out-of-core ones (p25..p27), and the three new properties this tool
+    chain contributes (p28..p30, Table 7). Each in-scope property carries
+    a structural matcher deciding whether an invariant represents it —
+    the Table 6/7 coverage evaluation. *)
+
+type origin = Specs | Security_checker | New_property
+
+type expectation =
+  | Reachable        (** expressible over our ISA-level variables *)
+  | Needs_microarch  (** the paper's starred rows: p18, p24 *)
+  | Not_generated    (** the paper's N rows: p10, p22 *)
+  | Outside_core     (** peripherals: p25..p27 *)
+
+type t = {
+  id : string;
+  description : string;
+  category : Bugs.Registry.category;
+  origin : origin;
+  expectation : expectation;
+  matcher : Invariant.Expr.t -> bool;
+}
+
+val catalog : t list
+(** All 30 properties, in paper order. *)
+
+val by_id : string -> t option
+
+val in_scope : t -> bool
+(** The 22 prior-work properties the paper evaluates against, plus the
+    three new ones. *)
+
+type coverage = {
+  property : t;
+  from_identification : bool;
+  found_by_bugs : string list;  (** bug ids whose SCI matched *)
+  from_inference : bool;
+}
+
+val evaluate :
+  identified:(string * Invariant.Expr.t list) list ->
+  inferred:Invariant.Expr.t list ->
+  coverage list
+(** [identified] maps bug ids to their SCI; [inferred] is the surviving
+    inference output. *)

@@ -1,0 +1,1 @@
+lib/sci/checker.ml: Array Hashtbl Invariant List Option Trace

@@ -1,0 +1,1 @@
+lib/sci/checker.mli: Invariant Trace

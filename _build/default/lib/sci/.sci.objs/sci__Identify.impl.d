@@ -1,0 +1,1 @@
+lib/sci/identify.ml: Bugs Checker Cpu Hashtbl Invariant List Trace Workloads

@@ -1,0 +1,1 @@
+lib/sci/identify.mli: Bugs Checker Cpu Invariant Trace Workloads

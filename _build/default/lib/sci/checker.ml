@@ -1,0 +1,49 @@
+(* Invariant checking over traces: the core of SCI identification. The
+   invariant set is indexed by program point so each record is only
+   evaluated against the invariants of its own instruction. *)
+
+module Expr = Invariant.Expr
+
+type index = {
+  by_point : (string, Expr.t array) Hashtbl.t;
+  total : int;
+}
+
+let index invariants =
+  let tmp = Hashtbl.create 97 in
+  List.iter
+    (fun (inv : Expr.t) ->
+       let existing = Option.value ~default:[] (Hashtbl.find_opt tmp inv.Expr.point) in
+       Hashtbl.replace tmp inv.Expr.point (inv :: existing))
+    invariants;
+  let by_point = Hashtbl.create 97 in
+  Hashtbl.iter
+    (fun point invs -> Hashtbl.replace by_point point (Array.of_list invs))
+    tmp;
+  { by_point; total = List.length invariants }
+
+(* All distinct invariants violated anywhere in [records]. *)
+let violations idx records =
+  let violated = Hashtbl.create 64 in
+  List.iter
+    (fun (record : Trace.Record.t) ->
+       match Hashtbl.find_opt idx.by_point record.Trace.Record.point with
+       | None -> ()
+       | Some invs ->
+         Array.iter
+           (fun inv ->
+              let key = Expr.canonical inv in
+              if not (Hashtbl.mem violated key) && Expr.violated inv record then
+                Hashtbl.replace violated key inv)
+           invs)
+    records;
+  Hashtbl.fold (fun _ inv acc -> inv :: acc) violated []
+  |> List.sort Expr.compare
+
+(* First record index at which [inv] is violated, for diagnostics. *)
+let first_violation inv records =
+  let rec go i = function
+    | [] -> None
+    | r :: rest -> if Expr.violated inv r then Some i else go (i + 1) rest
+  in
+  go 0 records

@@ -1,0 +1,14 @@
+(** Invariant checking over traces: the core of SCI identification. The
+    invariant set is indexed by program point so each record only
+    evaluates the invariants of its own instruction. *)
+
+type index
+
+val index : Invariant.Expr.t list -> index
+
+val violations : index -> Trace.Record.t list -> Invariant.Expr.t list
+(** All distinct invariants violated anywhere in the trace, in canonical
+    order. *)
+
+val first_violation : Invariant.Expr.t -> Trace.Record.t list -> int option
+(** The first offending record index, for diagnostics. *)

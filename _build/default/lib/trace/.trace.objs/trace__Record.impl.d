@@ -1,0 +1,1 @@
+lib/trace/record.ml: Array Format Hashtbl Isa List Var

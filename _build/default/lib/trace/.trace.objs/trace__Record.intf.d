@@ -1,0 +1,1 @@
+lib/trace/record.mli: Format Isa Var

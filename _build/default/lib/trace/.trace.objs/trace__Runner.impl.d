@@ -1,0 +1,1 @@
+lib/trace/runner.ml: Array Cpu Isa List Record Util Var

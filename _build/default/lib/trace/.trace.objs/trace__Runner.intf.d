@@ -1,0 +1,1 @@
+lib/trace/runner.mli: Cpu Record

@@ -1,0 +1,87 @@
+(* One observation: the software-visible machine state sampled at an
+   instruction boundary (§3.1.3), after delay-slot fusion (§3.1.5). *)
+
+type t = {
+  point : string;          (* program point: the instruction mnemonic *)
+  values : int array;      (* indexed by Var.id; length Var.total *)
+  mask : bool array;       (* per-point applicability, shared across records *)
+}
+
+let get t id = t.values.(id)
+
+(* Per-point applicability of instruction variables. Dual variables are
+   always applicable; instruction variables depend on the instruction
+   format, which is a function of the mnemonic, so the mask is stable for
+   a given point. *)
+type mask = bool array (* length Var.total *)
+
+type mask_config = {
+  (* Expose the branch-target effective address as a derived variable at
+     jump/branch points. The paper's configuration lacked it (property p10
+     was reported as not generated, §5.4); enabling it is the documented
+     fix. Off by default for paper fidelity. *)
+  jump_ea : bool;
+}
+
+let default_config = { jump_ea = false }
+
+let mask_of_insn config insn : mask =
+  let open Isa.Insn in
+  let m = Array.make Var.total true in
+  let set v b = m.(Var.insn_id v) <- b in
+  let ra, rb = src_regs insn in
+  set Var.Im (immediate insn <> None);
+  set Var.Regd (dest_reg insn <> None);
+  set Var.Dest (dest_reg insn <> None);
+  set Var.Rega (ra <> None);
+  set Var.Opa (ra <> None);
+  set Var.Regb (rb <> None);
+  set Var.Opb (rb <> None);
+  let is_mem = match insn with Load _ | Store _ -> true | _ -> false in
+  let is_ctl = match insn with
+    | Jump _ | Jump_link _ | Jump_reg _ | Jump_link_reg _
+    | Branch_flag _ | Branch_noflag _ -> true
+    | _ -> false
+  in
+  set Var.Ea (is_mem || (config.jump_ea && is_ctl));
+  set Var.Ea_ref is_mem;
+  set Var.Membus is_mem;
+  let is_setflag = match insn with Setflag _ | Setflagi _ -> true | _ -> false in
+  set Var.Cmpdiff_u is_setflag;
+  set Var.Cmpdiff_s is_setflag;
+  set Var.Prod_u is_setflag;
+  set Var.Prod_s is_setflag;
+  let is_spr = match insn with Mfspr _ | Mtspr _ -> true | _ -> false in
+  set Var.Spr_orig is_spr;
+  set Var.Spr_post is_spr;
+  set Var.Cmpz is_setflag;
+  let is_sign_load = match insn with
+    | Load ((Lbs | Lhs), _, _, _) -> true
+    | _ -> false
+  in
+  set Var.Ext_sign is_sign_load;
+  set Var.Ext_hi is_sign_load;
+  m
+
+(* Registry of point -> mask, filled lazily from the first instruction
+   observed at each point. *)
+type mask_table = (string, mask) Hashtbl.t
+
+let create_mask_table () : mask_table = Hashtbl.create 64
+
+let mask_for table config point insn =
+  match Hashtbl.find_opt table point with
+  | Some m -> m
+  | None ->
+    let m = mask_of_insn config insn in
+    Hashtbl.add table point m;
+    m
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v 2>%s:" t.point;
+  List.iter
+    (fun id ->
+       let v = t.values.(id) in
+       if v <> 0 then Format.fprintf fmt "@ %s = 0x%X" (Var.id_name id) v)
+    Var.all_ids;
+  Format.fprintf fmt "@]"

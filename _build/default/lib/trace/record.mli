@@ -1,0 +1,36 @@
+(** One observation: the software-visible machine state sampled at an
+    instruction boundary (§3.1.3), after delay-slot fusion (§3.1.5). *)
+
+type t = {
+  point : string;      (** program point: the instruction mnemonic *)
+  values : int array;  (** indexed by {!Var.id}; length {!Var.total} *)
+  mask : bool array;   (** per-point applicability, shared across records *)
+}
+
+val get : t -> Var.id -> int
+
+type mask = bool array
+
+type mask_config = {
+  jump_ea : bool;
+      (** expose the branch-target effective address at jump points. The
+          paper's configuration lacked it (property p10 was "not
+          generated", §5.4); off by default for fidelity, on for the
+          ablation. *)
+}
+
+val default_config : mask_config
+
+val mask_of_insn : mask_config -> Isa.Insn.t -> mask
+(** Which instruction variables apply to this instruction format. Dual
+    variables always apply. *)
+
+type mask_table
+
+val create_mask_table : unit -> mask_table
+
+val mask_for : mask_table -> mask_config -> string -> Isa.Insn.t -> mask
+(** The cached mask of a program point, built from its first observed
+    instruction. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** The trace runner: executes a program on a {!Cpu.Machine.t} and emits
+    one {!Record.t} per retired instruction, fusing each control-flow
+    instruction with the instruction in its delay slot (§3.1.5). A
+    delay-slot instruction that raises an exception additionally gets a
+    record of its own, so "l.sys in a delay slot" (bug b1) is observable
+    at the l.sys program point. *)
+
+type config = {
+  mask_config : Record.mask_config;
+  max_steps : int;
+}
+
+val default_config : config
+
+type outcome = [ `Halted of Cpu.Machine.halt_reason | `Max_steps ]
+
+val run :
+  ?config:config -> observer:(Record.t -> unit) -> Cpu.Machine.t -> outcome
+(** Drive a prepared machine, streaming fused records to [observer]. *)
+
+val capture :
+  ?config:config -> ?fault:Cpu.Fault.t -> ?tick_period:int ->
+  entry:int -> (int * int) list -> Record.t list * outcome
+(** Run a fresh machine over an assembled image and return the stored
+    records (for the small trigger traces). *)
+
+val stream :
+  ?config:config -> ?fault:Cpu.Fault.t -> ?tick_period:int ->
+  entry:int -> observer:(Record.t -> unit) -> (int * int) list -> outcome
+(** Streaming variant for the large mining corpus: records are never
+    materialised. *)

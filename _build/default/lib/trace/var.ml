@@ -1,0 +1,173 @@
+(* The universe of tracked variables.
+
+   Following §3.1.3 we track every software-visible variable: all GPRs, the
+   special purpose registers, flags, the data and address of the memory
+   subsystem, target registers and immediate values. "Dual" variables have
+   a value before (orig) and after the instruction; "insn" variables are
+   properties of the instruction execution itself.
+
+   Derived variables (§3.1.4) extend the raw state: the SR bit-flags, the
+   effective address, the exception vector/EPCR-delta/DSX-consistency
+   observations, and the compare-direction products that let the miner
+   express the paper's p28 invariant
+     risingEdge(l.sfleu) -> (OPA - OPB) * (1 - 2*CF) >= 0. *)
+
+(* Comparability kind: only variables of compatible kinds are compared
+   pairwise, as in Daikon's comparability analysis. *)
+type kind =
+  | Addr      (* program counters, effective addresses, exception PCs *)
+  | Data      (* register and bus contents *)
+  | Srword    (* whole status registers *)
+  | Flag      (* single bits *)
+  | Regidx    (* register indices from the instruction word *)
+  | Imm       (* immediate fields *)
+  | Diff      (* signed derived differences and products *)
+
+(* ---- Dual variables (have orig() and post values) ---- *)
+
+let n_gpr = 32
+
+type dual =
+  | Pc | Npc | Nnpc
+  | Gpr of int
+  | Sr_full | Sf | Sm | Cy | Ov | Dsx | Tee | Iee
+  | Epcr | Esr | Eear
+  | Machi | Maclo
+
+let dual_count = 3 + n_gpr + 8 + 3 + 2
+
+let dual_index = function
+  | Pc -> 0 | Npc -> 1 | Nnpc -> 2
+  | Gpr i -> 3 + i
+  | Sr_full -> 35 | Sf -> 36 | Sm -> 37 | Cy -> 38 | Ov -> 39
+  | Dsx -> 40 | Tee -> 41 | Iee -> 42
+  | Epcr -> 43 | Esr -> 44 | Eear -> 45
+  | Machi -> 46 | Maclo -> 47
+
+let dual_of_index i =
+  if i = 0 then Pc else if i = 1 then Npc else if i = 2 then Nnpc
+  else if i < 35 then Gpr (i - 3)
+  else match i with
+    | 35 -> Sr_full | 36 -> Sf | 37 -> Sm | 38 -> Cy | 39 -> Ov
+    | 40 -> Dsx | 41 -> Tee | 42 -> Iee
+    | 43 -> Epcr | 44 -> Esr | 45 -> Eear
+    | 46 -> Machi | 47 -> Maclo
+    | _ -> invalid_arg "Var.dual_of_index"
+
+let dual_name = function
+  | Pc -> "PC" | Npc -> "NPC" | Nnpc -> "NNPC"
+  | Gpr i -> Printf.sprintf "GPR%d" i
+  | Sr_full -> "SR" | Sf -> "SF" | Sm -> "SM" | Cy -> "CY" | Ov -> "OV"
+  | Dsx -> "DSX" | Tee -> "TEE" | Iee -> "IEE"
+  | Epcr -> "EPCR0" | Esr -> "ESR0" | Eear -> "EEAR0"
+  | Machi -> "MACHI" | Maclo -> "MACLO"
+
+let dual_kind = function
+  | Pc | Npc | Nnpc | Epcr | Eear -> Addr
+  | Gpr _ | Machi | Maclo -> Data
+  | Sr_full | Esr -> Srword
+  | Sf | Sm | Cy | Ov | Dsx | Tee | Iee -> Flag
+
+(* ---- Instruction variables (one value per record) ---- *)
+
+type ivar =
+  | Ir          (* the fetched instruction word *)
+  | Mem_at_pc   (* the memory word at PC: IR = MEM_AT_PC is the p12-style
+                   "processor executes the specified instruction" property *)
+  | Im          (* immediate field *)
+  | Regd | Rega | Regb
+  | Opa | Opb   (* operand values *)
+  | Dest        (* writeback value *)
+  | Ea          (* effective address (memory or branch target) *)
+  | Membus      (* data transferred on the memory bus *)
+  | Vec         (* exception vector control transferred to, 0 if none *)
+  | Exn         (* 1 if an exception was entered *)
+  | Epcr_d      (* EPCR - instruction address when an exception was entered *)
+  | Dsx_ok      (* 1 unless an exception mis-recorded the delay-slot bit *)
+  | Cmpdiff_u   (* set-flag: exact unsigned operand difference *)
+  | Cmpdiff_s   (* set-flag: exact signed operand difference *)
+  | Prod_u      (* CMPDIFF_U * (1 - 2*SF) *)
+  | Prod_s      (* CMPDIFF_S * (1 - 2*SF) *)
+  | Spr_orig    (* addressed SPR value before an mtspr/mfspr *)
+  | Spr_post    (* addressed SPR value after an mtspr/mfspr *)
+  | Opcode      (* IR >> 26: the primary opcode of the executed word *)
+  | Cmpz        (* set-flag: 1 when the operands are exactly equal *)
+  | Ext_sign    (* sign-extending load: the sign bit of the raw datum *)
+  | Ext_hi      (* sign-extending load: the extension bits of DEST *)
+  | Ea_ref      (* load/store: base operand + offset, recomputed by the
+                   instrumenter; EA = EA_REF is property p7 *)
+
+let ivar_count = 26
+
+let ivar_index = function
+  | Ir -> 0 | Mem_at_pc -> 1 | Im -> 2
+  | Regd -> 3 | Rega -> 4 | Regb -> 5
+  | Opa -> 6 | Opb -> 7 | Dest -> 8 | Ea -> 9 | Membus -> 10
+  | Vec -> 11 | Exn -> 12 | Epcr_d -> 13 | Dsx_ok -> 14
+  | Cmpdiff_u -> 15 | Cmpdiff_s -> 16 | Prod_u -> 17 | Prod_s -> 18
+  | Spr_orig -> 19 | Spr_post -> 20
+  | Opcode -> 21 | Cmpz -> 22 | Ext_sign -> 23 | Ext_hi -> 24 | Ea_ref -> 25
+
+let ivar_of_index = function
+  | 0 -> Ir | 1 -> Mem_at_pc | 2 -> Im
+  | 3 -> Regd | 4 -> Rega | 5 -> Regb
+  | 6 -> Opa | 7 -> Opb | 8 -> Dest | 9 -> Ea | 10 -> Membus
+  | 11 -> Vec | 12 -> Exn | 13 -> Epcr_d | 14 -> Dsx_ok
+  | 15 -> Cmpdiff_u | 16 -> Cmpdiff_s | 17 -> Prod_u | 18 -> Prod_s
+  | 19 -> Spr_orig | 20 -> Spr_post
+  | 21 -> Opcode | 22 -> Cmpz | 23 -> Ext_sign | 24 -> Ext_hi | 25 -> Ea_ref
+  | _ -> invalid_arg "Var.ivar_of_index"
+
+let ivar_name = function
+  | Ir -> "IR" | Mem_at_pc -> "MEM_AT_PC" | Im -> "IMM"
+  | Regd -> "REGD" | Rega -> "REGA" | Regb -> "REGB"
+  | Opa -> "OPA" | Opb -> "OPB" | Dest -> "DEST" | Ea -> "EA"
+  | Membus -> "MEMBUS"
+  | Vec -> "VEC" | Exn -> "EXN" | Epcr_d -> "EPCR_D" | Dsx_ok -> "DSX_OK"
+  | Cmpdiff_u -> "CMPDIFF_U" | Cmpdiff_s -> "CMPDIFF_S"
+  | Prod_u -> "PROD_U" | Prod_s -> "PROD_S"
+  | Spr_orig -> "orig(SPR)" | Spr_post -> "SPR"
+  | Opcode -> "OPCODE" | Cmpz -> "CMPZ"
+  | Ext_sign -> "EXT_SIGN" | Ext_hi -> "EXT_HI" | Ea_ref -> "EA_REF"
+
+let ivar_kind = function
+  | Ir | Mem_at_pc | Opa | Opb | Dest | Membus | Spr_orig | Spr_post
+  | Ext_sign | Ext_hi -> Data
+  | Im | Opcode -> Imm
+  | Regd | Rega | Regb -> Regidx
+  | Ea | Vec | Ea_ref -> Addr
+  | Exn | Dsx_ok | Cmpz -> Flag
+  | Epcr_d | Cmpdiff_u | Cmpdiff_s | Prod_u | Prod_s -> Diff
+
+(* ---- A flat id space over all variables, as the miner sees them ----
+   ids [0, dual_count)                : orig(dual)
+   ids [dual_count, 2*dual_count)     : post(dual)
+   ids [2*dual_count, ... )           : insn vars *)
+
+type id = int
+
+let total = (2 * dual_count) + ivar_count
+
+let orig_id d = dual_index d
+let post_id d = dual_count + dual_index d
+let insn_id v = (2 * dual_count) + ivar_index v
+
+let is_orig id = id < dual_count
+
+let id_name id =
+  if id < dual_count then "orig(" ^ dual_name (dual_of_index id) ^ ")"
+  else if id < 2 * dual_count then dual_name (dual_of_index (id - dual_count))
+  else ivar_name (ivar_of_index (id - (2 * dual_count)))
+
+(* The bare variable name without the orig() wrapper, for ML features. *)
+let id_base_name id =
+  if id < dual_count then dual_name (dual_of_index id)
+  else if id < 2 * dual_count then dual_name (dual_of_index (id - dual_count))
+  else ivar_name (ivar_of_index (id - (2 * dual_count)))
+
+let id_kind id =
+  if id < dual_count then dual_kind (dual_of_index id)
+  else if id < 2 * dual_count then dual_kind (dual_of_index (id - dual_count))
+  else ivar_kind (ivar_of_index (id - (2 * dual_count)))
+
+let all_ids = List.init total (fun i -> i)

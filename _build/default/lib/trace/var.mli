@@ -1,0 +1,95 @@
+(** The universe of tracked variables.
+
+    Following §3.1.3 every software-visible variable is tracked: all GPRs,
+    the special purpose registers, flags, the data and address of the
+    memory subsystem, target registers and immediate values. "Dual"
+    variables have a value before ([orig()]) and after the instruction;
+    "instruction" variables are properties of the execution itself,
+    including the §3.1.4 derived variables. *)
+
+(** Comparability kind: only variables of compatible kinds are compared
+    pairwise, as in Daikon's comparability analysis. *)
+type kind =
+  | Addr      (** program counters, effective addresses, exception PCs *)
+  | Data      (** register and bus contents *)
+  | Srword    (** whole status registers *)
+  | Flag      (** single bits *)
+  | Regidx    (** register indices from the instruction word *)
+  | Imm       (** immediate fields and opcodes *)
+  | Diff      (** signed derived differences and products *)
+
+val n_gpr : int
+
+(** Variables with an orig()/post pair. *)
+type dual =
+  | Pc | Npc | Nnpc
+  | Gpr of int
+  | Sr_full | Sf | Sm | Cy | Ov | Dsx | Tee | Iee
+  | Epcr | Esr | Eear
+  | Machi | Maclo
+
+val dual_count : int
+val dual_index : dual -> int
+val dual_of_index : int -> dual
+val dual_name : dual -> string
+val dual_kind : dual -> kind
+
+(** Per-record instruction variables. The derived ones carry the paper's
+    §3.1.4 configurable-instrumenter extensions: [Vec]/[Exn]/[Epcr_d]/
+    [Dsx_ok] observe exception entries; [Cmpdiff_*]/[Prod_*]/[Cmpz]
+    witness set-flag correctness (the p28 construction); [Ext_sign]/
+    [Ext_hi] witness load sign-extension; [Ea_ref] recomputes the
+    effective address; [Opcode] is IR >> 26. *)
+type ivar =
+  | Ir
+  | Mem_at_pc
+  | Im
+  | Regd | Rega | Regb
+  | Opa | Opb
+  | Dest
+  | Ea
+  | Membus
+  | Vec
+  | Exn
+  | Epcr_d
+  | Dsx_ok
+  | Cmpdiff_u
+  | Cmpdiff_s
+  | Prod_u
+  | Prod_s
+  | Spr_orig
+  | Spr_post
+  | Opcode
+  | Cmpz
+  | Ext_sign
+  | Ext_hi
+  | Ea_ref
+
+val ivar_count : int
+val ivar_index : ivar -> int
+val ivar_of_index : int -> ivar
+val ivar_name : ivar -> string
+val ivar_kind : ivar -> kind
+
+type id = int
+(** A flat id space over all variables as the miner sees them:
+    [\[0, dual_count)] are orig duals, [\[dual_count, 2*dual_count)] post
+    duals, the rest instruction variables. *)
+
+val total : int
+
+val orig_id : dual -> id
+val post_id : dual -> id
+val insn_id : ivar -> id
+
+val is_orig : id -> bool
+
+val id_name : id -> string
+(** Display name, with the [orig(...)] wrapper where applicable. *)
+
+val id_base_name : id -> string
+(** The bare name without the orig() wrapper, as used by ML features. *)
+
+val id_kind : id -> kind
+
+val all_ids : id list

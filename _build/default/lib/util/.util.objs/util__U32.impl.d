@@ -1,0 +1,1 @@
+lib/util/u32.ml: Format Int64 Printf

@@ -1,0 +1,1 @@
+lib/util/u32.mli: Format

@@ -1,0 +1,48 @@
+(* SplitMix64 pseudo-random generator.
+
+   Deterministic and seedable so that every experiment in the repository is
+   reproducible bit-for-bit. We do not use [Stdlib.Random] because its
+   sequence is not stable across OCaml releases. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let u32 t = Int64.to_int (Int64.logand (next_int64 t) 0xFFFF_FFFFL)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+(* Fisher-Yates shuffle, in place. *)
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Choose [k] distinct indices out of [n]. *)
+let sample t ~n ~k =
+  if k > n then invalid_arg "Prng.sample: k > n";
+  let idx = Array.init n (fun i -> i) in
+  shuffle t idx;
+  Array.sub idx 0 k

@@ -1,0 +1,32 @@
+(** SplitMix64 pseudo-random generator.
+
+    Deterministic and seedable so every experiment in the repository is
+    reproducible bit-for-bit across OCaml releases (unlike
+    [Stdlib.Random], whose sequence is unspecified). *)
+
+type t
+
+val create : int -> t
+(** A generator from an integer seed. *)
+
+val next_int64 : t -> int64
+(** The raw 64-bit stream. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val u32 : t -> int
+(** A uniform 32-bit word. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** Fisher-Yates shuffle, in place. *)
+
+val sample : t -> n:int -> k:int -> int array
+(** [k] distinct indices drawn from [\[0, n)].
+    @raise Invalid_argument if [k > n]. *)

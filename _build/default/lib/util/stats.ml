@@ -1,0 +1,51 @@
+(* Small statistics helpers shared by the ML library and the benches. *)
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+(* Mean of an int array, as float. *)
+let mean_int xs = mean (Array.map float_of_int xs)
+
+(* Pearson correlation of two equal-length arrays. *)
+let correlation xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.correlation: length mismatch";
+  if n < 2 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let a = xs.(i) -. mx and b = ys.(i) -. my in
+      num := !num +. (a *. b);
+      dx := !dx +. (a *. a);
+      dy := !dy +. (b *. b)
+    done;
+    if !dx = 0.0 || !dy = 0.0 then 0.0 else !num /. sqrt (!dx *. !dy)
+  end

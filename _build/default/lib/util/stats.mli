@@ -1,0 +1,21 @@
+(** Small statistics helpers shared by the ML library and the benches. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; 0 for fewer than two samples. *)
+
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** Linear-interpolation percentile, [p] in [\[0, 100\]].
+    @raise Invalid_argument on the empty array. *)
+
+val median : float array -> float
+
+val mean_int : int array -> float
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either side is constant.
+    @raise Invalid_argument on length mismatch. *)

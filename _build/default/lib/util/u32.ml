@@ -1,0 +1,91 @@
+(* 32-bit word arithmetic on native ints.
+
+   Values of type [t] are ints in [0, 2^32). OCaml's native int is 63-bit,
+   so every 32-bit value is representable; the only care point is
+   multiplication, whose 64-bit intermediate result must go through Int64. *)
+
+type t = int
+
+let mask = 0xFFFF_FFFF
+let of_int x = x land mask
+let to_int x = x
+
+let zero = 0
+let one = 1
+let max_value = mask
+
+(* Sign interpretation of a 32-bit word as an OCaml int. *)
+let signed x = if x land 0x8000_0000 <> 0 then x - 0x1_0000_0000 else x
+
+let is_negative x = x land 0x8000_0000 <> 0
+
+let add a b = (a + b) land mask
+let sub a b = (a - b) land mask
+let neg a = (-a) land mask
+
+let mul a b =
+  Int64.to_int (Int64.mul (Int64.of_int a) (Int64.of_int b)) land mask
+
+(* Signed division truncating toward zero, as OR1k l.div specifies.
+   Division by zero is reported by [None]. *)
+let div_signed a b =
+  if b = 0 then None else Some (of_int (signed a / signed b))
+
+let div_unsigned a b = if b = 0 then None else Some (a / b)
+
+let rem_unsigned a b = if b = 0 then None else Some (a mod b)
+
+let logand a b = a land b
+let logor a b = a lor b
+let logxor a b = a lxor b
+let lognot a = lnot a land mask
+
+let shift_left a n = if n >= 32 then 0 else (a lsl (n land 31)) land mask
+let shift_right_logical a n = if n >= 32 then 0 else a lsr (n land 31)
+
+let shift_right_arith a n =
+  if n >= 32 then if is_negative a then mask else 0
+  else signed a asr (n land 31) land mask
+
+let rotate_right a n =
+  let n = n land 31 in
+  if n = 0 then a else ((a lsr n) lor (a lsl (32 - n))) land mask
+
+(* Sign/zero extension of sub-word quantities to 32 bits. *)
+let sext8 x = let x = x land 0xFF in if x land 0x80 <> 0 then (x lor 0xFFFF_FF00) land mask else x
+let zext8 x = x land 0xFF
+let sext16 x = let x = x land 0xFFFF in if x land 0x8000 <> 0 then (x lor 0xFFFF_0000) land mask else x
+let zext16 x = x land 0xFFFF
+
+(* Sign extension of an n-bit field (used for 26-bit branch displacements). *)
+let sext ~bits x =
+  let x = x land ((1 lsl bits) - 1) in
+  if x land (1 lsl (bits - 1)) <> 0 then (x - (1 lsl bits)) land mask else x
+
+(* Unsigned comparisons: values are non-negative ints, so the native order
+   is already the unsigned order. *)
+let ult a b = a < b
+let ule a b = a <= b
+let ugt a b = a > b
+let uge a b = a >= b
+
+let slt a b = signed a < signed b
+let sle a b = signed a <= signed b
+let sgt a b = signed a > signed b
+let sge a b = signed a >= signed b
+
+(* Carry out of a 32-bit addition a + b + cin. *)
+let carry_add a b cin = a + b + cin > mask
+
+(* Signed overflow of a + b + cin. *)
+let overflow_add a b cin =
+  let r = (a + b + cin) land mask in
+  is_negative a = is_negative b && is_negative r <> is_negative a
+
+(* Signed overflow of a - b. *)
+let overflow_sub a b =
+  let r = (a - b) land mask in
+  is_negative a <> is_negative b && is_negative r <> is_negative a
+
+let to_hex x = Printf.sprintf "0x%08X" x
+let pp fmt x = Format.fprintf fmt "%s" (to_hex x)

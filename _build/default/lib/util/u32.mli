@@ -1,0 +1,87 @@
+(** 32-bit word arithmetic on native ints.
+
+    Values of type {!t} are ints in [\[0, 2^32)]. All operations wrap
+    modulo [2^32] as the OR1200 datapath does. *)
+
+type t = int
+
+val mask : int
+(** [0xFFFF_FFFF]. *)
+
+val of_int : int -> t
+(** Truncate a native int to its low 32 bits. *)
+
+val to_int : t -> int
+
+val zero : t
+val one : t
+val max_value : t
+
+val signed : t -> int
+(** Two's-complement interpretation: [signed 0xFFFF_FFFF = -1]. *)
+
+val is_negative : t -> bool
+(** Bit 31. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Low 32 bits of the full product. *)
+
+val div_signed : t -> t -> t option
+(** Truncating signed division, as [l.div]; [None] on division by zero. *)
+
+val div_unsigned : t -> t -> t option
+val rem_unsigned : t -> t -> t option
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+val shift_left : t -> int -> t
+(** Shifts of 32 or more produce 0. *)
+
+val shift_right_logical : t -> int -> t
+val shift_right_arith : t -> int -> t
+(** Replicates bit 31. *)
+
+val rotate_right : t -> int -> t
+(** Rotate amount is taken modulo 32. *)
+
+val sext8 : int -> t
+(** Sign-extend the low byte to 32 bits. *)
+
+val zext8 : int -> t
+val sext16 : int -> t
+val zext16 : int -> t
+
+val sext : bits:int -> int -> t
+(** Sign-extend an arbitrary low-bit field (e.g. 26-bit displacements). *)
+
+val ult : t -> t -> bool
+(** Unsigned order; [ule]/[ugt]/[uge] likewise. *)
+
+val ule : t -> t -> bool
+val ugt : t -> t -> bool
+val uge : t -> t -> bool
+
+val slt : t -> t -> bool
+(** Signed order; [sle]/[sgt]/[sge] likewise. *)
+
+val sle : t -> t -> bool
+val sgt : t -> t -> bool
+val sge : t -> t -> bool
+
+val carry_add : t -> t -> int -> bool
+(** Carry out of [a + b + cin]. *)
+
+val overflow_add : t -> t -> int -> bool
+(** Signed overflow of [a + b + cin]. *)
+
+val overflow_sub : t -> t -> bool
+(** Signed overflow of [a - b]. *)
+
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit

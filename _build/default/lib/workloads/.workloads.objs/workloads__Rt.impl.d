@@ -1,0 +1,1 @@
+lib/workloads/rt.ml: Asm Cpu Insn Isa List Spr

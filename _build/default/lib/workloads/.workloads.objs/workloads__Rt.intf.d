@@ -1,0 +1,1 @@
+lib/workloads/rt.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List Rt String W_ammp W_basicmath W_bitcount W_bzip W_crafty W_fft W_gzip W_hello W_instru W_mcf W_mesa W_parser W_pi W_quake W_twolf W_vmlinux W_vpr

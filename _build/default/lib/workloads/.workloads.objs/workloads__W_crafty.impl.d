@@ -1,0 +1,1 @@
+lib/workloads/w_crafty.ml: Isa List Rt String

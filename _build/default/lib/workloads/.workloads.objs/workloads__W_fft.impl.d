@@ -1,0 +1,1 @@
+lib/workloads/w_fft.ml: Isa List Rt

@@ -1,0 +1,1 @@
+lib/workloads/w_hello.ml: Char Isa List Rt String

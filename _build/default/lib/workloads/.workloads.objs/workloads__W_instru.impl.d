@@ -1,0 +1,1 @@
+lib/workloads/w_instru.ml: Isa List Rt

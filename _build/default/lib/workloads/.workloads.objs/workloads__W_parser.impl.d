@@ -1,0 +1,1 @@
+lib/workloads/w_parser.ml: Char Isa List Rt String

@@ -1,0 +1,1 @@
+lib/workloads/w_pi.ml: Isa List Rt

@@ -1,0 +1,1 @@
+lib/workloads/w_quake.ml: Isa List Rt

@@ -1,0 +1,1 @@
+lib/workloads/w_twolf.ml: Isa List Rt

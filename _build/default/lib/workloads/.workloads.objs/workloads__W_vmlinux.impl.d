@@ -1,0 +1,1 @@
+lib/workloads/w_vmlinux.ml: Isa List Rt

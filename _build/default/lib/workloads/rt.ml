@@ -1,0 +1,115 @@
+(* Runtime scaffolding shared by every workload and trigger program: the
+   exception vector table, generic handlers, and the memory layout.
+
+   Register convention: r26 and r27 are reserved for exception handlers
+   (they may be clobbered at any instruction boundary once interrupts are
+   enabled); r1 is the stack pointer; r2 points at the data region; r9 is
+   the link register; r11 carries syscall results. *)
+
+open Isa
+
+let spr_sr = 0x11
+let spr_epcr = 0x20
+let spr_eear = 0x30
+let spr_esr = 0x40
+let spr_machi = 0x2801
+let spr_maclo = 0x2802
+
+(* Memory layout. *)
+let code_base = 0x2000
+let data_base = 0x10000
+let stack_base = 0x50000
+let counter_base = 0x60000 (* per-vector exception counters *)
+let sdram_code_base = Cpu.Memory.sdram_base
+
+let counter_addr kind =
+  counter_base + (4 * (Spr.Vector.address kind lsr 8))
+
+(* What a handler does with the saved EPCR before returning. [Skip]
+   advances past the faulting instruction (re-execution exceptions);
+   [Resume] returns to the saved address (completion exceptions). With the
+   delay-slot exception bit set, both skip the whole branch/delay pair so
+   trigger loops terminate deterministically. *)
+type handler_kind = Skip | Resume | Service
+
+let handler ~prefix ~counter kind =
+  let open Asm.Build in
+  let l s = prefix ^ "_" ^ s in
+  List.concat
+    [ li32 26 counter;
+      [ lwz 27 26 0;
+        addi 27 27 1;
+        sw 0 26 27;
+        (* r11 <- r3 + r4: the syscall "service", OR1k Linux style. *)
+      ];
+      (match kind with
+       | Service -> [ add 11 3 4 ]
+       | Skip | Resume -> []);
+      [ mfspr 26 0 spr_sr;
+        andi 26 26 0x2000;           (* SR[DSX] *)
+        sfnei 26 0;
+        mfspr 27 0 spr_epcr;
+        bf (l "dsx");
+        nop;
+      ];
+      (match kind with
+       | Skip -> [ addi 27 27 4 ]
+       | Resume | Service -> []);
+      [ j (l "done");
+        nop;
+        label (l "dsx");
+        addi 27 27 8;                (* skip the branch and its delay slot *)
+        label (l "done");
+        mtspr 0 27 spr_epcr;
+        rfe;
+      ];
+    ]
+
+(* The reset stub at 0x100 jumps to the program entry. *)
+let reset_stub =
+  let open Asm.Build in
+  [ Asm.I (Insn.Jump (((code_base - 0x100) / 4) land 0x3FF_FFFF));
+    nop ]
+
+let vector_programs () : Asm.program list =
+  let open Spr.Vector in
+  let h kind handler_kind =
+    { Asm.origin = address kind;
+      items = handler ~prefix:(name kind) ~counter:(counter_addr kind) handler_kind }
+  in
+  [ { Asm.origin = 0x100; items = reset_stub };
+    h Bus_error Skip;
+    h Tick_timer Resume;
+    h Alignment Skip;
+    h Illegal Skip;
+    h Range Skip;
+    h Syscall Service;
+    h Trap Skip;
+  ]
+
+type t = {
+  name : string;
+  image : (int * int) list;
+  entry : int;
+  (* Tick-timer period used when tracing this workload (0 = disabled). *)
+  tick_period : int;
+}
+
+(* Assemble a workload: main code at [code_base], standard vectors, any
+   extra sections (e.g. code placed in SDRAM). *)
+let build ~name ?(tick_period = 0) ?(extra = []) main_items =
+  let programs =
+    vector_programs ()
+    @ [ { Asm.origin = code_base; items = main_items } ]
+    @ extra
+  in
+  let image = List.concat_map Asm.assemble programs in
+  { name; image; entry = 0x100; tick_period }
+
+(* Standard prologue: stack and data-base registers. *)
+let prologue =
+  let open Asm.Build in
+  li32 1 stack_base @ li32 2 data_base
+
+(* Terminate simulation (the l.nop 1 exit convention). *)
+let exit_program = [ Asm.I (Insn.Nop 1) ]

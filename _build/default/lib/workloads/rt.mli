@@ -1,0 +1,57 @@
+(** Runtime scaffolding shared by every workload and trigger program: the
+    exception vector table, generic handlers, and the memory layout.
+
+    Register convention: r26/r27 are reserved for exception handlers (they
+    may be clobbered at any instruction boundary once interrupts are
+    enabled); r1 is the stack pointer, r2 the data-region base, r9 the
+    link register, r11 the syscall result. *)
+
+val spr_sr : int
+val spr_epcr : int
+val spr_eear : int
+val spr_esr : int
+val spr_machi : int
+val spr_maclo : int
+
+val code_base : int
+val data_base : int
+val stack_base : int
+val counter_base : int
+val sdram_code_base : int
+
+val counter_addr : Isa.Spr.Vector.kind -> int
+(** The per-vector exception counter's memory slot. *)
+
+(** What a handler does with the saved EPCR: [Skip] advances past the
+    faulting instruction (re-execution exceptions), [Resume] returns to
+    the saved address (completion exceptions), [Service] is [Resume] plus
+    the syscall convention r11 <- r3 + r4. With DSX set, all three skip
+    the whole branch/delay pair so trigger loops terminate. *)
+type handler_kind = Skip | Resume | Service
+
+val handler : prefix:string -> counter:int -> handler_kind -> Isa.Asm.item list
+
+val reset_stub : Isa.Asm.item list
+
+val vector_programs : unit -> Isa.Asm.program list
+
+type t = {
+  name : string;
+  image : (int * int) list;
+  entry : int;
+  tick_period : int;
+      (** tick-timer period used when tracing this workload (0 = off) *)
+}
+
+val build :
+  name:string -> ?tick_period:int -> ?extra:Isa.Asm.program list ->
+  Isa.Asm.item list -> t
+(** Assemble main code at {!code_base} together with the standard vectors
+    and any extra sections (e.g. code placed in SDRAM). Entry is the
+    reset vector. *)
+
+val prologue : Isa.Asm.item list
+(** Stack and data-base register setup. *)
+
+val exit_program : Isa.Asm.item list
+(** The l.nop 1 exit convention. *)

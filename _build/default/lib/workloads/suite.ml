@@ -1,0 +1,40 @@
+(* The 17-program trace corpus of §5.1, in the cumulative order of the
+   Figure 3 x-axis: vmlinux, basicmath, parser, mesa, ammp, mcf, instru,
+   gzip, crafty, bzip, quake, twolf, vpr, then the "misc" bundle
+   (pi, bitcount, fft, helloworld). *)
+
+let all : Rt.t list =
+  [ W_vmlinux.workload;
+    W_basicmath.workload;
+    W_parser.workload;
+    W_mesa.workload;
+    W_ammp.workload;
+    W_mcf.workload;
+    W_instru.workload;
+    W_gzip.workload;
+    W_crafty.workload;
+    W_bzip.workload;
+    W_quake.workload;
+    W_twolf.workload;
+    W_vpr.workload;
+    W_pi.workload;
+    W_bitcount.workload;
+    W_fft.workload;
+    W_hello.workload;
+  ]
+
+let by_name name = List.find_opt (fun w -> String.equal w.Rt.name name) all
+
+let names = List.map (fun w -> w.Rt.name) all
+
+(* The aggregation used on the Figure 3 x-axis: the last four programs are
+   grouped as "misc". *)
+let figure3_groups =
+  [ [ "vmlinux" ]; [ "basicmath" ]; [ "parser" ]; [ "mesa" ]; [ "ammp" ];
+    [ "mcf" ]; [ "instru" ]; [ "gzip" ]; [ "crafty" ]; [ "bzip" ];
+    [ "quake" ]; [ "twolf" ]; [ "vpr" ];
+    [ "pi"; "bitcount"; "fft"; "helloworld" ] ]
+
+let figure3_labels =
+  [ "vmlinux"; "basicmath"; "parser"; "mesa"; "ammp"; "mcf"; "instru";
+    "gzip"; "crafty"; "bzip"; "quake"; "twolf"; "vpr"; "misc" ]

@@ -1,0 +1,16 @@
+(** The 17-program trace corpus of §5.1, in the cumulative order of the
+    Figure 3 x-axis: vmlinux, basicmath, parser, mesa, ammp, mcf, instru,
+    gzip, crafty, bzip, quake, twolf, vpr, then the "misc" bundle (pi,
+    bitcount, fft, helloworld). Together the programs cover every
+    instruction of the basic set plus the exception machinery. *)
+
+val all : Rt.t list
+
+val by_name : string -> Rt.t option
+
+val names : string list
+
+val figure3_groups : string list list
+(** The x-axis aggregation: the last four programs group as "misc". *)
+
+val figure3_labels : string list

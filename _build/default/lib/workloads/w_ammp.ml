@@ -1,0 +1,68 @@
+(* Molecular-dynamics flavoured kernel: pairwise squared distances over a
+   particle array with an accumulated potential, heavy on loads, subtracts
+   and multiplies. *)
+
+open Isa.Asm.Build
+
+let n_particles = 12
+
+let init =
+  List.concat
+    (List.init n_particles
+       (fun i ->
+          let x = ((i * 37) + 5) land 0xFFF and y = ((i * 91) + 11) land 0xFFF in
+          List.concat
+            [ li32 3 x; [ sw (i * 8) 2 3 ];
+              li32 3 y; [ sw ((i * 8) + 4) 2 3 ] ]))
+
+let pairwise =
+  [ li 4 0;                      (* i *)
+    li 14 0;                     (* potential accumulator *)
+    label "pi_loop";
+    addi 5 4 1;                  (* j = i + 1 *)
+    label "pj_loop";
+    slli 6 4 3;
+    add 6 6 2;
+    slli 7 5 3;
+    add 7 7 2;
+    lwz 8 6 0;                   (* x_i *)
+    lwz 9 7 0;                   (* x_j *)
+    sub 10 8 9;
+    mul 10 10 10;
+    lwz 8 6 4;                   (* y_i *)
+    lwz 9 7 4;                   (* y_j *)
+    sub 11 8 9;
+    mul 11 11 11;
+    add 12 10 11;                (* squared distance *)
+    srli 13 12 4;
+    add 14 14 13;
+    addi 5 5 1;
+    sfltui 5 n_particles;
+    bf "pj_loop";
+    nop;
+    addi 4 4 1;
+    sfltui 4 (n_particles - 1);
+    bf "pi_loop";
+    nop;
+    sw 1024 2 14 ]
+
+(* Velocity update pass: signed arithmetic with shifts. *)
+let integrate =
+  [ li 4 0;
+    label "vel_loop";
+    slli 6 4 3;
+    add 6 6 2;
+    lwz 8 6 0;
+    lwz 9 6 4;
+    sub 10 9 8;
+    srai 10 10 2;
+    add 8 8 10;
+    sw 0 6 8;
+    addi 4 4 1;
+    sfltui 4 n_particles;
+    bf "vel_loop";
+    nop ]
+
+let code = List.concat [ Rt.prologue; init; pairwise; integrate; Rt.exit_program ]
+
+let workload = Rt.build ~name:"ammp" code

@@ -1,0 +1,88 @@
+(* Integer math kernels: gcd, integer square root (Newton), signed and
+   unsigned division chains, carry-chain addition. *)
+
+open Isa.Asm.Build
+
+(* gcd(r3, r4) by repeated subtraction into r5. *)
+let gcd_block a b tag =
+  List.concat
+    [ li32 3 a; li32 4 b;
+      [ label ("gcd_" ^ tag);
+        sfeq 3 4;
+        bf ("gcd_done_" ^ tag);
+        nop;
+        sfgtu 3 4;
+        bf ("gcd_sub_a_" ^ tag);
+        nop;
+        sub 4 4 3;
+        j ("gcd_" ^ tag);
+        nop;
+        label ("gcd_sub_a_" ^ tag);
+        sub 3 3 4;
+        j ("gcd_" ^ tag);
+        nop;
+        label ("gcd_done_" ^ tag);
+        add 5 3 0 ] ]
+
+(* Integer sqrt of r3 by Newton iteration: x <- (x + n/x) / 2. *)
+let isqrt_block n tag =
+  List.concat
+    [ li32 3 n;
+      [ srli 6 3 1;
+        ori 6 6 1;                 (* initial guess, nonzero *)
+        li 7 0;
+        label ("isq_" ^ tag);
+        divu 8 3 6;
+        add 8 8 6;
+        srli 8 8 1;
+        add 6 8 0;
+        addi 7 7 1;
+        sfltui 7 12;
+        bf ("isq_" ^ tag);
+        nop;
+        add 9 6 0 ] ]
+
+(* Signed division and remainder-style chains, exercising div and mul. *)
+let sdiv_block a b tag =
+  List.concat
+    [ li32 3 a; li32 4 b;
+      [ div 5 3 4;
+        mul 6 5 4;
+        sub 7 3 6;               (* remainder *)
+        sflts 7 0;
+        addi 8 8 1;
+        label ("sdiv_end_" ^ tag) ] ]
+
+(* Wide addition with carry: (r3:r4) + (r5:r6). *)
+let carry_block a b tag =
+  List.concat
+    [ li32 3 a; li32 4 b; li32 5 0x9234_5678; li32 6 0xF0F0_F0F7;
+      [ add 7 4 6;               (* low words, sets CY *)
+        addc 8 3 5;              (* high words + carry *)
+        addic 9 8 13;
+        label ("carry_end_" ^ tag) ] ]
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      gcd_block 462 1071 "a";
+      gcd_block 120 84 "b";
+      gcd_block 97 31 "c";
+      gcd_block 4096 640 "d";
+      isqrt_block 144 "a";
+      isqrt_block 99980001 "b";
+      isqrt_block 2 "c";
+      isqrt_block 123456789 "d";
+      sdiv_block 1000 7 "a";
+      sdiv_block 0xFFFF_FF38 7 "b";      (* -200 / 7 *)
+      sdiv_block 1000 0xFFFF_FFFD "c";   (* 1000 / -3 *)
+      sdiv_block 0x8000_0010 3 "d";
+      sdiv_block 77 11 "e";
+      carry_block 0x0000_0001 0xFFFF_FFFF "a";
+      carry_block 0x7FFF_0000 0x8000_1234 "b";
+      carry_block 0x12345678 0x9ABCDEF0 "c";
+      carry_block 0 1 "d";
+      carry_block 0xFFFF_FFFE 0xFFFF_FFFE "e";
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"basicmath" code

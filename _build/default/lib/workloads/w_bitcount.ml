@@ -1,0 +1,77 @@
+(* Bit counting by three different algorithms over a PRNG stream, as in
+   the MiBench bitcount benchmark. *)
+
+open Isa.Asm.Build
+
+(* Nibble lookup table: popcounts of 0..15 at r2+1536. *)
+let table_init =
+  List.concat
+    (List.mapi (fun i c -> [ li 3 c; sb (1536 + i) 2 3 ])
+       [ 0; 1; 1; 2; 1; 2; 2; 3; 1; 2; 2; 3; 2; 3; 3; 4 ])
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      table_init;
+      li32 20 0x1357_9BDF;
+      li32 19 0x41C6_4E6D;
+      [ li 18 0;
+        li 15 0;                 (* total (shift method) *)
+        li 16 0;                 (* total (kernighan) *)
+        li 17 0;                 (* total (table) *)
+        label "bc_loop";
+        mul 20 20 19;
+        addi 20 20 0x3039;
+        add 3 20 0;
+        (* method 1: shift and add *)
+        li 4 0;
+        label "bc_shift";
+        andi 5 3 1;
+        add 15 15 5;
+        srli 3 3 1;
+        addi 4 4 1;
+        sfltui 4 32;
+        bf "bc_shift";
+        nop;
+        (* method 2: Kernighan x &= x-1 *)
+        add 3 20 0;
+        label "bc_kern";
+        sfeqi 3 0;
+        bf "bc_kern_done";
+        nop;
+        addi 6 3 (-1);
+        and_ 3 3 6;
+        addi 16 16 1;
+        j "bc_kern";
+        nop;
+        label "bc_kern_done";
+        (* method 3: nibble table on low 16 bits *)
+        andi 7 20 0xF;
+        add 8 2 7;
+        lbz 9 8 1536;
+        add 17 17 9;
+        srli 7 20 4;
+        andi 7 7 0xF;
+        add 8 2 7;
+        lbz 9 8 1536;
+        add 17 17 9;
+        srli 7 20 8;
+        andi 7 7 0xF;
+        add 8 2 7;
+        lbz 9 8 1536;
+        add 17 17 9;
+        srli 7 20 12;
+        andi 7 7 0xF;
+        add 8 2 7;
+        lbz 9 8 1536;
+        add 17 17 9;
+        addi 18 18 1;
+        sfltui 18 10;
+        bf "bc_loop";
+        nop;
+        sw 1064 2 15;
+        sw 1068 2 16;
+        sw 1072 2 17 ];
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"bitcount" code

@@ -1,0 +1,104 @@
+(* Run-length + move-to-front encoder over a byte buffer, the heart of
+   bzip-style compression: byte scans, run detection, table reshuffling. *)
+
+open Isa.Asm.Build
+
+let n = 64
+
+(* Deterministic skewed data: runs of repeated bytes. *)
+let fill =
+  [ li 3 0;                       (* i *)
+    li 4 7;                       (* current byte *)
+    label "bz_fill";
+    add 5 2 3;
+    sb 0 5 4;
+    andi 6 3 7;
+    sfnei 6 7;
+    bf "bz_keep";
+    nop;
+    addi 4 4 3;
+    andi 4 4 0x1F;
+    label "bz_keep";
+    addi 3 3 1;
+    sfltui 3 n;
+    bf "bz_fill";
+    nop ]
+
+(* RLE: emit (byte, run_length) pairs at r2+256. *)
+let rle =
+  [ li 3 0;                       (* read index *)
+    li 7 0;                       (* write index *)
+    label "rle_loop";
+    add 5 2 3;
+    lbz 4 5 0;                    (* run byte *)
+    li 6 1;                       (* run length *)
+    label "rle_run";
+    addi 3 3 1;
+    sfgeui 3 n;
+    bf "rle_emit";
+    nop;
+    add 5 2 3;
+    lbz 8 5 0;
+    sfeq 8 4;
+    bnf "rle_emit";
+    nop;
+    addi 6 6 1;
+    j "rle_run";
+    nop;
+    label "rle_emit";
+    add 9 2 7;
+    sb 256 9 4;
+    add 9 2 7;
+    sb 257 9 6;
+    addi 7 7 2;
+    sfltui 3 n;
+    bf "rle_loop";
+    nop;
+    sw 1036 2 7 ]
+
+(* Move-to-front over a 16-entry table at r2+512. *)
+let mtf =
+  List.concat
+    [ List.concat (List.init 16 (fun i -> [ li 3 i; sb (512 + i) 2 3 ]));
+      [ li 10 0;
+        label "mtf_loop";
+        add 5 2 10;
+        lbz 4 5 0;
+        andi 4 4 15;              (* symbol to look up *)
+        (* linear search in the table *)
+        li 6 0;
+        label "mtf_find";
+        add 7 2 6;
+        lbz 8 7 512;
+        sfeq 8 4;
+        bf "mtf_found";
+        nop;
+        addi 6 6 1;
+        sfltui 6 16;
+        bf "mtf_find";
+        nop;
+        label "mtf_found";
+        (* shift entries [0, r6) up by one and put symbol at front *)
+        label "mtf_shift";
+        sfeqi 6 0;
+        bf "mtf_front";
+        nop;
+        addi 11 6 (-1);
+        add 7 2 11;
+        lbz 8 7 512;
+        add 7 2 6;
+        sb 512 7 8;
+        add 6 11 0;
+        j "mtf_shift";
+        nop;
+        label "mtf_front";
+        add 7 2 0;
+        sb 512 7 4;
+        addi 10 10 1;
+        sfltui 10 n;
+        bf "mtf_loop";
+        nop ] ]
+
+let code = List.concat [ Rt.prologue; fill; rle; mtf; Rt.exit_program ]
+
+let workload = Rt.build ~name:"bzip" code

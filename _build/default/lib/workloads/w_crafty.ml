@@ -1,0 +1,64 @@
+(* Bitboard manipulation in the style of a chess engine: masks, rotates,
+   population counts and lowest-set-bit extraction over 32-bit boards. *)
+
+open Isa.Asm.Build
+
+let boards =
+  [ 0xFFFF_0000; 0x0F0F_0F0F; 0x8000_0001; 0x0000_0000;
+    0xAAAA_5555; 0x0101_0101; 0xFFFE_7FFF; 0x1248_1248 ]
+
+(* Popcount r3 -> r6 by shift-and-mask loop. *)
+let popcount b tag =
+  List.concat
+    [ li32 3 b;
+      [ li 5 0;                   (* bit index *)
+        li 6 0;                   (* count *)
+        label ("pop_" ^ tag);
+        srl 7 3 5;
+        andi 7 7 1;
+        add 6 6 7;
+        addi 5 5 1;
+        sfltui 5 32;
+        bf ("pop_" ^ tag);
+        nop ] ]
+
+(* Lowest set bit: r8 = r3 & (-r3); clear it and loop counting. *)
+let lsb_scan b tag =
+  List.concat
+    [ li32 3 b;
+      [ li 9 0;
+        label ("lsb_" ^ tag);
+        sfeqi 3 0;
+        bf ("lsb_done_" ^ tag);
+        nop;
+        sub 8 0 3;               (* -r3 *)
+        and_ 8 3 8;
+        xor 3 3 8;               (* clear lowest bit *)
+        addi 9 9 1;
+        j ("lsb_" ^ tag);
+        nop;
+        label ("lsb_done_" ^ tag);
+        nop ] ]
+
+(* Rotation battery: attack-table style spreading. *)
+let rotate_mix b tag =
+  List.concat
+    [ li32 3 b;
+      [ rori 10 3 1; rori 11 3 8; rori 12 3 16; rori 13 3 31;
+        or_ 14 10 11;
+        or_ 14 14 12;
+        or_ 14 14 13;
+        li 15 9;
+        ror 16 3 15;
+        xor 17 14 16;
+        sw (16 + (String.length tag * 4)) 2 17 ] ]
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      List.concat (List.mapi (fun i b -> popcount b (string_of_int i)) boards);
+      List.concat (List.mapi (fun i b -> lsb_scan b ("s" ^ string_of_int i)) boards);
+      List.concat (List.mapi (fun i b -> rotate_mix b (String.make (i + 1) 'r')) boards);
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"crafty" code

@@ -1,0 +1,78 @@
+(* LZ77-flavoured kernel: fill a byte window from a PRNG, hash 3-byte
+   sequences, and copy matched runs — byte traffic, shift/mask hashing. *)
+
+open Isa.Asm.Build
+
+let window = 96
+
+(* LCG fill: buf[i] = (seed = seed * 1103515245 + 12345) >> 16 & 0x3F. *)
+let fill =
+  List.concat
+    [ li32 3 0x1234_5678;
+      li32 4 1103515245;
+      [ li 5 0;
+        label "fill_loop";
+        mul 3 3 4;
+        addi 3 3 12345;
+        srli 6 3 16;
+        andi 6 6 0x3F;
+        add 7 2 5;
+        sb 0 7 6;
+        addi 5 5 1;
+        sfltui 5 window;
+        bf "fill_loop";
+        nop ] ]
+
+(* Hash pass: h = ((h << 5) ^ c) & 0x3FF, store running hash words. *)
+let hash =
+  [ li 5 0;
+    li 8 0;
+    label "hash_loop";
+    add 7 2 5;
+    lbz 6 7 0;
+    slli 8 8 5;
+    xor 8 8 6;
+    andi 8 8 0x3FF;
+    slli 9 5 2;
+    add 9 9 2;
+    sw 512 9 8;
+    addi 5 5 1;
+    sfltui 5 window;
+    bf "hash_loop";
+    nop ]
+
+(* Copy a "match" of 24 bytes from offset 8 to offset window. *)
+let copy =
+  [ li 5 0;
+    label "copy_loop";
+    add 7 2 5;
+    lbz 6 7 8;
+    add 10 2 5;
+    sb window 10 6;
+    addi 5 5 1;
+    sfltui 5 24;
+    bf "copy_loop";
+    nop ]
+
+(* Run-length probe comparing the two regions halfword by halfword. *)
+let verify =
+  [ li 5 0;
+    li 11 0;
+    label "ver_loop";
+    add 7 2 5;
+    lhz 6 7 8;
+    lhz 10 7 window;
+    sfeq 6 10;
+    bnf "ver_miss";
+    nop;
+    addi 11 11 1;
+    label "ver_miss";
+    addi 5 5 2;
+    sfltui 5 24;
+    bf "ver_loop";
+    nop;
+    sw 1032 2 11 ]
+
+let code = List.concat [ Rt.prologue; fill; hash; copy; verify; Rt.exit_program ]
+
+let workload = Rt.build ~name:"gzip" code

@@ -1,0 +1,28 @@
+(* Hello world: format a greeting into an output buffer byte by byte and
+   "print" it through a syscall per character — the smallest workload. *)
+
+open Isa.Asm.Build
+
+let message = "Hello, world!\n"
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      List.concat
+        (List.mapi
+           (fun i c -> [ li 3 (Char.code c); sb (2048 + i) 2 3 ])
+           (List.init (String.length message) (String.get message)));
+      (* putchar loop via syscall 4 *)
+      [ li 4 0;
+        label "hw_put";
+        add 5 2 4;
+        lbz 3 5 2048;
+        li 6 4;
+        sys 4;
+        addi 4 4 1;
+        sfltui 4 (String.length message);
+        bf "hw_put";
+        nop ];
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"helloworld" code

@@ -1,0 +1,65 @@
+(* Pointer-chasing kernel in the spirit of mcf: build a linked list of
+   nodes [value; next] in memory, traverse it several times accumulating,
+   and unlink every other node. *)
+
+open Isa.Asm.Build
+
+let n_nodes = 16
+
+(* Node i lives at r2 + 64 + i*8; next pointers are absolute addresses. *)
+let build_list =
+  List.concat
+    (List.init n_nodes
+       (fun i ->
+          let value = ((i * 73) + 9) land 0x3FFF in
+          let next =
+            if i = n_nodes - 1 then 0
+            else Rt.data_base + 64 + ((i + 1) * 8)
+          in
+          List.concat
+            [ li32 3 value; [ sw (64 + (i * 8)) 2 3 ];
+              li32 3 next; [ sw (64 + (i * 8) + 4) 2 3 ] ]))
+
+let traverse tag =
+  [ addi 4 2 64;                 (* cursor *)
+    li 5 0;                      (* sum *)
+    label ("walk_" ^ tag);
+    sfeqi 4 0;
+    bf ("walk_done_" ^ tag);
+    nop;
+    lwz 6 4 0;
+    add 5 5 6;
+    lwz 4 4 4;                   (* cursor = cursor->next *)
+    j ("walk_" ^ tag);
+    nop;
+    label ("walk_done_" ^ tag);
+    sw 1028 2 5 ]
+
+(* Unlink every other node: node.next = node.next->next when possible. *)
+let unlink =
+  [ addi 4 2 64;
+    label "unlink_loop";
+    sfeqi 4 0;
+    bf "unlink_done";
+    nop;
+    lwz 6 4 4;                   (* next *)
+    sfeqi 6 0;
+    bf "unlink_done";
+    nop;
+    lwz 7 6 4;                   (* next->next *)
+    sw 4 4 7;
+    add 4 7 0;
+    j "unlink_loop";
+    nop;
+    label "unlink_done";
+    nop ]
+
+let code =
+  List.concat
+    [ Rt.prologue; build_list;
+      traverse "a"; traverse "b";
+      unlink;
+      traverse "c";
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"mcf" code

@@ -1,0 +1,71 @@
+(* Fixed-point 3D transform kernel (Q16): a 4x4 matrix times a stream of
+   vectors, using the MAC unit for the dot products. *)
+
+open Isa.Asm.Build
+
+(* Store 16 matrix words at r2, then 8 vectors of 4 words at r2+256. *)
+let init =
+  let matrix = List.init 16 (fun i -> ((i * 0x1234) + 0x800) land 0xFFFF) in
+  let vectors = List.init 32 (fun i -> ((i * 0x2717) + 3) land 0x7FFF) in
+  List.concat
+    [ List.concat
+        (List.mapi (fun i v -> li32 3 (v lsl 8) @ [ sw (i * 4) 2 3 ]) matrix);
+      List.concat
+        (List.mapi (fun i v -> li32 3 (v lsl 4) @ [ sw (256 + (i * 4)) 2 3 ]) vectors) ]
+
+(* For each vector v, compute row . v with l.mac / l.macrc, shift back to
+   Q16 with srai, and store the result. *)
+let transform =
+  [ li 4 0;                       (* vector index *)
+    label "vec_loop";
+    li 5 0;                       (* row index *)
+    label "row_loop";
+    (* r6 = &matrix[row*4], r7 = &vector[vec*4] *)
+    slli 6 5 4;
+    add 6 6 2;
+    slli 7 4 4;
+    add 7 7 2;
+    addi 7 7 256;
+    (* accumulate 4 products *)
+    lwz 8 6 0; lwz 9 7 0; mac 8 9;
+    lwz 8 6 4; lwz 9 7 4; mac 8 9;
+    lwz 8 6 8; lwz 9 7 8; mac 8 9;
+    lwz 8 6 12; lwz 9 7 12; mac 8 9;
+    macrc 10;
+    srai 10 10 8;
+    (* store at r2 + 512 + (vec*4 + row)*4 *)
+    slli 11 4 4;
+    slli 12 5 2;
+    add 11 11 12;
+    add 11 11 2;
+    sw 512 11 10;
+    addi 5 5 1;
+    sfltui 5 4;
+    bf "row_loop";
+    nop;
+    addi 4 4 1;
+    sfltui 4 8;
+    bf "vec_loop";
+    nop ]
+
+(* A subtractive pass with l.msb and l.maci for variety. *)
+let shade =
+  [ li 4 0;
+    label "shade_loop";
+    slli 5 4 2;
+    add 5 5 2;
+    lwz 6 5 512;
+    lwz 7 5 516;
+    mac 6 7;
+    msb 7 6;
+    maci 6 3;
+    macrc 8;
+    sw 768 5 8;
+    addi 4 4 2;
+    sfltui 4 24;
+    bf "shade_loop";
+    nop ]
+
+let code = List.concat [ Rt.prologue; init; transform; shade; Rt.exit_program ]
+
+let workload = Rt.build ~name:"mesa" code

@@ -1,0 +1,75 @@
+(* Text tokenizer: writes a byte string into the data region, then scans
+   it counting words, digits and separators — byte loads and stores,
+   immediate compares, dense branching. *)
+
+open Isa.Asm.Build
+
+let text = "the quick brown fox jumps over 13 lazy dogs; 42 times each day."
+
+(* Store the text byte by byte at r2. *)
+let store_text =
+  List.concat
+    (List.mapi
+       (fun i c -> [ li 3 (Char.code c); sb i 2 3 ])
+       (List.init (String.length text) (String.get text)))
+
+let scan =
+  List.concat
+    [ [ li 4 0;                 (* index *)
+        li 5 0;                 (* word count *)
+        li 6 0;                 (* digit count *)
+        li 7 0;                 (* separator count *)
+        li 8 0;                 (* previous-was-space *)
+        label "scan_loop";
+        add 9 2 4;
+        lbz 10 9 0;
+        sfeqi 10 32;            (* space *)
+        bf "is_sep";
+        nop;
+        sfeqi 10 59;            (* ';' *)
+        bf "is_sep";
+        nop;
+        sfeqi 10 46;            (* '.' *)
+        bf "is_sep";
+        nop;
+        (* not a separator: start of word? *)
+        sfnei 8 0;
+        bf "in_word";
+        nop;
+        addi 5 5 1;
+        label "in_word";
+        li 8 1;
+        (* digit? *)
+        sfgeui 10 48;
+        bnf "next";
+        nop;
+        sfleui 10 57;
+        bnf "next";
+        nop;
+        addi 6 6 1;
+        j "next";
+        nop;
+        label "is_sep";
+        addi 7 7 1;
+        li 8 0;
+        label "next";
+        addi 4 4 1;
+        sfltui 4 (String.length text);
+        bf "scan_loop";
+        nop ];
+      (* Copy the text to a second buffer as half-words, with extension. *)
+      [ li 4 0;
+        label "copy_loop";
+        add 9 2 4;
+        lbs 10 9 0;
+        exths 11 10;
+        add 12 2 4;
+        sh 256 12 11;
+        addi 4 4 2;
+        sfltui 4 (String.length text - 1);
+        bf "copy_loop";
+        nop ] ]
+
+let code = List.concat [ Rt.prologue; store_text; scan; Rt.exit_program ]
+
+let workload = Rt.build ~name:"parser" code

@@ -1,0 +1,42 @@
+(* Pi by the Leibniz series in Q24 fixed point: alternating divisions,
+   exercising divu/div and sign handling over many iterations. *)
+
+open Isa.Asm.Build
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      li32 3 0x0400_0000;        (* 4.0 in Q24 *)
+      [ li 4 1;                  (* odd denominator *)
+        li 5 0;                  (* accumulator *)
+        li 6 0;                  (* term index *)
+        label "pi_loop";
+        divu 7 3 4;              (* 4/k *)
+        andi 8 6 1;
+        sfnei 8 0;
+        bf "pi_sub";
+        nop;
+        add 5 5 7;
+        j "pi_next";
+        nop;
+        label "pi_sub";
+        sub 5 5 7;
+        label "pi_next";
+        addi 4 4 2;
+        addi 6 6 1;
+        sfltui 6 48;
+        bf "pi_loop";
+        nop;
+        sw 1056 2 5 ];
+      (* Machin-style correction with signed division for variety. *)
+      li32 10 0x0100_0000;
+      [ li 11 5;
+        div 12 10 11;
+        li 11 239;
+        div 13 10 11;
+        slli 12 12 2;
+        sub 14 12 13;
+        sw 1060 2 14 ];
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"pi" code

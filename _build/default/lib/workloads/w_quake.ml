@@ -1,0 +1,79 @@
+(* Fixed-point physics kernel: Newton-Raphson reciprocal, velocity clamps
+   with signed compares, dot products — the signed-arithmetic face of the
+   corpus. *)
+
+open Isa.Asm.Build
+
+(* Reciprocal of r3 in Q16: x <- x * (2 - d*x) >> 16 iterations. *)
+let recip d tag =
+  List.concat
+    [ li32 3 d;
+      li32 4 0x0000_4000;        (* initial guess *)
+      li32 14 0x0002_0000;       (* 2.0 in Q16 *)
+      [ li 5 0;
+        label ("rc_" ^ tag);
+        mul 6 3 4;
+        srai 6 6 16;
+        sub 7 14 6;
+        mul 4 4 7;
+        srai 4 4 16;
+        addi 5 5 1;
+        sfltui 5 8;
+        bf ("rc_" ^ tag);
+        nop ] ]
+
+(* Clamp a stream of signed velocities into [-2048, 2047]. *)
+let clamp =
+  List.concat
+    [ li32 16 0xFFFF_F800;       (* -2048 *)
+      [ li 15 0;
+        label "cl_loop";
+        muli 6 15 0x339;
+        xori 6 6 0x7A5;
+        slli 6 6 3;
+        srai 7 6 1;
+        sflts 7 16;
+        bnf "cl_lo_ok";
+        nop;
+        add 7 16 0;
+        label "cl_lo_ok";
+        sfgtsi 7 2047;
+        bnf "cl_hi_ok";
+        nop;
+        li 7 2047;
+        label "cl_hi_ok";
+        slli 8 15 2;
+        add 8 8 2;
+        sw 128 8 7;
+        addi 15 15 1;
+        sfltui 15 20;
+        bf "cl_loop";
+        nop ] ]
+
+(* Signed dot product of the clamped stream against itself, shifted. *)
+let dot =
+  [ li 15 0;
+    label "dot_loop";
+    slli 8 15 2;
+    add 8 8 2;
+    lws 9 8 128;
+    lws 10 8 132;
+    mac 9 10;
+    addi 15 15 2;
+    sfltui 15 18;
+    bf "dot_loop";
+    nop;
+    macrc 11;
+    srai 11 11 4;
+    sw 1040 2 11 ]
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      recip 0x0003_0000 "a";
+      recip 0x0000_8000 "b";
+      recip 0x0010_0000 "c";
+      clamp; dot;
+      Rt.exit_program ]
+
+let workload = Rt.build ~name:"quake" code

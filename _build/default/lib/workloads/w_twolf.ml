@@ -1,0 +1,75 @@
+(* Simulated-annealing placement kernel: an LCG proposes cell swaps; a
+   cost function decides acceptance — array indexing, compares, swaps. *)
+
+open Isa.Asm.Build
+
+let cells = 24
+
+let init =
+  List.concat
+    (List.init cells
+       (fun i ->
+          List.concat [ li32 3 (((i * 193) + 17) land 0xFFFF);
+                        [ sw (i * 4) 2 3 ] ]))
+
+(* r20 = LCG state. Propose swaps of cells (r21, r22); accept when it
+   lowers the |a - b| "wirelength". *)
+let anneal =
+  List.concat
+    [ li32 20 0x2468_ACE1;
+      li32 19 1103515245;
+      [ li 18 0;                  (* iteration *)
+        label "an_loop";
+        mul 20 20 19;
+        addi 20 20 12345;
+        srli 21 20 18;
+        mul 20 20 19;
+        addi 20 20 12345;
+        srli 22 20 18;
+        (* indices mod cells via repeated subtraction-free masking *)
+        andi 21 21 15;
+        andi 22 22 15;
+        (* load both cells *)
+        slli 23 21 2;
+        add 23 23 2;
+        lwz 3 23 0;
+        slli 24 22 2;
+        add 24 24 2;
+        lwz 4 24 0;
+        (* cost: keep larger value at lower index *)
+        sfgtu 4 3;
+        bnf "an_next";
+        nop;
+        sw 0 23 4;
+        sw 0 24 3;
+        label "an_next";
+        addi 18 18 1;
+        sfltui 18 40;
+        bf "an_loop";
+        nop ] ]
+
+(* Final wirelength: sum of adjacent differences (signed). *)
+let cost =
+  [ li 18 0;
+    li 10 0;
+    label "cost_loop";
+    slli 23 18 2;
+    add 23 23 2;
+    lwz 3 23 0;
+    lwz 4 23 4;
+    sub 5 3 4;
+    sflts 5 0;
+    bnf "cost_pos";
+    nop;
+    sub 5 0 5;
+    label "cost_pos";
+    add 10 10 5;
+    addi 18 18 1;
+    sfltui 18 (cells - 1);
+    bf "cost_loop";
+    nop;
+    sw 1044 2 10 ]
+
+let code = List.concat [ Rt.prologue; init; anneal; cost; Rt.exit_program ]
+
+let workload = Rt.build ~name:"twolf" code

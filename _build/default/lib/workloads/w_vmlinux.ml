@@ -1,0 +1,103 @@
+(* "Linux boot" style workload: the coverage backbone for the exception
+   machinery. It exercises syscalls (including in branch delay slots),
+   traps, illegal instructions, misaligned accesses, range exceptions,
+   tick-timer interrupts, SPR moves, and a user-mode phase entered via
+   l.rfe — the behaviours behind properties p1/p3/p8/p9/p13/p14/p17/p19/
+   p20/p21/p23 of Table 6. *)
+
+open Isa.Asm.Build
+
+let syscall_block k =
+  [ li 3 (k * 3); li 4 (k + 7);
+    sys k;                      (* r11 <- r3 + r4 in the handler *)
+    add 5 11 0 ]
+
+(* A syscall sitting in the delay slot of a jump: the handler sees DSX set
+   and EPCR pointing at the branch. *)
+let delay_slot_syscall k =
+  [ li 3 k; li 4 9;
+    j ("dss_done" ^ string_of_int k);
+    sys k;
+    label ("dss_done" ^ string_of_int k);
+    add 6 11 3 ]
+
+let trap_block k = [ li 3 k; trap k; addi 7 7 1 ]
+
+let illegal_block = [ word 0xEC00_0000; addi 8 8 1 ]
+
+let misaligned_block k =
+  (* Odd effective address: alignment exception, handler skips. *)
+  [ addi 3 2 (1 + (k * 2)); lwz 10 3 0; addi 8 8 1 ]
+
+let range_block k =
+  List.concat
+    [ [ mfspr 12 0 Rt.spr_sr; ori 12 12 0x1000; mtspr 0 12 Rt.spr_sr ];
+      li32 13 0x7FFF_FFF0;
+      [ li 14 (17 + k);
+        add 15 13 14;             (* signed overflow -> range exception *)
+        mfspr 12 0 Rt.spr_sr;
+        andi 12 12 0xEFFF;        (* clear OVE again *)
+        mtspr 0 12 Rt.spr_sr ] ]
+
+let spr_moves k =
+  List.concat
+    [ li32 16 (0x4000 + (k * 0x24));
+      [ mtspr 0 16 Rt.spr_eear;
+        mfspr 17 0 Rt.spr_eear;
+        mtspr 0 16 Rt.spr_maclo;
+        mfspr 18 0 Rt.spr_maclo;
+        mtspr 0 18 Rt.spr_epcr;   (* scratch use; overwritten at next exn *)
+        mfspr 19 0 Rt.spr_epcr;
+        mfspr 20 0 Rt.spr_sr;
+        mtspr 0 20 Rt.spr_sr ] ]
+
+(* Spin with the tick timer enabled so asynchronous interrupts land on a
+   variety of program points. *)
+let tick_phase =
+  List.concat
+    [ [ mfspr 12 0 Rt.spr_sr; ori 12 12 0x0002; mtspr 0 12 Rt.spr_sr ];
+      [ li 21 0;
+        label "tick_loop";
+        addi 21 21 1;
+        xori 22 21 0x55;
+        add 23 22 21;
+        sfltui 21 220;
+        bf "tick_loop";
+        nop ];
+      [ mfspr 12 0 Rt.spr_sr; andi 12 12 0xFFFD; mtspr 0 12 Rt.spr_sr ] ]
+
+(* Drop to user mode via rfe; the user phase runs arithmetic, syscalls and
+   a privilege probe (mtspr in user mode raises illegal), then exits. *)
+let user_phase =
+  List.concat
+    [ [ la 24 "user_code";
+        mtspr 0 24 Rt.spr_epcr;
+        mfspr 25 0 Rt.spr_sr;
+        andi 25 25 0xFFFE;        (* clear SM *)
+        mtspr 0 25 Rt.spr_esr;
+        rfe;
+        label "user_code" ];
+      [ li 3 40; li 4 2;
+        add 5 3 4;
+        sys 90;                   (* escalate and come back *)
+        add 6 11 0;
+        mfspr 10 0 Rt.spr_sr;     (* illegal in user mode: skipped *)
+        addi 6 6 1;
+        trap 91;
+        addi 6 6 2 ];
+      Rt.exit_program ]
+
+let code =
+  List.concat
+    [ Rt.prologue;
+      List.concat_map syscall_block [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+      List.concat_map delay_slot_syscall [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      List.concat_map trap_block [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+      List.concat (List.init 8 (fun _ -> illegal_block));
+      List.concat_map misaligned_block [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+      List.concat_map range_block [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+      List.concat_map spr_moves [ 0; 1; 2; 3; 4; 5; 6; 7 ];
+      tick_phase;
+      user_phase ]
+
+let workload = Rt.build ~name:"vmlinux" ~tick_period:37 code

@@ -1,0 +1,61 @@
+(* Routing-cost kernel: nested sweeps over a small grid accumulating
+   weighted Manhattan distances with the MAC unit and multiply-immediate. *)
+
+open Isa.Asm.Build
+
+let grid = 6
+
+let init =
+  List.concat
+    (List.init (grid * grid)
+       (fun i ->
+          List.concat [ li32 3 (((i * 59) + 3) land 0xFFF);
+                        [ sw (1280 + (i * 4)) 2 3 ] ]))
+
+let sweep =
+  [ li 4 0;                      (* x *)
+    label "vx_loop";
+    li 5 0;                      (* y *)
+    label "vy_loop";
+    (* load congestion at (x, y) *)
+    muli 6 4 grid;
+    add 6 6 5;
+    slli 6 6 2;
+    add 6 6 2;
+    lwz 7 6 1280;
+    (* weight = (x + 2y + 1) *)
+    slli 8 5 1;
+    add 8 8 4;
+    addi 8 8 1;
+    mac 7 8;
+    maci 7 2;
+    addi 5 5 1;
+    sfltui 5 grid;
+    bf "vy_loop";
+    nop;
+    addi 4 4 1;
+    sfltui 4 grid;
+    bf "vx_loop";
+    nop;
+    macrc 9;
+    sw 1048 2 9 ]
+
+(* Second pass with msb: subtract the border contribution. *)
+let border =
+  [ li 4 0;
+    label "vb_loop";
+    slli 6 4 2;
+    add 6 6 2;
+    lwz 7 6 1280;
+    li 8 3;
+    msb 7 8;
+    addi 4 4 1;
+    sfltui 4 grid;
+    bf "vb_loop";
+    nop;
+    macrc 10;
+    sw 1052 2 10 ]
+
+let code = List.concat [ Rt.prologue; init; sweep; border; Rt.exit_program ]
+
+let workload = Rt.build ~name:"vpr" code

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Asm Code Insn Isa List Util

@@ -1,0 +1,1 @@
+test/test_assertions.ml: Alcotest Array Assertions Invariant List String Trace

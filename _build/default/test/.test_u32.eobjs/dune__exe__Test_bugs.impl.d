@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Array Bugs Cpu Isa List Option String Trace Workloads

@@ -1,0 +1,1 @@
+test/test_daikon.ml: Alcotest Array Daikon Invariant List Trace

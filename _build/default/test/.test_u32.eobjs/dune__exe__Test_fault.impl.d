@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Asm Cpu Insn Isa List Spr

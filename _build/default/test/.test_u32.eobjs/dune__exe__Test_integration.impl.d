@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Assertions Bugs Invariant Invopt Lazy List Sci Scifinder_core

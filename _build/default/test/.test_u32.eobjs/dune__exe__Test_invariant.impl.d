@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Array Invariant List Trace

@@ -1,0 +1,1 @@
+test/test_invopt.ml: Alcotest Daikon Invariant Invopt List Option Sci Trace Workloads

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Daikon Filename Fun Invariant List Option String Sys Trace Workloads

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Code Insn Isa List Printf QCheck QCheck_alcotest String

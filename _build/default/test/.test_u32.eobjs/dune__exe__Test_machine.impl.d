@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Asm Cpu Insn Isa List Spr Util

@@ -1,0 +1,1 @@
+test/test_machine_prop.ml: Alcotest Array Asm Cpu Insn Isa List Option QCheck QCheck_alcotest Spr Util

@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array List Ml Util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Invariant List Option Properties String Trace

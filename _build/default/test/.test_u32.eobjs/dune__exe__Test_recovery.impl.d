@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Asm Assertions Bugs Cpu Insn Invariant Isa List Option Trace

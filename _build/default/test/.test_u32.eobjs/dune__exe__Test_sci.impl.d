@@ -1,0 +1,1 @@
+test/test_sci.ml: Alcotest Array Bugs Daikon Invariant Lazy List Option Sci String Trace Workloads

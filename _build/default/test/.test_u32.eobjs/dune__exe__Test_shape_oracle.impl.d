@@ -1,0 +1,1 @@
+test/test_shape_oracle.ml: Alcotest Invariant List Scifinder_core Trace

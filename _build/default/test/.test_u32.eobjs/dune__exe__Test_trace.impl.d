@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Asm Cpu Insn Isa List Spr Trace Util

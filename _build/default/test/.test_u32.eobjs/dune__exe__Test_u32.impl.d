@@ -1,0 +1,1 @@
+test/test_u32.ml: Alcotest Int64 QCheck QCheck_alcotest Util

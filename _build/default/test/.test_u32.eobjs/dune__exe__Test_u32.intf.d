@@ -1,0 +1,1 @@
+test/test_u32.mli:

@@ -1,0 +1,1 @@
+test/test_workload_semantics.ml: Alcotest Array Char Cpu Float Isa List Option Printf String Util Workloads

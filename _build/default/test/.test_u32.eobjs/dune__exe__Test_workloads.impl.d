@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cpu Hashtbl Isa List Option String Trace Workloads

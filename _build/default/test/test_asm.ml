@@ -1,0 +1,91 @@
+(* Assembler: label resolution, displacement arithmetic, pseudo-instruction
+   expansion, image layout. *)
+
+open Isa
+open Asm.Build
+
+let assemble_words items = Asm.assemble { Asm.origin = 0x2000; items }
+
+let test_sequential_layout () =
+  let image = assemble_words [ nop; nop; nop ] in
+  Alcotest.(check (list int)) "addresses"
+    [ 0x2000; 0x2004; 0x2008 ] (List.map fst image)
+
+let test_label_no_size () =
+  let image = assemble_words [ nop; label "x"; nop ] in
+  Alcotest.(check int) "labels are zero-sized" 2 (List.length image)
+
+let test_forward_branch () =
+  let image = assemble_words [ j "target"; nop; label "target"; nop ] in
+  let jump_word = List.assoc 0x2000 image in
+  (match Code.decode jump_word with
+   | Some (Insn.Jump d) ->
+     (* target = 0x2008; pc = 0x2000; disp = 2 words *)
+     Alcotest.(check int) "displacement" 2 d
+   | _ -> Alcotest.fail "not a jump")
+
+let test_backward_branch () =
+  let image = assemble_words [ label "top"; nop; bf "top"; nop ] in
+  let word = List.assoc 0x2004 image in
+  (match Code.decode word with
+   | Some (Insn.Branch_flag d) ->
+     Alcotest.(check int) "negative displacement"
+       (-1) (Util.U32.signed (Util.U32.sext ~bits:26 d))
+   | _ -> Alcotest.fail "not a bf")
+
+let test_la_expansion () =
+  let image =
+    assemble_words [ la 5 "data"; nop; label "data"; word 0xCAFEBABE ]
+  in
+  Alcotest.(check int) "la is two words + nop + data" 4 (List.length image);
+  (match Code.decode (List.assoc 0x2000 image) with
+   | Some (Insn.Movhi (5, hi)) -> Alcotest.(check int) "hi half" 0 hi
+   | _ -> Alcotest.fail "expected movhi");
+  (match Code.decode (List.assoc 0x2004 image) with
+   | Some (Insn.Alui (Insn.Ori, 5, 5, lo)) ->
+     Alcotest.(check int) "lo half" 0x200C lo
+   | _ -> Alcotest.fail "expected ori")
+
+let test_unknown_label () =
+  Alcotest.check_raises "raises" (Asm.Unknown_label "nowhere")
+    (fun () -> ignore (assemble_words [ j "nowhere"; nop ]))
+
+let test_label_address () =
+  let program = { Asm.origin = 0x100; items = [ nop; nop; label "here"; nop ] } in
+  Alcotest.(check int) "address" 0x108 (Asm.label_address program "here")
+
+let test_li32 () =
+  let image = assemble_words (li32 7 0xDEADBEEF) in
+  (match Code.decode (List.assoc 0x2000 image),
+         Code.decode (List.assoc 0x2004 image) with
+   | Some (Insn.Movhi (7, 0xDEAD)), Some (Insn.Alui (Insn.Ori, 7, 7, 0xBEEF)) -> ()
+   | _ -> Alcotest.fail "li32 shape")
+
+let test_li_bounds () =
+  Alcotest.check_raises "too large" (Invalid_argument "Build.li: use li32")
+    (fun () -> ignore (li 1 0x8000));
+  Alcotest.check_raises "negative" (Invalid_argument "Build.li: use li32")
+    (fun () -> ignore (li 1 (-1)))
+
+let test_word_literal () =
+  let image = assemble_words [ word 0x12345678 ] in
+  Alcotest.(check int) "literal" 0x12345678 (List.assoc 0x2000 image)
+
+let test_data_masked () =
+  let image = assemble_words [ word (-1) ] in
+  Alcotest.(check int) "masked to 32 bits" 0xFFFF_FFFF (List.assoc 0x2000 image)
+
+let () =
+  Alcotest.run "asm"
+    [ ("asm",
+       [ Alcotest.test_case "sequential layout" `Quick test_sequential_layout;
+         Alcotest.test_case "label size" `Quick test_label_no_size;
+         Alcotest.test_case "forward branch" `Quick test_forward_branch;
+         Alcotest.test_case "backward branch" `Quick test_backward_branch;
+         Alcotest.test_case "la expansion" `Quick test_la_expansion;
+         Alcotest.test_case "unknown label" `Quick test_unknown_label;
+         Alcotest.test_case "label address" `Quick test_label_address;
+         Alcotest.test_case "li32" `Quick test_li32;
+         Alcotest.test_case "li bounds" `Quick test_li_bounds;
+         Alcotest.test_case "word literal" `Quick test_word_literal;
+         Alcotest.test_case "word masked" `Quick test_data_masked ]) ]

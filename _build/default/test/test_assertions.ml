@@ -1,0 +1,212 @@
+(* Assertion synthesis (OVL templates), the runtime monitor, and the
+   hardware cost model. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+module Ovl = Assertions.Ovl
+
+let inv ?(point = "l.add") body = { Expr.point; body }
+let v_post d = Expr.V (Var.post_id d)
+let v_orig d = Expr.V (Var.orig_id d)
+
+let record ?(point = "l.add") assignments =
+  let values = Array.make Var.total 0 in
+  List.iter (fun (id, v) -> values.(id) <- v) assignments;
+  { Trace.Record.point; values; mask = Array.make Var.total true }
+
+(* ---- template selection ---- *)
+
+let test_edge_template () =
+  let a = Ovl.of_invariant
+      (inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0))) in
+  Alcotest.(check bool) "edge" true (a.Ovl.template = Ovl.Edge);
+  Alcotest.(check int) "no history" 0 (List.length a.Ovl.history_vars)
+
+let test_next_template_for_orig () =
+  (* The paper's example: SR = orig(ESR0) becomes next(..., 1). *)
+  let a = Ovl.of_invariant
+      (inv ~point:"l.rfe" (Expr.Cmp (Expr.Eq, v_post Var.Sr_full, v_orig Var.Esr))) in
+  Alcotest.(check bool) "next 1" true (a.Ovl.template = Ovl.Next 1);
+  Alcotest.(check int) "one holding register" 1 (List.length a.Ovl.history_vars);
+  Alcotest.(check string) "ovl rendering"
+    "assert_next(INSN = l.rfe, SR = orig(ESR0), 1)" (Ovl.to_ovl_string a)
+
+let test_delta_template_for_bounds () =
+  let a = Ovl.of_invariant
+      (inv ~point:"l.sfltu"
+         (Expr.Cmp (Expr.Ge, Expr.V (Var.insn_id Var.Prod_u), Expr.Imm 0))) in
+  (match a.Ovl.template with
+   | Ovl.Delta { low; _ } -> Alcotest.(check int) "lower bound" 0 low
+   | _ -> Alcotest.fail "expected delta")
+
+let test_battery_names_unique () =
+  let invs =
+    [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 9), v_orig (Var.Gpr 9))) ]
+  in
+  let battery = Ovl.of_invariants invs in
+  let names = List.map (fun a -> a.Ovl.name) battery in
+  Alcotest.(check int) "unique" 2 (List.length (List.sort_uniq compare names))
+
+(* ---- monitor ---- *)
+
+let test_monitor_fires_on_violation () =
+  let battery =
+    Ovl.of_invariants [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)) ]
+  in
+  let trace =
+    [ record [ (Var.post_id (Var.Gpr 0), 0) ];
+      record [ (Var.post_id (Var.Gpr 0), 42) ];
+      record [ (Var.post_id (Var.Gpr 0), 0) ] ]
+  in
+  let firings = Assertions.Monitor.run battery trace in
+  Alcotest.(check int) "one firing" 1 (List.length firings);
+  Alcotest.(check int) "at step 1" 1 (List.hd firings).Assertions.Monitor.step;
+  Alcotest.(check bool) "detects" true (Assertions.Monitor.detects battery trace)
+
+let test_monitor_silent_on_clean () =
+  let battery =
+    Ovl.of_invariants [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)) ]
+  in
+  let trace = List.init 5 (fun _ -> record []) in
+  Alcotest.(check bool) "silent" false (Assertions.Monitor.detects battery trace)
+
+let test_monitor_point_scoping () =
+  let battery =
+    Ovl.of_invariants
+      [ inv ~point:"l.sys" (Expr.Cmp (Expr.Eq, v_post Var.Pc, Expr.Imm 0xC00)) ]
+  in
+  let trace = [ record ~point:"l.add" [ (Var.post_id Var.Pc, 0x2004) ] ] in
+  Alcotest.(check bool) "other points ignored" false
+    (Assertions.Monitor.detects battery trace)
+
+let test_fired_assertions_dedup () =
+  let battery =
+    Ovl.of_invariants [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)) ]
+  in
+  let bad = record [ (Var.post_id (Var.Gpr 0), 9) ] in
+  let fired = Assertions.Monitor.fired_assertions battery [ bad; bad; bad ] in
+  Alcotest.(check int) "distinct assertions" 1 (List.length fired)
+
+(* ---- cost model ---- *)
+
+let test_cost_positive_and_monotone () =
+  let simple =
+    Ovl.of_invariant (inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)))
+  in
+  let complex =
+    Ovl.of_invariant
+      (inv (Expr.Cmp (Expr.Eq,
+                      Expr.Bin (Expr.Minus, Var.post_id (Var.Gpr 9), Var.orig_id Var.Pc),
+                      Expr.Imm 8)))
+  in
+  let cs = Assertions.Cost.assertion_cost simple in
+  let cc = Assertions.Cost.assertion_cost complex in
+  Alcotest.(check bool) "positive" true (cs.Assertions.Cost.luts > 0);
+  Alcotest.(check bool) "adders and history cost more" true
+    (cc.Assertions.Cost.luts > cs.Assertions.Cost.luts);
+  Alcotest.(check bool) "history flip-flops" true (cc.Assertions.Cost.flipflops >= 32)
+
+let test_battery_shares_history () =
+  let i1 = inv (Expr.Cmp (Expr.Eq, v_post Var.Sr_full, v_orig Var.Esr)) in
+  let i2 = inv ~point:"l.sub" (Expr.Cmp (Expr.Eq, v_post Var.Sr_full, v_orig Var.Esr)) in
+  let both = Assertions.Cost.battery_overhead (Ovl.of_invariants [ i1; i2 ]) in
+  let one = Assertions.Cost.battery_overhead (Ovl.of_invariants [ i1 ]) in
+  (* Shared ESR holding register: the second assertion adds comparator
+     logic but no second 32-bit register. *)
+  Alcotest.(check int) "flip-flops shared" one.Assertions.Cost.total_ffs
+    both.Assertions.Cost.total_ffs;
+  Alcotest.(check bool) "logic still grows" true
+    (both.Assertions.Cost.total_luts > one.Assertions.Cost.total_luts)
+
+let test_overhead_percentages () =
+  let battery =
+    Ovl.of_invariants [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)) ]
+  in
+  let o = Assertions.Cost.battery_overhead battery in
+  Alcotest.(check bool) "small battery is a small fraction" true
+    (o.Assertions.Cost.lut_pct > 0.0 && o.Assertions.Cost.lut_pct < 2.0);
+  Alcotest.(check (float 1e-9)) "no delay" 0.0 o.Assertions.Cost.delay_ns_added
+
+(* ---- Verilog back end ---- *)
+
+let test_verilog_structure () =
+  let battery =
+    Ovl.of_invariants
+      [ inv ~point:"l.sys" (Expr.Cmp (Expr.Eq, v_post Var.Pc, Expr.Imm 0xC00));
+        inv ~point:"l.rfe" (Expr.Cmp (Expr.Eq, v_post Var.Sr_full, v_orig Var.Esr)) ]
+  in
+  let v = Assertions.Verilog.emit battery in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let check_has sub = Alcotest.(check bool) sub true (contains v sub) in
+  check_has "module scifinder_monitor";
+  check_has "input wire valid";
+  check_has "output wire any_fire";
+  (* the syscall vector comparison and its opcode qualifier *)
+  check_has "32'h00000C00";
+  check_has "6'h08";
+  (* the orig() operand gets a holding register *)
+  check_has "ESR0_prev";
+  check_has "ESR0_prev <= ESR0";
+  check_has "endmodule"
+
+let test_verilog_fire_polarity () =
+  (* fire asserts the NEGATION of the invariant expression. *)
+  let battery =
+    Ovl.of_invariants
+      [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)) ]
+  in
+  let v = Assertions.Verilog.emit battery in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "negated body" true
+    (contains v "!(GPR0 == 32'h00000000)")
+
+let test_verilog_signed_diff () =
+  let battery =
+    Ovl.of_invariants
+      [ inv ~point:"l.sfltu"
+          (Expr.Cmp (Expr.Ge, Expr.V (Var.insn_id Var.Prod_u), Expr.Imm 0)) ]
+  in
+  let v = Assertions.Verilog.emit battery in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "signed comparison for Diff vars" true
+    (contains v "$signed(PROD_U)")
+
+let test_baseline_constants () =
+  Alcotest.(check int) "baseline LUTs (Table 9)" 10073 Assertions.Cost.baseline_luts;
+  Alcotest.(check (float 1e-9)) "baseline power" 3.24 Assertions.Cost.baseline_power_w;
+  Alcotest.(check (float 1e-9)) "baseline delay" 19.1 Assertions.Cost.baseline_delay_ns
+
+let () =
+  Alcotest.run "assertions"
+    [ ("templates",
+       [ Alcotest.test_case "edge" `Quick test_edge_template;
+         Alcotest.test_case "next for orig()" `Quick test_next_template_for_orig;
+         Alcotest.test_case "delta bounds" `Quick test_delta_template_for_bounds;
+         Alcotest.test_case "unique names" `Quick test_battery_names_unique ]);
+      ("monitor",
+       [ Alcotest.test_case "fires" `Quick test_monitor_fires_on_violation;
+         Alcotest.test_case "silent" `Quick test_monitor_silent_on_clean;
+         Alcotest.test_case "point scoping" `Quick test_monitor_point_scoping;
+         Alcotest.test_case "dedup" `Quick test_fired_assertions_dedup ]);
+      ("verilog",
+       [ Alcotest.test_case "structure" `Quick test_verilog_structure;
+         Alcotest.test_case "fire polarity" `Quick test_verilog_fire_polarity;
+         Alcotest.test_case "signed diff" `Quick test_verilog_signed_diff ]);
+      ("cost",
+       [ Alcotest.test_case "monotone" `Quick test_cost_positive_and_monotone;
+         Alcotest.test_case "history sharing" `Quick test_battery_shares_history;
+         Alcotest.test_case "percentages" `Quick test_overhead_percentages;
+         Alcotest.test_case "baseline" `Quick test_baseline_constants ]) ]

@@ -1,0 +1,143 @@
+(* The bug registry: every reproduced erratum actually perturbs the
+   ISA-visible behaviour of its trigger (except the microarchitectural
+   ones), and each fault matches its synopsis. *)
+
+module M = Cpu.Machine
+module Reg = Bugs.Registry
+
+(* Trace digests of the trigger under the clean and the buggy processor. *)
+let trace_digest ?(fault = Cpu.Fault.none) (t : Workloads.Rt.t) =
+  let config = { Trace.Runner.default_config with max_steps = 4000 } in
+  let acc = ref 0 and n = ref 0 in
+  ignore
+    (Trace.Runner.stream ~config ~fault ~tick_period:t.tick_period
+       ~entry:t.entry
+       ~observer:(fun r ->
+           incr n;
+           Array.iter (fun x -> acc := (!acc * 1000003) + x) r.Trace.Record.values)
+       t.image);
+  (!acc, !n)
+
+let divergence_tests =
+  List.map
+    (fun (b : Reg.t) ->
+       Alcotest.test_case b.id `Quick (fun () ->
+           let clean = trace_digest b.trigger in
+           let buggy = trace_digest ~fault:b.fault b.trigger in
+           if b.isa_visible then
+             Alcotest.(check bool)
+               (b.id ^ " diverges at the ISA level") true (clean <> buggy)
+           else
+             Alcotest.(check bool)
+               (b.id ^ " is ISA-invisible") true
+               (b.id = "b2" || clean = buggy)))
+    (Bugs.Table1.all @ Bugs.Amd_errata.all)
+
+let clean_termination_tests =
+  List.map
+    (fun (b : Reg.t) ->
+       Alcotest.test_case (b.id ^ "-clean") `Quick (fun () ->
+           let config = { Trace.Runner.default_config with max_steps = 4000 } in
+           let _, outcome =
+             Trace.Runner.capture ~config ~tick_period:b.trigger.tick_period
+               ~entry:b.trigger.entry b.trigger.image
+           in
+           Alcotest.(check bool) "clean trigger exits" true
+             (outcome = `Halted M.Exit)))
+    (Bugs.Table1.all @ Bugs.Amd_errata.all)
+
+(* ---- spot checks on specific bug semantics ---- *)
+
+let run_with bug_id insns regs =
+  let b = Option.get (Bugs.Table1.by_id bug_id) in
+  let items = List.map (fun i -> Isa.Asm.I i) insns @ [ Isa.Asm.I (Isa.Insn.Nop 1) ] in
+  let image = Isa.Asm.assemble { Isa.Asm.origin = 0x2000; items } in
+  let m = M.create ~fault:b.Reg.fault () in
+  M.load_image m image;
+  M.set_pc m 0x2000;
+  List.iter (fun (r, v) -> m.M.gpr.(r) <- v) regs;
+  ignore (M.run ~max_steps:100 ~observer:(fun _ -> ()) m);
+  m
+
+let test_b2_stalls () =
+  let b = Option.get (Bugs.Table1.by_id "b2") in
+  let items =
+    List.map (fun i -> Isa.Asm.I i)
+      Isa.Insn.[ Macc (Mac, 1, 2); Macrc 3; Nop 1 ]
+  in
+  let image = Isa.Asm.assemble { Isa.Asm.origin = 0x2000; items } in
+  let m = M.create ~fault:b.Reg.fault () in
+  M.load_image m image;
+  M.set_pc m 0x2000;
+  (match M.run ~max_steps:100 ~observer:(fun _ -> ()) m with
+   | `Halted M.Stalled -> ()
+   | _ -> Alcotest.fail "expected a stall")
+
+let test_b3_extw_wrong () =
+  let m = run_with "b3" Isa.Insn.[ Ext (Extws, 3, 1) ] [ (1, 0x0001_4678) ] in
+  Alcotest.(check int) "extws truncated" 0x4678 m.M.gpr.(3)
+
+let test_b6_compare_flip () =
+  let m = run_with "b6" Isa.Insn.[ Setflag (Sfltu, 1, 2) ]
+      [ (1, 0x8000_0000); (2, 1) ] in
+  (* 0x80000000 <u 1 is false, but the MSBs differ so the bug flips it. *)
+  Alcotest.(check int) "flag flipped" 1
+    (Isa.Spr.Sr_bits.get m.M.sr Isa.Spr.Sr_bits.f)
+
+let test_b6_same_msb_ok () =
+  let m = run_with "b6" Isa.Insn.[ Setflag (Sfltu, 1, 2) ] [ (1, 3); (2, 7) ] in
+  Alcotest.(check int) "correct when MSBs match" 1
+    (Isa.Spr.Sr_bits.get m.M.sr Isa.Spr.Sr_bits.f)
+
+let test_b10_gpr0 () =
+  let m = run_with "b10" Isa.Insn.[ Alu (Add, 0, 1, 2) ] [ (1, 41); (2, 1) ] in
+  Alcotest.(check int) "r0 poisoned" 42 m.M.gpr.(0)
+
+let test_b12_mtspr_dropped () =
+  let m = run_with "b12"
+      Isa.Insn.[ Mtspr (0, 1, Isa.Spr.address Isa.Spr.Eear0) ] [ (1, 0xAA) ] in
+  Alcotest.(check int) "EEAR write dropped" 0 m.M.eear
+
+let test_b17_clobber () =
+  let m = run_with "b17"
+      Isa.Insn.[ Store (Sw, 0, 1, 2);    (* mem[0x8000] <- 77 *)
+                 Load (Lwz, 5, 1, 0);    (* r5 <- 77 *)
+                 Store (Sw, 4, 1, 6) ]   (* bug: r5 <- r6 *)
+      [ (1, 0x8000); (2, 77); (6, 55) ] in
+  Alcotest.(check int) "load result clobbered" 55 m.M.gpr.(5)
+
+let test_registry_invariants () =
+  let all = Bugs.Table1.all @ Bugs.Amd_errata.all in
+  Alcotest.(check int) "17 Table 1 bugs" 17 (List.length Bugs.Table1.all);
+  Alcotest.(check int) "14 held-out bugs" 14 (List.length Bugs.Amd_errata.all);
+  let ids = List.map (fun b -> b.Reg.id) all in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
+  let microarch = List.filter (fun b -> not b.Reg.isa_visible) all in
+  Alcotest.(check int) "exactly 3 microarchitectural bugs" 3
+    (List.length microarch);
+  Alcotest.(check int) "random-split pool of 28" 28
+    (List.length (List.filter (fun b -> b.Reg.isa_visible) all))
+
+let test_funnel_counts () =
+  Alcotest.(check int) "collected" 185 Reg.collected_bug_count;
+  Alcotest.(check int) "security" 25 Reg.security_critical_count;
+  Alcotest.(check int) "reproduced" 17 Reg.reproduced_count;
+  Alcotest.(check int) "funnel consistent" Reg.security_critical_count
+    (Reg.reproduced_count + Reg.not_reproducible_count)
+
+let () =
+  Alcotest.run "bugs"
+    [ ("divergence", divergence_tests);
+      ("clean-termination", clean_termination_tests);
+      ("semantics",
+       [ Alcotest.test_case "b2 stalls" `Quick test_b2_stalls;
+         Alcotest.test_case "b3 extw" `Quick test_b3_extw_wrong;
+         Alcotest.test_case "b6 flip" `Quick test_b6_compare_flip;
+         Alcotest.test_case "b6 same msb" `Quick test_b6_same_msb_ok;
+         Alcotest.test_case "b10 gpr0" `Quick test_b10_gpr0;
+         Alcotest.test_case "b12 mtspr" `Quick test_b12_mtspr_dropped;
+         Alcotest.test_case "b17 clobber" `Quick test_b17_clobber ]);
+      ("registry",
+       [ Alcotest.test_case "structure" `Quick test_registry_invariants;
+         Alcotest.test_case "funnel" `Quick test_funnel_counts ]) ]

@@ -1,0 +1,204 @@
+(* The invariant detector: hand-built record streams must produce exactly
+   the expected template instances, and more data must falsify them. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+module Engine = Daikon.Engine
+
+let g3 = Var.post_id (Var.Gpr 3)
+let g4 = Var.post_id (Var.Gpr 4)
+let g5 = Var.post_id (Var.Gpr 5)
+let pc = Var.post_id Var.Pc
+let pc0 = Var.orig_id Var.Pc
+let prod_u = Var.insn_id Var.Prod_u
+
+let record ?(point = "l.add") ?(mask = Array.make Var.total true) assignments =
+  let values = Array.make Var.total 0 in
+  List.iter (fun (id, v) -> values.(id) <- v) assignments;
+  { Trace.Record.point; values; mask }
+
+let feed ?(config = Daikon.Config.relaxed) records =
+  let engine = Engine.create ~config () in
+  List.iter (Engine.observe engine) records;
+  Engine.invariants engine
+
+let has invs s = List.exists (fun i -> Expr.to_string i = s) invs
+let check_has invs s = Alcotest.(check bool) s true (has invs s)
+let check_not invs s = Alcotest.(check bool) ("NOT " ^ s) false (has invs s)
+
+(* Mask limited to a few variables keeps the expected set small. *)
+let small_mask ids =
+  let m = Array.make Var.total false in
+  List.iter (fun id -> m.(id) <- true) ids;
+  m
+
+let test_constant () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 7); (g4, 1) ];
+                    record ~mask [ (g3, 7); (g4, 2) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 = 7";
+  check_not invs "risingEdge(l.add) -> GPR4 = 1"
+
+let test_oneof () =
+  let mask = small_mask [ g3 ] in
+  let invs = feed [ record ~mask [ (g3, 1) ]; record ~mask [ (g3, 2) ];
+                    record ~mask [ (g3, 1) ]; record ~mask [ (g3, 2) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 in {0x1, 0x2}"
+
+let test_oneof_overflow_killed () =
+  let mask = small_mask [ g3 ] in
+  let invs = feed (List.init 8 (fun i -> record ~mask [ (g3, i * 13) ])) in
+  Alcotest.(check bool) "no In invariant survives 8 distinct values" false
+    (List.exists
+       (fun i -> match i.Expr.body with Expr.In _ -> true | _ -> false)
+       invs)
+
+let test_pair_equality () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 5); (g4, 5) ];
+                    record ~mask [ (g3, 9); (g4, 9) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 = GPR4"
+
+let test_pair_order () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 1); (g4, 5) ];
+                    record ~mask [ (g3, 2); (g4, 9) ];
+                    record ~mask [ (g3, 0); (g4, 1) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 < GPR4"
+
+let test_pair_le_when_sometimes_equal () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 1); (g4, 5) ];
+                    record ~mask [ (g3, 5); (g4, 5) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 <= GPR4"
+
+let test_pair_relation_killed () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 1); (g4, 5) ];
+                    record ~mask [ (g3, 9); (g4, 5) ];
+                    record ~mask [ (g3, 5); (g4, 5) ] ] in
+  Alcotest.(check bool) "no order relation" false
+    (has invs "risingEdge(l.add) -> GPR3 <= GPR4"
+     || has invs "risingEdge(l.add) -> GPR3 >= GPR4"
+     || has invs "risingEdge(l.add) -> GPR3 < GPR4")
+
+let test_ne_needs_confidence () =
+  let mask = small_mask [ g3; g4 ] in
+  (* relaxed config: ne_min = 4. Non-monotonic values so only <>
+     is a candidate relation. *)
+  let mixed =
+    [ record ~mask [ (g3, 1); (g4, 100) ];
+      record ~mask [ (g3, 200); (g4, 100) ];
+      record ~mask [ (g3, 2); (g4, 100) ] ]
+  in
+  let invs = feed mixed in
+  check_not invs "risingEdge(l.add) -> GPR3 != GPR4";
+  let more = mixed @ [ record ~mask [ (g3, 201); (g4, 100) ];
+                       record ~mask [ (g3, 3); (g4, 100) ] ] in
+  let invs = feed more in
+  check_has invs "risingEdge(l.add) -> GPR3 != GPR4"
+
+let test_diff () =
+  let mask = small_mask [ pc0; pc ] in
+  let invs = feed [ record ~mask [ (pc0, 0x2000); (pc, 0x2004) ];
+                    record ~mask [ (pc0, 0x2004); (pc, 0x2008) ] ] in
+  check_has invs "risingEdge(l.add) -> (PC - orig(PC)) = 4"
+
+let test_diff_killed () =
+  let mask = small_mask [ pc0; pc ] in
+  let invs = feed [ record ~mask [ (pc0, 0x2000); (pc, 0x2004) ];
+                    record ~mask [ (pc0, 0x2004); (pc, 0x2010) ] ] in
+  Alcotest.(check bool) "no diff invariant" false
+    (List.exists
+       (fun i -> match i.Expr.body with
+          | Expr.Cmp (_, Expr.Bin (Expr.Minus, _, _), _) -> true
+          | _ -> false)
+       invs)
+
+let test_scale () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 3); (g4, 12) ];
+                    record ~mask [ (g3, 5); (g4, 20) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR4 = GPR3 * 4"
+
+let test_scale_reverse_direction () =
+  let mask = small_mask [ g3; g4 ] in
+  let invs = feed [ record ~mask [ (g3, 12); (g4, 3) ];
+                    record ~mask [ (g3, 20); (g4, 5) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 = GPR4 * 4"
+
+let test_mod_alignment () =
+  let mask = small_mask [ pc ] in
+  let invs = feed [ record ~mask [ (pc, 0x2000) ]; record ~mask [ (pc, 0x2004) ];
+                    record ~mask [ (pc, 0x2010) ] ] in
+  check_has invs "risingEdge(l.add) -> PC mod 4 = 0"
+
+let test_mod2_fallback () =
+  let mask = small_mask [ pc ] in
+  let invs = feed [ record ~mask [ (pc, 0x2000) ]; record ~mask [ (pc, 0x2002) ];
+                    record ~mask [ (pc, 0x2006) ] ] in
+  check_not invs "risingEdge(l.add) -> PC mod 4 = 0";
+  check_has invs "risingEdge(l.add) -> PC mod 2 = 0"
+
+let test_diff_bounds () =
+  let mask = small_mask [ prod_u ] in
+  let invs = feed ~config:Daikon.Config.relaxed
+      [ record ~point:"l.sfltu" ~mask [ (prod_u, 5) ];
+        record ~point:"l.sfltu" ~mask [ (prod_u, 0) ];
+        record ~point:"l.sfltu" ~mask [ (prod_u, 9) ] ] in
+  check_has invs "risingEdge(l.sfltu) -> PROD_U >= 0"
+
+let test_min_samples () =
+  let mask = small_mask [ g3 ] in
+  let config = { Daikon.Config.relaxed with min_samples = 3 } in
+  let invs = feed ~config [ record ~mask [ (g3, 7) ]; record ~mask [ (g3, 7) ] ] in
+  Alcotest.(check int) "below threshold: nothing" 0 (List.length invs)
+
+let test_points_separate () =
+  let mask = small_mask [ g3 ] in
+  let invs = feed [ record ~point:"l.add" ~mask [ (g3, 1) ];
+                    record ~point:"l.add" ~mask [ (g3, 1) ];
+                    record ~point:"l.sub" ~mask [ (g3, 2) ];
+                    record ~point:"l.sub" ~mask [ (g3, 2) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 = 1";
+  check_has invs "risingEdge(l.sub) -> GPR3 = 2"
+
+let test_leader_suppression () =
+  (* Two constant-equal post variables: only the leader pairs with the
+     changing one, so exactly one ordering invariant appears. *)
+  let mask = small_mask [ g3; g4; g5 ] in
+  let invs = feed [ record ~mask [ (g3, 0); (g4, 0); (g5, 10) ];
+                    record ~mask [ (g3, 0); (g4, 0); (g5, 20) ] ] in
+  check_has invs "risingEdge(l.add) -> GPR3 < GPR5";
+  check_not invs "risingEdge(l.add) -> GPR4 < GPR5"
+
+let test_record_count () =
+  let engine = Engine.create () in
+  Alcotest.(check int) "empty" 0 (Engine.record_count engine);
+  Engine.observe engine (record [ (g3, 1) ]);
+  Alcotest.(check int) "counted" 1 (Engine.record_count engine);
+  Alcotest.(check int) "one point" 1 (Engine.point_count engine)
+
+let () =
+  Alcotest.run "daikon"
+    [ ("templates",
+       [ Alcotest.test_case "constant" `Quick test_constant;
+         Alcotest.test_case "oneof" `Quick test_oneof;
+         Alcotest.test_case "oneof overflow" `Quick test_oneof_overflow_killed;
+         Alcotest.test_case "pair equality" `Quick test_pair_equality;
+         Alcotest.test_case "pair order" `Quick test_pair_order;
+         Alcotest.test_case "pair le" `Quick test_pair_le_when_sometimes_equal;
+         Alcotest.test_case "relation killed" `Quick test_pair_relation_killed;
+         Alcotest.test_case "ne confidence" `Quick test_ne_needs_confidence;
+         Alcotest.test_case "diff" `Quick test_diff;
+         Alcotest.test_case "diff killed" `Quick test_diff_killed;
+         Alcotest.test_case "scale" `Quick test_scale;
+         Alcotest.test_case "scale reversed" `Quick test_scale_reverse_direction;
+         Alcotest.test_case "mod 4" `Quick test_mod_alignment;
+         Alcotest.test_case "mod 2 fallback" `Quick test_mod2_fallback;
+         Alcotest.test_case "diff bounds" `Quick test_diff_bounds ]);
+      ("engine",
+       [ Alcotest.test_case "min samples" `Quick test_min_samples;
+         Alcotest.test_case "points separate" `Quick test_points_separate;
+         Alcotest.test_case "leader suppression" `Quick test_leader_suppression;
+         Alcotest.test_case "record count" `Quick test_record_count ]) ]

@@ -1,0 +1,134 @@
+(* Fault injection interface: hooks perturb exactly their own aspect of
+   the semantics and compose. *)
+
+open Isa
+module M = Cpu.Machine
+module F = Cpu.Fault
+
+let code_base = 0x2000
+
+let run ?(fault = F.none) ?(regs = []) insns =
+  let items = List.map (fun i -> Asm.I i) insns @ [ Asm.I (Insn.Nop 1) ] in
+  let image = Asm.assemble { Asm.origin = code_base; items } in
+  let machine = M.create ~fault () in
+  M.load_image machine image;
+  M.set_pc machine code_base;
+  List.iter (fun (r, v) -> machine.M.gpr.(r) <- v) regs;
+  ignore (M.run ~max_steps:1000 ~observer:(fun _ -> ()) machine);
+  machine
+
+let check = Alcotest.(check int)
+
+let test_none_is_identity () =
+  let a = run ~regs:[ (1, 3); (2, 4) ] [ Insn.Alu (Insn.Add, 5, 1, 2) ] in
+  let b = run ~fault:F.none ~regs:[ (1, 3); (2, 4) ] [ Insn.Alu (Insn.Add, 5, 1, 2) ] in
+  check "same result" a.M.gpr.(5) b.M.gpr.(5)
+
+let test_on_alu () =
+  let fault = { F.none with F.name = "alu"; on_alu = (fun _ r -> r + 1) } in
+  let m = run ~fault ~regs:[ (1, 3); (2, 4) ] [ Insn.Alu (Insn.Add, 5, 1, 2) ] in
+  check "perturbed" 8 m.M.gpr.(5)
+
+let test_on_compare () =
+  let fault = { F.none with F.name = "cmp"; on_compare = (fun _ ~a:_ ~b:_ r -> not r) } in
+  let m = run ~fault ~regs:[ (1, 1); (2, 1) ] [ Insn.Setflag (Insn.Sfeq, 1, 2) ] in
+  check "inverted flag" 0 (Spr.Sr_bits.get m.M.sr Spr.Sr_bits.f)
+
+let test_on_writeback () =
+  let fault = { F.none with F.name = "wb";
+                on_writeback = (fun _ ~reg ~pc:_ v -> if reg = 5 then 99 else v) } in
+  let m = run ~fault ~regs:[ (1, 3); (2, 4) ]
+      [ Insn.Alu (Insn.Add, 5, 1, 2); Insn.Alu (Insn.Add, 6, 1, 2) ] in
+  check "targeted register corrupted" 99 m.M.gpr.(5);
+  check "other register clean" 7 m.M.gpr.(6)
+
+let test_allow_gpr0 () =
+  let fault = { F.none with F.name = "r0"; allow_gpr0_write = true } in
+  let m = run ~fault ~regs:[ (1, 41); (2, 1) ] [ Insn.Alu (Insn.Add, 0, 1, 2) ] in
+  check "r0 written" 42 m.M.gpr.(0)
+
+let test_on_load_store () =
+  let fault = { F.none with F.name = "ls";
+                on_load = (fun _ ~addr:_ ~raw:_ _ -> 0xBAD);
+                on_store = (fun _ ~addr:_ ~exec_pc:_ v -> v lxor 0xFF) } in
+  let m = run ~fault ~regs:[ (1, 0x8000); (2, 0x12345678) ]
+      [ Insn.Store (Insn.Sw, 0, 1, 2); Insn.Load (Insn.Lwz, 3, 1, 0) ] in
+  check "load corrupted" 0xBAD m.M.gpr.(3);
+  (* The store was corrupted in memory too. *)
+  check "stored value xor'd" (0x12345678 lxor 0xFF)
+    (Cpu.Memory.read32 m.M.mem 0x8000)
+
+let test_on_eff_addr () =
+  let fault = { F.none with F.name = "ea";
+                on_eff_addr = (fun _ ea -> ea + 4) } in
+  let m = run ~fault ~regs:[ (1, 0x8000); (2, 7) ]
+      [ Insn.Store (Insn.Sw, 0, 1, 2) ] in
+  check "skewed address" 7 (Cpu.Memory.read32 m.M.mem 0x8004)
+
+let test_mtspr_nop () =
+  let fault = { F.none with F.name = "mtspr";
+                mtspr_is_nop = (fun ~spr_addr -> spr_addr = Spr.address Spr.Eear0) } in
+  let m = run ~fault ~regs:[ (1, 0xCAFE) ]
+      [ Insn.Mtspr (0, 1, Spr.address Spr.Eear0);
+        Insn.Mtspr (0, 1, Spr.address Spr.Epcr0) ] in
+  check "EEAR write dropped" 0 m.M.eear;
+  check "EPCR write landed" 0xCAFE m.M.epcr
+
+let test_suppress_exception () =
+  let fault = { F.none with F.name = "nosys";
+                suppress_exception = (fun ctx ~prev:_ -> ctx.F.kind = Spr.Vector.Syscall) } in
+  let m = run ~fault [ Insn.Sys 1; Insn.Alui (Insn.Addi, 3, 3, 1) ] in
+  check "fell through" 1 m.M.gpr.(3);
+  check "no SPR updates" 0 m.M.epcr
+
+let test_exception_epcr_hook () =
+  let fault = { F.none with F.name = "epcr";
+                on_exception_epcr = (fun _ e -> e + 12) } in
+  let items = [ Asm.I (Insn.Sys 1) ] in
+  let image = Asm.assemble { Asm.origin = code_base; items } in
+  let m = M.create ~fault () in
+  M.load_image m image;
+  M.set_pc m code_base;
+  ignore (M.step m);
+  check "skewed EPCR" (code_base + 4 + 12) m.M.epcr
+
+let test_rfe_hooks () =
+  let fault = { F.none with F.name = "rfe"; on_rfe_pc = (fun pc -> pc + 8) } in
+  let m = M.create ~fault () in
+  let items = [ Asm.I Insn.Rfe ] in
+  M.load_image m (Asm.assemble { Asm.origin = code_base; items });
+  M.set_pc m code_base;
+  m.M.epcr <- 0x3000;
+  ignore (M.step m);
+  check "skewed return" 0x3008 m.M.pc
+
+let test_compose () =
+  let f1 = { F.none with F.name = "one"; on_alu = (fun _ r -> r + 1) } in
+  let f2 = { F.none with F.name = "two"; on_alu = (fun _ r -> r * 2) } in
+  let fault = F.compose f1 f2 in
+  Alcotest.(check string) "name" "one+two" fault.F.name;
+  let m = run ~fault ~regs:[ (1, 3); (2, 4) ] [ Insn.Alu (Insn.Add, 5, 1, 2) ] in
+  (* f1 first (inner), then f2: (7 + 1) * 2 *)
+  check "composition order" 16 m.M.gpr.(5)
+
+let test_compose_flags () =
+  let f1 = { F.none with F.name = "a"; allow_gpr0_write = true } in
+  let fault = F.compose f1 F.none in
+  Alcotest.(check bool) "or-combined" true fault.F.allow_gpr0_write
+
+let () =
+  Alcotest.run "fault"
+    [ ("hooks",
+       [ Alcotest.test_case "identity" `Quick test_none_is_identity;
+         Alcotest.test_case "on_alu" `Quick test_on_alu;
+         Alcotest.test_case "on_compare" `Quick test_on_compare;
+         Alcotest.test_case "on_writeback" `Quick test_on_writeback;
+         Alcotest.test_case "gpr0" `Quick test_allow_gpr0;
+         Alcotest.test_case "load/store" `Quick test_on_load_store;
+         Alcotest.test_case "eff addr" `Quick test_on_eff_addr;
+         Alcotest.test_case "mtspr nop" `Quick test_mtspr_nop;
+         Alcotest.test_case "suppress exception" `Quick test_suppress_exception;
+         Alcotest.test_case "epcr hook" `Quick test_exception_epcr_hook;
+         Alcotest.test_case "rfe hooks" `Quick test_rfe_hooks;
+         Alcotest.test_case "compose" `Quick test_compose;
+         Alcotest.test_case "compose flags" `Quick test_compose_flags ]) ]

@@ -1,0 +1,131 @@
+(* End-to-end integration: a reduced corpus through all four SCIFinder
+   phases, exercising the same code paths as the full benchmark harness
+   but small enough for the test suite. *)
+
+module Expr = Invariant.Expr
+module Pipeline = Scifinder_core.Pipeline
+module Experiments = Scifinder_core.Experiments
+
+(* Mine a compact corpus once and share it across the tests. *)
+let small_groups = [ [ "vmlinux" ]; [ "instru" ]; [ "basicmath" ]; [ "parser" ] ]
+let small_labels = [ "vmlinux"; "instru"; "basicmath"; "parser" ]
+
+let mining =
+  lazy (Pipeline.mine ~groups:small_groups ~labels:small_labels ())
+
+let optimized =
+  lazy
+    (let m = Lazy.force mining in
+     (Pipeline.optimize m.Pipeline.invariants).Pipeline.result.Invopt.Pipeline.optimized)
+
+let identification =
+  lazy
+    (Pipeline.identify ~invariants:(Lazy.force optimized) Bugs.Table1.all)
+
+let test_mining_shape () =
+  let m = Lazy.force mining in
+  Alcotest.(check bool) "records flowed" true (m.Pipeline.record_count > 1000);
+  Alcotest.(check bool) "invariants mined" true
+    (List.length m.Pipeline.invariants > 1000);
+  Alcotest.(check int) "one Figure-3 row per group" 4
+    (List.length m.Pipeline.figure3)
+
+let test_figure3_accounting () =
+  let m = Lazy.force mining in
+  List.iter
+    (fun (row : Pipeline.figure3_row) ->
+       Alcotest.(check int) (row.group_label ^ " total = unmodified + new")
+         row.total (row.unmodified + row.fresh))
+    m.Pipeline.figure3;
+  (* The first row has no previous snapshot: everything is new. *)
+  (match m.Pipeline.figure3 with
+   | first :: _ ->
+     Alcotest.(check int) "first row all new" 0 first.unmodified;
+     Alcotest.(check int) "first row no deletions" 0 first.deleted
+   | [] -> Alcotest.fail "no rows")
+
+let test_optimizer_table2_shape () =
+  let m = Lazy.force mining in
+  let result = (Pipeline.optimize m.Pipeline.invariants).Pipeline.result in
+  match result.Invopt.Pipeline.stages with
+  | [ raw; cp; dr; er ] ->
+    Alcotest.(check int) "CP preserves invariant count"
+      raw.invariants cp.invariants;
+    Alcotest.(check bool) "CP reduces variables" true
+      (cp.variables < raw.variables);
+    Alcotest.(check bool) "DR reduces invariants" true
+      (dr.invariants < cp.invariants);
+    Alcotest.(check bool) "ER reduces further" true
+      (er.invariants <= dr.invariants)
+  | _ -> Alcotest.fail "four stages"
+
+let test_identification_table3_shape () =
+  let ident = Lazy.force identification in
+  let reports = ident.Pipeline.summary.Sci.Identify.reports in
+  Alcotest.(check int) "all 17 bugs processed" 17 (List.length reports);
+  let detected =
+    List.filter (fun (r : Sci.Identify.report) -> r.detected) reports
+  in
+  (* The paper: 16 of 17; b2 is the microarchitectural exception. *)
+  Alcotest.(check bool) "at least 14 detected" true (List.length detected >= 14);
+  let b2 = List.find (fun (r : Sci.Identify.report) ->
+      r.bug.Bugs.Registry.id = "b2") reports in
+  Alcotest.(check bool) "b2 undetected" false b2.detected
+
+let test_inference_runs () =
+  let ident = Lazy.force identification in
+  let inference =
+    Pipeline.infer ~all_invariants:(Lazy.force optimized) ident.Pipeline.summary
+  in
+  Alcotest.(check bool) "test accuracy well above chance" true
+    (inference.Pipeline.test_accuracy > 0.7);
+  Alcotest.(check bool) "selects features" true
+    (inference.Pipeline.selected_features <> []);
+  Alcotest.(check bool) "recommends SCI" true
+    (inference.Pipeline.recommended <> []);
+  Alcotest.(check bool) "oracle removes some" true
+    (inference.Pipeline.inferred_fp <> []);
+  Alcotest.(check bool) "properties counted" true
+    (inference.Pipeline.property_count > 0);
+  (* Surviving + rejected = recommended. *)
+  Alcotest.(check int) "partition"
+    (List.length inference.Pipeline.recommended)
+    (List.length inference.Pipeline.surviving
+     + List.length inference.Pipeline.inferred_fp)
+
+let test_assertions_stop_the_exploit () =
+  (* The SPECS story: enforce b10's SCI as assertions and the buggy
+     processor is caught red-handed, while the clean one runs silent. *)
+  let ident = Lazy.force identification in
+  let b10_report =
+    List.find (fun (r : Sci.Identify.report) -> r.bug.Bugs.Registry.id = "b10")
+      ident.Pipeline.summary.Sci.Identify.reports
+  in
+  let battery = Assertions.Ovl.of_invariants b10_report.true_sci in
+  let b10 = b10_report.bug in
+  let buggy = Sci.Identify.capture_trigger ~fault:b10.fault b10.trigger in
+  let clean = Sci.Identify.capture_trigger b10.trigger in
+  Alcotest.(check bool) "fires on the exploit" true
+    (Assertions.Monitor.detects battery buggy);
+  Alcotest.(check bool) "silent on the clean processor" false
+    (Assertions.Monitor.detects battery clean)
+
+let test_hardware_overhead_report () =
+  let ident = Lazy.force identification in
+  let sci = ident.Pipeline.summary.Sci.Identify.unique_sci in
+  let report = Experiments.hardware_overhead ~identified_sci:sci ~inferred_sci:[] in
+  Alcotest.(check bool) "assertions exist" true (report.initial_assertions > 0);
+  Alcotest.(check bool) "cost positive" true (report.initial.total_luts > 0);
+  Alcotest.(check bool) "final includes initial" true
+    (report.final.total_luts >= report.initial.total_luts)
+
+let () =
+  Alcotest.run "integration"
+    [ ("pipeline",
+       [ Alcotest.test_case "mining" `Slow test_mining_shape;
+         Alcotest.test_case "figure 3 accounting" `Slow test_figure3_accounting;
+         Alcotest.test_case "table 2 shape" `Slow test_optimizer_table2_shape;
+         Alcotest.test_case "table 3 shape" `Slow test_identification_table3_shape;
+         Alcotest.test_case "inference" `Slow test_inference_runs;
+         Alcotest.test_case "dynamic verification" `Slow test_assertions_stop_the_exploit;
+         Alcotest.test_case "hardware overhead" `Slow test_hardware_overhead_report ]) ]

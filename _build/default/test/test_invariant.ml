@@ -1,0 +1,156 @@
+(* The invariant language: evaluation semantics, canonical forms, feature
+   extraction. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+(* A synthetic record with chosen variable values. *)
+let record ?(point = "l.add") assignments =
+  let values = Array.make Var.total 0 in
+  List.iter (fun (id, v) -> values.(id) <- v) assignments;
+  { Trace.Record.point; values; mask = Array.make Var.total true }
+
+let pc = Var.post_id Var.Pc
+let pc0 = Var.orig_id Var.Pc
+let g3 = Var.post_id (Var.Gpr 3)
+let g4 = Var.post_id (Var.Gpr 4)
+
+let inv point body = { Expr.point; body }
+
+let check_holds name expected invariant rec_ =
+  Alcotest.(check bool) name expected (Expr.holds invariant rec_)
+
+let test_cmp_eval () =
+  let r = record [ (g3, 10); (g4, 20) ] in
+  check_holds "lt" true (inv "l.add" (Expr.Cmp (Expr.Lt, Expr.V g3, Expr.V g4))) r;
+  check_holds "gt" false (inv "l.add" (Expr.Cmp (Expr.Gt, Expr.V g3, Expr.V g4))) r;
+  check_holds "le" true (inv "l.add" (Expr.Cmp (Expr.Le, Expr.V g3, Expr.V g3))) r;
+  check_holds "ne" true (inv "l.add" (Expr.Cmp (Expr.Ne, Expr.V g3, Expr.V g4))) r;
+  check_holds "eq const" true (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 10))) r
+
+let test_other_point_vacuous () =
+  let r = record ~point:"l.sub" [ (g3, 1) ] in
+  let i = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 999)) in
+  check_holds "vacuously true" true i r;
+  Alcotest.(check bool) "not violated" false (Expr.violated i r)
+
+let test_term_eval () =
+  let r = record [ (g3, 6); (g4, 0xF0) ] in
+  check_holds "mul" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Mul (g3, 4), Expr.Imm 24))) r;
+  check_holds "mod" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Mod (g3, 4), Expr.Imm 2))) r;
+  check_holds "not" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Notv g4, Expr.Imm 0xFFFF_FF0F))) r;
+  check_holds "band" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Band, g3, g4), Expr.Imm 0))) r;
+  check_holds "bor" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Bor, g3, g4), Expr.Imm 0xF6))) r;
+  check_holds "plus" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Plus, g3, g4), Expr.Imm 0xF6))) r
+
+let test_minus_signed () =
+  (* Minus evaluates as the sign-interpreted 32-bit difference. *)
+  let r = record [ (g3, 2); (g4, 10) ] in
+  check_holds "negative diff" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, g3, g4), Expr.Imm (-8)))) r;
+  let r = record [ (pc, 0x2004); (pc0, 0x2000) ] in
+  check_holds "pc step" true
+    (inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, pc, pc0), Expr.Imm 4))) r
+
+let test_in_eval () =
+  let r = record [ (g3, 7) ] in
+  check_holds "member" true (inv "l.add" (Expr.In (Expr.V g3, [ 1; 7; 9 ]))) r;
+  check_holds "not member" false (inv "l.add" (Expr.In (Expr.V g3, [ 1; 9 ]))) r
+
+let test_canonical_symmetry () =
+  let a = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.V g4)) in
+  let b = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g4, Expr.V g3)) in
+  Alcotest.(check string) "A=B is B=A" (Expr.canonical a) (Expr.canonical b)
+
+let test_canonical_order_flip () =
+  let a = inv "l.add" (Expr.Cmp (Expr.Lt, Expr.V g3, Expr.V g4)) in
+  let b = inv "l.add" (Expr.Cmp (Expr.Gt, Expr.V g4, Expr.V g3)) in
+  Alcotest.(check string) "A<B is B>A" (Expr.canonical a) (Expr.canonical b);
+  let c = inv "l.add" (Expr.Cmp (Expr.Le, Expr.V g3, Expr.V g4)) in
+  let d = inv "l.add" (Expr.Cmp (Expr.Ge, Expr.V g4, Expr.V g3)) in
+  Alcotest.(check string) "A<=B is B>=A" (Expr.canonical c) (Expr.canonical d)
+
+let test_canonical_distinguishes_points () =
+  let a = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 0)) in
+  let b = inv "l.sub" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 0)) in
+  Alcotest.(check bool) "different points differ" true
+    (Expr.canonical a <> Expr.canonical b)
+
+let test_canonical_commutative_operands () =
+  let a = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Plus, g3, g4), Expr.Imm 5)) in
+  let b = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Plus, g4, g3), Expr.Imm 5)) in
+  Alcotest.(check string) "plus commutes" (Expr.canonical a) (Expr.canonical b);
+  let c = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, g3, g4), Expr.Imm 5)) in
+  let d = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, g4, g3), Expr.Imm 5)) in
+  Alcotest.(check bool) "minus does not" true
+    (Expr.canonical c <> Expr.canonical d)
+
+let test_pretty_print () =
+  let i = inv "l.rfe"
+      (Expr.Cmp (Expr.Eq, Expr.V (Var.post_id Var.Sr_full),
+                 Expr.V (Var.orig_id Var.Esr))) in
+  Alcotest.(check string) "paper notation"
+    "risingEdge(l.rfe) -> SR = orig(ESR0)" (Expr.to_string i)
+
+let test_var_occurrences () =
+  let i = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, g3, g4), Expr.Imm 4)) in
+  Alcotest.(check int) "two vars" 2 (Expr.var_occurrences i);
+  let j = inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 4)) in
+  Alcotest.(check int) "one var" 1 (Expr.var_occurrences j)
+
+let test_features () =
+  let i = inv "l.ror"
+      (Expr.Cmp (Expr.Eq, Expr.V (Var.post_id (Var.Gpr 6)), Expr.Imm 0)) in
+  let feats = Invariant.Feature.of_invariant i in
+  Alcotest.(check bool) "mnemonic feature" true (List.mem "ROR" feats);
+  Alcotest.(check bool) "var feature" true (List.mem "GPR6" feats);
+  Alcotest.(check bool) "operator feature" true (List.mem "==" feats);
+  Alcotest.(check bool) "const feature" true (List.mem "CONST" feats)
+
+let test_orig_feature_distinct () =
+  let i = inv "l.rfe"
+      (Expr.Cmp (Expr.Eq, Expr.V (Var.post_id Var.Sr_full),
+                 Expr.V (Var.orig_id Var.Esr))) in
+  let feats = Invariant.Feature.of_invariant i in
+  Alcotest.(check bool) "orig(ESR0) feature" true (List.mem "orig(ESR0)" feats);
+  Alcotest.(check bool) "SR feature" true (List.mem "SR" feats)
+
+let test_feature_space () =
+  let invs =
+    [ inv "l.add" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 0));
+      inv "l.sub" (Expr.Cmp (Expr.Lt, Expr.V g3, Expr.V g4)) ]
+  in
+  let space = Invariant.Feature.build_space invs in
+  Alcotest.(check bool) "dimension reasonable" true
+    (Invariant.Feature.dimension space >= 5);
+  let v = Invariant.Feature.vector space (List.hd invs) in
+  Alcotest.(check int) "vector length"
+    (Invariant.Feature.dimension space) (Array.length v);
+  Alcotest.(check bool) "some features set" true
+    (Array.exists (fun x -> x = 1.0) v)
+
+let () =
+  Alcotest.run "invariant"
+    [ ("eval",
+       [ Alcotest.test_case "cmp" `Quick test_cmp_eval;
+         Alcotest.test_case "other point" `Quick test_other_point_vacuous;
+         Alcotest.test_case "terms" `Quick test_term_eval;
+         Alcotest.test_case "minus signed" `Quick test_minus_signed;
+         Alcotest.test_case "in" `Quick test_in_eval ]);
+      ("canonical",
+       [ Alcotest.test_case "eq symmetry" `Quick test_canonical_symmetry;
+         Alcotest.test_case "order flip" `Quick test_canonical_order_flip;
+         Alcotest.test_case "points" `Quick test_canonical_distinguishes_points;
+         Alcotest.test_case "commutativity" `Quick test_canonical_commutative_operands;
+         Alcotest.test_case "pretty print" `Quick test_pretty_print;
+         Alcotest.test_case "var occurrences" `Quick test_var_occurrences ]);
+      ("features",
+       [ Alcotest.test_case "extraction" `Quick test_features;
+         Alcotest.test_case "orig distinct" `Quick test_orig_feature_distinct;
+         Alcotest.test_case "space" `Quick test_feature_space ]) ]

@@ -1,0 +1,225 @@
+(* The §3.2 optimisation passes. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+let g1 = Var.post_id (Var.Gpr 1)
+let g2 = Var.post_id (Var.Gpr 2)
+let g3 = Var.post_id (Var.Gpr 3)
+let g4 = Var.post_id (Var.Gpr 4)
+
+let inv ?(point = "l.add") body = { Expr.point; body }
+let eq a b = Expr.Cmp (Expr.Eq, a, b)
+let strings invs = List.map Expr.to_string invs
+let contains invs s = List.mem s (strings invs)
+
+(* ---- constant propagation ---- *)
+
+let test_cp_substitutes () =
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Le, Expr.V g1, Expr.V g2)) ]
+  in
+  let out = Invopt.Constprop.run invs in
+  Alcotest.(check int) "count preserved" 2 (List.length out);
+  Alcotest.(check bool) "substituted" true
+    (contains out "risingEdge(l.add) -> 0 <= GPR2")
+
+let test_cp_iterates () =
+  (* g1 = 5; g2 - g1 = 3 reveals g2 = 8; then g3 <= g2 becomes g3 <= 8. *)
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.Imm 5));
+      inv (eq (Expr.Bin (Expr.Minus, g2, g1)) (Expr.Imm 3));
+      inv (Expr.Cmp (Expr.Le, Expr.V g3, Expr.V g2)) ]
+  in
+  let out = Invopt.Constprop.run invs in
+  Alcotest.(check bool) "derived const" true
+    (contains out "risingEdge(l.add) -> GPR2 = 8");
+  Alcotest.(check bool) "second-round substitution" true
+    (contains out "risingEdge(l.add) -> GPR3 <= 8")
+
+let test_cp_respects_points () =
+  let invs =
+    [ inv ~point:"l.add" (eq (Expr.V g1) (Expr.Imm 0));
+      inv ~point:"l.sub" (Expr.Cmp (Expr.Le, Expr.V g1, Expr.V g2)) ]
+  in
+  let out = Invopt.Constprop.run invs in
+  Alcotest.(check bool) "no cross-point substitution" true
+    (contains out "risingEdge(l.sub) -> GPR1 <= GPR2")
+
+let test_cp_reduces_variables () =
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Le, Expr.V g1, Expr.V g2)) ]
+  in
+  let before = List.fold_left (fun a i -> a + Expr.var_occurrences i) 0 invs in
+  let out = Invopt.Constprop.run invs in
+  let after = List.fold_left (fun a i -> a + Expr.var_occurrences i) 0 out in
+  Alcotest.(check bool) "fewer variable occurrences" true (after < before)
+
+(* ---- deducible removal ---- *)
+
+let test_dr_transitive_chain () =
+  (* a > b, b > c, a > c: the last is deducible. *)
+  let invs =
+    [ inv (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g2));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g2, Expr.V g3));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g3)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "one removed" 2 (List.length out);
+  Alcotest.(check bool) "kept the generators" true
+    (contains out "risingEdge(l.add) -> GPR1 > GPR2"
+     && contains out "risingEdge(l.add) -> GPR2 > GPR3")
+
+let test_dr_mixed_strictness () =
+  (* a >= b, b > c derives a > c. *)
+  let invs =
+    [ inv (Expr.Cmp (Expr.Ge, Expr.V g1, Expr.V g2));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g2, Expr.V g3));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g3)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "derived strict removed" 2 (List.length out)
+
+let test_dr_nonstrict_not_from_nonstrict_pair () =
+  (* a >= b, b >= c derives a >= c but NOT a > c. *)
+  let invs =
+    [ inv (Expr.Cmp (Expr.Ge, Expr.V g1, Expr.V g2));
+      inv (Expr.Cmp (Expr.Ge, Expr.V g2, Expr.V g3));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g3)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "strict conclusion kept" 3 (List.length out)
+
+let test_dr_lt_canonicalised () =
+  (* c < b, b < a, c < a : same chain through the < spelling. *)
+  let invs =
+    [ inv (Expr.Cmp (Expr.Lt, Expr.V g3, Expr.V g2));
+      inv (Expr.Cmp (Expr.Lt, Expr.V g2, Expr.V g1));
+      inv (Expr.Cmp (Expr.Lt, Expr.V g3, Expr.V g1)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "one removed" 2 (List.length out)
+
+let test_dr_equality_spanning_tree () =
+  (* a=b, b=c, a=c: keep two (a spanning tree of the class). *)
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.V g2));
+      inv (eq (Expr.V g2) (Expr.V g3));
+      inv (eq (Expr.V g1) (Expr.V g3)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "spanning tree" 2 (List.length out)
+
+let test_dr_eq_through_constant () =
+  (* a=5, b=5, a=b: one of the three is deducible. *)
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.Imm 5));
+      inv (eq (Expr.V g2) (Expr.Imm 5));
+      inv (eq (Expr.V g1) (Expr.V g2)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "redundant equality removed" 2 (List.length out)
+
+let test_dr_keeps_other_points_apart () =
+  let invs =
+    [ inv ~point:"l.add" (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g2));
+      inv ~point:"l.sub" (Expr.Cmp (Expr.Gt, Expr.V g2, Expr.V g3));
+      inv ~point:"l.add" (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g3)) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "no cross-point deduction" 3 (List.length out)
+
+let test_dr_keeps_unrelated () =
+  let invs =
+    [ inv (Expr.Cmp (Expr.Gt, Expr.V g1, Expr.V g2));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g3, Expr.V g4));
+      inv (Expr.In (Expr.V g1, [ 1; 2 ])) ]
+  in
+  let out = Invopt.Deducible.run invs in
+  Alcotest.(check int) "all kept" 3 (List.length out)
+
+(* ---- equivalence removal ---- *)
+
+let test_er_removes_mirrors () =
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.V g2));
+      inv (eq (Expr.V g2) (Expr.V g1)) ]
+  in
+  let out = Invopt.Equivalence.run invs in
+  Alcotest.(check int) "one kept" 1 (List.length out)
+
+let test_er_keeps_distinct () =
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.V g2));
+      inv (eq (Expr.V g1) (Expr.V g3)) ]
+  in
+  let out = Invopt.Equivalence.run invs in
+  Alcotest.(check int) "both kept" 2 (List.length out)
+
+(* ---- the pipeline ---- *)
+
+let test_pipeline_accounting () =
+  let invs =
+    [ inv (eq (Expr.V g1) (Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g2, Expr.V g1));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g3, Expr.V g2));
+      inv (Expr.Cmp (Expr.Gt, Expr.V g3, Expr.V g1));
+      inv (eq (Expr.V g4) (Expr.V g2));
+      inv (eq (Expr.V g2) (Expr.V g4)) ]
+  in
+  let result = Invopt.Pipeline.optimize invs in
+  (match result.Invopt.Pipeline.stages with
+   | [ raw; cp; dr; er ] ->
+     Alcotest.(check int) "raw count" 6 raw.invariants;
+     Alcotest.(check int) "CP preserves count" 6 cp.invariants;
+     Alcotest.(check bool) "CP cuts variables" true (cp.variables <= raw.variables);
+     Alcotest.(check bool) "DR cuts invariants" true (dr.invariants < cp.invariants);
+     Alcotest.(check bool) "ER monotone" true (er.invariants <= dr.invariants);
+     Alcotest.(check int) "final matches list" er.invariants
+       (List.length result.Invopt.Pipeline.optimized)
+   | _ -> Alcotest.fail "four stages expected")
+
+let test_pipeline_preserves_truth () =
+  (* Every surviving invariant must hold wherever the originals held: run
+     on a real trace and check that no optimized invariant is violated by
+     the trace it was mined from. *)
+  let w = Option.get (Workloads.Suite.by_name "helloworld") in
+  let engine = Daikon.Engine.create () in
+  let records = ref [] in
+  ignore
+    (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+       ~observer:(fun r ->
+           records := r :: !records;
+           Daikon.Engine.observe engine r)
+       w.image);
+  let invs = Daikon.Engine.invariants engine in
+  let result = Invopt.Pipeline.optimize invs in
+  let idx = Sci.Checker.index result.Invopt.Pipeline.optimized in
+  let violated = Sci.Checker.violations idx (List.rev !records) in
+  Alcotest.(check int) "optimized invariants hold on their corpus" 0
+    (List.length violated)
+
+let () =
+  Alcotest.run "invopt"
+    [ ("constprop",
+       [ Alcotest.test_case "substitutes" `Quick test_cp_substitutes;
+         Alcotest.test_case "iterates" `Quick test_cp_iterates;
+         Alcotest.test_case "per point" `Quick test_cp_respects_points;
+         Alcotest.test_case "variable reduction" `Quick test_cp_reduces_variables ]);
+      ("deducible",
+       [ Alcotest.test_case "transitive chain" `Quick test_dr_transitive_chain;
+         Alcotest.test_case "mixed strictness" `Quick test_dr_mixed_strictness;
+         Alcotest.test_case "strict not from nonstrict" `Quick test_dr_nonstrict_not_from_nonstrict_pair;
+         Alcotest.test_case "lt canonicalised" `Quick test_dr_lt_canonicalised;
+         Alcotest.test_case "equality tree" `Quick test_dr_equality_spanning_tree;
+         Alcotest.test_case "eq via constant" `Quick test_dr_eq_through_constant;
+         Alcotest.test_case "points apart" `Quick test_dr_keeps_other_points_apart;
+         Alcotest.test_case "unrelated kept" `Quick test_dr_keeps_unrelated ]);
+      ("equivalence",
+       [ Alcotest.test_case "mirrors" `Quick test_er_removes_mirrors;
+         Alcotest.test_case "distinct kept" `Quick test_er_keeps_distinct ]);
+      ("pipeline",
+       [ Alcotest.test_case "accounting" `Quick test_pipeline_accounting;
+         Alcotest.test_case "truth preserved" `Slow test_pipeline_preserves_truth ]) ]

@@ -1,0 +1,112 @@
+(* Invariant-set persistence: print/parse roundtrips over hand-built
+   invariants, over a real mined set, and error reporting. *)
+
+module Expr = Invariant.Expr
+module Io = Invariant.Io
+module Var = Trace.Var
+
+let inv point body = { Expr.point; body }
+let v_post d = Expr.V (Var.post_id d)
+let v_orig d = Expr.V (Var.orig_id d)
+
+let roundtrip invs =
+  let text =
+    String.concat "\n" (List.map Expr.to_string invs) ^ "\n"
+  in
+  Io.of_string text
+
+let check_roundtrip invs =
+  let back = roundtrip invs in
+  Alcotest.(check int) "count" (List.length invs) (List.length back);
+  List.iter2
+    (fun a b ->
+       Alcotest.(check string) (Expr.to_string a)
+         (Expr.canonical a) (Expr.canonical b))
+    invs back
+
+let test_simple_forms () =
+  check_roundtrip
+    [ inv "l.add" (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0));
+      inv "l.sys" (Expr.Cmp (Expr.Eq, v_post Var.Pc, Expr.Imm 0xC00));
+      inv "l.rfe" (Expr.Cmp (Expr.Eq, v_post Var.Sr_full, v_orig Var.Esr));
+      inv "l.sub" (Expr.Cmp (Expr.Ne, v_post (Var.Gpr 3), v_post (Var.Gpr 4)));
+      inv "l.mul" (Expr.Cmp (Expr.Lt, v_post (Var.Gpr 3), v_post (Var.Gpr 4)));
+      inv "l.div" (Expr.Cmp (Expr.Ge, v_post (Var.Gpr 3), Expr.Imm (-4))) ]
+
+let test_compound_terms () =
+  check_roundtrip
+    [ inv "l.jal"
+        (Expr.Cmp (Expr.Eq,
+                   Expr.Bin (Expr.Minus, Var.post_id (Var.Gpr 9), Var.orig_id Var.Pc),
+                   Expr.Imm 8));
+      inv "l.add"
+        (Expr.Cmp (Expr.Eq,
+                   Expr.Bin (Expr.Plus, Var.post_id (Var.Gpr 3), Var.post_id (Var.Gpr 4)),
+                   Expr.Imm 10));
+      inv "l.lbs"
+        (Expr.Cmp (Expr.Eq, Expr.V (Var.insn_id Var.Ext_hi),
+                   Expr.Mul (Var.insn_id Var.Ext_sign, 0xFF_FFFF)));
+      inv "l.lwz" (Expr.Cmp (Expr.Eq, Expr.Mod (Var.insn_id Var.Ea, 4), Expr.Imm 0));
+      inv "l.xor" (Expr.Cmp (Expr.Eq, Expr.Notv (Var.post_id (Var.Gpr 5)), Expr.Imm 0)) ]
+
+let test_in_sets () =
+  check_roundtrip
+    [ inv "l.sys" (Expr.In (Expr.V (Var.insn_id Var.Vec), [ 0; 0xC00 ]));
+      inv "l.bf" (Expr.In (v_post Var.Sf, [ 0; 1 ])) ]
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\nrisingEdge(l.add) -> GPR0 = 0\n  \n# more\n" in
+  Alcotest.(check int) "one invariant" 1 (List.length (Io.of_string text))
+
+let test_parse_errors () =
+  let bad msg text =
+    match Io.of_string text with
+    | exception Io.Parse_error (_, _) -> ()
+    | _ -> Alcotest.fail ("expected parse error: " ^ msg)
+  in
+  bad "no risingEdge" "GPR0 = 0\n";
+  bad "unknown variable" "risingEdge(l.add) -> GPRX = 0\n";
+  bad "bad operator" "risingEdge(l.add) -> GPR0 ~ 0\n";
+  bad "trailing garbage" "risingEdge(l.add) -> GPR0 = 0 extra\n"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "scifinder" ".invs" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       let invs =
+         [ inv "l.sys" (Expr.Cmp (Expr.Eq, v_post Var.Pc, Expr.Imm 0xC00));
+           inv "l.rfe" (Expr.Cmp (Expr.Eq, v_post Var.Sr_full, v_orig Var.Esr)) ]
+       in
+       Io.save path invs;
+       let back = Io.load path in
+       Alcotest.(check int) "count" 2 (List.length back);
+       List.iter2
+         (fun a b -> Alcotest.(check string) "canon" (Expr.canonical a) (Expr.canonical b))
+         invs back)
+
+let test_mined_set_roundtrips () =
+  (* The acid test: everything the miner can emit must roundtrip. *)
+  let w = Option.get (Workloads.Suite.by_name "instru") in
+  let engine = Daikon.Engine.create () in
+  ignore
+    (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+       ~observer:(Daikon.Engine.observe engine) w.image);
+  let invs = Daikon.Engine.invariants engine in
+  let back = roundtrip invs in
+  Alcotest.(check int) "count" (List.length invs) (List.length back);
+  List.iter2
+    (fun a b ->
+       if Expr.canonical a <> Expr.canonical b then
+         Alcotest.failf "mismatch: %s vs %s" (Expr.to_string a) (Expr.to_string b))
+    invs back
+
+let () =
+  Alcotest.run "io"
+    [ ("roundtrip",
+       [ Alcotest.test_case "simple forms" `Quick test_simple_forms;
+         Alcotest.test_case "compound terms" `Quick test_compound_terms;
+         Alcotest.test_case "in sets" `Quick test_in_sets;
+         Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "file" `Quick test_file_roundtrip;
+         Alcotest.test_case "mined set" `Slow test_mined_set_roundtrips ]) ]

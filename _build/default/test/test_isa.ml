@@ -1,0 +1,170 @@
+(* Instruction set: encode/decode roundtrips (unit + property), accessor
+   consistency, and mnemonic coverage. *)
+
+open Isa
+
+let reg_gen = QCheck.int_bound 31
+let imm16_gen = QCheck.int_bound 0xFFFF
+let disp26_gen = QCheck.int_bound 0x3FF_FFFF
+let l6_gen = QCheck.int_bound 63
+
+(* A generator covering every instruction format. *)
+let insn_gen : Insn.t QCheck.arbitrary =
+  let open Insn in
+  let open QCheck.Gen in
+  let reg = int_bound 31 and imm = int_bound 0xFFFF in
+  let alu_op = oneofl [ Add; Addc; Sub; And; Or; Xor; Mul; Mulu; Div; Divu;
+                        Sll; Srl; Sra; Ror ] in
+  let alui_op = oneofl [ Addi; Addic; Andi; Ori; Xori; Muli ] in
+  let shifti_op = oneofl [ Slli; Srli; Srai; Rori ] in
+  let ext_op = oneofl [ Extbs; Extbz; Exths; Exthz; Extws; Extwz ] in
+  let sf_op = oneofl [ Sfeq; Sfne; Sfgtu; Sfgeu; Sfltu; Sfleu;
+                       Sfgts; Sfges; Sflts; Sfles ] in
+  let load_op = oneofl [ Lwz; Lws; Lbz; Lbs; Lhz; Lhs ] in
+  let store_op = oneofl [ Sw; Sb; Sh ] in
+  let gen =
+    oneof
+      [ map (fun ((op, a), (b, c)) -> Alu (op, a, b, c))
+          (pair (pair alu_op reg) (pair reg reg));
+        map (fun ((op, a), (b, k)) -> Alui (op, a, b, k))
+          (pair (pair alui_op reg) (pair reg imm));
+        map (fun ((op, a), (b, k)) -> Shifti (op, a, b, k land 63))
+          (pair (pair shifti_op reg) (pair reg imm));
+        map (fun (op, (a, b)) -> Ext (op, a, b)) (pair ext_op (pair reg reg));
+        map (fun (op, (a, b)) -> Setflag (op, a, b)) (pair sf_op (pair reg reg));
+        map (fun (op, (a, k)) -> Setflagi (op, a, k)) (pair sf_op (pair reg imm));
+        map (fun ((op, a), (b, k)) -> Load (op, a, b, k))
+          (pair (pair load_op reg) (pair reg imm));
+        map (fun ((op, k), (a, b)) -> Store (op, k, a, b))
+          (pair (pair store_op imm) (pair reg reg));
+        map (fun d -> Jump d) (int_bound 0x3FF_FFFF);
+        map (fun d -> Jump_link d) (int_bound 0x3FF_FFFF);
+        map (fun r -> Jump_reg r) reg;
+        map (fun r -> Jump_link_reg r) reg;
+        map (fun d -> Branch_flag d) (int_bound 0x3FF_FFFF);
+        map (fun d -> Branch_noflag d) (int_bound 0x3FF_FFFF);
+        map (fun (r, k) -> Movhi (r, k)) (pair reg imm);
+        map (fun ((d, a), k) -> Mfspr (d, a, k)) (pair (pair reg reg) imm);
+        map (fun ((a, b), k) -> Mtspr (a, b, k)) (pair (pair reg reg) imm);
+        map (fun (a, b) -> Macc (Mac, a, b)) (pair reg reg);
+        map (fun (a, b) -> Macc (Msb, a, b)) (pair reg reg);
+        map (fun (a, k) -> Maci (a, k)) (pair reg imm);
+        map (fun r -> Macrc r) reg;
+        map (fun k -> Sys k) imm;
+        map (fun k -> Trap k) imm;
+        return Rfe;
+        map (fun k -> Nop k) imm;
+      ]
+  in
+  QCheck.make ~print:Insn.to_string gen
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:2000 ~name gen f)
+
+let roundtrip insn = Code.decode (Code.encode insn) = Some insn
+
+let unit_roundtrips =
+  let open Insn in
+  let cases =
+    [ Alu (Add, 1, 2, 3); Alu (Ror, 31, 30, 29); Alu (Divu, 0, 15, 16);
+      Alui (Addi, 3, 4, 0xFFFF); Alui (Muli, 7, 8, 0x8000);
+      Shifti (Rori, 5, 6, 31); Shifti (Slli, 1, 1, 0);
+      Ext (Extbs, 9, 10); Ext (Extwz, 11, 12);
+      Setflag (Sfgtu, 3, 4); Setflagi (Sfles, 5, 0x7FFF);
+      Load (Lws, 6, 7, 0x1234); Load (Lbs, 8, 9, 0xFFFF);
+      Store (Sw, 0xFFFF, 10, 11); Store (Sb, 0x0001, 12, 13);
+      Jump 0x3FF_FFFF; Jump_link 0; Jump_reg 9; Jump_link_reg 17;
+      Branch_flag 0x200_0000; Branch_noflag 4;
+      Movhi (14, 0xDEAD); Mfspr (15, 0, 0x11); Mtspr (0, 16, 0x2801);
+      Macc (Mac, 17, 18); Macc (Msb, 19, 20); Maci (21, 0xBEEF);
+      Macrc 22; Sys 0x42; Trap 0x7; Rfe; Nop 1 ]
+  in
+  List.map
+    (fun insn ->
+       Alcotest.test_case (Insn.to_string insn) `Quick (fun () ->
+           Alcotest.(check bool) "roundtrip" true (roundtrip insn)))
+    cases
+
+let test_decode_illegal () =
+  (* Opcodes we do not implement must decode to None. *)
+  List.iter
+    (fun word ->
+       Alcotest.(check bool)
+         (Printf.sprintf "0x%08X illegal" word)
+         true
+         (Code.decode word = None))
+    [ 0xEC00_0000;          (* opcode 0x3B *)
+      0x0800_0000;          (* opcode 0x02 *)
+      0x1C00_0000;          (* opcode 0x07 *)
+      0x3C00_0000;          (* opcode 0x0F *)
+      0xC400_0000;          (* opcode 0x31 with bad nibble 0 *)
+      0xBC00_0000 lor (0x1F lsl 21) (* sf with invalid condition code *) ]
+
+let test_mnemonic_count () =
+  (* The paper's basic instruction set has 56 instructions; ours covers it
+     plus the immediate set-flag forms. *)
+  let n = List.length Insn.all_mnemonics in
+  Alcotest.(check bool) "at least the 56 of ORBIS32 basic" true (n >= 56);
+  let distinct = List.sort_uniq String.compare Insn.all_mnemonics in
+  Alcotest.(check int) "no duplicates" n (List.length distinct)
+
+let test_mnemonic_consistency () =
+  (* A sampled instruction's mnemonic must be in all_mnemonics. *)
+  let open Insn in
+  List.iter
+    (fun insn ->
+       Alcotest.(check bool) (to_string insn) true
+         (List.mem (mnemonic insn) all_mnemonics))
+    [ Alu (Add, 1, 2, 3); Setflagi (Sfgeu, 2, 3); Load (Lhs, 1, 2, 3);
+      Store (Sh, 0, 1, 2); Macc (Msb, 1, 2); Rfe; Sys 0 ]
+
+let test_accessors () =
+  let open Insn in
+  Alcotest.(check (option int)) "alu dest" (Some 5) (dest_reg (Alu (Xor, 5, 1, 2)));
+  Alcotest.(check (option int)) "store dest" None (dest_reg (Store (Sw, 0, 1, 2)));
+  Alcotest.(check (option int)) "jal link" (Some 9) (dest_reg (Jump_link 4));
+  Alcotest.(check bool) "jal delay slot" true (has_delay_slot (Jump_link 4));
+  Alcotest.(check bool) "sys no delay slot" false (has_delay_slot (Sys 0));
+  (match src_regs (Store (Sb, 0, 3, 7)) with
+   | Some 3, Some 7 -> ()
+   | _ -> Alcotest.fail "store sources");
+  Alcotest.(check (option int)) "addi imm sext"
+    (Some (-1)) (immediate (Alui (Addi, 1, 2, 0xFFFF)));
+  Alcotest.(check (option int)) "andi imm zext"
+    (Some 0xFFFF) (immediate (Alui (Andi, 1, 2, 0xFFFF)));
+  Alcotest.(check (option int)) "branch disp sext"
+    (Some (-1)) (immediate (Branch_flag 0x3FF_FFFF))
+
+let test_sys_trap_distinct () =
+  let sys = Code.encode (Insn.Sys 3) and trap = Code.encode (Insn.Trap 3) in
+  Alcotest.(check bool) "distinct words" true (sys <> trap)
+
+let test_store_imm_split () =
+  (* Store immediates are split across the word; check a value with both
+     high and low bits. *)
+  let insn = Insn.Store (Insn.Sw, 0xABCD, 3, 4) in
+  Alcotest.(check bool) "split roundtrip" true (roundtrip insn)
+
+let () =
+  Alcotest.run "isa"
+    [ ("roundtrip-unit", unit_roundtrips);
+      ("roundtrip-property",
+       [ prop "random insn roundtrips" insn_gen roundtrip;
+         prop "mnemonic stable under roundtrip" insn_gen (fun insn ->
+             match Code.decode (Code.encode insn) with
+             | Some insn' -> Insn.mnemonic insn = Insn.mnemonic insn'
+             | None -> false);
+         QCheck_alcotest.to_alcotest
+           (QCheck.Test.make ~count:500 ~name:"decode total on random words"
+              (QCheck.map (fun x -> x land 0xFFFF_FFFF) QCheck.int)
+              (fun w -> match Code.decode w with Some _ | None -> true)) ]);
+      ("structure",
+       [ Alcotest.test_case "illegal words" `Quick test_decode_illegal;
+         Alcotest.test_case "mnemonic count" `Quick test_mnemonic_count;
+         Alcotest.test_case "mnemonic consistency" `Quick test_mnemonic_consistency;
+         Alcotest.test_case "accessors" `Quick test_accessors;
+         Alcotest.test_case "sys/trap distinct" `Quick test_sys_trap_distinct;
+         Alcotest.test_case "store imm split" `Quick test_store_imm_split ]) ]
+
+(* silence unused generator warnings for the simple generators above *)
+let _ = (reg_gen, imm16_gen, disp26_gen, l6_gen)

@@ -1,0 +1,404 @@
+(* ISA-level processor model semantics: every instruction class, the flag
+   register, the exception machinery, delay slots, and privilege. *)
+
+open Isa
+module M = Cpu.Machine
+module Sr = Spr.Sr_bits
+module Vec = Spr.Vector
+
+let code_base = 0x2000
+
+(* Assemble [insns] at the code base, preset registers, run to the l.nop 1
+   exit (or [max_steps]), and return the machine. *)
+let run ?(fault = Cpu.Fault.none) ?(regs = []) ?(sr_bits = []) ?(max_steps = 1000)
+    ?(image_extra = []) insns =
+  let items = List.map (fun i -> Asm.I i) insns @ [ Asm.I (Insn.Nop 1) ] in
+  let image = Asm.assemble { Asm.origin = code_base; items } @ image_extra in
+  let machine = M.create ~fault () in
+  M.load_image machine image;
+  M.set_pc machine code_base;
+  List.iter (fun (r, v) -> machine.M.gpr.(r) <- v) regs;
+  List.iter (fun bit -> machine.M.sr <- Sr.set machine.M.sr bit) sr_bits;
+  ignore (M.run ~max_steps ~observer:(fun _ -> ()) machine);
+  machine
+
+let gpr m r = m.M.gpr.(r)
+let check = Alcotest.(check int)
+
+(* Build a machine without running it, for stepwise exception tests. *)
+let setup ?(fault = Cpu.Fault.none) ?(regs = []) ?(sr_bits = []) insns =
+  let items = List.map (fun i -> Asm.I i) insns @ [ Asm.I (Insn.Nop 1) ] in
+  let image = Asm.assemble { Asm.origin = code_base; items } in
+  let machine = M.create ~fault () in
+  M.load_image machine image;
+  M.set_pc machine code_base;
+  List.iter (fun (r, v) -> machine.M.gpr.(r) <- v) regs;
+  List.iter (fun bit -> machine.M.sr <- Sr.set machine.M.sr bit) sr_bits;
+  machine
+
+let step_n machine n =
+  let last = ref None in
+  for _ = 1 to n do
+    match M.step machine with
+    | M.Retired ev -> last := Some ev
+    | M.Halt _ -> ()
+  done;
+  !last
+
+(* ---- ALU semantics ---- *)
+
+let test_arithmetic () =
+  let open Insn in
+  let m = run ~regs:[ (1, 7); (2, 5) ]
+      [ Alu (Add, 3, 1, 2); Alu (Sub, 4, 1, 2); Alu (Mul, 5, 1, 2);
+        Alu (Div, 6, 1, 2); Alu (Divu, 7, 1, 2) ] in
+  check "add" 12 (gpr m 3);
+  check "sub" 2 (gpr m 4);
+  check "mul" 35 (gpr m 5);
+  check "div" 1 (gpr m 6);
+  check "divu" 1 (gpr m 7)
+
+let test_signed_division () =
+  let open Insn in
+  let m = run ~regs:[ (1, Util.U32.of_int (-20)); (2, 3) ]
+      [ Alu (Div, 3, 1, 2); Alu (Divu, 4, 1, 2) ] in
+  check "signed" (Util.U32.of_int (-6)) (gpr m 3);
+  check "unsigned treats as big" ((0xFFFF_FFFF - 20 + 1) / 3) (gpr m 4)
+
+let test_division_by_zero_flags () =
+  let open Insn in
+  let m = run ~regs:[ (1, 9) ] [ Alu (Div, 3, 1, 0) ] in
+  check "result zeroed" 0 (gpr m 3);
+  check "OV set" 1 (Sr.get m.M.sr Sr.ov);
+  let m = run ~regs:[ (1, 9) ] [ Alu (Divu, 3, 1, 0) ] in
+  check "CY set" 1 (Sr.get m.M.sr Sr.cy)
+
+let test_logic_and_shift () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0xF0F0); (2, 0x0FF0) ]
+      [ Alu (And, 3, 1, 2); Alu (Or, 4, 1, 2); Alu (Xor, 5, 1, 2);
+        Alui (Andi, 6, 1, 0xFF); Alui (Ori, 7, 1, 0xF);
+        Alui (Xori, 8, 1, 0xFFFF) ] in
+  check "and" 0x00F0 (gpr m 3);
+  check "or" 0xFFF0 (gpr m 4);
+  check "xor" 0xFF00 (gpr m 5);
+  check "andi" 0xF0 (gpr m 6);
+  check "ori" 0xF0FF (gpr m 7);
+  check "xori zero-extends imm" 0x0F0F (gpr m 8)
+
+let test_shift_forms () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0x8000_0001); (2, 4) ]
+      [ Alu (Sll, 3, 1, 2); Alu (Srl, 4, 1, 2); Alu (Sra, 5, 1, 2);
+        Alu (Ror, 6, 1, 2);
+        Shifti (Slli, 7, 1, 1); Shifti (Srai, 8, 1, 31);
+        Shifti (Rori, 10, 1, 1) ] in
+  check "sll" 0x0000_0010 (gpr m 3);
+  check "srl" 0x0800_0000 (gpr m 4);
+  check "sra" 0xF800_0000 (gpr m 5);
+  check "ror" 0x1800_0000 (gpr m 6);
+  check "slli" 0x0000_0002 (gpr m 7);
+  check "srai31" 0xFFFF_FFFF (gpr m 8);
+  check "rori" 0xC000_0000 (gpr m 10)
+
+let test_carry_chain () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0xFFFF_FFFF); (2, 1); (3, 10); (4, 20) ]
+      [ Alu (Add, 5, 1, 2);     (* sets CY *)
+        Alu (Addc, 6, 3, 4) ]   (* consumes CY: 10+20+1 *)
+  in
+  check "wrap" 0 (gpr m 5);
+  check "addc" 31 (gpr m 6)
+
+let test_overflow_flag () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0x7FFF_FFFF); (2, 1) ] [ Alu (Add, 3, 1, 2) ] in
+  check "OV" 1 (Sr.get m.M.sr Sr.ov);
+  check "CY" 0 (Sr.get m.M.sr Sr.cy)
+
+let test_extensions () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0x0001_89AB) ]
+      [ Ext (Extbs, 3, 1); Ext (Extbz, 4, 1); Ext (Exths, 5, 1);
+        Ext (Exthz, 6, 1); Ext (Extws, 7, 1); Ext (Extwz, 8, 1) ] in
+  check "extbs" 0xFFFF_FFAB (gpr m 3);
+  check "extbz" 0xAB (gpr m 4);
+  check "exths" 0xFFFF_89AB (gpr m 5);
+  check "exthz" 0x89AB (gpr m 6);
+  check "extws" 0x0001_89AB (gpr m 7);
+  check "extwz" 0x0001_89AB (gpr m 8)
+
+let test_movhi_mac () =
+  let open Insn in
+  let m = run ~regs:[ (1, 3); (2, 4) ]
+      [ Movhi (3, 0x1234);
+        Macc (Mac, 1, 2);        (* acc = 12 *)
+        Macc (Mac, 1, 2);        (* acc = 24 *)
+        Macc (Msb, 2, 2);        (* acc = 8 *)
+        Maci (1, 2);             (* acc = 14 *)
+        Macrc 4 ] in
+  check "movhi" 0x1234_0000 (gpr m 3);
+  check "macrc" 14 (gpr m 4);
+  check "acc cleared" 0 m.M.maclo
+
+let test_mac_negative () =
+  let open Insn in
+  let m = run ~regs:[ (1, Util.U32.of_int (-3)); (2, 5) ]
+      [ Macc (Mac, 1, 2); Macrc 3 ] in
+  check "signed product low word" (Util.U32.of_int (-15)) (gpr m 3)
+
+(* ---- set-flag and branches ---- *)
+
+let test_setflag_semantics () =
+  let open Insn in
+  let big = 0x8000_0000 and small = 1 in
+  let m = run ~regs:[ (1, big); (2, small) ] [ Setflag (Sfgtu, 1, 2) ] in
+  check "unsigned gtu" 1 (Sr.get m.M.sr Sr.f);
+  let m = run ~regs:[ (1, big); (2, small) ] [ Setflag (Sfgts, 1, 2) ] in
+  check "signed gts flips" 0 (Sr.get m.M.sr Sr.f);
+  let m = run ~regs:[ (1, 5) ] [ Setflagi (Sfeq, 1, 5) ] in
+  check "sfeqi" 1 (Sr.get m.M.sr Sr.f);
+  let m = run ~regs:[ (1, 5) ] [ Setflagi (Sflts, 1, 0xFFFF) ] in
+  (* immediate sign-extends to -1; 5 < -1 is false *)
+  check "sfltsi sext" 0 (Sr.get m.M.sr Sr.f)
+
+let test_branch_taken_with_delay_slot () =
+  let open Insn in
+  (* sfeq (true); bf +3; delay slot increments r3; skipped insn sets r4 *)
+  let m = run ~regs:[ (1, 2); (2, 2) ]
+      [ Setflag (Sfeq, 1, 2);
+        Branch_flag 3;
+        Alui (Addi, 3, 3, 1);   (* delay slot: executes *)
+        Alui (Addi, 4, 4, 1);   (* skipped *)
+        Alui (Addi, 5, 5, 1) ]  (* branch target *)
+  in
+  check "delay slot ran" 1 (gpr m 3);
+  check "skipped" 0 (gpr m 4);
+  check "target ran" 1 (gpr m 5)
+
+let test_branch_not_taken () =
+  let open Insn in
+  let m = run ~regs:[ (1, 1); (2, 2) ]
+      [ Setflag (Sfeq, 1, 2);
+        Branch_flag 3;
+        Alui (Addi, 3, 3, 1);
+        Alui (Addi, 4, 4, 1);
+        Alui (Addi, 5, 5, 1) ]
+  in
+  check "delay slot ran" 1 (gpr m 3);
+  check "fallthrough ran" 1 (gpr m 4);
+  check "target also reached" 1 (gpr m 5)
+
+let test_jal_link_value () =
+  let open Insn in
+  (* jal at 0x2000: r9 = 0x2008 (after the delay slot) *)
+  let m = run [ Jump_link 2; Nop 0; Alui (Addi, 3, 3, 1) ] in
+  check "link" (code_base + 8) (gpr m 9);
+  check "target ran" 1 (gpr m 3)
+
+let test_jr_roundtrip () =
+  let open Insn in
+  let m = run ~regs:[ (5, code_base + 12) ]
+      [ Jump_reg 5; Nop 0; Alui (Addi, 4, 4, 1); Alui (Addi, 3, 3, 1) ] in
+  check "landed" 1 (gpr m 3);
+  check "skipped" 0 (gpr m 4)
+
+let test_gpr0_hardwired () =
+  let open Insn in
+  let m = run ~regs:[ (1, 5); (2, 6) ] [ Alu (Add, 0, 1, 2) ] in
+  check "r0 still zero" 0 (gpr m 0)
+
+(* ---- memory instructions ---- *)
+
+let test_load_store_roundtrip () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0x8000); (2, 0xDEADBEEF) ]
+      [ Store (Sw, 0, 1, 2);
+        Load (Lwz, 3, 1, 0);
+        Load (Lhz, 4, 1, 0); Load (Lhs, 5, 1, 0);
+        Load (Lbz, 6, 1, 3); Load (Lbs, 7, 1, 3) ] in
+  check "lwz" 0xDEADBEEF (gpr m 3);
+  check "lhz top half" 0xDEAD (gpr m 4);
+  check "lhs sign-extends" 0xFFFF_DEAD (gpr m 5);
+  check "lbz last byte" 0xEF (gpr m 6);
+  check "lbs sign-extends" 0xFFFF_FFEF (gpr m 7)
+
+let test_store_byte_half () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0x8000); (2, 0x11223344) ]
+      [ Store (Sb, 0, 1, 2); Store (Sh, 2, 1, 2); Load (Lwz, 3, 1, 0) ] in
+  check "byte then half" 0x4400_3344 (gpr m 3)
+
+let test_negative_offset () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0x8004); (2, 77) ]
+      [ Store (Sw, 0xFFFC, 1, 2); (* offset -4 *)
+        Load (Lwz, 3, 1, 0xFFFC) ] in
+  check "negative offset" 77 (gpr m 3)
+
+(* ---- exceptions ---- *)
+
+let test_syscall_entry_state () =
+  let open Insn in
+  let m = setup [ Sys 7 ] in
+  ignore (step_n m 1);
+  check "vectored" (Vec.address Vec.Syscall) m.M.pc;
+  check "ESR saved" Sr.reset m.M.esr;
+  check "EPCR = next insn" (code_base + 4) m.M.epcr;
+  check "SM set" 1 (Sr.get m.M.sr Sr.sm);
+  check "TEE cleared" 0 (Sr.get m.M.sr Sr.tee);
+  check "DSX clear" 0 (Sr.get m.M.sr Sr.dsx)
+
+let test_syscall_in_delay_slot () =
+  let open Insn in
+  let m = setup [ Jump 2; Sys 1; Nop 0 ] in
+  ignore (step_n m 2);
+  check "EPCR = branch" code_base m.M.epcr;
+  check "DSX set" 1 (Sr.get m.M.sr Sr.dsx)
+
+let test_illegal_instruction () =
+  let items = [ Asm.Word 0xEC00_0000; Asm.I (Insn.Nop 1) ] in
+  let image = Asm.assemble { Asm.origin = code_base; items } in
+  let m = M.create () in
+  M.load_image m image;
+  M.set_pc m code_base;
+  (match M.step m with
+   | M.Retired ev ->
+     Alcotest.(check bool) "exception" true (ev.M.ev_exn = Some Vec.Illegal)
+   | M.Halt _ -> Alcotest.fail "halted early");
+  check "vectored" (Vec.address Vec.Illegal) m.M.pc;
+  check "EPCR = faulting insn" code_base m.M.epcr
+
+let test_alignment_exception () =
+  let open Insn in
+  let m = setup ~regs:[ (1, 0x8001) ] [ Load (Lwz, 3, 1, 0) ] in
+  ignore (step_n m 1);
+  check "at alignment vector" (Vec.address Vec.Alignment) m.M.pc;
+  check "EPCR = faulting insn" code_base m.M.epcr;
+  check "EEAR holds address" 0x8001 m.M.eear
+
+let test_range_exception () =
+  let open Insn in
+  let m = setup ~sr_bits:[ Sr.ove ] ~regs:[ (1, 0x7FFF_FFFF); (2, 1) ]
+      [ Alu (Add, 3, 1, 2) ] in
+  ignore (step_n m 1);
+  check "at range vector" (Vec.address Vec.Range) m.M.pc;
+  check "EPCR = offending insn" code_base m.M.epcr;
+  check "destination not written" 0 (gpr m 3)
+
+let test_rfe_restores () =
+  let open Insn in
+  let m = setup
+      [ Mtspr (0, 1, Spr.address Spr.Epcr0);   (* EPCR <- r1 *)
+        Mtspr (0, 2, Spr.address Spr.Esr0);    (* ESR <- r2 *)
+        Rfe ]
+      ~regs:[ (1, code_base + 16); (2, Sr.reset lor (1 lsl Sr.f)) ]
+  in
+  ignore (step_n m 3);
+  check "pc from EPCR" (code_base + 16) m.M.pc;
+  check "flag restored" 1 (Sr.get m.M.sr Sr.f)
+
+let test_user_mode_protection () =
+  let open Insn in
+  (* Clear SM via rfe to user code, then try mfspr: illegal exception. *)
+  let m = setup
+      [ Mtspr (0, 1, Spr.address Spr.Epcr0);
+        Mtspr (0, 2, Spr.address Spr.Esr0);
+        Rfe;
+        Mfspr (3, 0, Spr.address Spr.Sr) ]   (* user mode: illegal *)
+      ~regs:[ (1, code_base + 12); (2, 1 lsl Sr.fo) (* SM clear *) ]
+  in
+  ignore (step_n m 4);
+  check "vectored to illegal" (Vec.address Vec.Illegal) m.M.pc;
+  check "r3 untouched" 0 (gpr m 3)
+
+let test_rfe_in_user_mode_illegal () =
+  let open Insn in
+  let m = setup
+      [ Mtspr (0, 1, Spr.address Spr.Epcr0);
+        Mtspr (0, 2, Spr.address Spr.Esr0);
+        Rfe;
+        Rfe ]   (* second rfe runs in user mode *)
+      ~regs:[ (1, code_base + 12); (2, 1 lsl Sr.fo) ]
+  in
+  ignore (step_n m 4);
+  check "illegal vector" (Vec.address Vec.Illegal) m.M.pc
+
+let test_tick_timer () =
+  let open Insn in
+  let items =
+    List.map (fun i -> Asm.I i)
+      [ Mfspr (1, 0, Spr.address Spr.Sr);
+        Alui (Ori, 1, 1, 1 lsl Sr.tee);
+        Mtspr (0, 1, Spr.address Spr.Sr);
+        Alui (Addi, 2, 2, 1); Alui (Addi, 2, 2, 1); Alui (Addi, 2, 2, 1);
+        Alui (Addi, 2, 2, 1); Alui (Addi, 2, 2, 1); Alui (Addi, 2, 2, 1);
+        Nop 1 ]
+  in
+  let image = Asm.assemble { Asm.origin = code_base; items } in
+  let machine = M.create ~tick_period:4 () in
+  M.load_image machine image;
+  M.set_pc machine code_base;
+  let ticked = ref false in
+  ignore (M.run ~max_steps:32
+            ~observer:(fun ev -> if ev.M.ev_exn = Some Vec.Tick_timer then ticked := true)
+            machine);
+  Alcotest.(check bool) "tick fired" true !ticked
+
+let test_exit_convention () =
+  let open Insn in
+  let m = run [ Alui (Addi, 1, 1, 1) ] in
+  Alcotest.(check bool) "halted with Exit" true (m.M.halted = Some M.Exit)
+
+let test_spr_moves () =
+  let open Insn in
+  let m = run ~regs:[ (1, 0xABCD) ]
+      [ Mtspr (0, 1, Spr.address Spr.Eear0);
+        Mfspr (2, 0, Spr.address Spr.Eear0);
+        Mfspr (3, 0, Spr.address Spr.Vr) ] in
+  check "eear write/read" 0xABCD (gpr m 2);
+  Alcotest.(check bool) "version register nonzero" true (gpr m 3 <> 0)
+
+let test_sr_write_keeps_fo () =
+  let open Insn in
+  let m = run ~regs:[ (1, 1) ] [ Mtspr (0, 1, Spr.address Spr.Sr) ] in
+  check "FO forced" 1 (Sr.get m.M.sr Sr.fo);
+  check "SM from write" 1 (Sr.get m.M.sr Sr.sm)
+
+let () =
+  Alcotest.run "machine"
+    [ ("alu",
+       [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+         Alcotest.test_case "signed division" `Quick test_signed_division;
+         Alcotest.test_case "divide by zero" `Quick test_division_by_zero_flags;
+         Alcotest.test_case "logic" `Quick test_logic_and_shift;
+         Alcotest.test_case "shifts" `Quick test_shift_forms;
+         Alcotest.test_case "carry chain" `Quick test_carry_chain;
+         Alcotest.test_case "overflow flag" `Quick test_overflow_flag;
+         Alcotest.test_case "extensions" `Quick test_extensions;
+         Alcotest.test_case "movhi/mac" `Quick test_movhi_mac;
+         Alcotest.test_case "mac negative" `Quick test_mac_negative ]);
+      ("control",
+       [ Alcotest.test_case "setflag" `Quick test_setflag_semantics;
+         Alcotest.test_case "branch taken" `Quick test_branch_taken_with_delay_slot;
+         Alcotest.test_case "branch not taken" `Quick test_branch_not_taken;
+         Alcotest.test_case "jal link" `Quick test_jal_link_value;
+         Alcotest.test_case "jr" `Quick test_jr_roundtrip;
+         Alcotest.test_case "gpr0" `Quick test_gpr0_hardwired ]);
+      ("memory",
+       [ Alcotest.test_case "load/store" `Quick test_load_store_roundtrip;
+         Alcotest.test_case "store byte/half" `Quick test_store_byte_half;
+         Alcotest.test_case "negative offset" `Quick test_negative_offset ]);
+      ("exceptions",
+       [ Alcotest.test_case "syscall entry" `Quick test_syscall_entry_state;
+         Alcotest.test_case "syscall in delay slot" `Quick test_syscall_in_delay_slot;
+         Alcotest.test_case "illegal" `Quick test_illegal_instruction;
+         Alcotest.test_case "alignment" `Quick test_alignment_exception;
+         Alcotest.test_case "range" `Quick test_range_exception;
+         Alcotest.test_case "rfe" `Quick test_rfe_restores;
+         Alcotest.test_case "user-mode protection" `Quick test_user_mode_protection;
+         Alcotest.test_case "rfe in user mode" `Quick test_rfe_in_user_mode_illegal;
+         Alcotest.test_case "tick timer" `Quick test_tick_timer;
+         Alcotest.test_case "exit convention" `Quick test_exit_convention;
+         Alcotest.test_case "spr moves" `Quick test_spr_moves;
+         Alcotest.test_case "sr write keeps FO" `Quick test_sr_write_keeps_fo ]) ]

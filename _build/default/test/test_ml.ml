@@ -1,0 +1,188 @@
+(* Machine learning: matrices, the elastic-net logistic regression, PCA. *)
+
+module Mat = Ml.Matrix
+
+let feq = Alcotest.(check (float 1e-6))
+
+(* ---- matrices ---- *)
+
+let test_matrix_basics () =
+  let m = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  feq "get" 3.0 (Mat.get m 1 0);
+  Alcotest.(check (array (float 1e-9))) "row" [| 3.0; 4.0 |] (Mat.row m 1);
+  Alcotest.(check (array (float 1e-9))) "column" [| 2.0; 4.0 |] (Mat.column m 1);
+  let t = Mat.transpose m in
+  feq "transpose" 2.0 (Mat.get t 1 0)
+
+let test_matrix_mul () =
+  let a = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 4.0 |] ] in
+  let b = Mat.of_rows [ [| 5.0; 6.0 |]; [| 7.0; 8.0 |] ] in
+  let c = Mat.mul a b in
+  feq "c00" 19.0 (Mat.get c 0 0);
+  feq "c01" 22.0 (Mat.get c 0 1);
+  feq "c10" 43.0 (Mat.get c 1 0);
+  feq "c11" 50.0 (Mat.get c 1 1)
+
+let test_standardize () =
+  let m = Mat.of_rows [ [| 0.0 |]; [| 10.0 |] ] in
+  let s, (means, stds) = Mat.standardize m in
+  feq "mean" 5.0 means.(0);
+  feq "std" 5.0 stds.(0);
+  feq "low" (-1.0) (Mat.get s 0 0);
+  feq "high" 1.0 (Mat.get s 1 0)
+
+let test_covariance () =
+  let m = Mat.of_rows [ [| 1.0; 2.0 |]; [| 3.0; 6.0 |]; [| 5.0; 10.0 |] ] in
+  let c = Mat.covariance m in
+  feq "var x" 4.0 (Mat.get c 0 0);
+  feq "cov xy" 8.0 (Mat.get c 0 1);
+  feq "symmetric" (Mat.get c 0 1) (Mat.get c 1 0)
+
+(* ---- logistic regression ---- *)
+
+(* Linearly separable data: feature 0 decides the class, features 1-2 are
+   noise. *)
+let separable_data ?(n = 120) ?(noise_features = 2) seed =
+  let rng = Util.Prng.create seed in
+  let rows = ref [] and ys = ref [] in
+  for _ = 1 to n do
+    let y = Util.Prng.bool rng in
+    let signal = if y then 1.0 +. Util.Prng.float rng else -1.0 -. Util.Prng.float rng in
+    let noise = Array.init noise_features (fun _ -> Util.Prng.float rng -. 0.5) in
+    rows := Array.append [| signal |] noise :: !rows;
+    ys := (if y then 1.0 else 0.0) :: !ys
+  done;
+  (Mat.of_rows (List.rev !rows), Array.of_list (List.rev !ys))
+
+let test_logreg_separable () =
+  let x, y = separable_data 1 in
+  let model = Ml.Logreg.fit ~lambda:0.01 x y in
+  let acc = Ml.Logreg.accuracy model x y in
+  Alcotest.(check bool) "fits separable data" true (acc > 0.95)
+
+let test_logreg_signal_feature_dominates () =
+  let x, y = separable_data 2 in
+  let model = Ml.Logreg.fit ~lambda:0.05 x y in
+  let nz = Ml.Logreg.nonzero_features model in
+  Alcotest.(check bool) "feature 0 selected" true
+    (List.exists (fun (j, b) -> j = 0 && b > 0.0) nz)
+
+let test_lasso_kills_noise () =
+  let x, y = separable_data ~noise_features:6 3 in
+  (* Strong l1 at alpha = 1. *)
+  let model = Ml.Logreg.fit ~alpha:1.0 ~lambda:0.15 x y in
+  let nz = Ml.Logreg.nonzero_features model in
+  Alcotest.(check bool) "sparse" true (List.length nz <= 2);
+  Alcotest.(check bool) "keeps the signal" true
+    (List.exists (fun (j, _) -> j = 0) nz)
+
+let test_lambda_max_zeroes_model () =
+  let x, y = separable_data 4 in
+  let lmax = Ml.Logreg.lambda_max x y ~alpha:1.0 in
+  let model = Ml.Logreg.fit ~alpha:1.0 ~lambda:(lmax *. 1.05) x y in
+  Alcotest.(check int) "all zero at lambda_max" 0
+    (List.length (Ml.Logreg.nonzero_features model))
+
+let test_lambda_path_monotone () =
+  let x, y = separable_data 5 in
+  let path = Ml.Logreg.lambda_path x y ~alpha:0.5 ~count:10 in
+  Alcotest.(check int) "length" 10 (List.length path);
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly decreasing" true (decreasing path)
+
+let test_predict_proba_bounds () =
+  let x, y = separable_data 6 in
+  let model = Ml.Logreg.fit ~lambda:0.01 x y in
+  for i = 0 to x.Mat.rows - 1 do
+    let p = Ml.Logreg.predict_proba model (Mat.row x i) in
+    Alcotest.(check bool) "in [0,1]" true (p >= 0.0 && p <= 1.0)
+  done
+
+let test_cross_validation () =
+  let x, y = separable_data ~n:90 7 in
+  let lambda, acc, table = Ml.Logreg.cross_validate ~folds:3 ~seed:7 x y in
+  Alcotest.(check bool) "good cv accuracy" true (acc > 0.85);
+  Alcotest.(check bool) "lambda from the path" true
+    (List.mem_assoc lambda table)
+
+let test_ridge_limit_dense () =
+  (* alpha = 0: pure ridge, no coefficient is exactly zeroed. *)
+  let x, y = separable_data ~noise_features:3 8 in
+  let model = Ml.Logreg.fit ~alpha:0.0 ~lambda:0.05 x y in
+  Alcotest.(check int) "all features kept" 4
+    (List.length (Ml.Logreg.nonzero_features model))
+
+(* ---- PCA ---- *)
+
+let test_jacobi_diagonal () =
+  let m = Mat.of_rows [ [| 3.0; 0.0 |]; [| 0.0; 7.0 |] ] in
+  let eigenvalues, _ = Ml.Pca.jacobi m ~max_sweeps:50 in
+  let sorted = Array.copy eigenvalues in
+  Array.sort compare sorted;
+  feq "small" 3.0 sorted.(0);
+  feq "large" 7.0 sorted.(1)
+
+let test_jacobi_known_matrix () =
+  (* [[2,1],[1,2]] has eigenvalues 1 and 3. *)
+  let m = Mat.of_rows [ [| 2.0; 1.0 |]; [| 1.0; 2.0 |] ] in
+  let eigenvalues, _ = Ml.Pca.jacobi m ~max_sweeps:50 in
+  let sorted = Array.copy eigenvalues in
+  Array.sort compare sorted;
+  feq "lambda1" 1.0 sorted.(0);
+  feq "lambda2" 3.0 sorted.(1)
+
+let test_pca_finds_correlated_direction () =
+  (* Points along y = x: the first component explains almost everything. *)
+  let rng = Util.Prng.create 11 in
+  let rows =
+    List.init 60 (fun _ ->
+        let t = Util.Prng.float rng *. 10.0 in
+        let jitter = (Util.Prng.float rng -. 0.5) *. 0.01 in
+        [| t; t +. jitter |])
+  in
+  let pca = Ml.Pca.fit ~k:2 (Mat.of_rows rows) in
+  let explained = Ml.Pca.explained_variance pca in
+  Alcotest.(check bool) "first component dominates" true (explained.(0) > 0.99)
+
+let test_pca_projection_dimension () =
+  let pca = Ml.Pca.fit ~k:2 (Mat.of_rows [ [| 1.0; 2.0; 3.0 |];
+                                           [| 2.0; 4.0; 5.0 |];
+                                           [| 3.0; 5.0; 9.0 |];
+                                           [| 4.0; 9.0; 11.0 |] ]) in
+  let p = Ml.Pca.project pca [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "two coordinates" 2 (Array.length p)
+
+let test_separation_metric () =
+  let close = [ [| 0.0; 0.0 |]; [| 0.1; 0.0 |]; [| 5.0; 0.0 |]; [| 5.1; 0.0 |] ] in
+  let labels = [ 0; 0; 1; 1 ] in
+  let sep = Ml.Pca.separation close labels in
+  Alcotest.(check bool) "well separated" true (sep > 10.0);
+  (* Interleaved labels over the same points: classes overlap fully. *)
+  let sep2 = Ml.Pca.separation close [ 0; 1; 0; 1 ] in
+  Alcotest.(check bool) "overlapping clusters score lower" true (sep2 < 1.0)
+
+let () =
+  Alcotest.run "ml"
+    [ ("matrix",
+       [ Alcotest.test_case "basics" `Quick test_matrix_basics;
+         Alcotest.test_case "mul" `Quick test_matrix_mul;
+         Alcotest.test_case "standardize" `Quick test_standardize;
+         Alcotest.test_case "covariance" `Quick test_covariance ]);
+      ("logreg",
+       [ Alcotest.test_case "separable" `Quick test_logreg_separable;
+         Alcotest.test_case "signal feature" `Quick test_logreg_signal_feature_dominates;
+         Alcotest.test_case "lasso sparsity" `Quick test_lasso_kills_noise;
+         Alcotest.test_case "lambda_max" `Quick test_lambda_max_zeroes_model;
+         Alcotest.test_case "lambda path" `Quick test_lambda_path_monotone;
+         Alcotest.test_case "proba bounds" `Quick test_predict_proba_bounds;
+         Alcotest.test_case "cross validation" `Quick test_cross_validation;
+         Alcotest.test_case "ridge dense" `Quick test_ridge_limit_dense ]);
+      ("pca",
+       [ Alcotest.test_case "jacobi diagonal" `Quick test_jacobi_diagonal;
+         Alcotest.test_case "jacobi known" `Quick test_jacobi_known_matrix;
+         Alcotest.test_case "correlated direction" `Quick test_pca_finds_correlated_direction;
+         Alcotest.test_case "projection dim" `Quick test_pca_projection_dimension;
+         Alcotest.test_case "separation" `Quick test_separation_metric ]) ]

@@ -1,0 +1,77 @@
+(* The deterministic PRNG used for every seeded experiment. *)
+
+let test_determinism () =
+  let a = Util.Prng.create 42 and b = Util.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Prng.u32 a) (Util.Prng.u32 b)
+  done
+
+let test_different_seeds () =
+  let a = Util.Prng.create 1 and b = Util.Prng.create 2 in
+  let xs = List.init 16 (fun _ -> Util.Prng.u32 a) in
+  let ys = List.init 16 (fun _ -> Util.Prng.u32 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_int_bound () =
+  let rng = Util.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_int_rejects_bad_bound () =
+  let rng = Util.Prng.create 7 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Util.Prng.int rng 0))
+
+let test_shuffle_is_permutation () =
+  let rng = Util.Prng.create 99 in
+  let arr = Array.init 50 (fun i -> i) in
+  Util.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_shuffle_moves_something () =
+  let rng = Util.Prng.create 99 in
+  let arr = Array.init 50 (fun i -> i) in
+  Util.Prng.shuffle rng arr;
+  Alcotest.(check bool) "not identity" true (arr <> Array.init 50 (fun i -> i))
+
+let test_sample () =
+  let rng = Util.Prng.create 5 in
+  let s = Util.Prng.sample rng ~n:20 ~k:8 in
+  Alcotest.(check int) "size" 8 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct = Array.length sorted = 8
+                 && Array.for_all (fun x -> x >= 0 && x < 20) sorted in
+  let rec no_dup i = i >= 7 || (sorted.(i) <> sorted.(i + 1) && no_dup (i + 1)) in
+  Alcotest.(check bool) "distinct in range" true (distinct && no_dup 0)
+
+let test_float_range () =
+  let rng = Util.Prng.create 3 in
+  for _ = 1 to 1000 do
+    let f = Util.Prng.float rng in
+    Alcotest.(check bool) "unit interval" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_bool_mixes () =
+  let rng = Util.Prng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do if Util.Prng.bool rng then incr trues done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 400 && !trues < 600)
+
+let () =
+  Alcotest.run "prng"
+    [ ("prng",
+       [ Alcotest.test_case "determinism" `Quick test_determinism;
+         Alcotest.test_case "seed sensitivity" `Quick test_different_seeds;
+         Alcotest.test_case "int bound" `Quick test_int_bound;
+         Alcotest.test_case "int bad bound" `Quick test_int_rejects_bad_bound;
+         Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+         Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+         Alcotest.test_case "sample" `Quick test_sample;
+         Alcotest.test_case "float range" `Quick test_float_range;
+         Alcotest.test_case "bool balance" `Quick test_bool_mixes ]) ]

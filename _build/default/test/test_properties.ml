@@ -1,0 +1,177 @@
+(* The property catalog and its matchers against constructed invariants. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+module Cat = Properties.Catalog
+
+let inv point body = { Expr.point; body }
+let eq a b = Expr.Cmp (Expr.Eq, a, b)
+
+let v_post d = Expr.V (Var.post_id d)
+let v_orig d = Expr.V (Var.orig_id d)
+let v_insn i = Expr.V (Var.insn_id i)
+
+let matcher id =
+  (Option.get (Cat.by_id id)).Cat.matcher
+
+let check_match pid expected invariant =
+  Alcotest.(check bool)
+    (pid ^ " on " ^ Expr.to_string invariant)
+    expected
+    ((matcher pid) invariant)
+
+let test_catalog_structure () =
+  Alcotest.(check int) "30 properties" 30 (List.length Cat.catalog);
+  let ids = List.map (fun p -> p.Cat.id) Cat.catalog in
+  Alcotest.(check int) "unique ids" 30
+    (List.length (List.sort_uniq String.compare ids));
+  let in_scope = List.filter Cat.in_scope Cat.catalog in
+  (* 22 prior-work in-scope properties + the 3 new ones. *)
+  Alcotest.(check int) "in scope" 25 (List.length in_scope)
+
+let test_expectations_match_paper () =
+  let expect id e =
+    Alcotest.(check bool) id true ((Option.get (Cat.by_id id)).Cat.expectation = e)
+  in
+  expect "p18" Cat.Needs_microarch;
+  expect "p24" Cat.Needs_microarch;
+  expect "p10" Cat.Not_generated;
+  expect "p22" Cat.Not_generated;
+  expect "p25" Cat.Outside_core;
+  expect "p26" Cat.Outside_core;
+  expect "p27" Cat.Outside_core
+
+let test_p2_spr_move () =
+  check_match "p2" true
+    (inv "l.mtspr" (eq (v_insn Var.Spr_post) (v_insn Var.Opb)));
+  check_match "p2" true
+    (inv "l.mfspr" (eq (v_insn Var.Spr_post) (v_insn Var.Dest)));
+  check_match "p2" false
+    (inv "l.add" (eq (v_post (Var.Gpr 1)) (v_post (Var.Gpr 2))))
+
+let test_p3_exception_registers () =
+  check_match "p3" true
+    (inv "l.add" (eq (v_insn Var.Epcr_d) (Expr.Imm 0)));
+  check_match "p3" true
+    (inv "l.sys" (eq (v_post Var.Esr) (v_orig Var.Sr_full)));
+  check_match "p3" false
+    (inv "l.add" (eq (v_post (Var.Gpr 3)) (Expr.Imm 0)))
+
+let test_p5_p6_memory () =
+  check_match "p5" true
+    (inv "l.sw" (eq (v_insn Var.Membus) (v_insn Var.Opb)));
+  check_match "p5" false
+    (inv "l.lwz" (eq (v_insn Var.Membus) (v_insn Var.Opb)));
+  check_match "p6" true
+    (inv "l.lwz" (eq (v_insn Var.Dest) (v_insn Var.Membus)));
+  check_match "p6" true
+    (inv "l.lbs" (eq (v_insn Var.Ext_hi) (Expr.Mul (Var.insn_id Var.Ext_sign, 0xFF_FFFF))))
+
+let test_p7_effective_address () =
+  check_match "p7" true
+    (inv "l.lwz" (eq (v_insn Var.Ea) (v_insn Var.Ea_ref)));
+  check_match "p7" false
+    (inv "l.j" (eq (v_insn Var.Ea) (v_insn Var.Ea_ref)))
+
+let test_p9_p14_rfe () =
+  let sr_restore = inv "l.rfe" (eq (v_post Var.Sr_full) (v_orig Var.Esr)) in
+  check_match "p9" true sr_restore;
+  check_match "p14" true sr_restore;
+  check_match "p9" false
+    (inv "l.add" (eq (v_post Var.Sr_full) (v_orig Var.Esr)))
+
+let test_p11_link_register () =
+  check_match "p11" true
+    (inv "l.jal"
+       (eq (Expr.Bin (Expr.Minus, Var.post_id (Var.Gpr 9), Var.orig_id Var.Pc))
+          (Expr.Imm 8)));
+  check_match "p11" false
+    (inv "l.add"
+       (eq (Expr.Bin (Expr.Minus, Var.post_id (Var.Gpr 9), Var.orig_id Var.Pc))
+          (Expr.Imm 8)))
+
+let test_p12_instruction_format () =
+  check_match "p12" true
+    (inv "l.add" (eq (v_insn Var.Ir) (v_insn Var.Mem_at_pc)));
+  check_match "p12" true
+    (inv "l.ori" (eq (v_insn Var.Opcode) (Expr.Imm 0x2A)))
+
+let test_p15_register_framing () =
+  check_match "p15" true
+    (inv "l.sw" (eq (v_post (Var.Gpr 5)) (v_orig (Var.Gpr 5))));
+  check_match "p15" false
+    (inv "l.sw" (eq (v_post (Var.Gpr 5)) (v_orig (Var.Gpr 6))))
+
+let test_p17_vector_constant () =
+  check_match "p17" true
+    (inv "l.sys" (eq (v_post Var.Pc) (Expr.Imm 0xC00)));
+  check_match "p17" true
+    (inv "l.sys" (eq (v_insn Var.Vec) (Expr.Imm 0xC00)));
+  check_match "p17" false
+    (inv "l.add" (eq (v_post Var.Pc) (Expr.Imm 0x2040)))
+
+let test_p19_supervisor_spr () =
+  check_match "p19" true
+    (inv "l.mtspr" (eq (v_post Var.Sm) (Expr.Imm 1)));
+  check_match "p19" false
+    (inv "l.add" (eq (v_post Var.Sm) (Expr.Imm 1)))
+
+let test_p28_flag_products () =
+  check_match "p28" true
+    (inv "l.sfleu" (Expr.Cmp (Expr.Ge, v_insn Var.Prod_u, Expr.Imm 0)));
+  check_match "p28" true
+    (inv "l.sfeq" (eq (v_insn Var.Cmpz) (v_post Var.Sf)));
+  check_match "p28" false
+    (inv "l.add" (Expr.Cmp (Expr.Ge, v_insn Var.Prod_u, Expr.Imm 0)))
+
+let test_p29_address_calculation () =
+  check_match "p29" true
+    (inv "l.add" (eq (v_post (Var.Gpr 0)) (Expr.Imm 0)));
+  check_match "p29" true
+    (inv "l.extws" (eq (v_insn Var.Dest) (v_insn Var.Opa)))
+
+let test_p30_link_framing () =
+  check_match "p30" true
+    (inv "l.add" (eq (v_post (Var.Gpr 9)) (v_orig (Var.Gpr 9))));
+  check_match "p30" false
+    (inv "l.jal" (eq (v_post (Var.Gpr 9)) (v_orig (Var.Gpr 9))))
+
+let test_evaluate () =
+  let sci_b12 =
+    [ inv "l.mtspr" (eq (v_insn Var.Spr_post) (v_insn Var.Opb)) ]
+  in
+  let inferred =
+    [ inv "l.rfe" (eq (v_post Var.Sr_full) (v_orig Var.Esr)) ]
+  in
+  let coverage =
+    Cat.evaluate ~identified:[ ("b12", sci_b12) ] ~inferred
+  in
+  let find id = List.find (fun c -> c.Cat.property.Cat.id = id) coverage in
+  Alcotest.(check bool) "p2 from b12" true (find "p2").Cat.from_identification;
+  Alcotest.(check (list string)) "bug attribution" [ "b12" ]
+    (find "p2").Cat.found_by_bugs;
+  Alcotest.(check bool) "p9 from inference" true (find "p9").Cat.from_inference;
+  Alcotest.(check bool) "p9 not from identification" false
+    (find "p9").Cat.from_identification
+
+let () =
+  Alcotest.run "properties"
+    [ ("catalog",
+       [ Alcotest.test_case "structure" `Quick test_catalog_structure;
+         Alcotest.test_case "expectations" `Quick test_expectations_match_paper ]);
+      ("matchers",
+       [ Alcotest.test_case "p2" `Quick test_p2_spr_move;
+         Alcotest.test_case "p3" `Quick test_p3_exception_registers;
+         Alcotest.test_case "p5/p6" `Quick test_p5_p6_memory;
+         Alcotest.test_case "p7" `Quick test_p7_effective_address;
+         Alcotest.test_case "p9/p14" `Quick test_p9_p14_rfe;
+         Alcotest.test_case "p11" `Quick test_p11_link_register;
+         Alcotest.test_case "p12" `Quick test_p12_instruction_format;
+         Alcotest.test_case "p15" `Quick test_p15_register_framing;
+         Alcotest.test_case "p17" `Quick test_p17_vector_constant;
+         Alcotest.test_case "p19" `Quick test_p19_supervisor_spr;
+         Alcotest.test_case "p28" `Quick test_p28_flag_products;
+         Alcotest.test_case "p29" `Quick test_p29_address_calculation;
+         Alcotest.test_case "p30" `Quick test_p30_link_framing ]);
+      ("coverage",
+       [ Alcotest.test_case "evaluate" `Quick test_evaluate ]) ]

@@ -1,0 +1,112 @@
+(* Assertion-triggered recovery: halt and exception-to-software policies,
+   livelock protection, recovery-exception entry state. *)
+
+open Isa
+module M = Cpu.Machine
+module Rec = Assertions.Recovery
+
+let code_base = 0x2000
+let vector = 0x800
+
+let gpr0_assertions =
+  Assertions.Ovl.of_invariants
+    (List.map
+       (fun point ->
+          { Invariant.Expr.point;
+            body = Invariant.Expr.Cmp
+                (Invariant.Expr.Eq,
+                 Invariant.Expr.V (Trace.Var.post_id (Trace.Var.Gpr 0)),
+                 Invariant.Expr.Imm 0) })
+       [ "l.add"; "l.addi"; "l.sub" ])
+
+let machine_with ?(handler = []) insns =
+  let b10 = Option.get (Bugs.Table1.by_id "b10") in
+  let m = M.create ~fault:b10.Bugs.Registry.fault () in
+  let main =
+    { Asm.origin = code_base;
+      items = List.map (fun i -> Asm.I i) insns @ [ Asm.I (Insn.Nop 1) ] }
+  in
+  M.load_image m (Asm.assemble main);
+  if handler <> [] then
+    M.load_image m (Asm.assemble { Asm.origin = vector; items = handler });
+  M.set_pc m code_base;
+  m
+
+let poison = Insn.[ Alui (Addi, 3, 0, 41); Alu (Add, 0, 3, 3); Alui (Addi, 4, 0, 1) ]
+
+let test_halt_policy () =
+  let m = machine_with poison in
+  let o = Rec.run ~policy:Rec.Halt gpr0_assertions m in
+  Alcotest.(check int) "one firing" 1 (List.length o.firings);
+  Alcotest.(check int) "no recovery" 0 o.recoveries;
+  Alcotest.(check bool) "assertion halt" true (o.halted = `Assertion_halt)
+
+let test_exception_policy_recovers () =
+  let handler = Asm.Build.[ sub 0 0 0; rfe ] in
+  let m = machine_with ~handler poison in
+  let o = Rec.run ~policy:(Rec.Exception vector) gpr0_assertions m in
+  Alcotest.(check int) "recovered once" 1 o.recoveries;
+  Alcotest.(check bool) "finished" true (o.halted = `Machine M.Exit);
+  Alcotest.(check int) "r0 repaired" 0 m.M.gpr.(0);
+  (* the post-recovery addi saw the repaired r0 *)
+  Alcotest.(check int) "clean arithmetic afterwards" 1 m.M.gpr.(4)
+
+let test_clean_run_untouched () =
+  let m = machine_with Insn.[ Alui (Addi, 3, 0, 5); Alu (Add, 4, 3, 3) ] in
+  let o = Rec.run ~policy:Rec.Halt gpr0_assertions m in
+  Alcotest.(check int) "no firings" 0 (List.length o.firings);
+  Alcotest.(check bool) "normal exit" true (o.halted = `Machine M.Exit)
+
+let test_recovery_entry_state () =
+  let m = machine_with [] in
+  m.M.sr <- Isa.Spr.Sr_bits.reset lor (1 lsl Isa.Spr.Sr_bits.tee);
+  let before_sr = m.M.sr in
+  m.M.pc <- 0x2040;
+  Rec.enter_recovery m ~vector;
+  Alcotest.(check int) "at vector" vector m.M.pc;
+  Alcotest.(check int) "ESR saved" before_sr m.M.esr;
+  Alcotest.(check int) "EPCR is the resume point" 0x2040 m.M.epcr;
+  Alcotest.(check int) "supervisor" 1
+    (Isa.Spr.Sr_bits.get m.M.sr Isa.Spr.Sr_bits.sm);
+  Alcotest.(check int) "interrupts masked" 0
+    (Isa.Spr.Sr_bits.get m.M.sr Isa.Spr.Sr_bits.tee)
+
+let test_max_recoveries_bounds_livelock () =
+  (* A handler that does NOT repair r0: the assertion refires after each
+     cooldown window until the recovery budget runs out. *)
+  let handler = Asm.Build.[ rfe; nop ] in
+  let m = machine_with ~handler
+      (Insn.[ Alui (Addi, 3, 0, 41); Alu (Add, 0, 3, 3) ]
+       @ List.concat (List.init 200 (fun _ -> [ Insn.Alui (Insn.Addi, 5, 3, 1) ])))
+  in
+  let o =
+    Rec.run ~policy:(Rec.Exception vector) ~max_recoveries:3 ~cooldown:2
+      gpr0_assertions m
+  in
+  Alcotest.(check int) "budget respected" 3 o.recoveries;
+  Alcotest.(check bool) "gave up by halting" true (o.halted = `Assertion_halt)
+
+let test_cooldown_suppresses_rearm () =
+  (* With a huge cooldown, a non-repairing handler still lets the program
+     reach the end: one recovery, no refire. *)
+  let handler = Asm.Build.[ rfe; nop ] in
+  let m = machine_with ~handler
+      (Insn.[ Alui (Addi, 3, 0, 41); Alu (Add, 0, 3, 3) ]
+       @ List.init 20 (fun _ -> Insn.Alui (Insn.Addi, 5, 3, 1)))
+  in
+  let o =
+    Rec.run ~policy:(Rec.Exception vector) ~cooldown:10_000
+      gpr0_assertions m
+  in
+  Alcotest.(check int) "single recovery" 1 o.recoveries;
+  Alcotest.(check bool) "program completed" true (o.halted = `Machine M.Exit)
+
+let () =
+  Alcotest.run "recovery"
+    [ ("recovery",
+       [ Alcotest.test_case "halt policy" `Quick test_halt_policy;
+         Alcotest.test_case "exception recovers" `Quick test_exception_policy_recovers;
+         Alcotest.test_case "clean run" `Quick test_clean_run_untouched;
+         Alcotest.test_case "entry state" `Quick test_recovery_entry_state;
+         Alcotest.test_case "recovery budget" `Quick test_max_recoveries_bounds_livelock;
+         Alcotest.test_case "cooldown" `Quick test_cooldown_suppresses_rearm ]) ]

@@ -1,0 +1,144 @@
+(* SCI identification: the checker, the buggy-vs-clean differencing, and
+   the false-positive accounting of §3.3. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+
+let g3 = Var.post_id (Var.Gpr 3)
+let g0 = Var.post_id (Var.Gpr 0)
+
+let record ?(point = "l.add") assignments =
+  let values = Array.make Var.total 0 in
+  List.iter (fun (id, v) -> values.(id) <- v) assignments;
+  { Trace.Record.point; values; mask = Array.make Var.total true }
+
+let inv ?(point = "l.add") body = { Expr.point; body }
+
+let test_checker_violations () =
+  let invs =
+    [ inv (Expr.Cmp (Expr.Eq, Expr.V g0, Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 7));
+      inv ~point:"l.sub" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 9)) ]
+  in
+  let idx = Sci.Checker.index invs in
+  let records =
+    [ record [ (g0, 0); (g3, 7) ];          (* all fine *)
+      record [ (g0, 5); (g3, 7) ];          (* violates g0 = 0 *)
+      record ~point:"l.sub" [ (g3, 7) ] ]   (* violates the l.sub one *)
+  in
+  let violated = Sci.Checker.violations idx records in
+  Alcotest.(check int) "two distinct violations" 2 (List.length violated)
+
+let test_checker_dedups () =
+  let invs = [ inv (Expr.Cmp (Expr.Eq, Expr.V g0, Expr.Imm 0)) ] in
+  let idx = Sci.Checker.index invs in
+  let records = List.init 10 (fun _ -> record [ (g0, 1) ]) in
+  Alcotest.(check int) "reported once" 1
+    (List.length (Sci.Checker.violations idx records))
+
+let test_checker_respects_points () =
+  let invs = [ inv ~point:"l.sub" (Expr.Cmp (Expr.Eq, Expr.V g3, Expr.Imm 1)) ] in
+  let idx = Sci.Checker.index invs in
+  let records = [ record ~point:"l.add" [ (g3, 99) ] ] in
+  Alcotest.(check int) "other points ignored" 0
+    (List.length (Sci.Checker.violations idx records))
+
+let test_first_violation () =
+  let i = inv (Expr.Cmp (Expr.Eq, Expr.V g0, Expr.Imm 0)) in
+  let records = [ record [ (g0, 0) ]; record [ (g0, 0) ]; record [ (g0, 3) ] ] in
+  Alcotest.(check (option int)) "index" (Some 2)
+    (Sci.Checker.first_violation i records);
+  Alcotest.(check (option int)) "none" None
+    (Sci.Checker.first_violation i [ record [ (g0, 0) ] ])
+
+(* ---- end-to-end identification on a real bug ---- *)
+
+(* Mine a quick invariant set from two small workloads, then identify b10
+   (GPR0 writable): the canonical GPR0 = 0 invariant must be among the
+   SCI, and b2 must yield none. *)
+let mined_invariants =
+  lazy
+    (let engine = Daikon.Engine.create () in
+     List.iter
+       (fun name ->
+          let w = Option.get (Workloads.Suite.by_name name) in
+          ignore
+            (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+               ~observer:(Daikon.Engine.observe engine) w.image))
+       [ "vmlinux"; "instru"; "basicmath" ];
+     Daikon.Engine.invariants engine)
+
+let test_identify_b10 () =
+  let invariants = Lazy.force mined_invariants in
+  let b10 = Option.get (Bugs.Table1.by_id "b10") in
+  let index = Sci.Checker.index invariants in
+  let report = Sci.Identify.run ~index b10 in
+  Alcotest.(check bool) "detected" true report.Sci.Identify.detected;
+  Alcotest.(check bool) "GPR0 = 0 is an SCI" true
+    (List.exists
+       (fun i ->
+          match i.Expr.body with
+          | Expr.Cmp (Expr.Eq, Expr.V v, Expr.Imm 0)
+          | Expr.Cmp (Expr.Eq, Expr.Imm 0, Expr.V v) ->
+            Var.id_base_name v = "GPR0"
+          | _ -> false)
+       report.true_sci)
+
+let test_identify_b2_empty () =
+  let invariants = Lazy.force mined_invariants in
+  let b2 = Option.get (Bugs.Table1.by_id "b2") in
+  let index = Sci.Checker.index invariants in
+  let report = Sci.Identify.run ~index b2 in
+  Alcotest.(check int) "no ISA-level SCI for the pipeline stall" 0
+    (List.length report.Sci.Identify.true_sci);
+  Alcotest.(check bool) "undetected" false report.detected
+
+let test_fp_are_clean_run_violations () =
+  let invariants = Lazy.force mined_invariants in
+  let b13 = Option.get (Bugs.Table1.by_id "b13") in
+  let index = Sci.Checker.index invariants in
+  let report = Sci.Identify.run ~index b13 in
+  (* The far-call trigger exercises displacements the training set never
+     produced, so some invariants break even on the clean processor. *)
+  Alcotest.(check bool) "clean-run FPs exist" true
+    (report.Sci.Identify.false_positives <> []);
+  (* No FP may appear among the true SCI. *)
+  let fp_keys =
+    List.map Expr.canonical report.Sci.Identify.false_positives
+  in
+  Alcotest.(check bool) "disjoint" true
+    (List.for_all
+       (fun i -> not (List.mem (Expr.canonical i) fp_keys))
+       report.true_sci)
+
+let test_run_all_summary () =
+  let invariants = Lazy.force mined_invariants in
+  let bugs =
+    List.filter_map Bugs.Table1.by_id [ "b2"; "b10"; "b12" ]
+  in
+  let summary = Sci.Identify.run_all ~invariants bugs in
+  Alcotest.(check int) "three reports" 3
+    (List.length summary.Sci.Identify.reports);
+  Alcotest.(check bool) "union nonempty" true (summary.unique_sci <> []);
+  (* unique lists carry no duplicates *)
+  let keys = List.map Expr.canonical summary.unique_sci in
+  Alcotest.(check int) "sci dedup" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys));
+  (* an invariant identified as SCI never doubles as an FP *)
+  let sci = List.sort_uniq String.compare keys in
+  let fp = List.sort_uniq String.compare (List.map Expr.canonical summary.unique_fp) in
+  Alcotest.(check bool) "sci/fp disjoint" true
+    (List.for_all (fun k -> not (List.mem k sci)) fp)
+
+let () =
+  Alcotest.run "sci"
+    [ ("checker",
+       [ Alcotest.test_case "violations" `Quick test_checker_violations;
+         Alcotest.test_case "dedup" `Quick test_checker_dedups;
+         Alcotest.test_case "points" `Quick test_checker_respects_points;
+         Alcotest.test_case "first violation" `Quick test_first_violation ]);
+      ("identification",
+       [ Alcotest.test_case "b10" `Slow test_identify_b10;
+         Alcotest.test_case "b2 yields none" `Slow test_identify_b2_empty;
+         Alcotest.test_case "false positives" `Slow test_fp_are_clean_run_violations;
+         Alcotest.test_case "run_all" `Slow test_run_all_summary ]) ]

@@ -1,0 +1,122 @@
+(* Shape normalisation (property classes) and the expert-validation
+   oracle. *)
+
+module Expr = Invariant.Expr
+module Var = Trace.Var
+module Shape = Scifinder_core.Shape
+module Oracle = Scifinder_core.Oracle
+
+let inv ?(point = "l.add") body = { Expr.point; body }
+let eq a b = Expr.Cmp (Expr.Eq, a, b)
+let v_post d = Expr.V (Var.post_id d)
+let v_orig d = Expr.V (Var.orig_id d)
+let v_insn i = Expr.V (Var.insn_id i)
+
+(* ---- shapes ---- *)
+
+let test_gpr_collapse () =
+  let a = inv (eq (v_post (Var.Gpr 5)) (v_orig (Var.Gpr 5))) in
+  let b = inv (eq (v_post (Var.Gpr 17)) (v_orig (Var.Gpr 17))) in
+  Alcotest.(check string) "same frame class" (Shape.key a) (Shape.key b)
+
+let test_gpr0_and_link_kept_special () =
+  let zero = inv (eq (v_post (Var.Gpr 0)) (Expr.Imm 0)) in
+  let any = inv (eq (v_post (Var.Gpr 5)) (Expr.Imm 0)) in
+  Alcotest.(check bool) "GPR0 distinct" true (Shape.key zero <> Shape.key any);
+  let link = inv (eq (v_post (Var.Gpr 9)) (v_orig (Var.Gpr 9))) in
+  let frame = inv (eq (v_post (Var.Gpr 5)) (v_orig (Var.Gpr 5))) in
+  Alcotest.(check bool) "GPR9 distinct" true (Shape.key link <> Shape.key frame)
+
+let test_pc_family_collapse () =
+  let a = inv (eq (Expr.Bin (Expr.Minus, Var.post_id Var.Pc, Var.orig_id Var.Pc))
+                 (Expr.Imm 4)) in
+  let b = inv (eq (Expr.Bin (Expr.Minus, Var.post_id Var.Npc, Var.orig_id Var.Nnpc))
+                 (Expr.Imm (-4))) in
+  (* Both are "(PC* - PC*) = K". *)
+  Alcotest.(check string) "continuity class" (Shape.key a) (Shape.key b)
+
+let test_vector_constants_kept () =
+  let sys = inv ~point:"l.sys" (eq (v_post Var.Pc) (Expr.Imm 0xC00)) in
+  let trap = inv ~point:"l.trap" (eq (v_post Var.Pc) (Expr.Imm 0xE00)) in
+  Alcotest.(check bool) "different vectors differ" true
+    (Shape.key sys <> Shape.key trap)
+
+let test_group_and_representatives () =
+  let invs =
+    [ inv (eq (v_post (Var.Gpr 3)) (v_orig (Var.Gpr 3)));
+      inv (eq (v_post (Var.Gpr 4)) (v_orig (Var.Gpr 4)));
+      inv (eq (v_post (Var.Gpr 0)) (Expr.Imm 0)) ]
+  in
+  Alcotest.(check int) "two classes" 2 (Shape.class_count invs);
+  let reps = Shape.representatives invs in
+  Alcotest.(check int) "one rep per class" 2 (List.length reps)
+
+let test_point_family () =
+  Alcotest.(check string) "loads" "load" (Shape.point_family "l.lbs");
+  Alcotest.(check string) "stores" "store" (Shape.point_family "l.sh");
+  Alcotest.(check string) "setflag" "setflag" (Shape.point_family "l.sfgeu");
+  Alcotest.(check string) "exception" "exception" (Shape.point_family "illegal");
+  Alcotest.(check string) "alu" "compute" (Shape.point_family "l.xor")
+
+(* ---- oracle ---- *)
+
+let accepts i = Oracle.plausible i
+let check_accepts name expected i = Alcotest.(check bool) name expected (accepts i)
+
+let test_oracle_structural_accepted () =
+  check_accepts "vector constant" true
+    (inv ~point:"l.sys" (eq (v_post Var.Pc) (Expr.Imm 0xC00)));
+  check_accepts "ESR save" true
+    (inv ~point:"l.sys" (eq (v_post Var.Esr) (v_orig Var.Sr_full)));
+  check_accepts "GPR0" true
+    (inv (eq (v_post (Var.Gpr 0)) (Expr.Imm 0)));
+  check_accepts "IR = MEM_AT_PC" true
+    (inv (eq (v_insn Var.Ir) (v_insn Var.Mem_at_pc)));
+  check_accepts "opcode constant" true
+    (inv ~point:"l.ori" (eq (v_insn Var.Opcode) (Expr.Imm 0x2A)));
+  check_accepts "diff bound" true
+    (inv ~point:"l.sfltu" (Expr.Cmp (Expr.Ge, v_insn Var.Prod_u, Expr.Imm 0)));
+  check_accepts "self frame of any register" true
+    (inv (eq (v_post (Var.Gpr 23)) (v_orig (Var.Gpr 23))))
+
+let test_oracle_incidental_rejected () =
+  check_accepts "specific register value" false
+    (inv (eq (v_post (Var.Gpr 13)) (Expr.Imm 0x2DE0)));
+  check_accepts "inter-register coincidence" false
+    (inv (eq (v_post (Var.Gpr 5)) (v_post (Var.Gpr 6))));
+  check_accepts "live-value disequality" false
+    (inv (Expr.Cmp (Expr.Ne, v_post (Var.Gpr 4), v_insn Var.Dest)));
+  check_accepts "live-value ordering" false
+    (inv (Expr.Cmp (Expr.Gt, v_insn Var.Ir, v_insn Var.Dest)));
+  check_accepts "data value set" false
+    (inv (Expr.In (v_insn Var.Opa, [ 0; 3; 8 ])));
+  check_accepts "incidental constant" false
+    (inv (eq (v_insn Var.Dest) (Expr.Imm 0xBADF00D)))
+
+let test_oracle_flag_sets_allowed () =
+  check_accepts "flag value set" true
+    (inv (Expr.In (v_post Var.Sf, [ 0; 1 ])));
+  check_accepts "vector set" true
+    (inv (Expr.In (v_insn Var.Vec, [ 0; 0xC00 ])))
+
+let test_validate_partition () =
+  let good = inv (eq (v_post (Var.Gpr 0)) (Expr.Imm 0)) in
+  let bad = inv (eq (v_post (Var.Gpr 7)) (Expr.Imm 0x1234567)) in
+  let ok, fp = Oracle.validate [ good; bad ] in
+  Alcotest.(check int) "one survives" 1 (List.length ok);
+  Alcotest.(check int) "one rejected" 1 (List.length fp)
+
+let () =
+  Alcotest.run "shape-oracle"
+    [ ("shape",
+       [ Alcotest.test_case "gpr collapse" `Quick test_gpr_collapse;
+         Alcotest.test_case "special registers" `Quick test_gpr0_and_link_kept_special;
+         Alcotest.test_case "pc family" `Quick test_pc_family_collapse;
+         Alcotest.test_case "vector constants" `Quick test_vector_constants_kept;
+         Alcotest.test_case "grouping" `Quick test_group_and_representatives;
+         Alcotest.test_case "families" `Quick test_point_family ]);
+      ("oracle",
+       [ Alcotest.test_case "structural accepted" `Quick test_oracle_structural_accepted;
+         Alcotest.test_case "incidental rejected" `Quick test_oracle_incidental_rejected;
+         Alcotest.test_case "flag sets" `Quick test_oracle_flag_sets_allowed;
+         Alcotest.test_case "partition" `Quick test_validate_partition ]) ]

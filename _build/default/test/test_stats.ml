@@ -1,0 +1,45 @@
+(* Statistics helpers. *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Util.Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "empty" 0.0 (Util.Stats.mean [||])
+
+let test_variance () =
+  feq "variance" 2.5 (Util.Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "single" 0.0 (Util.Stats.variance [| 42.0 |]);
+  feq "stddev" (sqrt 2.5) (Util.Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  feq "median" 3.0 (Util.Stats.median xs);
+  feq "p0" 1.0 (Util.Stats.percentile xs 0.0);
+  feq "p100" 5.0 (Util.Stats.percentile xs 100.0);
+  feq "p25 interpolates" 2.0 (Util.Stats.percentile xs 25.0);
+  feq "even median" 2.5 (Util.Stats.median [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Util.Stats.percentile [||] 50.0))
+
+let test_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  feq "self" 1.0 (Util.Stats.correlation xs xs);
+  feq "negated" (-1.0)
+    (Util.Stats.correlation xs (Array.map (fun x -> -.x) xs));
+  feq "constant" 0.0 (Util.Stats.correlation xs [| 1.0; 1.0; 1.0; 1.0 |])
+
+let test_mean_int () =
+  feq "ints" 2.0 (Util.Stats.mean_int [| 1; 2; 3 |])
+
+let () =
+  Alcotest.run "stats"
+    [ ("stats",
+       [ Alcotest.test_case "mean" `Quick test_mean;
+         Alcotest.test_case "variance" `Quick test_variance;
+         Alcotest.test_case "percentile" `Quick test_percentile;
+         Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+         Alcotest.test_case "correlation" `Quick test_correlation;
+         Alcotest.test_case "mean_int" `Quick test_mean_int ]) ]

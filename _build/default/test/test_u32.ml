@@ -1,0 +1,106 @@
+(* 32-bit word arithmetic: unit cases on the corner values plus
+   property-based equivalence against an Int64 reference model. *)
+
+module U = Util.U32
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Int64 reference for any binary 32-bit operation. *)
+let ref64 f a b =
+  Int64.to_int
+    (Int64.logand (f (Int64.of_int a) (Int64.of_int b)) 0xFFFF_FFFFL)
+
+let u32_gen = QCheck.map (fun x -> x land 0xFFFF_FFFF) QCheck.int
+
+let pair_gen = QCheck.pair u32_gen u32_gen
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name gen f)
+
+let unit_tests =
+  [ Alcotest.test_case "add wraps" `Quick (fun () ->
+        check_int "max+1" 0 (U.add U.max_value 1);
+        check_int "simple" 5 (U.add 2 3);
+        check_int "wrap" 0xFFFF_FFFE (U.add 0xFFFF_FFFF 0xFFFF_FFFF));
+    Alcotest.test_case "sub wraps" `Quick (fun () ->
+        check_int "0-1" 0xFFFF_FFFF (U.sub 0 1);
+        check_int "5-3" 2 (U.sub 5 3));
+    Alcotest.test_case "mul truncates" `Quick (fun () ->
+        check_int "big" 1 (U.mul 0xFFFF_FFFF 0xFFFF_FFFF);
+        check_int "shift" 0x8000_0000 (U.mul 0x4000_0000 2));
+    Alcotest.test_case "signed interpretation" `Quick (fun () ->
+        check_int "minus one" (-1) (U.signed 0xFFFF_FFFF);
+        check_int "int_min" (-0x8000_0000) (U.signed 0x8000_0000);
+        check_int "positive" 7 (U.signed 7));
+    Alcotest.test_case "division semantics" `Quick (fun () ->
+        Alcotest.(check (option int)) "7/2" (Some 3) (U.div_signed 7 2);
+        Alcotest.(check (option int)) "-7/2"
+          (Some (U.of_int (-3))) (U.div_signed (U.of_int (-7)) 2);
+        Alcotest.(check (option int)) "by zero" None (U.div_signed 5 0);
+        Alcotest.(check (option int)) "unsigned big"
+          (Some 0x7FFF_FFFF) (U.div_unsigned 0xFFFF_FFFE 2));
+    Alcotest.test_case "shifts" `Quick (fun () ->
+        check_int "sll" 0xFFFF_FFFE (U.shift_left 0xFFFF_FFFF 1);
+        check_int "srl" 0x7FFF_FFFF (U.shift_right_logical 0xFFFF_FFFF 1);
+        check_int "sra keeps sign" 0xFFFF_FFFF (U.shift_right_arith 0xFFFF_FFFF 1);
+        check_int "sra positive" 0x3FFF_FFFF (U.shift_right_arith 0x7FFF_FFFF 1);
+        check_int "sll 32+" 0 (U.shift_left 1 32));
+    Alcotest.test_case "rotate" `Quick (fun () ->
+        check_int "by 0" 0x1234_5678 (U.rotate_right 0x1234_5678 0);
+        check_int "by 4" 0x8123_4567 (U.rotate_right 0x1234_5678 4);
+        check_int "by 32 = id" 0x1234_5678 (U.rotate_right 0x1234_5678 32));
+    Alcotest.test_case "extensions" `Quick (fun () ->
+        check_int "sext8 neg" 0xFFFF_FF80 (U.sext8 0x80);
+        check_int "sext8 pos" 0x7F (U.sext8 0x7F);
+        check_int "zext8" 0x80 (U.zext8 0xFF80);
+        check_int "sext16 neg" 0xFFFF_8000 (U.sext16 0x8000);
+        check_int "zext16" 0x8000 (U.zext16 0xFFFF_8000);
+        check_int "sext26" 0xFE00_0000 (U.sext ~bits:26 0x200_0000));
+    Alcotest.test_case "carry and overflow" `Quick (fun () ->
+        check_bool "carry out" true (U.carry_add 0xFFFF_FFFF 1 0);
+        check_bool "no carry" false (U.carry_add 1 2 0);
+        check_bool "carry via cin" true (U.carry_add 0xFFFF_FFFF 0 1);
+        check_bool "pos overflow" true (U.overflow_add 0x7FFF_FFFF 1 0);
+        check_bool "neg overflow" true (U.overflow_add 0x8000_0000 0xFFFF_FFFF 0);
+        check_bool "no overflow" false (U.overflow_add 5 7 0);
+        check_bool "sub overflow" true (U.overflow_sub 0x8000_0000 1);
+        check_bool "sub ok" false (U.overflow_sub 10 3));
+    Alcotest.test_case "comparisons" `Quick (fun () ->
+        check_bool "ult" true (U.ult 1 0x8000_0000);
+        check_bool "slt flips" true (U.slt 0x8000_0000 1);
+        check_bool "uge" true (U.uge 0xFFFF_FFFF 0);
+        check_bool "sge" false (U.sge 0xFFFF_FFFF 0));
+  ]
+
+let property_tests =
+  [ prop "add matches Int64" pair_gen
+      (fun (a, b) -> U.add a b = ref64 Int64.add a b);
+    prop "sub matches Int64" pair_gen
+      (fun (a, b) -> U.sub a b = ref64 Int64.sub a b);
+    prop "mul matches Int64" pair_gen
+      (fun (a, b) -> U.mul a b = ref64 Int64.mul a b);
+    prop "signed roundtrip" u32_gen
+      (fun a -> U.signed a land 0xFFFF_FFFF = a);
+    prop "lognot involution" u32_gen
+      (fun a -> U.lognot (U.lognot a) = a);
+    prop "rotate composition" (QCheck.pair u32_gen (QCheck.int_bound 31))
+      (fun (a, n) ->
+         U.rotate_right (U.rotate_right a n) ((32 - n) land 31) = a);
+    prop "sra = signed div by 2^n (towards -inf bound)" u32_gen
+      (fun a -> U.shift_right_arith a 31 = (if U.is_negative a then 0xFFFF_FFFF else 0));
+    prop "unsigned order total" pair_gen
+      (fun (a, b) ->
+         let lt = U.ult a b and gt = U.ugt a b and eq = a = b in
+         (lt || gt || eq)
+         && not (lt && gt) && not (lt && eq) && not (gt && eq));
+    prop "carry iff sum exceeds mask" pair_gen
+      (fun (a, b) -> U.carry_add a b 0 = (a + b > 0xFFFF_FFFF));
+    prop "overflow consistent with signed sum" pair_gen
+      (fun (a, b) ->
+         let exact = U.signed a + U.signed b in
+         U.overflow_add a b 0 = (exact < -0x8000_0000 || exact > 0x7FFF_FFFF));
+  ]
+
+let () =
+  Alcotest.run "u32"
+    [ ("unit", unit_tests); ("properties", property_tests) ]

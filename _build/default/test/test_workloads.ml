@@ -1,0 +1,111 @@
+(* The trace corpus: every workload terminates cleanly, the suite covers
+   the full instruction set (§3.1.1's coverage requirement), and traces
+   are deterministic. *)
+
+let run_workload (w : Workloads.Rt.t) =
+  let records = ref 0 in
+  let points = Hashtbl.create 97 in
+  let outcome =
+    Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+      ~observer:(fun r ->
+          incr records;
+          Hashtbl.replace points r.Trace.Record.point ())
+      w.image
+  in
+  (outcome, !records, points)
+
+let termination_tests =
+  List.map
+    (fun (w : Workloads.Rt.t) ->
+       Alcotest.test_case w.name `Quick (fun () ->
+           let outcome, records, _ = run_workload w in
+           Alcotest.(check bool) "halts with exit" true
+             (outcome = `Halted Cpu.Machine.Exit);
+           Alcotest.(check bool) "produces records" true (records > 50)))
+    Workloads.Suite.all
+
+let test_suite_covers_isa () =
+  let seen = Hashtbl.create 97 in
+  List.iter
+    (fun (w : Workloads.Rt.t) ->
+       let _, _, points = run_workload w in
+       Hashtbl.iter (fun p () -> Hashtbl.replace seen p ()) points)
+    Workloads.Suite.all;
+  let missing =
+    List.filter (fun m -> not (Hashtbl.mem seen m)) Isa.Insn.all_mnemonics
+  in
+  Alcotest.(check (list string)) "all mnemonics exercised" [] missing
+
+let test_exceptions_exercised () =
+  (* The vmlinux workload must hit syscalls, traps, illegal instructions,
+     alignment, range and tick exceptions. *)
+  let w = Option.get (Workloads.Suite.by_name "vmlinux") in
+  let vec_seen = Hashtbl.create 16 in
+  ignore
+    (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+       ~observer:(fun r ->
+           let v = Trace.Record.get r (Trace.Var.insn_id Trace.Var.Vec) in
+           if v <> 0 then Hashtbl.replace vec_seen v ())
+       w.image);
+  List.iter
+    (fun (name, vector) ->
+       Alcotest.(check bool) (name ^ " exercised") true
+         (Hashtbl.mem vec_seen vector))
+    [ ("syscall", 0xC00); ("trap", 0xE00); ("illegal", 0x700);
+      ("alignment", 0x600); ("range", 0xB00); ("tick", 0x500) ]
+
+let test_user_mode_exercised () =
+  let w = Option.get (Workloads.Suite.by_name "vmlinux") in
+  let user_seen = ref false in
+  ignore
+    (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+       ~observer:(fun r ->
+           if Trace.Record.get r (Trace.Var.orig_id Trace.Var.Sm) = 0 then
+             user_seen := true)
+       w.image);
+  Alcotest.(check bool) "ran in user mode" true !user_seen
+
+let test_names_unique () =
+  let names = Workloads.Suite.names in
+  Alcotest.(check int) "17 programs, as in §5.1" 17 (List.length names);
+  Alcotest.(check int) "unique names"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_figure3_groups_cover_suite () =
+  let grouped = List.concat Workloads.Suite.figure3_groups in
+  Alcotest.(check (list string)) "group contents = suite"
+    (List.sort String.compare Workloads.Suite.names)
+    (List.sort String.compare grouped);
+  Alcotest.(check int) "one label per group"
+    (List.length Workloads.Suite.figure3_groups)
+    (List.length Workloads.Suite.figure3_labels)
+
+let test_by_name () =
+  Alcotest.(check bool) "present" true (Workloads.Suite.by_name "gzip" <> None);
+  Alcotest.(check bool) "absent" true (Workloads.Suite.by_name "doom" = None)
+
+let test_trace_determinism () =
+  let w = Option.get (Workloads.Suite.by_name "basicmath") in
+  let digest () =
+    let acc = ref 0 in
+    ignore
+      (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+         ~observer:(fun r ->
+             Array.iter (fun x -> acc := (!acc * 31) + x) r.Trace.Record.values)
+         w.image);
+    !acc
+  in
+  Alcotest.(check int) "bit-identical traces" (digest ()) (digest ())
+
+let () =
+  Alcotest.run "workloads"
+    [ ("termination", termination_tests);
+      ("coverage",
+       [ Alcotest.test_case "ISA coverage" `Slow test_suite_covers_isa;
+         Alcotest.test_case "exceptions" `Quick test_exceptions_exercised;
+         Alcotest.test_case "user mode" `Quick test_user_mode_exercised;
+         Alcotest.test_case "names" `Quick test_names_unique;
+         Alcotest.test_case "figure3 groups" `Quick test_figure3_groups_cover_suite;
+         Alcotest.test_case "by_name" `Quick test_by_name;
+         Alcotest.test_case "determinism" `Quick test_trace_determinism ]) ]
