@@ -4,8 +4,10 @@
 
      main.exe            run every experiment, print paper-layout tables
      main.exe <id>       one experiment: fig3 tab2 tab3 tab4 fig4 tab5
-                         tab6 tab7 tab8 tab9 sec56 ablation
+                         tab6 tab7 tab8 tab9 sec56 ablation parbench
      main.exe bechamel   the Bechamel micro-benchmarks
+     main.exe -j N ...   mine the trace corpus on a pool of N domains
+                         (default: the recommended domain count)
 
    Absolute numbers differ from the paper (the substrate is an ISA-level
    simulator and a synthetic trace corpus, see DESIGN.md); the shapes are
@@ -23,7 +25,9 @@ let header title =
 
 (* ---- the shared pipeline run (computed lazily, used by many tables) ---- *)
 
-let mining = lazy (Pipeline.mine ())
+let jobs = ref (Util.Parallel.default_jobs ())
+
+let mining = lazy (Pipeline.mine ~jobs:!jobs ())
 
 let optimization =
   lazy (Pipeline.optimize (Lazy.force mining).Pipeline.invariants)
@@ -460,6 +464,32 @@ let export dir =
         (fun (n, b) -> Printf.fprintf oc "%s,%.6f\n" n b)
         inf.Pipeline.selected_features)
 
+(* ---- sequential vs. sharded mining (the tentpole's speedup check) ---- *)
+
+let parbench () =
+  header "Parallel sharded trace mining: sequential vs. domain pool";
+  pf "recommended domain count on this machine: %d\n"
+    (Util.Parallel.default_jobs ());
+  let seq = Pipeline.mine ~jobs:1 () in
+  let key m =
+    List.map Expr.to_string m.Pipeline.invariants
+  in
+  let baseline = key seq in
+  pf "%-8s %12s %12s %10s %8s\n" "jobs" "invariants" "records" "seconds" "equal";
+  pf "%-8d %12d %12d %10.2f %8s\n" 1
+    (List.length seq.Pipeline.invariants) seq.Pipeline.record_count
+    seq.Pipeline.seconds "-";
+  List.iter
+    (fun n ->
+       let m = Pipeline.mine ~jobs:n () in
+       pf "%-8d %12d %12d %10.2f %8b\n" n
+         (List.length m.Pipeline.invariants) m.Pipeline.record_count
+         m.Pipeline.seconds
+         (key m = baseline && m.Pipeline.figure3 = seq.Pipeline.figure3))
+    [ 2; 4; max 1 (Util.Parallel.default_jobs ()) ];
+  pf "(equal compares the full invariant set and every Figure 3 row;\n";
+  pf " wall-clock gains require as many hardware cores as jobs)\n"
+
 (* ---- Bechamel micro-benchmarks: one kernel per table/figure ---- *)
 
 let bechamel () =
@@ -547,8 +577,30 @@ let all_experiments () =
   sec56 (); tab8 (); tab9 (); ablation (); ablation_coverage ();
   ablation_instruction_integrity ()
 
+(* Minimal CLI: an optional "-j N" (anywhere) plus the positional
+   experiment id and its optional argument (export's directory). *)
+let parse_argv () =
+  let positional = ref [] in
+  let rec go i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "-j" | "--jobs" ->
+        if i + 1 >= Array.length Sys.argv then begin
+          prerr_endline "-j needs a count"; exit 1
+        end;
+        (match int_of_string_opt Sys.argv.(i + 1) with
+         | Some n when n >= 1 -> jobs := n; go (i + 2)
+         | Some _ | None ->
+           prerr_endline ("bad job count: " ^ Sys.argv.(i + 1)); exit 1)
+      | arg -> positional := arg :: !positional; go (i + 1)
+  in
+  go 1;
+  List.rev !positional
+
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  let positional = parse_argv () in
+  let second default = match positional with _ :: d :: _ -> d | _ -> default in
+  match (match positional with e :: _ -> e | [] -> "all") with
   | "all" -> all_experiments ()
   | "fig3" -> fig3 ()
   | "tab2" -> tab2 ()
@@ -564,8 +616,8 @@ let () =
   | "ablation" -> ablation ()
   | "ablation-coverage" -> ablation_coverage ()
   | "ablation-integrity" -> ablation_instruction_integrity ()
-  | "export" ->
-    export (if Array.length Sys.argv > 2 then Sys.argv.(2) else "bench_data")
+  | "parbench" -> parbench ()
+  | "export" -> export (second "bench_data")
   | "bechamel" -> bechamel ()
   | other ->
     prerr_endline ("unknown experiment: " ^ other);

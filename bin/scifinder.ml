@@ -17,24 +17,23 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
+let jobs_arg =
+  Arg.(value & opt int (Util.Parallel.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Trace-mining shards run on a pool of $(docv) domains \
+               (default: the recommended domain count). The mined set is \
+               identical for any N.")
+
 (* Shared pipeline pieces. *)
 
-let mine_invariants ?(names = None) () =
-  let suite =
-    match names with
-    | None -> Workloads.Suite.all
-    | Some names ->
-      List.map (fun n -> Option.get (Workloads.Suite.by_name n)) names
-  in
-  let engine = Daikon.Engine.create () in
-  List.iter
-    (fun (w : Workloads.Rt.t) ->
-       Logs.info (fun m -> m "tracing %s" w.name);
-       ignore
-         (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
-            ~observer:(Daikon.Engine.observe engine) w.image))
-    suite;
-  Daikon.Engine.invariants engine
+let mine_invariants ?(names = None) ~jobs () =
+  Logs.info (fun m ->
+      m "mining %s on %d domain%s"
+        (match names with
+         | None -> "the 17-workload corpus"
+         | Some l -> String.concat " " l)
+        jobs (if jobs = 1 then "" else "s"));
+  Scifinder_core.Pipeline.mine_invariants ~jobs ?names ()
 
 let find_bug id =
   match Bugs.Table1.by_id id with
@@ -47,10 +46,10 @@ let find_bug id =
 (* ---- mine ---- *)
 
 let mine_cmd =
-  let run verbose limit point workload_names output =
+  let run verbose jobs limit point workload_names output =
     setup_logs verbose;
     let names = match workload_names with [] -> None | l -> Some l in
-    let invariants = mine_invariants ~names () in
+    let invariants = mine_invariants ~names ~jobs () in
     (match output with
      | Some path ->
        Invariant.Io.save path invariants;
@@ -91,16 +90,16 @@ let mine_cmd =
            ~doc:"Save the mined set for later identify/verify runs.")
   in
   Cmd.v (Cmd.info "mine" ~doc:"Mine likely processor invariants from the trace corpus.")
-    Term.(const run $ verbose_arg $ limit $ point $ workloads $ output)
+    Term.(const run $ verbose_arg $ jobs_arg $ limit $ point $ workloads $ output)
 
 (* ---- identify ---- *)
 
-let load_or_mine = function
+let load_or_mine ~jobs = function
   | Some path ->
     let invs = Invariant.Io.load path in
     Logs.info (fun m -> m "loaded %d invariants from %s" (List.length invs) path);
     invs
-  | None -> mine_invariants ()
+  | None -> mine_invariants ~jobs ()
 
 let input_arg =
   Arg.(value & opt (some string) None
@@ -108,9 +107,9 @@ let input_arg =
          ~doc:"Load a saved invariant set instead of re-mining the corpus.")
 
 let identify_cmd =
-  let run verbose bug_id input =
+  let run verbose jobs bug_id input =
     setup_logs verbose;
-    let invariants = load_or_mine input in
+    let invariants = load_or_mine ~jobs input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
     let bugs =
       match bug_id with
@@ -140,14 +139,14 @@ let identify_cmd =
          & info [ "b"; "bug" ] ~docv:"ID" ~doc:"A single bug id (default: all of Table 1).")
   in
   Cmd.v (Cmd.info "identify" ~doc:"Identify security-critical invariants from known errata.")
-    Term.(const run $ verbose_arg $ bug $ input_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ bug $ input_arg)
 
 (* ---- infer ---- *)
 
 let infer_cmd =
-  let run verbose limit =
+  let run verbose jobs limit =
     setup_logs verbose;
-    let mining = Scifinder_core.Pipeline.mine () in
+    let mining = Scifinder_core.Pipeline.mine ~jobs () in
     let optimized =
       (Scifinder_core.Pipeline.optimize mining.invariants).result.optimized
     in
@@ -171,17 +170,17 @@ let infer_cmd =
     Arg.(value & opt int 40 & info [ "limit" ] ~doc:"Property classes to print.")
   in
   Cmd.v (Cmd.info "infer" ~doc:"Run the full pipeline and print inferred security properties.")
-    Term.(const run $ verbose_arg $ limit)
+    Term.(const run $ verbose_arg $ jobs_arg $ limit)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run verbose bug_id input =
+  let run verbose jobs bug_id input =
     setup_logs verbose;
     match find_bug bug_id with
     | Error (`Msg e) -> prerr_endline e; exit 1
     | Ok bug ->
-      let invariants = load_or_mine input in
+      let invariants = load_or_mine ~jobs input in
       let optimized = (Invopt.Pipeline.optimize invariants).optimized in
       let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
       let battery = Assertions.Ovl.of_invariants summary.unique_sci in
@@ -211,14 +210,14 @@ let verify_cmd =
          & info [ "b"; "bug" ] ~docv:"ID" ~doc:"Bug to attack (required).")
   in
   Cmd.v (Cmd.info "verify" ~doc:"Dynamic verification: enforce the SCI as assertions against an exploit.")
-    Term.(const run $ verbose_arg $ bug $ input_arg)
+    Term.(const run $ verbose_arg $ jobs_arg $ bug $ input_arg)
 
 (* ---- verilog ---- *)
 
 let verilog_cmd =
-  let run verbose input output =
+  let run verbose jobs input output =
     setup_logs verbose;
-    let invariants = load_or_mine input in
+    let invariants = load_or_mine ~jobs input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
     let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
     let reps = Scifinder_core.Shape.representatives summary.unique_sci in
@@ -240,7 +239,7 @@ let verilog_cmd =
   in
   Cmd.v (Cmd.info "verilog"
            ~doc:"Emit a synthesizable monitor module for the identified SCI.")
-    Term.(const run $ verbose_arg $ input_arg $ output)
+    Term.(const run $ verbose_arg $ jobs_arg $ input_arg $ output)
 
 (* ---- bugs / workloads listings ---- *)
 

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Tier-1 gate: build, test, and smoke-run the sharded miner.
+set -eu
+dune build
+dune runtest
+dune exec bench/main.exe -- fig3 -j 2

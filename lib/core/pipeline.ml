@@ -38,32 +38,61 @@ let canon_set invs =
   List.iter (fun i -> Hashtbl.replace s (Expr.canonical i) ()) invs;
   s
 
+let trace_workload_into engine name =
+  match Workloads.Suite.by_name name with
+  | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
+  | Some w ->
+    ignore
+      (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
+         ~entry:w.Workloads.Rt.entry
+         ~observer:(Daikon.Engine.observe engine)
+         w.Workloads.Rt.image)
+
+(* Trace every named workload into a private shard engine on a bounded
+   pool of domains. Shards come back in corpus order, so the caller's
+   merge order — and therefore every extracted invariant set — is
+   deterministic regardless of how the domains interleaved. *)
+let mine_shards ~config ~jobs names =
+  Util.Parallel.map ~jobs
+    (fun name ->
+       let shard = Daikon.Engine.create ~config () in
+       trace_workload_into shard name;
+       shard)
+    names
+
+let missing_mnemonics engine =
+  let seen = Hashtbl.create 97 in
+  List.iter (fun p -> Hashtbl.replace seen p ()) (Daikon.Engine.points engine);
+  List.filter (fun m -> not (Hashtbl.mem seen m)) Isa.Insn.all_mnemonics
+
 let mine ?(config = Daikon.Config.default)
     ?(workloads = Workloads.Suite.all)
     ?(groups = Workloads.Suite.figure3_groups)
     ?(labels = Workloads.Suite.figure3_labels)
+    ?(jobs = Util.Parallel.default_jobs ())
     () =
   ignore workloads;
   let t0 = Unix.gettimeofday () in
   let engine = Daikon.Engine.create ~config () in
-  let seen_points = Hashtbl.create 97 in
+  (* jobs = 1 streams everything through the one engine, exactly the
+     paper's sequential setup; jobs > 1 mines per-workload shards in
+     parallel and folds them into [engine] in the same corpus order. *)
+  let shards =
+    if jobs <= 1 then None
+    else Some (mine_shards ~config ~jobs (Array.of_list (List.concat groups)))
+  in
+  let idx = ref 0 in
+  let absorb name =
+    (match shards with
+     | Some shards -> Daikon.Engine.merge_into engine shards.(!idx)
+     | None -> trace_workload_into engine name);
+    incr idx
+  in
   let previous = ref (Hashtbl.create 1) in
   let rows = ref [] in
   List.iter2
     (fun group label ->
-       List.iter
-         (fun name ->
-            match Workloads.Suite.by_name name with
-            | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
-            | Some w ->
-              ignore
-                (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
-                   ~entry:w.Workloads.Rt.entry
-                   ~observer:(fun r ->
-                       Hashtbl.replace seen_points r.Trace.Record.point ();
-                       Daikon.Engine.observe engine r)
-                   w.Workloads.Rt.image))
-         group;
+       List.iter absorb group;
        let snapshot = Daikon.Engine.invariants engine in
        let current = canon_set snapshot in
        let fresh = ref 0 and unmodified = ref 0 in
@@ -86,17 +115,22 @@ let mine ?(config = Daikon.Config.default)
     groups labels;
   let invariants = Daikon.Engine.invariants engine in
   let record_count = Daikon.Engine.record_count engine in
-  let missing =
-    List.filter
-      (fun m -> not (Hashtbl.mem seen_points m))
-      Isa.Insn.all_mnemonics
-  in
   { invariants;
     figure3 = List.rev !rows;
     record_count;
     trace_bytes = record_count * Trace.Var.total * 8;
-    mnemonic_coverage = missing;
+    mnemonic_coverage = missing_mnemonics engine;
     seconds = Unix.gettimeofday () -. t0 }
+
+let mine_invariants ?(config = Daikon.Config.default)
+    ?(jobs = Util.Parallel.default_jobs ()) ?names () =
+  let names = match names with None -> Workloads.Suite.names | Some l -> l in
+  let engine = Daikon.Engine.create ~config () in
+  if jobs <= 1 then List.iter (trace_workload_into engine) names
+  else
+    Array.iter (Daikon.Engine.merge_into engine)
+      (mine_shards ~config ~jobs (Array.of_list names));
+  Daikon.Engine.invariants engine
 
 (* ---- §3.2: optimisation (Table 2) ---- *)
 

@@ -29,9 +29,25 @@ val mine :
   ?workloads:Workloads.Rt.t list ->
   ?groups:string list list ->
   ?labels:string list ->
+  ?jobs:int ->
   unit -> mining
 (** Trace the corpus cumulatively (default: the 17 programs in Figure 3
-    order), snapshotting the invariant set after each group. *)
+    order), snapshotting the invariant set after each group.
+
+    [jobs] (default {!Util.Parallel.default_jobs}) bounds the pool of
+    domains tracing workload shards in parallel; each shard feeds a
+    private {!Daikon.Engine.t} and the shards are merged in fixed corpus
+    order, so the invariant set and every Figure 3 snapshot are identical
+    for any [jobs >= 1]. *)
+
+val mine_invariants :
+  ?config:Daikon.Config.t ->
+  ?jobs:int ->
+  ?names:string list ->
+  unit -> Invariant.Expr.t list
+(** Just the mined invariant set of the named workloads (default: the
+    whole corpus), sharded over [jobs] domains like {!mine} but without
+    the Figure 3 bookkeeping. *)
 
 (** {1 §3.2 optimisation (Table 2)} *)
 

@@ -33,9 +33,10 @@ let pair_policy ki kj =
 type vstat = {
   mutable vmin : int;
   mutable vmax : int;
-  (* Distinct values in observation order; length capped. *)
-  mutable values : int list;
-  mutable ndistinct : int; (* -1 once more than max_oneof+1 seen *)
+  (* Distinct values, sorted ascending in values.(0 .. ndistinct-1); the
+     array's capacity is the configured max_oneof. *)
+  mutable values : int array;
+  mutable ndistinct : int; (* -1 once more than max_oneof distinct seen *)
   mutable mod4 : int;      (* residue, or -1 once falsified *)
   mutable mod2 : int;
 }
@@ -85,7 +86,7 @@ let scale_candidates = [| 2; 4; 8; 0x10000; 0xFFFF; 0xFF_FFFF |]
 let full_scale_mask = 0x3F
 
 let new_point config name (mask : bool array) values =
-  ignore config;
+  let cap = max 1 config.Config.max_oneof in
   let vars =
     Var.all_ids
     |> List.filter (fun id -> mask.(id))
@@ -95,9 +96,11 @@ let new_point config name (mask : bool array) values =
   Array.iter
     (fun id ->
        let v = values.(id) in
+       let dv = Array.make cap 0 in
+       dv.(0) <- v;
        stats.(id) <- Some {
          vmin = v; vmax = v;
-         values = [ v ]; ndistinct = 1;
+         values = dv; ndistinct = 1;
          mod4 = (if Var.id_kind id = Var.Addr then v land 3 else -1);
          mod2 = (if Var.id_kind id = Var.Addr then v land 1 else -1);
        })
@@ -118,16 +121,24 @@ let new_point config name (mask : bool array) values =
   done;
   { pname = name; vars; stats; pairs = Array.of_list !pairs; n = 0 }
 
-let update_vstat max_oneof st v =
+let update_vstat st v =
   if v < st.vmin then st.vmin <- v;
   if v > st.vmax then st.vmax <- v;
-  if st.ndistinct >= 0 && not (List.mem v st.values) then begin
-    if st.ndistinct >= max_oneof then begin
-      st.values <- [];
-      st.ndistinct <- -1
-    end else begin
-      st.values <- v :: st.values;
-      st.ndistinct <- st.ndistinct + 1
+  if st.ndistinct >= 0 then begin
+    (* Sorted insert into the distinct-value prefix; the set holds at most
+       max_oneof elements, so a linear scan is the fast path. *)
+    let n = st.ndistinct in
+    let pos = ref 0 in
+    while !pos < n && st.values.(!pos) < v do incr pos done;
+    if !pos >= n || st.values.(!pos) <> v then begin
+      if n >= Array.length st.values then begin
+        st.values <- [||];
+        st.ndistinct <- -1
+      end else begin
+        for k = n downto !pos + 1 do st.values.(k) <- st.values.(k - 1) done;
+        st.values.(!pos) <- v;
+        st.ndistinct <- n + 1
+      end
     end
   end;
   if st.mod4 >= 0 && v land 3 <> st.mod4 then st.mod4 <- -1;
@@ -188,7 +199,7 @@ let observe t (record : Trace.Record.t) =
     Array.iter
       (fun id ->
          match st.stats.(id) with
-         | Some vs -> update_vstat t.config.Config.max_oneof vs values.(id)
+         | Some vs -> update_vstat vs values.(id)
          | None -> ())
       st.vars;
   let pairs = st.pairs in
@@ -197,12 +208,111 @@ let observe t (record : Trace.Record.t) =
     update_pair first p values.(p.pi) values.(p.pj)
   done
 
+(* ---- Merging ----
+
+   [merge_into dst src] joins two engine states point-by-point so that
+   merging the engines of two trace shards is observationally equivalent
+   to streaming both shards through one engine sequentially (the property
+   the sharded miner in [Pipeline.mine ~jobs] relies on). Both engines
+   must share a configuration; [src]'s state is consumed (point states of
+   [src] not present in [dst] are adopted by reference). *)
+
+let merge_vstat dst src =
+  if src.vmin < dst.vmin then dst.vmin <- src.vmin;
+  if src.vmax > dst.vmax then dst.vmax <- src.vmax;
+  if dst.ndistinct < 0 || src.ndistinct < 0 then begin
+    dst.values <- [||];
+    dst.ndistinct <- -1
+  end else begin
+    (* Union of two sorted distinct sets, dying past the shared cap —
+       exactly where a sequential run over the concatenated streams would
+       have given up. *)
+    let cap = Array.length dst.values in
+    let out = Array.make cap 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 and dead = ref false in
+    let push v =
+      if !k >= cap then dead := true
+      else begin out.(!k) <- v; incr k end
+    in
+    while not !dead && (!i < dst.ndistinct || !j < src.ndistinct) do
+      if !j >= src.ndistinct then begin
+        push dst.values.(!i); incr i
+      end else if !i >= dst.ndistinct then begin
+        push src.values.(!j); incr j
+      end else begin
+        let a = dst.values.(!i) and b = src.values.(!j) in
+        push (if a <= b then a else b);
+        if a <= b then incr i;
+        if b <= a then incr j
+      end
+    done;
+    if !dead then begin
+      dst.values <- [||];
+      dst.ndistinct <- -1
+    end else begin
+      dst.values <- out;
+      dst.ndistinct <- !k
+    end
+  end;
+  if dst.mod4 < 0 || src.mod4 < 0 || dst.mod4 <> src.mod4 then dst.mod4 <- -1;
+  if dst.mod2 < 0 || src.mod2 < 0 || dst.mod2 <> src.mod2 then dst.mod2 <- -1
+
+let merge_pair dst src =
+  dst.rel <- dst.rel lor src.rel;
+  (* A live diff means every observation of that shard agreed on it; the
+     join survives only when both shards agree on the same constant. *)
+  if not (dst.diff_live && src.diff_live && dst.diff = src.diff) then
+    dst.diff_live <- false;
+  dst.scale_ij <- dst.scale_ij land src.scale_ij;
+  dst.scale_ji <- dst.scale_ji land src.scale_ji;
+  (* The non-zero support counts can only diverge from a sequential run
+     once every scale mask is dead, at which point no scaling invariant
+     is extractable anyway. *)
+  dst.scale_nonzero <- dst.scale_nonzero + src.scale_nonzero
+
+let merge_point dst src =
+  if not (Array.length dst.vars = Array.length src.vars
+          && Array.for_all2 ( = ) dst.vars src.vars
+          && Array.length dst.pairs = Array.length src.pairs) then
+    invalid_arg
+      (Printf.sprintf "Daikon.Engine.merge: point %s has incompatible shapes"
+         dst.pname);
+  dst.n <- dst.n + src.n;
+  Array.iter
+    (fun id ->
+       match dst.stats.(id), src.stats.(id) with
+       | Some d, Some s -> merge_vstat d s
+       | _ -> invalid_arg "Daikon.Engine.merge: mismatched variable stats")
+    dst.vars;
+  Array.iteri
+    (fun k p ->
+       let q = src.pairs.(k) in
+       if p.pi <> q.pi || p.pj <> q.pj then
+         invalid_arg "Daikon.Engine.merge: mismatched pair trackers";
+       merge_pair p q)
+    dst.pairs
+
+let merge_into dst src =
+  if dst == src then invalid_arg "Daikon.Engine.merge_into: same engine";
+  if dst.config <> src.config then
+    invalid_arg "Daikon.Engine.merge_into: configurations differ";
+  dst.nrecords <- dst.nrecords + src.nrecords;
+  Hashtbl.iter
+    (fun name sp ->
+       match Hashtbl.find_opt dst.points name with
+       | Some dp -> merge_point dp sp
+       | None -> Hashtbl.add dst.points name sp)
+    src.points
+
+let merge a b = merge_into a b; a
+
 (* ---- Extraction ---- *)
 
 let is_constant st = st.ndistinct = 1
 
 let constant_value st =
-  match st.values with [ v ] -> v | _ -> invalid_arg "constant_value"
+  if st.ndistinct <> 1 then invalid_arg "constant_value";
+  st.values.(0)
 
 let extract_point config st acc =
   let cfg = config in
@@ -245,7 +355,9 @@ let extract_point config st acc =
            else begin
              if vs.ndistinct > 1 && st.n >= cfg.oneof_min then
                acc := add { Expr.point;
-                            body = Expr.In (Expr.V id, List.sort compare vs.values) } !acc;
+                            body = Expr.In (Expr.V id,
+                                            Array.to_list
+                                              (Array.sub vs.values 0 vs.ndistinct)) } !acc;
              if st.n >= cfg.mod_min then begin
                if vs.mod4 >= 0 then
                  acc := add { Expr.point;

@@ -22,6 +22,21 @@ val observe : t -> Trace.Record.t -> unit
 val invariants : t -> Invariant.Expr.t list
 (** The currently justified set, deduplicated and in canonical order. *)
 
+val merge_into : t -> t -> unit
+(** [merge_into dst src] joins [src]'s state into [dst], point by point:
+    min/max intervals join, distinct-value sets union (dying past the
+    configured cap), relation bits or together, constant differences
+    survive only when both sides agree, and scale masks intersect — so
+    that merging the engines of two trace shards yields the same
+    {!invariants} as streaming both shards through one engine
+    sequentially. [src] is consumed: its point states may be adopted by
+    reference and must not be observed into afterwards.
+    @raise Invalid_argument if the configurations differ or a shared
+    program point has incompatible variable sets. *)
+
+val merge : t -> t -> t
+(** [merge a b] is [merge_into a b; a]. Consumes both arguments. *)
+
 val record_count : t -> int
 
 val point_count : t -> int

@@ -1,0 +1,40 @@
+(* Bounded fork-join parallelism on OCaml 5 domains.
+
+   [map] fans an array of independent tasks over a fixed pool of domains:
+   each worker repeatedly claims the next unclaimed index with an atomic
+   counter, so tasks are balanced without any per-task spawn cost, and
+   each result lands in the slot of its task — callers see a plain
+   [Array.map], whatever the interleaving was. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f tasks =
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f tasks.(i) with
+           | r -> results.(i) <- Some (Ok r)
+           | exception e -> results.(i) <- Some (Error e));
+          go ()
+        end
+      in
+      go ()
+    in
+    (* The calling domain is one of the workers. *)
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok r) -> r
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

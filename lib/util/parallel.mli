@@ -1,0 +1,11 @@
+(** Bounded fork-join parallelism on OCaml 5 domains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] applies [f] to every task on a pool of at most
+    [jobs] domains (clamped to [\[1, Array.length tasks\]]) and returns
+    the results in task order. [f] must not share mutable state across
+    tasks. With [jobs <= 1] this is [Array.map]. If any task raises, one
+    of the raised exceptions is re-raised after all workers finish. *)

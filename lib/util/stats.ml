@@ -18,8 +18,11 @@ let stddev xs = sqrt (variance xs)
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty";
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN input")
+    xs;
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
   if lo = hi then sorted.(lo)

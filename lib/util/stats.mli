@@ -10,9 +10,10 @@ val stddev : float array -> float
 
 val percentile : float array -> float -> float
 (** Linear-interpolation percentile, [p] in [\[0, 100\]].
-    @raise Invalid_argument on the empty array. *)
+    @raise Invalid_argument on the empty array or any NaN element. *)
 
 val median : float array -> float
+(** [percentile xs 50.0], with the same exceptions. *)
 
 val mean_int : int array -> float
 

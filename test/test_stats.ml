@@ -24,6 +24,28 @@ let test_percentile_empty () =
     (Invalid_argument "Stats.percentile: empty")
     (fun () -> ignore (Util.Stats.percentile [||] 50.0))
 
+let test_percentile_single () =
+  feq "p50 of singleton" 7.5 (Util.Stats.percentile [| 7.5 |] 50.0);
+  feq "p0 of singleton" 7.5 (Util.Stats.percentile [| 7.5 |] 0.0);
+  feq "p100 of singleton" 7.5 (Util.Stats.percentile [| 7.5 |] 100.0);
+  feq "median of singleton" 7.5 (Util.Stats.median [| 7.5 |])
+
+let test_percentile_unsorted_negative () =
+  (* Float.compare ordering: negatives, zeros and magnitudes must all
+     land in numeric order whatever the input permutation. *)
+  let xs = [| 3.0; -1.0; 0.0; -2.5; 1.0 |] in
+  feq "median" 0.0 (Util.Stats.median xs);
+  feq "p0 is min" (-2.5) (Util.Stats.percentile xs 0.0);
+  feq "p100 is max" 3.0 (Util.Stats.percentile xs 100.0)
+
+let test_percentile_nan () =
+  Alcotest.check_raises "NaN rejected"
+    (Invalid_argument "Stats.percentile: NaN input")
+    (fun () -> ignore (Util.Stats.percentile [| 1.0; Float.nan; 2.0 |] 50.0));
+  Alcotest.check_raises "median propagates the NaN rejection"
+    (Invalid_argument "Stats.percentile: NaN input")
+    (fun () -> ignore (Util.Stats.median [| Float.nan |]))
+
 let test_correlation () =
   let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
   feq "self" 1.0 (Util.Stats.correlation xs xs);
@@ -41,5 +63,9 @@ let () =
          Alcotest.test_case "variance" `Quick test_variance;
          Alcotest.test_case "percentile" `Quick test_percentile;
          Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+         Alcotest.test_case "percentile single" `Quick test_percentile_single;
+         Alcotest.test_case "percentile order" `Quick
+           test_percentile_unsorted_negative;
+         Alcotest.test_case "percentile NaN" `Quick test_percentile_nan;
          Alcotest.test_case "correlation" `Quick test_correlation;
          Alcotest.test_case "mean_int" `Quick test_mean_int ]) ]

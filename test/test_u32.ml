@@ -28,6 +28,15 @@ let unit_tests =
     Alcotest.test_case "mul truncates" `Quick (fun () ->
         check_int "big" 1 (U.mul 0xFFFF_FFFF 0xFFFF_FFFF);
         check_int "shift" 0x8000_0000 (U.mul 0x4000_0000 2));
+    Alcotest.test_case "mul near 2^32" `Quick (fun () ->
+        (* Operands here overflow the 63-bit native product; the result is
+           exact anyway because int overflow wraps modulo 2^63 and 2^32
+           divides 2^63. A 62-bit-unaware implementation would differ. *)
+        check_int "(2^32-1)(2^32-2)" 2 (U.mul 0xFFFF_FFFF 0xFFFF_FFFE);
+        check_int "(2^31+1)^2" 1 (U.mul 0x8000_0001 0x8000_0001);
+        check_int "(2^32-1)*2^31" 0x8000_0000 (U.mul 0xFFFF_FFFF 0x8000_0000);
+        check_int "0xDEADBEEF^2" 0x216D_A321 (U.mul 0xDEAD_BEEF 0xDEAD_BEEF);
+        check_int "identity" 0xFFFF_FFFF (U.mul 0xFFFF_FFFF 1));
     Alcotest.test_case "signed interpretation" `Quick (fun () ->
         check_int "minus one" (-1) (U.signed 0xFFFF_FFFF);
         check_int "int_min" (-0x8000_0000) (U.signed 0x8000_0000);
@@ -78,6 +87,10 @@ let property_tests =
     prop "sub matches Int64" pair_gen
       (fun (a, b) -> U.sub a b = ref64 Int64.sub a b);
     prop "mul matches Int64" pair_gen
+      (fun (a, b) -> U.mul a b = ref64 Int64.mul a b);
+    prop "mul matches Int64 near 2^32"
+      (let near_top = QCheck.map (fun x -> 0xFFFF_FFFF - (x land 0xFFFF)) QCheck.int in
+       QCheck.pair near_top near_top)
       (fun (a, b) -> U.mul a b = ref64 Int64.mul a b);
     prop "signed roundtrip" u32_gen
       (fun a -> U.signed a land 0xFFFF_FFFF = a);
