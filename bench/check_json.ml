@@ -1,0 +1,48 @@
+(* CI helper: verify that telemetry artifacts are well-formed JSON.
+
+     check_json.exe FILE...
+
+   Files ending in ".jsonl" are parsed line by line (blank lines are
+   allowed); anything else must be a single JSON document.  Exits 1 on
+   the first malformed file, printing where parsing failed. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail path msg =
+  Printf.eprintf "check_json: %s: %s\n" path msg;
+  exit 1
+
+let check_jsonl path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let n = ref 0 in
+  List.iteri
+    (fun i line ->
+       if String.trim line <> "" then begin
+         incr n;
+         match Obs.Json.parse line with
+         | Ok _ -> ()
+         | Error e -> fail path (Printf.sprintf "line %d: %s" (i + 1) e)
+       end)
+    lines;
+  if !n = 0 then fail path "no JSON lines";
+  Printf.printf "check_json: %s: %d JSON lines OK\n" path !n
+
+let check_json path =
+  match Obs.Json.parse (read_file path) with
+  | Ok _ -> Printf.printf "check_json: %s: OK\n" path
+  | Error e -> fail path e
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: check_json FILE..."; exit 2
+  end;
+  List.iter
+    (fun path ->
+       if not (Sys.file_exists path) then fail path "missing";
+       if Filename.check_suffix path ".jsonl" then check_jsonl path
+       else check_json path)
+    files

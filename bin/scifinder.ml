@@ -11,11 +11,34 @@
 open Cmdliner
 
 let setup_logs verbose =
-  Logs.set_reporter (Logs.format_reporter ());
+  (* Everything — including App-level lines — goes to stderr, so the
+     invariant/SCI listings on stdout stay pipeline-clean
+     (`scifinder mine | sort` works even under -v). *)
+  let err = Format.err_formatter in
+  Logs.set_reporter (Logs.format_reporter ~app:err ~dst:err ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Info)
+
+(* Install the telemetry sink behind --metrics; counters and histograms
+   are flushed into the same stream when the command exits. *)
+let setup_metrics = function
+  | None -> ()
+  | Some path ->
+    let sink = Obs.Sink.jsonl path in
+    Obs.Sink.set_global sink;
+    at_exit (fun () ->
+        Obs.Metrics.emit_all sink;
+        Obs.Sink.close sink;
+        Obs.Sink.set_global Obs.Sink.null)
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write telemetry (phase/shard spans, counters, histograms) \
+               as JSON lines to $(docv). One object per line; see \
+               DESIGN.md for the schema.")
 
 let jobs_arg =
   Arg.(value & opt int (Util.Parallel.default_jobs ())
@@ -46,8 +69,9 @@ let find_bug id =
 (* ---- mine ---- *)
 
 let mine_cmd =
-  let run verbose jobs limit point workload_names output =
+  let run verbose metrics jobs limit point workload_names output =
     setup_logs verbose;
+    setup_metrics metrics;
     let names = match workload_names with [] -> None | l -> Some l in
     let invariants = mine_invariants ~names ~jobs () in
     (match output with
@@ -90,7 +114,8 @@ let mine_cmd =
            ~doc:"Save the mined set for later identify/verify runs.")
   in
   Cmd.v (Cmd.info "mine" ~doc:"Mine likely processor invariants from the trace corpus.")
-    Term.(const run $ verbose_arg $ jobs_arg $ limit $ point $ workloads $ output)
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ limit $ point
+          $ workloads $ output)
 
 (* ---- identify ---- *)
 
@@ -107,8 +132,9 @@ let input_arg =
          ~doc:"Load a saved invariant set instead of re-mining the corpus.")
 
 let identify_cmd =
-  let run verbose jobs bug_id input =
+  let run verbose metrics jobs bug_id input =
     setup_logs verbose;
+    setup_metrics metrics;
     let invariants = load_or_mine ~jobs input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
     let bugs =
@@ -139,13 +165,14 @@ let identify_cmd =
          & info [ "b"; "bug" ] ~docv:"ID" ~doc:"A single bug id (default: all of Table 1).")
   in
   Cmd.v (Cmd.info "identify" ~doc:"Identify security-critical invariants from known errata.")
-    Term.(const run $ verbose_arg $ jobs_arg $ bug $ input_arg)
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ bug $ input_arg)
 
 (* ---- infer ---- *)
 
 let infer_cmd =
-  let run verbose jobs limit =
+  let run verbose metrics jobs limit =
     setup_logs verbose;
+    setup_metrics metrics;
     let mining = Scifinder_core.Pipeline.mine ~jobs () in
     let optimized =
       (Scifinder_core.Pipeline.optimize mining.invariants).result.optimized
@@ -170,13 +197,14 @@ let infer_cmd =
     Arg.(value & opt int 40 & info [ "limit" ] ~doc:"Property classes to print.")
   in
   Cmd.v (Cmd.info "infer" ~doc:"Run the full pipeline and print inferred security properties.")
-    Term.(const run $ verbose_arg $ jobs_arg $ limit)
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ limit)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run verbose jobs bug_id input =
+  let run verbose metrics jobs bug_id input =
     setup_logs verbose;
+    setup_metrics metrics;
     match find_bug bug_id with
     | Error (`Msg e) -> prerr_endline e; exit 1
     | Ok bug ->
@@ -210,13 +238,14 @@ let verify_cmd =
          & info [ "b"; "bug" ] ~docv:"ID" ~doc:"Bug to attack (required).")
   in
   Cmd.v (Cmd.info "verify" ~doc:"Dynamic verification: enforce the SCI as assertions against an exploit.")
-    Term.(const run $ verbose_arg $ jobs_arg $ bug $ input_arg)
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ bug $ input_arg)
 
 (* ---- verilog ---- *)
 
 let verilog_cmd =
-  let run verbose jobs input output =
+  let run verbose metrics jobs input output =
     setup_logs verbose;
+    setup_metrics metrics;
     let invariants = load_or_mine ~jobs input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
     let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
@@ -239,7 +268,7 @@ let verilog_cmd =
   in
   Cmd.v (Cmd.info "verilog"
            ~doc:"Emit a synthesizable monitor module for the identified SCI.")
-    Term.(const run $ verbose_arg $ jobs_arg $ input_arg $ output)
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ input_arg $ output)
 
 (* ---- bugs / workloads listings ---- *)
 

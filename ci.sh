@@ -1,6 +1,17 @@
 #!/bin/sh
-# Tier-1 gate: build, test, and smoke-run the sharded miner.
+# Tier-1 gate: build, test, and smoke-run the sharded miner and the
+# telemetry-instrumented bench harness.
 set -eu
 dune build
 dune runtest
-dune exec bench/main.exe -- fig3 -j 2
+# Bench smoke: mine Figure 3 on two shards with the JSONL sink attached;
+# the run must leave a parseable BENCH_pipeline.json and metrics stream.
+rm -f BENCH_pipeline.json BENCH_metrics.jsonl
+dune exec bench/main.exe -- fig3 -j 2 --metrics
+test -s BENCH_pipeline.json
+test -s BENCH_metrics.jsonl
+dune exec bench/check_json.exe -- BENCH_pipeline.json BENCH_metrics.jsonl
+# Telemetry overhead budget: obsbench prints (and BENCH_pipeline.json
+# records) the estimated null-sink overhead; the gate is < 2%.
+dune exec bench/main.exe -- obsbench | tee /tmp/obsbench.out
+grep -q 'null-sink overhead budget < 2%: PASS' /tmp/obsbench.out

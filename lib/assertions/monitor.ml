@@ -10,9 +10,20 @@ type firing = {
   record : Trace.Record.t;
 }
 
+(* Aggregate monitor telemetry, folded in once per [run] call. The
+   per-assertion evaluation timing (the Table 8 per-assertion-cost
+   analogue) costs two clock reads per (record, assertion) evaluation, so
+   it only runs when a real sink is installed. *)
+let c_records = Obs.Metrics.counter "monitor.records"
+let c_evals = Obs.Metrics.counter "monitor.evaluations"
+let c_firings = Obs.Metrics.counter "monitor.firings"
+let h_run_ns = Obs.Metrics.histogram "monitor.run_ns"
+
 (* Check one assertion battery against a trace; returns every firing (one
    per assertion per offending step). *)
 let run assertions records =
+  let t0 = Obs.Clock.now_ns () in
+  let timing = Obs.Sink.enabled () in
   let by_point = Hashtbl.create 64 in
   List.iter
     (fun (a : Ovl.t) ->
@@ -20,19 +31,55 @@ let run assertions records =
        Hashtbl.replace by_point point
          (a :: Option.value ~default:[] (Hashtbl.find_opt by_point point)))
     assertions;
+  let assert_hist =
+    if not timing then fun _ -> None
+    else begin
+      let by_name = Hashtbl.create 64 in
+      fun (a : Ovl.t) ->
+        match Hashtbl.find_opt by_name a.Ovl.name with
+        | Some h -> Some h
+        | None ->
+          let h = Obs.Metrics.histogram ("monitor.assert_ns." ^ a.Ovl.name) in
+          Hashtbl.add by_name a.Ovl.name h;
+          Some h
+    end
+  in
+  let nrecords = ref 0 and nevals = ref 0 in
   let firings = ref [] in
   List.iteri
     (fun step (record : Trace.Record.t) ->
+       incr nrecords;
        match Hashtbl.find_opt by_point record.Trace.Record.point with
        | None -> ()
        | Some batch ->
          List.iter
            (fun (a : Ovl.t) ->
-              if Invariant.Expr.violated a.invariant record then
+              incr nevals;
+              let violated =
+                match assert_hist a with
+                | None -> Invariant.Expr.violated a.invariant record
+                | Some h ->
+                  let e0 = Obs.Clock.now_ns () in
+                  let v = Invariant.Expr.violated a.invariant record in
+                  Obs.Metrics.observe h
+                    (Int64.to_int (Obs.Clock.ns_since e0));
+                  v
+              in
+              if violated then
                 firings := { assertion = a; step; record } :: !firings)
            batch)
     records;
-  List.rev !firings
+  let firings = List.rev !firings in
+  Obs.Metrics.add c_records !nrecords;
+  Obs.Metrics.add c_evals !nevals;
+  Obs.Metrics.add c_firings (List.length firings);
+  List.iter
+    (fun f ->
+       Obs.Metrics.incr
+         (Obs.Metrics.counter ("monitor.fired." ^ f.assertion.Ovl.name)))
+    firings;
+  Obs.Metrics.observe h_run_ns (Int64.to_int (Obs.Clock.ns_since t0));
+  firings
 
 (* Does any assertion fire on this trace? The dynamic-verification verdict
    used by Table 3's "Detected" column and the §5.6 experiment. *)

@@ -9,10 +9,31 @@
 
 module Expr = Invariant.Expr
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+(* All pipeline timing runs on the monotonic clock (NTP steps used to be
+   able to make the wall-clock deltas here negative). *)
+let time = Obs.Clock.time
+
+(* Phase telemetry. Counters aggregate across calls; the per-engine
+   candidate-family numbers are gauges set at extraction time. *)
+let c_mine_records = Obs.Metrics.counter "mine.records"
+let c_mine_fresh = Obs.Metrics.counter "mine.invariants_fresh"
+let c_mine_deleted = Obs.Metrics.counter "mine.invariants_deleted"
+let c_merges = Obs.Metrics.counter "mine.merges"
+let c_merge_ns = Obs.Metrics.counter "mine.merge_ns"
+
+let publish_engine_stats engine =
+  List.iter
+    (fun (fs : Daikon.Engine.family_stats) ->
+       let set suffix v =
+         Obs.Metrics.set
+           (Obs.Metrics.gauge
+              (Printf.sprintf "daikon.candidates.%s.%s" fs.family suffix))
+           (float_of_int v)
+       in
+       set "born" fs.born;
+       set "live" fs.live;
+       set "dead" (fs.born - fs.live))
+    (Daikon.Engine.candidate_stats engine)
 
 (* ---- Phase 1: invariant generation (§3.1, Figure 3, Table 8) ---- *)
 
@@ -42,11 +63,15 @@ let trace_workload_into engine name =
   match Workloads.Suite.by_name name with
   | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
   | Some w ->
-    ignore
-      (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
-         ~entry:w.Workloads.Rt.entry
-         ~observer:(Daikon.Engine.observe engine)
-         w.Workloads.Rt.image)
+    (* One span per workload shard, whichever domain it traces on. *)
+    Obs.Span.with_ ~name:"mine.shard"
+      ~attrs:[ ("workload", Obs.Sink.S name) ]
+      (fun () ->
+         ignore
+           (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
+              ~entry:w.Workloads.Rt.entry
+              ~observer:(Daikon.Engine.observe engine)
+              w.Workloads.Rt.image))
 
 (* Trace every named workload into a private shard engine on a bounded
    pool of domains. Shards come back in corpus order, so the caller's
@@ -65,6 +90,13 @@ let missing_mnemonics engine =
   List.iter (fun p -> Hashtbl.replace seen p ()) (Daikon.Engine.points engine);
   List.filter (fun m -> not (Hashtbl.mem seen m)) Isa.Insn.all_mnemonics
 
+(* A timed shard merge, feeding the merge-cost counters. *)
+let absorb_shard engine shard =
+  let m0 = Obs.Clock.now_ns () in
+  Daikon.Engine.merge_into engine shard;
+  Obs.Metrics.add c_merge_ns (Int64.to_int (Obs.Clock.ns_since m0));
+  Obs.Metrics.incr c_merges
+
 let mine ?(config = Daikon.Config.default)
     ?(workloads = Workloads.Suite.all)
     ?(groups = Workloads.Suite.figure3_groups)
@@ -72,65 +104,84 @@ let mine ?(config = Daikon.Config.default)
     ?(jobs = Util.Parallel.default_jobs ())
     () =
   ignore workloads;
-  let t0 = Unix.gettimeofday () in
-  let engine = Daikon.Engine.create ~config () in
-  (* jobs = 1 streams everything through the one engine, exactly the
-     paper's sequential setup; jobs > 1 mines per-workload shards in
-     parallel and folds them into [engine] in the same corpus order. *)
-  let shards =
-    if jobs <= 1 then None
-    else Some (mine_shards ~config ~jobs (Array.of_list (List.concat groups)))
+  let body () =
+    let engine = Daikon.Engine.create ~config () in
+    (* jobs = 1 streams everything through the one engine, exactly the
+       paper's sequential setup; jobs > 1 mines per-workload shards in
+       parallel and folds them into [engine] in the same corpus order. *)
+    let shards =
+      if jobs <= 1 then None
+      else Some (mine_shards ~config ~jobs (Array.of_list (List.concat groups)))
+    in
+    let idx = ref 0 in
+    let absorb name =
+      (match shards with
+       | Some shards -> absorb_shard engine shards.(!idx)
+       | None -> trace_workload_into engine name);
+      incr idx
+    in
+    let previous = ref (Hashtbl.create 1) in
+    let rows = ref [] in
+    List.iter2
+      (fun group label ->
+         List.iter absorb group;
+         let snapshot = Daikon.Engine.invariants engine in
+         let current = canon_set snapshot in
+         let fresh = ref 0 and unmodified = ref 0 in
+         Hashtbl.iter
+           (fun k () ->
+              if Hashtbl.mem !previous k then incr unmodified else incr fresh)
+           current;
+         let deleted = ref 0 in
+         Hashtbl.iter
+           (fun k () -> if not (Hashtbl.mem current k) then incr deleted)
+           !previous;
+         previous := current;
+         rows :=
+           { group_label = label;
+             unmodified = !unmodified;
+             fresh = !fresh;
+             deleted = !deleted;
+             total = Hashtbl.length current }
+           :: !rows)
+      groups labels;
+    let invariants = Daikon.Engine.invariants engine in
+    let record_count = Daikon.Engine.record_count engine in
+    let rows = List.rev !rows in
+    Obs.Metrics.add c_mine_records record_count;
+    List.iter
+      (fun r ->
+         Obs.Metrics.add c_mine_fresh r.fresh;
+         Obs.Metrics.add c_mine_deleted r.deleted)
+      rows;
+    publish_engine_stats engine;
+    { invariants;
+      figure3 = rows;
+      record_count;
+      trace_bytes = record_count * Trace.Var.total * 8;
+      mnemonic_coverage = missing_mnemonics engine;
+      seconds = 0.0 }
   in
-  let idx = ref 0 in
-  let absorb name =
-    (match shards with
-     | Some shards -> Daikon.Engine.merge_into engine shards.(!idx)
-     | None -> trace_workload_into engine name);
-    incr idx
+  let r, seconds =
+    Obs.Span.timed ~name:"pipeline.mine"
+      ~attrs:[ ("jobs", Obs.Sink.I jobs) ] body
   in
-  let previous = ref (Hashtbl.create 1) in
-  let rows = ref [] in
-  List.iter2
-    (fun group label ->
-       List.iter absorb group;
-       let snapshot = Daikon.Engine.invariants engine in
-       let current = canon_set snapshot in
-       let fresh = ref 0 and unmodified = ref 0 in
-       Hashtbl.iter
-         (fun k () ->
-            if Hashtbl.mem !previous k then incr unmodified else incr fresh)
-         current;
-       let deleted = ref 0 in
-       Hashtbl.iter
-         (fun k () -> if not (Hashtbl.mem current k) then incr deleted)
-         !previous;
-       previous := current;
-       rows :=
-         { group_label = label;
-           unmodified = !unmodified;
-           fresh = !fresh;
-           deleted = !deleted;
-           total = Hashtbl.length current }
-         :: !rows)
-    groups labels;
-  let invariants = Daikon.Engine.invariants engine in
-  let record_count = Daikon.Engine.record_count engine in
-  { invariants;
-    figure3 = List.rev !rows;
-    record_count;
-    trace_bytes = record_count * Trace.Var.total * 8;
-    mnemonic_coverage = missing_mnemonics engine;
-    seconds = Unix.gettimeofday () -. t0 }
+  { r with seconds }
 
 let mine_invariants ?(config = Daikon.Config.default)
     ?(jobs = Util.Parallel.default_jobs ()) ?names () =
   let names = match names with None -> Workloads.Suite.names | Some l -> l in
-  let engine = Daikon.Engine.create ~config () in
-  if jobs <= 1 then List.iter (trace_workload_into engine) names
-  else
-    Array.iter (Daikon.Engine.merge_into engine)
-      (mine_shards ~config ~jobs (Array.of_list names));
-  Daikon.Engine.invariants engine
+  Obs.Span.with_ ~name:"pipeline.mine"
+    ~attrs:[ ("jobs", Obs.Sink.I jobs) ]
+    (fun () ->
+       let engine = Daikon.Engine.create ~config () in
+       if jobs <= 1 then List.iter (trace_workload_into engine) names
+       else
+         Array.iter (absorb_shard engine)
+           (mine_shards ~config ~jobs (Array.of_list names));
+       Obs.Metrics.add c_mine_records (Daikon.Engine.record_count engine);
+       publish_engine_stats engine;
+       Daikon.Engine.invariants engine)
 
 (* ---- §3.2: optimisation (Table 2) ---- *)
 
@@ -140,7 +191,14 @@ type optimization = {
 }
 
 let optimize invariants =
-  let result, opt_seconds = time (fun () -> Invopt.Pipeline.optimize invariants) in
+  let result, opt_seconds =
+    Obs.Span.timed ~name:"pipeline.optimize"
+      ~attrs:[ ("invariants_in", Obs.Sink.I (List.length invariants)) ]
+      (fun () -> Invopt.Pipeline.optimize invariants)
+  in
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "optimize.invariants_out")
+    (float_of_int (List.length result.Invopt.Pipeline.optimized));
   { result; opt_seconds }
 
 (* ---- Phase 3: identification (Table 3) ---- *)
@@ -152,8 +210,16 @@ type identification = {
 
 let identify ~invariants bug_list =
   let summary, ident_seconds =
-    time (fun () -> Sci.Identify.run_all ~invariants bug_list)
+    Obs.Span.timed ~name:"pipeline.identify"
+      ~attrs:[ ("bugs", Obs.Sink.I (List.length bug_list)) ]
+      (fun () -> Sci.Identify.run_all ~invariants bug_list)
   in
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "identify.unique_sci")
+    (float_of_int (List.length summary.Sci.Identify.unique_sci));
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "identify.unique_fp")
+    (float_of_int (List.length summary.Sci.Identify.unique_fp));
   { summary; ident_seconds }
 
 (* ---- Phase 4: inference (§3.4, §5.3; Tables 4 and 5, Figure 4) ---- *)
@@ -178,7 +244,7 @@ type inference = {
 
 let infer ?(seed = 20170408) ?(alpha = 0.5) ~all_invariants
     (summary : Sci.Identify.summary) =
-  let t0 = Unix.gettimeofday () in
+  let body () =
   let space = Invariant.Feature.build_space all_invariants in
   let sci = summary.Sci.Identify.unique_sci in
   let non_sci_all = summary.Sci.Identify.unique_fp in
@@ -291,10 +357,23 @@ let infer ?(seed = 20170408) ?(alpha = 0.5) ~all_invariants
       (points, sep)
     end
   in
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "infer.recommended")
+    (float_of_int (List.length recommended));
+  Obs.Metrics.set
+    (Obs.Metrics.gauge "infer.surviving")
+    (float_of_int (List.length surviving));
   { space; model; chosen_lambda; cv_accuracy; test_accuracy;
     labeled_sci = List.length sci;
     labeled_non_sci = List.length non_sci;
     selected_features;
     recommended; inferred_fp; surviving; property_count;
     pca_points; pca_separation;
-    infer_seconds = Unix.gettimeofday () -. t0 }
+    infer_seconds = 0.0 }
+  in
+  let r, infer_seconds =
+    Obs.Span.timed ~name:"pipeline.infer"
+      ~attrs:[ ("invariants", Obs.Sink.I (List.length all_invariants)) ]
+      body
+  in
+  { r with infer_seconds }

@@ -4,6 +4,9 @@
     the evaluation tables. *)
 
 val time : (unit -> 'a) -> 'a * float
+(** [Obs.Clock.time]: elapsed {e monotonic} seconds alongside the result.
+    (Timing used to be [Unix.gettimeofday] deltas, which an NTP step could
+    make negative.) *)
 
 (** {1 Phase 1: invariant generation (§3.1, Figure 3)} *)
 

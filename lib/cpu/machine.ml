@@ -17,8 +17,18 @@ type halt_reason =
   | Stalled        (* pipeline wedged (bug b2) *)
   | Double_fault   (* bus error while fetching the bus-error handler *)
 
+(* Cheap per-machine telemetry, updated with plain field writes at the
+   retirement boundary so the step hot loop stays hot; readers sample it
+   after a run (Trace.Runner folds it into the global metrics). *)
+type telemetry = {
+  exn_entered : int array;
+  mutable exn_suppressed : int;
+  mutable mem_high_water : int;
+}
+
 type t = {
   mem : Memory.t;
+  tel : telemetry;
   gpr : int array;
   mutable pc : int;
   mutable sr : int;
@@ -66,12 +76,34 @@ type step_result =
   | Retired of event
   | Halt of halt_reason
 
+(* Index into telemetry.exn_entered, in [Vec.all] declaration order. *)
+let vec_index = function
+  | Vec.Reset -> 0
+  | Vec.Bus_error -> 1
+  | Vec.Data_page_fault -> 2
+  | Vec.Insn_page_fault -> 3
+  | Vec.Tick_timer -> 4
+  | Vec.Alignment -> 5
+  | Vec.Illegal -> 6
+  | Vec.External_interrupt -> 7
+  | Vec.Range -> 8
+  | Vec.Syscall -> 9
+  | Vec.Trap -> 10
+
+let exception_counts t =
+  List.map
+    (fun k -> (Vec.name k, t.tel.exn_entered.(vec_index k)))
+    Vec.all
+
 let create ?(fault = Fault.none) ?(tick_period = 0) ?mem_size () =
   let mem = match mem_size with
     | Some size -> Memory.create ~size ()
     | None -> Memory.create ()
   in
   { mem;
+    tel = { exn_entered = Array.make (List.length Vec.all) 0;
+            exn_suppressed = 0;
+            mem_high_water = -1 };
     gpr = Array.make 32 0;
     pc = Vec.address Vec.Reset;
     sr = Sr.reset;
@@ -580,6 +612,19 @@ let step t =
                   | Some target -> t.delay_target <- None; t.pc <- target
                   | None -> t.pc <- Util.U32.add pc 4))));
         t.retired <- t.retired + 1;
+        (* Telemetry: a handful of plain field writes per retirement. *)
+        (match !exn_taken with
+         | Some k ->
+           let i = vec_index k in
+           t.tel.exn_entered.(i) <- t.tel.exn_entered.(i) + 1
+         | None -> ());
+        if !exn_suppressed then
+          t.tel.exn_suppressed <- t.tel.exn_suppressed + 1;
+        (match decoded with
+         | Some (Insn.Load _ | Insn.Store _) ->
+           if s.s_ea > t.tel.mem_high_water then
+             t.tel.mem_high_water <- s.s_ea
+         | _ -> ());
         let insn = match decoded with
           | Some i -> i
           | None -> Insn.Nop 0xFFFF (* placeholder for the illegal word *)

@@ -12,8 +12,22 @@ type halt_reason =
   | Stalled        (** pipeline wedged (bug b2) *)
   | Double_fault   (** instruction fetch off the end of memory *)
 
+(** Cheap per-machine telemetry, updated with plain field writes at the
+    retirement boundary (the step hot loop takes no locks and reads no
+    clocks). Sampled after a run — [Trace.Runner] folds it into the
+    global [Obs.Metrics]. *)
+type telemetry = {
+  exn_entered : int array;
+      (** exception entries, indexed in {!Isa.Spr.Vector.all} order *)
+  mutable exn_suppressed : int;
+      (** requested exceptions dropped by a fault hook *)
+  mutable mem_high_water : int;
+      (** highest load/store effective address touched; -1 if none *)
+}
+
 type t = {
   mem : Memory.t;
+  tel : telemetry;
   gpr : int array;                    (** 32 registers; gpr.(0) stays 0 *)
   mutable pc : int;
   mutable sr : int;
@@ -63,6 +77,10 @@ type step_result =
 
 val create : ?fault:Fault.t -> ?tick_period:int -> ?mem_size:int -> unit -> t
 (** A machine at the reset vector (PC = 0x100, SR = FO|SM). *)
+
+val exception_counts : t -> (string * int) list
+(** [tel.exn_entered] keyed by vector name, in {!Isa.Spr.Vector.all}
+    order. *)
 
 val load_image : t -> (int * int) list -> unit
 

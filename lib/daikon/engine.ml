@@ -306,6 +306,70 @@ let merge_into dst src =
 
 let merge a b = merge_into a b; a
 
+(* ---- Candidate accounting (telemetry) ----
+
+   Birth/death counts per invariant family, computed by scanning the
+   tracker state at extraction cadence — the observe/merge hot paths pay
+   nothing for this. "Born" counts every candidate ever instantiated for
+   a tracked variable or pair; "live" counts the candidates still
+   justified by everything observed so far. *)
+
+type family_stats = {
+  family : string;
+  born : int;
+  live : int;
+}
+
+let candidate_stats t =
+  let oneof_born = ref 0 and oneof_live = ref 0 in
+  let interval_born = ref 0 in
+  let mod_born = ref 0 and mod_live = ref 0 in
+  let rel_born = ref 0 and rel_live = ref 0 in
+  let diff_born = ref 0 and diff_live = ref 0 in
+  let scale_born = ref 0 and scale_live = ref 0 in
+  Hashtbl.iter
+    (fun _ st ->
+       Array.iter
+         (fun id ->
+            match st.stats.(id) with
+            | None -> ()
+            | Some vs ->
+              Stdlib.incr oneof_born;
+              if vs.ndistinct >= 0 then Stdlib.incr oneof_live;
+              Stdlib.incr interval_born;
+              if Var.id_kind id = Var.Addr then begin
+                mod_born := !mod_born + 2;
+                if vs.mod4 >= 0 then Stdlib.incr mod_live;
+                if vs.mod2 >= 0 then Stdlib.incr mod_live
+              end)
+         st.vars;
+       Array.iter
+         (fun p ->
+            if p.policy land (p_order lor p_eq lor p_ne) <> 0 then begin
+              Stdlib.incr rel_born;
+              (* All three relation bits observed = no ordering constraint
+                 is left to extract. *)
+              if p.rel <> r_lt lor r_eq lor r_gt then Stdlib.incr rel_live
+            end;
+            if p.policy land p_diff <> 0 then begin
+              Stdlib.incr diff_born;
+              if p.diff_live then Stdlib.incr diff_live
+            end;
+            if p.policy land p_scale <> 0 then begin
+              Stdlib.incr scale_born;
+              if p.scale_ij <> 0 || p.scale_ji <> 0 then
+                Stdlib.incr scale_live
+            end)
+         st.pairs)
+    t.points;
+  [ { family = "oneof"; born = !oneof_born; live = !oneof_live };
+    (* min/max intervals only widen; a tracked interval never dies. *)
+    { family = "interval"; born = !interval_born; live = !interval_born };
+    { family = "mod"; born = !mod_born; live = !mod_live };
+    { family = "relation"; born = !rel_born; live = !rel_live };
+    { family = "diff"; born = !diff_born; live = !diff_live };
+    { family = "scale"; born = !scale_born; live = !scale_live } ]
+
 (* ---- Extraction ---- *)
 
 let is_constant st = st.ndistinct = 1

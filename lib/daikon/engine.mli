@@ -37,6 +37,18 @@ val merge_into : t -> t -> unit
 val merge : t -> t -> t
 (** [merge a b] is [merge_into a b; a]. Consumes both arguments. *)
 
+(** Candidate birth/death accounting for one invariant family — the
+    telemetry behind the Figure 3 convergence story. Computed by scanning
+    the tracker state on demand; the observe/merge hot paths pay nothing.
+    [born - live] candidates have been falsified. *)
+type family_stats = {
+  family : string;  (** [oneof], [interval], [mod], [relation], [diff], [scale] *)
+  born : int;       (** candidates ever instantiated *)
+  live : int;       (** still justified by every observation so far *)
+}
+
+val candidate_stats : t -> family_stats list
+
 val record_count : t -> int
 
 val point_count : t -> int

@@ -1,0 +1,12 @@
+(* Monotonic time, via a single C stub over clock_gettime(CLOCK_MONOTONIC). *)
+
+external now_ns : unit -> int64 = "scifinder_obs_monotonic_ns"
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let ns_since t0 = Int64.sub (now_ns ()) t0
+
+let time f =
+  let t0 = now_ns () in
+  let result = f () in
+  (result, Int64.to_float (ns_since t0) /. 1e9)

@@ -1,0 +1,19 @@
+(** Monotonic time. All telemetry timing goes through this module: unlike
+    [Unix.gettimeofday], the monotonic clock never steps backwards under
+    NTP adjustment, so span durations and the pipeline's [seconds] fields
+    are always non-negative and meaningful. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock. The origin is unspecified (boot
+    time on Linux); only differences are meaningful. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
+
+val ns_since : int64 -> int64
+(** [ns_since t0] is [now_ns () - t0]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed monotonic
+    seconds — the drop-in replacement for the wall-clock timing helper
+    that used to live in [Pipeline]. *)

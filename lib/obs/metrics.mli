@@ -1,0 +1,49 @@
+(** Typed process-wide metrics: counters, gauges and histograms.
+
+    Instruments live in a global registry keyed by name — asking for the
+    same name twice returns the same instrument, so library code can
+    declare its counters at module level and entry points can flush the
+    lot with {!emit_all}. Counters update with a single [Atomic] add and
+    are safe (and exact) under concurrent increments from
+    [Util.Parallel] worker domains; histograms take a per-instrument
+    mutex, which is fine at their intended per-phase / per-run cadence. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Monotonic high-water update (compare-and-swap loop). *)
+
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+val observe : histogram -> int -> unit
+(** Record one non-negative integer observation (typically nanoseconds). *)
+
+(** One registered instrument, flattened for emission. *)
+type snapshot = {
+  metric : string;
+  kind : string;     (** ["counter"], ["gauge"] or ["histogram"] *)
+  value : float;     (** count / level / observation count *)
+  attrs : (string * Sink.value) list;
+      (** histograms: [count], [sum], [min], [max], [mean], [p50], [p95]
+          (bucketed estimates for the percentiles) *)
+}
+
+val snapshot : unit -> snapshot list
+(** Every registered instrument, sorted by name. *)
+
+val emit_all : Sink.t -> unit
+(** One [Metric] event per instrument, in {!snapshot} order. *)
+
+val reset : unit -> unit
+(** Drop every registered instrument — for tests. Existing handles keep
+    working but are no longer reachable from {!snapshot}. *)

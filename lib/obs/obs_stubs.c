@@ -1,0 +1,22 @@
+/* Monotonic clock for the telemetry subsystem.
+
+   CLOCK_MONOTONIC is immune to NTP steps and settimeofday, which is the
+   whole point: span durations and the Table 8 timing analogues must not
+   jump when the wall clock does. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value scifinder_obs_monotonic_ns(value unit)
+{
+    struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+    clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+    (void)unit;
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL
+                           + (int64_t)ts.tv_nsec);
+}

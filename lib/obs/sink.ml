@@ -1,0 +1,184 @@
+(* Telemetry events and pluggable sinks. See the interface for the
+   contract; the one subtlety here is domain safety: shard spans close on
+   worker domains, so [emit] implementations serialise with a mutex and
+   the global sink lives in an [Atomic]. *)
+
+type value =
+  | I of int
+  | F of float
+  | S of string
+  | B of bool
+
+type event =
+  | Span of {
+      name : string;
+      parent : string option;
+      domain : int;
+      start_ns : int64;
+      dur_ns : int64;
+      attrs : (string * value) list;
+    }
+  | Metric of {
+      name : string;
+      kind : string;
+      value : float;
+      attrs : (string * value) list;
+    }
+
+type t = {
+  emit : event -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+  null : bool;
+}
+
+let make ?(flush = fun () -> ()) ?(close = fun () -> ()) ~emit () =
+  { emit; flush; close; null = false }
+
+let null = { emit = ignore; flush = ignore; close = ignore; null = true }
+
+let emit t ev = t.emit ev
+let flush t = t.flush ()
+let close t = t.close ()
+let is_null t = t.null
+
+(* ---- JSON encoding ---- *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | '\r' -> Buffer.add_string b "\\r"
+       | '\t' -> Buffer.add_string b "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Floats must stay valid JSON: no "inf"/"nan" literals, and always a
+   digit after the decimal point. *)
+let buf_add_json_float b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" f)
+  else if Float.is_nan f || Float.abs f = Float.infinity then
+    Buffer.add_string b "null"
+  else
+    Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+let buf_add_value b = function
+  | I n -> Buffer.add_string b (string_of_int n)
+  | F f -> buf_add_json_float b f
+  | S s -> buf_add_json_string b s
+  | B v -> Buffer.add_string b (if v then "true" else "false")
+
+let buf_add_attrs b attrs =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_char b ',';
+       buf_add_json_string b k;
+       Buffer.add_char b ':';
+       buf_add_value b v)
+    attrs;
+  Buffer.add_char b '}'
+
+let json_of_event ev =
+  let b = Buffer.create 160 in
+  (match ev with
+   | Span { name; parent; domain; start_ns; dur_ns; attrs } ->
+     Buffer.add_string b "{\"type\":\"span\",\"name\":";
+     buf_add_json_string b name;
+     Buffer.add_string b ",\"parent\":";
+     (match parent with
+      | Some p -> buf_add_json_string b p
+      | None -> Buffer.add_string b "null");
+     Buffer.add_string b (Printf.sprintf ",\"domain\":%d" domain);
+     Buffer.add_string b (Printf.sprintf ",\"start_ns\":%Ld" start_ns);
+     Buffer.add_string b (Printf.sprintf ",\"dur_ns\":%Ld" dur_ns);
+     Buffer.add_string b ",\"attrs\":";
+     buf_add_attrs b attrs
+   | Metric { name; kind; value; attrs } ->
+     Buffer.add_string b "{\"type\":\"metric\",\"name\":";
+     buf_add_json_string b name;
+     Buffer.add_string b ",\"kind\":";
+     buf_add_json_string b kind;
+     Buffer.add_string b ",\"value\":";
+     buf_add_json_float b value;
+     Buffer.add_string b ",\"attrs\":";
+     buf_add_attrs b attrs);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---- The shipped sinks ---- *)
+
+let pretty_of_event ev =
+  let attrs_str attrs =
+    if attrs = [] then ""
+    else
+      " {"
+      ^ String.concat ", "
+          (List.map
+             (fun (k, v) ->
+                k ^ "="
+                ^ (match v with
+                   | I n -> string_of_int n
+                   | F f -> Printf.sprintf "%g" f
+                   | S s -> s
+                   | B v -> string_of_bool v))
+             attrs)
+      ^ "}"
+  in
+  match ev with
+  | Span { name; parent; domain; dur_ns; attrs; _ } ->
+    Printf.sprintf "[obs] span %-24s %10.3f ms  d%d%s%s" name
+      (Int64.to_float dur_ns /. 1e6) domain
+      (match parent with Some p -> " <- " ^ p | None -> "")
+      (attrs_str attrs)
+  | Metric { name; kind; value; attrs } ->
+    Printf.sprintf "[obs] %-6s %-28s %14.1f%s" kind name value
+      (attrs_str attrs)
+
+let stderr_pretty () =
+  let lock = Mutex.create () in
+  make
+    ~emit:(fun ev ->
+        Mutex.protect lock (fun () ->
+            output_string stderr (pretty_of_event ev ^ "\n");
+            Stdlib.flush stderr))
+    ()
+
+let jsonl_channel oc =
+  let lock = Mutex.create () in
+  { emit =
+      (fun ev ->
+         let line = json_of_event ev ^ "\n" in
+         Mutex.protect lock (fun () ->
+             output_string oc line;
+             Stdlib.flush oc));
+    flush = (fun () -> Mutex.protect lock (fun () -> Stdlib.flush oc));
+    close = (fun () -> Mutex.protect lock (fun () -> close_out oc));
+    null = false }
+
+let jsonl path = jsonl_channel (open_out path)
+
+let memory () =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  let sink =
+    make ~emit:(fun ev -> Mutex.protect lock (fun () -> events := ev :: !events)) ()
+  in
+  (sink, fun () -> Mutex.protect lock (fun () -> List.rev !events))
+
+(* ---- The process-global sink ---- *)
+
+let global_sink = Atomic.make null
+
+let set_global s = Atomic.set global_sink s
+let global () = Atomic.get global_sink
+let enabled () = not (Atomic.get global_sink).null
+let emit_global ev = (Atomic.get global_sink).emit ev

@@ -1,0 +1,84 @@
+(** Telemetry events and pluggable sinks.
+
+    Every span close and every metrics flush produces an {!event}; a sink
+    decides what to do with it. Three sinks ship with the library: {!null}
+    (drop everything — the default, so instrumented code costs almost
+    nothing when nobody is listening), {!stderr_pretty} (human-readable
+    lines on stderr), and {!jsonl} (one schema-stable JSON object per
+    line, the machine-readable format behind [scifinder --metrics] and
+    the bench harness).
+
+    Sinks must be safe to call from several domains at once: the JSONL
+    sink serialises writes with a mutex, and the global sink cell is an
+    [Atomic]. *)
+
+(** Attribute values attached to events. *)
+type value =
+  | I of int
+  | F of float
+  | S of string
+  | B of bool
+
+type event =
+  | Span of {
+      name : string;
+      parent : string option;  (** enclosing span in the same domain *)
+      domain : int;            (** domain id the span ran on *)
+      start_ns : int64;        (** monotonic start timestamp *)
+      dur_ns : int64;
+      attrs : (string * value) list;
+    }
+  | Metric of {
+      name : string;
+      kind : string;           (** ["counter"], ["gauge"] or ["histogram"] *)
+      value : float;
+      attrs : (string * value) list;
+    }
+
+type t
+
+val make :
+  ?flush:(unit -> unit) -> ?close:(unit -> unit) ->
+  emit:(event -> unit) -> unit -> t
+(** A custom sink. [emit] must tolerate concurrent callers. *)
+
+val null : t
+(** Drops every event. [is_null null = true]. *)
+
+val stderr_pretty : unit -> t
+(** Pretty-prints one line per event on stderr. *)
+
+val jsonl : string -> t
+(** [jsonl path] truncates/creates [path] and writes one JSON object per
+    event per line (see {!json_of_event} for the schema). Writes are
+    mutex-serialised and flushed per line, so shard spans emitted from
+    worker domains interleave whole-line-atomically. *)
+
+val memory : unit -> t * (unit -> event list)
+(** An in-memory recording sink and its (emission-ordered) reader — for
+    tests. *)
+
+val json_of_event : event -> string
+(** The JSONL schema, one object per event with fixed key order:
+    [{"type":"span","name":..,"parent":..,"domain":..,"start_ns":..,
+      "dur_ns":..,"attrs":{..}}] and
+    [{"type":"metric","name":..,"kind":..,"value":..,"attrs":{..}}]. *)
+
+val emit : t -> event -> unit
+val flush : t -> unit
+val close : t -> unit
+val is_null : t -> bool
+
+(** {1 The process-global sink}
+
+    Instrumented library code emits to the global sink; entry points
+    install a real sink ([--metrics]) or leave the default {!null}. *)
+
+val set_global : t -> unit
+val global : unit -> t
+val enabled : unit -> bool
+(** [true] when the global sink is not {!null} — the gate for
+    instrumentation that is too expensive to run unobserved (e.g.
+    per-assertion evaluation timing in [Assertions.Monitor]). *)
+
+val emit_global : event -> unit

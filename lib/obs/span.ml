@@ -1,0 +1,46 @@
+(* Nestable spans over the monotonic clock. The open-span stack is
+   domain-local (DLS), so worker domains nest independently of the
+   caller; events flow to the global sink at close. *)
+
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current () =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> None
+  | name :: _ -> Some name
+
+let close ~name ~parent ~attrs ~start_ns ~dur_ns stack =
+  (* Defensive pop: tolerate a callee that unbalanced the stack rather
+     than corrupting every enclosing span. *)
+  (match !stack with
+   | top :: rest when String.equal top name -> stack := rest
+   | other ->
+     let rec drop = function
+       | top :: rest when not (String.equal top name) -> drop rest
+       | _ :: rest -> rest
+       | [] -> []
+     in
+     stack := drop other);
+  Sink.emit_global
+    (Sink.Span
+       { name; parent;
+         domain = (Domain.self () :> int);
+         start_ns; dur_ns; attrs })
+
+let timed ?(attrs = []) ~name f =
+  let stack = Domain.DLS.get stack_key in
+  let parent = match !stack with [] -> None | p :: _ -> Some p in
+  stack := name :: !stack;
+  let start_ns = Clock.now_ns () in
+  match f () with
+  | v ->
+    let dur_ns = Clock.ns_since start_ns in
+    close ~name ~parent ~attrs ~start_ns ~dur_ns stack;
+    (v, Int64.to_float dur_ns /. 1e9)
+  | exception e ->
+    close ~name ~parent ~attrs ~start_ns ~dur_ns:(Clock.ns_since start_ns)
+      stack;
+    raise e
+
+let with_ ?attrs ~name f = fst (timed ?attrs ~name f)

@@ -1,0 +1,26 @@
+(** Nestable monotonic-clock spans.
+
+    Each domain keeps its own span stack (domain-local storage), so spans
+    opened inside [Util.Parallel] workers nest within that worker and can
+    never corrupt the calling domain's stack. A span's [parent] is the
+    span enclosing it {e in the same domain}; worker-domain spans are
+    roots of their own domain.
+
+    Spans are emitted to the global {!Sink} when they close (children
+    therefore appear before their parents in the event stream), and cost
+    two clock reads plus a list cell when nobody is listening. *)
+
+val with_ :
+  ?attrs:(string * Sink.value) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a span. The span closes (and is
+    emitted) whether [f] returns or raises. *)
+
+val timed :
+  ?attrs:(string * Sink.value) list -> name:string -> (unit -> 'a) ->
+  'a * float
+(** Like {!with_}, additionally returning the span's duration in
+    monotonic seconds — for callers that feed an existing [seconds]
+    record field. *)
+
+val current : unit -> string option
+(** The innermost open span of the calling domain, if any. *)

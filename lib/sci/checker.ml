@@ -22,11 +22,20 @@ let index invariants =
     tmp;
   { by_point; total = List.length invariants }
 
+(* Aggregate evaluation telemetry, updated once per [violations] call
+   (per bug-trigger pass), never per record. *)
+let c_records = Obs.Metrics.counter "checker.records"
+let c_violations = Obs.Metrics.counter "checker.violations"
+let h_eval_ns = Obs.Metrics.histogram "checker.eval_ns"
+
 (* All distinct invariants violated anywhere in [records]. *)
 let violations idx records =
+  let t0 = Obs.Clock.now_ns () in
   let violated = Hashtbl.create 64 in
+  let nrecords = ref 0 in
   List.iter
     (fun (record : Trace.Record.t) ->
+       incr nrecords;
        match Hashtbl.find_opt idx.by_point record.Trace.Record.point with
        | None -> ()
        | Some invs ->
@@ -37,8 +46,14 @@ let violations idx records =
                 Hashtbl.replace violated key inv)
            invs)
     records;
-  Hashtbl.fold (fun _ inv acc -> inv :: acc) violated []
-  |> List.sort Expr.compare
+  let result =
+    Hashtbl.fold (fun _ inv acc -> inv :: acc) violated []
+    |> List.sort Expr.compare
+  in
+  Obs.Metrics.add c_records !nrecords;
+  Obs.Metrics.add c_violations (List.length result);
+  Obs.Metrics.observe h_eval_ns (Int64.to_int (Obs.Clock.ns_since t0));
+  result
 
 (* First record index at which [inv] is violated, for diagnostics. *)
 let first_violation inv records =

@@ -127,6 +127,28 @@ let build_record ~machine ~mask_table ~config ~pre ~head_ev ~exn_ev =
   Array.iteri (fun id applicable -> if not applicable then values.(id) <- 0) mask;
   { Record.point; values; mask }
 
+(* Per-machine telemetry, folded into the global metrics once per run:
+   a dozen atomic adds per traced program, nothing per instruction. *)
+let c_retired = Obs.Metrics.counter "cpu.retired"
+let c_exn_suppressed = Obs.Metrics.counter "cpu.exn_suppressed"
+let g_mem_high = Obs.Metrics.gauge "cpu.mem_high_water"
+
+let exn_counters =
+  lazy
+    (List.map
+       (fun k -> Obs.Metrics.counter ("cpu.exn." ^ Isa.Spr.Vector.name k))
+       Isa.Spr.Vector.all)
+
+let fold_machine_telemetry machine =
+  let tel = machine.M.tel in
+  Obs.Metrics.add c_retired machine.M.retired;
+  Obs.Metrics.add c_exn_suppressed tel.M.exn_suppressed;
+  if tel.M.mem_high_water >= 0 then
+    Obs.Metrics.set_max g_mem_high (float_of_int tel.M.mem_high_water);
+  List.iteri
+    (fun i c -> Obs.Metrics.add c tel.M.exn_entered.(i))
+    (Lazy.force exn_counters)
+
 (* Execute [machine] until halt, feeding fused records to [observer]. *)
 let run ?(config = default_config) ~observer machine : outcome =
   let mask_table = Record.create_mask_table () in
@@ -176,7 +198,9 @@ let run ?(config = default_config) ~observer machine : outcome =
            end)
     end
   in
-  loop 0
+  let outcome = loop 0 in
+  fold_machine_telemetry machine;
+  outcome
 
 (* Convenience: run a fresh machine over an assembled program and return
    the captured records (used for trigger traces, which are small). *)

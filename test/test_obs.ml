@@ -1,0 +1,263 @@
+(* The telemetry subsystem's acceptance properties: span nesting and
+   emission order, exact counters under domain-parallel increments,
+   worker-domain span isolation, a golden (schema-stable) JSONL encoding,
+   and — the one that matters most — a JSONL sink changing nothing about
+   what the pipeline computes. *)
+
+module Pipeline = Scifinder_core.Pipeline
+module Expr = Invariant.Expr
+
+(* Every test leaves the global sink as it found it (null). *)
+let with_sink sink f =
+  Obs.Sink.set_global sink;
+  Fun.protect ~finally:(fun () -> Obs.Sink.set_global Obs.Sink.null) f
+
+let span_events events =
+  List.filter_map
+    (function
+      | Obs.Sink.Span { name; parent; dur_ns; _ } ->
+        Some (name, parent, dur_ns)
+      | Obs.Sink.Metric _ -> None)
+    events
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let sink, read = Obs.Sink.memory () in
+  with_sink sink (fun () ->
+      let v =
+        Obs.Span.with_ ~name:"a" (fun () ->
+            Alcotest.(check (option string)) "inside a"
+              (Some "a") (Obs.Span.current ());
+            let u = Obs.Span.with_ ~name:"b" (fun () -> 41) in
+            Alcotest.(check (option string)) "back to a"
+              (Some "a") (Obs.Span.current ());
+            u + 1)
+      in
+      Alcotest.(check int) "with_ returns the body's value" 42 v);
+  Alcotest.(check (option string)) "no open span left" None
+    (Obs.Span.current ());
+  match span_events (read ()) with
+  | [ ("b", pb, db); ("a", pa, da) ] ->
+    Alcotest.(check (option string)) "b's parent is a" (Some "a") pb;
+    Alcotest.(check (option string)) "a is a root" None pa;
+    Alcotest.(check bool) "durations are non-negative" true
+      (Int64.compare db 0L >= 0 && Int64.compare da 0L >= 0);
+    Alcotest.(check bool) "a lasted at least as long as b" true
+      (Int64.compare da db >= 0)
+  | evs ->
+    Alcotest.failf "expected [b; a], got %d span events" (List.length evs)
+
+let test_span_exception () =
+  let sink, read = Obs.Sink.memory () in
+  with_sink sink (fun () ->
+      (try Obs.Span.with_ ~name:"boom" (fun () -> raise Exit)
+       with Exit -> ());
+      Alcotest.(check (option string)) "stack unwound" None
+        (Obs.Span.current ()));
+  match span_events (read ()) with
+  | [ ("boom", None, _) ] -> ()
+  | evs ->
+    Alcotest.failf "expected the raising span, got %d events"
+      (List.length evs)
+
+let test_span_timed () =
+  let (v, secs) = Obs.Span.timed ~name:"t" (fun () -> 7) in
+  Alcotest.(check int) "timed returns the value" 7 v;
+  Alcotest.(check bool) "monotonic duration" true (secs >= 0.0)
+
+(* ---- counters under Util.Parallel ---- *)
+
+let test_counter_across_domains () =
+  let c = Obs.Metrics.counter "test.obs.parallel_counter" in
+  let tasks = Array.init 40 (fun i -> i) in
+  ignore
+    (Util.Parallel.map ~jobs:4
+       (fun _ ->
+          for _ = 1 to 1000 do Obs.Metrics.incr c done;
+          Obs.Metrics.add c 10)
+       tasks);
+  Alcotest.(check int) "40 tasks x (1000 incr + add 10), exactly"
+    (40 * 1010) (Obs.Metrics.counter_value c)
+
+let test_worker_spans_do_not_corrupt_parent () =
+  let sink, read = Obs.Sink.memory () in
+  with_sink sink (fun () ->
+      Obs.Span.with_ ~name:"outer" (fun () ->
+          ignore
+            (Util.Parallel.map ~jobs:4
+               (fun i -> Obs.Span.with_ ~name:"w" (fun () -> i))
+               (Array.init 16 (fun i -> i)));
+          (* The pool is drained; the calling domain's stack is intact. *)
+          Alcotest.(check (option string)) "outer still open"
+            (Some "outer") (Obs.Span.current ())));
+  let spans = span_events (read ()) in
+  let workers = List.filter (fun (n, _, _) -> n = "w") spans in
+  Alcotest.(check int) "one span per task" 16 (List.length workers);
+  (* The calling domain doubles as a worker, so a worker span's parent is
+     either the enclosing span (same domain) or nothing (fresh domain) —
+     never a span of some *other* domain. *)
+  List.iter
+    (fun (_, parent, _) ->
+       match parent with
+       | None | Some "outer" -> ()
+       | Some p -> Alcotest.failf "worker span adopted parent %S" p)
+    workers
+
+(* ---- metrics ---- *)
+
+let test_gauge () =
+  let g = Obs.Metrics.gauge "test.obs.gauge" in
+  Obs.Metrics.set g 3.0;
+  Obs.Metrics.set_max g 2.0;
+  Alcotest.(check (float 0.0)) "set_max keeps the high water" 3.0
+    (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set_max g 5.0;
+  Alcotest.(check (float 0.0)) "set_max raises it" 5.0
+    (Obs.Metrics.gauge_value g)
+
+let test_histogram_snapshot () =
+  let h = Obs.Metrics.histogram "test.obs.hist" in
+  List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 100 ];
+  let s =
+    List.find
+      (fun (s : Obs.Metrics.snapshot) -> s.metric = "test.obs.hist")
+      (Obs.Metrics.snapshot ())
+  in
+  Alcotest.(check string) "kind" "histogram" s.kind;
+  Alcotest.(check (float 0.0)) "value is the count" 4.0 s.value;
+  let attr k = List.assoc k s.attrs in
+  Alcotest.(check bool) "count/sum/min/max" true
+    (attr "count" = Obs.Sink.I 4 && attr "sum" = Obs.Sink.I 106
+     && attr "min" = Obs.Sink.I 1 && attr "max" = Obs.Sink.I 100);
+  Alcotest.(check bool) "mean" true (attr "mean" = Obs.Sink.F 26.5);
+  (* Bucketed estimates: upper bound of the rank's power-of-two bucket,
+     clamped to the observed max. *)
+  Alcotest.(check bool) "p50 estimate" true (attr "p50" = Obs.Sink.I 3);
+  Alcotest.(check bool) "p95 estimate" true (attr "p95" = Obs.Sink.I 100)
+
+let test_counter_kind_collision () =
+  ignore (Obs.Metrics.counter "test.obs.collision");
+  Alcotest.check_raises "same name, different kind"
+    (Invalid_argument
+       "Obs.Metrics: test.obs.collision already registered as a counter")
+    (fun () -> ignore (Obs.Metrics.gauge "test.obs.collision"))
+
+(* ---- the JSONL schema (golden) ---- *)
+
+let test_json_golden () =
+  let span =
+    Obs.Sink.Span
+      { name = "pipeline.mine"; parent = Some "root"; domain = 0;
+        start_ns = 123L; dur_ns = 456L;
+        attrs =
+          [ ("jobs", Obs.Sink.I 2); ("ratio", Obs.Sink.F 0.5);
+            ("workload", Obs.Sink.S "a\"b\n"); ("ok", Obs.Sink.B true) ] }
+  in
+  Alcotest.(check string) "span object, fixed key order"
+    ("{\"type\":\"span\",\"name\":\"pipeline.mine\",\"parent\":\"root\","
+     ^ "\"domain\":0,\"start_ns\":123,\"dur_ns\":456,"
+     ^ "\"attrs\":{\"jobs\":2,\"ratio\":0.5,\"workload\":\"a\\\"b\\n\","
+     ^ "\"ok\":true}}")
+    (Obs.Sink.json_of_event span);
+  let metric =
+    Obs.Sink.Metric
+      { name = "mine.records"; kind = "counter"; value = 23931.0; attrs = [] }
+  in
+  Alcotest.(check string) "metric object; integral floats keep a digit"
+    ("{\"type\":\"metric\",\"name\":\"mine.records\",\"kind\":\"counter\","
+     ^ "\"value\":23931.0,\"attrs\":{}}")
+    (Obs.Sink.json_of_event metric);
+  (* Both golden lines re-parse with the bundled reader. *)
+  List.iter
+    (fun ev ->
+       match Obs.Json.parse (Obs.Sink.json_of_event ev) with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "golden line does not re-parse: %s" e)
+    [ span; metric ]
+
+let test_json_parser () =
+  (match Obs.Json.parse "{\"a\":[1,true,null,\"x\"],\"b\":-2.5e1}" with
+   | Ok j ->
+     Alcotest.(check bool) "member b" true
+       (Obs.Json.member "b" j = Some (Obs.Json.Num (-25.0)))
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Obs.Json.parse "{\"a\":1} trailing" with
+   | Ok _ -> Alcotest.fail "trailing garbage accepted"
+   | Error _ -> ())
+
+(* ---- the pipeline under a real sink ---- *)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_pipeline_sink_neutral () =
+  let groups = [ [ "pi" ]; [ "bitcount" ] ] in
+  let labels = [ "pi"; "bitcount" ] in
+  let quiet = Pipeline.mine ~groups ~labels ~jobs:2 () in
+  let path = Filename.temp_file "test_obs" ".jsonl" in
+  let sink = Obs.Sink.jsonl path in
+  let observed =
+    Fun.protect ~finally:(fun () -> Obs.Sink.close sink) (fun () ->
+        with_sink sink (fun () -> Pipeline.mine ~groups ~labels ~jobs:2 ()))
+  in
+  Alcotest.(check (list string)) "same invariant set"
+    (List.map Expr.to_string quiet.Pipeline.invariants)
+    (List.map Expr.to_string observed.Pipeline.invariants);
+  Alcotest.(check int) "same record count"
+    quiet.Pipeline.record_count observed.Pipeline.record_count;
+  List.iter2
+    (fun (a : Pipeline.figure3_row) (b : Pipeline.figure3_row) ->
+       Alcotest.(check (list int)) ("figure 3 row " ^ a.group_label)
+         [ a.unmodified; a.fresh; a.deleted; a.total ]
+         [ b.unmodified; b.fresh; b.deleted; b.total ])
+    quiet.Pipeline.figure3 observed.Pipeline.figure3;
+  (* And the sink actually saw the run: a span per phase invocation and
+     one per workload shard, every line schema-valid. *)
+  let names =
+    List.map
+      (fun line ->
+         match Obs.Json.parse line with
+         | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e
+         | Ok j ->
+           (match Obs.Json.(member "type" j, member "name" j) with
+            | Some (Obs.Json.Str t), Some (Obs.Json.Str n) -> (t, n)
+            | _ -> Alcotest.failf "line missing type/name: %s" line))
+      (read_lines path)
+  in
+  Sys.remove path;
+  let spans n = List.length (List.filter (( = ) ("span", n)) names) in
+  Alcotest.(check int) "one pipeline.mine span" 1 (spans "pipeline.mine");
+  Alcotest.(check int) "one shard span per workload" 2 (spans "mine.shard")
+
+let () =
+  Alcotest.run "obs"
+    [ ("span",
+       [ Alcotest.test_case "nesting and emission order" `Quick
+           test_span_nesting;
+         Alcotest.test_case "closes on exception" `Quick test_span_exception;
+         Alcotest.test_case "timed" `Quick test_span_timed ]);
+      ("domains",
+       [ Alcotest.test_case "counter is exact across domains" `Quick
+           test_counter_across_domains;
+         Alcotest.test_case "worker spans isolate from parent" `Quick
+           test_worker_spans_do_not_corrupt_parent ]);
+      ("metrics",
+       [ Alcotest.test_case "gauge high water" `Quick test_gauge;
+         Alcotest.test_case "histogram snapshot" `Quick
+           test_histogram_snapshot;
+         Alcotest.test_case "kind collision" `Quick
+           test_counter_kind_collision ]);
+      ("jsonl",
+       [ Alcotest.test_case "golden encoding" `Quick test_json_golden;
+         Alcotest.test_case "reader" `Quick test_json_parser ]);
+      ("pipeline",
+       [ Alcotest.test_case "JSONL sink is behavior-neutral" `Quick
+           test_pipeline_sink_neutral ]) ]
