@@ -5,7 +5,7 @@
      main.exe            run every experiment, print paper-layout tables
      main.exe <id>       one experiment: fig3 tab2 tab3 tab4 fig4 tab5
                          tab6 tab7 tab8 tab9 sec56 ablation parbench
-                         obsbench
+                         obsbench cachebench
      main.exe bechamel   the Bechamel micro-benchmarks
      main.exe -j N ...   mine the trace corpus on a pool of N domains
                          (default: the recommended domain count)
@@ -505,6 +505,72 @@ let parbench () =
   pf "(equal compares the full invariant set and every Figure 3 row;\n";
   pf " wall-clock gains require as many hardware cores as jobs)\n"
 
+(* ---- incremental mining: cold vs. warm snapshot cache ---- *)
+
+(* Filled by cachebench; lands in BENCH_pipeline.json's "cache" block. *)
+let cache_result : (string * float) list ref = ref []
+
+let cachebench () =
+  header "Incremental mining: cold vs. warm snapshot cache";
+  let dir =
+    let base = Filename.temp_file "scifinder_cachebench" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    base
+  in
+  let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  let strings m = List.map Expr.to_string m.Pipeline.invariants in
+  let same a b =
+    strings a = strings b
+    && a.Pipeline.figure3 = b.Pipeline.figure3
+    && a.Pipeline.record_count = b.Pipeline.record_count
+    && a.Pipeline.mnemonic_coverage = b.Pipeline.mnemonic_coverage
+  in
+  let cold = Pipeline.mine ~jobs:!jobs ~cache_dir:dir () in
+  let warm = Pipeline.mine ~jobs:!jobs ~cache_dir:dir () in
+  let speedup = cold.Pipeline.seconds /. Float.max warm.Pipeline.seconds 1e-9 in
+  pf "%-28s %12s %12s %10s\n" "run" "invariants" "records" "seconds";
+  pf "%-28s %12d %12d %10.2f\n" "cold (empty cache)"
+    (List.length cold.Pipeline.invariants) cold.Pipeline.record_count
+    cold.Pipeline.seconds;
+  pf "%-28s %12d %12d %10.2f\n" "warm (full cache)"
+    (List.length warm.Pipeline.invariants) warm.Pipeline.record_count
+    warm.Pipeline.seconds;
+  let warm_equal = same cold warm in
+  pf "warm equals cold (invariant set + Figure 3 rows, bit-identical): %b\n"
+    warm_equal;
+  pf "warm speedup: %.1fx (acceptance floor: 5x)\n" speedup;
+  (* Damage the cache: truncate one shard snapshot and orphan the
+     summary — the run must reject both, re-mine the shard, and still
+     come back bit-identical. *)
+  let stale0 = counter "mine.cache.stale" in
+  let victim = Filename.concat dir "pi.snap" in
+  let len = (Unix.stat victim).Unix.st_size in
+  let fd = Unix.openfile victim [ Unix.O_WRONLY ] 0o644 in
+  Unix.ftruncate fd (len / 2);
+  Unix.close fd;
+  Array.iter
+    (fun f ->
+       if Filename.check_suffix f ".summary" then
+         Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  let repaired = Pipeline.mine ~jobs:!jobs ~cache_dir:dir () in
+  let stale_seen = counter "mine.cache.stale" - stale0 in
+  let repaired_equal = same cold repaired in
+  pf "truncated shard rejected and re-mined: %b (stale entries seen: %d)\n"
+    repaired_equal stale_seen;
+  let pass = warm_equal && repaired_equal && stale_seen > 0 && speedup >= 5.0 in
+  pf "cachebench gate (warm==cold, stale rejected, >=5x): %s\n"
+    (if pass then "PASS" else "FAIL");
+  cache_result :=
+    [ ("cold_s", cold.Pipeline.seconds);
+      ("warm_s", warm.Pipeline.seconds);
+      ("speedup", speedup);
+      ("warm_equal", if warm_equal then 1.0 else 0.0);
+      ("stale_rejected", if repaired_equal && stale_seen > 0 then 1.0 else 0.0) ];
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 (* ---- telemetry overhead: the tentpole's < 2% null-sink budget ---- *)
 
 let obsbench () =
@@ -726,6 +792,15 @@ let write_bench_json () =
       !overhead_result;
     bpf "\n  }"
   end;
+  if !cache_result <> [] then begin
+    bpf ",\n  \"cache\": {";
+    List.iteri
+      (fun i (k, v) ->
+         bpf "%s\n    %s: %s" (if i = 0 then "" else ",")
+           (json_str k) (json_float v))
+      !cache_result;
+    bpf "\n  }"
+  end;
   bpf "\n}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect ~finally:(fun () -> close_out oc)
@@ -806,6 +881,7 @@ let () =
     | "ablation-integrity" -> timed id ablation_instruction_integrity
     | "parbench" -> timed id parbench
     | "obsbench" -> timed id obsbench
+    | "cachebench" -> timed id cachebench
     | "export" -> timed id (fun () -> export (second "bench_data"))
     | "bechamel" -> timed id bechamel
     | other ->

@@ -6,7 +6,13 @@
      scifinder verify -b ID      enforce SCI as assertions against a bug
      scifinder verilog -o FILE   emit a synthesizable monitor for the SCI
      scifinder bugs              list the bug registry
-     scifinder workloads         list the trace corpus *)
+     scifinder workloads         list the trace corpus
+
+   Every command exits through a documented code (see --help): 0 on
+   success, 1 on runtime errors (unreadable or malformed invariant
+   files), 2 when a verified bug evades the assertion battery, 3 on an
+   unknown bug id. Failures return through Cmdliner rather than
+   aborting mid-term, so the at_exit --metrics flush always runs. *)
 
 open Cmdliner
 
@@ -30,6 +36,34 @@ let setup_metrics = function
         Obs.Sink.close sink;
         Obs.Sink.set_global Obs.Sink.null)
 
+(* ---- exit codes ---- *)
+
+let runtime_error_exit = 1
+let evasion_exit = 2
+let unknown_bug_exit = 3
+
+let runtime_error_info =
+  Cmd.Exit.info runtime_error_exit
+    ~doc:"on runtime errors (unreadable or malformed invariant files)."
+
+let unknown_bug_info =
+  Cmd.Exit.info unknown_bug_exit ~doc:"on an unknown bug id."
+
+let common_exits = runtime_error_info :: Cmd.Exit.defaults
+
+(* Runtime failures land here instead of escaping as uncaught
+   exceptions: the message goes to stderr through the log reporter and
+   the process exits through Cmdliner with a documented code — which
+   also lets the at_exit telemetry sink flush normally. *)
+let run_guarded f =
+  try f () with
+  | Invariant.Io.Parse_error (msg, line) ->
+    Logs.err (fun m -> m "line %d: %s" line msg);
+    runtime_error_exit
+  | Sys_error msg ->
+    Logs.err (fun m -> m "%s" msg);
+    runtime_error_exit
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
 
@@ -47,16 +81,39 @@ let jobs_arg =
                (default: the recommended domain count). The mined set is \
                identical for any N.")
 
+(* --cache DIR persists per-workload engine snapshots (and, for the full
+   corpus, the whole mining summary) so warm re-runs skip tracing;
+   --no-cache is the escape hatch when the directory is inherited from
+   the environment or a wrapper script. *)
+let cache_term =
+  let cache =
+    Arg.(value & opt (some string) None
+         & info [ "cache" ] ~docv:"DIR"
+           ~doc:"Reuse per-workload engine snapshots under $(docv): cache \
+                 hits skip tracing entirely; stale or damaged entries are \
+                 rejected and re-mined. Results are bit-identical to an \
+                 uncached run. See DESIGN.md for the snapshot format.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+           ~doc:"Ignore $(b,--cache) and always re-trace the corpus.")
+  in
+  Term.(const (fun dir off -> if off then None else dir) $ cache $ no_cache)
+
 (* Shared pipeline pieces. *)
 
-let mine_invariants ?(names = None) ~jobs () =
+let mine_invariants ?(names = None) ?cache_dir ~jobs () =
   Logs.info (fun m ->
-      m "mining %s on %d domain%s"
+      m "mining %s on %d domain%s%s"
         (match names with
          | None -> "the 17-workload corpus"
          | Some l -> String.concat " " l)
-        jobs (if jobs = 1 then "" else "s"));
-  Scifinder_core.Pipeline.mine_invariants ~jobs ?names ()
+        jobs (if jobs = 1 then "" else "s")
+        (match cache_dir with
+         | None -> ""
+         | Some d -> Printf.sprintf " (cache: %s)" d));
+  Scifinder_core.Pipeline.mine_invariants ~jobs ?cache_dir ?names ()
 
 let find_bug id =
   match Bugs.Table1.by_id id with
@@ -64,16 +121,17 @@ let find_bug id =
   | None ->
     (match Bugs.Amd_errata.by_id id with
      | Some b -> Ok b
-     | None -> Error (`Msg (Printf.sprintf "unknown bug %S (b1..b17, a1..a14)" id)))
+     | None -> Error (Printf.sprintf "unknown bug %S (b1..b17, a1..a14)" id))
 
 (* ---- mine ---- *)
 
 let mine_cmd =
-  let run verbose metrics jobs limit point workload_names output =
+  let run verbose metrics jobs cache_dir limit point workload_names output =
     setup_logs verbose;
     setup_metrics metrics;
+    run_guarded @@ fun () ->
     let names = match workload_names with [] -> None | l -> Some l in
-    let invariants = mine_invariants ~names ~jobs () in
+    let invariants = mine_invariants ~names ?cache_dir ~jobs () in
     (match output with
      | Some path ->
        Invariant.Io.save path invariants;
@@ -93,7 +151,8 @@ let mine_cmd =
       invariants;
     if List.length invariants > limit then
       Printf.printf "... (%d more; raise --limit)\n"
-        (List.length invariants - limit)
+        (List.length invariants - limit);
+    0
   in
   let limit =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Invariants to print.")
@@ -113,18 +172,19 @@ let mine_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Save the mined set for later identify/verify runs.")
   in
-  Cmd.v (Cmd.info "mine" ~doc:"Mine likely processor invariants from the trace corpus.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ limit $ point
-          $ workloads $ output)
+  Cmd.v (Cmd.info "mine" ~exits:common_exits
+           ~doc:"Mine likely processor invariants from the trace corpus.")
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
+          $ limit $ point $ workloads $ output)
 
 (* ---- identify ---- *)
 
-let load_or_mine ~jobs = function
+let load_or_mine ~jobs ?cache_dir = function
   | Some path ->
     let invs = Invariant.Io.load path in
     Logs.info (fun m -> m "loaded %d invariants from %s" (List.length invs) path);
     invs
-  | None -> mine_invariants ~jobs ()
+  | None -> mine_invariants ?cache_dir ~jobs ()
 
 let input_arg =
   Arg.(value & opt (some string) None
@@ -132,19 +192,20 @@ let input_arg =
          ~doc:"Load a saved invariant set instead of re-mining the corpus.")
 
 let identify_cmd =
-  let run verbose metrics jobs bug_id input =
+  let run verbose metrics jobs cache_dir bug_id input =
     setup_logs verbose;
     setup_metrics metrics;
-    let invariants = load_or_mine ~jobs input in
-    let optimized = (Invopt.Pipeline.optimize invariants).optimized in
-    let bugs =
-      match bug_id with
-      | None -> Ok Bugs.Table1.all
-      | Some id -> Result.map (fun b -> [ b ]) (find_bug id)
-    in
-    match bugs with
-    | Error (`Msg e) -> prerr_endline e; exit 1
+    run_guarded @@ fun () ->
+    match Option.fold ~none:(Ok Bugs.Table1.all)
+            ~some:(fun id -> Result.map (fun b -> [ b ]) (find_bug id))
+            bug_id
+    with
+    | Error e ->
+      Logs.err (fun m -> m "%s" e);
+      unknown_bug_exit
     | Ok bugs ->
+      let invariants = load_or_mine ~jobs ?cache_dir input in
+      let optimized = (Invopt.Pipeline.optimize invariants).optimized in
       let summary = Sci.Identify.run_all ~invariants:optimized bugs in
       List.iter
         (fun (r : Sci.Identify.report) ->
@@ -158,22 +219,27 @@ let identify_cmd =
                 if i < 10 then
                   Printf.printf "  %s\n" (Invariant.Expr.to_string inv))
              r.true_sci)
-        summary.reports
+        summary.reports;
+      0
   in
   let bug =
     Arg.(value & opt (some string) None
          & info [ "b"; "bug" ] ~docv:"ID" ~doc:"A single bug id (default: all of Table 1).")
   in
-  Cmd.v (Cmd.info "identify" ~doc:"Identify security-critical invariants from known errata.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ bug $ input_arg)
+  Cmd.v (Cmd.info "identify"
+           ~exits:(unknown_bug_info :: common_exits)
+           ~doc:"Identify security-critical invariants from known errata.")
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
+          $ bug $ input_arg)
 
 (* ---- infer ---- *)
 
 let infer_cmd =
-  let run verbose metrics jobs limit =
+  let run verbose metrics jobs cache_dir limit =
     setup_logs verbose;
     setup_metrics metrics;
-    let mining = Scifinder_core.Pipeline.mine ~jobs () in
+    run_guarded @@ fun () ->
+    let mining = Scifinder_core.Pipeline.mine ~jobs ?cache_dir () in
     let optimized =
       (Scifinder_core.Pipeline.optimize mining.invariants).result.optimized
     in
@@ -191,24 +257,29 @@ let infer_cmd =
          if i < limit then
            Printf.printf "%-40s (%d SCI) e.g. %s\n" key (List.length members)
              (Invariant.Expr.to_string (List.hd members)))
-      (Scifinder_core.Shape.group inf.surviving)
+      (Scifinder_core.Shape.group inf.surviving);
+    0
   in
   let limit =
     Arg.(value & opt int 40 & info [ "limit" ] ~doc:"Property classes to print.")
   in
-  Cmd.v (Cmd.info "infer" ~doc:"Run the full pipeline and print inferred security properties.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ limit)
+  Cmd.v (Cmd.info "infer" ~exits:common_exits
+           ~doc:"Run the full pipeline and print inferred security properties.")
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term $ limit)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run verbose metrics jobs bug_id input =
+  let run verbose metrics jobs cache_dir bug_id input =
     setup_logs verbose;
     setup_metrics metrics;
+    run_guarded @@ fun () ->
     match find_bug bug_id with
-    | Error (`Msg e) -> prerr_endline e; exit 1
+    | Error e ->
+      Logs.err (fun m -> m "%s" e);
+      unknown_bug_exit
     | Ok bug ->
-      let invariants = load_or_mine ~jobs input in
+      let invariants = load_or_mine ~jobs ?cache_dir input in
       let optimized = (Invopt.Pipeline.optimize invariants).optimized in
       let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
       let battery = Assertions.Ovl.of_invariants summary.unique_sci in
@@ -230,23 +301,30 @@ let verify_cmd =
         real;
       if real = [] then begin
         Printf.printf "bug %s evades the assertion battery\n" bug.id;
-        exit 2
+        evasion_exit
       end
+      else 0
   in
   let bug =
     Arg.(required & opt (some string) None
          & info [ "b"; "bug" ] ~docv:"ID" ~doc:"Bug to attack (required).")
   in
-  Cmd.v (Cmd.info "verify" ~doc:"Dynamic verification: enforce the SCI as assertions against an exploit.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ bug $ input_arg)
+  Cmd.v (Cmd.info "verify"
+           ~exits:(Cmd.Exit.info evasion_exit
+                     ~doc:"when the bug evades the assertion battery."
+                   :: unknown_bug_info :: common_exits)
+           ~doc:"Dynamic verification: enforce the SCI as assertions against an exploit.")
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
+          $ bug $ input_arg)
 
 (* ---- verilog ---- *)
 
 let verilog_cmd =
-  let run verbose metrics jobs input output =
+  let run verbose metrics jobs cache_dir input output =
     setup_logs verbose;
     setup_metrics metrics;
-    let invariants = load_or_mine ~jobs input in
+    run_guarded @@ fun () ->
+    let invariants = load_or_mine ~jobs ?cache_dir input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
     let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
     let reps = Scifinder_core.Shape.representatives summary.unique_sci in
@@ -260,15 +338,17 @@ let verilog_cmd =
          (fun () -> output_string oc text);
        Printf.printf "wrote %s: %d assertions, est. %d LUTs (%.2f%% of the SoC)\n"
          path (List.length battery) cost.total_luts cost.lut_pct
-     | None -> print_string text)
+     | None -> print_string text);
+    0
   in
   let output =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the module here (default: stdout).")
   in
-  Cmd.v (Cmd.info "verilog"
+  Cmd.v (Cmd.info "verilog" ~exits:common_exits
            ~doc:"Emit a synthesizable monitor module for the identified SCI.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ input_arg $ output)
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
+          $ input_arg $ output)
 
 (* ---- bugs / workloads listings ---- *)
 
@@ -282,7 +362,8 @@ let bugs_cmd =
            (Bugs.Registry.category_name b.category)
            (if b.isa_visible then "yes" else "uarch")
            b.synopsis b.source)
-      (Bugs.Table1.all @ Bugs.Amd_errata.all)
+      (Bugs.Table1.all @ Bugs.Amd_errata.all);
+    0
   in
   Cmd.v (Cmd.info "bugs" ~doc:"List the security-critical bug registry.")
     Term.(const run $ const ())
@@ -295,7 +376,8 @@ let workloads_cmd =
            (if w.tick_period > 0 then
               Printf.sprintf "  (tick timer every %d insns)" w.tick_period
             else ""))
-      Workloads.Suite.all
+      Workloads.Suite.all;
+    0
   in
   Cmd.v (Cmd.info "workloads" ~doc:"List the 17-program trace corpus.")
     Term.(const run $ const ())
@@ -303,6 +385,6 @@ let workloads_cmd =
 let () =
   let doc = "semi-automatic generation of security-critical processor invariants" in
   let info = Cmd.info "scifinder" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-                    [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
-                      verilog_cmd; bugs_cmd; workloads_cmd ]))
+  exit (Cmd.eval' (Cmd.group info
+                     [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
+                       verilog_cmd; bugs_cmd; workloads_cmd ]))

@@ -4,6 +4,10 @@
 set -eu
 dune build
 dune runtest
+# Determinism gate: the whole suite again under randomized hash seeds.
+# Invariant extraction, Figure 3 rows and snapshot bytes must not depend
+# on Hashtbl iteration order ("bit-identical for every jobs >= 1").
+OCAMLRUNPARAM=R dune runtest --force
 # Bench smoke: mine Figure 3 on two shards with the JSONL sink attached;
 # the run must leave a parseable BENCH_pipeline.json and metrics stream.
 rm -f BENCH_pipeline.json BENCH_metrics.jsonl
@@ -15,3 +19,8 @@ dune exec bench/check_json.exe -- BENCH_pipeline.json BENCH_metrics.jsonl
 # records) the estimated null-sink overhead; the gate is < 2%.
 dune exec bench/main.exe -- obsbench | tee /tmp/obsbench.out
 grep -q 'null-sink overhead budget < 2%: PASS' /tmp/obsbench.out
+# Incremental-mining gate: a warm cache run must be bit-identical to the
+# cold run (invariant set + Figure 3 rows), reject damaged snapshots,
+# and come in at least 5x faster.
+dune exec bench/main.exe -- cachebench | tee /tmp/cachebench.out
+grep -q 'cachebench gate (warm==cold, stale rejected, >=5x): PASS' /tmp/cachebench.out

@@ -20,6 +20,11 @@ let c_mine_fresh = Obs.Metrics.counter "mine.invariants_fresh"
 let c_mine_deleted = Obs.Metrics.counter "mine.invariants_deleted"
 let c_merges = Obs.Metrics.counter "mine.merges"
 let c_merge_ns = Obs.Metrics.counter "mine.merge_ns"
+let c_cache_hit = Obs.Metrics.counter "mine.cache.hit"
+let c_cache_miss = Obs.Metrics.counter "mine.cache.miss"
+let c_cache_stale = Obs.Metrics.counter "mine.cache.stale"
+let c_summary_hit = Obs.Metrics.counter "mine.cache.summary_hit"
+let c_summary_miss = Obs.Metrics.counter "mine.cache.summary_miss"
 
 let publish_engine_stats engine =
   List.iter
@@ -34,6 +39,72 @@ let publish_engine_stats engine =
        set "live" fs.live;
        set "dead" (fs.born - fs.live))
     (Daikon.Engine.candidate_stats engine)
+
+(* ---- Snapshot cache (warm-restart mining) ----
+
+   Two levels, both living under the caller-supplied cache directory:
+
+     <dir>/<workload>.snap        one Daikon engine shard per workload
+     <dir>/mine-<key16>.summary   the full corpus-level mining result
+
+   Every entry embeds a cache key — a digest over the codec version, the
+   config fingerprint and everything that determines the traced
+   observations (program image, entry point, tick period) — so a stale
+   entry is positively detected and re-mined rather than silently
+   trusted. Writes are atomic (temp + rename), so a crashed run can
+   never leave a torn entry behind. *)
+
+module Cache = struct
+  let rec mkdir_p dir =
+    if not (Sys.file_exists dir) then begin
+      mkdir_p (Filename.dirname dir);
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+
+  (* The shard key pins down the exact byte stream the tracer would
+     produce plus how the engine would digest it: codec version, config
+     fingerprint, and the workload's name, entry, tick period and full
+     program image. *)
+  let shard_key config (w : Workloads.Rt.t) =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "scifinder-shard/%d\n" Daikon.Engine.codec_version);
+    Buffer.add_string b (Daikon.Config.canonical_string config);
+    Buffer.add_string b
+      (Printf.sprintf "\n%s entry=%d tick=%d\n" w.name w.entry w.tick_period);
+    List.iter
+      (fun (addr, word) -> Buffer.add_string b (Printf.sprintf "%x:%x;" addr word))
+      w.image;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+
+  let shard_path dir name = Filename.concat dir (name ^ ".snap")
+
+  (* None means miss or stale — either way the caller re-traces and
+     overwrites. Distinguishing the two only matters for telemetry. *)
+  let load_shard ~config dir (w : Workloads.Rt.t) =
+    let path = shard_path dir w.name in
+    if not (Sys.file_exists path) then begin
+      Obs.Metrics.incr c_cache_miss;
+      None
+    end
+    else
+      match Daikon.Engine.load ~key:(shard_key config w) ~config path with
+      | engine ->
+        Obs.Metrics.incr c_cache_hit;
+        Some engine
+      | exception Daikon.Engine.Stale_snapshot _
+      | exception Daikon.Engine.Corrupt_snapshot _ ->
+        Obs.Metrics.incr c_cache_stale;
+        None
+      | exception Sys_error _ ->
+        Obs.Metrics.incr c_cache_miss;
+        None
+
+  let save_shard ~config dir (w : Workloads.Rt.t) engine =
+    mkdir_p dir;
+    Daikon.Engine.save ~key:(shard_key config w) engine (shard_path dir w.name)
+end
 
 (* ---- Phase 1: invariant generation (§3.1, Figure 3, Table 8) ---- *)
 
@@ -73,17 +144,151 @@ let trace_workload_into engine name =
               ~observer:(Daikon.Engine.observe engine)
               w.Workloads.Rt.image))
 
+(* One workload shard: a cache hit deserialises the engine and skips
+   tracing entirely; a miss (or stale/corrupt entry) traces and then
+   persists the shard BEFORE the caller merges it — [merge_into] adopts
+   shard state by reference, so saving after the merge would snapshot a
+   consumed engine. *)
+let mine_shard ~config ~cache_dir name =
+  match cache_dir with
+  | None ->
+    let shard = Daikon.Engine.create ~config () in
+    trace_workload_into shard name;
+    shard
+  | Some dir ->
+    let w =
+      match Workloads.Suite.by_name name with
+      | Some w -> w
+      | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
+    in
+    (match Cache.load_shard ~config dir w with
+     | Some shard -> shard
+     | None ->
+       let shard = Daikon.Engine.create ~config () in
+       trace_workload_into shard name;
+       Cache.save_shard ~config dir w shard;
+       shard)
+
 (* Trace every named workload into a private shard engine on a bounded
    pool of domains. Shards come back in corpus order, so the caller's
    merge order — and therefore every extracted invariant set — is
-   deterministic regardless of how the domains interleaved. *)
-let mine_shards ~config ~jobs names =
-  Util.Parallel.map ~jobs
-    (fun name ->
-       let shard = Daikon.Engine.create ~config () in
-       trace_workload_into shard name;
-       shard)
-    names
+   deterministic regardless of how the domains interleaved or which
+   shards came from the cache. *)
+let mine_shards ~config ~jobs ~cache_dir names =
+  Util.Parallel.map ~jobs (mine_shard ~config ~cache_dir) names
+
+(* ---- Corpus-level summary cache ----
+
+   A warm [mine] over an unchanged corpus should not pay for merging and
+   re-extracting invariants either, so the full mining result (Figure 3
+   rows, coverage, and the invariant set in the {!Invariant.Io} text
+   grammar) is persisted alongside the shards. The key folds in every
+   shard key in corpus order plus the group structure and labels, so any
+   change to config, codec, images, grouping or labelling misses. *)
+
+let summary_magic = "SCIFSUMM"
+
+let summary_key ~config ~groups ~labels =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "scifinder-summary/%d\n" Daikon.Engine.codec_version);
+  List.iter2
+    (fun group label ->
+       Buffer.add_string b ("[" ^ label ^ "]");
+       List.iter
+         (fun name ->
+            match Workloads.Suite.by_name name with
+            | Some w -> Buffer.add_string b (Cache.shard_key config w ^ ";")
+            | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name))
+         group)
+    groups labels;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let summary_path dir key =
+  Filename.concat dir (Printf.sprintf "mine-%s.summary" (String.sub key 0 16))
+
+let encode_summary ~key (m : mining) =
+  let p = Util.Binio.writer () in
+  Util.Binio.write_uint p (List.length m.figure3);
+  List.iter
+    (fun r ->
+       Util.Binio.write_string p r.group_label;
+       Util.Binio.write_uint p r.unmodified;
+       Util.Binio.write_uint p r.fresh;
+       Util.Binio.write_uint p r.deleted;
+       Util.Binio.write_uint p r.total)
+    m.figure3;
+  Util.Binio.write_uint p m.record_count;
+  Util.Binio.write_uint p (List.length m.mnemonic_coverage);
+  List.iter (Util.Binio.write_string p) m.mnemonic_coverage;
+  Util.Binio.write_string p
+    (String.concat "\n" (List.map Expr.to_string m.invariants));
+  let payload = Util.Binio.contents p in
+  let h = Util.Binio.writer () in
+  Util.Binio.write_raw h summary_magic;
+  Util.Binio.write_string h key;
+  Util.Binio.write_raw h (Digest.string payload);
+  Util.Binio.write_string h payload;
+  Util.Binio.contents h
+
+(* Reads exactly [n] values in order (the polymorphic list builders in
+   the stdlib leave evaluation order unspecified, which matters when [f]
+   advances a cursor). *)
+let read_seq n f =
+  let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f () :: acc) in
+  go n []
+
+(* None on any mismatch or damage: a summary is pure acceleration, so
+   the only wrong answer is trusting a bad one. *)
+let decode_summary ~key data =
+  match
+    let r = Util.Binio.reader data in
+    if Util.Binio.read_string_exact r (String.length summary_magic)
+       <> summary_magic
+    then None
+    else if not (String.equal (Util.Binio.read_string r) key) then None
+    else begin
+      let digest = Util.Binio.read_string_exact r 16 in
+      let payload = Util.Binio.read_string r in
+      if Digest.string payload <> digest then None
+      else begin
+        let p = Util.Binio.reader payload in
+        let figure3 =
+          read_seq (Util.Binio.read_uint p) (fun () ->
+              let group_label = Util.Binio.read_string p in
+              let unmodified = Util.Binio.read_uint p in
+              let fresh = Util.Binio.read_uint p in
+              let deleted = Util.Binio.read_uint p in
+              let total = Util.Binio.read_uint p in
+              { group_label; unmodified; fresh; deleted; total })
+        in
+        let record_count = Util.Binio.read_uint p in
+        let mnemonic_coverage =
+          read_seq (Util.Binio.read_uint p) (fun () -> Util.Binio.read_string p)
+        in
+        let invariants = Invariant.Io.of_string (Util.Binio.read_string p) in
+        Some
+          { invariants; figure3; record_count;
+            trace_bytes = record_count * Trace.Var.total * 8;
+            mnemonic_coverage; seconds = 0.0 }
+      end
+    end
+  with
+  | m -> m
+  | exception Util.Binio.Truncated -> None
+  | exception Invariant.Io.Parse_error _ -> None
+
+let load_summary dir ~key =
+  let path = summary_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    match Util.Binio.read_file path with
+    | data -> decode_summary ~key data
+    | exception Sys_error _ -> None
+
+let save_summary dir ~key m =
+  Cache.mkdir_p dir;
+  Util.Binio.atomic_write (summary_path dir key) (encode_summary ~key m)
 
 let missing_mnemonics engine =
   let seen = Hashtbl.create 97 in
@@ -97,21 +302,19 @@ let absorb_shard engine shard =
   Obs.Metrics.add c_merge_ns (Int64.to_int (Obs.Clock.ns_since m0));
   Obs.Metrics.incr c_merges
 
-let mine ?(config = Daikon.Config.default)
-    ?(workloads = Workloads.Suite.all)
-    ?(groups = Workloads.Suite.figure3_groups)
-    ?(labels = Workloads.Suite.figure3_labels)
-    ?(jobs = Util.Parallel.default_jobs ())
-    () =
-  ignore workloads;
-  let body () =
+(* The cold path: trace (or load cached shards), merge in corpus order,
+   and snapshot the Figure 3 series group by group. *)
+let mine_cold ~config ~groups ~labels ~jobs ~cache_dir () =
     let engine = Daikon.Engine.create ~config () in
     (* jobs = 1 streams everything through the one engine, exactly the
-       paper's sequential setup; jobs > 1 mines per-workload shards in
-       parallel and folds them into [engine] in the same corpus order. *)
+       paper's sequential setup; jobs > 1 — or any cached run — mines
+       per-workload shards and folds them into [engine] in the same
+       corpus order. *)
     let shards =
-      if jobs <= 1 then None
-      else Some (mine_shards ~config ~jobs (Array.of_list (List.concat groups)))
+      if jobs <= 1 && cache_dir = None then None
+      else
+        Some (mine_shards ~config ~jobs ~cache_dir
+                (Array.of_list (List.concat groups)))
     in
     let idx = ref 0 in
     let absorb name =
@@ -161,6 +364,29 @@ let mine ?(config = Daikon.Config.default)
       trace_bytes = record_count * Trace.Var.total * 8;
       mnemonic_coverage = missing_mnemonics engine;
       seconds = 0.0 }
+
+let mine ?(config = Daikon.Config.default)
+    ?(workloads = Workloads.Suite.all)
+    ?(groups = Workloads.Suite.figure3_groups)
+    ?(labels = Workloads.Suite.figure3_labels)
+    ?(jobs = Util.Parallel.default_jobs ())
+    ?cache_dir
+    () =
+  ignore workloads;
+  let body () =
+    match cache_dir with
+    | None -> mine_cold ~config ~groups ~labels ~jobs ~cache_dir:None ()
+    | Some dir ->
+      let key = summary_key ~config ~groups ~labels in
+      (match load_summary dir ~key with
+       | Some m ->
+         Obs.Metrics.incr c_summary_hit;
+         m
+       | None ->
+         Obs.Metrics.incr c_summary_miss;
+         let m = mine_cold ~config ~groups ~labels ~jobs ~cache_dir () in
+         save_summary dir ~key m;
+         m)
   in
   let r, seconds =
     Obs.Span.timed ~name:"pipeline.mine"
@@ -169,16 +395,17 @@ let mine ?(config = Daikon.Config.default)
   { r with seconds }
 
 let mine_invariants ?(config = Daikon.Config.default)
-    ?(jobs = Util.Parallel.default_jobs ()) ?names () =
+    ?(jobs = Util.Parallel.default_jobs ()) ?cache_dir ?names () =
   let names = match names with None -> Workloads.Suite.names | Some l -> l in
   Obs.Span.with_ ~name:"pipeline.mine"
     ~attrs:[ ("jobs", Obs.Sink.I jobs) ]
     (fun () ->
        let engine = Daikon.Engine.create ~config () in
-       if jobs <= 1 then List.iter (trace_workload_into engine) names
+       if jobs <= 1 && cache_dir = None then
+         List.iter (trace_workload_into engine) names
        else
          Array.iter (absorb_shard engine)
-           (mine_shards ~config ~jobs (Array.of_list names));
+           (mine_shards ~config ~jobs ~cache_dir (Array.of_list names));
        Obs.Metrics.add c_mine_records (Daikon.Engine.record_count engine);
        publish_engine_stats engine;
        Daikon.Engine.invariants engine)

@@ -33,6 +33,7 @@ val mine :
   ?groups:string list list ->
   ?labels:string list ->
   ?jobs:int ->
+  ?cache_dir:string ->
   unit -> mining
 (** Trace the corpus cumulatively (default: the 17 programs in Figure 3
     order), snapshotting the invariant set after each group.
@@ -41,16 +42,29 @@ val mine :
     domains tracing workload shards in parallel; each shard feeds a
     private {!Daikon.Engine.t} and the shards are merged in fixed corpus
     order, so the invariant set and every Figure 3 snapshot are identical
-    for any [jobs >= 1]. *)
+    for any [jobs >= 1].
+
+    [cache_dir] enables incremental mining: each workload's engine shard
+    is persisted there as [<workload>.snap] (see {!Daikon.Engine.save}),
+    keyed by a digest of the codec version, the {!Daikon.Config}
+    fingerprint, and the workload's program image, entry point and tick
+    period — a hit skips tracing entirely and goes straight to the merge;
+    a stale, corrupt or truncated entry is rejected and re-mined. The
+    full result (Figure 3 rows, coverage, invariant set) is additionally
+    cached as [mine-<key>.summary], so a fully warm run also skips
+    merging and extraction. Cached and uncached runs produce
+    bit-identical results; all writes are atomic (temp file + rename). *)
 
 val mine_invariants :
   ?config:Daikon.Config.t ->
   ?jobs:int ->
+  ?cache_dir:string ->
   ?names:string list ->
   unit -> Invariant.Expr.t list
 (** Just the mined invariant set of the named workloads (default: the
     whole corpus), sharded over [jobs] domains like {!mine} but without
-    the Figure 3 bookkeeping. *)
+    the Figure 3 bookkeeping. [cache_dir] caches per-workload shards
+    exactly as in {!mine} (no summary-level entry). *)
 
 (** {1 §3.2 optimisation (Table 2)} *)
 

@@ -38,6 +38,20 @@ let default = {
   max_diff = 65536;
 }
 
+(* Canonical rendering of every knob, digested into the cache key of the
+   snapshot layer: any change to any threshold must invalidate every
+   cached shard, because candidate state (e.g. the distinct-value cap)
+   depends on it. Field order is fixed; extending [t] extends the
+   rendering and thereby the fingerprint. *)
+let canonical_string c =
+  Printf.sprintf
+    "min_samples=%d;order_min=%d;ne_min=%d;oneof_min=%d;max_oneof=%d;\
+     mod_min=%d;scale_nonzero_min=%d;max_diff=%d"
+    c.min_samples c.order_min c.ne_min c.oneof_min c.max_oneof
+    c.mod_min c.scale_nonzero_min c.max_diff
+
+let fingerprint c = Digest.to_hex (Digest.string (canonical_string c))
+
 (* A permissive configuration used in tests to exercise templates with
    tiny hand-built traces. *)
 let relaxed = {

@@ -16,5 +16,12 @@ type t = {
 val default : t
 (** The conservative, paper-faithful setting. *)
 
+val canonical_string : t -> string
+(** Every knob in a fixed order — the preimage of {!fingerprint}. *)
+
+val fingerprint : t -> string
+(** Hex digest of {!canonical_string}. Part of every snapshot cache key:
+    two configurations fingerprint equal iff they are equal. *)
+
 val relaxed : t
 (** Permissive thresholds for unit tests over tiny hand-built traces. *)

@@ -77,7 +77,16 @@ let create ?(config = Config.default) () =
 
 let record_count t = t.nrecords
 let point_count t = Hashtbl.length t.points
-let points t = Hashtbl.fold (fun k _ acc -> k :: acc) t.points []
+
+(* Every consumer of the point table goes through this sorted view:
+   Hashtbl iteration order depends on the hash seed (OCAMLRUNPARAM=R),
+   and the determinism guarantee ("bit-identical for every jobs >= 1")
+   must not. *)
+let sorted_points t =
+  Hashtbl.fold (fun _ st acc -> st :: acc) t.points []
+  |> List.sort (fun a b -> String.compare a.pname b.pname)
+
+let points t = List.map (fun st -> st.pname) (sorted_points t)
 
 (* Scale factors for Y = X * k: small word/index scalings plus the
    half-word and sign-replication factors used by l.movhi and the
@@ -524,7 +533,230 @@ let extract_point config st acc =
   end
 
 (* The currently justified invariant set. Deterministic order: sorted by
-   canonical form. *)
+   canonical form, with program points visited in canonical order so the
+   survivor of a canonical tie never depends on hash-seed iteration.
+   Each canonical key is computed once — [Expr.compare] re-renders both
+   sides on every call, which made the old [sort_uniq] the hot spot of
+   every Figure 3 snapshot. *)
 let invariants t =
-  let raw = Hashtbl.fold (fun _ st acc -> extract_point t.config st acc) t.points [] in
-  List.sort_uniq Expr.compare raw
+  let raw =
+    List.fold_left
+      (fun acc st -> extract_point t.config st acc)
+      [] (sorted_points t)
+  in
+  let keyed = List.map (fun i -> (Expr.canonical i, i)) raw in
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) keyed
+  in
+  let rec dedup = function
+    | (ka, a) :: ((kb, _) :: _ as rest) ->
+      if String.equal ka kb then dedup rest else a :: dedup rest
+    | [ (_, a) ] -> [ a ]
+    | [] -> []
+  in
+  dedup sorted
+
+(* ---- Persistent snapshots ----
+
+   Full engine state round-trips through a compact, versioned binary
+   codec: header (magic, codec version, caller key, payload digest),
+   then the payload — configuration, record count, and every program
+   point's candidate state in canonical (sorted) point order, so the
+   bytes are identical no matter what hash seed built the table.
+
+   The [key] is an opaque caller-chosen string (the pipeline digests the
+   workload image and trace setup into it); a snapshot whose key,
+   configuration or codec version does not match what the loader expects
+   is reported [Stale_snapshot], and any torn, truncated or bit-flipped
+   file fails the payload digest and is reported [Corrupt_snapshot] —
+   both are recoverable by re-mining. Writes go through
+   [Util.Binio.atomic_write], so a crashed or racing writer can never
+   publish a half-written snapshot. *)
+
+exception Corrupt_snapshot of string
+exception Stale_snapshot of string
+
+let codec_version = 1
+let snapshot_magic = "SCIFSNAP"
+
+let encode_vstat w vs =
+  Util.Binio.write_int w vs.vmin;
+  Util.Binio.write_int w vs.vmax;
+  Util.Binio.write_int w vs.ndistinct;
+  if vs.ndistinct > 0 then
+    for k = 0 to vs.ndistinct - 1 do
+      Util.Binio.write_int w vs.values.(k)
+    done;
+  Util.Binio.write_int w vs.mod4;
+  Util.Binio.write_int w vs.mod2
+
+let decode_vstat cap r =
+  let vmin = Util.Binio.read_int r in
+  let vmax = Util.Binio.read_int r in
+  let ndistinct = Util.Binio.read_int r in
+  if ndistinct < -1 || ndistinct > cap then
+    raise (Corrupt_snapshot "distinct-value count out of range");
+  let values =
+    if ndistinct < 0 then [||]
+    else begin
+      let values = Array.make cap 0 in
+      for k = 0 to ndistinct - 1 do
+        values.(k) <- Util.Binio.read_int r
+      done;
+      values
+    end
+  in
+  let mod4 = Util.Binio.read_int r in
+  let mod2 = Util.Binio.read_int r in
+  { vmin; vmax; values; ndistinct; mod4; mod2 }
+
+let encode_pair w p =
+  Util.Binio.write_uint w p.pi;
+  Util.Binio.write_uint w p.pj;
+  Util.Binio.write_uint w p.rel;
+  Util.Binio.write_int w p.diff;
+  Util.Binio.write_bool w p.diff_live;
+  Util.Binio.write_uint w p.scale_ij;
+  Util.Binio.write_uint w p.scale_ji;
+  Util.Binio.write_uint w p.scale_nonzero
+
+let decode_pair r =
+  let pi = Util.Binio.read_uint r in
+  let pj = Util.Binio.read_uint r in
+  if pi >= Var.total || pj >= Var.total || pi >= pj then
+    raise (Corrupt_snapshot "bad pair variable ids");
+  let policy = pair_policy (Var.id_kind pi) (Var.id_kind pj) in
+  let rel = Util.Binio.read_uint r in
+  let diff = Util.Binio.read_int r in
+  let diff_live = Util.Binio.read_bool r in
+  let scale_ij = Util.Binio.read_uint r in
+  let scale_ji = Util.Binio.read_uint r in
+  let scale_nonzero = Util.Binio.read_uint r in
+  { pi; pj; policy; rel; diff; diff_live; scale_ij; scale_ji;
+    scale_nonzero }
+
+let encode_point w st =
+  Util.Binio.write_string w st.pname;
+  Util.Binio.write_uint w (Array.length st.vars);
+  Array.iter
+    (fun id ->
+       Util.Binio.write_uint w id;
+       match st.stats.(id) with
+       | Some vs -> encode_vstat w vs
+       | None -> raise (Invalid_argument "Engine.save: var without stats"))
+    st.vars;
+  Util.Binio.write_uint w (Array.length st.pairs);
+  Array.iter (encode_pair w) st.pairs;
+  Util.Binio.write_uint w st.n
+
+let decode_point config r =
+  let pname = Util.Binio.read_string r in
+  let nvars = Util.Binio.read_uint r in
+  if nvars > Var.total then raise (Corrupt_snapshot "too many variables");
+  let cap = max 1 config.Config.max_oneof in
+  let stats = Array.make Var.total None in
+  let vars =
+    Array.init nvars
+      (fun _ ->
+         let id = Util.Binio.read_uint r in
+         if id >= Var.total then
+           raise (Corrupt_snapshot "variable id out of range");
+         stats.(id) <- Some (decode_vstat cap r);
+         id)
+  in
+  let npairs = Util.Binio.read_uint r in
+  if npairs > Var.total * Var.total then
+    raise (Corrupt_snapshot "too many pairs");
+  let pairs = Array.init npairs (fun _ -> decode_pair r) in
+  let n = Util.Binio.read_uint r in
+  { pname; vars; stats; pairs; n }
+
+let encode_config w (c : Config.t) =
+  Util.Binio.write_uint w c.min_samples;
+  Util.Binio.write_uint w c.order_min;
+  Util.Binio.write_uint w c.ne_min;
+  Util.Binio.write_uint w c.oneof_min;
+  Util.Binio.write_uint w c.max_oneof;
+  Util.Binio.write_uint w c.mod_min;
+  Util.Binio.write_uint w c.scale_nonzero_min;
+  Util.Binio.write_uint w c.max_diff
+
+let decode_config r : Config.t =
+  let min_samples = Util.Binio.read_uint r in
+  let order_min = Util.Binio.read_uint r in
+  let ne_min = Util.Binio.read_uint r in
+  let oneof_min = Util.Binio.read_uint r in
+  let max_oneof = Util.Binio.read_uint r in
+  let mod_min = Util.Binio.read_uint r in
+  let scale_nonzero_min = Util.Binio.read_uint r in
+  let max_diff = Util.Binio.read_uint r in
+  { min_samples; order_min; ne_min; oneof_min; max_oneof; mod_min;
+    scale_nonzero_min; max_diff }
+
+let encode ?(key = "") t =
+  let payload = Util.Binio.writer () in
+  encode_config payload t.config;
+  Util.Binio.write_uint payload t.nrecords;
+  let pts = sorted_points t in
+  Util.Binio.write_uint payload (List.length pts);
+  List.iter (encode_point payload) pts;
+  let payload = Util.Binio.contents payload in
+  let header = Util.Binio.writer () in
+  Util.Binio.write_raw header snapshot_magic;
+  Util.Binio.write_uint header codec_version;
+  Util.Binio.write_string header key;
+  Util.Binio.write_string header (Digest.string payload);
+  Util.Binio.write_uint header (String.length payload);
+  Util.Binio.contents header ^ payload
+
+let save ?key t path =
+  Util.Binio.atomic_write path (encode ?key t)
+
+let decode ?(key = "") ?config data =
+  let mlen = String.length snapshot_magic in
+  if String.length data < mlen
+  || not (String.equal (String.sub data 0 mlen) snapshot_magic) then
+    raise (Corrupt_snapshot "bad magic");
+  match
+    let r = Util.Binio.reader (String.sub data mlen (String.length data - mlen)) in
+    let version = Util.Binio.read_uint r in
+    if version <> codec_version then
+      raise (Stale_snapshot
+               (Printf.sprintf "codec version %d, want %d"
+                  version codec_version));
+    (* Keys compare as plain strings with "" the default: loading a
+       keyed snapshot without presenting its key is itself stale — the
+       caller clearly is not validating what produced the state. *)
+    if not (String.equal (Util.Binio.read_string r) key) then
+      raise (Stale_snapshot "cache key mismatch");
+    let digest = Util.Binio.read_string r in
+    let plen = Util.Binio.read_uint r in
+    let payload = Util.Binio.read_string_exact r plen in
+    if not (Util.Binio.eof r) then
+      raise (Corrupt_snapshot "trailing bytes");
+    if not (String.equal (Digest.string payload) digest) then
+      raise (Corrupt_snapshot "payload digest mismatch");
+    let p = Util.Binio.reader payload in
+    let stored_config = decode_config p in
+    (match config with
+     | Some c when c <> stored_config ->
+       raise (Stale_snapshot "configuration fingerprint mismatch")
+     | Some _ | None -> ());
+    let nrecords = Util.Binio.read_uint p in
+    let npoints = Util.Binio.read_uint p in
+    let points = Hashtbl.create (max 17 npoints) in
+    for _ = 1 to npoints do
+      let st = decode_point stored_config p in
+      if Hashtbl.mem points st.pname then
+        raise (Corrupt_snapshot ("duplicate point " ^ st.pname));
+      Hashtbl.add points st.pname st
+    done;
+    if not (Util.Binio.eof p) then
+      raise (Corrupt_snapshot "trailing payload bytes");
+    { config = stored_config; points; nrecords }
+  with
+  | t -> t
+  | exception Util.Binio.Truncated ->
+    raise (Corrupt_snapshot "truncated snapshot")
+
+let load ?key ?config path = decode ?key ?config (Util.Binio.read_file path)

@@ -54,6 +54,47 @@ val record_count : t -> int
 val point_count : t -> int
 
 val points : t -> string list
+(** Observed program points, in canonical (sorted) order — stable under
+    randomized hash seeds ([OCAMLRUNPARAM=R]). *)
+
+(** {1 Persistent snapshots}
+
+    Full engine state — every invariant family's candidate state,
+    program points, and the configuration — round-trips through a
+    compact, versioned binary codec to an observationally identical
+    engine: same {!invariants}, {!candidate_stats}, {!record_count},
+    and the same behaviour under further {!observe}/{!merge_into}.
+    Snapshot bytes are canonical (points sorted), so identical state
+    encodes to identical bytes regardless of hash seed. *)
+
+exception Corrupt_snapshot of string
+(** The file is torn, truncated, or fails its payload digest. *)
+
+exception Stale_snapshot of string
+(** The file is well-formed but keyed by another codec version, cache
+    key, or configuration — re-mine rather than trust it. *)
+
+val codec_version : int
+
+val save : ?key:string -> t -> string -> unit
+(** Write atomically (temp file + rename): a crashed or concurrent run
+    can never leave a torn snapshot at the destination path. [key] is
+    an opaque caller cache key validated by {!load} (e.g. a digest of
+    whatever produced the observations). *)
+
+val load : ?key:string -> ?config:Config.t -> string -> t
+(** @raise Corrupt_snapshot on damaged input.
+    @raise Stale_snapshot when codec version, [key] or [config] does
+    not match the snapshot. Keys compare as plain strings (default
+    [""]), so loading a keyed snapshot without presenting its key is
+    stale.
+    @raise Sys_error when unreadable. *)
+
+val encode : ?key:string -> t -> string
+(** The raw snapshot bytes {!save} writes. *)
+
+val decode : ?key:string -> ?config:Config.t -> string -> t
+(** Inverse of {!encode}; raises like {!load}. *)
 
 val scale_candidates : int array
 (** The Y = X * k factors tried: word/index scalings plus the half-word

@@ -172,8 +172,14 @@ let pp_body fmt = function
   | Cmp (op, lhs, rhs) ->
     Format.fprintf fmt "%a %s %a" pp_term lhs (cmp_name op) pp_term rhs
   | In (term, values) ->
+    (* Negative members (signed derived variables) print in decimal:
+       "0x%X" would render the 63-bit two's complement and no longer
+       parse back to the same value. *)
+    let member v =
+      if v >= 0 then Printf.sprintf "0x%X" v else string_of_int v
+    in
     Format.fprintf fmt "%a in {%s}" pp_term term
-      (String.concat ", " (List.map (Printf.sprintf "0x%X") values))
+      (String.concat ", " (List.map member values))
 
 let pp fmt t =
   Format.fprintf fmt "risingEdge(%s) -> %a" t.point pp_body t.body

@@ -254,4 +254,8 @@ let load path =
     (fun () ->
        let n = in_channel_length ic in
        let s = really_input_string ic n in
-       of_string s)
+       (* Name the offending file: load-time parse errors surface to CLI
+          users, who may be several saved invariant sets deep. *)
+       try of_string s with
+       | Parse_error (msg, line) ->
+         raise (Parse_error (Printf.sprintf "%s: %s" path msg, line)))

@@ -15,5 +15,6 @@ val of_string : string -> Expr.t list
 (** @raise Parse_error on malformed input. *)
 
 val load : string -> Expr.t list
-(** @raise Parse_error on malformed input.
+(** @raise Parse_error on malformed input, with the offending file path
+    in the message.
     @raise Sys_error when unreadable. *)

@@ -113,7 +113,7 @@ let build_record ~machine ~mask_table ~config ~pre ~head_ev ~exn_ev =
   (match insn with
    | Isa.Insn.Setflag _ | Isa.Insn.Setflagi _ ->
      let a = head_ev.M.ev_opa and b = head_ev.M.ev_opb in
-     let du = a - b in
+     let du = Util.U32.signed (Util.U32.sub a b) in
      let ds = Util.U32.signed a - Util.U32.signed b in
      let sf = values.(Var.dual_count + Var.dual_index Var.Sf) in
      let sign = 1 - (2 * sf) in

@@ -1,0 +1,109 @@
+(* Compact binary primitives for the on-disk snapshot codecs.
+
+   Integers are LEB128 varints; signed values are zigzag-folded first so
+   small negative numbers stay short. Strings are length-prefixed. A
+   reader is a cursor over an immutable byte string; running off the end
+   raises [Truncated] rather than returning garbage, which is how a
+   partially written (torn) snapshot is detected.
+
+   [atomic_write] is the durability half: the bytes land in a temp file
+   in the destination directory and are renamed into place, so a reader
+   can never observe a half-written file and a crashed writer leaves at
+   worst an orphaned temp file. *)
+
+exception Truncated
+
+(* ---- writing ---- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+
+let contents = Buffer.contents
+
+(* Unsigned LEB128. Values must be non-negative. *)
+let write_uint b v =
+  if v < 0 then invalid_arg "Binio.write_uint: negative";
+  let rec go v =
+    if v < 0x80 then Buffer.add_char b (Char.chr v)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (v land 0x7F)));
+      go (v lsr 7)
+    end
+  in
+  go v
+
+(* Zigzag: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ... *)
+let write_int b v =
+  write_uint b (if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1)
+
+let write_bool b v = write_uint b (if v then 1 else 0)
+
+let write_string b s =
+  write_uint b (String.length s);
+  Buffer.add_string b s
+
+(* Raw bytes, no length prefix (magic numbers, pre-framed blocks). *)
+let write_raw = Buffer.add_string
+
+(* ---- reading ---- *)
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let eof r = r.pos >= String.length r.data
+
+let read_byte r =
+  if r.pos >= String.length r.data then raise Truncated;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_uint r =
+  let rec go shift acc =
+    if shift > 62 then raise Truncated;
+    let c = read_byte r in
+    let acc = acc lor ((c land 0x7F) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_int r =
+  let v = read_uint r in
+  if v land 1 = 0 then v lsr 1 else -((v + 1) lsr 1)
+
+let read_bool r =
+  match read_uint r with
+  | 0 -> false
+  | 1 -> true
+  | _ -> raise Truncated
+
+let read_string_exact r n =
+  if n < 0 || r.pos + n > String.length r.data then raise Truncated;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let read_string r = read_string_exact r (read_uint r)
+
+(* ---- atomic file replacement ---- *)
+
+let atomic_write path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".snap" ".tmp" in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+        if not !ok then (try Sys.remove tmp with Sys_error _ -> ()))
+    (fun () ->
+       let oc = open_out_bin tmp in
+       Fun.protect ~finally:(fun () -> close_out oc)
+         (fun () -> output_string oc data);
+       Sys.rename tmp path;
+       ok := true)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

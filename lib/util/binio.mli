@@ -1,0 +1,45 @@
+(** Compact binary primitives for on-disk snapshot codecs: LEB128
+    varints (zigzag-folded when signed), length-prefixed strings, and
+    atomic whole-file replacement (temp file + rename, so a torn write
+    is never observable at the destination path). *)
+
+exception Truncated
+(** Raised by the read side when the input ends mid-value — the
+    signature of a corrupt or partially written snapshot. *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+
+val write_uint : writer -> int -> unit
+(** @raise Invalid_argument on negative values. *)
+
+val write_int : writer -> int -> unit
+val write_bool : writer -> bool -> unit
+val write_string : writer -> string -> unit
+
+val write_raw : writer -> string -> unit
+(** Raw bytes with no length prefix (magic numbers, pre-framed blocks). *)
+
+type reader
+
+val reader : string -> reader
+val eof : reader -> bool
+
+val read_uint : reader -> int
+val read_int : reader -> int
+val read_bool : reader -> bool
+val read_string : reader -> string
+
+val read_string_exact : reader -> int -> string
+(** [read_string_exact r n] consumes exactly [n] raw bytes. *)
+
+val atomic_write : string -> string -> unit
+(** [atomic_write path data] writes [data] to a temp file in [path]'s
+    directory and renames it over [path]. Concurrent writers race
+    benignly (last rename wins with each file complete); a crash leaves
+    at worst an orphaned temp file. *)
+
+val read_file : string -> string
+(** The whole (binary) file as a string. @raise Sys_error. *)

@@ -84,6 +84,74 @@ let test_file_roundtrip () =
          (fun a b -> Alcotest.(check string) "canon" (Expr.canonical a) (Expr.canonical b))
          invs back)
 
+(* ---- property: save -> load is the identity over the whole grammar ----
+
+   Random invariants over every constructor (all six comparisons, In
+   sets with negative members, Mul/Mod/Notv/Bin terms, hex-threshold
+   immediates) must come back {e structurally} equal, not just
+   canonically — the corpus-level mining cache persists its invariant
+   set through this codec and promises bit-identical results. *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let var = oneofl Var.all_ids in
+  let imm =
+    (* Straddle the printer's decimal/hex switch (k > 255, k land 3 = 0)
+       and include negatives. *)
+    oneof [ int_range (-0x8000_0000) 0x7FFF_FFFF; int_range (-16) 16;
+            map (fun k -> k * 4) (int_range 64 0x100_0000) ]
+  in
+  let term =
+    oneof
+      [ map (fun v -> Expr.V v) var;
+        map (fun k -> Expr.Imm k) imm;
+        map2 (fun v k -> Expr.Mul (v, k)) var (int_range (-0x100_0000) 0x100_0000);
+        map2 (fun v k -> Expr.Mod (v, k)) var (oneofl [ 2; 4 ]);
+        map (fun v -> Expr.Notv v) var;
+        map3 (fun op a b -> Expr.Bin (op, a, b))
+          (oneofl [ Expr.Band; Expr.Bor; Expr.Plus; Expr.Minus ])
+          var var ]
+  in
+  let body =
+    oneof
+      [ map3 (fun op l r -> Expr.Cmp (op, l, r))
+          (oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ])
+          term term;
+        map2 (fun t vs -> Expr.In (t, vs)) term
+          (list_size (int_range 1 8) imm) ]
+  in
+  map2 (fun point body -> { Expr.point; body })
+    (oneofl [ "l.add"; "l.sys"; "l.rfe"; "l.lwz"; "l.mfspr"; "tick" ])
+    body
+
+let prop_grammar_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"print -> parse is the identity"
+       (QCheck.make ~print:Expr.to_string gen_expr)
+       (fun i -> Io.of_string (Expr.to_string i ^ "\n") = [ i ]))
+
+let test_load_error_names_file () =
+  let path = Filename.temp_file "scifinder_bad" ".invs" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       let oc = open_out path in
+       output_string oc "risingEdge(l.add) -> GPRX = 0\n";
+       close_out oc;
+       match Io.load path with
+       | _ -> Alcotest.fail "expected Parse_error"
+       | exception Io.Parse_error (msg, line) ->
+         Alcotest.(check int) "line number" 1 line;
+         let contains hay needle =
+           let nl = String.length needle in
+           let rec go i =
+             i + nl <= String.length hay
+             && (String.sub hay i nl = needle || go (i + 1))
+           in
+           go 0
+         in
+         if not (contains msg path) then
+           Alcotest.failf "message %S does not name the file %s" msg path)
+
 let test_mined_set_roundtrips () =
   (* The acid test: everything the miner can emit must roundtrip. *)
   let w = Option.get (Workloads.Suite.by_name "instru") in
@@ -108,5 +176,8 @@ let () =
          Alcotest.test_case "in sets" `Quick test_in_sets;
          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
          Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "load error names file" `Quick
+           test_load_error_names_file;
+         prop_grammar_roundtrip;
          Alcotest.test_case "file" `Quick test_file_roundtrip;
          Alcotest.test_case "mined set" `Slow test_mined_set_roundtrips ]) ]

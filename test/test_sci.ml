@@ -111,6 +111,27 @@ let test_fp_are_clean_run_violations () =
        (fun i -> not (List.mem (Expr.canonical i) fp_keys))
        report.true_sci)
 
+(* Pin the unsigned-compare errata (b6: different-MSB compare, b7:
+   sfltu computes a signed compare) against the mined set above. The
+   wrapped 32-bit CMPDIFF_U fix in the trace runner shifted these
+   counts (pre-fix the derived difference leaked raw OCaml integers
+   outside the 32-bit range) while keeping both bugs detected; a change
+   here means the set-flag derived variables changed semantics. *)
+let test_identify_unsigned_compare_bugs () =
+  let invariants = Lazy.force mined_invariants in
+  let index = Sci.Checker.index invariants in
+  let check_bug id expected_sci expected_fp =
+    let bug = Option.get (Bugs.Table1.by_id id) in
+    let report = Sci.Identify.run ~index bug in
+    Alcotest.(check bool) (id ^ " detected") true report.Sci.Identify.detected;
+    Alcotest.(check int) (id ^ " SCI")
+      expected_sci (List.length report.Sci.Identify.true_sci);
+    Alcotest.(check int) (id ^ " FP")
+      expected_fp (List.length report.Sci.Identify.false_positives)
+  in
+  check_bug "b6" 91 380;
+  check_bug "b7" 164 452
+
 let test_run_all_summary () =
   let invariants = Lazy.force mined_invariants in
   let bugs =
@@ -141,4 +162,6 @@ let () =
        [ Alcotest.test_case "b10" `Slow test_identify_b10;
          Alcotest.test_case "b2 yields none" `Slow test_identify_b2_empty;
          Alcotest.test_case "false positives" `Slow test_fp_are_clean_run_violations;
+         Alcotest.test_case "b6/b7 unsigned compare" `Slow
+           test_identify_unsigned_compare_bugs;
          Alcotest.test_case "run_all" `Slow test_run_all_summary ]) ]

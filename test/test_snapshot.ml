@@ -1,0 +1,200 @@
+(* Engine snapshot persistence: save -> load must give an observationally
+   identical engine (same invariants, stats, and behaviour under further
+   observation or merging), damaged files must be rejected as corrupt,
+   and mismatched key/config/version as stale. On top of that sits the
+   pipeline's shard cache: warm mining over a cache directory must be
+   bit-identical to cold mining. *)
+
+module Engine = Daikon.Engine
+module Expr = Invariant.Expr
+module Pipeline = Scifinder_core.Pipeline
+
+let trace_into engine name =
+  let w = Option.get (Workloads.Suite.by_name name) in
+  ignore
+    (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
+       ~entry:w.Workloads.Rt.entry
+       ~observer:(Engine.observe engine) w.Workloads.Rt.image)
+
+let mined name =
+  let engine = Engine.create () in
+  trace_into engine name;
+  engine
+
+let strings engine = List.map Expr.to_string (Engine.invariants engine)
+
+let check_observationally_equal msg a b =
+  Alcotest.(check (list string)) (msg ^ ": invariants") (strings a) (strings b);
+  Alcotest.(check int) (msg ^ ": record count")
+    (Engine.record_count a) (Engine.record_count b);
+  Alcotest.(check (list string)) (msg ^ ": points")
+    (Engine.points a) (Engine.points b);
+  Alcotest.(check bool) (msg ^ ": candidate stats") true
+    (Engine.candidate_stats a = Engine.candidate_stats b)
+
+(* ---- encode/decode ---- *)
+
+let test_roundtrip () =
+  let e = mined "pi" in
+  let back = Engine.decode (Engine.encode e) in
+  check_observationally_equal "decode (encode e)" e back
+
+let test_roundtrip_is_canonical () =
+  (* Identical state must encode to identical bytes — the property that
+     makes snapshot files diffable and digests meaningful. *)
+  let a = Engine.encode (mined "pi") and b = Engine.encode (mined "pi") in
+  Alcotest.(check bool) "same bytes" true (String.equal a b)
+
+let test_continued_observation () =
+  let live = mined "pi" in
+  let restored = Engine.decode (Engine.encode live) in
+  trace_into live "helloworld";
+  trace_into restored "helloworld";
+  check_observationally_equal "observe after load" live restored
+
+let test_merge_after_load () =
+  let sequential = Engine.create () in
+  trace_into sequential "pi";
+  trace_into sequential "helloworld";
+  let dst = mined "pi" in
+  let src = Engine.decode (Engine.encode (mined "helloworld")) in
+  Engine.merge_into dst src;
+  Alcotest.(check (list string)) "merge of a loaded shard"
+    (strings sequential) (strings dst)
+
+let test_save_load_file () =
+  let path = Filename.temp_file "scifinder_snap" ".snap" in
+  Fun.protect ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       let e = mined "helloworld" in
+       Engine.save ~key:"k1" e path;
+       check_observationally_equal "load (save e)" e
+         (Engine.load ~key:"k1" path))
+
+(* ---- rejection ---- *)
+
+let expect_corrupt msg data =
+  match Engine.decode data with
+  | _ -> Alcotest.fail ("expected Corrupt_snapshot: " ^ msg)
+  | exception Engine.Corrupt_snapshot _ -> ()
+
+let expect_stale msg f =
+  match f () with
+  | _ -> Alcotest.fail ("expected Stale_snapshot: " ^ msg)
+  | exception Engine.Stale_snapshot _ -> ()
+
+let test_corrupt () =
+  let data = Engine.encode (mined "pi") in
+  expect_corrupt "empty" "";
+  expect_corrupt "bad magic" ("XXXXXXXX" ^ String.sub data 8 64);
+  expect_corrupt "truncated half"
+    (String.sub data 0 (String.length data / 2));
+  expect_corrupt "truncated by one byte"
+    (String.sub data 0 (String.length data - 1));
+  (* Flip one payload byte: the digest check must catch it. *)
+  let flipped = Bytes.of_string data in
+  let last = Bytes.length flipped - 1 in
+  Bytes.set flipped last (Char.chr (Char.code (Bytes.get flipped last) lxor 1));
+  expect_corrupt "bit flip" (Bytes.to_string flipped)
+
+let test_stale () =
+  let e = mined "pi" in
+  let data = Engine.encode ~key:"the-key" e in
+  expect_stale "wrong key" (fun () -> Engine.decode ~key:"other-key" data);
+  expect_stale "missing key" (fun () -> Engine.decode data);
+  expect_stale "wrong config" (fun () ->
+      Engine.decode ~key:"the-key"
+        ~config:{ Daikon.Config.default with min_samples = 7 } data);
+  (* Bump the codec version byte (it sits right after the 8-byte magic
+     as a one-byte varint while codec_version < 0x80). *)
+  let bumped = Bytes.of_string data in
+  Bytes.set bumped 8 (Char.chr (Engine.codec_version + 1));
+  expect_stale "future codec version" (fun () ->
+      Engine.decode ~key:"the-key" (Bytes.to_string bumped))
+
+(* ---- the pipeline shard cache ---- *)
+
+let with_cache_dir f =
+  let dir = Filename.temp_file "scifinder_cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter
+          (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let names = [ "pi"; "helloworld" ]
+
+let test_cache_warm_equals_cold () =
+  with_cache_dir (fun dir ->
+      let uncached = Pipeline.mine_invariants ~jobs:1 ~names () in
+      let cold = Pipeline.mine_invariants ~jobs:1 ~cache_dir:dir ~names () in
+      let warm = Pipeline.mine_invariants ~jobs:1 ~cache_dir:dir ~names () in
+      let s = List.map Expr.to_string in
+      Alcotest.(check (list string)) "cold equals uncached" (s uncached) (s cold);
+      Alcotest.(check (list string)) "warm equals cold" (s cold) (s warm);
+      Alcotest.(check bool) "shards on disk" true
+        (Sys.file_exists (Filename.concat dir "pi.snap")))
+
+let test_cache_full_mine () =
+  with_cache_dir (fun dir ->
+      let groups = [ [ "pi" ]; [ "helloworld" ] ] in
+      let labels = [ "pi"; "helloworld" ] in
+      let cold = Pipeline.mine ~jobs:1 ~groups ~labels ~cache_dir:dir () in
+      let warm = Pipeline.mine ~jobs:1 ~groups ~labels ~cache_dir:dir () in
+      Alcotest.(check (list string)) "invariants"
+        (List.map Expr.to_string cold.Pipeline.invariants)
+        (List.map Expr.to_string warm.Pipeline.invariants);
+      Alcotest.(check bool) "figure3 rows" true
+        (cold.Pipeline.figure3 = warm.Pipeline.figure3);
+      Alcotest.(check int) "records"
+        cold.Pipeline.record_count warm.Pipeline.record_count)
+
+let test_cache_rejects_damage () =
+  with_cache_dir (fun dir ->
+      let cold = Pipeline.mine_invariants ~jobs:1 ~cache_dir:dir ~names () in
+      (* Truncate one shard: the next run must silently re-mine it. *)
+      let victim = Filename.concat dir "pi.snap" in
+      let len = (Unix.stat victim).Unix.st_size in
+      let fd = Unix.openfile victim [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (len / 2);
+      Unix.close fd;
+      let again = Pipeline.mine_invariants ~jobs:1 ~cache_dir:dir ~names () in
+      let s = List.map Expr.to_string in
+      Alcotest.(check (list string)) "re-mined after truncation"
+        (s cold) (s again))
+
+let test_cache_stale_config () =
+  with_cache_dir (fun dir ->
+      let tight = { Daikon.Config.default with min_samples = 500 } in
+      let a = Pipeline.mine_invariants ~jobs:1 ~cache_dir:dir ~names () in
+      (* Different fingerprint: must not serve the default-config shards. *)
+      let b =
+        Pipeline.mine_invariants ~config:tight ~jobs:1 ~cache_dir:dir ~names ()
+      in
+      let c = Pipeline.mine_invariants ~config:tight ~jobs:1 ~names () in
+      let s = List.map Expr.to_string in
+      Alcotest.(check (list string)) "tight config re-mined, not served stale"
+        (s c) (s b);
+      Alcotest.(check bool) "the two configs genuinely differ" true
+        (s a <> s b))
+
+let () =
+  Alcotest.run "snapshot"
+    [ ("engine",
+       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "canonical bytes" `Quick test_roundtrip_is_canonical;
+         Alcotest.test_case "continued observation" `Quick
+           test_continued_observation;
+         Alcotest.test_case "merge after load" `Quick test_merge_after_load;
+         Alcotest.test_case "save/load file" `Quick test_save_load_file;
+         Alcotest.test_case "corrupt rejected" `Quick test_corrupt;
+         Alcotest.test_case "stale rejected" `Quick test_stale ]);
+      ("pipeline cache",
+       [ Alcotest.test_case "warm equals cold" `Quick test_cache_warm_equals_cold;
+         Alcotest.test_case "full mine summary" `Quick test_cache_full_mine;
+         Alcotest.test_case "damage re-mined" `Quick test_cache_rejects_damage;
+         Alcotest.test_case "config fingerprint" `Quick test_cache_stale_config ]) ]

@@ -127,7 +127,21 @@ let test_setflag_derived () =
   let r = nth records 0 in
   check "negative diff" (-7) (v r Var.Cmpdiff_u);
   check "SF taken" 1 (post r Var.Sf);
-  check "PROD_U still >= 0" 7 (v r Var.Prod_u)
+  check "PROD_U still >= 0" 7 (v r Var.Prod_u);
+  (* Operands straddling the sign bit (b6's trigger shape): the unsigned
+     difference must be the wrapped 32-bit value. Raw OCaml subtraction
+     here once leaked values outside the 32-bit range entirely
+     (5 - 0x8000_0010 = -2147483659 < -2^31). *)
+  let big = 0x8000_0010 in
+  let records = capture ~regs:[ (1, 5); (2, big) ] [ Insn.Setflag (Insn.Sfltu, 1, 2) ] in
+  let r = nth records 0 in
+  check "SF across the sign bit" 1 (post r Var.Sf);
+  check "CMPDIFF_U wraps to 32 bits" 0x7FFF_FFF5 (v r Var.Cmpdiff_u);
+  check "PROD_U boundary" (-0x7FFF_FFF5) (v r Var.Prod_u);
+  let records = capture ~regs:[ (1, big); (2, 5) ] [ Insn.Setflag (Insn.Sfltu, 1, 2) ] in
+  let r = nth records 0 in
+  check "SF big operand first" 0 (post r Var.Sf);
+  check "CMPDIFF_U wrapped negative" (-0x7FFF_FFF5) (v r Var.Cmpdiff_u)
 
 let test_signed_compare_derived () =
   let big = 0x8000_0000 in
