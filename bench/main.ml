@@ -571,6 +571,131 @@ let cachebench () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
+(* ---- fuzzbench: the generated corpus extends Figure 3 ---- *)
+
+(* Pinned for seed 42 / budget 60: measured +14 coverage points over the
+   17 hand-written programs; the gate floor leaves regression headroom. *)
+let fuzz_seed = 42
+let fuzz_budget = 60
+let fuzz_min_new = 10
+
+(* Filled by fuzzbench; lands in BENCH_pipeline.json's "fuzz" block. *)
+let fuzz_result : (string * float) list ref = ref []
+
+let fuzzbench () =
+  header "Fuzzbench: coverage-guided generated programs extend Figure 3";
+  let baseline = Fuzz.Coverage.of_workloads Workloads.Suite.all in
+  let grow () =
+    Fuzz.Corpus.minimize
+      (Fuzz.Corpus.run ~initial:baseline ~seed:fuzz_seed
+         ~budget:fuzz_budget ())
+  in
+  let corpus = grow () in
+  (* Same seed, same corpus: the whole loop (images, acceptance order,
+     coverage table) must be byte-identical run to run. *)
+  let deterministic =
+    String.equal (Fuzz.Corpus.fingerprint corpus)
+      (Fuzz.Corpus.fingerprint (grow ()))
+  in
+  let fresh = Fuzz.Coverage.Pset.cardinal (Fuzz.Corpus.new_points corpus) in
+  let accepted = List.length corpus.Fuzz.Corpus.entries in
+  pf "seed %d, budget %d: %d programs accepted, %d timeouts\n" fuzz_seed
+    fuzz_budget accepted corpus.Fuzz.Corpus.timeouts;
+  pf "%s" (Fuzz.Coverage.table ~baseline corpus.Fuzz.Corpus.total);
+  pf "same-seed rerun byte-identical: %b\n" deterministic;
+  (* Extend Figure 3 with the generated programs as an 18th group and
+     mine cold then warm through the snapshot cache. *)
+  Workloads.Suite.reset_registered ();
+  Fuzz.Corpus.register corpus;
+  let groups =
+    Workloads.Suite.figure3_groups @ [ Fuzz.Corpus.names corpus ]
+  in
+  let labels = Workloads.Suite.figure3_labels @ [ "fuzz" ] in
+  let dir =
+    let base = Filename.temp_file "scifinder_fuzzbench" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    base
+  in
+  let cold = Pipeline.mine ~jobs:!jobs ~groups ~labels ~cache_dir:dir () in
+  let warm = Pipeline.mine ~jobs:!jobs ~groups ~labels ~cache_dir:dir () in
+  let strings m = List.map Expr.to_string m.Pipeline.invariants in
+  let warm_equal =
+    strings cold = strings warm && cold.Pipeline.figure3 = warm.Pipeline.figure3
+  in
+  pf "%-11s %10s %10s %10s %10s\n" "program" "total" "unmodified" "new"
+    "deleted";
+  List.iter
+    (fun (r : Pipeline.figure3_row) ->
+       pf "%-11s %10d %10d %10d %10d\n" r.group_label r.total r.unmodified
+         r.fresh r.deleted)
+    cold.Pipeline.figure3;
+  (* Convergence shape: the Figure 3 claim must keep holding over the
+     hand-written prefix (the last hand-written group churns far less
+     than the first). The fuzz group itself is EXPECTED to churn hard:
+     its programs exercise operand values the hand corpus never reaches,
+     which deletes over-fitted invariants — that is the §3.5 coverage
+     effect the FP delta below measures. *)
+  let churn (r : Pipeline.figure3_row) = r.fresh + r.deleted in
+  let shape_ok, first_churn, hand_churn, fuzz_churn =
+    match cold.Pipeline.figure3 with
+    | first :: rest when List.length rest >= 2 ->
+      let n = List.length rest in
+      let hand = List.nth rest (n - 2) in
+      let fuzz = List.nth rest (n - 1) in
+      (churn hand < churn first, churn first, churn hand, churn fuzz)
+    | _ -> (false, 0, 0, 0)
+  in
+  pf "churn first program: %d, last hand-written group: %d (converging: %b)\n"
+    first_churn hand_churn shape_ok;
+  pf "churn fuzz group: %d (over-fitted invariants retired by coverage)\n"
+    fuzz_churn;
+  pf "warm rerun equals cold (invariants + Figure 3 rows): %b\n" warm_equal;
+  (* SCI / false-positive delta (report only): identify over the mined
+     set with and without the generated group. The 17 base shards are
+     shared through the same cache directory. *)
+  let base = Pipeline.mine ~jobs:!jobs ~cache_dir:dir () in
+  let identify m =
+    let opt =
+      (Pipeline.optimize m.Pipeline.invariants).Pipeline.result
+        .Invopt.Pipeline.optimized
+    in
+    (Pipeline.identify ~invariants:opt Bugs.Table1.all).Pipeline.summary
+  in
+  let s_base = identify base and s_ext = identify cold in
+  let sci s = List.length s.Sci.Identify.unique_sci
+  and fp s = List.length s.Sci.Identify.unique_fp in
+  pf "identification:   %-10s %8s %8s\n" "corpus" "SCI" "FP";
+  pf "                  %-10s %8d %8d\n" "base-17" (sci s_base) (fp s_base);
+  pf "                  %-10s %8d %8d  (delta %+d SCI, %+d FP)\n" "with-fuzz"
+    (sci s_ext) (fp s_ext)
+    (sci s_ext - sci s_base) (fp s_ext - fp s_base);
+  let fp_delta = fp s_ext - fp s_base in
+  let pass =
+    deterministic && fresh >= fuzz_min_new && warm_equal && shape_ok
+    && fp_delta <= 0
+  in
+  pf "fuzzbench gate (new coverage >= %d, deterministic, warm identical, \
+      fig3 shape, FP not up): %s\n"
+    fuzz_min_new
+    (if pass then "PASS" else "FAIL");
+  fuzz_result :=
+    [ ("seed", float_of_int fuzz_seed);
+      ("budget", float_of_int fuzz_budget);
+      ("accepted", float_of_int accepted);
+      ("new_points", float_of_int fresh);
+      ("timeouts", float_of_int corpus.Fuzz.Corpus.timeouts);
+      ("deterministic", if deterministic then 1.0 else 0.0);
+      ("warm_equal", if warm_equal then 1.0 else 0.0);
+      ("first_churn", float_of_int first_churn);
+      ("hand_churn", float_of_int hand_churn);
+      ("fuzz_churn", float_of_int fuzz_churn);
+      ("sci_delta", float_of_int (sci s_ext - sci s_base));
+      ("fp_delta", float_of_int fp_delta) ];
+  Workloads.Suite.reset_registered ();
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
 (* ---- telemetry overhead: the tentpole's < 2% null-sink budget ---- *)
 
 let obsbench () =
@@ -801,6 +926,15 @@ let write_bench_json () =
       !cache_result;
     bpf "\n  }"
   end;
+  if !fuzz_result <> [] then begin
+    bpf ",\n  \"fuzz\": {";
+    List.iteri
+      (fun i (k, v) ->
+         bpf "%s\n    %s: %s" (if i = 0 then "" else ",")
+           (json_str k) (json_float v))
+      !fuzz_result;
+    bpf "\n  }"
+  end;
   bpf "\n}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect ~finally:(fun () -> close_out oc)
@@ -882,6 +1016,7 @@ let () =
     | "parbench" -> timed id parbench
     | "obsbench" -> timed id obsbench
     | "cachebench" -> timed id cachebench
+    | "fuzzbench" -> timed id fuzzbench
     | "export" -> timed id (fun () -> export (second "bench_data"))
     | "bechamel" -> timed id bechamel
     | other ->

@@ -350,6 +350,82 @@ let verilog_cmd =
     Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
           $ input_arg $ output)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run verbose metrics jobs cache_dir seed budget max_steps no_mine
+      output =
+    setup_logs verbose;
+    setup_metrics metrics;
+    run_guarded @@ fun () ->
+    Logs.info (fun m ->
+        m "baseline coverage: tracing the %d hand-written workloads"
+          (List.length Workloads.Suite.all));
+    let baseline = Fuzz.Coverage.of_workloads Workloads.Suite.all in
+    let corpus =
+      Fuzz.Corpus.run ~max_steps ~initial:baseline ~seed ~budget ()
+    in
+    let corpus = Fuzz.Corpus.minimize corpus in
+    print_string (Fuzz.Corpus.report corpus);
+    (match Fuzz.Corpus.to_workloads corpus with
+     | [] -> Printf.printf "no accepted programs; nothing to mine\n"
+     | _ :: _ ->
+       Fuzz.Corpus.register corpus;
+       if not no_mine then begin
+         let invariants =
+           Scifinder_core.Pipeline.mine_invariants ~jobs ?cache_dir
+             ~names:(Fuzz.Corpus.names corpus) ()
+         in
+         let canon =
+           List.sort_uniq String.compare
+             (List.map Invariant.Expr.to_string invariants)
+         in
+         Printf.printf "mined %d invariants from the fuzz corpus (set %s)\n"
+           (List.length invariants)
+           (Digest.to_hex (Digest.string (String.concat "\n" canon)));
+         match output with
+         | Some path ->
+           Invariant.Io.save path invariants;
+           Printf.printf "saved %d invariants to %s\n"
+             (List.length invariants) path
+         | None -> ()
+       end);
+    0
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+           ~doc:"PRNG seed; everything downstream is a pure function of \
+                 ($(docv), --budget).")
+  in
+  let budget =
+    Arg.(value & opt int 200
+         & info [ "budget" ] ~docv:"K"
+           ~doc:"Candidate programs to generate.")
+  in
+  let max_steps =
+    Arg.(value & opt int Fuzz.Corpus.default_max_steps
+         & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Per-candidate step budget; candidates that exhaust it \
+                 are rejected as runaways (fuzz.timeout).")
+  in
+  let no_mine =
+    Arg.(value & flag
+         & info [ "no-mine" ]
+           ~doc:"Stop after the corpus loop; skip mining the accepted \
+                 programs.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Save the fuzz-mined invariants for identify/verify runs.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~exits:common_exits
+           ~doc:"Grow a coverage-guided corpus of generated OR1200 \
+                 programs and mine it.")
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
+          $ seed $ budget $ max_steps $ no_mine $ output)
+
 (* ---- bugs / workloads listings ---- *)
 
 let bugs_cmd =
@@ -387,4 +463,4 @@ let () =
   let info = Cmd.info "scifinder" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
-                       verilog_cmd; bugs_cmd; workloads_cmd ]))
+                       verilog_cmd; fuzz_cmd; bugs_cmd; workloads_cmd ]))

@@ -24,3 +24,10 @@ grep -q 'null-sink overhead budget < 2%: PASS' /tmp/obsbench.out
 # and come in at least 5x faster.
 dune exec bench/main.exe -- cachebench | tee /tmp/cachebench.out
 grep -q 'cachebench gate (warm==cold, stale rejected, >=5x): PASS' /tmp/cachebench.out
+# Fuzzbench gate: the fixed-seed generated corpus must reach the pinned
+# minimum of new coverage points over the 17 hand-written workloads, be
+# byte-identical across same-seed reruns, mine bit-identically through a
+# warm snapshot cache, keep the Figure 3 convergence shape, and not
+# increase identification false positives.
+dune exec bench/main.exe -- fuzzbench -j 2 | tee /tmp/fuzzbench.out
+grep -q 'fuzzbench gate (new coverage >= 10, deterministic, warm identical, fig3 shape, FP not up): PASS' /tmp/fuzzbench.out

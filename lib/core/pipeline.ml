@@ -130,42 +130,49 @@ let canon_set invs =
   List.iter (fun i -> Hashtbl.replace s (Expr.canonical i) ()) invs;
   s
 
-let trace_workload_into engine name =
-  match Workloads.Suite.by_name name with
+(* Workload references are resolved once, up front: first against the
+   caller-supplied pool, then against the suite (built-ins plus anything
+   the fuzzer registered). Everything downstream works on [Rt.t]. *)
+let resolve ~workloads name =
+  match
+    List.find_opt (fun w -> String.equal w.Workloads.Rt.name name) workloads
+  with
+  | Some w -> Some w
+  | None -> Workloads.Suite.by_name name
+
+let resolve_exn ~workloads name =
+  match resolve ~workloads name with
+  | Some w -> w
   | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
-  | Some w ->
-    (* One span per workload shard, whichever domain it traces on. *)
-    Obs.Span.with_ ~name:"mine.shard"
-      ~attrs:[ ("workload", Obs.Sink.S name) ]
-      (fun () ->
-         ignore
-           (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
-              ~entry:w.Workloads.Rt.entry
-              ~observer:(Daikon.Engine.observe engine)
-              w.Workloads.Rt.image))
+
+let trace_workload_into engine (w : Workloads.Rt.t) =
+  (* One span per workload shard, whichever domain it traces on. *)
+  Obs.Span.with_ ~name:"mine.shard"
+    ~attrs:[ ("workload", Obs.Sink.S w.Workloads.Rt.name) ]
+    (fun () ->
+       ignore
+         (Trace.Runner.stream ~tick_period:w.Workloads.Rt.tick_period
+            ~entry:w.Workloads.Rt.entry
+            ~observer:(Daikon.Engine.observe engine)
+            w.Workloads.Rt.image))
 
 (* One workload shard: a cache hit deserialises the engine and skips
    tracing entirely; a miss (or stale/corrupt entry) traces and then
    persists the shard BEFORE the caller merges it — [merge_into] adopts
    shard state by reference, so saving after the merge would snapshot a
    consumed engine. *)
-let mine_shard ~config ~cache_dir name =
+let mine_shard ~config ~cache_dir (w : Workloads.Rt.t) =
   match cache_dir with
   | None ->
     let shard = Daikon.Engine.create ~config () in
-    trace_workload_into shard name;
+    trace_workload_into shard w;
     shard
   | Some dir ->
-    let w =
-      match Workloads.Suite.by_name name with
-      | Some w -> w
-      | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
-    in
     (match Cache.load_shard ~config dir w with
      | Some shard -> shard
      | None ->
        let shard = Daikon.Engine.create ~config () in
-       trace_workload_into shard name;
+       trace_workload_into shard w;
        Cache.save_shard ~config dir w shard;
        shard)
 
@@ -174,8 +181,8 @@ let mine_shard ~config ~cache_dir name =
    merge order — and therefore every extracted invariant set — is
    deterministic regardless of how the domains interleaved or which
    shards came from the cache. *)
-let mine_shards ~config ~jobs ~cache_dir names =
-  Util.Parallel.map ~jobs (mine_shard ~config ~cache_dir) names
+let mine_shards ~config ~jobs ~cache_dir ws =
+  Util.Parallel.map ~jobs (mine_shard ~config ~cache_dir) ws
 
 (* ---- Corpus-level summary cache ----
 
@@ -196,10 +203,7 @@ let summary_key ~config ~groups ~labels =
     (fun group label ->
        Buffer.add_string b ("[" ^ label ^ "]");
        List.iter
-         (fun name ->
-            match Workloads.Suite.by_name name with
-            | Some w -> Buffer.add_string b (Cache.shard_key config w ^ ";")
-            | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name))
+         (fun w -> Buffer.add_string b (Cache.shard_key config w ^ ";"))
          group)
     groups labels;
   Digest.to_hex (Digest.string (Buffer.contents b))
@@ -317,10 +321,10 @@ let mine_cold ~config ~groups ~labels ~jobs ~cache_dir () =
                 (Array.of_list (List.concat groups)))
     in
     let idx = ref 0 in
-    let absorb name =
+    let absorb w =
       (match shards with
        | Some shards -> absorb_shard engine shards.(!idx)
-       | None -> trace_workload_into engine name);
+       | None -> trace_workload_into engine w);
       incr idx
     in
     let previous = ref (Hashtbl.create 1) in
@@ -372,7 +376,7 @@ let mine ?(config = Daikon.Config.default)
     ?(jobs = Util.Parallel.default_jobs ())
     ?cache_dir
     () =
-  ignore workloads;
+  let groups = List.map (List.map (resolve_exn ~workloads)) groups in
   let body () =
     match cache_dir with
     | None -> mine_cold ~config ~groups ~labels ~jobs ~cache_dir:None ()
@@ -397,15 +401,16 @@ let mine ?(config = Daikon.Config.default)
 let mine_invariants ?(config = Daikon.Config.default)
     ?(jobs = Util.Parallel.default_jobs ()) ?cache_dir ?names () =
   let names = match names with None -> Workloads.Suite.names | Some l -> l in
+  let ws = List.map (resolve_exn ~workloads:[]) names in
   Obs.Span.with_ ~name:"pipeline.mine"
     ~attrs:[ ("jobs", Obs.Sink.I jobs) ]
     (fun () ->
        let engine = Daikon.Engine.create ~config () in
        if jobs <= 1 && cache_dir = None then
-         List.iter (trace_workload_into engine) names
+         List.iter (trace_workload_into engine) ws
        else
          Array.iter (absorb_shard engine)
-           (mine_shards ~config ~jobs ~cache_dir (Array.of_list names));
+           (mine_shards ~config ~jobs ~cache_dir (Array.of_list ws));
        Obs.Metrics.add c_mine_records (Daikon.Engine.record_count engine);
        publish_engine_stats engine;
        Daikon.Engine.invariants engine)

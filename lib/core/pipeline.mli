@@ -38,6 +38,10 @@ val mine :
 (** Trace the corpus cumulatively (default: the 17 programs in Figure 3
     order), snapshotting the invariant set after each group.
 
+    [groups] names are resolved first against [workloads], then against
+    the suite — built-ins plus anything {!Workloads.Suite.register}ed,
+    e.g. a fuzz corpus; unknown names raise [Invalid_argument].
+
     [jobs] (default {!Util.Parallel.default_jobs}) bounds the pool of
     domains tracing workload shards in parallel; each shard feeds a
     private {!Daikon.Engine.t} and the shards are merged in fixed corpus
@@ -62,9 +66,10 @@ val mine_invariants :
   ?names:string list ->
   unit -> Invariant.Expr.t list
 (** Just the mined invariant set of the named workloads (default: the
-    whole corpus), sharded over [jobs] domains like {!mine} but without
-    the Figure 3 bookkeeping. [cache_dir] caches per-workload shards
-    exactly as in {!mine} (no summary-level entry). *)
+    whole corpus; registered workloads resolve too), sharded over [jobs]
+    domains like {!mine} but without the Figure 3 bookkeeping.
+    [cache_dir] caches per-workload shards exactly as in {!mine} (no
+    summary-level entry). *)
 
 (** {1 §3.2 optimisation (Table 2)} *)
 

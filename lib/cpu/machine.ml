@@ -24,6 +24,7 @@ type telemetry = {
   exn_entered : int array;
   mutable exn_suppressed : int;
   mutable mem_high_water : int;
+  mutable truncated : int;
 }
 
 type t = {
@@ -103,7 +104,8 @@ let create ?(fault = Fault.none) ?(tick_period = 0) ?mem_size () =
   { mem;
     tel = { exn_entered = Array.make (List.length Vec.all) 0;
             exn_suppressed = 0;
-            mem_high_water = -1 };
+            mem_high_water = -1;
+            truncated = 0 };
     gpr = Array.make 32 0;
     pc = Vec.address Vec.Reset;
     sr = Sr.reset;
@@ -656,7 +658,10 @@ let step t =
 (* Run until halt or [max_steps], feeding every event to [observer]. *)
 let run ?(max_steps = 1_000_000) ~observer t =
   let rec loop n =
-    if n >= max_steps then `Max_steps
+    if n >= max_steps then begin
+      t.tel.truncated <- t.tel.truncated + 1;
+      `Max_steps
+    end
     else
       match step t with
       | Halt r -> `Halted r

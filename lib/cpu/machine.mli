@@ -23,6 +23,11 @@ type telemetry = {
       (** requested exceptions dropped by a fault hook *)
   mutable mem_high_water : int;
       (** highest load/store effective address touched; -1 if none *)
+  mutable truncated : int;
+      (** runs of this machine aborted by a step budget ([`Max_steps]):
+          the runaway-program guard for generated workloads. Bumped by
+          {!run} and by [Trace.Runner]; distinct from a halt so a fuzzing
+          loop can count timeouts instead of silently truncating. *)
 }
 
 type t = {

@@ -1,0 +1,135 @@
+module Rt = Workloads.Rt
+
+type entry = {
+  workload : Rt.t;
+  cov : Coverage.Pset.t;
+  new_points : int;
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  max_steps : int;
+  initial : Coverage.Pset.t;
+  entries : entry list;
+  total : Coverage.Pset.t;
+  generated : int;
+  timeouts : int;
+  rejected : int;
+}
+
+let c_gen = Obs.Metrics.counter "fuzz.gen"
+let c_accept = Obs.Metrics.counter "fuzz.accept"
+let c_reject = Obs.Metrics.counter "fuzz.reject"
+let c_timeout = Obs.Metrics.counter "fuzz.timeout"
+let c_points = Obs.Metrics.counter "fuzz.coverage.points"
+let c_new = Obs.Metrics.counter "fuzz.coverage.new"
+
+(* Generated programs are a few hundred instructions with bounded loops;
+   anything needing more steps than this is a runaway. *)
+let default_max_steps = 50_000
+
+let eval_candidate ?(max_steps = default_max_steps) w =
+  let cov, outcome = Coverage.of_workload ~max_steps w in
+  (cov, match outcome with `Max_steps -> `Timeout | `Halted _ -> `Ok)
+
+let run ?(max_steps = default_max_steps) ?(initial = Coverage.Pset.empty)
+    ~seed ~budget () =
+  let state =
+    ref
+      { seed; budget; max_steps; initial; entries = []; total = initial;
+        generated = 0; timeouts = 0; rejected = 0 }
+  in
+  for index = 0 to budget - 1 do
+    let s = !state in
+    let w = Gen.candidate ~seed ~index in
+    Obs.Metrics.incr c_gen;
+    let cov, status =
+      Obs.Span.with_ ~name:"fuzz.candidate"
+        ~attrs:[ ("workload", Obs.Sink.S w.Rt.name) ]
+        (fun () -> eval_candidate ~max_steps w)
+    in
+    match status with
+    | `Timeout ->
+      (* A runaway candidate is never kept, whatever it covered: its
+         trace would also blow the miner's budget. *)
+      Obs.Metrics.incr c_timeout;
+      state := { s with generated = s.generated + 1;
+                        timeouts = s.timeouts + 1 }
+    | `Ok ->
+      let fresh = Coverage.Pset.diff cov s.total in
+      if Coverage.Pset.is_empty fresh then begin
+        Obs.Metrics.incr c_reject;
+        state := { s with generated = s.generated + 1;
+                          rejected = s.rejected + 1 }
+      end
+      else begin
+        Obs.Metrics.incr c_accept;
+        Obs.Metrics.add c_new (Coverage.Pset.cardinal fresh);
+        state :=
+          { s with
+            generated = s.generated + 1;
+            entries =
+              s.entries
+              @ [ { workload = w; cov;
+                    new_points = Coverage.Pset.cardinal fresh } ];
+            total = Coverage.Pset.union s.total cov }
+      end
+  done;
+  Obs.Metrics.add c_points (Coverage.Pset.cardinal !state.total);
+  !state
+
+(* Drop entries whose coverage the rest of the corpus (plus the
+   baseline) already implies. Newest-first order favours the small
+   early accepts that bought the big coverage jumps. *)
+let minimize t =
+  let keep =
+    List.fold_left
+      (fun keep e ->
+         let others =
+           List.fold_left
+             (fun acc e' ->
+                if e' == e then acc else Coverage.Pset.union acc e'.cov)
+             t.initial keep
+         in
+         if Coverage.Pset.subset t.total others then
+           List.filter (fun e' -> e' != e) keep
+         else keep)
+      t.entries (List.rev t.entries)
+  in
+  { t with entries = keep }
+
+let to_workloads t = List.map (fun e -> e.workload) t.entries
+let names t = List.map (fun e -> e.workload.Rt.name) t.entries
+let register t = List.iter Workloads.Suite.register (to_workloads t)
+let new_points t = Coverage.Pset.diff t.total t.initial
+
+let fingerprint t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+       Buffer.add_string b e.workload.Rt.name;
+       Buffer.add_char b '\n';
+       List.iter
+         (fun (addr, word) -> Buffer.add_string b (Printf.sprintf "%x:%x " addr word))
+         e.workload.Rt.image;
+       Buffer.add_char b '\n')
+    t.entries;
+  Buffer.add_string b (Coverage.table ~baseline:t.initial t.total);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let report t =
+  let b = Buffer.create 4096 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  bpf "fuzz corpus: seed %d, budget %d, max_steps %d\n" t.seed t.budget
+    t.max_steps;
+  bpf "  generated %d  accepted %d  rejected %d  timeouts %d\n" t.generated
+    (List.length t.entries) t.rejected t.timeouts;
+  Buffer.add_string b (Coverage.table ~baseline:t.initial t.total);
+  List.iter
+    (fun e ->
+       bpf "  %-16s %4d insns  +%d points\n" e.workload.Rt.name
+         (List.length e.workload.Rt.image) e.new_points)
+    t.entries;
+  bpf "fingerprint: %s\n" (fingerprint t);
+  Buffer.contents b

@@ -1,0 +1,67 @@
+(** The coverage-guided corpus loop.
+
+    [run] draws [budget] candidates from {!Gen}, traces each one under a
+    step budget, and keeps a candidate only if it reaches a coverage
+    point ({!Coverage.point}) the corpus has not seen — including any
+    [initial] baseline, typically the hand-written suite's coverage.
+    Candidates that exhaust the step budget are rejected outright and
+    counted separately ([fuzz.timeout]): a runaway program is a
+    generator bug signal, never silent truncation.
+
+    Telemetry: [fuzz.gen], [fuzz.accept], [fuzz.reject], [fuzz.timeout],
+    [fuzz.coverage.points], [fuzz.coverage.new] counters and one
+    [fuzz.candidate] span per candidate. *)
+
+type entry = {
+  workload : Workloads.Rt.t;
+  cov : Coverage.Pset.t;        (** this program's own coverage *)
+  new_points : int;             (** points it added when accepted *)
+}
+
+type t = {
+  seed : int;
+  budget : int;
+  max_steps : int;
+  initial : Coverage.Pset.t;    (** baseline the loop started from *)
+  entries : entry list;         (** accepted programs, oldest first *)
+  total : Coverage.Pset.t;      (** [initial] plus everything accepted *)
+  generated : int;
+  timeouts : int;
+  rejected : int;
+}
+
+val default_max_steps : int
+(** Per-candidate step budget (well under the miner's trace budget). *)
+
+val eval_candidate :
+  ?max_steps:int -> Workloads.Rt.t -> Coverage.Pset.t * [ `Ok | `Timeout ]
+(** Trace one candidate under the step budget. *)
+
+val run :
+  ?max_steps:int -> ?initial:Coverage.Pset.t -> seed:int -> budget:int ->
+  unit -> t
+(** The corpus loop. Deterministic: same arguments, same result. *)
+
+val minimize : t -> t
+(** Greedily drop entries (newest first) whose coverage is implied by
+    the rest; [total] is preserved exactly. *)
+
+val to_workloads : t -> Workloads.Rt.t list
+(** Accepted programs as ordinary suite entries, oldest first. *)
+
+val names : t -> string list
+
+val register : t -> unit
+(** [Workloads.Suite.register] each accepted program, making the corpus
+    minable by [Pipeline.mine ~groups] / [mine_invariants ~names]. *)
+
+val new_points : t -> Coverage.Pset.t
+(** [total - initial]: what generation bought over the baseline. *)
+
+val fingerprint : t -> string
+(** Hex digest over accepted names, images, and the coverage table —
+    byte-identical runs have equal fingerprints. *)
+
+val report : t -> string
+(** Deterministic human-readable summary: loop statistics, the coverage
+    table against [initial], and the accepted programs. *)

@@ -1,0 +1,129 @@
+(* Coverage points folded out of the Trace.Record stream. Everything is
+   derived from record fields the miner already observes, so coverage
+   costs one decode plus a few array reads per record and needs no new
+   instrumentation in the machine. *)
+
+module Var = Trace.Var
+module Record = Trace.Record
+
+type point =
+  | Form of string
+  | Op of string
+  | Flag of string * bool
+  | Edge of string * bool
+  | Exn of string * string
+  | Exn_delay of string
+
+let compare_point (a : point) (b : point) = Stdlib.compare a b
+
+let describe = function
+  | Form f -> "form " ^ f
+  | Op p -> "op " ^ p
+  | Flag (p, v) -> Printf.sprintf "flag %s -> %d" p (if v then 1 else 0)
+  | Edge (p, taken) ->
+    Printf.sprintf "edge %s %s" p (if taken then "taken" else "fallthrough")
+  | Exn (vec, p) -> Printf.sprintf "exn %s @ %s" vec p
+  | Exn_delay vec -> Printf.sprintf "exn %s in delay slot" vec
+
+module Pset = Set.Make (struct
+    type t = point
+    let compare = compare_point
+  end)
+
+(* Vector address (what Var.Vec records) -> vector name. *)
+let vector_name addr =
+  match
+    List.find_opt
+      (fun k -> Isa.Spr.Vector.address k = addr)
+      Isa.Spr.Vector.all
+  with
+  | Some k -> Isa.Spr.Vector.name k
+  | None -> Printf.sprintf "vector_%x" addr
+
+let is_delay_slot_point = function
+  | "l.j" | "l.jal" | "l.jr" | "l.jalr" | "l.bf" | "l.bnf" -> true
+  | _ -> false
+
+let is_setflag_point p =
+  String.length p > 4 && String.sub p 0 4 = "l.sf"
+
+let of_record (r : Record.t) =
+  let get id = Record.get r id in
+  let point = r.Record.point in
+  let form =
+    match Isa.Code.decode (get (Var.insn_id Var.Ir)) with
+    | Some insn -> Isa.Insn.form insn
+    | None -> "illegal"
+  in
+  let acc = [ Form form; Op point ] in
+  let acc =
+    if is_setflag_point point then
+      Flag (point, get (Var.post_id Var.Sf) = 1) :: acc
+    else acc
+  in
+  let acc =
+    if is_delay_slot_point point then begin
+      (* Fused records carry the post-delay-slot PC: the branch target
+         when taken, the sequential address (branch + 8) otherwise. *)
+      let origin = get (Var.orig_id Var.Pc) in
+      let landed = get (Var.post_id Var.Pc) in
+      Edge (point, landed <> (origin + 8) land 0xFFFF_FFFF) :: acc
+    end
+    else acc
+  in
+  if get (Var.insn_id Var.Exn) = 1 then begin
+    let vec = vector_name (get (Var.insn_id Var.Vec)) in
+    let acc = Exn (vec, point) :: acc in
+    if get (Var.post_id Var.Dsx) = 1 then Exn_delay vec :: acc else acc
+  end
+  else acc
+
+type t = { mutable set : Pset.t }
+
+let create () = { set = Pset.empty }
+
+let observe t r =
+  List.iter (fun p -> t.set <- Pset.add p t.set) (of_record r)
+
+let points t = t.set
+
+let of_workload ?max_steps (w : Workloads.Rt.t) =
+  let config =
+    match max_steps with
+    | None -> Trace.Runner.default_config
+    | Some max_steps -> { Trace.Runner.default_config with max_steps }
+  in
+  let acc = create () in
+  let outcome =
+    Trace.Runner.stream ~config ~tick_period:w.Workloads.Rt.tick_period
+      ~entry:w.Workloads.Rt.entry ~observer:(observe acc)
+      w.Workloads.Rt.image
+  in
+  (points acc, outcome)
+
+let of_workloads ?max_steps ws =
+  List.fold_left
+    (fun acc w -> Pset.union acc (fst (of_workload ?max_steps w)))
+    Pset.empty ws
+
+(* Deterministic per-class counts plus, against a baseline, the sorted
+   list of newly reached points. *)
+let table ?baseline set =
+  let count pred = Pset.cardinal (Pset.filter pred set) in
+  let b = Buffer.create 1024 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  bpf "coverage: %d points\n" (Pset.cardinal set);
+  bpf "  forms       %4d\n" (count (function Form _ -> true | _ -> false));
+  bpf "  ops         %4d\n" (count (function Op _ -> true | _ -> false));
+  bpf "  flags       %4d\n" (count (function Flag _ -> true | _ -> false));
+  bpf "  edges       %4d\n" (count (function Edge _ -> true | _ -> false));
+  bpf "  exceptions  %4d (%d from delay slots)\n"
+    (count (function Exn _ -> true | _ -> false))
+    (count (function Exn_delay _ -> true | _ -> false));
+  (match baseline with
+   | None -> ()
+   | Some base ->
+     let fresh = Pset.diff set base in
+     bpf "  new vs baseline: %d\n" (Pset.cardinal fresh);
+     Pset.iter (fun p -> bpf "    + %s\n" (describe p)) fresh);
+  Buffer.contents b

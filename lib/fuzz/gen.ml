@@ -1,0 +1,239 @@
+(* Weighted-template program generator. Every candidate is built from the
+   same Rt scaffolding as the hand-written corpus (vector table, generic
+   handlers, l.nop 1 exit) so the only variable is the main code body.
+   All randomness flows from one Util.Prng stream seeded by (seed, index),
+   which makes candidates pure values: same pair, same image. *)
+
+module P = Util.Prng
+module B = Isa.Asm.Build
+module Rt = Workloads.Rt
+
+let reserved_regs = [ 0; 1; 2; 9; 11; 26; 27 ]
+
+(* Allocatable registers: everything outside the runtime convention. *)
+let pool = [| 3; 4; 5; 6; 7; 8; 10; 12; 13; 14; 15; 16; 17; 18; 19; 20;
+              21; 22; 23; 24; 25 |]
+
+let reg rng = pool.(P.int rng (Array.length pool))
+
+let rec reg_not rng avoid =
+  let r = reg rng in
+  if List.mem r avoid then reg_not rng avoid else r
+
+(* --- instruction pickers ------------------------------------------- *)
+
+let alu3_ops =
+  [| B.add; B.addc; B.sub; B.and_; B.or_; B.xor; B.mul; B.mulu; B.div;
+     B.divu; B.sll; B.srl; B.sra; B.ror |]
+
+let alui_ops = [| B.addi; B.addic; B.andi; B.ori; B.xori; B.muli |]
+let shifti_ops = [| B.slli; B.srli; B.srai; B.rori |]
+let ext_ops = [| B.extbs; B.extbz; B.exths; B.exthz; B.extws; B.extwz |]
+
+let sf3_ops =
+  [| B.sfeq; B.sfne; B.sfgtu; B.sfgeu; B.sfltu; B.sfleu; B.sfgts;
+     B.sfges; B.sflts; B.sfles |]
+
+let sfi_ops =
+  [| B.sfeqi; B.sfnei; B.sfgtui; B.sfgeui; B.sfltui; B.sfleui; B.sfgtsi;
+     B.sfgesi; B.sfltsi; B.sflesi |]
+
+let pick rng a = a.(P.int rng (Array.length a))
+
+(* One straight-line compute instruction with destination outside
+   [avoid] (loop counters, spin scratch). *)
+let compute ?(avoid = []) rng =
+  let rd = reg_not rng avoid in
+  match P.int rng 4 with
+  | 0 -> pick rng alu3_ops rd (reg rng) (reg rng)
+  | 1 -> pick rng alui_ops rd (reg rng) (P.int rng 0x10000)
+  | 2 -> pick rng shifti_ops rd (reg rng) (P.int rng 32)
+  | _ -> pick rng ext_ops rd (reg rng)
+
+(* --- templates ----------------------------------------------------- *)
+(* Each template takes the stream and a unique label prefix and returns
+   a self-contained item list: any label it defines carries the prefix,
+   any loop it emits is bounded, and the runtime registers stay intact. *)
+
+let t_alu rng _prefix =
+  List.init (3 + P.int rng 5) (fun _ -> compute rng)
+
+let t_cmp rng prefix =
+  let skip = prefix ^ "_skip" in
+  let cmp =
+    if P.bool rng then pick rng sf3_ops (reg rng) (reg rng)
+    else pick rng sfi_ops (reg rng) (P.int rng 0x10000)
+  in
+  let branch = if P.bool rng then B.bf skip else B.bnf skip in
+  [ cmp; branch; compute rng; compute rng; B.label skip ]
+
+let t_mem rng _prefix =
+  List.concat
+    (List.init
+       (2 + P.int rng 4)
+       (fun _ ->
+          let rs = reg rng and rd = reg rng in
+          match P.int rng 3 with
+          | 0 ->
+            let off = P.int rng 0x100 * 4 in
+            [ B.sw off 2 rs; (if P.bool rng then B.lwz else B.lws) rd 2 off ]
+          | 1 ->
+            let off = P.int rng 0x400 in
+            [ B.sb off 2 rs; (if P.bool rng then B.lbz else B.lbs) rd 2 off ]
+          | _ ->
+            let off = P.int rng 0x200 * 2 in
+            [ B.sh off 2 rs; (if P.bool rng then B.lhz else B.lhs) rd 2 off ]))
+
+let t_loop rng prefix =
+  let top = prefix ^ "_top" in
+  let ctr = reg rng in
+  let bound = 2 + P.int rng 8 in
+  let body = List.init (1 + P.int rng 3) (fun _ -> compute ~avoid:[ ctr ] rng) in
+  [ B.li ctr 0; B.label top ]
+  @ body
+  @ [ B.addi ctr ctr 1; B.sfltui ctr bound; B.bf top; B.nop ]
+
+let t_call rng prefix =
+  let sub = prefix ^ "_sub" and after = prefix ^ "_done" in
+  let body = List.init (1 + P.int rng 3) (fun _ -> compute rng) in
+  let entry =
+    if P.bool rng then [ B.jal sub; B.nop ]
+    else
+      let rx = reg rng in
+      [ B.la rx sub; B.jalr rx; B.nop ]
+  in
+  entry
+  @ [ B.j after; B.nop; B.label sub ]
+  @ body
+  @ [ B.jr 9; B.nop; B.label after ]
+
+let t_spr rng _prefix =
+  let rx = reg rng and ry = reg rng in
+  B.li32 rx (P.u32 rng)
+  @ [ B.mtspr 0 rx Rt.spr_eear; B.mfspr ry 0 Rt.spr_eear;
+      B.mac (reg rng) (reg rng);
+      (if P.bool rng then B.maci (reg rng) (P.int rng 0x10000)
+       else B.msb (reg rng) (reg rng));
+      B.macrc (reg rng);
+      B.mtspr 0 rx Rt.spr_maclo; B.mfspr ry 0 Rt.spr_machi ]
+
+(* Handlers skip a faulting load/store, so each of these retires through
+   the alignment vector and continues. Varying the mnemonic is the point:
+   it widens the (vector x program point) product. *)
+let t_align rng _prefix =
+  let ra = reg rng and rd = reg rng and rs = reg rng in
+  match P.int rng 4 with
+  | 0 ->
+    let off = (P.int rng 0x200 * 2) + 1 in
+    [ B.addi ra 2 off; (if P.bool rng then B.lhz else B.lhs) rd ra 0 ]
+  | 1 ->
+    let off = (P.int rng 0x100 * 4) + 1 + P.int rng 3 in
+    [ B.addi ra 2 off; (if P.bool rng then B.lwz else B.lws) rd ra 0 ]
+  | 2 ->
+    let off = (P.int rng 0x100 * 4) + 1 + P.int rng 3 in
+    [ B.addi ra 2 off; B.sw 0 ra rs ]
+  | _ ->
+    let off = (P.int rng 0x200 * 2) + 1 in
+    [ B.addi ra 2 off; B.sh 0 ra rs ]
+
+let t_illegal rng _prefix =
+  let w0 = 0xEC00_0000 lor P.int rng 0x10000 in
+  let w = if Isa.Code.decode w0 = None then w0 else 0xEC00_0000 in
+  [ B.word w; compute rng ]
+
+(* Enable OVE, overflow once, disable OVE — the vmlinux idiom, but with
+   the faulting opcode drawn from {add, addi, sub, div-by-zero}. *)
+let t_range rng _prefix =
+  let rt = reg rng in
+  let ra = reg_not rng [ rt ] in
+  let rd = reg rng in
+  let trigger =
+    match P.int rng 4 with
+    | 0 ->
+      let rb = reg_not rng [ ra ] in
+      B.li32 ra (0x7FFF_FFF0 + P.int rng 16)
+      @ [ B.li rb (16 + P.int rng 0x100); B.add rd ra rb ]
+    | 1 ->
+      B.li32 ra (0x7FFF_FFF0 + P.int rng 16)
+      @ [ B.addi rd ra (0x100 + P.int rng 0x100) ]
+    | 2 ->
+      let rb = reg_not rng [ ra ] in
+      B.li32 ra (0x8000_0000 + P.int rng 16)
+      @ [ B.li rb (16 + P.int rng 0x100); B.sub rd ra rb ]
+    | _ -> B.li32 ra (P.u32 rng) @ [ B.div rd ra 0 ]
+  in
+  [ B.mfspr rt 0 Rt.spr_sr; B.ori rt rt 0x1000; B.mtspr 0 rt Rt.spr_sr ]
+  @ trigger
+  @ [ B.mfspr rt 0 Rt.spr_sr; B.andi rt rt 0xEFFF; B.mtspr 0 rt Rt.spr_sr ]
+
+let t_sys rng _prefix =
+  if P.bool rng then
+    [ B.li 3 (P.int rng 0x100); B.li 4 (P.int rng 0x100);
+      B.sys (P.int rng 512) ]
+  else [ B.trap (P.int rng 32) ]
+
+(* Loads/stores past the end of physical memory (2 MiB): the bus-error
+   handler skips them. *)
+let t_bus rng _prefix =
+  let ra = reg rng in
+  B.li32 ra (0x20_0000 + (P.int rng 0x1000 * 4))
+  @ [ (if P.bool rng then B.lwz (reg rng) ra 0 else B.sw 0 ra (reg rng)) ]
+
+(* l.jr to a misaligned target: alignment exception at the jump itself,
+   handler skips to the delay slot and execution falls through. *)
+let t_jr_misaligned rng prefix =
+  let target = prefix ^ "_t" in
+  let rx = reg rng in
+  [ B.la rx target; B.ori rx rx 2; B.jr rx; B.nop; B.label target;
+    compute rng ]
+
+(* Enable the tick timer around a bounded spin so interrupts land mid
+   loop; only emitted when the candidate traces with a tick period. *)
+let t_tick_spin rng prefix =
+  let top = prefix ^ "_top" in
+  let rt = reg rng in
+  let ctr = reg_not rng [ rt ] in
+  let bound = 50 + P.int rng 100 in
+  [ B.mfspr rt 0 Rt.spr_sr; B.ori rt rt 0x0002; B.mtspr 0 rt Rt.spr_sr;
+    B.li ctr 0; B.label top;
+    B.addi ctr ctr 1 ]
+  @ [ compute ~avoid:[ ctr; rt ] rng ]
+  @ [ B.sfltui ctr bound; B.bf top; B.nop;
+      B.mfspr rt 0 Rt.spr_sr; B.andi rt rt 0xFFFD; B.mtspr 0 rt Rt.spr_sr ]
+
+let templates =
+  [| (4, t_alu); (4, t_cmp); (3, t_mem); (2, t_loop); (2, t_call);
+     (2, t_spr); (2, t_align); (1, t_illegal); (1, t_range); (2, t_sys);
+     (1, t_bus); (1, t_jr_misaligned) |]
+
+let total_weight = Array.fold_left (fun a (w, _) -> a + w) 0 templates
+
+let pick_template rng =
+  let k = P.int rng total_weight in
+  let rec go i k =
+    let w, t = templates.(i) in
+    if k < w then t else go (i + 1) (k - w)
+  in
+  go 0 k
+
+(* --- candidates ---------------------------------------------------- *)
+
+let candidate_name ~seed ~index = Printf.sprintf "fuzz-s%d-%03d" seed index
+
+let candidate ~seed ~index =
+  let rng = P.create ((seed * 1_000_003) + index) in
+  let tick_period = if P.int rng 4 = 0 then 16 + P.int rng 48 else 0 in
+  let inits =
+    List.concat (List.init 6 (fun _ -> B.li32 (reg rng) (P.u32 rng)))
+  in
+  let blocks =
+    List.concat
+      (List.init
+         (4 + P.int rng 5)
+         (fun i -> (pick_template rng) rng (Printf.sprintf "f%d" i)))
+  in
+  let spin = if tick_period > 0 then t_tick_spin rng "tick" else [] in
+  Rt.build
+    ~name:(candidate_name ~seed ~index)
+    ~tick_period
+    (Rt.prologue @ inits @ blocks @ spin @ Rt.exit_program)

@@ -1,0 +1,26 @@
+(** The seeded OR1200 program generator.
+
+    Programs are emitted from weighted templates — ALU/compare chains,
+    load/store walks over a scratch region, branch+delay-slot idioms,
+    bounded loops, subroutine calls, SPR and MAC traffic, and deliberate
+    exception triggers (alignment, illegal, range, bus error, syscall,
+    trap, misaligned register jumps) — over the same {!Isa.Asm.Build}
+    combinators and {!Workloads.Rt} scaffolding the hand-written corpus
+    uses, so every candidate is a well-formed workload: standard vector
+    table, bounded loops only, and the l.nop 1 exit.
+
+    Generation is a pure function of (seed, index): the same pair always
+    produces byte-identical images, which is what makes the fuzz corpus
+    snapshot-cacheable and every experiment reproducible. *)
+
+val reserved_regs : int list
+(** Registers the generator never allocates: r0 (zero), r1 (stack),
+    r2 (data base), r9 (link), r11 (syscall result), r26/r27 (handler
+    scratch). *)
+
+val candidate_name : seed:int -> index:int -> string
+(** ["fuzz-s<seed>-<index>"], the {!Workloads.Suite} registration name. *)
+
+val candidate : seed:int -> index:int -> Workloads.Rt.t
+(** The [index]-th candidate of stream [seed], assembled and ready to
+    trace. Deterministic. *)

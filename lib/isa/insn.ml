@@ -114,6 +114,27 @@ let mnemonic = function
   | Rfe -> "l.rfe"
   | Nop _ -> "l.nop"
 
+(* The instruction-format family of a mnemonic: the "opcode form" axis
+   of the fuzzer's coverage map (register-ALU and immediate-ALU forms
+   count separately because they stress different decoder paths). *)
+let form = function
+  | Alu _ -> "alu"
+  | Alui _ -> "alui"
+  | Shifti _ -> "shifti"
+  | Ext _ -> "ext"
+  | Setflag _ -> "setflag"
+  | Setflagi _ -> "setflagi"
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Jump _ | Jump_link _ | Branch_flag _ | Branch_noflag _ -> "branch"
+  | Jump_reg _ | Jump_link_reg _ -> "branch_reg"
+  | Movhi _ -> "movhi"
+  | Mfspr _ | Mtspr _ -> "spr"
+  | Macc _ | Maci _ | Macrc _ -> "mac"
+  | Sys _ | Trap _ -> "system"
+  | Rfe -> "rfe"
+  | Nop _ -> "nop"
+
 (* Is this a control-flow instruction with a branch delay slot? *)
 let has_delay_slot = function
   | Jump _ | Jump_link _ | Jump_reg _ | Jump_link_reg _

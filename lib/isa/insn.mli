@@ -69,6 +69,10 @@ val mnemonic : t -> string
 (** The program-point name: the paper's invariants have the form
     [risingEdge(l.xxx) -> EXPR], keyed by this string ("l.add", ...). *)
 
+val form : t -> string
+(** The instruction-format family ("alu", "alui", "load", "branch",
+    ...): the opcode-form axis of the fuzzer's coverage map. *)
+
 val has_delay_slot : t -> bool
 (** Is this a control-flow instruction with a branch delay slot? *)
 

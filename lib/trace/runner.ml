@@ -131,6 +131,7 @@ let build_record ~machine ~mask_table ~config ~pre ~head_ev ~exn_ev =
    a dozen atomic adds per traced program, nothing per instruction. *)
 let c_retired = Obs.Metrics.counter "cpu.retired"
 let c_exn_suppressed = Obs.Metrics.counter "cpu.exn_suppressed"
+let c_truncated = Obs.Metrics.counter "cpu.truncated_runs"
 let g_mem_high = Obs.Metrics.gauge "cpu.mem_high_water"
 
 let exn_counters =
@@ -143,6 +144,7 @@ let fold_machine_telemetry machine =
   let tel = machine.M.tel in
   Obs.Metrics.add c_retired machine.M.retired;
   Obs.Metrics.add c_exn_suppressed tel.M.exn_suppressed;
+  Obs.Metrics.add c_truncated tel.M.truncated;
   if tel.M.mem_high_water >= 0 then
     Obs.Metrics.set_max g_mem_high (float_of_int tel.M.mem_high_water);
   List.iteri
@@ -161,10 +163,13 @@ let run ?(config = default_config) ~observer machine : outcome =
   in
   let rec loop steps =
     if steps >= config.max_steps then begin
-      (* Flush a dangling branch so no observation is lost. *)
+      (* Flush a dangling branch so no observation is lost, and record
+         the truncation: a budget abort is an outcome, not a quiet end
+         of trace (generated workloads rely on seeing it). *)
       (match !pending with
        | Some (pre_b, ev_b) -> emit ~pre:pre_b ~head_ev:ev_b ~exn_ev:ev_b
        | None -> ());
+      machine.M.tel.M.truncated <- machine.M.tel.M.truncated + 1;
       `Max_steps
     end else begin
       snapshot_duals machine pre 0;

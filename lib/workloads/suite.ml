@@ -1,7 +1,10 @@
 (* The 17-program trace corpus of §5.1, in the cumulative order of the
    Figure 3 x-axis: vmlinux, basicmath, parser, mesa, ammp, mcf, instru,
    gzip, crafty, bzip, quake, twolf, vpr, then the "misc" bundle
-   (pi, bitcount, fft, helloworld). *)
+   (pi, bitcount, fft, helloworld) — plus a process-local registry for
+   workloads synthesised at run time (the coverage-guided fuzzer). *)
+
+exception Duplicate_workload of string
 
 let all : Rt.t list =
   [ W_vmlinux.workload;
@@ -23,7 +26,29 @@ let all : Rt.t list =
     W_hello.workload;
   ]
 
-let by_name name = List.find_opt (fun w -> String.equal w.Rt.name name) all
+(* Generated workloads registered by Fuzz.Corpus (and tests). Kept as an
+   immutable list behind a ref: registration happens before any parallel
+   mining starts, after which worker domains only read it. *)
+let extra : Rt.t list ref = ref []
+
+let registered () = List.rev !extra
+
+let mem_name name l = List.exists (fun w -> String.equal w.Rt.name name) l
+
+(* Workloads are addressed by name everywhere downstream (shard cache
+   files, Figure 3 groups, --workload flags), so a colliding registration
+   would silently shadow a program; reject it loudly instead. *)
+let register (w : Rt.t) =
+  if mem_name w.Rt.name all || mem_name w.Rt.name !extra then
+    raise (Duplicate_workload w.Rt.name);
+  extra := w :: !extra
+
+let reset_registered () = extra := []
+
+let by_name name =
+  match List.find_opt (fun w -> String.equal w.Rt.name name) all with
+  | Some _ as found -> found
+  | None -> List.find_opt (fun w -> String.equal w.Rt.name name) !extra
 
 let names = List.map (fun w -> w.Rt.name) all
 

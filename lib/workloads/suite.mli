@@ -2,11 +2,34 @@
     Figure 3 x-axis: vmlinux, basicmath, parser, mesa, ammp, mcf, instru,
     gzip, crafty, bzip, quake, twolf, vpr, then the "misc" bundle (pi,
     bitcount, fft, helloworld). Together the programs cover every
-    instruction of the basic set plus the exception machinery. *)
+    instruction of the basic set plus the exception machinery.
+
+    Run-time-generated workloads (the coverage-guided fuzzer's corpus)
+    join the suite through {!register}; {!by_name} — the lookup every
+    pipeline stage uses — sees both populations. *)
+
+exception Duplicate_workload of string
+(** A registration collided with a built-in or already-registered
+    workload name. Names key the snapshot cache and the Figure 3 groups,
+    so a collision would silently shadow a program. *)
 
 val all : Rt.t list
+(** The built-in 17-program corpus (registered workloads not included). *)
+
+val register : Rt.t -> unit
+(** Make a generated workload addressable by name ({!by_name}), and so
+    minable by [Pipeline.mine]. Not safe to call concurrently with
+    parallel mining; register the corpus first, then mine.
+    @raise Duplicate_workload on a name collision. *)
+
+val registered : unit -> Rt.t list
+(** Registered workloads, in registration order. *)
+
+val reset_registered : unit -> unit
+(** Drop every registered workload — for tests. *)
 
 val by_name : string -> Rt.t option
+(** Built-ins first, then the registry. *)
 
 val names : string list
 

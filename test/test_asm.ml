@@ -75,6 +75,102 @@ let test_data_masked () =
   let image = assemble_words [ word (-1) ] in
   Alcotest.(check int) "masked to 32 bits" 0xFFFF_FFFF (List.assoc 0x2000 image)
 
+(* ---- properties: assemble -> decode -> re-encode, displacement ---- *)
+
+(* Well-formed instructions across every format (registers in range,
+   immediates masked to their fields). *)
+let insn_gen : Insn.t QCheck.arbitrary =
+  let open Insn in
+  let open QCheck.Gen in
+  let reg = int_bound 31 and imm = int_bound 0xFFFF in
+  let alu_op = oneofl [ Add; Addc; Sub; And; Or; Xor; Mul; Mulu; Div; Divu;
+                        Sll; Srl; Sra; Ror ] in
+  let alui_op = oneofl [ Addi; Addic; Andi; Ori; Xori; Muli ] in
+  let shifti_op = oneofl [ Slli; Srli; Srai; Rori ] in
+  let ext_op = oneofl [ Extbs; Extbz; Exths; Exthz; Extws; Extwz ] in
+  let sf_op = oneofl [ Sfeq; Sfne; Sfgtu; Sfgeu; Sfltu; Sfleu;
+                       Sfgts; Sfges; Sflts; Sfles ] in
+  let load_op = oneofl [ Lwz; Lws; Lbz; Lbs; Lhz; Lhs ] in
+  let store_op = oneofl [ Sw; Sb; Sh ] in
+  let gen =
+    oneof
+      [ map (fun ((op, a), (b, c)) -> Alu (op, a, b, c))
+          (pair (pair alu_op reg) (pair reg reg));
+        map (fun ((op, a), (b, k)) -> Alui (op, a, b, k))
+          (pair (pair alui_op reg) (pair reg imm));
+        map (fun ((op, a), (b, k)) -> Shifti (op, a, b, k land 63))
+          (pair (pair shifti_op reg) (pair reg imm));
+        map (fun (op, (a, b)) -> Ext (op, a, b)) (pair ext_op (pair reg reg));
+        map (fun (op, (a, b)) -> Setflag (op, a, b)) (pair sf_op (pair reg reg));
+        map (fun (op, (a, k)) -> Setflagi (op, a, k)) (pair sf_op (pair reg imm));
+        map (fun ((op, a), (b, k)) -> Load (op, a, b, k))
+          (pair (pair load_op reg) (pair reg imm));
+        map (fun ((op, k), (a, b)) -> Store (op, k, a, b))
+          (pair (pair store_op imm) (pair reg reg));
+        map (fun (r, k) -> Movhi (r, k)) (pair reg imm);
+        map (fun ((d, a), k) -> Mfspr (d, a, k)) (pair (pair reg reg) imm);
+        map (fun ((a, b), k) -> Mtspr (a, b, k)) (pair (pair reg reg) imm);
+        map (fun (a, b) -> Macc (Mac, a, b)) (pair reg reg);
+        map (fun (a, k) -> Maci (a, k)) (pair reg imm);
+        map (fun r -> Macrc r) reg;
+        map (fun k -> Sys k) imm;
+        map (fun k -> Trap k) imm;
+        return Rfe;
+        map (fun k -> Nop k) imm ]
+  in
+  QCheck.make ~print:Insn.to_string gen
+
+let prop name count gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+(* Assembling a program of concrete instructions and decoding each image
+   word must give back exactly the instructions, and re-encoding each
+   decoded instruction must reproduce the image word. *)
+let asm_roundtrip =
+  prop "assemble -> decode -> encode identity" 500
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50) insn_gen)
+    (fun insns ->
+       let image =
+         Asm.assemble
+           { Asm.origin = 0x2000;
+             items = List.map (fun i -> Asm.I i) insns }
+       in
+       List.length image = List.length insns
+       && List.for_all2
+            (fun (_, w) insn ->
+               Code.decode w = Some insn && Code.encode insn = w)
+            image insns)
+
+(* displacement is the inverse of branch-target resolution: for any
+   word-aligned pc and word delta in the signed 26-bit range, resolving
+   the encoded displacement lands back on the target (mod 2^32). *)
+let resolves ~pc ~target =
+  let d = Asm.displacement ~pc ~target in
+  (pc + (4 * Util.U32.signed (Util.U32.sext ~bits:26 d))) land 0xFFFF_FFFF
+  = target
+
+let displacement_inverse =
+  prop "displacement inverse" 2000
+    QCheck.(pair (int_bound 0x3FFF_FFFF) (int_bound 0x3FF_FFFF))
+    (fun (pc_w, d_raw) ->
+       let pc = pc_w * 4 in
+       let delta = d_raw - 0x200_0000 in   (* [-2^25, 2^25) words *)
+       resolves ~pc ~target:((pc + (4 * delta)) land 0xFFFF_FFFF))
+
+(* Address-space edges: the displacement wraps cleanly at both ends. *)
+let test_displacement_boundaries () =
+  List.iter
+    (fun (pc, target) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "pc=%#x -> target=%#x" pc target)
+         true (resolves ~pc ~target))
+    [ (0, 0xFFFF_FFFC);                  (* backward across zero *)
+      (0xFFFF_FFFC, 0);                  (* forward across the top *)
+      (0, 0);                            (* self *)
+      (0x2000, 0x2000 + (4 * 0x1FF_FFFF));  (* max forward *)
+      (0x0800_0000, 0x0800_0000 - 0x800_0000);  (* max backward *)
+      (0xFFFF_FFFC, 0xFFFF_FFF8) ]
+
 let () =
   Alcotest.run "asm"
     [ ("asm",
@@ -88,4 +184,8 @@ let () =
          Alcotest.test_case "li32" `Quick test_li32;
          Alcotest.test_case "li bounds" `Quick test_li_bounds;
          Alcotest.test_case "word literal" `Quick test_word_literal;
-         Alcotest.test_case "word masked" `Quick test_data_masked ]) ]
+         Alcotest.test_case "word masked" `Quick test_data_masked;
+         asm_roundtrip;
+         displacement_inverse;
+         Alcotest.test_case "displacement boundaries" `Quick
+           test_displacement_boundaries ]) ]

@@ -1,0 +1,171 @@
+(* The coverage-guided fuzzer: golden coverage points, same-seed
+   determinism, acceptance/minimization invariants, runaway-candidate
+   timeouts, and pipeline integration of registered programs. *)
+
+module B = Isa.Asm.Build
+module Rt = Workloads.Rt
+module Pset = Fuzz.Coverage.Pset
+
+let pset =
+  Alcotest.testable
+    (fun fmt s ->
+       Format.fprintf fmt "{%s}"
+         (String.concat "; " (List.map Fuzz.Coverage.describe (Pset.elements s))))
+    Pset.equal
+
+let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name)
+
+(* ---- golden coverage ---- *)
+
+(* A bare image: l.sys traps to the syscall vector, l.rfe returns, l.nop 1
+   exits. Exactly those opcodes, exactly one exception — so the coverage
+   set is known in full. *)
+let test_golden_points () =
+  let open Isa in
+  let image =
+    [ (0x100, Code.encode (Insn.Sys 0));
+      (0x104, Code.encode (Insn.Nop 1));
+      (Spr.Vector.address Spr.Vector.Syscall, Code.encode Insn.Rfe) ]
+  in
+  let acc = Fuzz.Coverage.create () in
+  let outcome =
+    Trace.Runner.stream ~entry:0x100
+      ~observer:(Fuzz.Coverage.observe acc) image
+  in
+  Alcotest.(check bool) "exits" true
+    (outcome = `Halted Cpu.Machine.Exit);
+  let expected =
+    Pset.of_list
+      [ Form "system"; Form "rfe"; Form "nop";
+        Op "l.sys"; Op "l.rfe"; Op "l.nop";
+        Exn ("syscall", "l.sys") ]
+  in
+  Alcotest.check pset "exact point set" expected (Fuzz.Coverage.points acc)
+
+(* ---- determinism ---- *)
+
+let test_same_seed_identical () =
+  let grow () =
+    Fuzz.Corpus.minimize (Fuzz.Corpus.run ~seed:42 ~budget:30 ())
+  in
+  let a = grow () and b = grow () in
+  Alcotest.(check string) "fingerprints equal"
+    (Fuzz.Corpus.fingerprint a) (Fuzz.Corpus.fingerprint b);
+  Alcotest.(check string) "reports byte-identical"
+    (Fuzz.Corpus.report a) (Fuzz.Corpus.report b);
+  List.iter2
+    (fun (wa : Rt.t) (wb : Rt.t) ->
+       Alcotest.(check bool) "images identical" true (wa.image = wb.image))
+    (Fuzz.Corpus.to_workloads a) (Fuzz.Corpus.to_workloads b)
+
+let test_generator_pure () =
+  let w1 = Fuzz.Gen.candidate ~seed:7 ~index:3
+  and w2 = Fuzz.Gen.candidate ~seed:7 ~index:3 in
+  Alcotest.(check bool) "same image" true (w1.Rt.image = w2.Rt.image);
+  Alcotest.(check int) "same tick period" w1.Rt.tick_period w2.Rt.tick_period;
+  let w3 = Fuzz.Gen.candidate ~seed:7 ~index:4 in
+  Alcotest.(check bool) "different index, different image" true
+    (w1.Rt.image <> w3.Rt.image)
+
+(* ---- corpus loop invariants ---- *)
+
+let test_accepts_add_coverage () =
+  let c = Fuzz.Corpus.run ~seed:11 ~budget:40 () in
+  Alcotest.(check bool) "accepted something" true (c.Fuzz.Corpus.entries <> []);
+  Alcotest.(check int) "budget consumed" 40 c.Fuzz.Corpus.generated;
+  (* Replaying acceptance: each entry must add points over the running
+     union, in order. *)
+  let running = ref c.Fuzz.Corpus.initial in
+  List.iter
+    (fun (e : Fuzz.Corpus.entry) ->
+       let fresh = Pset.diff e.cov !running in
+       Alcotest.(check bool) "entry adds coverage" true
+         (not (Pset.is_empty fresh));
+       Alcotest.(check int) "new_points recorded at accept time"
+         (Pset.cardinal fresh) e.new_points;
+       running := Pset.union !running e.cov)
+    c.Fuzz.Corpus.entries;
+  Alcotest.check pset "total is the union" c.Fuzz.Corpus.total !running
+
+let test_minimize_preserves_total () =
+  let c = Fuzz.Corpus.run ~seed:11 ~budget:40 () in
+  let m = Fuzz.Corpus.minimize c in
+  Alcotest.(check bool) "no larger" true
+    (List.length m.Fuzz.Corpus.entries <= List.length c.Fuzz.Corpus.entries);
+  let union =
+    List.fold_left
+      (fun acc (e : Fuzz.Corpus.entry) -> Pset.union acc e.cov)
+      m.Fuzz.Corpus.initial m.Fuzz.Corpus.entries
+  in
+  Alcotest.check pset "total preserved" c.Fuzz.Corpus.total union;
+  (* Every survivor is necessary: dropping it loses a point. *)
+  List.iter
+    (fun (e : Fuzz.Corpus.entry) ->
+       let others =
+         List.fold_left
+           (fun acc (e' : Fuzz.Corpus.entry) ->
+              if e' == e then acc else Pset.union acc e'.cov)
+           m.Fuzz.Corpus.initial m.Fuzz.Corpus.entries
+       in
+       Alcotest.(check bool) "entry is load-bearing" false
+         (Pset.subset m.Fuzz.Corpus.total others))
+    m.Fuzz.Corpus.entries
+
+(* ---- runaway candidates ---- *)
+
+(* A program that never reaches the exit convention must come back as a
+   distinct `Timeout outcome — and bump the machine's truncation
+   telemetry — rather than pass as a short trace. *)
+let test_timeout_distinct () =
+  let spin = Rt.build ~name:"fuzz-test-spin" [ B.label "s"; B.j "s"; B.nop ] in
+  let truncated0 = counter "cpu.truncated_runs" in
+  let cov, status = Fuzz.Corpus.eval_candidate ~max_steps:500 spin in
+  Alcotest.(check bool) "timeout outcome" true (status = `Timeout);
+  Alcotest.(check bool) "trace still observed" true (not (Pset.is_empty cov));
+  Alcotest.(check bool) "cpu.truncated_runs bumped" true
+    (counter "cpu.truncated_runs" > truncated0)
+
+(* With a step budget no generated program can satisfy, every candidate
+   must be rejected as a timeout: none accepted, all counted. *)
+let test_timeouts_rejected_and_counted () =
+  let timeout0 = counter "fuzz.timeout" in
+  let c = Fuzz.Corpus.run ~max_steps:5 ~seed:3 ~budget:4 () in
+  Alcotest.(check int) "all candidates timed out" 4 c.Fuzz.Corpus.timeouts;
+  Alcotest.(check (list string)) "none accepted" [] (Fuzz.Corpus.names c);
+  Alcotest.(check int) "fuzz.timeout counted" (timeout0 + 4)
+    (counter "fuzz.timeout")
+
+(* ---- pipeline integration ---- *)
+
+let test_registered_corpus_mines () =
+  Fun.protect ~finally:Workloads.Suite.reset_registered (fun () ->
+      Workloads.Suite.reset_registered ();
+      let c = Fuzz.Corpus.run ~seed:42 ~budget:20 () in
+      Fuzz.Corpus.register c;
+      let names = Fuzz.Corpus.names c in
+      Alcotest.(check bool) "accepted something" true (names <> []);
+      let invs =
+        Scifinder_core.Pipeline.mine_invariants ~jobs:2 ~names ()
+      in
+      Alcotest.(check bool) "registered workloads mine" true (invs <> []))
+
+let () =
+  Alcotest.run "fuzz"
+    [ ("coverage",
+       [ Alcotest.test_case "golden points" `Quick test_golden_points ]);
+      ("determinism",
+       [ Alcotest.test_case "same seed identical" `Quick
+           test_same_seed_identical;
+         Alcotest.test_case "generator pure" `Quick test_generator_pure ]);
+      ("corpus",
+       [ Alcotest.test_case "accepts add coverage" `Quick
+           test_accepts_add_coverage;
+         Alcotest.test_case "minimize preserves total" `Quick
+           test_minimize_preserves_total ]);
+      ("timeout",
+       [ Alcotest.test_case "timeout distinct" `Quick test_timeout_distinct;
+         Alcotest.test_case "timeouts rejected+counted" `Quick
+           test_timeouts_rejected_and_counted ]);
+      ("pipeline",
+       [ Alcotest.test_case "registered corpus mines" `Quick
+           test_registered_corpus_mines ]) ]

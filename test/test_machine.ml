@@ -359,6 +359,22 @@ let test_spr_moves () =
   check "eear write/read" 0xABCD (gpr m 2);
   Alcotest.(check bool) "version register nonzero" true (gpr m 3 <> 0)
 
+(* A step-budget abort must be reported (`Max_steps) AND counted in the
+   machine's telemetry — never silently folded into a normal halt. *)
+let test_step_budget_truncation () =
+  let open Insn in
+  (* l.j 0 with no exit: spins at the jump forever. *)
+  let image = [ (code_base, Code.encode (Jump 0)) ] in
+  let machine = M.create () in
+  M.load_image machine image;
+  M.set_pc machine code_base;
+  let outcome = M.run ~max_steps:50 ~observer:(fun _ -> ()) machine in
+  Alcotest.(check bool) "distinct outcome" true (outcome = `Max_steps);
+  check "telemetry counts the truncation" 1 machine.M.tel.M.truncated;
+  Alcotest.(check bool) "not halted" true (machine.M.halted = None);
+  let m2 = run [ Alui (Addi, 3, 3, 1) ] in
+  check "clean exit is not a truncation" 0 m2.M.tel.M.truncated
+
 let test_sr_write_keeps_fo () =
   let open Insn in
   let m = run ~regs:[ (1, 1) ] [ Mtspr (0, 1, Spr.address Spr.Sr) ] in
@@ -400,5 +416,7 @@ let () =
          Alcotest.test_case "rfe in user mode" `Quick test_rfe_in_user_mode_illegal;
          Alcotest.test_case "tick timer" `Quick test_tick_timer;
          Alcotest.test_case "exit convention" `Quick test_exit_convention;
+         Alcotest.test_case "step budget truncation" `Quick
+           test_step_budget_truncation;
          Alcotest.test_case "spr moves" `Quick test_spr_moves;
          Alcotest.test_case "sr write keeps FO" `Quick test_sr_write_keeps_fo ]) ]

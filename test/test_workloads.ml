@@ -98,6 +98,27 @@ let test_trace_determinism () =
   in
   Alcotest.(check int) "bit-identical traces" (digest ()) (digest ())
 
+(* Registration: generated workloads join the suite by name; collisions
+   with built-ins or earlier registrations must be rejected loudly (a
+   silent shadow would poison the snapshot cache key space). *)
+let test_registration () =
+  let mk name = Workloads.Rt.build ~name Workloads.Rt.exit_program in
+  Fun.protect ~finally:Workloads.Suite.reset_registered (fun () ->
+      Workloads.Suite.reset_registered ();
+      let w = mk "reg-test-a" in
+      Workloads.Suite.register w;
+      Alcotest.(check bool) "registered resolves" true
+        (Workloads.Suite.by_name "reg-test-a" = Some w);
+      Alcotest.check_raises "duplicate registration"
+        (Workloads.Suite.Duplicate_workload "reg-test-a")
+        (fun () -> Workloads.Suite.register (mk "reg-test-a"));
+      Alcotest.check_raises "collision with a built-in"
+        (Workloads.Suite.Duplicate_workload "pi")
+        (fun () -> Workloads.Suite.register (mk "pi"));
+      Workloads.Suite.reset_registered ();
+      Alcotest.(check bool) "reset drops registrations" true
+        (Workloads.Suite.by_name "reg-test-a" = None))
+
 let () =
   Alcotest.run "workloads"
     [ ("termination", termination_tests);
@@ -108,4 +129,5 @@ let () =
          Alcotest.test_case "names" `Quick test_names_unique;
          Alcotest.test_case "figure3 groups" `Quick test_figure3_groups_cover_suite;
          Alcotest.test_case "by_name" `Quick test_by_name;
-         Alcotest.test_case "determinism" `Quick test_trace_determinism ]) ]
+         Alcotest.test_case "determinism" `Quick test_trace_determinism;
+         Alcotest.test_case "registration" `Quick test_registration ]) ]
