@@ -1,0 +1,232 @@
+(* Frozen copy of the Daikon engine's observe path as it stood before
+   the hot-path work: a [Hashtbl.find_opt] per record, one boxed tracker
+   record per variable pair, a closure-allocating scale filter, and no
+   settled-pair fast path. Used only by the minebench experiment as the
+   speedup denominator; [candidate_stats] lets the harness check that the
+   frozen code and the current engine falsify exactly the same candidate
+   sets over the mining corpus.
+
+   Policies and scale factors come from [Daikon.Engine] so the two
+   implementations can never drift apart on semantics — minebench is
+   about constant factors, not behaviour. *)
+
+module Var = Trace.Var
+
+(* Template-policy bits, mirroring the engine's (stable) encoding. *)
+let p_order = 1
+let p_eq = 2
+let p_ne = 4
+let p_diff = 8
+let p_scale = 16
+
+let pair_policy = Daikon.Engine.pair_policy
+let scale_candidates = Daikon.Engine.scale_candidates
+let full_scale_mask = (1 lsl Array.length scale_candidates) - 1
+
+type vstat = {
+  mutable vmin : int;
+  mutable vmax : int;
+  mutable values : int array;
+  mutable ndistinct : int;
+  mutable mod4 : int;
+  mutable mod2 : int;
+}
+
+type ptracker = {
+  pi : int;
+  pj : int;
+  policy : int;
+  mutable rel : int;
+  mutable diff : int;
+  mutable diff_live : bool;
+  mutable scale_ij : int;
+  mutable scale_ji : int;
+  mutable scale_nonzero : int;
+}
+
+type point_state = {
+  pname : string;
+  vars : int array;
+  stats : vstat option array;
+  pairs : ptracker array;
+  mutable n : int;
+}
+
+type t = {
+  config : Daikon.Config.t;
+  points : (string, point_state) Hashtbl.t;
+  mutable nrecords : int;
+}
+
+let create ?(config = Daikon.Config.default) () =
+  { config; points = Hashtbl.create 97; nrecords = 0 }
+
+let record_count t = t.nrecords
+let point_count t = Hashtbl.length t.points
+
+let new_point config name (mask : bool array) values =
+  let cap = max 1 config.Daikon.Config.max_oneof in
+  let vars =
+    Var.all_ids
+    |> List.filter (fun id -> mask.(id))
+    |> Array.of_list
+  in
+  let stats = Array.make Var.total None in
+  Array.iter
+    (fun id ->
+       let v = values.(id) in
+       let dv = Array.make cap 0 in
+       dv.(0) <- v;
+       stats.(id) <- Some {
+         vmin = v; vmax = v;
+         values = dv; ndistinct = 1;
+         mod4 = (if Var.id_kind id = Var.Addr then v land 3 else -1);
+         mod2 = (if Var.id_kind id = Var.Addr then v land 1 else -1);
+       })
+    vars;
+  let pairs = ref [] in
+  let nv = Array.length vars in
+  for a = 0 to nv - 1 do
+    for b = a + 1 to nv - 1 do
+      let i = vars.(a) and j = vars.(b) in
+      let policy = pair_policy (Var.id_kind i) (Var.id_kind j) in
+      if policy <> 0 then
+        pairs := { pi = i; pj = j; policy;
+                   rel = 0; diff = 0; diff_live = false;
+                   scale_ij = full_scale_mask; scale_ji = full_scale_mask;
+                   scale_nonzero = 0 }
+                 :: !pairs
+    done
+  done;
+  { pname = name; vars; stats; pairs = Array.of_list !pairs; n = 0 }
+
+let update_vstat st v =
+  if v < st.vmin then st.vmin <- v;
+  if v > st.vmax then st.vmax <- v;
+  if st.ndistinct >= 0 then begin
+    let n = st.ndistinct in
+    let pos = ref 0 in
+    while !pos < n && st.values.(!pos) < v do incr pos done;
+    if !pos >= n || st.values.(!pos) <> v then begin
+      if n >= Array.length st.values then begin
+        st.values <- [||];
+        st.ndistinct <- -1
+      end else begin
+        for k = n downto !pos + 1 do st.values.(k) <- st.values.(k - 1) done;
+        st.values.(!pos) <- v;
+        st.ndistinct <- n + 1
+      end
+    end
+  end;
+  if st.mod4 >= 0 && v land 3 <> st.mod4 then st.mod4 <- -1;
+  if st.mod2 >= 0 && v land 1 <> st.mod2 then st.mod2 <- -1
+
+let update_pair first p vi vj =
+  if vi < vj then p.rel <- p.rel lor 1
+  else if vi = vj then p.rel <- p.rel lor 2
+  else p.rel <- p.rel lor 4;
+  if p.policy land p_diff <> 0 then begin
+    let d = Util.U32.signed (Util.U32.sub vj vi) in
+    if first then begin p.diff <- d; p.diff_live <- true end
+    else if p.diff_live && p.diff <> d then p.diff_live <- false
+  end;
+  if p.policy land p_scale <> 0
+  && (p.scale_ij <> 0 || p.scale_ji <> 0) then begin
+    if vi <> 0 || vj <> 0 then p.scale_nonzero <- p.scale_nonzero + 1;
+    if p.scale_ij <> 0 then begin
+      let m = ref p.scale_ij in
+      Array.iteri
+        (fun bit k ->
+           if !m land (1 lsl bit) <> 0 && Util.U32.mul vi k <> vj then
+             m := !m land lnot (1 lsl bit))
+        scale_candidates;
+      p.scale_ij <- !m
+    end;
+    if p.scale_ji <> 0 then begin
+      let m = ref p.scale_ji in
+      Array.iteri
+        (fun bit k ->
+           if !m land (1 lsl bit) <> 0 && Util.U32.mul vj k <> vi then
+             m := !m land lnot (1 lsl bit))
+        scale_candidates;
+      p.scale_ji <- !m
+    end
+  end
+
+let observe t (record : Trace.Record.t) =
+  t.nrecords <- t.nrecords + 1;
+  let values = record.values in
+  let st =
+    match Hashtbl.find_opt t.points record.point with
+    | Some st -> st
+    | None ->
+      let st = new_point t.config record.point record.mask values in
+      Hashtbl.add t.points record.point st;
+      st
+  in
+  let first = st.n = 0 in
+  st.n <- st.n + 1;
+  if first then
+    ()
+  else
+    Array.iter
+      (fun id ->
+         match st.stats.(id) with
+         | Some vs -> update_vstat vs values.(id)
+         | None -> ())
+      st.vars;
+  let pairs = st.pairs in
+  for k = 0 to Array.length pairs - 1 do
+    let p = pairs.(k) in
+    update_pair first p values.(p.pi) values.(p.pj)
+  done
+
+(* Candidate accounting in the same shape as [Daikon.Engine.family_stats],
+   so minebench can assert the two implementations reached identical
+   candidate state over the corpus. *)
+let candidate_stats t : Daikon.Engine.family_stats list =
+  let oneof_born = ref 0 and oneof_live = ref 0 in
+  let interval_born = ref 0 in
+  let mod_born = ref 0 and mod_live = ref 0 in
+  let rel_born = ref 0 and rel_live = ref 0 in
+  let diff_born = ref 0 and diff_live = ref 0 in
+  let scale_born = ref 0 and scale_live = ref 0 in
+  Hashtbl.iter
+    (fun _ st ->
+       Array.iter
+         (fun id ->
+            match st.stats.(id) with
+            | None -> ()
+            | Some vs ->
+              Stdlib.incr oneof_born;
+              if vs.ndistinct >= 0 then Stdlib.incr oneof_live;
+              Stdlib.incr interval_born;
+              if Var.id_kind id = Var.Addr then begin
+                mod_born := !mod_born + 2;
+                if vs.mod4 >= 0 then Stdlib.incr mod_live;
+                if vs.mod2 >= 0 then Stdlib.incr mod_live
+              end)
+         st.vars;
+       Array.iter
+         (fun p ->
+            if p.policy land (p_order lor p_eq lor p_ne) <> 0 then begin
+              Stdlib.incr rel_born;
+              if p.rel <> 7 then Stdlib.incr rel_live
+            end;
+            if p.policy land p_diff <> 0 then begin
+              Stdlib.incr diff_born;
+              if p.diff_live then Stdlib.incr diff_live
+            end;
+            if p.policy land p_scale <> 0 then begin
+              Stdlib.incr scale_born;
+              if p.scale_ij <> 0 || p.scale_ji <> 0 then
+                Stdlib.incr scale_live
+            end)
+         st.pairs)
+    t.points;
+  [ { Daikon.Engine.family = "oneof"; born = !oneof_born; live = !oneof_live };
+    { family = "interval"; born = !interval_born; live = !interval_born };
+    { family = "mod"; born = !mod_born; live = !mod_live };
+    { family = "relation"; born = !rel_born; live = !rel_live };
+    { family = "diff"; born = !diff_born; live = !diff_live };
+    { family = "scale"; born = !scale_born; live = !scale_live } ]

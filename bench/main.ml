@@ -5,7 +5,7 @@
      main.exe            run every experiment, print paper-layout tables
      main.exe <id>       one experiment: fig3 tab2 tab3 tab4 fig4 tab5
                          tab6 tab7 tab8 tab9 sec56 ablation parbench
-                         obsbench cachebench
+                         obsbench cachebench fuzzbench minebench
      main.exe bechamel   the Bechamel micro-benchmarks
      main.exe -j N ...   mine the trace corpus on a pool of N domains
                          (default: the recommended domain count)
@@ -696,6 +696,157 @@ let fuzzbench () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
   Unix.rmdir dir
 
+(* ---- minebench: the streaming hot path vs the frozen pre-change miner ---- *)
+
+(* Filled by minebench; lands in BENCH_pipeline.json's "minebench" block. *)
+let mine_result : (string * float) list ref = ref []
+
+(* Speedup acceptance floor. The measured margin is well above this
+   (roughly 3-4x on the reference machine); the floor leaves room for
+   run-to-run noise and slower CI hosts. *)
+let minebench_floor = 1.5
+
+let minebench () =
+  header "Minebench: streaming hot path vs the frozen pre-change miner";
+  let corpus = Workloads.Suite.all in
+  let counter name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  (* Lane A, the denominator: the pre-change mining loop frozen into this
+     harness (Trace_baseline / Engine_baseline) — decode-per-step
+     machine, a pre-state copy per branch, hash-keyed boxed-tracker
+     engine. Lane B: today's Runner + Engine. Same corpus, same clock. *)
+  let run_baseline () =
+    let engine = Engine_baseline.create () in
+    List.iter
+      (fun (w : Workloads.Rt.t) ->
+         ignore
+           (Trace_baseline.stream ~tick_period:w.tick_period ~entry:w.entry
+              ~observer:(Engine_baseline.observe engine) w.image))
+      corpus;
+    engine
+  in
+  let run_current () =
+    let engine = Daikon.Engine.create () in
+    List.iter
+      (fun (w : Workloads.Rt.t) ->
+         ignore
+           (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+              ~observer:(Daikon.Engine.observe engine) w.image))
+      corpus;
+    engine
+  in
+  let reps = 3 in
+  let best f =
+    let best_s = ref infinity and res = ref None in
+    for _ = 1 to reps do
+      let r, s = Obs.Clock.time f in
+      if s < !best_s then best_s := s;
+      res := Some r
+    done;
+    (Option.get !res, !best_s)
+  in
+  let base_engine, base_s = best run_baseline in
+  let hit0 = counter "cpu.decode_cache.hit"
+  and miss0 = counter "cpu.decode_cache.miss" in
+  let cur_engine, cur_s = best run_current in
+  let dc_hits = counter "cpu.decode_cache.hit" - hit0
+  and dc_misses = counter "cpu.decode_cache.miss" - miss0 in
+  let records = Daikon.Engine.record_count cur_engine in
+  let counts_equal =
+    records = Engine_baseline.record_count base_engine
+    && Daikon.Engine.point_count cur_engine
+       = Engine_baseline.point_count base_engine
+  in
+  (* The frozen and current engines must have falsified exactly the same
+     candidate sets — the hot path is a constant-factor change, not a
+     semantic one. *)
+  let stats_equal =
+    Daikon.Engine.candidate_stats cur_engine
+    = Engine_baseline.candidate_stats base_engine
+  in
+  (* State identity through the current code: the streaming lane above
+     vs materialize-then-replay through [observe_baseline] must serialize
+     to byte-identical SCIFSNAP images (zero-materialization changed the
+     plumbing, not the state). A two-shard parallel-style merge must
+     extract the identical invariant set; its snapshot bytes are allowed
+     to differ only in the dead-pair scale support counts, which a shard
+     merge over-counts by design (see [Daikon.Engine.merge_into]). *)
+  let enc_stream = Daikon.Engine.encode cur_engine in
+  let replay_engine = Daikon.Engine.create () in
+  List.iter
+    (fun (w : Workloads.Rt.t) ->
+       let recs, _ =
+         Trace.Runner.capture ~tick_period:w.tick_period ~entry:w.entry
+           w.image
+       in
+       List.iter (Daikon.Engine.observe_baseline replay_engine) recs)
+    corpus;
+  let enc_replay = Daikon.Engine.encode replay_engine in
+  let snap_equal = String.equal enc_stream enc_replay in
+  let sharded_equal =
+    let half = List.length corpus / 2 in
+    let a = Daikon.Engine.create () and b = Daikon.Engine.create () in
+    List.iteri
+      (fun i (w : Workloads.Rt.t) ->
+         let eng = if i < half then a else b in
+         ignore
+           (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+              ~observer:(Daikon.Engine.observe eng) w.image))
+      corpus;
+    Daikon.Engine.merge_into a b;
+    List.map Expr.to_string (Daikon.Engine.invariants a)
+    = List.map Expr.to_string (Daikon.Engine.invariants cur_engine)
+  in
+  (* And through the pipeline: sequential vs parallel mining must still
+     agree on the invariant set and every Figure 3 row, and the final
+     invariant set must match what the streaming engine extracts. *)
+  let seq = Pipeline.mine ~jobs:1 () in
+  let par = Pipeline.mine ~jobs:(max 2 !jobs) () in
+  let strings m = List.map Expr.to_string m.Pipeline.invariants in
+  let fig3_equal =
+    strings seq = strings par && seq.Pipeline.figure3 = par.Pipeline.figure3
+  in
+  let stream_eq_mine =
+    List.map Expr.to_string (Daikon.Engine.invariants cur_engine)
+    = strings seq
+  in
+  let rps_base = float_of_int records /. Float.max base_s 1e-9 in
+  let rps_cur = float_of_int records /. Float.max cur_s 1e-9 in
+  let speedup = base_s /. Float.max cur_s 1e-9 in
+  pf "%-28s %12s %12s %14s\n" "lane (best of 3)" "records" "seconds"
+    "records/sec";
+  pf "%-28s %12d %12.3f %14.0f\n" "pre-change (frozen copy)" records base_s
+    rps_base;
+  pf "%-28s %12d %12.3f %14.0f\n" "streaming hot path" records cur_s rps_cur;
+  pf "decode cache over the corpus: %d hits, %d misses (%.2f%% hit rate)\n"
+    dc_hits dc_misses
+    (100.0 *. float_of_int dc_hits
+     /. Float.max (float_of_int (dc_hits + dc_misses)) 1.0);
+  pf "engine state vs frozen baseline (records, points, candidates): %b\n"
+    (counts_equal && stats_equal);
+  pf "stream == replay (SCIFSNAP bytes): %b, sharded merge invariants: %b\n"
+    snap_equal sharded_equal;
+  pf "seq == par mining (invariants + Figure 3 rows): %b, stream == mine: %b\n"
+    fig3_equal stream_eq_mine;
+  pf "speedup: %.2fx (acceptance floor: %.1fx)\n" speedup minebench_floor;
+  let identical =
+    counts_equal && stats_equal && snap_equal && sharded_equal && fig3_equal
+    && stream_eq_mine
+  in
+  let pass = identical && speedup >= minebench_floor in
+  pf "minebench gate (state identical, stream==replay==sharded, seq==par, \
+      >=1.5x): %s\n"
+    (if pass then "PASS" else "FAIL");
+  mine_result :=
+    [ ("records", float_of_int records);
+      ("baseline_s", base_s);
+      ("current_s", cur_s);
+      ("baseline_rps", rps_base);
+      ("current_rps", rps_cur);
+      ("speedup", speedup);
+      ("dcache_hits", float_of_int dc_hits);
+      ("dcache_misses", float_of_int dc_misses);
+      ("identical", if identical then 1.0 else 0.0) ]
+
 (* ---- telemetry overhead: the tentpole's < 2% null-sink budget ---- *)
 
 let obsbench () =
@@ -935,6 +1086,15 @@ let write_bench_json () =
       !fuzz_result;
     bpf "\n  }"
   end;
+  if !mine_result <> [] then begin
+    bpf ",\n  \"minebench\": {";
+    List.iteri
+      (fun i (k, v) ->
+         bpf "%s\n    %s: %s" (if i = 0 then "" else ",")
+           (json_str k) (json_float v))
+      !mine_result;
+    bpf "\n  }"
+  end;
   bpf "\n}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect ~finally:(fun () -> close_out oc)
@@ -1017,6 +1177,7 @@ let () =
     | "obsbench" -> timed id obsbench
     | "cachebench" -> timed id cachebench
     | "fuzzbench" -> timed id fuzzbench
+    | "minebench" -> timed id minebench
     | "export" -> timed id (fun () -> export (second "bench_data"))
     | "bechamel" -> timed id bechamel
     | other ->

@@ -1,0 +1,174 @@
+(* Frozen copy of the trace runner as it stood before the streaming
+   hot-path work: one heap-allocated pre-state copy per branch record and
+   a machine that re-decodes every fetched word ([~decode_cache:false]).
+   Used only by the minebench experiment, as the denominator of the
+   speedup gate — so the "pre-change baseline" is measured by this same
+   harness instead of trusting historical numbers. Behaviour (the record
+   stream) is identical to [Trace.Runner]; only the constant factors
+   differ. *)
+
+module M = Cpu.Machine
+module Var = Trace.Var
+module Record = Trace.Record
+module Sr = Isa.Spr.Sr_bits
+
+type config = Trace.Runner.config = {
+  mask_config : Record.mask_config;
+  max_steps : int;
+}
+
+let default_config = Trace.Runner.default_config
+
+type outcome = [ `Halted of M.halt_reason | `Max_steps ]
+
+let snapshot_duals machine dst off =
+  let set d v = dst.(off + Var.dual_index d) <- v in
+  for i = 0 to 31 do set (Var.Gpr i) machine.M.gpr.(i) done;
+  let sr = machine.M.sr in
+  set Var.Sr_full sr;
+  set Var.Sf (Sr.get sr Sr.f);
+  set Var.Sm (Sr.get sr Sr.sm);
+  set Var.Cy (Sr.get sr Sr.cy);
+  set Var.Ov (Sr.get sr Sr.ov);
+  set Var.Dsx (Sr.get sr Sr.dsx);
+  set Var.Tee (Sr.get sr Sr.tee);
+  set Var.Iee (Sr.get sr Sr.iee);
+  set Var.Epcr machine.M.epcr;
+  set Var.Esr machine.M.esr;
+  set Var.Eear machine.M.eear;
+  set Var.Machi machine.M.machi;
+  set Var.Maclo machine.M.maclo
+
+let set_pc_triplet dst off addr =
+  dst.(off + Var.dual_index Var.Pc) <- addr land 0xFFFF_FFFF;
+  dst.(off + Var.dual_index Var.Npc) <- (addr + 4) land 0xFFFF_FFFF;
+  dst.(off + Var.dual_index Var.Nnpc) <- (addr + 8) land 0xFFFF_FFFF
+
+let build_record ~machine ~mask_table ~config ~pre ~head_ev ~exn_ev =
+  let values = Array.make Var.total 0 in
+  Array.blit pre 0 values 0 Var.dual_count;
+  snapshot_duals machine values Var.dual_count;
+  set_pc_triplet values 0 head_ev.M.ev_addr;
+  set_pc_triplet values Var.dual_count exn_ev.M.ev_next_pc;
+  let insn = head_ev.M.ev_insn in
+  let point =
+    if head_ev.M.ev_illegal then "illegal" else Isa.Insn.mnemonic insn
+  in
+  let mask = Record.mask_for mask_table config point insn in
+  let seti v x = values.(Var.insn_id v) <- x in
+  seti Var.Ir head_ev.M.ev_ir;
+  seti Var.Mem_at_pc head_ev.M.ev_mem_at_pc;
+  (match Isa.Insn.immediate insn with
+   | Some im -> seti Var.Im im
+   | None -> ());
+  (match Isa.Insn.dest_reg insn with
+   | Some rd -> seti Var.Regd rd
+   | None -> ());
+  let ra, rb = Isa.Insn.src_regs insn in
+  (match ra with Some r -> seti Var.Rega r | None -> ());
+  (match rb with Some r -> seti Var.Regb r | None -> ());
+  seti Var.Opa head_ev.M.ev_opa;
+  seti Var.Opb head_ev.M.ev_opb;
+  seti Var.Dest head_ev.M.ev_dest;
+  seti Var.Ea head_ev.M.ev_ea;
+  seti Var.Membus head_ev.M.ev_membus;
+  seti Var.Spr_orig head_ev.M.ev_spr_orig;
+  seti Var.Spr_post head_ev.M.ev_spr_post;
+  seti Var.Opcode (head_ev.M.ev_ir lsr 26);
+  (match insn with
+   | Isa.Insn.Load (_, _, _, off) | Isa.Insn.Store (_, off, _, _) ->
+     seti Var.Ea_ref (Util.U32.add head_ev.M.ev_opa (Util.U32.sext16 off))
+   | _ -> ());
+  (match insn with
+   | Isa.Insn.Load (Isa.Insn.Lbs, _, _, _) ->
+     seti Var.Ext_sign ((head_ev.M.ev_membus lsr 7) land 1);
+     seti Var.Ext_hi (head_ev.M.ev_dest lsr 8)
+   | Isa.Insn.Load (Isa.Insn.Lhs, _, _, _) ->
+     seti Var.Ext_sign ((head_ev.M.ev_membus lsr 15) land 1);
+     seti Var.Ext_hi (head_ev.M.ev_dest lsr 16)
+   | _ -> ());
+  let post_dsx = values.(Var.dual_count + Var.dual_index Var.Dsx) in
+  (match exn_ev.M.ev_exn with
+   | Some _ ->
+     seti Var.Exn 1;
+     seti Var.Vec exn_ev.M.ev_next_pc;
+     seti Var.Epcr_d
+       (Util.U32.sub machine.M.epcr head_ev.M.ev_addr);
+     let expected_dsx = if exn_ev.M.ev_in_delay_slot then 1 else 0 in
+     seti Var.Dsx_ok (if post_dsx = expected_dsx then 1 else 0)
+   | None ->
+     seti Var.Exn 0;
+     seti Var.Vec 0;
+     seti Var.Epcr_d 0;
+     seti Var.Dsx_ok 1);
+  (match insn with
+   | Isa.Insn.Setflag _ | Isa.Insn.Setflagi _ ->
+     let a = head_ev.M.ev_opa and b = head_ev.M.ev_opb in
+     let du = Util.U32.signed (Util.U32.sub a b) in
+     let ds = Util.U32.signed a - Util.U32.signed b in
+     let sf = values.(Var.dual_count + Var.dual_index Var.Sf) in
+     let sign = 1 - (2 * sf) in
+     seti Var.Cmpdiff_u du;
+     seti Var.Cmpdiff_s ds;
+     seti Var.Prod_u (du * sign);
+     seti Var.Prod_s (ds * sign);
+     seti Var.Cmpz (if du = 0 then 1 else 0)
+   | _ -> ());
+  Array.iteri (fun id applicable -> if not applicable then values.(id) <- 0) mask;
+  { Record.point; values; mask }
+
+(* The pre-change run loop: a fresh [Array.copy] of the pre-state for
+   every pending branch and every exceptional delay slot. *)
+let run ?(config = default_config) ~observer machine : outcome =
+  let mask_table = Record.create_mask_table () in
+  let mask_config = config.mask_config in
+  let pre = Array.make Var.dual_count 0 in
+  let pending : (int array * M.event) option ref = ref None in
+  let emit ~pre ~head_ev ~exn_ev =
+    observer (build_record ~machine ~mask_table ~config:mask_config
+                ~pre ~head_ev ~exn_ev)
+  in
+  let rec loop steps =
+    if steps >= config.max_steps then begin
+      (match !pending with
+       | Some (pre_b, ev_b) -> emit ~pre:pre_b ~head_ev:ev_b ~exn_ev:ev_b
+       | None -> ());
+      machine.M.tel.M.truncated <- machine.M.tel.M.truncated + 1;
+      `Max_steps
+    end else begin
+      snapshot_duals machine pre 0;
+      match M.step machine with
+      | M.Halt reason ->
+        (match !pending with
+         | Some (pre_b, ev_b) -> emit ~pre:pre_b ~head_ev:ev_b ~exn_ev:ev_b
+         | None -> ());
+        `Halted reason
+      | M.Retired ev ->
+        (match !pending with
+         | Some (pre_b, ev_b) ->
+           pending := None;
+           emit ~pre:pre_b ~head_ev:ev_b ~exn_ev:ev;
+           if ev.M.ev_exn <> None || ev.M.ev_exn_suppressed then begin
+             let pre_ds = Array.copy pre in
+             set_pc_triplet pre_ds 0 ev.M.ev_addr;
+             emit ~pre:pre_ds ~head_ev:ev ~exn_ev:ev
+           end;
+           loop (steps + 1)
+         | None ->
+           if Isa.Insn.has_delay_slot ev.M.ev_insn && ev.M.ev_exn = None then begin
+             pending := Some (Array.copy pre, ev);
+             loop (steps + 1)
+           end else begin
+             emit ~pre ~head_ev:ev ~exn_ev:ev;
+             loop (steps + 1)
+           end)
+    end
+  in
+  loop 0
+
+let stream ?(config = default_config) ?(fault = Cpu.Fault.none)
+    ?(tick_period = 0) ~entry ~observer image =
+  let machine = M.create ~fault ~tick_period ~decode_cache:false () in
+  M.load_image machine image;
+  M.set_pc machine entry;
+  run ~config ~observer machine

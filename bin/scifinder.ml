@@ -5,6 +5,7 @@
      scifinder infer             run the full pipeline and print inferred SCI
      scifinder verify -b ID      enforce SCI as assertions against a bug
      scifinder verilog -o FILE   emit a synthesizable monitor for the SCI
+     scifinder trace WORKLOAD    stream one workload's fused trace records
      scifinder bugs              list the bug registry
      scifinder workloads         list the trace corpus
 
@@ -426,6 +427,89 @@ let fuzz_cmd =
     Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
           $ seed $ budget $ max_steps $ no_mine $ output)
 
+(* ---- trace ---- *)
+
+let trace_cmd =
+  let run verbose metrics workload_name limit point_filter no_decode_cache =
+    setup_logs verbose;
+    setup_metrics metrics;
+    run_guarded @@ fun () ->
+    match Workloads.Suite.by_name workload_name with
+    | None ->
+      Logs.err (fun m ->
+          m "unknown workload %S (try: scifinder workloads)" workload_name);
+      runtime_error_exit
+    | Some w ->
+      let machine =
+        Cpu.Machine.create ~tick_period:w.tick_period
+          ~decode_cache:(not no_decode_cache) ()
+      in
+      Cpu.Machine.load_image machine w.image;
+      Cpu.Machine.set_pc machine w.entry;
+      let pc_slot = Trace.Var.dual_index Trace.Var.Pc in
+      let shown = ref 0 in
+      (* The whole trace streams through the fold; nothing is
+         materialised no matter how long the program runs. *)
+      let (total, matched), outcome =
+        Trace.Runner.run_fold ~init:(0, 0)
+          ~f:(fun (total, matched) (r : Trace.Record.t) ->
+              let wanted =
+                match point_filter with
+                | None -> true
+                | Some p -> String.equal r.Trace.Record.point p
+              in
+              if wanted && !shown < limit then begin
+                Printf.printf "%08x  %s\n"
+                  r.Trace.Record.values.(pc_slot) r.Trace.Record.point;
+                incr shown
+              end;
+              (total + 1, if wanted then matched + 1 else matched))
+          machine
+      in
+      if matched > !shown then
+        Printf.printf "... (%d more; raise --limit)\n" (matched - !shown);
+      Printf.printf "%d records (%d matching) from %s, outcome: %s\n"
+        total matched w.name
+        (match outcome with
+         | `Halted Cpu.Machine.Exit -> "exit"
+         | `Halted Cpu.Machine.Stalled -> "stalled"
+         | `Halted Cpu.Machine.Double_fault -> "double fault"
+         | `Max_steps -> "step budget exhausted");
+      let hits, misses, invalidates =
+        Cpu.Machine.decode_cache_stats machine
+      in
+      if hits + misses > 0 then
+        Printf.printf
+          "decode cache: %d hits, %d misses, %d invalidates (%.2f%% hit rate)\n"
+          hits misses invalidates
+          (100.0 *. float_of_int hits /. float_of_int (hits + misses));
+      0
+  in
+  let workload =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"WORKLOAD"
+           ~doc:"Workload to trace (see $(b,scifinder workloads)).")
+  in
+  let limit =
+    Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Records to print.")
+  in
+  let point =
+    Arg.(value & opt (some string) None
+         & info [ "point" ] ~docv:"MNEMONIC"
+           ~doc:"Only records of this program point (e.g. l.rfe).")
+  in
+  let no_decode_cache =
+    Arg.(value & flag
+         & info [ "no-decode-cache" ]
+           ~doc:"Disable the pre-decoded instruction cache (identical \
+                 trace, baseline speed).")
+  in
+  Cmd.v (Cmd.info "trace" ~exits:common_exits
+           ~doc:"Stream one workload's fused trace records without \
+                 materialising the trace.")
+    Term.(const run $ verbose_arg $ metrics_arg $ workload $ limit $ point
+          $ no_decode_cache)
+
 (* ---- bugs / workloads listings ---- *)
 
 let bugs_cmd =
@@ -463,4 +547,5 @@ let () =
   let info = Cmd.info "scifinder" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
-                       verilog_cmd; fuzz_cmd; bugs_cmd; workloads_cmd ]))
+                       verilog_cmd; fuzz_cmd; trace_cmd; bugs_cmd;
+                       workloads_cmd ]))

@@ -31,3 +31,9 @@ grep -q 'cachebench gate (warm==cold, stale rejected, >=5x): PASS' /tmp/cacheben
 # increase identification false positives.
 dune exec bench/main.exe -- fuzzbench -j 2 | tee /tmp/fuzzbench.out
 grep -q 'fuzzbench gate (new coverage >= 10, deterministic, warm identical, fig3 shape, FP not up): PASS' /tmp/fuzzbench.out
+# Hot-path gate: the streaming miner must beat the frozen pre-change
+# miner (same harness, same corpus) by the acceptance floor, reach
+# byte-identical engine state streaming vs replay, and agree with
+# sharded/parallel mining on the invariant set and Figure 3 rows.
+dune exec bench/main.exe -- minebench | tee /tmp/minebench.out
+grep -q 'minebench gate (state identical, stream==replay==sharded, seq==par, >=1.5x): PASS' /tmp/minebench.out

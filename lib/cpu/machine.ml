@@ -27,6 +27,26 @@ type telemetry = {
   mutable truncated : int;
 }
 
+(* Pre-decoded instruction cache: direct-mapped, keyed by physical PC,
+   validated against the fetched (possibly fault-corrupted) word. A hit
+   skips [Code.decode]'s big match; the [on_decode] fault hook is still
+   applied per step (hooks may be stateful). Because an entry is only
+   used when the word it decoded matches what fetch just returned, a
+   stale entry can never supply a wrong instruction — store invalidation
+   below keeps the tags honest (and observable) rather than carrying
+   correctness. *)
+type dcache = {
+  tags : int array;            (* fetch PC, -1 = empty *)
+  words : int array;           (* the word [insns.(i)] decodes *)
+  insns : Insn.t option array; (* None = the word does not decode *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidates : int;
+}
+
+let dcache_bits = 12 (* 4096 entries: 16 KiB of code, direct-mapped *)
+let dcache_mask = (1 lsl dcache_bits) - 1
+
 type t = {
   mem : Memory.t;
   tel : telemetry;
@@ -50,6 +70,7 @@ type t = {
      instructions while SR[TEE] is set; 0 disables the timer. *)
   tick_period : int;
   mutable tick_counter : int;
+  dcache : dcache option;
 }
 
 (* Everything the tracer needs to know about one retired instruction. *)
@@ -96,13 +117,24 @@ let exception_counts t =
     (fun k -> (Vec.name k, t.tel.exn_entered.(vec_index k)))
     Vec.all
 
-let create ?(fault = Fault.none) ?(tick_period = 0) ?mem_size () =
+(* Hoisted: [vec_index] covers exactly this many vectors, and machines
+   are created per workload (and per fuzz candidate), so don't walk
+   [Vec.all] on every creation. *)
+let n_vectors = List.length Vec.all
+
+let decode_cache_stats t =
+  match t.dcache with
+  | Some dc -> (dc.hits, dc.misses, dc.invalidates)
+  | None -> (0, 0, 0)
+
+let create ?(fault = Fault.none) ?(tick_period = 0) ?mem_size
+    ?(decode_cache = true) () =
   let mem = match mem_size with
     | Some size -> Memory.create ~size ()
     | None -> Memory.create ()
   in
   { mem;
-    tel = { exn_entered = Array.make (List.length Vec.all) 0;
+    tel = { exn_entered = Array.make n_vectors 0;
             exn_suppressed = 0;
             mem_high_water = -1;
             truncated = 0 };
@@ -118,9 +150,24 @@ let create ?(fault = Fault.none) ?(tick_period = 0) ?mem_size () =
     prev_word = 0;
     fault;
     tick_period;
-    tick_counter = 0 }
+    tick_counter = 0;
+    dcache =
+      if decode_cache then
+        Some { tags = Array.make (1 lsl dcache_bits) (-1);
+               words = Array.make (1 lsl dcache_bits) 0;
+               insns = Array.make (1 lsl dcache_bits) None;
+               hits = 0; misses = 0; invalidates = 0 }
+      else None }
 
-let load_image t image = Memory.load_image t.mem image
+let load_image t image =
+  (* New code: drop every cached decode rather than chase which words
+     the image touched. *)
+  (match t.dcache with
+   | Some dc ->
+     Array.fill dc.tags 0 (Array.length dc.tags) (-1);
+     Array.fill dc.insns 0 (Array.length dc.insns) None
+   | None -> ());
+  Memory.load_image t.mem image
 
 let set_pc t pc = t.pc <- pc
 
@@ -227,9 +274,30 @@ let step t =
         if ov && Sr.get sr_before Sr.ove = 1 then
           raise (Exn_request (Vec.Range, pc))
       in
-      let decoded = match Code.decode ir with
-        | Some insn -> Some (t.fault.on_decode insn)
-        | None -> None
+      let decoded = match t.dcache with
+        | Some dc ->
+          let slot = (pc lsr 2) land dcache_mask in
+          let raw_decoded =
+            if Array.unsafe_get dc.tags slot = pc
+            && Array.unsafe_get dc.words slot = ir then begin
+              dc.hits <- dc.hits + 1;
+              Array.unsafe_get dc.insns slot
+            end else begin
+              dc.misses <- dc.misses + 1;
+              let d = Code.decode ir in
+              dc.tags.(slot) <- pc;
+              dc.words.(slot) <- ir;
+              dc.insns.(slot) <- d;
+              d
+            end
+          in
+          (match raw_decoded with
+           | Some insn -> Some (t.fault.on_decode insn)
+           | None -> None)
+        | None ->
+          (match Code.decode ir with
+           | Some insn -> Some (t.fault.on_decode insn)
+           | None -> None)
       in
       (* b2: l.macrc directly after l.mac wedges the pipeline. *)
       (match decoded, t.prev_insn with
@@ -400,6 +468,18 @@ let step t =
                 | 2 -> Memory.write16 t.mem ea value
                 | _ -> Memory.write8 t.mem ea value)
              with Memory.Bus_error a -> raise (Exn_request (Vec.Bus_error, a)));
+            (* Self-modifying code: drop any cached decode of the word
+               this store just overwrote (sub-word stores land inside
+               one aligned word, so one slot check covers every width). *)
+            (match t.dcache with
+             | Some dc ->
+               let wa = ea land lnot 3 in
+               let slot = (wa lsr 2) land dcache_mask in
+               if dc.tags.(slot) = wa then begin
+                 dc.tags.(slot) <- -1;
+                 dc.invalidates <- dc.invalidates + 1
+               end
+             | None -> ());
             (* b17: a store straight after a load clobbers the load's
                destination register with the store data. *)
             (match t.fault.store_after_load_clobbers ~prev:t.prev_insn insn with

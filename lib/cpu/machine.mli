@@ -30,6 +30,20 @@ type telemetry = {
           loop can count timeouts instead of silently truncating. *)
 }
 
+(** Pre-decoded instruction cache: direct-mapped, keyed by physical PC,
+    validated against the fetched (possibly fault-corrupted) word — so a
+    stale entry can never supply a wrong instruction even under fetch
+    faults. Stores into a cached word drop the entry (self-modifying
+    code); the counters surface as [cpu.decode_cache.*] metrics. *)
+type dcache = {
+  tags : int array;                 (** fetch PC per slot, -1 = empty *)
+  words : int array;                (** the word each entry decoded *)
+  insns : Isa.Insn.t option array;  (** [None] = word does not decode *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidates : int;
+}
+
 type t = {
   mem : Memory.t;
   tel : telemetry;
@@ -53,6 +67,8 @@ type t = {
       (** a tick interrupt is requested every [tick_period] retired
           instructions while SR\[TEE\] is set; 0 disables the timer *)
   mutable tick_counter : int;
+  dcache : dcache option;
+      (** [None] when created with [~decode_cache:false] *)
 }
 
 (** Everything the tracer needs to know about one retired instruction. *)
@@ -80,8 +96,16 @@ type step_result =
   | Retired of event
   | Halt of halt_reason
 
-val create : ?fault:Fault.t -> ?tick_period:int -> ?mem_size:int -> unit -> t
-(** A machine at the reset vector (PC = 0x100, SR = FO|SM). *)
+val create :
+  ?fault:Fault.t -> ?tick_period:int -> ?mem_size:int ->
+  ?decode_cache:bool -> unit -> t
+(** A machine at the reset vector (PC = 0x100, SR = FO|SM).
+    [decode_cache] (default true) enables the pre-decoded instruction
+    cache; disabling it reproduces the decode-per-step baseline for
+    benchmarking. Identical architectural behaviour either way. *)
+
+val decode_cache_stats : t -> int * int * int
+(** [(hits, misses, invalidates)]; all zero when the cache is off. *)
 
 val exception_counts : t -> (string * int) list
 (** [tel.exn_entered] keyed by vector name, in {!Isa.Spr.Vector.all}

@@ -46,6 +46,11 @@ let r_lt = 1
 let r_eq = 2
 let r_gt = 4
 
+(* Boxed view of one pair tracker — the shape the codec, merge and
+   extraction work with. The hot path does not use it: a point tracks
+   thousands of pairs and a record update walks all of them, so pair
+   state is stored packed (struct-of-arrays, below) and this record is
+   only materialised on the cold paths via [pair_view]/[pair_store]. *)
 type ptracker = {
   pi : int;                 (* var id, pi < pj *)
   pj : int;
@@ -53,38 +58,107 @@ type ptracker = {
   mutable rel : int;
   mutable diff : int;       (* signed (vj - vi) *)
   mutable diff_live : bool;
-  mutable scale_ij : int;   (* bitmask over k in {2,4,8}: vj = vi * k *)
+  mutable scale_ij : int;   (* bitmask over scale_candidates: vj = vi * k *)
   mutable scale_ji : int;   (* vi = vj * k *)
   mutable scale_nonzero : int;
 }
+
+(* Packed pair layout.
+
+   [pmeta.(k)] holds the constant part: pi lsl 12 | pj lsl 5 | policy
+   (var ids fit 7 bits, the policy 5). [pflags] holds the mutable hot
+   part, one byte per pair: the three relation bits plus [f_diff]
+   (= diff_live) and [f_scale] (= the scaling guard: policy allows
+   scaling and at least one mask is still alive). [pdiff.(k)] and
+   [pscale.(k)] (scale_nonzero lsl 12 | scale_ij lsl 6 | scale_ji) are
+   read only while the corresponding flag bit is set.
+
+   The point of the exercise: once a pair has settled — constant-diff
+   falsified, scale masks dead, which happens within a handful of
+   records for almost every pair — an observation touches 8 bytes of
+   meta + 1 byte of flags instead of a whole boxed tracker, and the
+   flags array for a point fits in L1. Mining throughput is bound by
+   this loop's memory traffic (see DESIGN.md "hot path"). *)
+let f_rel = 7
+let f_diff = 8
+let f_scale = 16
+
+let meta_make pi pj policy = (pi lsl 12) lor (pj lsl 5) lor policy
+let meta_pi m = m lsr 12
+let meta_pj m = (m lsr 5) land 0x7f
+let meta_policy m = m land 0x1f
+let scale_pack ~nonzero ~ij ~ji = (nonzero lsl 12) lor (ij lsl 6) lor ji
 
 type point_state = {
   pname : string;
   vars : int array;           (* applicable var ids *)
   stats : vstat option array; (* length Var.total; Some for applicable *)
-  pairs : ptracker array;
+  (* Dense view of [stats] aligned with [vars]: the observe loop walks
+     this instead of unwrapping an option per variable per record. The
+     vstat objects are shared with [stats]; mutation through either view
+     is visible through both. *)
+  dstats : vstat array;
+  (* Packed pair trackers, canonical order fixed at birth — the order
+     snapshots and merges see. *)
+  npairs : int;
+  pmeta : int array;
+  pflags : Bytes.t;
+  pdiff : int array;
+  pscale : int array;
   mutable n : int;
 }
 
+(* Program points are interned: [index] maps a point name to its slot in
+   the dense [tab] array (insertion order), so the per-record work never
+   rebuilds or re-sorts anything. [last] caches the most recently
+   observed point: traces are bursty (loops retire the same point many
+   times in a row), and the common case skips even the hash lookup.
+   [sorted] caches the canonical (name-sorted) view used by extraction
+   and snapshots; it is invalidated only when a new point is interned. *)
 type t = {
   config : Config.t;
-  points : (string, point_state) Hashtbl.t;
+  index : (string, int) Hashtbl.t;
+  mutable tab : point_state array;
+  mutable ntab : int;
+  mutable last : point_state option;
+  mutable sorted : point_state list option;
   mutable nrecords : int;
 }
 
 let create ?(config = Config.default) () =
-  { config; points = Hashtbl.create 97; nrecords = 0 }
+  { config; index = Hashtbl.create 97; tab = [||]; ntab = 0;
+    last = None; sorted = None; nrecords = 0 }
 
 let record_count t = t.nrecords
-let point_count t = Hashtbl.length t.points
+let point_count t = t.ntab
+
+let add_point t st =
+  if t.ntab = Array.length t.tab then begin
+    let tab = Array.make (max 16 (2 * t.ntab)) st in
+    Array.blit t.tab 0 tab 0 t.ntab;
+    t.tab <- tab
+  end;
+  t.tab.(t.ntab) <- st;
+  Hashtbl.add t.index st.pname t.ntab;
+  t.ntab <- t.ntab + 1;
+  t.sorted <- None
 
 (* Every consumer of the point table goes through this sorted view:
-   Hashtbl iteration order depends on the hash seed (OCAMLRUNPARAM=R),
-   and the determinism guarantee ("bit-identical for every jobs >= 1")
-   must not. *)
+   interning order is insertion order, Hashtbl iteration order depends
+   on the hash seed (OCAMLRUNPARAM=R), and the determinism guarantee
+   ("bit-identical for every jobs >= 1") must depend on neither. The
+   view is cached; only a new-point insertion invalidates it. *)
 let sorted_points t =
-  Hashtbl.fold (fun _ st acc -> st :: acc) t.points []
-  |> List.sort (fun a b -> String.compare a.pname b.pname)
+  match t.sorted with
+  | Some pts -> pts
+  | None ->
+    let pts = ref [] in
+    for i = t.ntab - 1 downto 0 do pts := t.tab.(i) :: !pts done;
+    let pts =
+      List.sort (fun a b -> String.compare a.pname b.pname) !pts
+    in
+    t.sorted <- Some pts;
+    pts
 
 let points t = List.map (fun st -> st.pname) (sorted_points t)
 
@@ -93,6 +167,49 @@ let points t = List.map (fun st -> st.pname) (sorted_points t)
    sign-extending loads. *)
 let scale_candidates = [| 2; 4; 8; 0x10000; 0xFFFF; 0xFF_FFFF |]
 let full_scale_mask = 0x3F
+
+(* Cold-path accessors between the packed layout and the boxed view.
+   [pair_store] recomputes the derived flag bits, so any view mutation
+   written back through it leaves the hot-path invariants intact:
+   f_diff = diff_live, f_scale = (policy allows scaling && a mask is
+   still alive). *)
+let pair_view st k : ptracker =
+  let m = st.pmeta.(k) in
+  let fl = Char.code (Bytes.get st.pflags k) in
+  let s = st.pscale.(k) in
+  { pi = meta_pi m; pj = meta_pj m; policy = meta_policy m;
+    rel = fl land f_rel;
+    diff = st.pdiff.(k);
+    diff_live = fl land f_diff <> 0;
+    scale_ij = (s lsr 6) land full_scale_mask;
+    scale_ji = s land full_scale_mask;
+    scale_nonzero = s lsr 12 }
+
+let pair_store st k (p : ptracker) =
+  st.pmeta.(k) <- meta_make p.pi p.pj p.policy;
+  st.pdiff.(k) <- p.diff;
+  st.pscale.(k) <-
+    scale_pack ~nonzero:p.scale_nonzero ~ij:p.scale_ij ~ji:p.scale_ji;
+  let fl =
+    p.rel
+    lor (if p.diff_live then f_diff else 0)
+    lor (if p.policy land p_scale <> 0
+         && (p.scale_ij <> 0 || p.scale_ji <> 0) then f_scale else 0)
+  in
+  Bytes.set st.pflags k (Char.chr fl)
+
+let pack_point name vars stats dstats (pairs : ptracker array) n =
+  let npairs = Array.length pairs in
+  let st =
+    { pname = name; vars; stats; dstats; npairs;
+      pmeta = Array.make npairs 0;
+      pflags = Bytes.make npairs '\000';
+      pdiff = Array.make npairs 0;
+      pscale = Array.make npairs 0;
+      n }
+  in
+  Array.iteri (fun k p -> pair_store st k p) pairs;
+  st
 
 let new_point config name (mask : bool array) values =
   let cap = max 1 config.Config.max_oneof in
@@ -128,7 +245,9 @@ let new_point config name (mask : bool array) values =
                  :: !pairs
     done
   done;
-  { pname = name; vars; stats; pairs = Array.of_list !pairs; n = 0 }
+  pack_point name vars stats
+    (Array.map (fun id -> Option.get stats.(id)) vars)
+    (Array.of_list !pairs) 0
 
 let update_vstat st v =
   if v < st.vmin then st.vmin <- v;
@@ -153,50 +272,128 @@ let update_vstat st v =
   if st.mod4 >= 0 && v land 3 <> st.mod4 then st.mod4 <- -1;
   if st.mod2 >= 0 && v land 1 <> st.mod2 then st.mod2 <- -1
 
-let update_pair first p vi vj =
-  (* relation *)
-  if vi < vj then p.rel <- p.rel lor r_lt
-  else if vi = vj then p.rel <- p.rel lor r_eq
-  else p.rel <- p.rel lor r_gt;
-  (* constant difference *)
-  if p.policy land p_diff <> 0 then begin
-    let d = Util.U32.signed (Util.U32.sub vj vi) in
-    if first then begin p.diff <- d; p.diff_live <- true end
-    else if p.diff_live && p.diff <> d then p.diff_live <- false
-  end;
-  (* scaling *)
-  if p.policy land p_scale <> 0
-  && (p.scale_ij <> 0 || p.scale_ji <> 0) then begin
-    if vi <> 0 || vj <> 0 then p.scale_nonzero <- p.scale_nonzero + 1;
-    if p.scale_ij <> 0 then begin
-      let m = ref p.scale_ij in
-      Array.iteri
-        (fun bit k ->
-           if !m land (1 lsl bit) <> 0 && Util.U32.mul vi k <> vj then
-             m := !m land lnot (1 lsl bit))
-        scale_candidates;
-      p.scale_ij <- !m
-    end;
-    if p.scale_ji <> 0 then begin
-      let m = ref p.scale_ji in
-      Array.iteri
-        (fun bit k ->
-           if !m land (1 lsl bit) <> 0 && Util.U32.mul vj k <> vi then
-             m := !m land lnot (1 lsl bit))
-        scale_candidates;
-      p.scale_ji <- !m
+(* Filter a scale mask against one observation: keep bit b iff
+   x * scale_candidates.(b) = y in 32-bit arithmetic. Tail-recursive on
+   purpose — this runs per surviving scale pair per record, and the
+   closure-plus-ref version allocated twice per call. *)
+let filter_scale mask x y =
+  let rec go m bit =
+    if bit >= Array.length scale_candidates then m
+    else begin
+      let m =
+        if m land (1 lsl bit) <> 0
+        && Util.U32.mul x (Array.unsafe_get scale_candidates bit) <> y
+        then m land lnot (1 lsl bit)
+        else m
+      in
+      go m (bit + 1)
+    end
+  in
+  go mask 0
+
+(* The full pair update on the packed layout — constant difference and
+   scaling included. The hot loop in [observe] only drops in here while
+   one of those candidate families is still alive ([f_diff]/[f_scale]
+   set) or on a point's first record (which arms the diff candidate).
+   [fl] is the current flag byte, [b] the relation bit this observation
+   contributes. *)
+let update_pair_slow st k fl b vi vj first =
+  let fl = ref (fl lor b) in
+  if first then begin
+    if meta_policy st.pmeta.(k) land p_diff <> 0 then begin
+      st.pdiff.(k) <- Util.U32.signed (Util.U32.sub vj vi);
+      fl := !fl lor f_diff
     end
   end
+  else if !fl land f_diff <> 0
+       && st.pdiff.(k) <> Util.U32.signed (Util.U32.sub vj vi) then
+    fl := !fl land lnot f_diff;
+  (* The all-zero observation is a scale no-op by construction: the
+     nonzero counter's guard is false and 0 * k = 0 keeps every
+     surviving mask bit — so skip it. (Permanently-zero pairs are
+     exactly the ones whose masks never die.) *)
+  if !fl land f_scale <> 0 && (vi <> 0 || vj <> 0) then begin
+    let s = st.pscale.(k) in
+    let nz = (s lsr 12) + 1 in
+    let ij = filter_scale ((s lsr 6) land full_scale_mask) vi vj in
+    let ji = filter_scale (s land full_scale_mask) vj vi in
+    st.pscale.(k) <- scale_pack ~nonzero:nz ~ij ~ji;
+    if ij = 0 && ji = 0 then fl := !fl land lnot f_scale
+  end;
+  Bytes.unsafe_set st.pflags k (Char.unsafe_chr !fl)
+
+let intern t (record : Trace.Record.t) =
+  let st =
+    match Hashtbl.find_opt t.index record.point with
+    | Some slot -> t.tab.(slot)
+    | None ->
+      let st = new_point t.config record.point record.mask record.values in
+      add_point t st;
+      st
+  in
+  t.last <- Some st;
+  st
 
 let observe t (record : Trace.Record.t) =
   t.nrecords <- t.nrecords + 1;
   let values = record.values in
   let st =
-    match Hashtbl.find_opt t.points record.point with
-    | Some st -> st
+    match t.last with
+    | Some st when String.equal st.pname record.point -> st
+    | _ -> intern t record
+  in
+  let first = st.n = 0 in
+  st.n <- st.n + 1;
+  if not first then begin
+    (* On the first record the stats were initialised from these values. *)
+    let vars = st.vars and dstats = st.dstats in
+    for k = 0 to Array.length vars - 1 do
+      update_vstat dstats.(k) values.(vars.(k))
+    done
+  end;
+  let pmeta = st.pmeta and pflags = st.pflags in
+  if first then
+    for k = 0 to st.npairs - 1 do
+      let m = Array.unsafe_get pmeta k in
+      let vi = Array.unsafe_get values (m lsr 12)
+      and vj = Array.unsafe_get values ((m lsr 5) land 0x7f) in
+      let b = if vi < vj then r_lt else if vi = vj then r_eq else r_gt in
+      update_pair_slow st k
+        (Char.code (Bytes.unsafe_get pflags k)) b vi vj true
+    done
+  else
+    (* The mining hot loop: ~thousands of pairs per record. A settled
+       pair (diff falsified, scale masks dead) touches one meta word and
+       one flag byte; the branchy full update only runs while a diff or
+       scale candidate is still alive. Indices unpacked from [pmeta]
+       are always < Var.total = Array.length values. *)
+    for k = 0 to st.npairs - 1 do
+      let m = Array.unsafe_get pmeta k in
+      let vi = Array.unsafe_get values (m lsr 12)
+      and vj = Array.unsafe_get values ((m lsr 5) land 0x7f) in
+      let b = if vi < vj then r_lt else if vi = vj then r_eq else r_gt in
+      let fl = Char.code (Bytes.unsafe_get pflags k) in
+      if fl land (f_diff lor f_scale) = 0 then begin
+        if fl land b = 0 then
+          Bytes.unsafe_set pflags k (Char.unsafe_chr (fl lor b))
+      end else update_pair_slow st k fl b vi vj false
+    done
+
+(* The pre-optimization observe shape, kept as the differential-testing
+   reference: one string-keyed hash lookup per record, an option unwrap
+   per variable, and the full pair update for every pair — no settled
+   fast path. Produces bit-identical engine state to [observe]; the
+   QCheck suite holds the two paths equal, and [minebench] reports the
+   throughput gap. *)
+let observe_baseline t (record : Trace.Record.t) =
+  t.nrecords <- t.nrecords + 1;
+  let values = record.values in
+  let st =
+    match Hashtbl.find_opt t.index record.point with
+    | Some slot -> t.tab.(slot)
     | None ->
       let st = new_point t.config record.point record.mask values in
-      Hashtbl.add t.points record.point st;
+      add_point t st;
       st
   in
   let first = st.n = 0 in
@@ -211,10 +408,11 @@ let observe t (record : Trace.Record.t) =
          | Some vs -> update_vstat vs values.(id)
          | None -> ())
       st.vars;
-  let pairs = st.pairs in
-  for k = 0 to Array.length pairs - 1 do
-    let p = pairs.(k) in
-    update_pair first p values.(p.pi) values.(p.pj)
+  for k = 0 to st.npairs - 1 do
+    let m = st.pmeta.(k) in
+    let vi = values.(meta_pi m) and vj = values.(meta_pj m) in
+    let b = if vi < vj then r_lt else if vi = vj then r_eq else r_gt in
+    update_pair_slow st k (Char.code (Bytes.get st.pflags k)) b vi vj first
   done
 
 (* ---- Merging ----
@@ -282,7 +480,7 @@ let merge_pair dst src =
 let merge_point dst src =
   if not (Array.length dst.vars = Array.length src.vars
           && Array.for_all2 ( = ) dst.vars src.vars
-          && Array.length dst.pairs = Array.length src.pairs) then
+          && dst.npairs = src.npairs) then
     invalid_arg
       (Printf.sprintf "Daikon.Engine.merge: point %s has incompatible shapes"
          dst.pname);
@@ -293,25 +491,27 @@ let merge_point dst src =
        | Some d, Some s -> merge_vstat d s
        | _ -> invalid_arg "Daikon.Engine.merge: mismatched variable stats")
     dst.vars;
-  Array.iteri
-    (fun k p ->
-       let q = src.pairs.(k) in
-       if p.pi <> q.pi || p.pj <> q.pj then
-         invalid_arg "Daikon.Engine.merge: mismatched pair trackers";
-       merge_pair p q)
-    dst.pairs
+  for k = 0 to dst.npairs - 1 do
+    let p = pair_view dst k and q = pair_view src k in
+    if p.pi <> q.pi || p.pj <> q.pj then
+      invalid_arg "Daikon.Engine.merge: mismatched pair trackers";
+    merge_pair p q;
+    pair_store dst k p
+  done
 
 let merge_into dst src =
   if dst == src then invalid_arg "Daikon.Engine.merge_into: same engine";
   if dst.config <> src.config then
     invalid_arg "Daikon.Engine.merge_into: configurations differ";
   dst.nrecords <- dst.nrecords + src.nrecords;
-  Hashtbl.iter
-    (fun name sp ->
-       match Hashtbl.find_opt dst.points name with
-       | Some dp -> merge_point dp sp
-       | None -> Hashtbl.add dst.points name sp)
-    src.points
+  (* Walk src in interning (insertion) order — deterministic regardless
+     of hash seed, unlike the Hashtbl.iter this replaces. *)
+  for i = 0 to src.ntab - 1 do
+    let sp = src.tab.(i) in
+    match Hashtbl.find_opt dst.index sp.pname with
+    | Some slot -> merge_point dst.tab.(slot) sp
+    | None -> add_point dst sp
+  done
 
 let merge a b = merge_into a b; a
 
@@ -336,41 +536,41 @@ let candidate_stats t =
   let rel_born = ref 0 and rel_live = ref 0 in
   let diff_born = ref 0 and diff_live = ref 0 in
   let scale_born = ref 0 and scale_live = ref 0 in
-  Hashtbl.iter
-    (fun _ st ->
-       Array.iter
-         (fun id ->
-            match st.stats.(id) with
-            | None -> ()
-            | Some vs ->
-              Stdlib.incr oneof_born;
-              if vs.ndistinct >= 0 then Stdlib.incr oneof_live;
-              Stdlib.incr interval_born;
-              if Var.id_kind id = Var.Addr then begin
-                mod_born := !mod_born + 2;
-                if vs.mod4 >= 0 then Stdlib.incr mod_live;
-                if vs.mod2 >= 0 then Stdlib.incr mod_live
-              end)
-         st.vars;
-       Array.iter
-         (fun p ->
-            if p.policy land (p_order lor p_eq lor p_ne) <> 0 then begin
-              Stdlib.incr rel_born;
-              (* All three relation bits observed = no ordering constraint
-                 is left to extract. *)
-              if p.rel <> r_lt lor r_eq lor r_gt then Stdlib.incr rel_live
-            end;
-            if p.policy land p_diff <> 0 then begin
-              Stdlib.incr diff_born;
-              if p.diff_live then Stdlib.incr diff_live
-            end;
-            if p.policy land p_scale <> 0 then begin
-              Stdlib.incr scale_born;
-              if p.scale_ij <> 0 || p.scale_ji <> 0 then
-                Stdlib.incr scale_live
-            end)
-         st.pairs)
-    t.points;
+  for i = 0 to t.ntab - 1 do
+    let st = t.tab.(i) in
+    Array.iter
+      (fun id ->
+         match st.stats.(id) with
+         | None -> ()
+         | Some vs ->
+           Stdlib.incr oneof_born;
+           if vs.ndistinct >= 0 then Stdlib.incr oneof_live;
+           Stdlib.incr interval_born;
+           if Var.id_kind id = Var.Addr then begin
+             mod_born := !mod_born + 2;
+             if vs.mod4 >= 0 then Stdlib.incr mod_live;
+             if vs.mod2 >= 0 then Stdlib.incr mod_live
+           end)
+      st.vars;
+    for k = 0 to st.npairs - 1 do
+      let p = pair_view st k in
+      if p.policy land (p_order lor p_eq lor p_ne) <> 0 then begin
+        Stdlib.incr rel_born;
+        (* All three relation bits observed = no ordering constraint
+           is left to extract. *)
+        if p.rel <> r_lt lor r_eq lor r_gt then Stdlib.incr rel_live
+      end;
+      if p.policy land p_diff <> 0 then begin
+        Stdlib.incr diff_born;
+        if p.diff_live then Stdlib.incr diff_live
+      end;
+      if p.policy land p_scale <> 0 then begin
+        Stdlib.incr scale_born;
+        if p.scale_ij <> 0 || p.scale_ji <> 0 then
+          Stdlib.incr scale_live
+      end
+    done
+  done;
   [ { family = "oneof"; born = !oneof_born; live = !oneof_live };
     (* min/max intervals only widen; a tracked interval never dies. *)
     { family = "interval"; born = !interval_born; live = !interval_born };
@@ -466,8 +666,8 @@ let extract_point config st acc =
            end)
       st.vars;
     (* Pairwise invariants. *)
-    Array.iter
-      (fun p ->
+    for pk = 0 to st.npairs - 1 do
+      let p = pair_view st pk in
          let si = st.stats.(p.pi) and sj = st.stats.(p.pj) in
          match si, sj with
          | Some si, Some sj ->
@@ -527,8 +727,8 @@ let extract_point config st acc =
                    | None -> ()))
              end
            end
-         | _ -> ())
-      st.pairs;
+         | _ -> ()
+    done;
     !acc
   end
 
@@ -645,8 +845,8 @@ let encode_point w st =
        | Some vs -> encode_vstat w vs
        | None -> raise (Invalid_argument "Engine.save: var without stats"))
     st.vars;
-  Util.Binio.write_uint w (Array.length st.pairs);
-  Array.iter (encode_pair w) st.pairs;
+  Util.Binio.write_uint w st.npairs;
+  for k = 0 to st.npairs - 1 do encode_pair w (pair_view st k) done;
   Util.Binio.write_uint w st.n
 
 let decode_point config r =
@@ -669,7 +869,9 @@ let decode_point config r =
     raise (Corrupt_snapshot "too many pairs");
   let pairs = Array.init npairs (fun _ -> decode_pair r) in
   let n = Util.Binio.read_uint r in
-  { pname; vars; stats; pairs; n }
+  pack_point pname vars stats
+    (Array.map (fun id -> Option.get stats.(id)) vars)
+    pairs n
 
 let encode_config w (c : Config.t) =
   Util.Binio.write_uint w c.min_samples;
@@ -744,16 +946,19 @@ let decode ?(key = "") ?config data =
      | Some _ | None -> ());
     let nrecords = Util.Binio.read_uint p in
     let npoints = Util.Binio.read_uint p in
-    let points = Hashtbl.create (max 17 npoints) in
+    let t =
+      { config = stored_config; index = Hashtbl.create (max 17 npoints);
+        tab = [||]; ntab = 0; last = None; sorted = None; nrecords }
+    in
     for _ = 1 to npoints do
       let st = decode_point stored_config p in
-      if Hashtbl.mem points st.pname then
+      if Hashtbl.mem t.index st.pname then
         raise (Corrupt_snapshot ("duplicate point " ^ st.pname));
-      Hashtbl.add points st.pname st
+      add_point t st
     done;
     if not (Util.Binio.eof p) then
       raise (Corrupt_snapshot "trailing payload bytes");
-    { config = stored_config; points; nrecords }
+    t
   with
   | t -> t
   | exception Util.Binio.Truncated ->

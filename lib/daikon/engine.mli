@@ -17,7 +17,17 @@ type t
 val create : ?config:Config.t -> unit -> t
 
 val observe : t -> Trace.Record.t -> unit
-(** Feed one instruction-boundary record. *)
+(** Feed one instruction-boundary record. Program points are interned
+    (integer slots, last-point cache) and fully falsified candidate
+    pairs are skipped, so the per-record cost tracks the live candidate
+    set, not everything ever instantiated. *)
+
+val observe_baseline : t -> Trace.Record.t -> unit
+(** The pre-interning reference path: a string-keyed hash lookup per
+    record and a full scan of every candidate pair, dead or alive.
+    Produces bit-identical engine state to {!observe} (and the two may
+    be mixed freely on one engine); kept for differential testing and
+    as the [minebench] baseline. *)
 
 val invariants : t -> Invariant.Expr.t list
 (** The currently justified set, deduplicated and in canonical order. *)

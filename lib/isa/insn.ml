@@ -87,16 +87,52 @@ let store_op_name = function Sw -> "sw" | Sb -> "sb" | Sh -> "sh"
 let mac_op_name = function Mac -> "mac" | Msb -> "msb"
 
 (* The program-point name used throughout the tool chain: the paper's
-   invariants are of the form risingEdge(l.xxx) -> EXPR, keyed by mnemonic. *)
+   invariants are of the form risingEdge(l.xxx) -> EXPR, keyed by mnemonic.
+
+   Every branch returns a literal rather than concatenating "l." with the
+   op name: the tracer calls this once per retired instruction, and the
+   mining engine's last-point cache compares the result with
+   [String.equal], whose physical-equality fast path only fires when the
+   same point yields the same (shared, pre-allocated) string. *)
 let mnemonic = function
-  | Alu (op, _, _, _) -> "l." ^ alu_op_name op
-  | Alui (op, _, _, _) -> "l." ^ alui_op_name op
-  | Shifti (op, _, _, _) -> "l." ^ shifti_op_name op
-  | Ext (op, _, _) -> "l." ^ ext_op_name op
-  | Setflag (op, _, _) -> "l." ^ sf_op_name op
-  | Setflagi (op, _, _) -> "l." ^ sf_op_name op ^ "i"
-  | Load (op, _, _, _) -> "l." ^ load_op_name op
-  | Store (op, _, _, _) -> "l." ^ store_op_name op
+  | Alu (op, _, _, _) ->
+    (match op with
+     | Add -> "l.add" | Addc -> "l.addc" | Sub -> "l.sub" | And -> "l.and"
+     | Or -> "l.or" | Xor -> "l.xor" | Mul -> "l.mul" | Mulu -> "l.mulu"
+     | Div -> "l.div" | Divu -> "l.divu" | Sll -> "l.sll" | Srl -> "l.srl"
+     | Sra -> "l.sra" | Ror -> "l.ror")
+  | Alui (op, _, _, _) ->
+    (match op with
+     | Addi -> "l.addi" | Addic -> "l.addic" | Andi -> "l.andi"
+     | Ori -> "l.ori" | Xori -> "l.xori" | Muli -> "l.muli")
+  | Shifti (op, _, _, _) ->
+    (match op with
+     | Slli -> "l.slli" | Srli -> "l.srli" | Srai -> "l.srai"
+     | Rori -> "l.rori")
+  | Ext (op, _, _) ->
+    (match op with
+     | Extbs -> "l.extbs" | Extbz -> "l.extbz" | Exths -> "l.exths"
+     | Exthz -> "l.exthz" | Extws -> "l.extws" | Extwz -> "l.extwz")
+  | Setflag (op, _, _) ->
+    (match op with
+     | Sfeq -> "l.sfeq" | Sfne -> "l.sfne"
+     | Sfgtu -> "l.sfgtu" | Sfgeu -> "l.sfgeu"
+     | Sfltu -> "l.sfltu" | Sfleu -> "l.sfleu"
+     | Sfgts -> "l.sfgts" | Sfges -> "l.sfges"
+     | Sflts -> "l.sflts" | Sfles -> "l.sfles")
+  | Setflagi (op, _, _) ->
+    (match op with
+     | Sfeq -> "l.sfeqi" | Sfne -> "l.sfnei"
+     | Sfgtu -> "l.sfgtui" | Sfgeu -> "l.sfgeui"
+     | Sfltu -> "l.sfltui" | Sfleu -> "l.sfleui"
+     | Sfgts -> "l.sfgtsi" | Sfges -> "l.sfgesi"
+     | Sflts -> "l.sfltsi" | Sfles -> "l.sflesi")
+  | Load (op, _, _, _) ->
+    (match op with
+     | Lwz -> "l.lwz" | Lws -> "l.lws" | Lbz -> "l.lbz"
+     | Lbs -> "l.lbs" | Lhz -> "l.lhz" | Lhs -> "l.lhs")
+  | Store (op, _, _, _) ->
+    (match op with Sw -> "l.sw" | Sb -> "l.sb" | Sh -> "l.sh")
   | Jump _ -> "l.j"
   | Jump_link _ -> "l.jal"
   | Jump_reg _ -> "l.jr"
@@ -106,7 +142,8 @@ let mnemonic = function
   | Movhi _ -> "l.movhi"
   | Mfspr _ -> "l.mfspr"
   | Mtspr _ -> "l.mtspr"
-  | Macc (op, _, _) -> "l." ^ mac_op_name op
+  | Macc (op, _, _) ->
+    (match op with Mac -> "l.mac" | Msb -> "l.msb")
   | Maci _ -> "l.maci"
   | Macrc _ -> "l.macrc"
   | Sys _ -> "l.sys"

@@ -133,6 +133,9 @@ let c_retired = Obs.Metrics.counter "cpu.retired"
 let c_exn_suppressed = Obs.Metrics.counter "cpu.exn_suppressed"
 let c_truncated = Obs.Metrics.counter "cpu.truncated_runs"
 let g_mem_high = Obs.Metrics.gauge "cpu.mem_high_water"
+let c_dc_hit = Obs.Metrics.counter "cpu.decode_cache.hit"
+let c_dc_miss = Obs.Metrics.counter "cpu.decode_cache.miss"
+let c_dc_invalidate = Obs.Metrics.counter "cpu.decode_cache.invalidate"
 
 let exn_counters =
   lazy
@@ -149,17 +152,35 @@ let fold_machine_telemetry machine =
     Obs.Metrics.set_max g_mem_high (float_of_int tel.M.mem_high_water);
   List.iteri
     (fun i c -> Obs.Metrics.add c tel.M.exn_entered.(i))
-    (Lazy.force exn_counters)
+    (Lazy.force exn_counters);
+  let dc_hits, dc_misses, dc_invalidates = M.decode_cache_stats machine in
+  Obs.Metrics.add c_dc_hit dc_hits;
+  Obs.Metrics.add c_dc_miss dc_misses;
+  Obs.Metrics.add c_dc_invalidate dc_invalidates
 
-(* Execute [machine] until halt, feeding fused records to [observer]. *)
-let run ?(config = default_config) ~observer machine : outcome =
+(* Execute [machine] until halt, folding every fused record through [f].
+   This is the primitive every other entry point wraps: the trace is
+   never materialised, and the consumer (typically [Daikon.Engine.observe]
+   or an accumulating fold) sees each record the moment it is built.
+
+   Pre-state snapshots use a double buffer instead of a per-branch
+   [Array.copy]: at most one branch is pending at any time, so when a
+   branch's pre-state must survive its delay slot, its buffer is handed
+   to [pending] and the next snapshot goes to the other buffer. (The
+   delay-slot's own exceptional record needs no copy at all: the PC
+   triplet of the pre-state is overwritten by [build_record], so the
+   current buffer can be passed as is.) *)
+let run_fold ?(config = default_config) ~init ~f machine : _ * outcome =
   let mask_table = Record.create_mask_table () in
   let mask_config = config.mask_config in
-  let pre = Array.make Var.dual_count 0 in
+  let buf_a = Array.make Var.dual_count 0 in
+  let buf_b = Array.make Var.dual_count 0 in
+  let cur = ref buf_a in
   let pending : (int array * M.event) option ref = ref None in
+  let acc = ref init in
   let emit ~pre ~head_ev ~exn_ev =
-    observer (build_record ~machine ~mask_table ~config:mask_config
-                ~pre ~head_ev ~exn_ev)
+    acc := f !acc (build_record ~machine ~mask_table ~config:mask_config
+                     ~pre ~head_ev ~exn_ev)
   in
   let rec loop steps =
     if steps >= config.max_steps then begin
@@ -172,7 +193,7 @@ let run ?(config = default_config) ~observer machine : outcome =
       machine.M.tel.M.truncated <- machine.M.tel.M.truncated + 1;
       `Max_steps
     end else begin
-      snapshot_duals machine pre 0;
+      snapshot_duals machine !cur 0;
       match M.step machine with
       | M.Halt reason ->
         (match !pending with
@@ -187,25 +208,27 @@ let run ?(config = default_config) ~observer machine : outcome =
            emit ~pre:pre_b ~head_ev:ev_b ~exn_ev:ev;
            (* An exceptional delay-slot instruction also gets its own
               record so its program point observes the exception. *)
-           if ev.M.ev_exn <> None || ev.M.ev_exn_suppressed then begin
-             let pre_ds = Array.copy pre in
-             set_pc_triplet pre_ds 0 ev.M.ev_addr;
-             emit ~pre:pre_ds ~head_ev:ev ~exn_ev:ev
-           end;
+           if ev.M.ev_exn <> None || ev.M.ev_exn_suppressed then
+             emit ~pre:!cur ~head_ev:ev ~exn_ev:ev;
            loop (steps + 1)
          | None ->
            if Isa.Insn.has_delay_slot ev.M.ev_insn && ev.M.ev_exn = None then begin
-             pending := Some (Array.copy pre, ev);
+             pending := Some (!cur, ev);
+             cur := (if !cur == buf_a then buf_b else buf_a);
              loop (steps + 1)
            end else begin
-             emit ~pre ~head_ev:ev ~exn_ev:ev;
+             emit ~pre:!cur ~head_ev:ev ~exn_ev:ev;
              loop (steps + 1)
            end)
     end
   in
   let outcome = loop 0 in
   fold_machine_telemetry machine;
-  outcome
+  (!acc, outcome)
+
+(* Execute [machine] until halt, feeding fused records to [observer]. *)
+let run ?config ~observer machine : outcome =
+  snd (run_fold ?config ~init:() ~f:(fun () r -> observer r) machine)
 
 (* Convenience: run a fresh machine over an assembled program and return
    the captured records (used for trigger traces, which are small). *)

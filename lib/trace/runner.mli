@@ -14,9 +14,19 @@ val default_config : config
 
 type outcome = [ `Halted of Cpu.Machine.halt_reason | `Max_steps ]
 
+val run_fold :
+  ?config:config -> init:'a -> f:('a -> Record.t -> 'a) -> Cpu.Machine.t ->
+  'a * outcome
+(** Drive a prepared machine, folding every fused record through [f] as
+    it is produced — the primitive the other entry points wrap. The
+    trace is never materialised and no per-record state is copied (the
+    pre-state snapshot double-buffers across delay slots). The record
+    passed to [f] is freshly allocated and owned by the consumer. *)
+
 val run :
   ?config:config -> observer:(Record.t -> unit) -> Cpu.Machine.t -> outcome
-(** Drive a prepared machine, streaming fused records to [observer]. *)
+(** [run_fold] with a [unit] accumulator: streams fused records to
+    [observer]. *)
 
 val capture :
   ?config:config -> ?fault:Cpu.Fault.t -> ?tick_period:int ->
