@@ -5,7 +5,7 @@
      main.exe            run every experiment, print paper-layout tables
      main.exe <id>       one experiment: fig3 tab2 tab3 tab4 fig4 tab5
                          tab6 tab7 tab8 tab9 sec56 ablation parbench
-                         obsbench cachebench fuzzbench minebench
+                         obsbench cachebench fuzzbench minebench mutbench
      main.exe bechamel   the Bechamel micro-benchmarks
      main.exe -j N ...   mine the trace corpus on a pool of N domains
                          (default: the recommended domain count)
@@ -847,6 +847,141 @@ let minebench () =
       ("dcache_misses", float_of_int dc_misses);
       ("identical", if identical then 1.0 else 0.0) ]
 
+(* ---- mutbench: compiled SCI monitors + the mutant-at-scale campaign ---- *)
+
+(* Filled by mutbench; lands in BENCH_pipeline.json's "mutbench" block. *)
+let mut_result : (string * float) list ref = ref []
+
+(* Compiled-vs-interpretive speedup acceptance floor over the full
+   corpus. The measured margin is well above this on the reference
+   machine; the floor leaves room for run-to-run noise. *)
+let mutbench_floor = 2.0
+let mutbench_seed = 42
+let mutbench_mutants = 200
+
+let mutbench () =
+  header "Mutbench: compiled SCI monitors and the mutant campaign";
+  let ident = Lazy.force identification in
+  let sci = ident.Pipeline.summary.Sci.Identify.unique_sci in
+  let battery = Assertions.Ovl.of_invariants sci in
+  let compiled = Assertions.Compile.compile battery in
+  (* Throughput race over the full 17-workload corpus: the interpretive
+     oracle vs the compiled battery, best of 3, one workload's
+     materialized trace live at a time. The (assertion, step) firing
+     sequences must be identical — same firings, same order. *)
+  let corpus = Workloads.Suite.all in
+  let reps = 3 in
+  let best f =
+    let best_s = ref infinity and res = ref None in
+    for _ = 1 to reps do
+      let r, s = Obs.Clock.time f in
+      if s < !best_s then best_s := s;
+      res := Some r
+    done;
+    (Option.get !res, !best_s)
+  in
+  let total_records = ref 0 in
+  let interp_s = ref 0.0 and comp_s = ref 0.0 in
+  let identical = ref true in
+  List.iter
+    (fun (w : Workloads.Rt.t) ->
+       let records, _ =
+         Trace.Runner.capture ~tick_period:w.tick_period ~entry:w.entry
+           w.image
+       in
+       total_records := !total_records + List.length records;
+       let fi, ti = best (fun () -> Assertions.Monitor.run battery records) in
+       let fc, tc = best (fun () -> Assertions.Compile.run compiled records) in
+       interp_s := !interp_s +. ti;
+       comp_s := !comp_s +. tc;
+       let key (f : Assertions.Monitor.firing) =
+         (f.assertion.Assertions.Ovl.name, f.step)
+       in
+       if List.map key fi <> List.map key fc then identical := false)
+    corpus;
+  let speedup = !interp_s /. Float.max !comp_s 1e-9 in
+  let eps_i = float_of_int !total_records /. Float.max !interp_s 1e-9 in
+  let eps_c = float_of_int !total_records /. Float.max !comp_s 1e-9 in
+  pf "%-28s %12s %12s %14s\n" "lane (best of 3)" "records" "seconds"
+    "records/sec";
+  pf "%-28s %12d %12.3f %14.0f\n" "interpretive oracle" !total_records
+    !interp_s eps_i;
+  pf "%-28s %12d %12.3f %14.0f\n" "compiled battery" !total_records
+    !comp_s eps_c;
+  pf "firing sequences identical: %b; speedup: %.2fx (floor: %.1fx)\n"
+    !identical speedup mutbench_floor;
+  (* Table 1 baseline: the compiled verdict must detect at least every
+     bug the interpretive oracle detects. *)
+  let table1_interp =
+    List.length (List.filter (Experiments.battery_detects battery)
+                   Bugs.Table1.all)
+  in
+  let table1_compiled =
+    List.length (List.filter (Experiments.compiled_detects compiled)
+                   Bugs.Table1.all)
+  in
+  pf "Table 1 detection: interpretive %d/17, compiled %d/17\n"
+    table1_interp table1_compiled;
+  (* The campaign, twice with the same seed: fingerprints must agree. *)
+  let camp =
+    Pipeline.campaign ~seed:mutbench_seed ~mutants:mutbench_mutants ~sci ()
+  in
+  let camp2 =
+    Pipeline.campaign ~seed:mutbench_seed ~mutants:mutbench_mutants ~sci ()
+  in
+  let deterministic = String.equal camp.fingerprint camp2.fingerprint in
+  pf "\ncampaign: %d/%d mutants detected over %d fuzz triggers \
+      (%d clean-firing) in %.1fs\n"
+    camp.Pipeline.detected_total camp.mutant_total camp.trigger_count
+    camp.fp_trigger_count camp.camp_seconds;
+  pf "%-5s %8s %8s %12s %8s\n" "class" "mutants" "detected" "mean-latency"
+    "fp-rate";
+  List.iter
+    (fun (cl : Pipeline.campaign_class) ->
+       pf "%-5s %8d %8d %12s %8.2f\n" cl.class_name cl.class_total
+         cl.class_detected
+         (if Float.is_nan cl.class_mean_latency then "-"
+          else Printf.sprintf "%.1f" cl.class_mean_latency)
+         cl.class_fp_rate)
+    camp.classes;
+  pf "deterministic per seed: %b (fingerprint %s)\n" deterministic
+    camp.fingerprint;
+  let pass =
+    !identical && speedup >= mutbench_floor
+    && table1_compiled >= table1_interp
+    && camp.mutant_total >= 200 && deterministic
+  in
+  pf "mutbench gate (compiled==interpretive, >=%.0fx, table1 >= baseline, \
+      >=200 mutants deterministic): %s\n"
+    mutbench_floor (if pass then "PASS" else "FAIL");
+  mut_result :=
+    [ ("records", float_of_int !total_records);
+      ("assertions", float_of_int (List.length battery));
+      ("interp_s", !interp_s);
+      ("compiled_s", !comp_s);
+      ("interp_rps", eps_i);
+      ("compiled_rps", eps_c);
+      ("speedup", speedup);
+      ("identical", if !identical then 1.0 else 0.0);
+      ("table1_interp", float_of_int table1_interp);
+      ("table1_compiled", float_of_int table1_compiled);
+      ("mutants", float_of_int camp.mutant_total);
+      ("detected", float_of_int camp.detected_total);
+      ("triggers", float_of_int camp.trigger_count);
+      ("fp_triggers", float_of_int camp.fp_trigger_count);
+      ("deterministic", if deterministic then 1.0 else 0.0);
+      ("campaign_s", camp.camp_seconds) ]
+    @ List.concat_map
+        (fun (cl : Pipeline.campaign_class) ->
+           let p = String.lowercase_ascii cl.class_name in
+           [ (p ^ "_mutants", float_of_int cl.class_total);
+             (p ^ "_detected", float_of_int cl.class_detected);
+             (p ^ "_mean_latency",
+              if Float.is_nan cl.class_mean_latency then -1.0
+              else cl.class_mean_latency);
+             (p ^ "_fp_rate", cl.class_fp_rate) ])
+        camp.classes
+
 (* ---- telemetry overhead: the tentpole's < 2% null-sink budget ---- *)
 
 let obsbench () =
@@ -1095,6 +1230,15 @@ let write_bench_json () =
       !mine_result;
     bpf "\n  }"
   end;
+  if !mut_result <> [] then begin
+    bpf ",\n  \"mutbench\": {";
+    List.iteri
+      (fun i (k, v) ->
+         bpf "%s\n    %s: %s" (if i = 0 then "" else ",")
+           (json_str k) (json_float v))
+      !mut_result;
+    bpf "\n  }"
+  end;
   bpf "\n}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect ~finally:(fun () -> close_out oc)
@@ -1178,6 +1322,7 @@ let () =
     | "cachebench" -> timed id cachebench
     | "fuzzbench" -> timed id fuzzbench
     | "minebench" -> timed id minebench
+    | "mutbench" -> timed id mutbench
     | "export" -> timed id (fun () -> export (second "bench_data"))
     | "bechamel" -> timed id bechamel
     | other ->

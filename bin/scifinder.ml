@@ -4,6 +4,7 @@
      scifinder identify [-b ID]  identify SCI for one or all Table 1 bugs
      scifinder infer             run the full pipeline and print inferred SCI
      scifinder verify -b ID      enforce SCI as assertions against a bug
+     scifinder campaign          generated mutants vs the compiled battery
      scifinder verilog -o FILE   emit a synthesizable monitor for the SCI
      scifinder trace WORKLOAD    stream one workload's fused trace records
      scifinder bugs              list the bug registry
@@ -318,6 +319,67 @@ let verify_cmd =
     Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
           $ bug $ input_arg)
 
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let run verbose metrics jobs cache_dir input seed mutants triggers tries =
+    setup_logs verbose;
+    setup_metrics metrics;
+    run_guarded @@ fun () ->
+    let invariants = load_or_mine ~jobs ?cache_dir input in
+    let optimized = (Invopt.Pipeline.optimize invariants).optimized in
+    let summary = Sci.Identify.run_all ~invariants:optimized Bugs.Table1.all in
+    Logs.info (fun m ->
+        m "campaign: %d mutants, %d triggers, %d assertions (seed %d)"
+          mutants triggers (List.length summary.unique_sci) seed);
+    let c =
+      Scifinder_core.Pipeline.campaign ~seed ~mutants ~triggers ~tries
+        ~sci:summary.unique_sci ()
+    in
+    Printf.printf
+      "%d/%d mutants detected over %d fuzz triggers (%d clean-firing) in %.1fs\n"
+      c.detected_total c.mutant_total c.trigger_count c.fp_trigger_count
+      c.camp_seconds;
+    Printf.printf "%-5s %8s %8s %12s %8s\n"
+      "class" "mutants" "detected" "mean-latency" "fp-rate";
+    List.iter
+      (fun (cl : Scifinder_core.Pipeline.campaign_class) ->
+         Printf.printf "%-5s %8d %8d %12s %8.2f\n"
+           cl.class_name cl.class_total cl.class_detected
+           (if Float.is_nan cl.class_mean_latency then "-"
+            else Printf.sprintf "%.1f" cl.class_mean_latency)
+           cl.class_fp_rate)
+      c.classes;
+    Printf.printf "fingerprint %s\n" c.fingerprint;
+    0
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+           ~doc:"Campaign seed: mutants, triggers and results are a pure \
+                 function of it.")
+  in
+  let mutants =
+    Arg.(value & opt int 200
+         & info [ "mutants" ] ~docv:"N" ~doc:"Generated semantic mutants.")
+  in
+  let triggers =
+    Arg.(value & opt int 48
+         & info [ "triggers" ] ~docv:"N"
+           ~doc:"Fuzz-generated trigger programs in the shared pool.")
+  in
+  let tries =
+    Arg.(value & opt int 3
+         & info [ "tries" ] ~docv:"N"
+           ~doc:"Triggers each mutant gets before counting as undetected.")
+  in
+  Cmd.v (Cmd.info "campaign" ~exits:common_exits
+           ~doc:"Mutant-at-scale fault injection: generated semantic \
+                 mutants vs the compiled SCI battery, reported per \
+                 CF/XR/MA/IE/CR/RU class.")
+    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
+          $ input_arg $ seed $ mutants $ triggers $ tries)
+
 (* ---- verilog ---- *)
 
 let verilog_cmd =
@@ -547,5 +609,5 @@ let () =
   let info = Cmd.info "scifinder" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
-                       verilog_cmd; fuzz_cmd; trace_cmd; bugs_cmd;
-                       workloads_cmd ]))
+                       campaign_cmd; verilog_cmd; fuzz_cmd; trace_cmd;
+                       bugs_cmd; workloads_cmd ]))

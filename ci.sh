@@ -37,3 +37,10 @@ grep -q 'fuzzbench gate (new coverage >= 10, deterministic, warm identical, fig3
 # sharded/parallel mining on the invariant set and Figure 3 rows.
 dune exec bench/main.exe -- minebench | tee /tmp/minebench.out
 grep -q 'minebench gate (state identical, stream==replay==sharded, seq==par, >=1.5x): PASS' /tmp/minebench.out
+# Mutbench gate: the compiled assertion battery must reproduce the
+# interpretive oracle's firing sequence exactly on the full corpus while
+# running at least 2x faster, match the Table 1 detection baseline, and
+# the 200-mutant campaign must classify every mutant into the Section 5.5
+# taxonomy with a seed-stable fingerprint.
+dune exec bench/main.exe -- mutbench | tee /tmp/mutbench.out
+grep -q 'mutbench gate (compiled==interpretive, >=2x, table1 >= baseline, >=200 mutants deterministic): PASS' /tmp/mutbench.out

@@ -2,7 +2,11 @@
    through synthesis" and watch the named signals on every instruction
    boundary (§2). Here the monitor consumes the same instruction-boundary
    records the miner sees — each record carries both the sampled and the
-   previous-cycle (orig) values, so next(.., 1) templates check directly. *)
+   previous-cycle (orig) values, so next(.., 1) templates check directly.
+
+   This is the interpretive *reference oracle*: the specialized path in
+   [Compile] must produce the same firing list, and the equality is pinned
+   by tests and the mutbench gate. *)
 
 type firing = {
   assertion : Ovl.t;
@@ -19,32 +23,57 @@ let c_evals = Obs.Metrics.counter "monitor.evaluations"
 let c_firings = Obs.Metrics.counter "monitor.firings"
 let h_run_ns = Obs.Metrics.histogram "monitor.run_ns"
 
+(* Everything an assertion needs per evaluation, resolved once at setup:
+   the fired counter used to be looked up (string concat + registry probe)
+   per firing in a post-run loop, and per-point batches were built by
+   consing into Hashtbl.replace, which reversed the input assertion order
+   within a step. Batches are arrays in input order now, so firings at the
+   same step come out in battery order. *)
+type slot = {
+  s_assertion : Ovl.t;
+  s_fired : Obs.Metrics.counter;
+  s_hist : Obs.Metrics.histogram option;
+}
+
+let prepare assertions =
+  let timing = Obs.Sink.enabled () in
+  let order = Hashtbl.create 64 in
+  List.iter
+    (fun (a : Ovl.t) ->
+       let point = a.invariant.Invariant.Expr.point in
+       let slot =
+         { s_assertion = a;
+           s_fired = Obs.Metrics.counter ("monitor.fired." ^ a.Ovl.name);
+           s_hist =
+             if timing then
+               Some (Obs.Metrics.histogram ("monitor.assert_ns." ^ a.Ovl.name))
+             else None }
+       in
+       Hashtbl.replace order point
+         (slot :: Option.value ~default:[] (Hashtbl.find_opt order point)))
+    assertions;
+  let by_point = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun point slots ->
+       Hashtbl.replace by_point point (Array.of_list (List.rev slots)))
+    order;
+  by_point
+
+let eval_slot slot record =
+  match slot.s_hist with
+  | None -> Invariant.Expr.violated slot.s_assertion.Ovl.invariant record
+  | Some h ->
+    let e0 = Obs.Clock.now_ns () in
+    let v = Invariant.Expr.violated slot.s_assertion.Ovl.invariant record in
+    Obs.Metrics.observe h (Int64.to_int (Obs.Clock.ns_since e0));
+    v
+
 (* Check one assertion battery against a trace; returns every firing (one
    per assertion per offending step). *)
 let run assertions records =
   let t0 = Obs.Clock.now_ns () in
-  let timing = Obs.Sink.enabled () in
-  let by_point = Hashtbl.create 64 in
-  List.iter
-    (fun (a : Ovl.t) ->
-       let point = a.invariant.Invariant.Expr.point in
-       Hashtbl.replace by_point point
-         (a :: Option.value ~default:[] (Hashtbl.find_opt by_point point)))
-    assertions;
-  let assert_hist =
-    if not timing then fun _ -> None
-    else begin
-      let by_name = Hashtbl.create 64 in
-      fun (a : Ovl.t) ->
-        match Hashtbl.find_opt by_name a.Ovl.name with
-        | Some h -> Some h
-        | None ->
-          let h = Obs.Metrics.histogram ("monitor.assert_ns." ^ a.Ovl.name) in
-          Hashtbl.add by_name a.Ovl.name h;
-          Some h
-    end
-  in
-  let nrecords = ref 0 and nevals = ref 0 in
+  let by_point = prepare assertions in
+  let nrecords = ref 0 and nevals = ref 0 and nfirings = ref 0 in
   let firings = ref [] in
   List.iteri
     (fun step (record : Trace.Record.t) ->
@@ -52,38 +81,62 @@ let run assertions records =
        match Hashtbl.find_opt by_point record.Trace.Record.point with
        | None -> ()
        | Some batch ->
-         List.iter
-           (fun (a : Ovl.t) ->
+         Array.iter
+           (fun slot ->
               incr nevals;
-              let violated =
-                match assert_hist a with
-                | None -> Invariant.Expr.violated a.invariant record
-                | Some h ->
-                  let e0 = Obs.Clock.now_ns () in
-                  let v = Invariant.Expr.violated a.invariant record in
-                  Obs.Metrics.observe h
-                    (Int64.to_int (Obs.Clock.ns_since e0));
-                  v
-              in
-              if violated then
-                firings := { assertion = a; step; record } :: !firings)
+              if eval_slot slot record then begin
+                incr nfirings;
+                Obs.Metrics.incr slot.s_fired;
+                firings :=
+                  { assertion = slot.s_assertion; step; record } :: !firings
+              end)
            batch)
     records;
-  let firings = List.rev !firings in
   Obs.Metrics.add c_records !nrecords;
   Obs.Metrics.add c_evals !nevals;
-  Obs.Metrics.add c_firings (List.length firings);
-  List.iter
-    (fun f ->
-       Obs.Metrics.incr
-         (Obs.Metrics.counter ("monitor.fired." ^ f.assertion.Ovl.name)))
-    firings;
+  Obs.Metrics.add c_firings !nfirings;
   Obs.Metrics.observe h_run_ns (Int64.to_int (Obs.Clock.ns_since t0));
-  firings
+  List.rev !firings
+
+(* The short-circuit path: stop at the first firing instead of
+   materializing every firing across the whole trace. The step index of
+   the result is the detection latency in retired instructions. *)
+let first_firing assertions records =
+  let t0 = Obs.Clock.now_ns () in
+  let by_point = prepare assertions in
+  let nrecords = ref 0 and nevals = ref 0 in
+  let rec scan step = function
+    | [] -> None
+    | (record : Trace.Record.t) :: rest ->
+      incr nrecords;
+      (match Hashtbl.find_opt by_point record.Trace.Record.point with
+       | None -> scan (step + 1) rest
+       | Some batch ->
+         let n = Array.length batch in
+         let rec probe i =
+           if i >= n then scan (step + 1) rest
+           else begin
+             incr nevals;
+             let slot = batch.(i) in
+             if eval_slot slot record then begin
+               Obs.Metrics.incr slot.s_fired;
+               Obs.Metrics.add c_firings 1;
+               Some { assertion = slot.s_assertion; step; record }
+             end
+             else probe (i + 1)
+           end
+         in
+         probe 0)
+  in
+  let result = scan 0 records in
+  Obs.Metrics.add c_records !nrecords;
+  Obs.Metrics.add c_evals !nevals;
+  Obs.Metrics.observe h_run_ns (Int64.to_int (Obs.Clock.ns_since t0));
+  result
 
 (* Does any assertion fire on this trace? The dynamic-verification verdict
    used by Table 3's "Detected" column and the §5.6 experiment. *)
-let detects assertions records = run assertions records <> []
+let detects assertions records = first_firing assertions records <> None
 
 (* Distinct assertions that fired at least once. *)
 let fired_assertions assertions records =

@@ -11,10 +11,17 @@ type firing = {
 }
 
 val run : Ovl.t list -> Trace.Record.t list -> firing list
-(** Every firing, in trace order. *)
+(** Every firing, in trace order; firings at the same step come out in
+    input (battery) order. *)
+
+val first_firing : Ovl.t list -> Trace.Record.t list -> firing option
+(** The first firing in trace order, evaluating no further records once
+    it is found. [step] of the result is the detection latency in
+    retired instructions. *)
 
 val detects : Ovl.t list -> Trace.Record.t list -> bool
-(** The dynamic-verification verdict of Table 3 and §5.6. *)
+(** The dynamic-verification verdict of Table 3 and §5.6;
+    short-circuits via {!first_firing}. *)
 
 val fired_assertions : Ovl.t list -> Trace.Record.t list -> Ovl.t list
 (** The distinct assertions that fired at least once. *)

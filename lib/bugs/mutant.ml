@@ -1,0 +1,286 @@
+(* Seeded semantic-mutant generation over the Cpu.Fault hook space.
+
+   Mutant [i] of stream [seed] is a pure function of (seed, i): one Prng
+   stream per mutant draws the operator family's parameters, and every
+   fault hook closes over those drawn integers only — no internal state —
+   so capturing the same (mutant, trigger) pair twice is byte-identical
+   and campaign results are deterministic per seed.
+
+   Kinds round-robin over the index so a campaign of n mutants exercises
+   every §5.5 class about n/8 times; everything else (target opcode, bit
+   position, skew direction, affected vector, ...) comes from the rng. *)
+
+open Isa
+module F = Cpu.Fault
+module P = Util.Prng
+
+type kind =
+  | Wrong_result
+  | Skipped_writeback
+  | Flag
+  | Privilege
+  | Control_flow
+  | Exception_entry
+  | Memory_address
+  | Memory_data
+
+let kind_name = function
+  | Wrong_result -> "wrong-result"
+  | Skipped_writeback -> "skipped-writeback"
+  | Flag -> "flag"
+  | Privilege -> "privilege"
+  | Control_flow -> "control-flow"
+  | Exception_entry -> "exception-entry"
+  | Memory_address -> "memory-address"
+  | Memory_data -> "memory-data"
+
+let category_of_kind = function
+  | Wrong_result -> Registry.Cr
+  | Skipped_writeback -> Registry.Ie
+  | Flag -> Registry.Cf
+  | Privilege -> Registry.Ru
+  | Control_flow -> Registry.Cf
+  | Exception_entry -> Registry.Xr
+  | Memory_address -> Registry.Ma
+  | Memory_data -> Registry.Ma
+
+type t = {
+  id : string;
+  kind : kind;
+  category : Registry.category;
+  synopsis : string;
+  fault : Cpu.Fault.t;
+}
+
+let kinds =
+  [| Wrong_result; Skipped_writeback; Flag; Privilege;
+     Control_flow; Exception_entry; Memory_address; Memory_data |]
+
+let none = F.none
+let pick rng arr = arr.(P.int rng (Array.length arr))
+
+(* ---- CR: corrupt an ALU/extend result bit ---- *)
+
+let alu_targets = [| Insn.Add; Insn.Sub; Insn.And; Insn.Or; Insn.Xor; Insn.Mul |]
+
+let wrong_result rng name =
+  let bit = P.int rng 32 in
+  let mask = 1 lsl bit in
+  let targeted = P.bool rng in
+  let op = pick rng alu_targets in
+  let applies insn =
+    match insn with
+    | Insn.Alu (o, _, _, _) -> (not targeted) || o = op
+    | _ -> not targeted
+  in
+  let synopsis =
+    if targeted then
+      Printf.sprintf "l.%s result bit %d flips" (Insn.alu_op_name op) bit
+    else Printf.sprintf "every ALU result bit %d flips" bit
+  in
+  (synopsis,
+   { none with
+     F.name;
+     on_alu = (fun insn r -> if applies insn then Util.U32.logxor r mask else r) })
+
+(* ---- IE: a decoded instruction silently does nothing ---- *)
+
+let writeback_victims : (string * (Insn.t -> bool)) array =
+  [| ("l.sub", (function Insn.Alu (Insn.Sub, _, _, _) -> true | _ -> false));
+     ("l.xor", (function Insn.Alu (Insn.Xor, _, _, _) -> true | _ -> false));
+     ("l.and", (function Insn.Alu (Insn.And, _, _, _) -> true | _ -> false));
+     ("l.or", (function Insn.Alu (Insn.Or, _, _, _) -> true | _ -> false));
+     ("l.extbs", (function Insn.Ext (Insn.Extbs, _, _) -> true | _ -> false));
+     ("l.exthz", (function Insn.Ext (Insn.Exthz, _, _) -> true | _ -> false));
+     ("l.lbz", (function Insn.Load (Insn.Lbz, _, _, _) -> true | _ -> false));
+     ("l.srli", (function Insn.Shifti (Insn.Srli, _, _, _) -> true | _ -> false))
+  |]
+
+let skipped_writeback rng name =
+  let victim, applies = pick rng writeback_victims in
+  (Printf.sprintf "%s decodes as l.nop (writeback skipped)" victim,
+   { none with
+     F.name;
+     on_decode = (fun insn -> if applies insn then Insn.Nop 0 else insn) })
+
+(* ---- CF: a set-flag comparison inverts ---- *)
+
+let sf_targets =
+  [| Insn.Sfeq; Insn.Sfne; Insn.Sfgtu; Insn.Sfgeu; Insn.Sfltu; Insn.Sfleu;
+     Insn.Sfgts; Insn.Sfges; Insn.Sflts; Insn.Sfles |]
+
+let flag rng name =
+  let op = pick rng sf_targets in
+  let conditional = P.bool rng in
+  let parity = P.int rng 2 in
+  let synopsis =
+    if conditional then
+      Printf.sprintf "l.%s inverts when rA bit 0 = %d" (Insn.sf_op_name op)
+        parity
+    else Printf.sprintf "l.%s always inverts" (Insn.sf_op_name op)
+  in
+  (synopsis,
+   { none with
+     F.name;
+     on_compare =
+       (fun o ~a ~b:_ r ->
+          if o = op && ((not conditional) || a land 1 = parity) then not r
+          else r) })
+
+(* ---- RU: privilege/SR corruption ---- *)
+
+let privilege rng name =
+  match P.int rng 4 with
+  | 0 ->
+    ("l.rfe grants supervisor mode",
+     { none with
+       F.name;
+       on_rfe_sr = (fun sr -> sr lor (1 lsl Spr.Sr_bits.sm)) })
+  | 1 ->
+    ("exception entry drops supervisor mode",
+     { none with
+       F.name;
+       on_exception_sr = (fun _ sr -> sr land lnot (1 lsl Spr.Sr_bits.sm)) })
+  | 2 ->
+    let sprs =
+      [| ("ESR0", Workloads.Rt.spr_esr); ("EPCR0", Workloads.Rt.spr_epcr);
+         ("EEAR0", Workloads.Rt.spr_eear) |]
+    in
+    let spr_name, spr = pick rng sprs in
+    (Printf.sprintf "l.mtspr to %s silently dropped" spr_name,
+     { none with F.name; mtspr_is_nop = (fun ~spr_addr -> spr_addr = spr) })
+  | _ ->
+    ("l.rfe drops IEE",
+     { none with
+       F.name;
+       on_rfe_sr = (fun sr -> sr land lnot (1 lsl Spr.Sr_bits.iee)) })
+
+(* ---- CF: control-transfer target skew ---- *)
+
+let deltas = [| 4; -4; 8 |]
+
+let vector_targets =
+  [| Spr.Vector.Syscall; Spr.Vector.Trap; Spr.Vector.Range;
+     Spr.Vector.Illegal; Spr.Vector.Alignment |]
+
+let control_flow rng name =
+  match P.int rng 3 with
+  | 0 ->
+    let delta = pick rng deltas in
+    (Printf.sprintf "link register skewed by %d" delta,
+     { none with
+       F.name;
+       on_writeback =
+         (fun insn ~reg ~pc:_ v ->
+            match insn with
+            | (Insn.Jump_link _ | Insn.Jump_link_reg _) when reg = 9 ->
+              Util.U32.add v delta
+            | _ -> v) })
+  | 1 ->
+    let delta = pick rng deltas in
+    (Printf.sprintf "l.rfe return PC skewed by %d" delta,
+     { none with F.name; on_rfe_pc = (fun pc -> Util.U32.add pc delta) })
+  | _ ->
+    let kind = pick rng vector_targets in
+    (Printf.sprintf "%s vector entry skewed by 8" (Spr.Vector.name kind),
+     { none with
+       F.name;
+       on_exception_vector =
+         (fun ctx v -> if ctx.F.kind = kind then Util.U32.add v 8 else v) })
+
+(* ---- XR: exception-entry corruption ---- *)
+
+let exception_entry rng name =
+  match P.int rng 3 with
+  | 0 ->
+    let kind = pick rng vector_targets in
+    let delta = if P.bool rng then 4 else -4 in
+    (Printf.sprintf "EPCR on %s skewed by %d" (Spr.Vector.name kind) delta,
+     { none with
+       F.name;
+       on_exception_epcr =
+         (fun ctx e -> if ctx.F.kind = kind then Util.U32.add e delta else e) })
+  | 1 ->
+    let kind =
+      pick rng [| Spr.Vector.Syscall; Spr.Vector.Trap; Spr.Vector.Range |]
+    in
+    (Printf.sprintf "%s exception suppressed" (Spr.Vector.name kind),
+     { none with
+       F.name;
+       suppress_exception = (fun ctx ~prev:_ -> ctx.F.kind = kind) })
+  | _ ->
+    ("DSX not set for delay-slot exceptions",
+     { none with
+       F.name;
+       on_exception_sr =
+         (fun ctx sr ->
+            if ctx.F.in_delay_slot then
+              sr land lnot (1 lsl Spr.Sr_bits.dsx)
+            else sr) })
+
+(* ---- MA: effective-address corruption ---- *)
+
+let memory_address rng name =
+  let scope = P.int rng 3 in      (* 0 loads, 1 stores, 2 both *)
+  let applies insn =
+    match insn with
+    | Insn.Load _ -> scope <> 1
+    | Insn.Store _ -> scope <> 0
+    | _ -> false
+  in
+  let scope_name =
+    match scope with 0 -> "load" | 1 -> "store" | _ -> "load/store"
+  in
+  if P.int rng 4 = 0 then
+    (Printf.sprintf "%s effective address off by one" scope_name,
+     { none with
+       F.name;
+       on_eff_addr =
+         (fun insn a -> if applies insn then Util.U32.add a 1 else a) })
+  else begin
+    let mask = pick rng [| 4; 8; 16; 32 |] in
+    (Printf.sprintf "%s effective address bit %d flips" scope_name
+       (if mask = 4 then 2 else if mask = 8 then 3
+        else if mask = 16 then 4 else 5),
+     { none with
+       F.name;
+       on_eff_addr =
+         (fun insn a -> if applies insn then Util.U32.logxor a mask else a) })
+  end
+
+(* ---- MA: load/store data corruption ---- *)
+
+let memory_data rng name =
+  let bit = P.int rng 32 in
+  let mask = 1 lsl bit in
+  if P.bool rng then
+    (Printf.sprintf "loaded value bit %d flips" bit,
+     { none with
+       F.name;
+       on_load = (fun _ ~addr:_ ~raw:_ v -> Util.U32.logxor v mask) })
+  else
+    (Printf.sprintf "stored value bit %d flips" bit,
+     { none with
+       F.name;
+       on_store = (fun _ ~addr:_ ~exec_pc:_ v -> Util.U32.logxor v mask) })
+
+(* ---- the stream ---- *)
+
+let mutant ~seed ~index =
+  let rng = P.create ((seed * 1_000_003) + (index * 97) + 0x5C1F) in
+  let kind = kinds.(index mod Array.length kinds) in
+  let id = Printf.sprintf "m%d" index in
+  let synopsis, fault =
+    match kind with
+    | Wrong_result -> wrong_result rng id
+    | Skipped_writeback -> skipped_writeback rng id
+    | Flag -> flag rng id
+    | Privilege -> privilege rng id
+    | Control_flow -> control_flow rng id
+    | Exception_entry -> exception_entry rng id
+    | Memory_address -> memory_address rng id
+    | Memory_data -> memory_data rng id
+  in
+  { id; kind; category = category_of_kind kind; synopsis; fault }
+
+let generate ~seed ~count = List.init count (fun index -> mutant ~seed ~index)

@@ -1,0 +1,41 @@
+(** Seeded semantic-mutant generation: the LASHED-style scale-up of the
+    hand-reproduced Table 1 errata. Each mutant is a small perturbation
+    of the ISA semantics drawn from the same {!Cpu.Fault.t} hook space
+    the reproduced bugs use — wrong ALU results, skipped writebacks,
+    flipped set-flag comparisons, privilege-bit corruption, control-flow
+    and exception-entry skew, and memory address/data corruption — and is
+    classified into the §5.5 CF/XR/MA/IE/CR/RU taxonomy so campaign
+    results aggregate per class.
+
+    Generation is a pure function of (seed, index): every fault hook is a
+    stateless closure of its drawn parameters, so capturing the same
+    (mutant, trigger) pair twice yields byte-identical traces and the
+    whole campaign is deterministic per seed. *)
+
+(** The mutation operator families and the class each perturbs. *)
+type kind =
+  | Wrong_result        (** CR: ALU/extend result bit corruption *)
+  | Skipped_writeback   (** IE: a decoded instruction silently nops *)
+  | Flag                (** CF: a set-flag comparison inverts *)
+  | Privilege           (** RU: SR privilege bits corrupt, mtspr drops *)
+  | Control_flow        (** CF: link/rfe-target/vector address skew *)
+  | Exception_entry     (** XR: EPCR skew, suppressed or mangled entry *)
+  | Memory_address      (** MA: effective-address corruption *)
+  | Memory_data         (** MA: load/store data corruption *)
+
+val kind_name : kind -> string
+
+type t = {
+  id : string;                   (** ["m<index>"] within a campaign *)
+  kind : kind;
+  category : Registry.category;  (** the §5.5 class of [kind] *)
+  synopsis : string;             (** the drawn parameters, human-readable *)
+  fault : Cpu.Fault.t;
+}
+
+val category_of_kind : kind -> Registry.category
+
+val generate : seed:int -> count:int -> t list
+(** The first [count] mutants of stream [seed]. Deterministic; mutant
+    [i] depends only on [(seed, i)], so prefixes agree across different
+    counts. *)

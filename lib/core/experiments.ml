@@ -25,7 +25,9 @@ type holdout_report = {
 
 (* An assertion battery "detects" a held-out bug when it fires on the
    buggy run of the bug's trigger but stays silent on the clean run of
-   the same trigger (a battery that cries wolf detects nothing). *)
+   the same trigger (a battery that cries wolf detects nothing). This is
+   the interpretive reference; the compiled variant below must agree
+   (pinned by the mutbench gate). *)
 let battery_detects battery (bug : Bugs.Registry.t) =
   let buggy = Sci.Identify.capture_trigger ~fault:bug.fault bug.trigger in
   let clean = Sci.Identify.capture_trigger bug.trigger in
@@ -41,13 +43,25 @@ let battery_detects battery (bug : Bugs.Registry.t) =
       fired_buggy
   end
 
+(* Same verdict through the compiled monitor: mask the clean run's
+   fired-assertion set, then short-circuit on the first surviving firing
+   in the buggy run. *)
+let compiled_detects compiled (bug : Bugs.Registry.t) =
+  let buggy = Sci.Identify.capture_trigger ~fault:bug.fault bug.trigger in
+  let clean = Sci.Identify.capture_trigger bug.trigger in
+  let clean_fired = Assertions.Compile.fired_set compiled clean in
+  Assertions.Compile.detects ~ignore:clean_fired compiled buggy
+
 let holdout ~identified_sci ~inferred_sci held_out_bugs =
-  let battery_ident = Assertions.Ovl.of_invariants identified_sci in
-  let battery_infer = Assertions.Ovl.of_invariants inferred_sci in
+  let compile invs =
+    Assertions.Compile.compile (Assertions.Ovl.of_invariants invs)
+  in
+  let battery_ident = compile identified_sci in
+  let battery_infer = compile inferred_sci in
   List.map
     (fun bug ->
-       let by_identified = battery_detects battery_ident bug in
-       let by_inferred = battery_detects battery_infer bug in
+       let by_identified = compiled_detects battery_ident bug in
+       let by_inferred = compiled_detects battery_infer bug in
        { bug; by_identified; by_inferred;
          detected = by_identified || by_inferred })
     held_out_bugs

@@ -14,7 +14,13 @@ type holdout_report = {
 val battery_detects : Assertions.Ovl.t list -> Bugs.Registry.t -> bool
 (** Fires on the buggy run of the bug's trigger while staying silent on
     the clean run of the same trigger (a battery that cries wolf detects
-    nothing). *)
+    nothing). Interpretive reference path. *)
+
+val compiled_detects : Assertions.Compile.t -> Bugs.Registry.t -> bool
+(** The same verdict through the compiled monitor: the clean run's
+    fired-assertion mask discounts, then the buggy run short-circuits on
+    the first surviving firing. Must agree with {!battery_detects} on
+    the same battery (pinned by the mutbench gate). *)
 
 val holdout :
   identified_sci:Invariant.Expr.t list ->

@@ -120,3 +120,45 @@ val infer :
   Sci.Identify.summary -> inference
 (** [alpha] defaults to the paper's 0.5; class balance, the 70/30 split
     and CV folds all derive from [seed]. *)
+
+(** {1 The mutant-at-scale campaign (§5.5 taxonomy, LASHED-style scale)} *)
+
+type mutant_outcome = {
+  mutant : Bugs.Mutant.t;
+  trigger : string;  (** the detecting trigger, or the last one tried *)
+  detected : bool;
+  latency : int;     (** first-firing record index; [-1] when undetected *)
+}
+
+type campaign_class = {
+  class_name : string;          (** "CF" .. "RU" *)
+  class_total : int;
+  class_detected : int;
+  class_mean_latency : float;   (** over detected mutants; [nan] if none *)
+  class_fp_rate : float;
+      (** fraction of the class's primary triggers whose clean run already
+          fires the battery *)
+}
+
+type campaign = {
+  camp_seed : int;
+  mutant_total : int;
+  detected_total : int;
+  trigger_count : int;
+  fp_trigger_count : int;
+  outcomes : mutant_outcome list;
+  classes : campaign_class list;
+  fingerprint : string;
+      (** digest of the outcome list: equal fingerprints across runs is
+          the determinism gate *)
+  camp_seconds : float;
+}
+
+val campaign :
+  ?seed:int -> ?mutants:int -> ?triggers:int -> ?tries:int ->
+  sci:Invariant.Expr.t list -> unit -> campaign
+(** Compile the SCI battery once, capture a pool of [triggers]
+    fuzz-generated clean traces and their fired-assertion masks once,
+    then give each of [mutants] generated faults up to [tries] triggers
+    to fire an assertion outside the trigger's clean-run set (the §5.6
+    discounting discipline). Deterministic per [seed]. *)

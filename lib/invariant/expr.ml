@@ -62,17 +62,26 @@ let eval_cmp op a b =
   | Gt -> a > b
   | Ge -> a >= b
 
+(* Body evaluation with no point guard: for callers that have already
+   dispatched the record to this invariant's program point (the checker's
+   and the monitors' per-point indexes), where the String.equal test is
+   dead weight on the hot path. *)
+let body_holds body record =
+  match body with
+  | Cmp (op, lhs, rhs) ->
+    eval_cmp op (eval_term record lhs) (eval_term record rhs)
+  | In (term, values) ->
+    let x = eval_term record term in
+    List.mem x values
+
+let holds_here t record = body_holds t.body record
+let violated_here t record = not (body_holds t.body record)
+
 (* Does the invariant hold on this record? Records at other program points
    are vacuously satisfied (risingEdge of another instruction). *)
 let holds t record =
   if not (String.equal t.point record.Trace.Record.point) then true
-  else
-    match t.body with
-    | Cmp (op, lhs, rhs) ->
-      eval_cmp op (eval_term record lhs) (eval_term record rhs)
-    | In (term, values) ->
-      let x = eval_term record term in
-      List.mem x values
+  else body_holds t.body record
 
 let violated t record = not (holds t record)
 

@@ -42,6 +42,15 @@ val holds : t -> Trace.Record.t -> bool
 
 val violated : t -> Trace.Record.t -> bool
 
+val body_holds : body -> Trace.Record.t -> bool
+(** Body evaluation with no point guard, for callers that have already
+    dispatched the record to this invariant's program point. *)
+
+val holds_here : t -> Trace.Record.t -> bool
+val violated_here : t -> Trace.Record.t -> bool
+(** [violated_here t r = not (body_holds t.body r)]: equal to {!violated}
+    whenever [r.point = t.point]. *)
+
 val term_vars : term -> Trace.Var.id list
 val body_vars : body -> Trace.Var.id list
 val vars : t -> Trace.Var.id list

@@ -4,8 +4,14 @@
 
 module Expr = Invariant.Expr
 
+(* Each entry carries its canonical key, computed once when the index is
+   built: [violations] used to recompute [Expr.canonical] (a Printf-heavy
+   string build) for every (record, invariant) evaluation on the hot
+   path. *)
+type entry = { inv : Expr.t; key : string }
+
 type index = {
-  by_point : (string, Expr.t array) Hashtbl.t;
+  by_point : (string, entry array) Hashtbl.t;
   total : int;
 }
 
@@ -14,11 +20,12 @@ let index invariants =
   List.iter
     (fun (inv : Expr.t) ->
        let existing = Option.value ~default:[] (Hashtbl.find_opt tmp inv.Expr.point) in
-       Hashtbl.replace tmp inv.Expr.point (inv :: existing))
+       Hashtbl.replace tmp inv.Expr.point
+         ({ inv; key = Expr.canonical inv } :: existing))
     invariants;
   let by_point = Hashtbl.create 97 in
   Hashtbl.iter
-    (fun point invs -> Hashtbl.replace by_point point (Array.of_list invs))
+    (fun point entries -> Hashtbl.replace by_point point (Array.of_list entries))
     tmp;
   { by_point; total = List.length invariants }
 
@@ -38,13 +45,14 @@ let violations idx records =
        incr nrecords;
        match Hashtbl.find_opt idx.by_point record.Trace.Record.point with
        | None -> ()
-       | Some invs ->
+       | Some entries ->
          Array.iter
-           (fun inv ->
-              let key = Expr.canonical inv in
-              if not (Hashtbl.mem violated key) && Expr.violated inv record then
-                Hashtbl.replace violated key inv)
-           invs)
+           (fun e ->
+              (* the point matched at dispatch, so skip the guard *)
+              if not (Hashtbl.mem violated e.key)
+              && Expr.violated_here e.inv record then
+                Hashtbl.replace violated e.key e.inv)
+           entries)
     records;
   let result =
     Hashtbl.fold (fun _ inv acc -> inv :: acc) violated []

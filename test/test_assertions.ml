@@ -88,6 +88,180 @@ let test_fired_assertions_dedup () =
   let fired = Assertions.Monitor.fired_assertions battery [ bad; bad; bad ] in
   Alcotest.(check int) "distinct assertions" 1 (List.length fired)
 
+(* ---- monitor regressions: firing order and early exit ---- *)
+
+(* Three same-point assertions all violated by one record must fire in
+   battery order: the per-point batches used to be built by consing into
+   Hashtbl.replace, which reversed them within a step. *)
+let test_monitor_firing_order () =
+  let invs =
+    [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 3), Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 4), Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 5), Expr.Imm 0)) ]
+  in
+  let battery = Ovl.of_invariants invs in
+  let expected = List.map (fun (a : Ovl.t) -> a.Ovl.name) battery in
+  let bad =
+    record
+      [ (Var.post_id (Var.Gpr 3), 1);
+        (Var.post_id (Var.Gpr 4), 1);
+        (Var.post_id (Var.Gpr 5), 1) ]
+  in
+  let names firings =
+    List.map
+      (fun (f : Assertions.Monitor.firing) -> f.assertion.Ovl.name)
+      firings
+  in
+  Alcotest.(check (list string)) "interpretive order" expected
+    (names (Assertions.Monitor.run battery [ bad ]));
+  let compiled = Assertions.Compile.compile battery in
+  Alcotest.(check (list string)) "compiled order" expected
+    (names (Assertions.Compile.run compiled [ bad ]))
+
+(* detects/first_firing must stop at the first firing instead of scanning
+   the rest of the trace; the evaluation counter pins the early exit. *)
+let test_first_firing_short_circuit () =
+  let battery =
+    Ovl.of_invariants [ inv (Expr.Cmp (Expr.Eq, v_post (Var.Gpr 0), Expr.Imm 0)) ]
+  in
+  let bad = record [ (Var.post_id (Var.Gpr 0), 7) ] in
+  let trace = [ record []; bad; bad; record [] ] in
+  let c_evals = Obs.Metrics.counter "monitor.evaluations" in
+  let evals0 = Obs.Metrics.counter_value c_evals in
+  (match Assertions.Monitor.first_firing battery trace with
+   | None -> Alcotest.fail "expected a firing"
+   | Some f ->
+     Alcotest.(check int) "latency" 1 f.Assertions.Monitor.step);
+  Alcotest.(check int) "evaluations stop at the firing" 2
+    (Obs.Metrics.counter_value c_evals - evals0);
+  (* the full scan still sees both offending records *)
+  Alcotest.(check int) "run sees both" 2
+    (List.length (Assertions.Monitor.run battery trace))
+
+(* ---- compiled monitor vs the interpretive oracle ---- *)
+
+let firing_keys firings =
+  List.map
+    (fun (f : Assertions.Monitor.firing) ->
+       (f.assertion.Ovl.name, f.Assertions.Monitor.step))
+    firings
+
+let check_compiled_matches battery trace label =
+  let compiled = Assertions.Compile.compile battery in
+  let fi = Assertions.Monitor.run battery trace in
+  let fc = Assertions.Compile.run compiled trace in
+  Alcotest.(check (list (pair string int)))
+    (label ^ ": run") (firing_keys fi) (firing_keys fc);
+  let oi =
+    Option.map (fun (f : Assertions.Monitor.firing) ->
+        (f.assertion.Ovl.name, f.step))
+      (Assertions.Monitor.first_firing battery trace)
+  and oc =
+    Option.map (fun (f : Assertions.Monitor.firing) ->
+        (f.assertion.Ovl.name, f.step))
+      (Assertions.Compile.first_firing compiled trace)
+  in
+  Alcotest.(check (option (pair string int))) (label ^ ": first") oi oc
+
+(* Every body shape the Figure 2 grammar admits, including the folded
+   corners: Mod with k = 0, constant-vs-constant comparisons, empty and
+   large In sets. *)
+let test_compile_covers_grammar () =
+  let g n = Var.post_id (Var.Gpr n) in
+  let invs =
+    [ inv (Expr.Cmp (Expr.Eq, Expr.V (g 3), Expr.Imm 5));
+      inv (Expr.Cmp (Expr.Ne, Expr.Imm 5, Expr.V (g 3)));
+      inv (Expr.Cmp (Expr.Lt, Expr.V (g 3), Expr.V (g 4)));
+      inv (Expr.Cmp (Expr.Le, Expr.Imm 3, Expr.Imm 2));
+      inv (Expr.Cmp (Expr.Gt, Expr.Mul (g 3, 3), Expr.Imm 10));
+      inv (Expr.Cmp (Expr.Ge, Expr.Mod (g 4, 4), Expr.Imm 1));
+      inv (Expr.Cmp (Expr.Eq, Expr.Mod (g 4, 0), Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Eq, Expr.Notv (g 3), Expr.V (g 4)));
+      inv (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Band, g 3, g 4), Expr.Imm 0));
+      inv (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Bor, g 3, g 4), Expr.V (g 5)));
+      inv (Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Plus, g 3, g 4), Expr.V (g 5)));
+      inv (Expr.Cmp (Expr.Le, Expr.Bin (Expr.Minus, g 5, g 3), Expr.Imm 8));
+      inv (Expr.In (Expr.V (g 3), []));
+      inv (Expr.In (Expr.V (g 3), [ 7 ]));
+      inv (Expr.In (Expr.V (g 4), [ 0; 4; 8; 12 ]));
+      inv (Expr.In (Expr.Mod (g 5, 8), List.init 12 (fun i -> i)));
+      inv ~point:"l.sub" (Expr.Cmp (Expr.Eq, Expr.V (g 3), Expr.Imm 0)) ]
+  in
+  let battery = Ovl.of_invariants invs in
+  let mk point a b c =
+    record ~point
+      [ (Var.post_id (Var.Gpr 3), a);
+        (Var.post_id (Var.Gpr 4), b);
+        (Var.post_id (Var.Gpr 5), c) ]
+  in
+  let trace =
+    [ mk "l.add" 5 4 9; mk "l.add" 7 0 0; mk "l.sub" 0 1 2;
+      mk "l.add" 0xFFFF_FFFF 12 3; mk "l.mul" 3 3 3; mk "l.add" 2 8 10 ]
+  in
+  check_compiled_matches battery trace "grammar";
+  (* the ignore mask drops exactly the masked assertion *)
+  let compiled = Assertions.Compile.compile battery in
+  let all = Assertions.Compile.fired_set compiled trace in
+  Alcotest.(check bool) "something fires" true (Array.exists Fun.id all);
+  Alcotest.(check bool) "all-masked is silent" false
+    (Assertions.Compile.detects ~ignore:all compiled trace)
+
+(* QCheck: over random batteries and random traces, the compiled monitor
+   reproduces the oracle's (assertion, step) firing sequence exactly. *)
+let qcheck_compiled_equals_interpretive =
+  let open QCheck in
+  let gid = Gen.int_range 0 (Var.total - 1) in
+  let gpoint = Gen.oneofl [ "l.add"; "l.sub"; "l.and" ] in
+  let gterm =
+    Gen.frequency
+      [ (4, Gen.map (fun id -> Expr.V id) gid);
+        (2, Gen.map (fun k -> Expr.Imm k) (Gen.int_bound 64));
+        (1, Gen.map2 (fun id k -> Expr.Mul (id, k)) gid (Gen.int_bound 5));
+        (1, Gen.map2 (fun id k -> Expr.Mod (id, k)) gid (Gen.int_bound 5));
+        (1, Gen.map (fun id -> Expr.Notv id) gid);
+        (1,
+         Gen.map3 (fun op a b -> Expr.Bin (op, a, b))
+           (Gen.oneofl [ Expr.Band; Expr.Bor; Expr.Plus; Expr.Minus ])
+           gid gid) ]
+  in
+  let gcmp = Gen.oneofl [ Expr.Eq; Expr.Ne; Expr.Lt; Expr.Le; Expr.Gt; Expr.Ge ] in
+  let gbody =
+    Gen.frequency
+      [ (3, Gen.map3 (fun op a b -> Expr.Cmp (op, a, b)) gcmp gterm gterm);
+        (1,
+         Gen.map2 (fun t vs -> Expr.In (t, vs)) gterm
+           (Gen.list_size (Gen.int_bound 10) (Gen.int_bound 64))) ]
+  in
+  let ginv = Gen.map2 (fun point body -> { Expr.point; body }) gpoint gbody in
+  let grecord =
+    Gen.map2
+      (fun point vals ->
+         let values = Array.make Var.total 0 in
+         List.iteri (fun i v -> values.(i mod Var.total) <- v) vals;
+         { Trace.Record.point; values; mask = Array.make Var.total true })
+      gpoint
+      (Gen.list_size (Gen.return Var.total)
+         (Gen.oneof [ Gen.int_bound 64; Gen.int_bound 0xFFFF_FFFF ]))
+  in
+  let arb =
+    make
+      ~print:(fun (invs, records) ->
+          Printf.sprintf "%d invariants / %d records: %s"
+            (List.length invs) (List.length records)
+            (String.concat "; " (List.map Expr.to_string invs)))
+      Gen.(pair (list_size (int_range 1 6) ginv)
+             (list_size (int_range 0 20) grecord))
+  in
+  Test.make ~name:"compiled == interpretive (random batteries)" ~count:300 arb
+    (fun (invs, records) ->
+       let battery = Ovl.of_invariants invs in
+       let compiled = Assertions.Compile.compile battery in
+       let fi = firing_keys (Assertions.Monitor.run battery records) in
+       let fc = firing_keys (Assertions.Compile.run compiled records) in
+       fi = fc
+       && Assertions.Monitor.detects battery records
+          = Assertions.Compile.detects compiled records)
+
 (* ---- cost model ---- *)
 
 let test_cost_positive_and_monotone () =
@@ -200,7 +374,14 @@ let () =
        [ Alcotest.test_case "fires" `Quick test_monitor_fires_on_violation;
          Alcotest.test_case "silent" `Quick test_monitor_silent_on_clean;
          Alcotest.test_case "point scoping" `Quick test_monitor_point_scoping;
-         Alcotest.test_case "dedup" `Quick test_fired_assertions_dedup ]);
+         Alcotest.test_case "dedup" `Quick test_fired_assertions_dedup;
+         Alcotest.test_case "firing order" `Quick test_monitor_firing_order;
+         Alcotest.test_case "early exit" `Quick
+           test_first_firing_short_circuit ]);
+      ("compile",
+       [ Alcotest.test_case "grammar coverage" `Quick
+           test_compile_covers_grammar;
+         QCheck_alcotest.to_alcotest qcheck_compiled_equals_interpretive ]);
       ("verilog",
        [ Alcotest.test_case "structure" `Quick test_verilog_structure;
          Alcotest.test_case "fire polarity" `Quick test_verilog_fire_polarity;
