@@ -3,8 +3,10 @@
      check_json.exe FILE...
 
    Files ending in ".jsonl" are parsed line by line (blank lines are
-   allowed); anything else must be a single JSON document.  Exits 1 on
-   the first malformed file, printing where parsing failed. *)
+   allowed); files ending in ".trace.json" are validated as Chrome
+   trace-event documents (see check_trace below); anything else must be
+   a single JSON document.  Exits 1 on the first malformed file,
+   printing where parsing failed. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -35,6 +37,58 @@ let check_json path =
   | Ok _ -> Printf.printf "check_json: %s: OK\n" path
   | Error e -> fail path e
 
+(* Chrome trace-event structural validation, on top of strict parsing:
+   a traceEvents array whose every event carries name/ph/pid/tid, a
+   non-negative timestamp, a non-negative duration on complete ("X")
+   spans, and one consistent pid across the file — the invariants
+   Perfetto/chrome://tracing rely on to build the track view. *)
+let check_trace path =
+  let doc =
+    match Obs.Json.parse (read_file path) with
+    | Ok d -> d
+    | Error e -> fail path e
+  in
+  let events =
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.Arr evs) -> evs
+    | _ -> fail path "no traceEvents array"
+  in
+  if events = [] then fail path "empty traceEvents";
+  let num name ev =
+    match Obs.Json.member name ev with
+    | Some (Obs.Json.Num f) -> Some f
+    | _ -> None
+  in
+  let pid0 = ref None in
+  List.iteri
+    (fun i ev ->
+       let bad msg = fail path (Printf.sprintf "event %d: %s" i msg) in
+       (match Obs.Json.member "name" ev with
+        | Some (Obs.Json.Str _) -> ()
+        | _ -> bad "missing name");
+       let ph =
+         match Obs.Json.member "ph" ev with
+         | Some (Obs.Json.Str s) -> s
+         | _ -> bad "missing ph"
+       in
+       (match num "tid" ev with Some _ -> () | None -> bad "missing tid");
+       (match num "pid" ev with
+        | None -> bad "missing pid"
+        | Some p ->
+          (match !pid0 with
+           | None -> pid0 := Some p
+           | Some q -> if p <> q then bad "inconsistent pid"));
+       (match num "ts" ev with
+        | None -> bad "missing ts"
+        | Some ts -> if ts < 0.0 then bad "negative ts");
+       if String.equal ph "X" then
+         match num "dur" ev with
+         | None -> bad "complete span without dur"
+         | Some d -> if d < 0.0 then bad "negative dur")
+    events;
+  Printf.printf "check_json: %s: %d trace events OK\n" path
+    (List.length events)
+
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
   if files = [] then begin
@@ -43,6 +97,7 @@ let () =
   List.iter
     (fun path ->
        if not (Sys.file_exists path) then fail path "missing";
-       if Filename.check_suffix path ".jsonl" then check_jsonl path
+       if Filename.check_suffix path ".trace.json" then check_trace path
+       else if Filename.check_suffix path ".jsonl" then check_jsonl path
        else check_json path)
     files

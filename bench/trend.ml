@@ -1,0 +1,263 @@
+(* Bench-trend regression gate over the headline perf numbers.
+
+     trend.exe record BENCH_pipeline.json [--history FILE]
+     trend.exe check [--history FILE]
+     trend.exe selftest
+
+   [record] extracts the headline numbers of one bench run (mining
+   throughput, the cache/minebench/mutbench speedups, the telemetry
+   overhead estimate) and appends them as one JSONL entry to the history
+   file (default BENCH_trend.jsonl — deliberately NOT the
+   BENCH_metrics.jsonl telemetry stream, which ci.sh truncates every
+   run; the history is the one bench artifact that must survive).
+
+   [check] compares the latest entry against the trailing median of the
+   previous runs (window of 5): a higher-is-better metric more than 20%
+   below the median fails the gate, as does an overhead estimate above
+   the absolute 2% budget. Fewer than two entries pass trivially — a
+   fresh clone has no trend to regress against.
+
+   [selftest] runs the comparison logic on synthetic histories — a 20%
+   throughput drop must be flagged, a 15% wobble must not — so ci.sh can
+   prove the gate bites without manufacturing a real regression. *)
+
+let schema = "scifinder.trend/1"
+let default_history = "BENCH_trend.jsonl"
+let window = 5
+let tolerance = 0.20
+let overhead_budget_pct = 2.0
+
+let die fmt =
+  Printf.ksprintf (fun s -> prerr_endline ("trend: " ^ s); exit 2) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- headline metrics ---- *)
+
+type direction = Higher | Lower
+
+(* (name, path into BENCH_pipeline.json, better-direction). Every field
+   is optional per run — cheap experiments only fill "experiments", so
+   record keeps whatever subset the run produced. *)
+let spec =
+  [ ("records_per_sec", [ "mining"; "records_per_sec" ], Higher);
+    ("cache_speedup", [ "cache"; "speedup" ], Higher);
+    ("minebench_speedup", [ "minebench"; "speedup" ], Higher);
+    ("mutbench_speedup", [ "mutbench"; "speedup" ], Higher);
+    ("overhead_pct", [ "overhead"; "est_null_overhead_pct" ], Lower) ]
+
+let lookup path doc =
+  let v =
+    List.fold_left
+      (fun acc key -> Option.bind acc (Obs.Json.member key))
+      (Some doc) path
+  in
+  match v with
+  | Some (Obs.Json.Num f) when Float.is_finite f -> Some f
+  | _ -> None
+
+(* ---- history entries ---- *)
+
+type entry = (string * float) list
+
+let parse_entry line : entry option =
+  match Obs.Json.parse line with
+  | Error _ -> None
+  | Ok doc ->
+    (match Obs.Json.member "schema" doc with
+     | Some (Obs.Json.Str s) when String.equal s schema ->
+       (match Obs.Json.member "metrics" doc with
+        | Some (Obs.Json.Obj fields) ->
+          Some
+            (List.filter_map
+               (fun (k, v) ->
+                  match v with
+                  | Obs.Json.Num f when Float.is_finite f -> Some (k, f)
+                  | _ -> None)
+               fields)
+        | _ -> None)
+     | _ -> None)
+
+let load_history path : entry list =
+  if not (Sys.file_exists path) then []
+  else
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.filter_map parse_entry
+
+(* ---- the gate ---- *)
+
+let median = function
+  | [] -> nan
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+type verdict = Ok_v | Regression of string | No_data
+
+let judge ~name ~dir ~latest ~priors =
+  match (latest, priors) with
+  | None, _ | _, [] -> No_data
+  | Some v, priors ->
+    let m = median priors in
+    let delta = if m <> 0.0 then 100.0 *. (v -. m) /. m else 0.0 in
+    (match dir with
+     | Higher ->
+       if v < (1.0 -. tolerance) *. m then
+         Regression
+           (Printf.sprintf "%s %.2f is %.1f%% below the trailing median %.2f"
+              name v (-.delta) m)
+       else Ok_v
+     | Lower ->
+       (* Relative checks on a sub-percent estimate are pure noise; the
+          hard line is the same absolute budget obsbench enforces. *)
+       if v > overhead_budget_pct then
+         Regression
+           (Printf.sprintf "%s %.2f%% exceeds the %.1f%% budget" name v
+              overhead_budget_pct)
+       else Ok_v)
+
+(* Latest entry vs the trailing median of (up to [window]) prior runs.
+   Returns the failing messages; [] passes. *)
+let gate (history : entry list) : string list =
+  match List.rev history with
+  | [] | [ _ ] -> []
+  | latest :: prior_rev ->
+    let priors =
+      List.filteri (fun i _ -> i < window) prior_rev |> List.rev
+    in
+    List.filter_map
+      (fun (name, _, dir) ->
+         let values l = List.assoc_opt name l in
+         let pv = List.filter_map values priors in
+         match
+           judge ~name ~dir ~latest:(values latest) ~priors:pv
+         with
+         | Regression msg -> Some msg
+         | Ok_v | No_data -> None)
+      spec
+
+let print_gate ~label history =
+  let failures = gate history in
+  let n = List.length history in
+  (match List.rev history with
+   | latest :: prior_rev when n >= 2 ->
+     let priors = List.filteri (fun i _ -> i < window) prior_rev in
+     List.iter
+       (fun (name, _, _) ->
+          let pv = List.filter_map (List.assoc_opt name) priors in
+          match (List.assoc_opt name latest, pv) with
+          | Some v, (_ :: _ as pv) ->
+            let m = median pv in
+            Printf.printf "  %-18s latest %10.2f  median %10.2f  %+6.1f%%\n"
+              name v m
+              (if m <> 0.0 then 100.0 *. (v -. m) /. m else 0.0)
+          | Some v, [] ->
+            Printf.printf "  %-18s latest %10.2f  (no prior runs)\n" name v
+          | None, _ -> ())
+       spec
+   | _ -> ());
+  List.iter (fun msg -> Printf.printf "  REGRESSION: %s\n" msg) failures;
+  if failures = [] then begin
+    Printf.printf
+      "%s (>%.0f%% below trailing median fails): PASS (%d entr%s)\n" label
+      (100.0 *. tolerance) n
+      (if n = 1 then "y" else "ies");
+    0
+  end
+  else begin
+    Printf.printf "%s (>%.0f%% below trailing median fails): FAIL\n" label
+      (100.0 *. tolerance);
+    1
+  end
+
+(* ---- record ---- *)
+
+let record bench_json history =
+  let doc =
+    match Obs.Json.parse (read_file bench_json) with
+    | Ok d -> d
+    | Error e -> die "%s: %s" bench_json e
+  in
+  let metrics =
+    List.filter_map
+      (fun (name, path, _) ->
+         Option.map (fun v -> (name, v)) (lookup path doc))
+      spec
+  in
+  if metrics = [] then die "%s: no headline numbers found" bench_json;
+  let seq = List.length (load_history history) + 1 in
+  let b = Buffer.create 256 in
+  Printf.ksprintf (Buffer.add_string b) "{\"schema\":\"%s\",\"seq\":%d,\"metrics\":{"
+    schema seq;
+  List.iteri
+    (fun i (k, v) ->
+       Printf.ksprintf (Buffer.add_string b) "%s\"%s\":%.6f"
+         (if i = 0 then "" else ",") k v)
+    metrics;
+  Buffer.add_string b "}}\n";
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 history
+  in
+  Fun.protect ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b);
+  Printf.printf "trend: recorded entry %d (%s) to %s\n" seq
+    (String.concat ", " (List.map fst metrics))
+    history;
+  0
+
+(* ---- selftest ---- *)
+
+let selftest () =
+  let entry rps over = [ ("records_per_sec", rps); ("overhead_pct", over) ] in
+  let base = [ entry 1000.0 0.4; entry 1040.0 0.5; entry 980.0 0.4 ] in
+  let expect what cond = if not cond then die "selftest: %s" what in
+  (* A clean 20%+ throughput drop must be flagged... *)
+  expect "20%% rps drop not flagged" (gate (base @ [ entry 790.0 0.4 ]) <> []);
+  (* ...ordinary wobble must not... *)
+  expect "15%% wobble flagged" (gate (base @ [ entry 860.0 0.4 ]) = []);
+  (* ...an improvement must not... *)
+  expect "improvement flagged" (gate (base @ [ entry 1500.0 0.4 ]) = []);
+  (* ...overhead past the absolute budget must be... *)
+  expect "overhead blowout not flagged"
+    (gate (base @ [ entry 1000.0 2.5 ]) <> []);
+  (* ...and thin histories pass trivially. *)
+  expect "single entry failed" (gate [ entry 1000.0 0.4 ] = []);
+  expect "empty history failed" (gate [] = []);
+  (* A metric present only in the latest entry has no trend to regress. *)
+  expect "fresh metric flagged"
+    (gate [ entry 1000.0 0.4; entry 990.0 0.4 @ [ ("cache_speedup", 9.0) ] ]
+     = []);
+  Printf.printf "trend gate (synthetic 20%% regression flagged): PASS\n";
+  0
+
+(* ---- CLI ---- *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec split_history acc = function
+    | "--history" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> split_history (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let history_opt, args = split_history [] (List.tl args) in
+  let history = Option.value history_opt ~default:default_history in
+  let code =
+    match args with
+    | [ "record"; bench_json ] -> record bench_json history
+    | [ "check" ] ->
+      print_gate ~label:"trend gate" (load_history history)
+    | [ "selftest" ] -> selftest ()
+    | _ ->
+      prerr_endline
+        "usage: trend [--history FILE] record BENCH_pipeline.json\n\
+        \       trend [--history FILE] check\n\
+        \       trend selftest";
+      2
+  in
+  exit code

@@ -7,6 +7,7 @@
      scifinder campaign          generated mutants vs the compiled battery
      scifinder verilog -o FILE   emit a synthesizable monitor for the SCI
      scifinder trace WORKLOAD    stream one workload's fused trace records
+     scifinder report RUN.jsonl  digest a --metrics stream into a run report
      scifinder bugs              list the bug registry
      scifinder workloads         list the trace corpus
 
@@ -26,12 +27,23 @@ let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ~app:err ~dst:err ());
   Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Info)
 
-(* Install the telemetry sink behind --metrics; counters and histograms
-   are flushed into the same stream when the command exits. *)
-let setup_metrics = function
-  | None -> ()
-  | Some path ->
-    let sink = Obs.Sink.jsonl path in
+(* Install the telemetry sinks behind --metrics / --trace-out; counters
+   and histograms are flushed into the same stream(s) when the command
+   exits. The two sinks tee off one event stream, so a single run can
+   feed both the JSONL report pipeline and a Perfetto-loadable trace. *)
+let setup_metrics metrics trace_out =
+  match (metrics, trace_out) with
+  | None, None -> ()
+  | _ ->
+    let jsonl =
+      match metrics with None -> Obs.Sink.null | Some p -> Obs.Sink.jsonl p
+    in
+    let trace =
+      match trace_out with
+      | None -> Obs.Sink.null
+      | Some p -> Obs.Trace_event.sink p
+    in
+    let sink = Obs.Sink.tee jsonl trace in
     Obs.Sink.set_global sink;
     at_exit (fun () ->
         Obs.Metrics.emit_all sink;
@@ -75,6 +87,14 @@ let metrics_arg =
          ~doc:"Write telemetry (phase/shard spans, counters, histograms) \
                as JSON lines to $(docv). One object per line; see \
                DESIGN.md for the schema.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Render the same telemetry as a Chrome trace-event JSON \
+               file at $(docv) — load it in Perfetto or chrome://tracing. \
+               Spans become one track per mining domain; counters become \
+               counter events. Composes with $(b,--metrics).")
 
 let jobs_arg =
   Arg.(value & opt int (Util.Parallel.default_jobs ())
@@ -127,13 +147,85 @@ let find_bug id =
 
 (* ---- mine ---- *)
 
+(* Case-insensitive substring match for --explain patterns; "" matches
+   everything, which is how you dump the whole flight recorder. *)
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay
+  and needle = String.lowercase_ascii needle in
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let print_explain ~limit pat (pr : Scifinder_core.Pipeline.provenance_report) =
+  let open Daikon.Engine in
+  Printf.printf "flight recorder: %d deaths in the ring, %d evicted\n"
+    (List.length pr.deaths) pr.deaths_dropped;
+  List.iter
+    (fun (fam, n, first) ->
+       match first with
+       | Some d ->
+         Printf.printf
+           "  %-8s %7d falsified; first: %s at %s, killed by %s \
+            (record %d, tick %d)\n"
+           fam n d.d_desc d.d_point d.d_workload d.d_record d.d_tick
+       | None -> Printf.printf "  %-8s %7d falsified\n" fam n)
+    pr.death_families;
+  let death_matches d =
+    contains_ci d.d_desc pat || contains_ci d.d_point pat
+    || contains_ci d.d_family pat || contains_ci d.d_workload pat
+  in
+  let hits = List.filter death_matches pr.deaths in
+  Printf.printf "%d deaths match %S:\n" (List.length hits) pat;
+  List.iteri
+    (fun i d ->
+       if i < limit then
+         Printf.printf "  %-8s %s at %s, killed by %s (record %d, tick %d)\n"
+           d.d_family d.d_desc d.d_point d.d_workload d.d_record d.d_tick)
+    hits;
+  if List.length hits > limit then
+    Printf.printf "  ... (%d more; raise --limit)\n" (List.length hits - limit);
+  let survivors =
+    List.filter
+      (fun ((i : Invariant.Expr.t), _) ->
+         contains_ci (Invariant.Expr.to_string i) pat
+         || contains_ci i.point pat)
+      pr.witnesses
+  in
+  Printf.printf "%d surviving SCI match %S (last-narrowed witness):\n"
+    (List.length survivors) pat;
+  List.iteri
+    (fun n ((i : Invariant.Expr.t), (w : witness)) ->
+       if n < limit then
+         Printf.printf "  %s  <- last narrowed by %s (record %d, tick %d)\n"
+           (Invariant.Expr.to_string i) w.w_workload w.w_record w.w_tick)
+    survivors;
+  if List.length survivors > limit then
+    Printf.printf "  ... (%d more; raise --limit)\n"
+      (List.length survivors - limit)
+
 let mine_cmd =
-  let run verbose metrics jobs cache_dir limit point workload_names output =
+  let run verbose metrics trace_out jobs cache_dir limit point workload_names
+      output explain =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     let names = match workload_names with [] -> None | l -> Some l in
-    let invariants = mine_invariants ~names ?cache_dir ~jobs () in
+    let invariants, prov =
+      match explain with
+      | None -> (mine_invariants ~names ?cache_dir ~jobs (), None)
+      | Some _ ->
+        (* The flight recorder lives in the full mining result; shard
+           caches still apply (keyed with the provenance marker). *)
+        let m =
+          match names with
+          | None ->
+            Scifinder_core.Pipeline.mine ~provenance:true ~jobs ?cache_dir ()
+          | Some l ->
+            Scifinder_core.Pipeline.mine ~provenance:true ~jobs ?cache_dir
+              ~groups:[ l ] ~labels:[ String.concat "+" l ] ()
+        in
+        (m.invariants, m.prov)
+    in
     (match output with
      | Some path ->
        Invariant.Io.save path invariants;
@@ -154,6 +246,9 @@ let mine_cmd =
     if List.length invariants > limit then
       Printf.printf "... (%d more; raise --limit)\n"
         (List.length invariants - limit);
+    (match explain, prov with
+     | Some pat, Some pr -> print_explain ~limit pat pr
+     | _ -> ());
     0
   in
   let limit =
@@ -174,10 +269,22 @@ let mine_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Save the mined set for later identify/verify runs.")
   in
+  let explain =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"PAT"
+           ~doc:"Mine with the flight recorder on and print evidence \
+                 trails: per-family falsification counts with the first \
+                 death of each, every recorded death matching $(docv) \
+                 (case-insensitive substring over candidate, point, \
+                 family and workload; \"\" matches all), and the \
+                 last-narrowed witness of every surviving invariant \
+                 matching $(docv). The mined set is identical either \
+                 way.")
+  in
   Cmd.v (Cmd.info "mine" ~exits:common_exits
            ~doc:"Mine likely processor invariants from the trace corpus.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
-          $ limit $ point $ workloads $ output)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ limit $ point $ workloads $ output $ explain)
 
 (* ---- identify ---- *)
 
@@ -194,9 +301,9 @@ let input_arg =
          ~doc:"Load a saved invariant set instead of re-mining the corpus.")
 
 let identify_cmd =
-  let run verbose metrics jobs cache_dir bug_id input =
+  let run verbose metrics trace_out jobs cache_dir bug_id input =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     match Option.fold ~none:(Ok Bugs.Table1.all)
             ~some:(fun id -> Result.map (fun b -> [ b ]) (find_bug id))
@@ -231,15 +338,15 @@ let identify_cmd =
   Cmd.v (Cmd.info "identify"
            ~exits:(unknown_bug_info :: common_exits)
            ~doc:"Identify security-critical invariants from known errata.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
-          $ bug $ input_arg)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ bug $ input_arg)
 
 (* ---- infer ---- *)
 
 let infer_cmd =
-  let run verbose metrics jobs cache_dir limit =
+  let run verbose metrics trace_out jobs cache_dir limit =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     let mining = Scifinder_core.Pipeline.mine ~jobs ?cache_dir () in
     let optimized =
@@ -267,14 +374,15 @@ let infer_cmd =
   in
   Cmd.v (Cmd.info "infer" ~exits:common_exits
            ~doc:"Run the full pipeline and print inferred security properties.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term $ limit)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ limit)
 
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run verbose metrics jobs cache_dir bug_id input =
+  let run verbose metrics trace_out jobs cache_dir bug_id input =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     match find_bug bug_id with
     | Error e ->
@@ -316,15 +424,16 @@ let verify_cmd =
                      ~doc:"when the bug evades the assertion battery."
                    :: unknown_bug_info :: common_exits)
            ~doc:"Dynamic verification: enforce the SCI as assertions against an exploit.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
-          $ bug $ input_arg)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ bug $ input_arg)
 
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run verbose metrics jobs cache_dir input seed mutants triggers tries =
+  let run verbose metrics trace_out jobs cache_dir input seed mutants triggers
+      tries evidence =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     let invariants = load_or_mine ~jobs ?cache_dir input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
@@ -351,6 +460,21 @@ let campaign_cmd =
            cl.class_fp_rate)
       c.classes;
     Printf.printf "fingerprint %s\n" c.fingerprint;
+    if evidence then begin
+      Printf.printf "evidence trails (%d detected mutants):\n"
+        c.detected_total;
+      List.iter
+        (fun (o : Scifinder_core.Pipeline.mutant_outcome) ->
+           if o.detected then
+             Printf.printf
+               "  %-5s %-4s caught by %s on trigger %s at record %d\n\
+               \        %s\n"
+               o.mutant.Bugs.Mutant.id
+               (Bugs.Registry.category_name o.mutant.Bugs.Mutant.category)
+               (Option.value o.assertion ~default:"?")
+               o.trigger o.latency o.mutant.Bugs.Mutant.synopsis)
+        c.outcomes
+    end;
     0
   in
   let seed =
@@ -373,19 +497,28 @@ let campaign_cmd =
          & info [ "tries" ] ~docv:"N"
            ~doc:"Triggers each mutant gets before counting as undetected.")
   in
+  let evidence =
+    Arg.(value & flag
+         & info [ "evidence" ]
+           ~doc:"After the class table, print one evidence line per \
+                 detected mutant: the assertion that fired, the trigger \
+                 program that exposed it, and the detection latency \
+                 (first-firing record index).")
+  in
   Cmd.v (Cmd.info "campaign" ~exits:common_exits
            ~doc:"Mutant-at-scale fault injection: generated semantic \
                  mutants vs the compiled SCI battery, reported per \
                  CF/XR/MA/IE/CR/RU class.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
-          $ input_arg $ seed $ mutants $ triggers $ tries)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ input_arg $ seed $ mutants $ triggers $ tries
+          $ evidence)
 
 (* ---- verilog ---- *)
 
 let verilog_cmd =
-  let run verbose metrics jobs cache_dir input output =
+  let run verbose metrics trace_out jobs cache_dir input output =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     let invariants = load_or_mine ~jobs ?cache_dir input in
     let optimized = (Invopt.Pipeline.optimize invariants).optimized in
@@ -410,16 +543,16 @@ let verilog_cmd =
   in
   Cmd.v (Cmd.info "verilog" ~exits:common_exits
            ~doc:"Emit a synthesizable monitor module for the identified SCI.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
-          $ input_arg $ output)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ input_arg $ output)
 
 (* ---- fuzz ---- *)
 
 let fuzz_cmd =
-  let run verbose metrics jobs cache_dir seed budget max_steps no_mine
-      output =
+  let run verbose metrics trace_out jobs cache_dir seed budget max_steps
+      no_mine output =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     Logs.info (fun m ->
         m "baseline coverage: tracing the %d hand-written workloads"
@@ -486,15 +619,16 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~exits:common_exits
            ~doc:"Grow a coverage-guided corpus of generated OR1200 \
                  programs and mine it.")
-    Term.(const run $ verbose_arg $ metrics_arg $ jobs_arg $ cache_term
-          $ seed $ budget $ max_steps $ no_mine $ output)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ cache_term $ seed $ budget $ max_steps $ no_mine $ output)
 
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run verbose metrics workload_name limit point_filter no_decode_cache =
+  let run verbose metrics trace_out workload_name limit point_filter
+      no_decode_cache =
     setup_logs verbose;
-    setup_metrics metrics;
+    setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
     match Workloads.Suite.by_name workload_name with
     | None ->
@@ -569,8 +703,43 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~exits:common_exits
            ~doc:"Stream one workload's fused trace records without \
                  materialising the trace.")
-    Term.(const run $ verbose_arg $ metrics_arg $ workload $ limit $ point
-          $ no_decode_cache)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ workload
+          $ limit $ point $ no_decode_cache)
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let run verbose md top file =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    let r = Obs.Report.load_file file in
+    print_string
+      (Obs.Report.render ~top ~format:(if md then `Md else `Text) r);
+    0
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"RUN.jsonl"
+           ~doc:"A telemetry stream written by $(b,--metrics).")
+  in
+  let md =
+    Arg.(value & flag
+         & info [ "md"; "markdown" ]
+           ~doc:"Render GitHub-flavoured markdown tables instead of \
+                 aligned text.")
+  in
+  let top =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~docv:"N"
+           ~doc:"Slowest workload shards to list.")
+  in
+  Cmd.v (Cmd.info "report" ~exits:common_exits
+           ~doc:"Digest a --metrics telemetry stream into a run report: \
+                 the span tree with self vs total time, the per-family \
+                 candidate funnel, cache hit/stale rates and the slowest \
+                 shards. Unparseable lines are skipped and counted, \
+                 never fatal.")
+    Term.(const run $ verbose_arg $ md $ top $ file)
 
 (* ---- bugs / workloads listings ---- *)
 
@@ -610,4 +779,4 @@ let () =
   exit (Cmd.eval' (Cmd.group info
                      [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
                        campaign_cmd; verilog_cmd; fuzz_cmd; trace_cmd;
-                       bugs_cmd; workloads_cmd ]))
+                       report_cmd; bugs_cmd; workloads_cmd ]))

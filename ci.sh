@@ -15,6 +15,36 @@ dune exec bench/main.exe -- fig3 -j 2 --metrics
 test -s BENCH_pipeline.json
 test -s BENCH_metrics.jsonl
 dune exec bench/check_json.exe -- BENCH_pipeline.json BENCH_metrics.jsonl
+# Bench-trend gate: the synthetic-regression selftest must bite, the
+# fresh headline numbers append to the history, and the latest entry
+# must sit within 20% of the trailing median (fresh histories pass
+# trivially).
+dune exec bench/trend.exe -- selftest | tee /tmp/trend.out
+grep -q 'trend gate (synthetic 20% regression flagged): PASS' /tmp/trend.out
+dune exec bench/trend.exe -- record BENCH_pipeline.json
+dune exec bench/trend.exe -- check | tee /tmp/trendcheck.out
+grep -q 'trend gate (>20% below trailing median fails): PASS' /tmp/trendcheck.out
+# Flight-recorder gate: a provenance mine must attribute at least one
+# death per invariant family — candidate, killing workload, record —
+# while writing both telemetry artifacts in one run.
+rm -f /tmp/scif_run.jsonl /tmp/scif_run.trace.json
+dune exec bin/scifinder.exe -- mine -j 2 -w helloworld -w basicmath \
+  --explain "" --limit 3 --metrics /tmp/scif_run.jsonl \
+  --trace-out /tmp/scif_run.trace.json | tee /tmp/explain.out
+for fam in oneof mod relation diff scale; do
+  grep -q "^  $fam .*killed by .*(record " /tmp/explain.out
+done
+# The Chrome trace must validate structurally (strict parse, consistent
+# pids, non-negative timestamps/durations) and be Perfetto-loadable:
+# no mine.shard span may float as a root.
+dune exec bench/check_json.exe -- /tmp/scif_run.trace.json /tmp/scif_run.jsonl
+! grep -q '"name":"mine.shard".*"parent":null' /tmp/scif_run.trace.json
+# The report command digests the same stream: span tree, candidate
+# funnel, and zero skipped lines on our own telemetry.
+dune exec bin/scifinder.exe -- report /tmp/scif_run.jsonl | tee /tmp/report.out
+grep -q 'pipeline.mine' /tmp/report.out
+grep -q 'candidate funnel' /tmp/report.out
+grep -q 'skipped lines: 0' /tmp/report.out
 # Telemetry overhead budget: obsbench prints (and BENCH_pipeline.json
 # records) the estimated null-sink overhead; the gate is < 2%.
 dune exec bench/main.exe -- obsbench | tee /tmp/obsbench.out

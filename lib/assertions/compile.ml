@@ -155,7 +155,7 @@ type t = {
 let c_records = Obs.Metrics.counter "monitor.compiled.records"
 let c_evals = Obs.Metrics.counter "monitor.compiled.evaluations"
 let c_firings = Obs.Metrics.counter "monitor.compiled.firings"
-let h_run_ns = Obs.Metrics.histogram "monitor.compiled.run_ns"
+let h_run_ns = Obs.Metrics.histogram ~unit:"ns" "monitor.compiled.run_ns"
 
 let compile assertions =
   let battery = Array.of_list assertions in

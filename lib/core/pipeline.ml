@@ -65,11 +65,14 @@ module Cache = struct
   (* The shard key pins down the exact byte stream the tracer would
      produce plus how the engine would digest it: codec version, config
      fingerprint, and the workload's name, entry, tick period and full
-     program image. *)
-  let shard_key config (w : Workloads.Rt.t) =
+     program image. A provenance-mining run additionally folds in a
+     marker, so it never silently adopts a provenance-free snapshot
+     (whose death records would be missing) and vice versa. *)
+  let shard_key ~provenance config (w : Workloads.Rt.t) =
     let b = Buffer.create 4096 in
     Buffer.add_string b
       (Printf.sprintf "scifinder-shard/%d\n" Daikon.Engine.codec_version);
+    if provenance then Buffer.add_string b "provenance\n";
     Buffer.add_string b (Daikon.Config.canonical_string config);
     Buffer.add_string b
       (Printf.sprintf "\n%s entry=%d tick=%d\n" w.name w.entry w.tick_period);
@@ -82,14 +85,16 @@ module Cache = struct
 
   (* None means miss or stale — either way the caller re-traces and
      overwrites. Distinguishing the two only matters for telemetry. *)
-  let load_shard ~config dir (w : Workloads.Rt.t) =
+  let load_shard ~config ~provenance dir (w : Workloads.Rt.t) =
     let path = shard_path dir w.name in
     if not (Sys.file_exists path) then begin
       Obs.Metrics.incr c_cache_miss;
       None
     end
     else
-      match Daikon.Engine.load ~key:(shard_key config w) ~config path with
+      match
+        Daikon.Engine.load ~key:(shard_key ~provenance config w) ~config path
+      with
       | engine ->
         Obs.Metrics.incr c_cache_hit;
         Some engine
@@ -101,9 +106,10 @@ module Cache = struct
         Obs.Metrics.incr c_cache_miss;
         None
 
-  let save_shard ~config dir (w : Workloads.Rt.t) engine =
+  let save_shard ~config ~provenance dir (w : Workloads.Rt.t) engine =
     mkdir_p dir;
-    Daikon.Engine.save ~key:(shard_key config w) engine (shard_path dir w.name)
+    Daikon.Engine.save ~key:(shard_key ~provenance config w) engine
+      (shard_path dir w.name)
 end
 
 (* ---- Phase 1: invariant generation (§3.1, Figure 3, Table 8) ---- *)
@@ -116,12 +122,24 @@ type figure3_row = {
   total : int;
 }
 
+(* The flight-recorder readout of a provenance-enabled mining run: the
+   raw death trail, the eviction-proof per-family summary, and a
+   last-narrowed witness for every surviving invariant the engine can
+   attribute. *)
+type provenance_report = {
+  deaths : Daikon.Engine.death list;
+  deaths_dropped : int;
+  death_families : (string * int * Daikon.Engine.death option) list;
+  witnesses : (Expr.t * Daikon.Engine.witness) list;
+}
+
 type mining = {
   invariants : Expr.t list;         (* the raw invariant set *)
   figure3 : figure3_row list;
   record_count : int;
   trace_bytes : int;                (* §5.1's "26GB of trace data" analogue *)
   mnemonic_coverage : string list;  (* instructions never observed (want []) *)
+  prov : provenance_report option;  (* Some iff mined with ~provenance:true *)
   seconds : float;
 }
 
@@ -146,6 +164,8 @@ let resolve_exn ~workloads name =
   | None -> invalid_arg ("Pipeline.mine: unknown workload " ^ name)
 
 let trace_workload_into engine (w : Workloads.Rt.t) =
+  (* Name the workload for death attribution (no-op without provenance). *)
+  Daikon.Engine.set_workload engine w.Workloads.Rt.name;
   (* One span per workload shard, whichever domain it traces on. *)
   Obs.Span.with_ ~name:"mine.shard"
     ~attrs:[ ("workload", Obs.Sink.S w.Workloads.Rt.name) ]
@@ -161,19 +181,19 @@ let trace_workload_into engine (w : Workloads.Rt.t) =
    persists the shard BEFORE the caller merges it — [merge_into] adopts
    shard state by reference, so saving after the merge would snapshot a
    consumed engine. *)
-let mine_shard ~config ~cache_dir (w : Workloads.Rt.t) =
+let mine_shard ~config ~provenance ~cache_dir (w : Workloads.Rt.t) =
   match cache_dir with
   | None ->
-    let shard = Daikon.Engine.create ~config () in
+    let shard = Daikon.Engine.create ~config ~provenance () in
     trace_workload_into shard w;
     shard
   | Some dir ->
-    (match Cache.load_shard ~config dir w with
+    (match Cache.load_shard ~config ~provenance dir w with
      | Some shard -> shard
      | None ->
-       let shard = Daikon.Engine.create ~config () in
+       let shard = Daikon.Engine.create ~config ~provenance () in
        trace_workload_into shard w;
-       Cache.save_shard ~config dir w shard;
+       Cache.save_shard ~config ~provenance dir w shard;
        shard)
 
 (* Trace every named workload into a private shard engine on a bounded
@@ -181,8 +201,14 @@ let mine_shard ~config ~cache_dir (w : Workloads.Rt.t) =
    merge order — and therefore every extracted invariant set — is
    deterministic regardless of how the domains interleaved or which
    shards came from the cache. *)
-let mine_shards ~config ~jobs ~cache_dir ws =
-  Util.Parallel.map ~jobs (mine_shard ~config ~cache_dir) ws
+let mine_shards ~config ~provenance ~jobs ~cache_dir ws =
+  (* Capture the submitting span (pipeline.mine) here and re-install it
+     around each task, so shard spans parent correctly even when they
+     close on a pool domain whose own span stack is empty. *)
+  let parent = Obs.Span.current () in
+  Util.Parallel.map
+    ~wrap:(fun th -> Obs.Span.with_context parent th)
+    ~jobs (mine_shard ~config ~provenance ~cache_dir) ws
 
 (* ---- Corpus-level summary cache ----
 
@@ -203,7 +229,9 @@ let summary_key ~config ~groups ~labels =
     (fun group label ->
        Buffer.add_string b ("[" ^ label ^ "]");
        List.iter
-         (fun w -> Buffer.add_string b (Cache.shard_key config w ^ ";"))
+         (fun w ->
+            Buffer.add_string b
+              (Cache.shard_key ~provenance:false config w ^ ";"))
          group)
     groups labels;
   Digest.to_hex (Digest.string (Buffer.contents b))
@@ -274,7 +302,7 @@ let decode_summary ~key data =
         Some
           { invariants; figure3; record_count;
             trace_bytes = record_count * Trace.Var.total * 8;
-            mnemonic_coverage; seconds = 0.0 }
+            mnemonic_coverage; prov = None; seconds = 0.0 }
       end
     end
   with
@@ -308,8 +336,8 @@ let absorb_shard engine shard =
 
 (* The cold path: trace (or load cached shards), merge in corpus order,
    and snapshot the Figure 3 series group by group. *)
-let mine_cold ~config ~groups ~labels ~jobs ~cache_dir () =
-    let engine = Daikon.Engine.create ~config () in
+let mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir () =
+    let engine = Daikon.Engine.create ~config ~provenance () in
     (* jobs = 1 streams everything through the one engine, exactly the
        paper's sequential setup; jobs > 1 — or any cached run — mines
        per-workload shards and folds them into [engine] in the same
@@ -317,7 +345,7 @@ let mine_cold ~config ~groups ~labels ~jobs ~cache_dir () =
     let shards =
       if jobs <= 1 && cache_dir = None then None
       else
-        Some (mine_shards ~config ~jobs ~cache_dir
+        Some (mine_shards ~config ~provenance ~jobs ~cache_dir
                 (Array.of_list (List.concat groups)))
     in
     let idx = ref 0 in
@@ -362,11 +390,26 @@ let mine_cold ~config ~groups ~labels ~jobs ~cache_dir () =
          Obs.Metrics.add c_mine_deleted r.deleted)
       rows;
     publish_engine_stats engine;
+    let prov =
+      if not provenance then None
+      else
+        Some
+          { deaths = Daikon.Engine.deaths engine;
+            deaths_dropped = Daikon.Engine.deaths_dropped engine;
+            death_families = Daikon.Engine.death_families engine;
+            witnesses =
+              List.filter_map
+                (fun i ->
+                   Option.map (fun w -> (i, w))
+                     (Daikon.Engine.narrow_witness engine i))
+                invariants }
+    in
     { invariants;
       figure3 = rows;
       record_count;
       trace_bytes = record_count * Trace.Var.total * 8;
       mnemonic_coverage = missing_mnemonics engine;
+      prov;
       seconds = 0.0 }
 
 let mine ?(config = Daikon.Config.default)
@@ -374,12 +417,18 @@ let mine ?(config = Daikon.Config.default)
     ?(groups = Workloads.Suite.figure3_groups)
     ?(labels = Workloads.Suite.figure3_labels)
     ?(jobs = Util.Parallel.default_jobs ())
+    ?(provenance = false)
     ?cache_dir
     () =
   let groups = List.map (List.map (resolve_exn ~workloads)) groups in
   let body () =
     match cache_dir with
-    | None -> mine_cold ~config ~groups ~labels ~jobs ~cache_dir:None ()
+    (* The summary cache stores no provenance, so a provenance run only
+       uses the shard-level cache (whose key carries the marker). *)
+    | None ->
+      mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir:None ()
+    | Some _ when provenance ->
+      mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir ()
     | Some dir ->
       let key = summary_key ~config ~groups ~labels in
       (match load_summary dir ~key with
@@ -388,7 +437,9 @@ let mine ?(config = Daikon.Config.default)
          m
        | None ->
          Obs.Metrics.incr c_summary_miss;
-         let m = mine_cold ~config ~groups ~labels ~jobs ~cache_dir () in
+         let m =
+           mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir ()
+         in
          save_summary dir ~key m;
          m)
   in
@@ -399,18 +450,20 @@ let mine ?(config = Daikon.Config.default)
   { r with seconds }
 
 let mine_invariants ?(config = Daikon.Config.default)
-    ?(jobs = Util.Parallel.default_jobs ()) ?cache_dir ?names () =
+    ?(jobs = Util.Parallel.default_jobs ()) ?(provenance = false) ?cache_dir
+    ?names () =
   let names = match names with None -> Workloads.Suite.names | Some l -> l in
   let ws = List.map (resolve_exn ~workloads:[]) names in
   Obs.Span.with_ ~name:"pipeline.mine"
     ~attrs:[ ("jobs", Obs.Sink.I jobs) ]
     (fun () ->
-       let engine = Daikon.Engine.create ~config () in
+       let engine = Daikon.Engine.create ~config ~provenance () in
        if jobs <= 1 && cache_dir = None then
          List.iter (trace_workload_into engine) ws
        else
          Array.iter (absorb_shard engine)
-           (mine_shards ~config ~jobs ~cache_dir (Array.of_list ws));
+           (mine_shards ~config ~provenance ~jobs ~cache_dir
+              (Array.of_list ws));
        Obs.Metrics.add c_mine_records (Daikon.Engine.record_count engine);
        publish_engine_stats engine;
        Daikon.Engine.invariants engine)
@@ -627,6 +680,7 @@ type mutant_outcome = {
   trigger : string;    (* the detecting trigger, or the last one tried *)
   detected : bool;
   latency : int;       (* first-firing record index; -1 when undetected *)
+  assertion : string option;  (* the detecting assertion's battery name *)
 }
 
 type campaign_class = {
@@ -674,7 +728,7 @@ let campaign ?(seed = 42) ?(mutants = 200) ?(triggers = 48) ?(tries = 3)
              let w, clean_fired, _ = pool.((i + (j * 17)) mod triggers) in
              if j >= tries then
                { mutant = m; trigger = w.Workloads.Rt.name;
-                 detected = false; latency = -1 }
+                 detected = false; latency = -1; assertion = None }
              else begin
                let buggy =
                  Sci.Identify.capture_trigger ~fault:m.Bugs.Mutant.fault w
@@ -685,7 +739,9 @@ let campaign ?(seed = 42) ?(mutants = 200) ?(triggers = 48) ?(tries = 3)
                with
                | Some f ->
                  { mutant = m; trigger = w.Workloads.Rt.name;
-                   detected = true; latency = f.Assertions.Monitor.step }
+                   detected = true; latency = f.Assertions.Monitor.step;
+                   assertion =
+                     Some f.Assertions.Monitor.assertion.Assertions.Ovl.name }
                | None -> attempt (j + 1)
              end
            in

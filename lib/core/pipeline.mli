@@ -18,12 +18,24 @@ type figure3_row = {
   total : int;
 }
 
+(** Flight-recorder readout of a provenance-enabled run (see
+    {!Daikon.Engine.deaths}): the death trail, the eviction-proof
+    per-family summary, and the last-narrowed witness of every surviving
+    invariant the engine can attribute. *)
+type provenance_report = {
+  deaths : Daikon.Engine.death list;
+  deaths_dropped : int;
+  death_families : (string * int * Daikon.Engine.death option) list;
+  witnesses : (Invariant.Expr.t * Daikon.Engine.witness) list;
+}
+
 type mining = {
   invariants : Invariant.Expr.t list;  (** the raw invariant set *)
   figure3 : figure3_row list;
   record_count : int;
   trace_bytes : int;                   (** the "26 GB of trace data" analogue *)
   mnemonic_coverage : string list;     (** instructions never observed; want [] *)
+  prov : provenance_report option;     (** [Some] iff mined with provenance *)
   seconds : float;
 }
 
@@ -33,6 +45,7 @@ val mine :
   ?groups:string list list ->
   ?labels:string list ->
   ?jobs:int ->
+  ?provenance:bool ->
   ?cache_dir:string ->
   unit -> mining
 (** Trace the corpus cumulatively (default: the 17 programs in Figure 3
@@ -57,11 +70,20 @@ val mine :
     full result (Figure 3 rows, coverage, invariant set) is additionally
     cached as [mine-<key>.summary], so a fully warm run also skips
     merging and extraction. Cached and uncached runs produce
-    bit-identical results; all writes are atomic (temp file + rename). *)
+    bit-identical results; all writes are atomic (temp file + rename).
+
+    [provenance] (default false) turns on the flight recorder: the
+    result carries a {!provenance_report} and shard snapshots embed the
+    death records (codec v2). The shard cache key folds in a provenance
+    marker — provenance and provenance-free runs never adopt each
+    other's shards — and the summary-level cache is bypassed, since a
+    summary stores no provenance. The mined invariant set is identical
+    either way. *)
 
 val mine_invariants :
   ?config:Daikon.Config.t ->
   ?jobs:int ->
+  ?provenance:bool ->
   ?cache_dir:string ->
   ?names:string list ->
   unit -> Invariant.Expr.t list
@@ -128,6 +150,9 @@ type mutant_outcome = {
   trigger : string;  (** the detecting trigger, or the last one tried *)
   detected : bool;
   latency : int;     (** first-firing record index; [-1] when undetected *)
+  assertion : string option;
+      (** the battery name of the first-firing assertion — the evidence
+          trail [scifinder campaign --evidence] prints *)
 }
 
 type campaign_class = {

@@ -108,6 +108,74 @@ type point_state = {
   mutable n : int;
 }
 
+(* ---- Candidate-lifecycle provenance (the flight recorder) ----
+
+   Off by default and paid for only when on: [observe] dispatches once
+   per record on [t.prov], and the disabled path is the unchanged hot
+   loop below. When enabled, falsifications land in a bounded ring of
+   [death] records and narrowing events update a last-witness table, so
+   [scifinder mine --explain] can name the workload and record that
+   killed (or last constrained) a candidate.
+
+   The ring can evict under pressure, so two side tables are immune to
+   eviction: the first death per family and the per-family death
+   counts — the guarantee that at least one evidence trail per family
+   always survives, whatever the capacity. *)
+
+type death = {
+  d_point : string;
+  d_family : string;   (* oneof | mod | relation | diff | scale *)
+  d_desc : string;     (* the candidate, e.g. "diff(pre_PC, post_PC)" *)
+  d_workload : string; (* killing workload ("" before set_workload) *)
+  d_record : int;      (* engine-global record ordinal at death *)
+  d_tick : int;        (* record ordinal within the killing workload *)
+}
+
+type witness = {
+  w_workload : string;
+  w_record : int;
+  w_tick : int;
+}
+
+type prov = {
+  cap : int;
+  ring : death option array;  (* circular; None = never-written slot *)
+  mutable head : int;         (* next write position *)
+  mutable rlen : int;
+  mutable dropped : int;      (* deaths evicted or rejected (cap = 0) *)
+  first_death : (string, death) Hashtbl.t;  (* family -> earliest *)
+  death_counts : (string, int) Hashtbl.t;
+  (* candidate key -> last narrowing observation; keys are
+     "point|family|id" / "point|family|i|j" (i < j). *)
+  witnesses : (string, witness) Hashtbl.t;
+  births : (string, witness) Hashtbl.t;     (* point -> first record *)
+  mutable cur_workload : string;
+  mutable wrecords : int;     (* records seen in the current workload *)
+}
+
+let default_prov_capacity = 4096
+
+let make_prov capacity =
+  let cap = max 0 capacity in
+  { cap; ring = Array.make (max 1 cap) None; head = 0; rlen = 0;
+    dropped = 0; first_death = Hashtbl.create 7;
+    death_counts = Hashtbl.create 7; witnesses = Hashtbl.create 997;
+    births = Hashtbl.create 31; cur_workload = ""; wrecords = 0 }
+
+let ring_push p d =
+  if p.cap = 0 then p.dropped <- p.dropped + 1
+  else begin
+    if p.rlen = p.cap then p.dropped <- p.dropped + 1
+    else p.rlen <- p.rlen + 1;
+    p.ring.(p.head) <- Some d;
+    p.head <- (p.head + 1) mod p.cap
+  end
+
+let ring_contents p =
+  (* Oldest first. *)
+  List.init p.rlen (fun i ->
+      Option.get p.ring.((p.head - p.rlen + i + p.cap) mod p.cap))
+
 (* Program points are interned: [index] maps a point name to its slot in
    the dense [tab] array (insertion order), so the per-record work never
    rebuilds or re-sorts anything. [last] caches the most recently
@@ -123,11 +191,23 @@ type t = {
   mutable last : point_state option;
   mutable sorted : point_state list option;
   mutable nrecords : int;
+  mutable prov : prov option;
 }
 
-let create ?(config = Config.default) () =
+let create ?(config = Config.default) ?(provenance = false)
+    ?(prov_capacity = default_prov_capacity) () =
   { config; index = Hashtbl.create 97; tab = [||]; ntab = 0;
-    last = None; sorted = None; nrecords = 0 }
+    last = None; sorted = None; nrecords = 0;
+    prov = if provenance then Some (make_prov prov_capacity) else None }
+
+let provenance_enabled t = t.prov <> None
+
+let set_workload t name =
+  match t.prov with
+  | None -> ()
+  | Some p ->
+    p.cur_workload <- name;
+    p.wrecords <- 0
 
 let record_count t = t.nrecords
 let point_count t = t.ntab
@@ -334,7 +414,7 @@ let intern t (record : Trace.Record.t) =
   t.last <- Some st;
   st
 
-let observe t (record : Trace.Record.t) =
+let observe_fast t (record : Trace.Record.t) =
   t.nrecords <- t.nrecords + 1;
   let values = record.values in
   let st =
@@ -378,6 +458,119 @@ let observe t (record : Trace.Record.t) =
           Bytes.unsafe_set pflags k (Char.unsafe_chr (fl lor b))
       end else update_pair_slow st k fl b vi vj false
     done
+
+(* ---- Provenance bookkeeping helpers ---- *)
+
+let prov_key1 point family id = Printf.sprintf "%s|%s|%d" point family id
+
+let prov_key2 point family i j =
+  let i, j = if i <= j then (i, j) else (j, i) in
+  Printf.sprintf "%s|%s|%d|%d" point family i j
+
+let desc1 family id = Printf.sprintf "%s(%s)" family (Var.id_name id)
+
+let desc2 family i j =
+  Printf.sprintf "%s(%s, %s)" family (Var.id_name i) (Var.id_name j)
+
+let desc_mod id m = Printf.sprintf "mod(%s mod %d)" (Var.id_name id) m
+
+let record_death t p ~point ~family ~desc =
+  let d =
+    { d_point = point; d_family = family; d_desc = desc;
+      d_workload = p.cur_workload; d_record = t.nrecords;
+      d_tick = p.wrecords }
+  in
+  ring_push p d;
+  if not (Hashtbl.mem p.first_death family) then
+    Hashtbl.replace p.first_death family d;
+  Hashtbl.replace p.death_counts family
+    (1 + Option.value ~default:0 (Hashtbl.find_opt p.death_counts family))
+
+let record_narrow p ~record key =
+  Hashtbl.replace p.witnesses key
+    { w_workload = p.cur_workload; w_record = record; w_tick = p.wrecords }
+
+(* The provenance observe path. Same state transitions as [observe_fast]
+   — both funnel every live-candidate update through [update_pair_slow]
+   and [update_vstat], so engine state stays bit-identical whichever
+   path ran — plus pre/post diffing of each candidate to detect
+   narrowing and falsification as it happens. Only engines created with
+   [~provenance:true] ever enter here. *)
+let observe_prov t p (record : Trace.Record.t) =
+  t.nrecords <- t.nrecords + 1;
+  p.wrecords <- p.wrecords + 1;
+  let values = record.values in
+  let st =
+    match t.last with
+    | Some st when String.equal st.pname record.point -> st
+    | _ -> intern t record
+  in
+  let first = st.n = 0 in
+  st.n <- st.n + 1;
+  let point = st.pname in
+  if first then
+    Hashtbl.replace p.births point
+      { w_workload = p.cur_workload; w_record = t.nrecords;
+        w_tick = p.wrecords }
+  else begin
+    let vars = st.vars and dstats = st.dstats in
+    for k = 0 to Array.length vars - 1 do
+      let vs = dstats.(k) in
+      let id = vars.(k) in
+      let nd0 = vs.ndistinct and m40 = vs.mod4 and m20 = vs.mod2 in
+      let mn0 = vs.vmin and mx0 = vs.vmax in
+      update_vstat vs values.(id);
+      if vs.ndistinct <> nd0 then begin
+        if vs.ndistinct < 0 then
+          record_death t p ~point ~family:"oneof" ~desc:(desc1 "oneof" id)
+        else record_narrow p ~record:t.nrecords (prov_key1 point "oneof" id)
+      end;
+      if vs.vmin <> mn0 || vs.vmax <> mx0 then
+        record_narrow p ~record:t.nrecords (prov_key1 point "interval" id);
+      if vs.mod4 <> m40 then
+        record_death t p ~point ~family:"mod" ~desc:(desc_mod id 4);
+      if vs.mod2 <> m20 then
+        record_death t p ~point ~family:"mod" ~desc:(desc_mod id 2)
+    done
+  end;
+  let pmeta = st.pmeta and pflags = st.pflags in
+  let scale_mask_bits = (full_scale_mask lsl 6) lor full_scale_mask in
+  for k = 0 to st.npairs - 1 do
+    let m = Array.unsafe_get pmeta k in
+    let pi = m lsr 12 and pj = (m lsr 5) land 0x7f in
+    let vi = Array.unsafe_get values pi
+    and vj = Array.unsafe_get values pj in
+    let b = if vi < vj then r_lt else if vi = vj then r_eq else r_gt in
+    let fl = Char.code (Bytes.unsafe_get pflags k) in
+    if first then update_pair_slow st k fl b vi vj true
+    else begin
+      let s0 = st.pscale.(k) in
+      update_pair_slow st k fl b vi vj false;
+      let fl' = Char.code (Bytes.unsafe_get pflags k) in
+      if fl' land f_rel <> fl land f_rel then begin
+        if fl' land f_rel = f_rel then
+          record_death t p ~point ~family:"relation"
+            ~desc:(desc2 "relation" pi pj)
+        else
+          record_narrow p ~record:t.nrecords
+            (prov_key2 point "relation" pi pj)
+      end;
+      if fl land f_diff <> 0 && fl' land f_diff = 0 then
+        record_death t p ~point ~family:"diff" ~desc:(desc2 "diff" pi pj);
+      if fl land f_scale <> 0 then begin
+        if fl' land f_scale = 0 then
+          record_death t p ~point ~family:"scale"
+            ~desc:(desc2 "scale" pi pj)
+        else if (st.pscale.(k) lxor s0) land scale_mask_bits <> 0 then
+          record_narrow p ~record:t.nrecords (prov_key2 point "scale" pi pj)
+      end
+    end
+  done
+
+let observe t record =
+  match t.prov with
+  | None -> observe_fast t record
+  | Some p -> observe_prov t p record
 
 (* The pre-optimization observe shape, kept as the differential-testing
    reference: one string-keyed hash lookup per record, an option unwrap
@@ -477,7 +670,11 @@ let merge_pair dst src =
      is extractable anyway. *)
   dst.scale_nonzero <- dst.scale_nonzero + src.scale_nonzero
 
-let merge_point dst src =
+(* [t] is the engine owning [dst]; when it records provenance, a
+   candidate falsified by the join itself (the shards disagreed) gets a
+   death record labelled with the merge pseudo-workload [merge_into]
+   installed. *)
+let merge_point t dst src =
   if not (Array.length dst.vars = Array.length src.vars
           && Array.for_all2 ( = ) dst.vars src.vars
           && dst.npairs = src.npairs) then
@@ -485,35 +682,147 @@ let merge_point dst src =
       (Printf.sprintf "Daikon.Engine.merge: point %s has incompatible shapes"
          dst.pname);
   dst.n <- dst.n + src.n;
+  let point = dst.pname in
   Array.iter
     (fun id ->
        match dst.stats.(id), src.stats.(id) with
-       | Some d, Some s -> merge_vstat d s
+       | Some d, Some s ->
+         (match t.prov with
+          | None -> merge_vstat d s
+          | Some p ->
+            let nd0 = d.ndistinct and m40 = d.mod4 and m20 = d.mod2 in
+            merge_vstat d s;
+            if nd0 >= 0 && d.ndistinct < 0 then
+              record_death t p ~point ~family:"oneof"
+                ~desc:(desc1 "oneof" id);
+            if m40 >= 0 && d.mod4 < 0 then
+              record_death t p ~point ~family:"mod" ~desc:(desc_mod id 4);
+            if m20 >= 0 && d.mod2 < 0 then
+              record_death t p ~point ~family:"mod" ~desc:(desc_mod id 2))
        | _ -> invalid_arg "Daikon.Engine.merge: mismatched variable stats")
     dst.vars;
   for k = 0 to dst.npairs - 1 do
     let p = pair_view dst k and q = pair_view src k in
     if p.pi <> q.pi || p.pj <> q.pj then
       invalid_arg "Daikon.Engine.merge: mismatched pair trackers";
+    let rel0 = p.rel and dlive0 = p.diff_live in
+    let salive0 = p.scale_ij <> 0 || p.scale_ji <> 0 in
     merge_pair p q;
-    pair_store dst k p
+    pair_store dst k p;
+    (match t.prov with
+     | None -> ()
+     | Some pr ->
+       if p.rel <> rel0 && p.rel = f_rel then
+         record_death t pr ~point ~family:"relation"
+           ~desc:(desc2 "relation" p.pi p.pj);
+       if dlive0 && not p.diff_live then
+         record_death t pr ~point ~family:"diff"
+           ~desc:(desc2 "diff" p.pi p.pj);
+       if salive0 && p.scale_ij = 0 && p.scale_ji = 0
+          && p.policy land p_scale <> 0 then
+         record_death t pr ~point ~family:"scale"
+           ~desc:(desc2 "scale" p.pi p.pj))
   done
+
+(* Join two provenance states: src's ring entries precede any deaths the
+   point merge below will add; per-key tables keep dst's entry (corpus
+   order makes "first" deterministic) and sum the counts. *)
+let merge_prov dp sp =
+  dp.cur_workload <-
+    (if sp.cur_workload = "" then "(merge)" else "merge:" ^ sp.cur_workload);
+  dp.wrecords <- 0;
+  dp.dropped <- dp.dropped + sp.dropped;
+  List.iter (ring_push dp) (ring_contents sp);
+  Hashtbl.iter
+    (fun fam d ->
+       if not (Hashtbl.mem dp.first_death fam) then
+         Hashtbl.replace dp.first_death fam d)
+    sp.first_death;
+  Hashtbl.iter
+    (fun fam n ->
+       Hashtbl.replace dp.death_counts fam
+         (n + Option.value ~default:0 (Hashtbl.find_opt dp.death_counts fam)))
+    sp.death_counts;
+  Hashtbl.iter
+    (fun k w ->
+       if not (Hashtbl.mem dp.witnesses k) then
+         Hashtbl.replace dp.witnesses k w)
+    sp.witnesses;
+  Hashtbl.iter
+    (fun pt w ->
+       if not (Hashtbl.mem dp.births pt) then Hashtbl.replace dp.births pt w)
+    sp.births
 
 let merge_into dst src =
   if dst == src then invalid_arg "Daikon.Engine.merge_into: same engine";
   if dst.config <> src.config then
     invalid_arg "Daikon.Engine.merge_into: configurations differ";
   dst.nrecords <- dst.nrecords + src.nrecords;
+  (match dst.prov, src.prov with
+   | Some dp, Some sp -> merge_prov dp sp
+   | _ -> ());
   (* Walk src in interning (insertion) order — deterministic regardless
      of hash seed, unlike the Hashtbl.iter this replaces. *)
   for i = 0 to src.ntab - 1 do
     let sp = src.tab.(i) in
     match Hashtbl.find_opt dst.index sp.pname with
-    | Some slot -> merge_point dst.tab.(slot) sp
+    | Some slot -> merge_point dst dst.tab.(slot) sp
     | None -> add_point dst sp
   done
 
 let merge a b = merge_into a b; a
+
+(* ---- Provenance readout ---- *)
+
+let deaths t = match t.prov with None -> [] | Some p -> ring_contents p
+
+let deaths_dropped t =
+  match t.prov with None -> 0 | Some p -> p.dropped
+
+let death_families t =
+  match t.prov with
+  | None -> []
+  | Some p ->
+    Hashtbl.fold
+      (fun fam n acc -> (fam, n, Hashtbl.find_opt p.first_death fam) :: acc)
+      p.death_counts []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+(* Which tracked candidate an extracted invariant came from. Must follow
+   the extraction shapes in [extract_point]: constants and value sets
+   come from the oneof stats, Ge/Le bounds from the interval, Minus
+   pairs from the constant-diff tracker, Mul pairs from the scale
+   masks, and plain V-to-V comparisons from the relation bits. *)
+let candidate_key (inv : Expr.t) =
+  let point = inv.Expr.point in
+  match inv.Expr.body with
+  | Expr.In (Expr.V id, _) -> Some (prov_key1 point "oneof" id)
+  | Expr.Cmp (_, Expr.Mod (id, _), _) -> Some (prov_key1 point "mod" id)
+  | Expr.Cmp (Expr.Eq, Expr.V id, Expr.Imm _) ->
+    Some (prov_key1 point "oneof" id)
+  | Expr.Cmp ((Expr.Ge | Expr.Le), Expr.V id, Expr.Imm _) ->
+    Some (prov_key1 point "interval" id)
+  | Expr.Cmp (Expr.Eq, Expr.Bin (Expr.Minus, a, b), Expr.Imm _) ->
+    Some (prov_key2 point "diff" a b)
+  | Expr.Cmp (Expr.Eq, Expr.V a, Expr.Mul (b, _)) ->
+    Some (prov_key2 point "scale" a b)
+  | Expr.Cmp (_, Expr.V a, Expr.V b) -> Some (prov_key2 point "relation" a b)
+  | _ -> None
+
+let narrow_witness t inv =
+  match t.prov with
+  | None -> None
+  | Some p ->
+    let direct =
+      match candidate_key inv with
+      | Some key -> Hashtbl.find_opt p.witnesses key
+      | None -> None
+    in
+    (match direct with
+     | Some _ as w -> w
+     (* A candidate that never narrowed after birth is witnessed by the
+        record that instantiated it. *)
+     | None -> Hashtbl.find_opt p.births inv.Expr.point)
 
 (* ---- Candidate accounting (telemetry) ----
 
@@ -776,7 +1085,13 @@ let invariants t =
 exception Corrupt_snapshot of string
 exception Stale_snapshot of string
 
-let codec_version = 1
+(* Version 2 appends the flight-recorder (provenance) section to the
+   payload. Engines without provenance still encode as version 1, byte
+   for byte the format every earlier release wrote — so enabling the
+   feature never perturbs existing caches, and a provenance-free run
+   produces bit-identical snapshots to one built before the feature
+   existed. [decode] accepts both. *)
+let codec_version = 2
 let snapshot_magic = "SCIFSNAP"
 
 let encode_vstat w vs =
@@ -895,6 +1210,80 @@ let decode_config r : Config.t =
   { min_samples; order_min; ne_min; oneof_min; max_oneof; mod_min;
     scale_nonzero_min; max_diff }
 
+let encode_death w d =
+  Util.Binio.write_string w d.d_point;
+  Util.Binio.write_string w d.d_family;
+  Util.Binio.write_string w d.d_desc;
+  Util.Binio.write_string w d.d_workload;
+  Util.Binio.write_uint w d.d_record;
+  Util.Binio.write_uint w d.d_tick
+
+let decode_death r =
+  let d_point = Util.Binio.read_string r in
+  let d_family = Util.Binio.read_string r in
+  let d_desc = Util.Binio.read_string r in
+  let d_workload = Util.Binio.read_string r in
+  let d_record = Util.Binio.read_uint r in
+  let d_tick = Util.Binio.read_uint r in
+  { d_point; d_family; d_desc; d_workload; d_record; d_tick }
+
+let encode_witness w wt =
+  Util.Binio.write_string w wt.w_workload;
+  Util.Binio.write_uint w wt.w_record;
+  Util.Binio.write_uint w wt.w_tick
+
+let decode_witness r =
+  let w_workload = Util.Binio.read_string r in
+  let w_record = Util.Binio.read_uint r in
+  let w_tick = Util.Binio.read_uint r in
+  { w_workload; w_record; w_tick }
+
+(* Tables are dumped key-sorted so provenance snapshots stay canonical
+   (identical state -> identical bytes) like the rest of the payload. *)
+let encode_prov w p =
+  Util.Binio.write_string w p.cur_workload;
+  Util.Binio.write_uint w p.cap;
+  Util.Binio.write_uint w p.dropped;
+  let ds = ring_contents p in
+  Util.Binio.write_uint w (List.length ds);
+  List.iter (encode_death w) ds;
+  let dump tbl enc =
+    let kvs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Util.Binio.write_uint w (List.length kvs);
+    List.iter (fun (k, v) -> Util.Binio.write_string w k; enc v) kvs
+  in
+  dump p.first_death (encode_death w);
+  dump p.death_counts (Util.Binio.write_uint w);
+  dump p.witnesses (encode_witness w);
+  dump p.births (encode_witness w)
+
+let decode_prov r =
+  let cur_workload = Util.Binio.read_string r in
+  let cap = Util.Binio.read_uint r in
+  let dropped = Util.Binio.read_uint r in
+  let p = make_prov cap in
+  p.cur_workload <- cur_workload;
+  let nring = Util.Binio.read_uint r in
+  if nring > max 1 p.cap then
+    raise (Corrupt_snapshot "death ring larger than its capacity");
+  for _ = 1 to nring do ring_push p (decode_death r) done;
+  p.dropped <- dropped;
+  let load dec set =
+    let n = Util.Binio.read_uint r in
+    for _ = 1 to n do
+      let k = Util.Binio.read_string r in
+      set k (dec r)
+    done
+  in
+  load decode_death (Hashtbl.replace p.first_death);
+  load Util.Binio.read_uint (Hashtbl.replace p.death_counts);
+  load decode_witness (Hashtbl.replace p.witnesses);
+  load decode_witness (Hashtbl.replace p.births);
+  p
+
 let encode ?(key = "") t =
   let payload = Util.Binio.writer () in
   encode_config payload t.config;
@@ -902,10 +1291,15 @@ let encode ?(key = "") t =
   let pts = sorted_points t in
   Util.Binio.write_uint payload (List.length pts);
   List.iter (encode_point payload) pts;
+  let version =
+    match t.prov with
+    | None -> 1
+    | Some p -> encode_prov payload p; codec_version
+  in
   let payload = Util.Binio.contents payload in
   let header = Util.Binio.writer () in
   Util.Binio.write_raw header snapshot_magic;
-  Util.Binio.write_uint header codec_version;
+  Util.Binio.write_uint header version;
   Util.Binio.write_string header key;
   Util.Binio.write_string header (Digest.string payload);
   Util.Binio.write_uint header (String.length payload);
@@ -922,9 +1316,9 @@ let decode ?(key = "") ?config data =
   match
     let r = Util.Binio.reader (String.sub data mlen (String.length data - mlen)) in
     let version = Util.Binio.read_uint r in
-    if version <> codec_version then
+    if version < 1 || version > codec_version then
       raise (Stale_snapshot
-               (Printf.sprintf "codec version %d, want %d"
+               (Printf.sprintf "codec version %d, want 1..%d"
                   version codec_version));
     (* Keys compare as plain strings with "" the default: loading a
        keyed snapshot without presenting its key is itself stale — the
@@ -948,7 +1342,8 @@ let decode ?(key = "") ?config data =
     let npoints = Util.Binio.read_uint p in
     let t =
       { config = stored_config; index = Hashtbl.create (max 17 npoints);
-        tab = [||]; ntab = 0; last = None; sorted = None; nrecords }
+        tab = [||]; ntab = 0; last = None; sorted = None; nrecords;
+        prov = None }
     in
     for _ = 1 to npoints do
       let st = decode_point stored_config p in
@@ -956,6 +1351,7 @@ let decode ?(key = "") ?config data =
         raise (Corrupt_snapshot ("duplicate point " ^ st.pname));
       add_point t st
     done;
+    if version >= 2 then t.prov <- Some (decode_prov p);
     if not (Util.Binio.eof p) then
       raise (Corrupt_snapshot "trailing payload bytes");
     t

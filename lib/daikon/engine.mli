@@ -14,7 +14,14 @@
 
 type t
 
-val create : ?config:Config.t -> unit -> t
+val create :
+  ?config:Config.t -> ?provenance:bool -> ?prov_capacity:int -> unit -> t
+(** [provenance] (default [false]) turns on the flight recorder: every
+    candidate falsification is recorded as a {!death} (bounded ring of
+    [prov_capacity] entries, default 4096) and narrowing observations
+    update per-candidate {!witness}es. Off, the engine behaves — and
+    snapshots — exactly as before; the only cost is one branch per
+    {!observe}. *)
 
 val observe : t -> Trace.Record.t -> unit
 (** Feed one instruction-boundary record. Program points are interned
@@ -59,6 +66,55 @@ type family_stats = {
 
 val candidate_stats : t -> family_stats list
 
+(** {1 Candidate-lifecycle provenance (the flight recorder)}
+
+    Available when the engine was created with [~provenance:true];
+    every reader below degrades to the empty answer otherwise. *)
+
+(** One falsification: which candidate died, and what killed it. *)
+type death = {
+  d_point : string;
+  d_family : string;   (** [oneof], [mod], [relation], [diff] or [scale] *)
+  d_desc : string;     (** the candidate, over variable names *)
+  d_workload : string; (** workload being traced ([""] before
+                           {!set_workload}; ["merge:..."] when the
+                           shard join itself falsified it) *)
+  d_record : int;      (** engine-global record ordinal at death *)
+  d_tick : int;        (** record ordinal within that workload *)
+}
+
+(** The observation that last constrained a surviving candidate. *)
+type witness = {
+  w_workload : string;
+  w_record : int;
+  w_tick : int;
+}
+
+val provenance_enabled : t -> bool
+
+val set_workload : t -> string -> unit
+(** Name the workload about to be observed, so subsequent deaths and
+    witnesses carry it. Resets the per-workload record ordinal. No-op
+    without provenance. *)
+
+val deaths : t -> death list
+(** Ring contents, oldest first. The ring is bounded: under pressure the
+    oldest entries are evicted (see {!deaths_dropped}); the per-family
+    summary below is immune to eviction. *)
+
+val deaths_dropped : t -> int
+
+val death_families : t -> (string * int * death option) list
+(** Per family: total falsifications and the {e first} death — tracked
+    outside the ring, so at least one full evidence trail per family
+    always survives whatever the ring capacity. Sorted by family. *)
+
+val narrow_witness : t -> Invariant.Expr.t -> witness option
+(** The observation that last narrowed the candidate behind an extracted
+    invariant (falling back to the birth record of its program point
+    when it never narrowed after birth). [None] without provenance or
+    for invariant shapes the engine does not track. *)
+
 val record_count : t -> int
 
 val point_count : t -> int
@@ -85,6 +141,11 @@ exception Stale_snapshot of string
     key, or configuration — re-mine rather than trust it. *)
 
 val codec_version : int
+(** The newest version {!decode} accepts (older ones stay readable).
+    Engines without provenance encode as version 1 — byte-identical to
+    what pre-provenance releases wrote — so enabling the flight
+    recorder never invalidates or perturbs existing caches; engines
+    with provenance append it as a version-2 payload section. *)
 
 val save : ?key:string -> t -> string -> unit
 (** Write atomically (temp file + rename): a crashed or concurrent run

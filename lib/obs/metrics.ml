@@ -3,15 +3,16 @@
    histograms serialise on a per-instrument mutex (they are observed at
    per-phase / per-run cadence, not per record). *)
 
-type counter = { cname : string; n : int Atomic.t }
+type counter = { cname : string; cunit : string option; n : int Atomic.t }
 
-type gauge = { gname : string; level : float Atomic.t }
+type gauge = { gname : string; gunit : string option; level : float Atomic.t }
 
 (* Power-of-two bucket histogram: observation v lands in bucket
    floor(log2 v) (bucket 0 holds 0 and 1). 63 buckets cover the int
    range; percentile estimates report the bucket's upper bound. *)
 type histogram = {
   hname : string;
+  hunit : string option;
   lock : Mutex.t;
   buckets : int array;
   mutable count : int;
@@ -48,10 +49,12 @@ let kind_name = function
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
 
-let counter name =
+(* The unit is fixed by whoever registers the instrument first — it is
+   part of the declaration, like the kind, not per-call state. *)
+let counter ?unit name =
   find_or_register name
     (fun () ->
-       let c = { cname = name; n = Atomic.make 0 } in
+       let c = { cname = name; cunit = unit; n = Atomic.make 0 } in
        (c, Counter c))
     (function Counter c -> Some c | _ -> None)
     kind_name
@@ -60,10 +63,10 @@ let incr c = Atomic.incr c.n
 let add c k = ignore (Atomic.fetch_and_add c.n k)
 let counter_value c = Atomic.get c.n
 
-let gauge name =
+let gauge ?unit name =
   find_or_register name
     (fun () ->
-       let g = { gname = name; level = Atomic.make 0.0 } in
+       let g = { gname = name; gunit = unit; level = Atomic.make 0.0 } in
        (g, Gauge g))
     (function Gauge g -> Some g | _ -> None)
     kind_name
@@ -76,10 +79,10 @@ let rec set_max g v =
 
 let gauge_value g = Atomic.get g.level
 
-let histogram name =
+let histogram ?unit name =
   find_or_register name
     (fun () ->
-       let h = { hname = name; lock = Mutex.create ();
+       let h = { hname = name; hunit = unit; lock = Mutex.create ();
                  buckets = Array.make 63 0;
                  count = 0; sum = 0; hmin = max_int; hmax = min_int } in
        (h, Histogram h))
@@ -121,12 +124,17 @@ type snapshot = {
   attrs : (string * Sink.value) list;
 }
 
+let unit_attr = function
+  | None -> []
+  | Some u -> [ ("unit", Sink.S u) ]
+
 let snapshot_of = function
   | Counter c ->
     { metric = c.cname; kind = "counter";
-      value = float_of_int (Atomic.get c.n); attrs = [] }
+      value = float_of_int (Atomic.get c.n); attrs = unit_attr c.cunit }
   | Gauge g ->
-    { metric = g.gname; kind = "gauge"; value = Atomic.get g.level; attrs = [] }
+    { metric = g.gname; kind = "gauge"; value = Atomic.get g.level;
+      attrs = unit_attr g.gunit }
   | Histogram h ->
     Mutex.protect h.lock (fun () ->
         let mean =
@@ -142,7 +150,9 @@ let snapshot_of = function
               ("max", Sink.I (if h.count = 0 then 0 else h.hmax));
               ("mean", Sink.F mean);
               ("p50", Sink.I (percentile_estimate h 0.50));
-              ("p95", Sink.I (percentile_estimate h 0.95)) ] })
+              ("p95", Sink.I (percentile_estimate h 0.95));
+              ("p99", Sink.I (percentile_estimate h 0.99)) ]
+            @ unit_attr h.hunit })
 
 let snapshot () =
   let all =

@@ -12,19 +12,23 @@ type counter
 type gauge
 type histogram
 
-val counter : string -> counter
+val counter : ?unit:string -> string -> counter
+(** [unit] (e.g. ["ns"], ["bytes"]) is declared by the first registrant
+    and lands in the snapshot's [unit] attr; later registrations of the
+    same name ignore it. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val counter_value : counter -> int
 
-val gauge : string -> gauge
+val gauge : ?unit:string -> string -> gauge
 val set : gauge -> float -> unit
 val set_max : gauge -> float -> unit
 (** Monotonic high-water update (compare-and-swap loop). *)
 
 val gauge_value : gauge -> float
 
-val histogram : string -> histogram
+val histogram : ?unit:string -> string -> histogram
 val observe : histogram -> int -> unit
 (** Record one non-negative integer observation (typically nanoseconds). *)
 
@@ -34,8 +38,9 @@ type snapshot = {
   kind : string;     (** ["counter"], ["gauge"] or ["histogram"] *)
   value : float;     (** count / level / observation count *)
   attrs : (string * Sink.value) list;
-      (** histograms: [count], [sum], [min], [max], [mean], [p50], [p95]
-          (bucketed estimates for the percentiles) *)
+      (** histograms: [count], [sum], [min], [max], [mean], [p50], [p95],
+          [p99] (bucketed estimates for the percentiles); every kind adds
+          [unit] when the instrument declared one *)
 }
 
 val snapshot : unit -> snapshot list

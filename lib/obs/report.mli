@@ -1,0 +1,47 @@
+(** Offline run reports from telemetry JSONL.
+
+    [scifinder report RUN.jsonl] digests the stream written by
+    [--metrics] into a phase tree (total vs self time), the per-family
+    candidate funnel, cache hit/stale rates and the slowest workload
+    shards.
+
+    The reader assumes hostile input: lines that are truncated, contain
+    numbers JSON cannot express (NaN, infinities), or carry an unknown
+    ["type"] are counted into {!run.skipped} (and the process-wide
+    [json.skipped] counter) and otherwise ignored — {!load_lines} never
+    raises. *)
+
+type span = {
+  sname : string;
+  sparent : string option;
+  sdur_ns : float;
+  sattrs : (string * Json.t) list;
+}
+
+type metric = {
+  mname : string;
+  mkind : string;
+  mvalue : float;
+  mattrs : (string * Json.t) list;
+}
+
+type run = {
+  spans : span list;    (** in stream order *)
+  metrics : metric list;
+  skipped : int;        (** non-blank lines rejected by the reader *)
+  total : int;          (** non-blank lines seen *)
+}
+
+val load_lines : string list -> run
+(** Parse one event per line, skip-and-count everything else. Total
+    function: no input makes it raise. *)
+
+val load_file : string -> run
+(** {!load_lines} over a file's lines. Raises [Sys_error] only if the
+    file cannot be opened — unreadable {e content} is handled by
+    skip-and-count. *)
+
+val render : ?top:int -> ?format:[ `Text | `Md ] -> run -> string
+(** The report. [top] bounds the slowest-shards table (default 5);
+    [`Md] renders GitHub-flavoured markdown tables instead of aligned
+    text. *)

@@ -42,6 +42,17 @@ let flush t = t.flush ()
 let close t = t.close ()
 let is_null t = t.null
 
+(* Fan one event stream out to two sinks (--metrics plus --trace-out).
+   Null composes away so [enabled] stays accurate. *)
+let tee a b =
+  if a.null then b
+  else if b.null then a
+  else
+    { emit = (fun ev -> a.emit ev; b.emit ev);
+      flush = (fun () -> a.flush (); b.flush ());
+      close = (fun () -> a.close (); b.close ());
+      null = false }
+
 (* ---- JSON encoding ---- *)
 
 let buf_add_json_string b s =

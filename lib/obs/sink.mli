@@ -58,11 +58,23 @@ val memory : unit -> t * (unit -> event list)
 (** An in-memory recording sink and its (emission-ordered) reader — for
     tests. *)
 
+val tee : t -> t -> t
+(** [tee a b] forwards every event (and flush/close) to both sinks, in
+    order. {!null} is an identity: [tee null s] is [s]. *)
+
 val json_of_event : event -> string
 (** The JSONL schema, one object per event with fixed key order:
     [{"type":"span","name":..,"parent":..,"domain":..,"start_ns":..,
       "dur_ns":..,"attrs":{..}}] and
     [{"type":"metric","name":..,"kind":..,"value":..,"attrs":{..}}]. *)
+
+val buf_add_json_string : Buffer.t -> string -> unit
+(** JSON string escaping as {!json_of_event} does it — shared with the
+    other JSON writers in the tree ([Trace_event], the bench harness). *)
+
+val buf_add_json_float : Buffer.t -> float -> unit
+(** Always valid JSON: NaN/infinities become [null], integral floats
+    keep a trailing digit. *)
 
 val emit : t -> event -> unit
 val flush : t -> unit

@@ -5,10 +5,26 @@
 let stack_key : string list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* The inherited context: a parent adopted from *another* domain. A
+   fresh worker domain starts with an empty stack, so a span it opens
+   used to be a root even when, logically, it ran inside the caller's
+   phase span (the "parent":null shard spans). [Util.Parallel] callers
+   capture [current ()] at submission and re-establish it on the worker
+   with [with_context]; the cell only matters while the local stack is
+   empty — a locally enclosing span always wins. *)
+let inherited_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let current () =
   match !(Domain.DLS.get stack_key) with
-  | [] -> None
+  | [] -> !(Domain.DLS.get inherited_key)
   | name :: _ -> Some name
+
+let with_context parent f =
+  let cell = Domain.DLS.get inherited_key in
+  let saved = !cell in
+  cell := parent;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 let close ~name ~parent ~attrs ~start_ns ~dur_ns stack =
   (* Defensive pop: tolerate a callee that unbalanced the stack rather
@@ -30,7 +46,11 @@ let close ~name ~parent ~attrs ~start_ns ~dur_ns stack =
 
 let timed ?(attrs = []) ~name f =
   let stack = Domain.DLS.get stack_key in
-  let parent = match !stack with [] -> None | p :: _ -> Some p in
+  let parent =
+    match !stack with
+    | [] -> !(Domain.DLS.get inherited_key)
+    | p :: _ -> Some p
+  in
   stack := name :: !stack;
   let start_ns = Clock.now_ns () in
   match f () with

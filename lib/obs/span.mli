@@ -3,8 +3,10 @@
     Each domain keeps its own span stack (domain-local storage), so spans
     opened inside [Util.Parallel] workers nest within that worker and can
     never corrupt the calling domain's stack. A span's [parent] is the
-    span enclosing it {e in the same domain}; worker-domain spans are
-    roots of their own domain.
+    span enclosing it {e in the same domain}, falling back to the
+    {!with_context}-inherited parent when the local stack is empty — how
+    a shard span opened on a pool domain still parents to the phase span
+    that submitted it.
 
     Spans are emitted to the global {!Sink} when they close (children
     therefore appear before their parents in the event stream), and cost
@@ -23,4 +25,13 @@ val timed :
     record field. *)
 
 val current : unit -> string option
-(** The innermost open span of the calling domain, if any. *)
+(** The innermost open span of the calling domain, or the inherited
+    context when none is open locally. *)
+
+val with_context : string option -> (unit -> 'a) -> 'a
+(** [with_context parent f] runs [f] with [parent] as the fallback
+    parent for spans whose enclosing stack is empty — the bridge that
+    carries span parentage across [Util.Parallel] task submission.
+    Capture [current ()] in the submitting domain, wrap the task body in
+    the worker. Restores the previous context when [f] returns or
+    raises; a span already open in the worker still wins. *)

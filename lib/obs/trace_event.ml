@@ -1,0 +1,108 @@
+(* Chrome trace-event JSON rendering. The sink buffers the event stream
+   and renders the whole trace on close: trace files need a global
+   timestamp origin (so the viewer opens near t=0) and a closing
+   wrapper, neither of which can be streamed line-by-line the way the
+   JSONL sink does. One event object per line keeps the output
+   greppable and lets the CI validator parse it strictly. *)
+
+let add_value b = function
+  | Sink.I n -> Buffer.add_string b (string_of_int n)
+  | Sink.F f -> Sink.buf_add_json_float b f
+  | Sink.S s -> Sink.buf_add_json_string b s
+  | Sink.B v -> Buffer.add_string b (if v then "true" else "false")
+
+let render events =
+  (* Normalise timestamps to the earliest span start so [ts] is small
+     and non-negative; metrics (flushed once at end of run) sit at the
+     end of the timeline. *)
+  let t0 = ref Int64.max_int and t_end = ref 0L in
+  let domains = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Sink.Span { domain; start_ns; dur_ns; _ } ->
+        if start_ns < !t0 then t0 := start_ns;
+        let e = Int64.add start_ns dur_ns in
+        if e > !t_end then t_end := e;
+        Hashtbl.replace domains domain ()
+      | Sink.Metric _ -> ())
+    events;
+  let t0 = if !t0 = Int64.max_int then 0L else !t0 in
+  let us ns = Int64.to_float (Int64.sub ns t0) /. 1e3 in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let line add =
+    if !first then first := false else Buffer.add_string b ",\n";
+    add ()
+  in
+  (* Metadata events so Perfetto labels the process and one track per
+     mining domain. *)
+  line (fun () ->
+      Buffer.add_string b
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0.0,\"pid\":1,\
+         \"tid\":0,\"args\":{\"name\":\"scifinder\"}}");
+  let tids =
+    List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) domains [])
+  in
+  List.iter
+    (fun d ->
+       line (fun () ->
+           Buffer.add_string b
+             (Printf.sprintf
+                "{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.0,\
+                 \"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+                d d)))
+    tids;
+  List.iter
+    (function
+      | Sink.Span { name; parent; domain; start_ns; dur_ns; attrs } ->
+        line (fun () ->
+            Buffer.add_string b "{\"name\":";
+            Sink.buf_add_json_string b name;
+            Buffer.add_string b ",\"cat\":\"span\",\"ph\":\"X\",\"ts\":";
+            Buffer.add_string b (Printf.sprintf "%.3f" (us start_ns));
+            Buffer.add_string b ",\"dur\":";
+            Buffer.add_string b
+              (Printf.sprintf "%.3f" (Int64.to_float dur_ns /. 1e3));
+            Buffer.add_string b
+              (Printf.sprintf ",\"pid\":1,\"tid\":%d,\"args\":{\"parent\":"
+                 domain);
+            (match parent with
+             | Some p -> Sink.buf_add_json_string b p
+             | None -> Buffer.add_string b "null");
+            List.iter
+              (fun (k, v) ->
+                 Buffer.add_char b ',';
+                 Sink.buf_add_json_string b k;
+                 Buffer.add_char b ':';
+                 add_value b v)
+              attrs;
+            Buffer.add_string b "}}")
+      | Sink.Metric { name; kind; value; attrs = _ } ->
+        line (fun () ->
+            Buffer.add_string b "{\"name\":";
+            Sink.buf_add_json_string b name;
+            Buffer.add_string b ",\"cat\":";
+            Sink.buf_add_json_string b kind;
+            Buffer.add_string b ",\"ph\":\"C\",\"ts\":";
+            Buffer.add_string b (Printf.sprintf "%.3f" (us !t_end));
+            Buffer.add_string b ",\"pid\":1,\"tid\":0,\"args\":{\"value\":";
+            Sink.buf_add_json_float b value;
+            Buffer.add_string b "}}"))
+    events;
+  Buffer.add_string b "\n],\n\"displayTimeUnit\":\"ns\"}\n";
+  Buffer.contents b
+
+let sink path =
+  let lock = Mutex.create () in
+  let events = ref [] in
+  Sink.make
+    ~emit:(fun ev -> Mutex.protect lock (fun () -> events := ev :: !events))
+    ~close:(fun () ->
+        Mutex.protect lock (fun () ->
+            let evs = List.rev !events in
+            events := [];
+            let oc = open_out path in
+            output_string oc (render evs);
+            close_out oc))
+    ()

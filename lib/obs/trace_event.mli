@@ -1,0 +1,24 @@
+(** Chrome trace-event JSON sink.
+
+    Renders the span/counter stream in the
+    {{:https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU}
+    trace-event format} that [chrome://tracing] and Perfetto load
+    directly: spans become complete ([ph:"X"]) duration events — one
+    track ([tid]) per mining domain — and metrics become counter
+    ([ph:"C"]) events. Timestamps are microseconds relative to the
+    earliest span start.
+
+    Behind [scifinder --trace-out trace.json]; usually installed
+    alongside the JSONL sink with {!Sink.tee}. *)
+
+val sink : string -> Sink.t
+(** [sink path] buffers every event and writes the complete trace JSON
+    to [path] when the sink is closed (the wrapper object and the
+    timestamp origin need the whole stream). Nothing is written if the
+    sink is never closed. *)
+
+val render : Sink.event list -> string
+(** Render an event list as a complete trace document — one event object
+    per line inside ["traceEvents"]. Exposed for tests and for
+    {!sink}. Counter events are pinned to the end of the span timeline
+    (metrics flush once, at end of run). *)

@@ -33,7 +33,7 @@ let index invariants =
    (per bug-trigger pass), never per record. *)
 let c_records = Obs.Metrics.counter "checker.records"
 let c_violations = Obs.Metrics.counter "checker.violations"
-let h_eval_ns = Obs.Metrics.histogram "checker.eval_ns"
+let h_eval_ns = Obs.Metrics.histogram ~unit:"ns" "checker.eval_ns"
 
 (* All distinct invariants violated anywhere in [records]. *)
 let violations idx records =

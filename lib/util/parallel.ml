@@ -8,10 +8,10 @@
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map ~jobs f tasks =
+let map ?(wrap = fun th -> th ()) ~jobs f tasks =
   let n = Array.length tasks in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then Array.map f tasks
+  if jobs <= 1 then Array.map (fun t -> wrap (fun () -> f t)) tasks
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -19,7 +19,7 @@ let map ~jobs f tasks =
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f tasks.(i) with
+          (match wrap (fun () -> f tasks.(i)) with
            | r -> results.(i) <- Some (Ok r)
            | exception e -> results.(i) <- Some (Error e));
           go ()

@@ -3,9 +3,19 @@
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?wrap:((unit -> 'b) -> 'b) -> jobs:int -> ('a -> 'b) -> 'a array ->
+  'b array
 (** [map ~jobs f tasks] applies [f] to every task on a pool of at most
     [jobs] domains (clamped to [\[1, Array.length tasks\]]) and returns
     the results in task order. [f] must not share mutable state across
     tasks. With [jobs <= 1] this is [Array.map]. If any task raises, one
-    of the raised exceptions is re-raised after all workers finish. *)
+    of the raised exceptions is re-raised after all workers finish.
+
+    [wrap] (default: plain application) is applied around every task
+    invocation, on the domain the task runs on — the hook for callers
+    to install per-task domain-local context (e.g.
+    [Obs.Span.with_context], so spans opened inside tasks parent to
+    the span that submitted them). It runs on the [jobs <= 1] path
+    too, so instrumentation does not change shape with the pool
+    size. *)

@@ -66,6 +66,26 @@ let test_span_timed () =
   Alcotest.(check int) "timed returns the value" 7 v;
   Alcotest.(check bool) "monotonic duration" true (secs >= 0.0)
 
+let test_span_context () =
+  let sink, read = Obs.Sink.memory () in
+  with_sink sink (fun () ->
+      Obs.Span.with_context (Some "submitter") (fun () ->
+          Alcotest.(check (option string)) "context visible via current"
+            (Some "submitter") (Obs.Span.current ());
+          Obs.Span.with_ ~name:"child" (fun () ->
+              Obs.Span.with_ ~name:"grand" (fun () -> ())));
+      Alcotest.(check (option string)) "context restored" None
+        (Obs.Span.current ()));
+  match span_events (read ()) with
+  | [ ("grand", pg, _); ("child", pc, _) ] ->
+    Alcotest.(check (option string))
+      "empty local stack inherits the context" (Some "submitter") pc;
+    Alcotest.(check (option string)) "an open local span still wins"
+      (Some "child") pg
+  | evs ->
+    Alcotest.failf "expected [grand; child], got %d span events"
+      (List.length evs)
+
 (* ---- counters under Util.Parallel ---- *)
 
 let test_counter_across_domains () =
@@ -134,7 +154,30 @@ let test_histogram_snapshot () =
   (* Bucketed estimates: upper bound of the rank's power-of-two bucket,
      clamped to the observed max. *)
   Alcotest.(check bool) "p50 estimate" true (attr "p50" = Obs.Sink.I 3);
-  Alcotest.(check bool) "p95 estimate" true (attr "p95" = Obs.Sink.I 100)
+  Alcotest.(check bool) "p95 estimate" true (attr "p95" = Obs.Sink.I 100);
+  Alcotest.(check bool) "p99 estimate" true (attr "p99" = Obs.Sink.I 100);
+  Alcotest.(check bool) "no unit attr unless declared" true
+    (List.assoc_opt "unit" s.attrs = None)
+
+let test_histogram_unit () =
+  let h = Obs.Metrics.histogram ~unit:"ns" "test.obs.hist_ns" in
+  Obs.Metrics.observe h 5;
+  let s =
+    List.find
+      (fun (s : Obs.Metrics.snapshot) -> s.metric = "test.obs.hist_ns")
+      (Obs.Metrics.snapshot ())
+  in
+  Alcotest.(check bool) "unit rides in the snapshot attrs" true
+    (List.assoc_opt "unit" s.attrs = Some (Obs.Sink.S "ns"));
+  let c = Obs.Metrics.counter ~unit:"bytes" "test.obs.counter_bytes" in
+  Obs.Metrics.add c 9;
+  let sc =
+    List.find
+      (fun (s : Obs.Metrics.snapshot) -> s.metric = "test.obs.counter_bytes")
+      (Obs.Metrics.snapshot ())
+  in
+  Alcotest.(check bool) "counters carry units too" true
+    (List.assoc_opt "unit" sc.attrs = Some (Obs.Sink.S "bytes"))
 
 let test_counter_kind_collision () =
   ignore (Obs.Metrics.counter "test.obs.collision");
@@ -168,13 +211,24 @@ let test_json_golden () =
     ("{\"type\":\"metric\",\"name\":\"mine.records\",\"kind\":\"counter\","
      ^ "\"value\":23931.0,\"attrs\":{}}")
     (Obs.Sink.json_of_event metric);
-  (* Both golden lines re-parse with the bundled reader. *)
+  let hist =
+    Obs.Sink.Metric
+      { name = "daikon.observe_ns"; kind = "histogram"; value = 4.0;
+        attrs =
+          [ ("p99", Obs.Sink.I 100); ("unit", Obs.Sink.S "ns") ] }
+  in
+  Alcotest.(check string) "histogram snapshot with p99 and unit"
+    ("{\"type\":\"metric\",\"name\":\"daikon.observe_ns\","
+     ^ "\"kind\":\"histogram\",\"value\":4.0,"
+     ^ "\"attrs\":{\"p99\":100,\"unit\":\"ns\"}}")
+    (Obs.Sink.json_of_event hist);
+  (* All golden lines re-parse with the bundled reader. *)
   List.iter
     (fun ev ->
        match Obs.Json.parse (Obs.Sink.json_of_event ev) with
        | Ok _ -> ()
        | Error e -> Alcotest.failf "golden line does not re-parse: %s" e)
-    [ span; metric ]
+    [ span; metric; hist ]
 
 let test_json_parser () =
   (match Obs.Json.parse "{\"a\":[1,true,null,\"x\"],\"b\":-2.5e1}" with
@@ -228,14 +282,160 @@ let test_pipeline_sink_neutral () =
          | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e
          | Ok j ->
            (match Obs.Json.(member "type" j, member "name" j) with
-            | Some (Obs.Json.Str t), Some (Obs.Json.Str n) -> (t, n)
+            | Some (Obs.Json.Str t), Some (Obs.Json.Str n) ->
+              (t, n, Obs.Json.member "parent" j)
             | _ -> Alcotest.failf "line missing type/name: %s" line))
       (read_lines path)
   in
   Sys.remove path;
-  let spans n = List.length (List.filter (( = ) ("span", n)) names) in
+  let spans n =
+    List.length (List.filter (fun (t, m, _) -> t = "span" && m = n) names)
+  in
   Alcotest.(check int) "one pipeline.mine span" 1 (spans "pipeline.mine");
-  Alcotest.(check int) "one shard span per workload" 2 (spans "mine.shard")
+  Alcotest.(check int) "one shard span per workload" 2 (spans "mine.shard");
+  (* Cross-domain parenting: shard spans run on pool domains, yet every
+     one must still parent to the submitting pipeline.mine span (none
+     may float as a root). *)
+  List.iter
+    (fun (t, n, parent) ->
+       if t = "span" && n = "mine.shard" then
+         Alcotest.(check bool) "mine.shard parents to pipeline.mine" true
+           (parent = Some (Obs.Json.Str "pipeline.mine")))
+    names
+
+(* ---- Chrome trace-event rendering ---- *)
+
+let test_trace_event_render () =
+  let events =
+    [ Obs.Sink.Span
+        { name = "child"; parent = Some "root"; domain = 1;
+          start_ns = 3_000L; dur_ns = 1_000L;
+          attrs = [ ("workload", Obs.Sink.S "pi") ] };
+      Obs.Sink.Span
+        { name = "root"; parent = None; domain = 0; start_ns = 1_000L;
+          dur_ns = 5_000L; attrs = [] };
+      Obs.Sink.Metric
+        { name = "mine.records"; kind = "counter"; value = 7.0; attrs = [] }
+    ]
+  in
+  let doc =
+    match Obs.Json.parse (Obs.Trace_event.render events) with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "trace does not parse: %s" e
+  in
+  let evs =
+    match Obs.Json.member "traceEvents" doc with
+    | Some (Obs.Json.Arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let str k ev =
+    match Obs.Json.member k ev with
+    | Some (Obs.Json.Str s) -> Some s
+    | _ -> None
+  in
+  let num k ev =
+    match Obs.Json.member k ev with
+    | Some (Obs.Json.Num f) -> Some f
+    | _ -> None
+  in
+  let phase p = List.filter (fun ev -> str "ph" ev = Some p) evs in
+  (* process_name + one thread_name per domain, both spans, one counter. *)
+  Alcotest.(check int) "metadata events" 3 (List.length (phase "M"));
+  Alcotest.(check int) "complete spans" 2 (List.length (phase "X"));
+  Alcotest.(check int) "counter events" 1 (List.length (phase "C"));
+  let span name =
+    List.find (fun ev -> str "name" ev = Some name) (phase "X")
+  in
+  (* Timestamps are normalized to the earliest span start, in us. *)
+  Alcotest.(check (option (float 1e-9))) "root at t0" (Some 0.0)
+    (num "ts" (span "root"));
+  Alcotest.(check (option (float 1e-9))) "child offset 2us" (Some 2.0)
+    (num "ts" (span "child"));
+  Alcotest.(check (option (float 1e-9))) "child duration 1us" (Some 1.0)
+    (num "dur" (span "child"));
+  Alcotest.(check bool) "child keeps its parent attr" true
+    (match Obs.Json.member "args" (span "child") with
+     | Some args ->
+       Obs.Json.member "parent" args = Some (Obs.Json.Str "root")
+       && Obs.Json.member "workload" args = Some (Obs.Json.Str "pi")
+     | None -> false);
+  List.iter
+    (fun ev ->
+       Alcotest.(check bool) "non-negative ts" true
+         (match num "ts" ev with Some t -> t >= 0.0 | None -> false))
+    evs
+
+(* ---- the report reader under hostile input ---- *)
+
+let test_report_hostile () =
+  let good_span =
+    "{\"type\":\"span\",\"name\":\"pipeline.mine\",\"parent\":null,"
+    ^ "\"domain\":0,\"start_ns\":1,\"dur_ns\":5000000,\"attrs\":{}}"
+  and good_metric =
+    "{\"type\":\"metric\",\"name\":\"mine.cache.hit\",\"kind\":\"counter\","
+    ^ "\"value\":2.0,\"attrs\":{}}"
+  in
+  let hostile =
+    [ "{\"type\":\"span\",\"name\":\"trunc";                (* truncated *)
+      "{\"type\":\"metric\",\"name\":\"n\",\"kind\":\"counter\","
+      ^ "\"value\":NaN,\"attrs\":{}}";                      (* NaN literal *)
+      "{\"type\":\"wat\",\"name\":\"x\"}";                  (* unknown type *)
+      String.make 8192 '[';                                 (* huge nesting *)
+      "[1,2,3]";                                            (* not an object *)
+      "{\"type\":\"span\",\"name\":\"no_duration\"}"        (* missing field *)
+    ]
+  in
+  let skip_counter = Obs.Metrics.counter "json.skipped" in
+  let before = Obs.Metrics.counter_value skip_counter in
+  let run =
+    Obs.Report.load_lines
+      ((good_span :: hostile) @ [ ""; "  "; good_metric ])
+  in
+  Alcotest.(check int) "one span survives" 1 (List.length run.spans);
+  Alcotest.(check int) "one metric survives" 1 (List.length run.metrics);
+  Alcotest.(check int) "every hostile line skip-and-counted" 6 run.skipped;
+  Alcotest.(check int) "blank lines are not lines" 8 run.total;
+  Alcotest.(check int) "json.skipped counter advanced" 6
+    (Obs.Metrics.counter_value skip_counter - before);
+  (* And the renderer works over whatever survived — both formats. *)
+  List.iter
+    (fun format ->
+       let text = Obs.Report.render ~format run in
+       Alcotest.(check bool) "report mentions the skip count" true
+         (String.length text > 0
+          && (let found = ref false in
+              String.iteri
+                (fun i _ ->
+                   if i + 7 <= String.length text
+                   && String.equal (String.sub text i 7) "skipped" then
+                     found := true)
+                text;
+              !found)))
+    [ `Text; `Md ]
+
+let test_report_funnel () =
+  let gauge fam field v =
+    Printf.sprintf
+      "{\"type\":\"metric\",\"name\":\"daikon.candidates.%s.%s\",\
+       \"kind\":\"gauge\",\"value\":%.1f,\"attrs\":{}}"
+      fam field v
+  in
+  let run =
+    Obs.Report.load_lines
+      [ gauge "oneof" "born" 100.0; gauge "oneof" "dead" 40.0;
+        gauge "oneof" "live" 60.0 ]
+  in
+  Alcotest.(check int) "three metrics" 3 (List.length run.metrics);
+  let text = Obs.Report.render run in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub text i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "funnel row for oneof" true (contains "oneof");
+  Alcotest.(check bool) "survival rate computed" true (contains "60.0%")
 
 let () =
   Alcotest.run "obs"
@@ -243,7 +443,9 @@ let () =
        [ Alcotest.test_case "nesting and emission order" `Quick
            test_span_nesting;
          Alcotest.test_case "closes on exception" `Quick test_span_exception;
-         Alcotest.test_case "timed" `Quick test_span_timed ]);
+         Alcotest.test_case "timed" `Quick test_span_timed;
+         Alcotest.test_case "inherited context parents orphans" `Quick
+           test_span_context ]);
       ("domains",
        [ Alcotest.test_case "counter is exact across domains" `Quick
            test_counter_across_domains;
@@ -253,11 +455,20 @@ let () =
        [ Alcotest.test_case "gauge high water" `Quick test_gauge;
          Alcotest.test_case "histogram snapshot" `Quick
            test_histogram_snapshot;
+         Alcotest.test_case "units ride snapshots" `Quick
+           test_histogram_unit;
          Alcotest.test_case "kind collision" `Quick
            test_counter_kind_collision ]);
       ("jsonl",
        [ Alcotest.test_case "golden encoding" `Quick test_json_golden;
          Alcotest.test_case "reader" `Quick test_json_parser ]);
+      ("trace-event",
+       [ Alcotest.test_case "Chrome trace rendering" `Quick
+           test_trace_event_render ]);
+      ("report",
+       [ Alcotest.test_case "hostile input skip-and-count" `Quick
+           test_report_hostile;
+         Alcotest.test_case "candidate funnel" `Quick test_report_funnel ]);
       ("pipeline",
        [ Alcotest.test_case "JSONL sink is behavior-neutral" `Quick
            test_pipeline_sink_neutral ]) ]
