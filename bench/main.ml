@@ -6,6 +6,7 @@
      main.exe <id>       one experiment: fig3 tab2 tab3 tab4 fig4 tab5
                          tab6 tab7 tab8 tab9 sec56 ablation parbench
                          obsbench cachebench fuzzbench minebench mutbench
+                         lakebench
      main.exe bechamel   the Bechamel micro-benchmarks
      main.exe -j N ...   mine the trace corpus on a pool of N domains
                          (default: the recommended domain count)
@@ -982,6 +983,194 @@ let mutbench () =
              (p ^ "_fp_rate", cl.class_fp_rate) ])
         camp.classes
 
+(* ---- lakebench: the on-disk trace lake vs live simulation ---- *)
+
+(* Filled by lakebench; lands in BENCH_pipeline.json's "lakebench" block. *)
+let lake_result : (string * float) list ref = ref []
+
+(* Replication factor for the out-of-core lane. Segment blocks are
+   self-contained (deltas reset per block), so concatenating a segment
+   file with itself N times is a valid segment holding the trace N
+   times — a 100x corpus without one extra simulated step. *)
+let lakebench_scale = 100
+
+let lakebench () =
+  header "Lakebench: replaying the on-disk trace lake vs live simulation";
+  (* Already in lake order (sorted segment filenames). *)
+  let names = [ "bitcount"; "helloworld"; "pi" ] in
+  let corpus =
+    List.map (fun n -> Option.get (Workloads.Suite.by_name n)) names
+  in
+  let mkdtemp tag =
+    let base = Filename.temp_file tag "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    base
+  in
+  let rmdir dir =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  let dir = mkdtemp "scifinder_lake1" in
+  let scaled = mkdtemp "scifinder_lake100" in
+  Fun.protect ~finally:(fun () -> rmdir dir; rmdir scaled) @@ fun () ->
+  let reps = 3 in
+  let best f =
+    let best_s = ref infinity and res = ref None in
+    for _ = 1 to reps do
+      let r, s = Obs.Clock.time f in
+      if s < !best_s then best_s := s;
+      res := Some r
+    done;
+    (Option.get !res, !best_s)
+  in
+  (* Lane A, the denominator: producing the trace by simulation — the
+     only way to get records before the lake existed. Both lanes drain
+     records through a trivial observer; this measures trace
+     production, not mining. *)
+  let simulate () =
+    List.fold_left
+      (fun n (w : Workloads.Rt.t) ->
+         let count = ref 0 in
+         ignore
+           (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+              ~observer:(fun _ -> incr count) w.image);
+         n + !count)
+      0 corpus
+  in
+  let sim_records, sim_s = best simulate in
+  let sim_rps = float_of_int sim_records /. Float.max sim_s 1e-9 in
+  (* Record the 1x lake, then replicate each segment on disk by raw
+     byte concatenation. *)
+  let stats = Pipeline.record_lake ~names ~dir () in
+  let write_rps =
+    float_of_int stats.Pipeline.lake_records
+    /. Float.max stats.Pipeline.lake_seconds 1e-9
+  in
+  List.iter
+    (fun path ->
+       let bytes = Util.Binio.read_file path in
+       let out = Filename.concat scaled (Filename.basename path) in
+       let oc = open_out_bin out in
+       Fun.protect ~finally:(fun () -> close_out oc)
+         (fun () -> for _ = 1 to lakebench_scale do output_string oc bytes done))
+    (Trace.Segment.lake_segments dir);
+  (* Round-trip exactness, pinned via SCIFSNAP engine bytes: replaying
+     the lake must be bit-identical to live simulation of the same
+     workload sequence, at 1x and at the full replicated scale. *)
+  let live_engine ws =
+    let engine = Daikon.Engine.create () in
+    List.iter
+      (fun (w : Workloads.Rt.t) ->
+         ignore
+           (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+              ~observer:(Daikon.Engine.observe engine) w.image))
+      ws;
+    engine
+  in
+  let replay_engine d =
+    let engine = Daikon.Engine.create () in
+    List.iter
+      (fun path ->
+         ignore
+           (Trace.Segment.fold ~init:()
+              ~f:(fun () r -> Daikon.Engine.observe engine r) path))
+      (Trace.Segment.lake_segments d);
+    engine
+  in
+  let replay_equal =
+    String.equal
+      (Daikon.Engine.encode (live_engine corpus))
+      (Daikon.Engine.encode (replay_engine dir))
+  in
+  let scaled_equal =
+    let repeated =
+      List.concat_map (fun w -> List.init lakebench_scale (fun _ -> w)) corpus
+    in
+    String.equal
+      (Daikon.Engine.encode (live_engine repeated))
+      (Daikon.Engine.encode (replay_engine scaled))
+  in
+  (* Lane B: the same drain, out of the scaled lake, one block in
+     memory at a time. *)
+  let drain_lake () =
+    List.fold_left
+      (fun n path ->
+         let count = ref 0 in
+         ignore
+           (Trace.Segment.fold ~init:() ~f:(fun () _ -> incr count) path);
+         n + !count)
+      0 (Trace.Segment.lake_segments scaled)
+  in
+  let disk_records, disk_s = best drain_lake in
+  let disk_rps = float_of_int disk_records /. Float.max disk_s 1e-9 in
+  let lake_bytes =
+    List.fold_left
+      (fun n p -> n + (Unix.stat p).Unix.st_size)
+      0 (Trace.Segment.lake_segments scaled)
+  in
+  (* A torn tail (crash mid-append) must refuse to parse, never yield
+     a short garbage read. *)
+  let torn_rejected =
+    let victim = List.hd (Trace.Segment.lake_segments dir) in
+    let bytes = Util.Binio.read_file victim in
+    let cut = Filename.concat dir "torn.tmp" in
+    let oc = open_out_bin cut in
+    output_string oc (String.sub bytes 0 (String.length bytes - 5));
+    close_out oc;
+    let rejected =
+      match
+        Trace.Segment.fold ~init:() ~f:(fun () _ -> ()) cut
+      with
+      | _ -> false
+      | exception Trace.Segment.Corrupt_segment _ -> true
+    in
+    Sys.remove cut;
+    rejected
+  in
+  let scale_ok = disk_records >= 100 * sim_records in
+  pf "%-28s %12s %12s %14s\n" "lane (best of 3)" "records" "seconds"
+    "records/sec";
+  pf "%-28s %12d %12.3f %14.0f\n" "live simulation (1x)" sim_records sim_s
+    sim_rps;
+  pf "%-28s %12d %12.3f %14.0f\n"
+    (Printf.sprintf "lake replay (%dx, disk)" lakebench_scale)
+    disk_records disk_s disk_rps;
+  pf "lake: %d segments, %d bytes at 1x, %d bytes at %dx \
+      (write: %.0f records/sec)\n"
+    stats.Pipeline.lake_segments stats.Pipeline.lake_bytes lake_bytes
+    lakebench_scale write_rps;
+  pf "replay == sim (SCIFSNAP bytes): 1x %b, %dx %b\n" replay_equal
+    lakebench_scale scaled_equal;
+  pf "corpus scale: %dx (>=100x: %b); disk/sim rps ratio: %.2f; \
+      torn tail rejected: %b\n"
+    (disk_records / max sim_records 1) scale_ok (disk_rps /. sim_rps)
+    torn_rejected;
+  let pass =
+    replay_equal && scaled_equal && scale_ok && disk_rps >= sim_rps
+    && torn_rejected
+  in
+  pf "lakebench gate (replay==sim at 1x and %dx, >=100x corpus, \
+      disk rps >= sim rps, torn tail rejected): %s\n"
+    lakebench_scale
+    (if pass then "PASS" else "FAIL");
+  lake_result :=
+    [ ("sim_records", float_of_int sim_records);
+      ("sim_s", sim_s);
+      ("sim_rps", sim_rps);
+      ("write_rps", write_rps);
+      ("lake_bytes_1x", float_of_int stats.Pipeline.lake_bytes);
+      ("lake_bytes", float_of_int lake_bytes);
+      ("scale", float_of_int lakebench_scale);
+      ("disk_records", float_of_int disk_records);
+      ("disk_s", disk_s);
+      ("disk_rps", disk_rps);
+      ("rps_ratio", disk_rps /. Float.max sim_rps 1e-9);
+      ("identical", if replay_equal && scaled_equal then 1.0 else 0.0);
+      ("torn_rejected", if torn_rejected then 1.0 else 0.0) ]
+
 (* ---- telemetry overhead: the tentpole's < 2% null-sink budget ---- *)
 
 let obsbench () =
@@ -1239,6 +1428,15 @@ let write_bench_json () =
       !mut_result;
     bpf "\n  }"
   end;
+  if !lake_result <> [] then begin
+    bpf ",\n  \"lakebench\": {";
+    List.iteri
+      (fun i (k, v) ->
+         bpf "%s\n    %s: %s" (if i = 0 then "" else ",")
+           (json_str k) (json_float v))
+      !lake_result;
+    bpf "\n  }"
+  end;
   bpf "\n}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect ~finally:(fun () -> close_out oc)
@@ -1323,6 +1521,7 @@ let () =
     | "fuzzbench" -> timed id fuzzbench
     | "minebench" -> timed id minebench
     | "mutbench" -> timed id mutbench
+    | "lakebench" -> timed id lakebench
     | "export" -> timed id (fun () -> export (second "bench_data"))
     | "bechamel" -> timed id bechamel
     | other ->

@@ -47,6 +47,7 @@ let spec =
     ("cache_speedup", [ "cache"; "speedup" ], Higher);
     ("minebench_speedup", [ "minebench"; "speedup" ], Higher);
     ("mutbench_speedup", [ "mutbench"; "speedup" ], Higher);
+    ("lakebench_rps_ratio", [ "lakebench"; "rps_ratio" ], Higher);
     ("overhead_pct", [ "overhead"; "est_null_overhead_pct" ], Lower) ]
 
 let lookup path doc =
@@ -90,18 +91,27 @@ let load_history path : entry list =
 
 (* ---- the gate ---- *)
 
+(* NaN anywhere in the comparison fails the gate open: every [v < x]
+   test is false, so a poisoned history would pass forever. Non-finite
+   values are rejected before they can reach the median (parse_entry
+   already drops them from on-disk histories; this also covers entries
+   built in memory), and a non-finite latest value is itself a
+   regression — it means the bench produced garbage. *)
 let median = function
   | [] -> nan
   | xs ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
 type verdict = Ok_v | Regression of string | No_data
 
 let judge ~name ~dir ~latest ~priors =
+  let priors = List.filter Float.is_finite priors in
   match (latest, priors) with
+  | Some v, _ when not (Float.is_finite v) ->
+    Regression (Printf.sprintf "%s is not finite (%h)" name v)
   | None, _ | _, [] -> No_data
   | Some v, priors ->
     let m = median priors in
@@ -233,6 +243,16 @@ let selftest () =
   expect "fresh metric flagged"
     (gate [ entry 1000.0 0.4; entry 990.0 0.4 @ [ ("cache_speedup", 9.0) ] ]
      = []);
+  (* NaN must fail the gate closed, not open: a NaN latest is itself a
+     regression (the bench produced garbage)... *)
+  expect "NaN latest passed silently" (gate (base @ [ entry nan 0.4 ]) <> []);
+  (* ...and a NaN in the history must not poison the median and mask a
+     real 20% drop (with two priors the old polymorphic-compare median
+     averaged NaN in and every comparison went false). *)
+  expect "NaN history masked a 20%% drop"
+    (gate [ entry 1000.0 0.4; entry nan 0.4; entry 790.0 0.4 ] <> []);
+  expect "NaN history flagged a healthy run"
+    (gate (base @ [ entry nan 0.4 ] @ [ entry 1000.0 0.4 ]) = []);
   Printf.printf "trend gate (synthetic 20%% regression flagged): PASS\n";
   0
 

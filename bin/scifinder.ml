@@ -205,13 +205,35 @@ let print_explain ~limit pat (pr : Scifinder_core.Pipeline.provenance_report) =
 
 let mine_cmd =
   let run verbose metrics trace_out jobs cache_dir limit point workload_names
-      output explain =
+      output explain from_lake =
     setup_logs verbose;
     setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
+    if from_lake <> None && workload_names <> [] then begin
+      Logs.err (fun m ->
+          m "--from-lake mines every segment of the lake; it cannot be \
+             combined with --workload");
+      runtime_error_exit
+    end
+    else begin
     let names = match workload_names with [] -> None | l -> Some l in
     let invariants, prov =
-      match explain with
+      match from_lake with
+      | Some dir ->
+        (* Out-of-core: fold the on-disk segments through one engine,
+           block by block, instead of re-simulating anything. *)
+        let m =
+          Scifinder_core.Pipeline.mine_lake
+            ~provenance:(explain <> None) dir
+        in
+        Printf.printf
+          "lake: %d records from %d segments (%d bytes on disk)\n"
+          m.Scifinder_core.Pipeline.record_count
+          (List.length m.Scifinder_core.Pipeline.figure3)
+          m.Scifinder_core.Pipeline.trace_bytes;
+        (m.invariants, m.prov)
+      | None ->
+      (match explain with
       | None -> (mine_invariants ~names ?cache_dir ~jobs (), None)
       | Some _ ->
         (* The flight recorder lives in the full mining result; shard
@@ -224,7 +246,7 @@ let mine_cmd =
             Scifinder_core.Pipeline.mine ~provenance:true ~jobs ?cache_dir
               ~groups:[ l ] ~labels:[ String.concat "+" l ] ()
         in
-        (m.invariants, m.prov)
+        (m.invariants, m.prov))
     in
     (match output with
      | Some path ->
@@ -250,6 +272,7 @@ let mine_cmd =
      | Some pat, Some pr -> print_explain ~limit pat pr
      | _ -> ());
     0
+    end
   in
   let limit =
     Arg.(value & opt int 50 & info [ "limit" ] ~doc:"Invariants to print.")
@@ -281,10 +304,22 @@ let mine_cmd =
                  matching $(docv). The mined set is identical either \
                  way.")
   in
+  let from_lake =
+    Arg.(value & opt (some dir) None
+         & info [ "from-lake" ] ~docv:"DIR"
+           ~doc:"Mine out-of-core from the on-disk trace lake at $(docv) \
+                 (recorded with $(b,trace --record-out) or \
+                 $(b,fuzz --lake)) instead of simulating workloads. \
+                 Segments are replayed in sorted filename order, one \
+                 block in memory at a time; the mined set is \
+                 bit-identical to a live sequential run over the same \
+                 traces.")
+  in
   Cmd.v (Cmd.info "mine" ~exits:common_exits
            ~doc:"Mine likely processor invariants from the trace corpus.")
     Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
-          $ cache_term $ limit $ point $ workloads $ output $ explain)
+          $ cache_term $ limit $ point $ workloads $ output $ explain
+          $ from_lake)
 
 (* ---- identify ---- *)
 
@@ -550,7 +585,7 @@ let verilog_cmd =
 
 let fuzz_cmd =
   let run verbose metrics trace_out jobs cache_dir seed budget max_steps
-      no_mine output =
+      no_mine output lake =
     setup_logs verbose;
     setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
@@ -565,8 +600,22 @@ let fuzz_cmd =
     print_string (Fuzz.Corpus.report corpus);
     (match Fuzz.Corpus.to_workloads corpus with
      | [] -> Printf.printf "no accepted programs; nothing to mine\n"
-     | _ :: _ ->
+     | workloads ->
        Fuzz.Corpus.register corpus;
+       (match lake with
+        | None -> ()
+        | Some dir ->
+          (* Appending each run's traces grows the lake across seeds —
+             replication without re-simulation. *)
+          let s =
+            Scifinder_core.Pipeline.record_lake ~workloads
+              ~names:(Fuzz.Corpus.names corpus) ~dir ()
+          in
+          Printf.printf
+            "lake: appended %d records (%d bytes) across %d segments in %s\n"
+            s.Scifinder_core.Pipeline.lake_records
+            s.Scifinder_core.Pipeline.lake_bytes
+            s.Scifinder_core.Pipeline.lake_segments dir);
        if not no_mine then begin
          let invariants =
            Scifinder_core.Pipeline.mine_invariants ~jobs ?cache_dir
@@ -616,17 +665,25 @@ let fuzz_cmd =
          & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Save the fuzz-mined invariants for identify/verify runs.")
   in
+  let lake =
+    Arg.(value & opt (some string) None
+         & info [ "lake" ] ~docv:"DIR"
+           ~doc:"Append the accepted programs' traces to the on-disk \
+                 trace lake at $(docv) (created if missing), one segment \
+                 per workload, for later $(b,mine --from-lake) runs. \
+                 Re-running with different seeds accumulates.")
+  in
   Cmd.v (Cmd.info "fuzz" ~exits:common_exits
            ~doc:"Grow a coverage-guided corpus of generated OR1200 \
                  programs and mine it.")
     Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
-          $ cache_term $ seed $ budget $ max_steps $ no_mine $ output)
+          $ cache_term $ seed $ budget $ max_steps $ no_mine $ output $ lake)
 
 (* ---- trace ---- *)
 
 let trace_cmd =
   let run verbose metrics trace_out workload_name limit point_filter
-      no_decode_cache =
+      no_decode_cache record_out =
     setup_logs verbose;
     setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
@@ -644,24 +701,41 @@ let trace_cmd =
       Cpu.Machine.set_pc machine w.entry;
       let pc_slot = Trace.Var.dual_index Trace.Var.Pc in
       let shown = ref 0 in
-      (* The whole trace streams through the fold; nothing is
-         materialised no matter how long the program runs. *)
-      let (total, matched), outcome =
-        Trace.Runner.run_fold ~init:(0, 0)
-          ~f:(fun (total, matched) (r : Trace.Record.t) ->
-              let wanted =
-                match point_filter with
-                | None -> true
-                | Some p -> String.equal r.Trace.Record.point p
-              in
-              if wanted && !shown < limit then begin
-                Printf.printf "%08x  %s\n"
-                  r.Trace.Record.values.(pc_slot) r.Trace.Record.point;
-                incr shown
-              end;
-              (total + 1, if wanted then matched + 1 else matched))
-          machine
+      let writer =
+        Option.map
+          (fun path -> Trace.Segment.create ~workload:w.name path)
+          record_out
       in
+      (* The whole trace streams through the fold; nothing is
+         materialised no matter how long the program runs — records
+         headed for the lake leave through the segment writer's
+         fixed-size block buffer. *)
+      let (total, matched), outcome =
+        Fun.protect
+          ~finally:(fun () -> Option.iter Trace.Segment.close writer)
+          (fun () ->
+             Trace.Runner.run_fold ~init:(0, 0)
+               ~f:(fun (total, matched) (r : Trace.Record.t) ->
+                   Option.iter (fun sw -> Trace.Segment.add sw r) writer;
+                   let wanted =
+                     match point_filter with
+                     | None -> true
+                     | Some p -> String.equal r.Trace.Record.point p
+                   in
+                   if wanted && !shown < limit then begin
+                     Printf.printf "%08x  %s\n"
+                       r.Trace.Record.values.(pc_slot) r.Trace.Record.point;
+                     incr shown
+                   end;
+                   (total + 1, if wanted then matched + 1 else matched))
+               machine)
+      in
+      (match writer, record_out with
+       | Some sw, Some path ->
+         Printf.printf "recorded %d records to %s (%d bytes)\n"
+           (Trace.Segment.written sw) path
+           (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0)
+       | _ -> ());
       if matched > !shown then
         Printf.printf "... (%d more; raise --limit)\n" (matched - !shown);
       Printf.printf "%d records (%d matching) from %s, outcome: %s\n"
@@ -700,11 +774,19 @@ let trace_cmd =
            ~doc:"Disable the pre-decoded instruction cache (identical \
                  trace, baseline speed).")
   in
+  let record_out =
+    Arg.(value & opt (some string) None
+         & info [ "record-out" ] ~docv:"FILE"
+           ~doc:"Append every record (ignoring --point/--limit, which \
+                 only shape what is printed) to the segment file $(docv) \
+                 — a durable, replayable slice of the trace lake for \
+                 $(b,mine --from-lake).")
+  in
   Cmd.v (Cmd.info "trace" ~exits:common_exits
            ~doc:"Stream one workload's fused trace records without \
                  materialising the trace.")
     Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ workload
-          $ limit $ point $ no_decode_cache)
+          $ limit $ point $ no_decode_cache $ record_out)
 
 (* ---- report ---- *)
 

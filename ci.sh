@@ -74,3 +74,17 @@ grep -q 'minebench gate (state identical, stream==replay==sharded, seq==par, >=1
 # taxonomy with a seed-stable fingerprint.
 dune exec bench/main.exe -- mutbench | tee /tmp/mutbench.out
 grep -q 'mutbench gate (compiled==interpretive, >=2x, table1 >= baseline, >=200 mutants deterministic): PASS' /tmp/mutbench.out
+# Lakebench gate: replaying the on-disk trace lake must be bit-identical
+# (SCIFSNAP engine bytes) to live simulation at 1x and at the 100x
+# replicated corpus, stream records off disk at least as fast as the
+# simulator produces them, and reject a torn tail as corrupt.
+dune exec bench/main.exe -- lakebench | tee /tmp/lakebench.out
+grep -q 'lakebench gate (replay==sim at 1x and 100x, >=100x corpus, disk rps >= sim rps, torn tail rejected): PASS' /tmp/lakebench.out
+# The lake round-trips through the CLI: record one workload's segment
+# with trace --record-out, then mine it back out-of-core.
+rm -rf /tmp/scif_lake && mkdir -p /tmp/scif_lake
+dune exec bin/scifinder.exe -- trace pi --limit 0 --record-out /tmp/scif_lake/pi.seg | tee /tmp/lakecli.out
+grep -q 'recorded 477 records to /tmp/scif_lake/pi.seg' /tmp/lakecli.out
+dune exec bin/scifinder.exe -- mine --from-lake /tmp/scif_lake --limit 1 | tee /tmp/lakemine.out
+grep -q 'lake: 477 records from 1 segments' /tmp/lakemine.out
+rm -rf /tmp/scif_lake

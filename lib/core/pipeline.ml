@@ -81,7 +81,12 @@ module Cache = struct
       w.image;
     Digest.to_hex (Digest.string (Buffer.contents b))
 
-  let shard_path dir name = Filename.concat dir (name ^ ".snap")
+  (* Registered and fuzz-generated workload names are arbitrary strings;
+     percent-encoding pins each one to a single component of [dir] (a
+     name with '/' or '..' used to escape the cache directory
+     entirely). *)
+  let shard_path dir name =
+    Filename.concat dir (Util.Fsname.encode name ^ ".snap")
 
   (* None means miss or stale — either way the caller re-traces and
      overwrites. Distinguishing the two only matters for telemetry. *)
@@ -327,6 +332,41 @@ let missing_mnemonics engine =
   List.iter (fun p -> Hashtbl.replace seen p ()) (Daikon.Engine.points engine);
   List.filter (fun m -> not (Hashtbl.mem seen m)) Isa.Insn.all_mnemonics
 
+(* The flight-recorder readout, when mining ran with provenance. *)
+let prov_report ~provenance engine invariants =
+  if not provenance then None
+  else
+    Some
+      { deaths = Daikon.Engine.deaths engine;
+        deaths_dropped = Daikon.Engine.deaths_dropped engine;
+        death_families = Daikon.Engine.death_families engine;
+        witnesses =
+          List.filter_map
+            (fun i ->
+               Option.map (fun w -> (i, w))
+                 (Daikon.Engine.narrow_witness engine i))
+            invariants }
+
+(* One Figure 3 row: diff the engine's current invariant set against the
+   previous snapshot (threaded through [previous]). *)
+let fig3_row ~previous ~label engine =
+  let current = canon_set (Daikon.Engine.invariants engine) in
+  let fresh = ref 0 and unmodified = ref 0 in
+  Hashtbl.iter
+    (fun k () ->
+       if Hashtbl.mem !previous k then incr unmodified else incr fresh)
+    current;
+  let deleted = ref 0 in
+  Hashtbl.iter
+    (fun k () -> if not (Hashtbl.mem current k) then incr deleted)
+    !previous;
+  previous := current;
+  { group_label = label;
+    unmodified = !unmodified;
+    fresh = !fresh;
+    deleted = !deleted;
+    total = Hashtbl.length current }
+
 (* A timed shard merge, feeding the merge-cost counters. *)
 let absorb_shard engine shard =
   let m0 = Obs.Clock.now_ns () in
@@ -360,25 +400,7 @@ let mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir () =
     List.iter2
       (fun group label ->
          List.iter absorb group;
-         let snapshot = Daikon.Engine.invariants engine in
-         let current = canon_set snapshot in
-         let fresh = ref 0 and unmodified = ref 0 in
-         Hashtbl.iter
-           (fun k () ->
-              if Hashtbl.mem !previous k then incr unmodified else incr fresh)
-           current;
-         let deleted = ref 0 in
-         Hashtbl.iter
-           (fun k () -> if not (Hashtbl.mem current k) then incr deleted)
-           !previous;
-         previous := current;
-         rows :=
-           { group_label = label;
-             unmodified = !unmodified;
-             fresh = !fresh;
-             deleted = !deleted;
-             total = Hashtbl.length current }
-           :: !rows)
+         rows := fig3_row ~previous ~label engine :: !rows)
       groups labels;
     let invariants = Daikon.Engine.invariants engine in
     let record_count = Daikon.Engine.record_count engine in
@@ -390,20 +412,7 @@ let mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir () =
          Obs.Metrics.add c_mine_deleted r.deleted)
       rows;
     publish_engine_stats engine;
-    let prov =
-      if not provenance then None
-      else
-        Some
-          { deaths = Daikon.Engine.deaths engine;
-            deaths_dropped = Daikon.Engine.deaths_dropped engine;
-            death_families = Daikon.Engine.death_families engine;
-            witnesses =
-              List.filter_map
-                (fun i ->
-                   Option.map (fun w -> (i, w))
-                     (Daikon.Engine.narrow_witness engine i))
-                invariants }
-    in
+    let prov = prov_report ~provenance engine invariants in
     { invariants;
       figure3 = rows;
       record_count;
@@ -467,6 +476,95 @@ let mine_invariants ?(config = Daikon.Config.default)
        Obs.Metrics.add c_mine_records (Daikon.Engine.record_count engine);
        publish_engine_stats engine;
        Daikon.Engine.invariants engine)
+
+(* ---- The trace lake: durable on-disk segments (ROADMAP item 2) ----
+
+   [record_lake] streams workload traces straight into append-only
+   SCIFSEG files (one per workload, named safely via [Util.Fsname]);
+   [mine_lake] folds every segment of a lake directory through one
+   engine, block by block — out-of-core on both sides, and bit-identical
+   to mining the same workload sequence live. *)
+
+type lake_stats = {
+  lake_segments : int;
+  lake_records : int;
+  lake_bytes : int;
+  lake_seconds : float;
+}
+
+let record_lake ?(workloads = []) ?names ~dir () =
+  let names = match names with None -> Workloads.Suite.names | Some l -> l in
+  let ws = List.map (resolve_exn ~workloads) names in
+  let r, lake_seconds =
+    Obs.Span.timed ~name:"lake.record"
+      ~attrs:[ ("segments", Obs.Sink.I (List.length ws)) ]
+      (fun () ->
+         Cache.mkdir_p dir;
+         let records = ref 0 and bytes = ref 0 in
+         List.iter
+           (fun (w : Workloads.Rt.t) ->
+              let path = Trace.Segment.segment_path ~dir ~workload:w.name in
+              Trace.Segment.with_writer ~workload:w.name path (fun sw ->
+                  ignore
+                    (Trace.Runner.stream_to_segment
+                       ~tick_period:w.tick_period ~entry:w.entry ~writer:sw
+                       w.image);
+                  records := !records + Trace.Segment.written sw);
+              bytes :=
+                !bytes
+                + (try (Unix.stat path).Unix.st_size
+                   with Unix.Unix_error _ -> 0))
+           ws;
+         { lake_segments = List.length ws;
+           lake_records = !records;
+           lake_bytes = !bytes;
+           lake_seconds = 0.0 })
+  in
+  { r with lake_seconds }
+
+let mine_lake ?(config = Daikon.Config.default) ?(provenance = false) dir =
+  let segments = Trace.Segment.lake_segments dir in
+  if segments = [] then
+    invalid_arg ("Pipeline.mine_lake: no segments under " ^ dir);
+  let body () =
+    let engine = Daikon.Engine.create ~config ~provenance () in
+    let previous = ref (Hashtbl.create 1) in
+    let rows = ref [] in
+    let disk_bytes = ref 0 in
+    List.iter
+      (fun path ->
+         let (), info =
+           Obs.Span.with_ ~name:"lake.replay"
+             ~attrs:
+               [ ("segment", Obs.Sink.S (Filename.basename path)) ]
+             (fun () ->
+                Trace.Segment.fold
+                  ~on_workload:(Daikon.Engine.set_workload engine)
+                  ~init:()
+                  ~f:(fun () r -> Daikon.Engine.observe engine r)
+                  path)
+         in
+         disk_bytes := !disk_bytes + info.Trace.Segment.bytes;
+         let label = String.concat "+" info.Trace.Segment.workloads in
+         rows := fig3_row ~previous ~label engine :: !rows)
+      segments;
+    let invariants = Daikon.Engine.invariants engine in
+    let record_count = Daikon.Engine.record_count engine in
+    Obs.Metrics.add c_mine_records record_count;
+    publish_engine_stats engine;
+    { invariants;
+      figure3 = List.rev !rows;
+      record_count;
+      trace_bytes = !disk_bytes;  (* real on-disk bytes, not an estimate *)
+      mnemonic_coverage = missing_mnemonics engine;
+      prov = prov_report ~provenance engine invariants;
+      seconds = 0.0 }
+  in
+  let r, seconds =
+    Obs.Span.timed ~name:"pipeline.mine"
+      ~attrs:[ ("source", Obs.Sink.S "lake") ] body
+  in
+  { r with seconds }
 
 (* ---- §3.2: optimisation (Table 2) ---- *)
 

@@ -93,6 +93,42 @@ val mine_invariants :
     [cache_dir] caches per-workload shards exactly as in {!mine} (no
     summary-level entry). *)
 
+(** {1 The on-disk trace lake (ROADMAP item 2)}
+
+    Durable append-only {!Trace.Segment} files — the analogue of the
+    paper's 26 GB trace corpus. Recording streams each fused record to
+    disk as it is built; mining folds segments back block by block.
+    Neither side materialises a trace, so the lake can grow to hundreds
+    of times the in-memory corpus. *)
+
+type lake_stats = {
+  lake_segments : int;
+  lake_records : int;
+  lake_bytes : int;   (** on-disk size of the segments written to *)
+  lake_seconds : float;
+}
+
+val record_lake :
+  ?workloads:Workloads.Rt.t list ->
+  ?names:string list ->
+  dir:string -> unit -> lake_stats
+(** Trace every named workload (default: the whole suite; names resolve
+    against [workloads] first, then the suite) and append its records to
+    [dir]'s segment for that workload, creating directory and segments
+    as needed. Append-only: recording the same workload again extends
+    its segment, which is how a fuzz run accumulates a multi-100×
+    corpus. *)
+
+val mine_lake :
+  ?config:Daikon.Config.t -> ?provenance:bool -> string -> mining
+(** Mine a lake directory out-of-core: fold every segment (in sorted
+    filename order — deterministic) through a single engine, one block
+    in memory at a time. The result is bit-identical to mining the same
+    workload sequence live with [jobs = 1]; [figure3] carries one row
+    per segment file and [trace_bytes] is the real on-disk size.
+    @raise Invalid_argument if [dir] holds no segments.
+    @raise Trace.Segment.Corrupt_segment on a torn or damaged segment. *)
+
 (** {1 §3.2 optimisation (Table 2)} *)
 
 type optimization = {

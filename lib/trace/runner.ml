@@ -250,3 +250,15 @@ let stream ?(config = default_config) ?(fault = Cpu.Fault.none)
   M.load_image machine image;
   M.set_pc machine entry;
   run ~config ~observer machine
+
+(* Segment-writer observer: every fused record goes straight from the
+   fold into the open segment writer (and optionally to [tee], so a
+   miner can consume the trace while it is being recorded) — no
+   materialization on the write side either. *)
+let stream_to_segment ?config ?fault ?tick_period ~entry ~writer
+    ?(tee = fun (_ : Record.t) -> ()) image =
+  stream ?config ?fault ?tick_period ~entry
+    ~observer:(fun r ->
+        Segment.add writer r;
+        tee r)
+    image

@@ -1,0 +1,395 @@
+(* The on-disk trace lake: compact columnar segments of fused trace
+   records, the durable analogue of the paper's 26 GB trace corpus.
+
+   A segment file is a sequence of self-contained blocks, each framed
+   for append-only writing and torn-tail detection:
+
+     "SCIFSEG"             7-byte magic
+     version               1 byte
+     digest                16-byte MD5 of the payload
+     payload length        4-byte big-endian
+     payload               [length] bytes, Binio-encoded
+
+   The fixed-width frame means the reader touches one block at a time
+   through a channel — out-of-core by construction — and any torn tail
+   (a crash mid-append) or bit damage surfaces as [Corrupt_segment], in
+   the style of the SCIFSNAP snapshot codec.
+
+   The payload is columnar: the block's records are transposed so each
+   of the [Var.total] variables becomes one contiguous varint stream.
+   Post-state dual columns are delta-encoded against the same record's
+   pre-state (most instructions change almost nothing, so the deltas are
+   overwhelmingly zero); every other column is delta-encoded against the
+   previous record in the block (program counters advance by 4, loop
+   registers step by small strides). Program points are interned per
+   block with their applicability masks, so each record costs one small
+   point index plus its value deltas.
+
+   Blocks are independent — deltas reset at block boundaries — so
+   concatenating segment files (or appending to one) is itself a valid
+   segment, which is how a lake replicates a corpus without
+   re-simulation. *)
+
+exception Corrupt_segment of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt_segment s)) fmt
+
+let magic = "SCIFSEG"
+let version = 1
+let header_len = 7 + 1 + 16 + 4
+let default_records_per_block = 1024
+
+let c_records_written = Obs.Metrics.counter "lake.records_written"
+let c_bytes_written = Obs.Metrics.counter "lake.bytes_written"
+let c_records_read = Obs.Metrics.counter "lake.records_read"
+let c_blocks_read = Obs.Metrics.counter "lake.blocks_read"
+
+(* ---- applicability masks, packed 8 bits per byte ---- *)
+
+let mask_bytes = (Var.total + 7) / 8
+
+let write_mask b (m : bool array) =
+  let packed = Bytes.make mask_bytes '\000' in
+  Array.iteri
+    (fun i bit ->
+       if bit then
+         Bytes.set packed (i lsr 3)
+           (Char.chr
+              (Char.code (Bytes.get packed (i lsr 3)) lor (1 lsl (i land 7)))))
+    m;
+  Util.Binio.write_raw b (Bytes.unsafe_to_string packed)
+
+let read_mask r =
+  let packed = Util.Binio.read_string_exact r mask_bytes in
+  Array.init Var.total
+    (fun i -> Char.code packed.[i lsr 3] land (1 lsl (i land 7)) <> 0)
+
+(* ---- block encoding ---- *)
+
+let post_dual c = c >= Var.dual_count && c < 2 * Var.dual_count
+
+(* Per-column stream tags. Only a handful of the machine's variables
+   actually move inside any one block, so the common case — a column
+   whose deltas are all zero, or one pinned at a single value — costs
+   one tag byte to encode and (at most) a fill to decode, instead of a
+   varint per record. This is what makes replaying a segment faster
+   than re-simulating it. *)
+let tag_zero = 0 (* every delta is zero: untouched (or post == pre) *)
+let tag_const = 1 (* every record holds the same value, written once *)
+let tag_deltas = 2 (* the general varint delta stream *)
+
+let encode_payload ~workload (buf : Record.t array) n =
+  let b = Util.Binio.writer () in
+  Util.Binio.write_string b workload;
+  Util.Binio.write_uint b n;
+  (* Intern the block's program points: name + mask once, then one
+     index per record. *)
+  let by_name = Hashtbl.create 64 in
+  let interned = ref [] in
+  let npoints = ref 0 in
+  let idx = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    let r = buf.(i) in
+    match Hashtbl.find_opt by_name r.Record.point with
+    | Some j -> idx.(i) <- j
+    | None ->
+      Hashtbl.add by_name r.Record.point !npoints;
+      interned := r :: !interned;
+      idx.(i) <- !npoints;
+      incr npoints
+  done;
+  Util.Binio.write_uint b !npoints;
+  List.iter
+    (fun (r : Record.t) ->
+       Util.Binio.write_string b r.point;
+       write_mask b r.mask)
+    (List.rev !interned);
+  for i = 0 to n - 1 do
+    Util.Binio.write_uint b idx.(i)
+  done;
+  (* One tagged stream per column (nothing at all for an empty block). *)
+  if n > 0 then
+    for c = 0 to Var.total - 1 do
+      let first = buf.(0).Record.values.(c) in
+      let all_zero = ref true and const = ref true in
+      if post_dual c then
+        for i = 0 to n - 1 do
+          let v = buf.(i).Record.values in
+          if v.(c) <> v.(c - Var.dual_count) then all_zero := false;
+          if v.(c) <> first then const := false
+        done
+      else begin
+        let prev = ref 0 in
+        for i = 0 to n - 1 do
+          let x = buf.(i).Record.values.(c) in
+          if x <> !prev then all_zero := false;
+          if x <> first then const := false;
+          prev := x
+        done
+      end;
+      if !all_zero then Util.Binio.write_uint b tag_zero
+      else if !const then begin
+        Util.Binio.write_uint b tag_const;
+        Util.Binio.write_int b first
+      end
+      else begin
+        Util.Binio.write_uint b tag_deltas;
+        if post_dual c then
+          for i = 0 to n - 1 do
+            let v = buf.(i).Record.values in
+            Util.Binio.write_int b (v.(c) - v.(c - Var.dual_count))
+          done
+        else begin
+          let prev = ref 0 in
+          for i = 0 to n - 1 do
+            let x = buf.(i).Record.values.(c) in
+            Util.Binio.write_int b (x - !prev);
+            prev := x
+          done
+        end
+      end
+    done;
+  Util.Binio.contents b
+
+let output_block oc ~workload buf n =
+  let payload = encode_payload ~workload buf n in
+  let len = String.length payload in
+  let hdr = Bytes.create header_len in
+  Bytes.blit_string magic 0 hdr 0 7;
+  Bytes.set hdr 7 (Char.chr version);
+  Bytes.blit_string (Digest.string payload) 0 hdr 8 16;
+  Bytes.set_int32_be hdr 24 (Int32.of_int len);
+  output_bytes oc hdr;
+  output_string oc payload;
+  Obs.Metrics.add c_records_written n;
+  Obs.Metrics.add c_bytes_written (header_len + len)
+
+(* ---- writer ---- *)
+
+type writer = {
+  oc : out_channel;
+  w_workload : string;
+  block_cap : int;
+  buf : Record.t array;
+  mutable fill : int;
+  mutable blocks : int;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+let dummy_record = { Record.point = ""; values = [||]; mask = [||] }
+
+let create ?(records_per_block = default_records_per_block) ~workload path =
+  if records_per_block <= 0 then
+    invalid_arg "Segment.create: records_per_block must be positive";
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      path
+  in
+  {
+    oc;
+    w_workload = workload;
+    block_cap = records_per_block;
+    (* The buffer holds references, not copies: [Runner.run_fold]
+       allocates every record fresh and hands ownership to the consumer,
+       so keeping them until the block flushes is safe. *)
+    buf = Array.make records_per_block dummy_record;
+    fill = 0;
+    blocks = 0;
+    written = 0;
+    closed = false;
+  }
+
+let flush_block w =
+  if w.fill > 0 || w.blocks = 0 then begin
+    output_block w.oc ~workload:w.w_workload w.buf w.fill;
+    Array.fill w.buf 0 w.block_cap dummy_record;
+    w.blocks <- w.blocks + 1;
+    w.written <- w.written + w.fill;
+    w.fill <- 0
+  end
+
+let add w r =
+  if w.closed then invalid_arg "Segment.add: writer is closed";
+  w.buf.(w.fill) <- r;
+  w.fill <- w.fill + 1;
+  if w.fill = w.block_cap then flush_block w
+
+let written w = w.written + w.fill
+
+(* Close flushes the partial block (an empty trace still gets one empty
+   block, so the file self-describes its workload) and fsyncs: once
+   [close] returns, every appended block is on stable storage. *)
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    Fun.protect
+      ~finally:(fun () -> close_out w.oc)
+      (fun () ->
+         flush_block w;
+         flush w.oc;
+         try Unix.fsync (Unix.descr_of_out_channel w.oc)
+         with Unix.Unix_error _ -> ())
+  end
+
+let with_writer ?records_per_block ~workload path f =
+  let w = create ?records_per_block ~workload path in
+  Fun.protect ~finally:(fun () -> close w) (fun () -> f w)
+
+(* ---- reading ---- *)
+
+(* One framed block from the channel: [None] at a clean end of file,
+   [Corrupt_segment] on a torn or damaged one. The first byte is read
+   separately so EOF exactly on a block boundary is distinguishable from
+   a tail that dies mid-header. *)
+let input_payload ic =
+  match input_char ic with
+  | exception End_of_file -> None
+  | c0 ->
+    let rest = Bytes.create (header_len - 1) in
+    (try really_input ic rest 0 (header_len - 1)
+     with End_of_file -> corrupt "torn block header");
+    if c0 <> magic.[0] || Bytes.sub_string rest 0 6 <> String.sub magic 1 6
+    then corrupt "bad segment magic";
+    let v = Char.code (Bytes.get rest 6) in
+    if v < 1 || v > version then corrupt "unsupported segment version %d" v;
+    let digest = Bytes.sub_string rest 7 16 in
+    let len = Int32.to_int (Bytes.get_int32_be rest 23) in
+    if len < 0 then corrupt "negative block length";
+    let payload =
+      try really_input_string ic len
+      with End_of_file -> corrupt "torn block payload"
+    in
+    if not (String.equal (Digest.string payload) digest) then
+      corrupt "block digest mismatch";
+    Some payload
+
+(* Decode a verified payload into a batch of records. Lengths are
+   bounded by the payload size before any allocation, so a hostile
+   count cannot balloon memory past the block it arrived in. *)
+let decode_payload payload =
+  try
+    let r = Util.Binio.reader payload in
+    let workload = Util.Binio.read_string r in
+    let n = Util.Binio.read_uint r in
+    if n > String.length payload then corrupt "record count exceeds block";
+    let npoints = Util.Binio.read_uint r in
+    if npoints > n then corrupt "point table larger than record count";
+    let pnames = Array.make (max npoints 1) "" in
+    let pmasks = Array.make (max npoints 1) [||] in
+    for j = 0 to npoints - 1 do
+      pnames.(j) <- Util.Binio.read_string r;
+      pmasks.(j) <- read_mask r
+    done;
+    let idx = Array.make (max n 1) 0 in
+    for i = 0 to n - 1 do
+      let j = Util.Binio.read_uint r in
+      if j >= npoints then corrupt "point index out of range";
+      idx.(i) <- j
+    done;
+    let values = Array.init n (fun _ -> Array.make Var.total 0) in
+    if n > 0 then
+      for c = 0 to Var.total - 1 do
+        match Util.Binio.read_uint r with
+        | t when t = tag_zero ->
+          (* Untouched column: the freshly-zeroed values already hold
+             it; a post column mirrors its (already decoded) pre. *)
+          if post_dual c then
+            for i = 0 to n - 1 do
+              let v = values.(i) in
+              v.(c) <- v.(c - Var.dual_count)
+            done
+        | t when t = tag_const ->
+          let x = Util.Binio.read_int r in
+          if x <> 0 then
+            for i = 0 to n - 1 do
+              values.(i).(c) <- x
+            done
+        | t when t = tag_deltas ->
+          if post_dual c then
+            for i = 0 to n - 1 do
+              let v = values.(i) in
+              v.(c) <- v.(c - Var.dual_count) + Util.Binio.read_int r
+            done
+          else begin
+            let prev = ref 0 in
+            for i = 0 to n - 1 do
+              let x = !prev + Util.Binio.read_int r in
+              values.(i).(c) <- x;
+              prev := x
+            done
+          end
+        | t -> corrupt "unknown column tag %d" t
+      done;
+    if not (Util.Binio.eof r) then corrupt "trailing bytes in block";
+    let records =
+      Array.init n (fun i ->
+          {
+            Record.point = pnames.(idx.(i));
+            values = values.(i);
+            mask = pmasks.(idx.(i));
+          })
+    in
+    (workload, records)
+  with Util.Binio.Truncated -> corrupt "truncated block"
+
+type info = {
+  records : int;
+  blocks : int;
+  bytes : int;
+  workloads : string list;  (* distinct, in first-appearance order *)
+}
+
+let fold ?(on_workload = fun (_ : string) -> ()) ~init ~f path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let bytes = in_channel_length ic in
+       let acc = ref init in
+       let records = ref 0 in
+       let blocks = ref 0 in
+       let workloads = ref [] in
+       let rec loop () =
+         match input_payload ic with
+         | None -> ()
+         | Some payload ->
+           let workload, batch = decode_payload payload in
+           if not (List.mem workload !workloads) then
+             workloads := workload :: !workloads;
+           on_workload workload;
+           Array.iter (fun r -> acc := f !acc r) batch;
+           records := !records + Array.length batch;
+           blocks := !blocks + 1;
+           Obs.Metrics.incr c_blocks_read;
+           Obs.Metrics.add c_records_read (Array.length batch);
+           loop ()
+       in
+       loop ();
+       if !blocks = 0 then corrupt "empty segment file";
+       ( !acc,
+         {
+           records = !records;
+           blocks = !blocks;
+           bytes;
+           workloads = List.rev !workloads;
+         } ))
+
+let iter ?on_workload ~f path =
+  snd (fold ?on_workload ~init:() ~f:(fun () r -> f r) path)
+
+(* ---- lake layout: one append-only segment file per workload ---- *)
+
+let segment_path ~dir ~workload =
+  Filename.concat dir (Util.Fsname.encode workload ^ ".seg")
+
+let lake_segments dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    let segs =
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".seg")
+      |> List.map (Filename.concat dir)
+    in
+    List.sort String.compare segs

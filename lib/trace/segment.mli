@@ -1,0 +1,80 @@
+(** The on-disk trace lake: append-only segment files of fused trace
+    records — the durable analogue of the paper's 26 GB trace corpus.
+
+    A segment is a sequence of self-contained framed blocks
+    ([SCIFSEG] magic, version, MD5 payload digest, length, columnar
+    delta-encoded payload). Blocks are independent, so appending to a
+    segment — or concatenating whole segment files — yields a valid
+    segment; readers stream one block at a time, so both sides are
+    out-of-core. Decoding is round-trip exact: a replayed stream is
+    record-for-record bit-identical to the live {!Runner.run_fold}
+    stream that produced it. *)
+
+exception Corrupt_segment of string
+(** A torn tail (crash mid-append), bit damage (digest mismatch), a
+    foreign or future-versioned file, or any hostile bytes. Reading a
+    segment never raises [Invalid_argument] and never yields garbage
+    records. *)
+
+val version : int
+
+(** {1 Writing} *)
+
+type writer
+
+val create : ?records_per_block:int -> workload:string -> string -> writer
+(** [create ~workload path] opens [path] for append (creating it if
+    missing) and buffers up to [records_per_block] (default 1024,
+    sized so a block's decoded working set stays cache-resident)
+    records per block — the only materialization on the write side. *)
+
+val add : writer -> Record.t -> unit
+(** Append one record, flushing a full block to disk. Usable directly as
+    a {!Runner.stream} observer. *)
+
+val close : writer -> unit
+(** Flush the partial block (an empty trace still writes one empty
+    block, so the file self-describes its workload) and fsync: once
+    [close] returns every appended block is on stable storage.
+    Idempotent. *)
+
+val written : writer -> int
+(** Records appended so far, including the buffered partial block (all
+    of them are on disk once {!close} returns). *)
+
+val with_writer :
+  ?records_per_block:int -> workload:string -> string ->
+  (writer -> 'a) -> 'a
+(** [create] / [close] bracket. *)
+
+(** {1 Reading} *)
+
+type info = {
+  records : int;
+  blocks : int;
+  bytes : int;  (** on-disk size *)
+  workloads : string list;  (** distinct, in first-appearance order *)
+}
+
+val fold :
+  ?on_workload:(string -> unit) ->
+  init:'a -> f:('a -> Record.t -> 'a) -> string -> 'a * info
+(** Stream every record of the segment at [path] through [f], one block
+    in memory at a time. [on_workload] fires per block, before that
+    block's records — a miner hangs {!Daikon.Engine.set_workload} here
+    so death attribution matches a live run. An empty or damaged file
+    raises {!Corrupt_segment}. *)
+
+val iter : ?on_workload:(string -> unit) -> f:(Record.t -> unit) -> string -> info
+
+(** {1 Lake layout}
+
+    A lake directory holds one append-only segment per workload, named
+    by the {!Util.Fsname}-encoded workload name — hostile names cannot
+    escape the directory. *)
+
+val segment_path : dir:string -> workload:string -> string
+
+val lake_segments : string -> string list
+(** The lake's segment files, sorted by filename — the canonical
+    (deterministic) mining order. [[]] if [dir] does not exist. *)

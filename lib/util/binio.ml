@@ -60,12 +60,32 @@ let read_byte r =
   r.pos <- r.pos + 1;
   c
 
+(* Number of value bits in a non-negative OCaml int: 62 on 64-bit
+   platforms. A varint whose bits reach the sign bit or beyond would
+   silently wrap negative (or drop bits) if accepted, so it is rejected
+   as hostile input instead. *)
+let uint_value_bits = Sys.int_size - 1
+
 let read_uint r =
   let rec go shift acc =
-    if shift > 62 then raise Truncated;
     let c = read_byte r in
-    let acc = acc lor ((c land 0x7F) lsl shift) in
-    if c land 0x80 = 0 then acc else go (shift + 7) acc
+    if c land 0x80 = 0 then begin
+      (* Final byte. Two hostile shapes to reject: a zero final byte
+         after a continuation (non-canonical padding, e.g. 0x80 0x00 as
+         an overlong encoding of 0 — the writer never emits it, and
+         accepting it would let one value have many encodings), and bits
+         that land on or past the sign bit. *)
+      if shift > 0 && c = 0 then raise Truncated;
+      if shift > uint_value_bits - 7 && c lsr (uint_value_bits - shift) <> 0
+      then raise Truncated;
+      acc lor (c lsl shift)
+    end
+    else begin
+      (* A continuation here would put the next byte entirely past the
+         value bits; no canonical encoding continues this far. *)
+      if shift + 7 >= uint_value_bits then raise Truncated;
+      go (shift + 7) (acc lor ((c land 0x7F) lsl shift))
+    end
   in
   go 0 0
 
@@ -80,7 +100,11 @@ let read_bool r =
   | _ -> raise Truncated
 
 let read_string_exact r n =
-  if n < 0 || r.pos + n > String.length r.data then raise Truncated;
+  (* [r.pos + n] can wrap negative for a hostile length near [max_int]
+     and slip past the bounds check into [String.sub]'s
+     [Invalid_argument]; comparing against the remaining byte count
+     cannot overflow because [pos <= length]. *)
+  if n < 0 || n > String.length r.data - r.pos then raise Truncated;
   let s = String.sub r.data r.pos n in
   r.pos <- r.pos + n;
   s
@@ -88,6 +112,18 @@ let read_string_exact r n =
 let read_string r = read_string_exact r (read_uint r)
 
 (* ---- atomic file replacement ---- *)
+
+(* Flushing the directory makes the rename itself durable. Some
+   filesystems refuse fsync on a directory fd; losing that flush only
+   weakens crash durability, never correctness, so the refusal is
+   tolerated. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
 
 let atomic_write path data =
   let dir = Filename.dirname path in
@@ -99,8 +135,16 @@ let atomic_write path data =
     (fun () ->
        let oc = open_out_bin tmp in
        Fun.protect ~finally:(fun () -> close_out oc)
-         (fun () -> output_string oc data);
+         (fun () ->
+            output_string oc data;
+            (* fsync the bytes before the rename publishes the name: a
+               rename can survive a crash that the unflushed data does
+               not, leaving a durably named but empty/torn "atomic"
+               file. *)
+            flush oc;
+            Unix.fsync (Unix.descr_of_out_channel oc));
        Sys.rename tmp path;
+       fsync_dir dir;
        ok := true)
 
 let read_file path =

@@ -4,8 +4,12 @@
     is never observable at the destination path). *)
 
 exception Truncated
-(** Raised by the read side when the input ends mid-value — the
-    signature of a corrupt or partially written snapshot. *)
+(** Raised by the read side on any input the writer could not have
+    produced: ending mid-value, a varint that is overlong / zero-padded /
+    overflows a non-negative OCaml int, or a length prefix larger than
+    the remaining bytes. Readers never raise [Invalid_argument] and never
+    return a silently wrapped value — hostile bytes and torn snapshots
+    both surface as [Truncated]. *)
 
 type writer
 
@@ -28,6 +32,10 @@ val reader : string -> reader
 val eof : reader -> bool
 
 val read_uint : reader -> int
+(** Accepts only the canonical LEB128 encoding of each value in
+    [0, max_int]: at most 9 bytes, no trailing zero continuation, final
+    byte below the sign bit. @raise Truncated otherwise. *)
+
 val read_int : reader -> int
 val read_bool : reader -> bool
 val read_string : reader -> string
@@ -37,9 +45,14 @@ val read_string_exact : reader -> int -> string
 
 val atomic_write : string -> string -> unit
 (** [atomic_write path data] writes [data] to a temp file in [path]'s
-    directory and renames it over [path]. Concurrent writers race
-    benignly (last rename wins with each file complete); a crash leaves
-    at worst an orphaned temp file. *)
+    directory, fsyncs it, renames it over [path], then fsyncs the
+    directory. Concurrent writers race benignly (last rename wins with
+    each file complete). Crash safety: after an OS crash, [path] holds
+    either its previous contents or [data] in full — the data is on
+    stable storage before the rename can become visible, and the rename
+    itself is flushed — and at worst an orphaned temp file remains. On
+    filesystems that refuse directory fsync the rename's durability is
+    whatever the platform provides; atomicity is unaffected. *)
 
 val read_file : string -> string
 (** The whole (binary) file as a string. @raise Sys_error. *)

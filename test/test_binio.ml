@@ -1,0 +1,261 @@
+(* Hostile-input suite for the [Util.Binio] reader surface: every torn,
+   overlong, overflowing or otherwise attacker-shaped byte string must
+   surface as [Truncated] — never [Invalid_argument], never a silently
+   wrapped or garbage value. The trace lake feeds on-disk bytes straight
+   into these readers, so this is the codec's security boundary. *)
+
+module B = Util.Binio
+
+let qtest ?(count = 500) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let expect_truncated what f =
+  match f () with
+  | (_ : int) -> Alcotest.failf "%s: decoded instead of raising" what
+  | exception B.Truncated -> ()
+  | exception e ->
+    Alcotest.failf "%s: raised %s instead of Truncated" what
+      (Printexc.to_string e)
+
+let bytes_of l = String.init (List.length l) (fun i -> Char.chr (List.nth l i))
+
+(* ---- varints ---- *)
+
+let test_uint_roundtrip () =
+  List.iter
+    (fun v ->
+       let w = B.writer () in
+       B.write_uint w v;
+       let r = B.reader (B.contents w) in
+       Alcotest.(check int) (string_of_int v) v (B.read_uint r);
+       Alcotest.(check bool) "fully consumed" true (B.eof r))
+    [ 0; 1; 0x7F; 0x80; 300; 0xFFFF; 1 lsl 31; (1 lsl 62) - 1; max_int ]
+
+let test_int_roundtrip () =
+  List.iter
+    (fun v ->
+       let w = B.writer () in
+       B.write_int w v;
+       let r = B.reader (B.contents w) in
+       Alcotest.(check int) (string_of_int v) v (B.read_int r))
+    [ 0; 1; -1; 2; -2; 0x7FFF_FFFF; -0x8000_0000; max_int / 2; -(max_int / 2) ]
+
+let test_uint_overlong_rejected () =
+  (* Ten continuation bytes: shifts past the 63-bit int entirely. The
+     old reader wrapped these through the sign bit into garbage. *)
+  expect_truncated "10 x 0x80" (fun () ->
+      B.read_uint (B.reader (String.make 10 '\x80')));
+  expect_truncated "9 continuations + 0x01" (fun () ->
+      B.read_uint (B.reader (String.make 9 '\x80' ^ "\x01")));
+  (* 0xFF continuations exercise nonzero dropped bits. *)
+  expect_truncated "10 x 0xFF + 0x01" (fun () ->
+      B.read_uint (B.reader (String.make 10 '\xFF' ^ "\x01")))
+
+let test_uint_sign_bit_rejected () =
+  (* Nine bytes whose final byte reaches the sign bit: 8 continuations
+     put the last byte at shift 56, where anything above 0x3F lands on
+     or past bit 62. The old reader returned a negative int. *)
+  expect_truncated "final byte 0x40 at shift 56" (fun () ->
+      B.read_uint (B.reader (String.make 8 '\x80' ^ "\x40")));
+  expect_truncated "final byte 0x7F at shift 56" (fun () ->
+      B.read_uint (B.reader (String.make 8 '\xFF' ^ "\x7F")));
+  (* ...while 0x3F there is the top of the canonical range: max_int. *)
+  let r = B.reader (String.make 8 '\xFF' ^ "\x3F") in
+  Alcotest.(check int) "canonical max_int decodes" max_int (B.read_uint r)
+
+let test_uint_noncanonical_rejected () =
+  (* Trailing zero padding gives one value two encodings (0x80 0x00 is
+     an overlong 0); canonical readers must reject it. *)
+  expect_truncated "0x80 0x00" (fun () ->
+      B.read_uint (B.reader (bytes_of [ 0x80; 0x00 ])));
+  expect_truncated "0x81 0x80 0x00" (fun () ->
+      B.read_uint (B.reader (bytes_of [ 0x81; 0x80; 0x00 ])))
+
+let test_uint_truncated_mid_varint () =
+  expect_truncated "empty input" (fun () -> B.read_uint (B.reader ""));
+  expect_truncated "lone continuation" (fun () ->
+      B.read_uint (B.reader "\x80"));
+  expect_truncated "cut after 3 continuations" (fun () ->
+      B.read_uint (B.reader "\xFF\xFF\xFF"))
+
+(* ---- length-prefixed strings ---- *)
+
+let test_hostile_length_prefix () =
+  (* A length prefix of max_int over a 3-byte body: the old bounds check
+     computed [pos + n], wrapped negative, passed, and String.sub raised
+     Invalid_argument. *)
+  let w = B.writer () in
+  B.write_uint w max_int;
+  B.write_raw w "abc";
+  let data = B.contents w in
+  expect_truncated "max_int length prefix" (fun () ->
+      String.length (B.read_string (B.reader data)));
+  (* Same attack straight through read_string_exact. *)
+  let r = B.reader "abc" in
+  expect_truncated "read_string_exact max_int" (fun () ->
+      String.length (B.read_string_exact r max_int));
+  expect_truncated "read_string_exact max_int - 1" (fun () ->
+      String.length (B.read_string_exact r (max_int - 1)));
+  expect_truncated "negative length" (fun () ->
+      String.length (B.read_string_exact r (-1)));
+  (* The reader is still usable after the rejected reads. *)
+  Alcotest.(check string) "cursor undisturbed" "abc"
+    (B.read_string_exact r 3)
+
+(* ---- truncation sweep over a composite payload ---- *)
+
+(* A representative payload using the full writer surface; reading it
+   back at every strict prefix must raise Truncated — at no offset may a
+   read raise Invalid_argument or return a full parse. *)
+let composite () =
+  let w = B.writer () in
+  B.write_uint w 0;
+  B.write_uint w 300;
+  B.write_uint w max_int;
+  B.write_int w (-12345);
+  B.write_bool w true;
+  B.write_string w "segment";
+  B.write_string w (String.make 40 '\xFF');
+  B.write_raw w "RAW!";
+  B.contents w
+
+let read_composite data =
+  let r = B.reader data in
+  let a = B.read_uint r in
+  let b = B.read_uint r in
+  let c = B.read_uint r in
+  let d = B.read_int r in
+  let e = B.read_bool r in
+  let s1 = B.read_string r in
+  let s2 = B.read_string r in
+  let raw = B.read_string_exact r 4 in
+  (a, b, c, d, e, s1, s2, raw)
+
+let test_truncation_at_every_offset () =
+  let data = composite () in
+  let full = read_composite data in
+  Alcotest.(check bool) "whole payload parses" true
+    (full = (0, 300, max_int, -12345, true, "segment", String.make 40 '\xFF', "RAW!"));
+  for cut = 0 to String.length data - 1 do
+    match read_composite (String.sub data 0 cut) with
+    | _ -> Alcotest.failf "prefix of %d bytes parsed fully" cut
+    | exception B.Truncated -> ()
+    | exception e ->
+      Alcotest.failf "prefix of %d bytes raised %s" cut
+        (Printexc.to_string e)
+  done
+
+(* ---- random hostile bytes ---- *)
+
+let prop_random_bytes_never_invalid_argument =
+  qtest "random bytes: read_uint returns >= 0 or raises Truncated"
+    QCheck.(string_of_size Gen.(int_bound 24))
+    (fun data ->
+       match B.read_uint (B.reader data) with
+       | v -> v >= 0
+       | exception B.Truncated -> true)
+
+let prop_random_bytes_string_reader =
+  qtest "random bytes: read_string never raises Invalid_argument"
+    QCheck.(string_of_size Gen.(int_bound 64))
+    (fun data ->
+       match B.read_string (B.reader data) with
+       | s -> String.length s <= String.length data
+       | exception B.Truncated -> true)
+
+let prop_uint_roundtrip_random =
+  qtest "uint roundtrip over random non-negative ints"
+    QCheck.(map abs int)
+    (fun v ->
+       let v = if v < 0 then 0 else v in
+       let w = B.writer () in
+       B.write_uint w v;
+       B.read_uint (B.reader (B.contents w)) = v)
+
+let prop_int_roundtrip_random =
+  qtest "int roundtrip over random ints"
+    QCheck.(int_range (-0x3FFF_FFFF_FFFF) 0x3FFF_FFFF_FFFF)
+    (fun v ->
+       let w = B.writer () in
+       B.write_int w v;
+       B.read_int (B.reader (B.contents w)) = v)
+
+(* ---- atomic_write ---- *)
+
+let test_atomic_write_contents_and_cleanup () =
+  let path = Filename.temp_file "scifinder_binio" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       B.atomic_write path "first";
+       Alcotest.(check string) "written" "first" (B.read_file path);
+       B.atomic_write path "second, longer payload";
+       Alcotest.(check string) "overwritten" "second, longer payload"
+         (B.read_file path);
+       (* No orphaned temp files in the destination directory. *)
+       let dir = Filename.dirname path in
+       let leftovers =
+         Array.to_list (Sys.readdir dir)
+         |> List.filter (fun n ->
+             String.length n >= 5
+             && String.sub n 0 5 = ".snap"
+             && Filename.check_suffix n ".tmp")
+       in
+       Alcotest.(check (list string)) "no temp files left" [] leftovers)
+
+(* ---- Fsname encoding ---- *)
+
+let test_fsname_safe_passthrough () =
+  Alcotest.(check string) "plain name unchanged" "basicmath-01_x"
+    (Util.Fsname.encode "basicmath-01_x")
+
+let test_fsname_hostile_names () =
+  List.iter
+    (fun name ->
+       let enc = Util.Fsname.encode name in
+       Alcotest.(check bool)
+         (Printf.sprintf "%S encodes to a single component" name)
+         false
+         (String.contains enc '/' || String.contains enc '\x00'
+          || String.equal enc ".." || String.equal enc ".");
+       Alcotest.(check (option string))
+         (Printf.sprintf "%S decodes back" name)
+         (Some name) (Util.Fsname.decode enc))
+    [ "../../etc/passwd"; "a/b"; ".."; "."; "%2F"; "nul\x00byte"; "" ]
+
+let prop_fsname_roundtrip =
+  qtest "Fsname encode/decode roundtrip"
+    QCheck.(string_of_size Gen.(int_bound 32))
+    (fun name ->
+       Util.Fsname.decode (Util.Fsname.encode name) = Some name)
+
+let () =
+  Alcotest.run "binio"
+    [ ("varints",
+       [ Alcotest.test_case "uint roundtrip" `Quick test_uint_roundtrip;
+         Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+         Alcotest.test_case "overlong rejected" `Quick
+           test_uint_overlong_rejected;
+         Alcotest.test_case "sign-bit overflow rejected" `Quick
+           test_uint_sign_bit_rejected;
+         Alcotest.test_case "non-canonical padding rejected" `Quick
+           test_uint_noncanonical_rejected;
+         Alcotest.test_case "truncated mid-varint" `Quick
+           test_uint_truncated_mid_varint;
+         prop_uint_roundtrip_random;
+         prop_int_roundtrip_random ]);
+      ("strings",
+       [ Alcotest.test_case "hostile length prefix" `Quick
+           test_hostile_length_prefix ]);
+      ("torn input",
+       [ Alcotest.test_case "truncation at every byte offset" `Quick
+           test_truncation_at_every_offset;
+         prop_random_bytes_never_invalid_argument;
+         prop_random_bytes_string_reader ]);
+      ("atomic write",
+       [ Alcotest.test_case "contents and cleanup" `Quick
+           test_atomic_write_contents_and_cleanup ]);
+      ("fsname",
+       [ Alcotest.test_case "safe passthrough" `Quick
+           test_fsname_safe_passthrough;
+         Alcotest.test_case "hostile names" `Quick test_fsname_hostile_names;
+         prop_fsname_roundtrip ]) ]

@@ -1,0 +1,318 @@
+(* The trace lake's segment codec: replaying a segment must be
+   record-for-record bit-identical to the live [Runner.run_fold] stream
+   that produced it (pinned via SCIFSNAP engine bytes, like
+   streaming == replay in test_hotpath), appending must compose, and
+   every torn or damaged byte of a segment file must surface as
+   [Corrupt_segment] — never Invalid_argument, never garbage records. *)
+
+module Engine = Daikon.Engine
+module Segment = Trace.Segment
+module R = Trace.Record
+module Pipeline = Scifinder_core.Pipeline
+
+let qtest ?(count = 20) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "scifinder_lake" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+        Array.iter
+          (fun n ->
+             try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let workload name = Option.get (Workloads.Suite.by_name name)
+
+(* Record one workload into [path] (appending), with a configurable
+   block size so multi-block framing is exercised. *)
+let record ?records_per_block (w : Workloads.Rt.t) path =
+  Segment.with_writer ?records_per_block ~workload:w.name path (fun sw ->
+      ignore
+        (Trace.Runner.stream_to_segment ~tick_period:w.tick_period
+           ~entry:w.entry ~writer:sw w.image))
+
+let mine_live (ws : Workloads.Rt.t list) =
+  let engine = Engine.create () in
+  List.iter
+    (fun (w : Workloads.Rt.t) ->
+       ignore
+         (Trace.Runner.stream ~tick_period:w.tick_period ~entry:w.entry
+            ~observer:(Engine.observe engine) w.image))
+    ws;
+  engine
+
+let mine_segment path =
+  let engine = Engine.create () in
+  let (), _info =
+    Segment.fold ~init:() ~f:(fun () r -> Engine.observe engine r) path
+  in
+  engine
+
+(* ---- round-trip exactness ---- *)
+
+let test_roundtrip_records_exact () =
+  with_tmp_dir (fun dir ->
+      let w = workload "bitcount" in
+      let path = Filename.concat dir "w.seg" in
+      (* Tiny blocks force many framing boundaries. *)
+      record ~records_per_block:7 w path;
+      let live, _ =
+        Trace.Runner.capture ~tick_period:w.tick_period ~entry:w.entry
+          w.image
+      in
+      let replayed, info =
+        Segment.fold ~init:[] ~f:(fun acc r -> r :: acc) path
+      in
+      let replayed = List.rev replayed in
+      Alcotest.(check int) "record count"
+        (List.length live) (List.length replayed);
+      Alcotest.(check int) "info record count"
+        (List.length live) info.Segment.records;
+      Alcotest.(check bool) "multi-block" true (info.Segment.blocks > 1);
+      Alcotest.(check (list string)) "workloads" [ w.name ]
+        info.Segment.workloads;
+      List.iter2
+        (fun (a : R.t) (b : R.t) ->
+           Alcotest.(check string) "point" a.point b.point;
+           Alcotest.(check bool) "values bit-identical" true
+             (a.values = b.values);
+           Alcotest.(check bool) "mask identical" true (a.mask = b.mask))
+        live replayed)
+
+let test_stream_equals_replay_engine_bytes () =
+  with_tmp_dir (fun dir ->
+      let w = workload "instru" in
+      let path = Filename.concat dir "w.seg" in
+      record w path;
+      Alcotest.(check bool) "SCIFSNAP bytes equal" true
+        (String.equal
+           (Engine.encode (mine_live [ w ]))
+           (Engine.encode (mine_segment path))))
+
+let prop_fuzz_roundtrip =
+  qtest "segment replay == live stream (SCIFSNAP bytes), fuzz programs"
+    QCheck.(pair (int_bound 1000) (int_bound 40))
+    (fun (seed, index) ->
+       let w = Fuzz.Gen.candidate ~seed ~index in
+       with_tmp_dir (fun dir ->
+           let path = Filename.concat dir "w.seg" in
+           record ~records_per_block:64 w path;
+           String.equal
+             (Engine.encode (mine_live [ w ]))
+             (Engine.encode (mine_segment path))))
+
+let test_append_composes () =
+  with_tmp_dir (fun dir ->
+      let w = workload "pi" in
+      let path = Filename.concat dir "w.seg" in
+      (* Two writer sessions on the same path: blocks append, deltas
+         reset per block, so the segment equals the trace played twice. *)
+      record w path;
+      record w path;
+      Alcotest.(check bool) "append == live twice" true
+        (String.equal
+           (Engine.encode (mine_live [ w; w ]))
+           (Engine.encode (mine_segment path))))
+
+let test_concat_is_replication () =
+  with_tmp_dir (fun dir ->
+      let w = workload "helloworld" in
+      let path = Filename.concat dir "w.seg" in
+      record w path;
+      let bytes = Util.Binio.read_file path in
+      let path3 = Filename.concat dir "w3.seg" in
+      let oc = open_out_bin path3 in
+      for _ = 1 to 3 do output_string oc bytes done;
+      close_out oc;
+      Alcotest.(check bool) "3x concat == live 3x" true
+        (String.equal
+           (Engine.encode (mine_live [ w; w; w ]))
+           (Engine.encode (mine_segment path3))))
+
+(* ---- torn and hostile segments ---- *)
+
+let expect_corrupt what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: read instead of raising" what
+  | exception Segment.Corrupt_segment _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: raised %s instead of Corrupt_segment" what
+      (Printexc.to_string e)
+
+let drain path =
+  let n = ref 0 in
+  let info = Segment.iter ~f:(fun _ -> incr n) path in
+  (!n, info)
+
+(* Block boundaries of a segment file, from the 4-byte big-endian
+   payload length at offset 24 of each 28-byte frame header. *)
+let block_boundaries bytes =
+  let be32 off =
+    (Char.code bytes.[off] lsl 24)
+    lor (Char.code bytes.[off + 1] lsl 16)
+    lor (Char.code bytes.[off + 2] lsl 8)
+    lor Char.code bytes.[off + 3]
+  in
+  let rec go off acc =
+    if off >= String.length bytes then List.rev acc
+    else
+      let next = off + 28 + be32 (off + 24) in
+      go next (next :: acc)
+  in
+  go 0 []
+
+let test_truncation_at_every_offset () =
+  with_tmp_dir (fun dir ->
+      (* A small fuzz program keeps the sweep affordable while still
+         spanning several blocks. *)
+      let w = Fuzz.Gen.candidate ~seed:7 ~index:3 in
+      let path = Filename.concat dir "w.seg" in
+      record ~records_per_block:16 w path;
+      let bytes = Util.Binio.read_file path in
+      let boundaries = block_boundaries bytes in
+      Alcotest.(check bool) "spans several blocks" true
+        (List.length boundaries > 2);
+      let full, _ = drain path in
+      let cut_path = Filename.concat dir "cut.seg" in
+      for cut = 0 to String.length bytes - 1 do
+        let oc = open_out_bin cut_path in
+        output_string oc (String.sub bytes 0 cut);
+        close_out oc;
+        if List.mem cut boundaries then begin
+          (* A cut on a block boundary is indistinguishable from a
+             writer that simply appended fewer blocks: it must parse —
+             as strictly fewer records, never garbage. *)
+          let n, _ = drain cut_path in
+          Alcotest.(check bool)
+            (Printf.sprintf "boundary cut %d parses short" cut)
+            true (n < full)
+        end
+        else
+          expect_corrupt (Printf.sprintf "prefix of %d bytes" cut) (fun () ->
+              drain cut_path)
+      done)
+
+let test_bitflip_rejected () =
+  with_tmp_dir (fun dir ->
+      let w = workload "helloworld" in
+      let path = Filename.concat dir "w.seg" in
+      record w path;
+      let bytes = Bytes.of_string (Util.Binio.read_file path) in
+      (* Flip one payload byte mid-file: the digest must catch it. *)
+      let off = Bytes.length bytes / 2 in
+      Bytes.set bytes off (Char.chr (Char.code (Bytes.get bytes off) lxor 1));
+      let bad = Filename.concat dir "bad.seg" in
+      let oc = open_out_bin bad in
+      output_bytes oc bytes;
+      close_out oc;
+      expect_corrupt "flipped byte" (fun () -> drain bad))
+
+let test_foreign_and_future_rejected () =
+  with_tmp_dir (fun dir ->
+      let junk = Filename.concat dir "junk.seg" in
+      let oc = open_out_bin junk in
+      output_string oc "this is not a segment file at all.......";
+      close_out oc;
+      expect_corrupt "foreign bytes" (fun () -> drain junk);
+      (* Bump the version byte of a real segment: readers must refuse
+         rather than misparse a future layout. *)
+      let w = workload "helloworld" in
+      let path = Filename.concat dir "w.seg" in
+      record w path;
+      let bytes = Bytes.of_string (Util.Binio.read_file path) in
+      Bytes.set bytes 7 (Char.chr (Segment.version + 1));
+      let future = Filename.concat dir "future.seg" in
+      let oc = open_out_bin future in
+      output_bytes oc bytes;
+      close_out oc;
+      expect_corrupt "future version" (fun () -> drain future);
+      expect_corrupt "empty file" (fun () ->
+          let empty = Filename.concat dir "empty.seg" in
+          close_out (open_out_bin empty);
+          drain empty))
+
+(* ---- the lake: record + out-of-core mining ---- *)
+
+let test_lake_mine_matches_live () =
+  with_tmp_dir (fun dir ->
+      let names = [ "bitcount"; "helloworld"; "pi" ] in
+      let stats = Pipeline.record_lake ~names ~dir () in
+      Alcotest.(check int) "segments" 3 stats.Pipeline.lake_segments;
+      Alcotest.(check bool) "bytes on disk" true
+        (stats.Pipeline.lake_bytes > 0);
+      let m = Pipeline.mine_lake dir in
+      Alcotest.(check int) "records mined == records recorded"
+        stats.Pipeline.lake_records m.Pipeline.record_count;
+      (* Live sequential mining of the same workloads in lake (sorted
+         filename) order must agree bit-for-bit. *)
+      let sorted = List.sort String.compare names in
+      let live = mine_live (List.map workload sorted) in
+      Alcotest.(check (list string)) "invariant set identical"
+        (List.map Invariant.Expr.to_string (Engine.invariants live))
+        (List.map Invariant.Expr.to_string m.Pipeline.invariants);
+      Alcotest.(check int) "one figure3 row per segment" 3
+        (List.length m.Pipeline.figure3))
+
+let test_lake_append_accumulates () =
+  with_tmp_dir (fun dir ->
+      let names = [ "helloworld" ] in
+      let s1 = Pipeline.record_lake ~names ~dir () in
+      let s2 = Pipeline.record_lake ~names ~dir () in
+      Alcotest.(check int) "second pass appends the same count"
+        s1.Pipeline.lake_records s2.Pipeline.lake_records;
+      let m = Pipeline.mine_lake dir in
+      Alcotest.(check int) "lake holds both passes"
+        (2 * s1.Pipeline.lake_records) m.Pipeline.record_count;
+      let w = workload "helloworld" in
+      Alcotest.(check bool) "2x lake == live twice" true
+        (String.equal
+           (Engine.encode (mine_live [ w; w ]))
+           (Engine.encode
+              (mine_segment (Segment.segment_path ~dir ~workload:w.name)))))
+
+let test_lake_slash_named_workload () =
+  with_tmp_dir (fun dir ->
+      (* A hostile workload name must stay inside the lake directory and
+         still round-trip. *)
+      let base = workload "helloworld" in
+      let evil = { base with Workloads.Rt.name = "../evil/../w" } in
+      let stats =
+        Pipeline.record_lake ~workloads:[ evil ] ~names:[ evil.name ] ~dir ()
+      in
+      Alcotest.(check int) "one segment" 1 stats.Pipeline.lake_segments;
+      Alcotest.(check (list string)) "segment is inside the lake dir"
+        [ Segment.segment_path ~dir ~workload:evil.name ]
+        (Segment.lake_segments dir);
+      let m = Pipeline.mine_lake dir in
+      Alcotest.(check int) "records survive"
+        stats.Pipeline.lake_records m.Pipeline.record_count)
+
+let () =
+  Alcotest.run "segment"
+    [ ("roundtrip",
+       [ Alcotest.test_case "records bit-identical across blocks" `Quick
+           test_roundtrip_records_exact;
+         Alcotest.test_case "stream == replay (SCIFSNAP bytes)" `Quick
+           test_stream_equals_replay_engine_bytes;
+         Alcotest.test_case "append composes" `Quick test_append_composes;
+         Alcotest.test_case "file concat is corpus replication" `Quick
+           test_concat_is_replication;
+         prop_fuzz_roundtrip ]);
+      ("hostile",
+       [ Alcotest.test_case "truncation at every byte offset" `Quick
+           test_truncation_at_every_offset;
+         Alcotest.test_case "bit flip rejected" `Quick test_bitflip_rejected;
+         Alcotest.test_case "foreign/future/empty rejected" `Quick
+           test_foreign_and_future_rejected ]);
+      ("lake",
+       [ Alcotest.test_case "mine_lake == live sequential" `Quick
+           test_lake_mine_matches_live;
+         Alcotest.test_case "append accumulates" `Quick
+           test_lake_append_accumulates;
+         Alcotest.test_case "hostile workload name contained" `Quick
+           test_lake_slash_named_workload ]) ]

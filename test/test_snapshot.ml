@@ -182,6 +182,35 @@ let test_cache_stale_config () =
       Alcotest.(check bool) "the two configs genuinely differ" true
         (s a <> s b))
 
+let test_cache_slash_named_workload () =
+  with_cache_dir (fun dir ->
+      (* A registered/fuzz workload is free to carry '/' or '..' in its
+         name; its shard must cache INSIDE the cache dir (percent-encoded
+         filename) and reload from there, never escape. *)
+      let base = Option.get (Workloads.Suite.by_name "helloworld") in
+      let evil = { base with Workloads.Rt.name = "../escapee/x" } in
+      let groups = [ [ evil.Workloads.Rt.name ] ] and labels = [ "evil" ] in
+      let mine () =
+        Pipeline.mine ~workloads:[ evil ] ~groups ~labels ~jobs:1
+          ~cache_dir:dir ()
+      in
+      let cold = mine () in
+      let shard =
+        Filename.concat dir
+          (Util.Fsname.encode evil.Workloads.Rt.name ^ ".snap")
+      in
+      Alcotest.(check bool) "shard cached inside the cache dir" true
+        (Sys.file_exists shard);
+      Alcotest.(check bool) "nothing escaped the cache dir" false
+        (Sys.file_exists
+           (Filename.concat (Filename.dirname dir) "escapee"));
+      let warm = mine () in
+      Alcotest.(check (list string)) "warm reload identical"
+        (List.map Expr.to_string cold.Pipeline.invariants)
+        (List.map Expr.to_string warm.Pipeline.invariants);
+      Alcotest.(check int) "records identical"
+        cold.Pipeline.record_count warm.Pipeline.record_count)
+
 let () =
   Alcotest.run "snapshot"
     [ ("engine",
@@ -197,4 +226,6 @@ let () =
        [ Alcotest.test_case "warm equals cold" `Quick test_cache_warm_equals_cold;
          Alcotest.test_case "full mine summary" `Quick test_cache_full_mine;
          Alcotest.test_case "damage re-mined" `Quick test_cache_rejects_damage;
-         Alcotest.test_case "config fingerprint" `Quick test_cache_stale_config ]) ]
+         Alcotest.test_case "config fingerprint" `Quick test_cache_stale_config;
+         Alcotest.test_case "slash-named workload contained" `Quick
+           test_cache_slash_named_workload ]) ]
