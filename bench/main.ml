@@ -1171,6 +1171,184 @@ let lakebench () =
       ("identical", if replay_equal && scaled_equal then 1.0 else 0.0);
       ("torn_rejected", if torn_rejected then 1.0 else 0.0) ]
 
+(* ---- servebench: the mining service under concurrent clients ---- *)
+
+let serve_result : (string * float) list ref = ref []
+
+(* Hundreds of synthetic clients against an in-process server on a Unix
+   socket. Three phases: sustained throughput (every client mines into
+   its own session; gate: records/sec >= 0.8x a direct batch mine of the
+   same multiset on the same worker count), backpressure (64 pipelined
+   requests against an inflight window of 4: overflow comes back as
+   explicit busy, nothing is dropped), and serve == batch determinism
+   (session digest over the socket == sequential Pipeline.Session). *)
+let servebench_clients = 220
+
+let servebench () =
+  header "Servebench: the mining service under concurrent synthetic clients";
+  let sockdir =
+    let base = Filename.temp_file "scifinder_servebench" "" in
+    Sys.remove base;
+    Unix.mkdir base 0o755;
+    base
+  in
+  let sock = Filename.concat sockdir "bench.sock" in
+  let cfg =
+    { Serve.Server.listen = Serve.Server.Unix_sock sock;
+      jobs = !jobs; max_inflight = 4; idle_timeout = 0.;
+      cache_dir = None; mine_jobs = 1 }
+  in
+  let srv = Serve.Server.create cfg in
+  let srv_domain = Domain.spawn (fun () -> Serve.Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+        Serve.Server.stop srv;
+        Domain.join srv_domain;
+        (try Sys.remove sock with Sys_error _ -> ());
+        try Unix.rmdir sockdir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rotation = [| "pi"; "helloworld"; "bitcount" |] in
+  let workload_of i = rotation.(i mod Array.length rotation) in
+  (* Phase 1: throughput. Connect everyone up front, then time the
+     burst: one quick-mine per client, each into its own session, all
+     inflight at once; responses drained afterwards (they sit in socket
+     buffers, so drain order does not serialise the server). *)
+  let conns =
+    Array.init servebench_clients (fun _ -> Serve.Client.connect_unix sock)
+  in
+  let served = ref 0 in
+  let (), serve_s =
+    Obs.Clock.time (fun () ->
+        let ids =
+          Array.mapi
+            (fun i c ->
+               Serve.Client.send c ~session:(Printf.sprintf "c%d" i)
+                 (Serve.Proto.Mine
+                    { source = Serve.Proto.Names [ workload_of i ];
+                      label = None; row = false; digest = false }))
+            conns
+        in
+        Array.iteri
+          (fun i c ->
+             match Serve.Client.recv_id c ids.(i) with
+             | Serve.Proto.Mined { records; _ } -> served := !served + records
+             | r ->
+               Printf.eprintf "servebench client %d: %s\n" i
+                 (Serve.Proto.encode_response r))
+          conns)
+  in
+  Array.iter Serve.Client.close conns;
+  let serve_rps = float_of_int !served /. Float.max serve_s 1e-9 in
+  (* The batch denominator: the same per-client work (one fresh session
+     engine each, quick absorption) done directly on the same worker
+     count — so the ratio isolates the serving tax (protocol, scheduler,
+     select loop), not a different mining shape. *)
+  let multiset =
+    Array.init servebench_clients (fun i ->
+        Option.get (Workloads.Suite.by_name (workload_of i)))
+  in
+  let batch_records = ref 0 in
+  let (), batch_s =
+    Obs.Clock.time (fun () ->
+        let counts =
+          Util.Parallel.map ~jobs:!jobs
+            (fun w ->
+               let s = Pipeline.Session.create () in
+               (Pipeline.Session.mine s ~row:false [ w ])
+                 .Pipeline.Session.o_records)
+            multiset
+        in
+        batch_records := Array.fold_left ( + ) 0 counts)
+  in
+  let batch_rps = float_of_int !batch_records /. Float.max batch_s 1e-9 in
+  let rps_ratio = serve_rps /. Float.max batch_rps 1e-9 in
+  (* Job latency distribution, straight from the server's histogram
+     (same process). *)
+  let h = Obs.Metrics.histogram ~unit:"ns" "serve.job.total_ns" in
+  let p99_job_ms =
+    float_of_int (Obs.Metrics.histogram_percentile h 0.99) /. 1e6
+  in
+  let p50_job_ms =
+    float_of_int (Obs.Metrics.histogram_percentile h 0.5) /. 1e6
+  in
+  (* Phase 2: backpressure. One session, 64 requests in one burst
+     against a window of 4: every overflow is an explicit busy, and
+     mined + busy accounts for every request. *)
+  let c = Serve.Client.connect_unix sock in
+  let mined = ref 0 and busy = ref 0 in
+  let burst = 64 in
+  let ids =
+    List.init burst (fun _ ->
+        Serve.Client.send c ~session:"bp"
+          (Serve.Proto.Mine
+             { source = Serve.Proto.Names [ "pi" ]; label = None;
+               row = false; digest = false }))
+  in
+  List.iter
+    (fun id ->
+       match Serve.Client.recv_id c id with
+       | Serve.Proto.Mined _ -> incr mined
+       | Serve.Proto.Busy _ -> incr busy
+       | _ -> ())
+    ids;
+  Serve.Client.close c;
+  let accounted = !mined + !busy = burst in
+  (* Phase 3: determinism over the socket vs the sequential Session. *)
+  let det_names = [ "pi"; "helloworld"; "bitcount" ] in
+  let c = Serve.Client.connect_unix sock in
+  let served_digest = ref None in
+  List.iteri
+    (fun i n ->
+       match
+         Serve.Client.call c ~session:"det"
+           (Serve.Proto.Mine
+              { source = Serve.Proto.Names [ n ]; label = Some n;
+                row = true; digest = (i = List.length det_names - 1) })
+       with
+       | Serve.Proto.Mined { digest = Some d; _ } -> served_digest := Some d
+       | _ -> ())
+    det_names;
+  Serve.Client.close c;
+  let s = Pipeline.Session.create () in
+  List.iter
+    (fun n ->
+       ignore
+         (Pipeline.Session.mine s ~label:n
+            [ Option.get (Workloads.Suite.by_name n) ]))
+    det_names;
+  let identical = !served_digest = Some (Pipeline.Session.engine_digest s) in
+  pf "%-32s %12s %12s %14s\n" "lane" "records" "seconds" "records/sec";
+  pf "%-32s %12d %12.3f %14.0f\n"
+    (Printf.sprintf "serve (%d clients, %d workers)" servebench_clients !jobs)
+    !served serve_s serve_rps;
+  pf "%-32s %12d %12.3f %14.0f\n"
+    (Printf.sprintf "batch mine (jobs=%d)" !jobs)
+    !batch_records batch_s batch_rps;
+  pf "serve/batch rps ratio: %.2f; job latency p50 %.1f ms, p99 %.1f ms\n"
+    rps_ratio p50_job_ms p99_job_ms;
+  pf "backpressure: %d mined + %d busy of %d pipelined (window 4, \
+      all accounted: %b)\n"
+    !mined !busy burst accounted;
+  pf "serve == batch engine digest: %b\n" identical;
+  let pass =
+    servebench_clients >= 200 && rps_ratio >= 0.8 && p99_job_ms > 0.
+    && !busy >= 1 && accounted && identical
+  in
+  pf "servebench gate (>=200 clients, rps >= 0.8x batch, p99 recorded, \
+      busy backpressure, serve==batch): %s\n"
+    (if pass then "PASS" else "FAIL");
+  serve_result :=
+    [ ("clients", float_of_int servebench_clients);
+      ("served_records", float_of_int !served);
+      ("serve_s", serve_s);
+      ("serve_rps", serve_rps);
+      ("batch_rps", batch_rps);
+      ("rps_ratio", rps_ratio);
+      ("p50_job_ms", p50_job_ms);
+      ("p99_job_ms", p99_job_ms);
+      ("busy", float_of_int !busy);
+      ("identical", if identical then 1.0 else 0.0) ]
+
 (* ---- telemetry overhead: the tentpole's < 2% null-sink budget ---- *)
 
 let obsbench () =
@@ -1437,6 +1615,15 @@ let write_bench_json () =
       !lake_result;
     bpf "\n  }"
   end;
+  if !serve_result <> [] then begin
+    bpf ",\n  \"servebench\": {";
+    List.iteri
+      (fun i (k, v) ->
+         bpf "%s\n    %s: %s" (if i = 0 then "" else ",")
+           (json_str k) (json_float v))
+      !serve_result;
+    bpf "\n  }"
+  end;
   bpf "\n}\n";
   let oc = open_out "BENCH_pipeline.json" in
   Fun.protect ~finally:(fun () -> close_out oc)
@@ -1522,6 +1709,7 @@ let () =
     | "minebench" -> timed id minebench
     | "mutbench" -> timed id mutbench
     | "lakebench" -> timed id lakebench
+    | "servebench" -> timed id servebench
     | "export" -> timed id (fun () -> export (second "bench_data"))
     | "bechamel" -> timed id bechamel
     | other ->

@@ -37,17 +37,22 @@ let read_file path =
 
 (* ---- headline metrics ---- *)
 
-type direction = Higher | Lower
+type direction = Higher | Lower | Watch
 
 (* (name, path into BENCH_pipeline.json, better-direction). Every field
    is optional per run — cheap experiments only fill "experiments", so
-   record keeps whatever subset the run produced. *)
+   record keeps whatever subset the run produced. [Watch] metrics are
+   recorded and displayed but never fail the relative gate (latency on
+   shared CI hardware is too load-dependent for a 20% line) — except
+   when non-finite, which means the bench produced garbage. *)
 let spec =
   [ ("records_per_sec", [ "mining"; "records_per_sec" ], Higher);
     ("cache_speedup", [ "cache"; "speedup" ], Higher);
     ("minebench_speedup", [ "minebench"; "speedup" ], Higher);
     ("mutbench_speedup", [ "mutbench"; "speedup" ], Higher);
     ("lakebench_rps_ratio", [ "lakebench"; "rps_ratio" ], Higher);
+    ("servebench_ratio", [ "servebench"; "rps_ratio" ], Higher);
+    ("serve_p99_ms", [ "servebench"; "p99_job_ms" ], Watch);
     ("overhead_pct", [ "overhead"; "est_null_overhead_pct" ], Lower) ]
 
 let lookup path doc =
@@ -130,7 +135,12 @@ let judge ~name ~dir ~latest ~priors =
          Regression
            (Printf.sprintf "%s %.2f%% exceeds the %.1f%% budget" name v
               overhead_budget_pct)
-       else Ok_v)
+       else Ok_v
+     | Watch ->
+       (* Tracked for the record only; the finiteness check above is the
+          one way a Watch metric can fail. *)
+       ignore delta;
+       Ok_v)
 
 (* Latest entry vs the trailing median of (up to [window]) prior runs.
    Returns the failing messages; [] passes. *)
@@ -253,6 +263,28 @@ let selftest () =
     (gate [ entry 1000.0 0.4; entry nan 0.4; entry 790.0 0.4 ] <> []);
   expect "NaN history flagged a healthy run"
     (gate (base @ [ entry nan 0.4 ] @ [ entry 1000.0 0.4 ]) = []);
+  (* Watch metrics never trip the relative gate, however much they move
+     in either direction... *)
+  let wentry rps p99 =
+    [ ("records_per_sec", rps); ("serve_p99_ms", p99) ]
+  in
+  let wbase = [ wentry 1000.0 50.0; wentry 1040.0 55.0; wentry 980.0 45.0 ] in
+  expect "watch metric 10x blowup tripped the gate"
+    (gate (wbase @ [ wentry 1000.0 500.0 ]) = []);
+  expect "watch metric collapse tripped the gate"
+    (gate (wbase @ [ wentry 1000.0 1.0 ]) = []);
+  (* ...but a non-finite Watch value is still garbage and must fail. *)
+  expect "NaN watch metric passed silently"
+    (gate (wbase @ [ wentry 1000.0 nan ]) <> []);
+  (* And the serve throughput ratio is an ordinary Higher metric. *)
+  let sentry rps ratio =
+    [ ("records_per_sec", rps); ("servebench_ratio", ratio) ]
+  in
+  let sbase = [ sentry 1000.0 1.0; sentry 1000.0 1.05; sentry 1000.0 0.95 ] in
+  expect "servebench ratio drop not flagged"
+    (gate (sbase @ [ sentry 1000.0 0.7 ]) <> []);
+  expect "servebench ratio wobble flagged"
+    (gate (sbase @ [ sentry 1000.0 0.9 ]) = []);
   Printf.printf "trend gate (synthetic 20%% regression flagged): PASS\n";
   0
 

@@ -48,7 +48,18 @@ let setup_metrics metrics trace_out =
     at_exit (fun () ->
         Obs.Metrics.emit_all sink;
         Obs.Sink.close sink;
-        Obs.Sink.set_global Obs.Sink.null)
+        Obs.Sink.set_global Obs.Sink.null);
+    (* at_exit only runs on an orderly exit: a SIGINT/SIGTERM would kill
+       the process mid-write and truncate the JSONL tail. Route both
+       through exit (128+signo, shell convention) so the flush above
+       always runs. Commands with their own graceful shutdown — serve —
+       install their handlers after this and win. *)
+    let flush_on signal code =
+      try Sys.set_signal signal (Sys.Signal_handle (fun _ -> exit code))
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    flush_on Sys.sigint 130;
+    flush_on Sys.sigterm 143
 
 (* ---- exit codes ---- *)
 
@@ -224,7 +235,7 @@ let mine_cmd =
            block by block, instead of re-simulating anything. *)
         let m =
           Scifinder_core.Pipeline.mine_lake
-            ~provenance:(explain <> None) dir
+            ~provenance:(explain <> None) ?cache_dir dir
         in
         Printf.printf
           "lake: %d records from %d segments (%d bytes on disk)\n"
@@ -855,10 +866,415 @@ let workloads_cmd =
   Cmd.v (Cmd.info "workloads" ~doc:"List the 17-program trace corpus.")
     Term.(const run $ const ())
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run verbose metrics trace_out socket port host jobs queue idle_timeout
+      cache_dir mine_jobs =
+    setup_logs verbose;
+    setup_metrics metrics trace_out;
+    run_guarded @@ fun () ->
+    match (socket, port) with
+    | None, None | Some _, Some _ ->
+      Logs.err (fun m ->
+          m "serve needs exactly one of --socket PATH or --port N");
+      runtime_error_exit
+    | _ ->
+      let listen =
+        match socket with
+        | Some path -> Serve.Server.Unix_sock path
+        | None -> Serve.Server.Tcp (host, Option.get port)
+      in
+      let cfg =
+        { Serve.Server.listen;
+          jobs = max 1 jobs;
+          max_inflight = max 1 queue;
+          idle_timeout;
+          cache_dir;
+          mine_jobs = max 1 mine_jobs }
+      in
+      let srv = Serve.Server.create cfg in
+      (* Override the exit-on-signal handlers from setup_metrics: the
+         server has a real graceful path (drain queued jobs, flush every
+         connection and the telemetry sink) and returns 0 here. *)
+      List.iter
+        (fun s ->
+           Sys.set_signal s
+             (Sys.Signal_handle (fun _ -> Serve.Server.stop srv)))
+        [ Sys.sigint; Sys.sigterm ];
+      (match Serve.Server.sockaddr srv with
+       | Unix.ADDR_UNIX path ->
+         Logs.app (fun m ->
+             m "serving on %s (%d workers, inflight window %d)" path cfg.jobs
+               cfg.max_inflight)
+       | Unix.ADDR_INET (addr, p) ->
+         Logs.app (fun m ->
+             m "serving on %s:%d (%d workers, inflight window %d)"
+               (Unix.string_of_inet_addr addr) p cfg.jobs cfg.max_inflight));
+      Serve.Server.run srv;
+      Logs.app (fun m -> m "server stopped");
+      0
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on the Unix-domain socket $(docv) (a stale socket \
+                 file is replaced).")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"N"
+           ~doc:"Listen on TCP port $(docv) ($(b,0) picks a free port; \
+                 the bound address is logged).")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"ADDR"
+           ~doc:"Bind address for $(b,--port).")
+  in
+  let jobs =
+    Arg.(value & opt int 2
+         & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains executing jobs; sessions are scheduled \
+                 over them fair round-robin.")
+  in
+  let queue =
+    Arg.(value & opt int 4
+         & info [ "queue" ] ~docv:"N"
+           ~doc:"Per-session inflight bound (queued + running). Requests \
+                 beyond it are refused with an explicit $(i,busy) \
+                 response instead of queueing without limit.")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300.
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"Evict a session (and its engine state) after $(docv) \
+                 without requests; $(b,0) keeps sessions forever.")
+  in
+  let mine_jobs =
+    Arg.(value & opt int 1
+         & info [ "mine-jobs" ] ~docv:"N"
+           ~doc:"Trace-mining shards per job (default 1: the sequential \
+                 byte-identity reference; see DESIGN.md).")
+  in
+  Cmd.v (Cmd.info "serve" ~exits:common_exits
+           ~doc:"Run the persistent mining service: per-client sessions \
+                 with incremental engine state, fair queueing across \
+                 sessions, bounded inflight windows with explicit \
+                 backpressure, idle eviction and graceful shutdown on \
+                 SIGINT/SIGTERM. Speaks the length-framed JSONL protocol \
+                 of $(b,scifinder client) (see DESIGN.md).")
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ socket
+          $ port $ host $ jobs $ queue $ idle_timeout $ cache_term
+          $ mine_jobs)
+
+(* ---- client ---- *)
+
+let busy_exit = 4
+
+let busy_info =
+  Cmd.Exit.info busy_exit
+    ~doc:"when the server refuses the request (session inflight window \
+          full); resubmit after a response frees a slot."
+
+let client_exits = busy_info :: common_exits
+
+let client_socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Connect to the Unix-domain socket $(docv).")
+
+let client_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"N" ~doc:"Connect to TCP port $(docv).")
+
+let client_host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR" ~doc:"Server address for $(b,--port).")
+
+let client_session_arg =
+  Arg.(value & opt (some string) None
+       & info [ "session" ] ~docv:"NAME"
+         ~doc:"Mining session to address (default: $(i,default)). Each \
+               session accumulates engine state across requests \
+               server-side.")
+
+(* Connect, run [f], and map connection/protocol failures to exit 1.
+   [f] receives the connected client and returns the exit code. *)
+let with_client socket port host f =
+  match (socket, port) with
+  | None, None | Some _, Some _ ->
+    Logs.err (fun m ->
+        m "client needs exactly one of --socket PATH or --port N");
+    runtime_error_exit
+  | _ ->
+    (match
+       match socket with
+       | Some path -> Serve.Client.connect_unix path
+       | None -> Serve.Client.connect_tcp ~host ~port:(Option.get port)
+     with
+     | exception Unix.Unix_error (e, _, _) ->
+       Logs.err (fun m -> m "cannot connect: %s" (Unix.error_message e));
+       runtime_error_exit
+     | c ->
+       Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+       (try f c with
+        | Serve.Client.Protocol_error msg ->
+          Logs.err (fun m -> m "%s" msg);
+          runtime_error_exit
+        | Unix.Unix_error (e, fn, _) ->
+          Logs.err (fun m -> m "%s: %s" fn (Unix.error_message e));
+          runtime_error_exit))
+
+let print_response = function
+  | Serve.Proto.Mined { records; total_records; rows; invariants; digest; _ }
+    ->
+    List.iter
+      (fun (r : Serve.Proto.row) ->
+         Printf.printf "%-24s %6d unmodified %6d fresh %6d deleted %6d total\n"
+           r.r_label r.r_unmodified r.r_fresh r.r_deleted r.r_total)
+      rows;
+    Printf.printf "mined %d records (session total %d)\n" records
+      total_records;
+    if invariants >= 0 then Printf.printf "%d invariants\n" invariants;
+    Option.iter (fun d -> Printf.printf "engine digest %s\n" d) digest;
+    0
+  | Checked { supported; violated; vacuous; statuses; _ } ->
+    List.iteri (fun i s -> Printf.printf "%3d %s\n" (i + 1) s) statuses;
+    Printf.printf "%d supported, %d violated, %d vacuous\n" supported
+      violated vacuous;
+    0
+  | Campaigned { mutants; detected; fp_triggers; fingerprint; _ } ->
+    Printf.printf "%d/%d mutants detected, %d false-positive triggers [%s]\n"
+      detected mutants fp_triggers fingerprint;
+    0
+  | Snapshotted { path; bytes; digest; _ } ->
+    Printf.printf "snapshot %s (%d bytes, digest %s)\n" path bytes digest;
+    0
+  | Stats
+      { uptime_ms; sessions; queued; running; completed; busy; evicted;
+        p99_job_ms; _ } ->
+    Printf.printf
+      "uptime %d ms, %d sessions, %d queued, %d running, %d completed, \
+       %d busy, %d evicted, p99 job %.1f ms\n"
+      uptime_ms (List.length sessions) queued running completed busy evicted
+      p99_job_ms;
+    List.iter
+      (fun (s : Serve.Proto.session_stat) ->
+         Printf.printf "  %-16s %8d records %3d sources %3d queued%s\n"
+           s.st_name s.st_records s.st_sources s.st_queued
+           (if s.st_running then " (running)" else ""))
+      sessions;
+    0
+  | Cancelled { target; found; _ } ->
+    Printf.printf "cancel %d: %s\n" target
+      (if found then "dropped" else "not queued");
+    0
+  | Busy { queued; limit; _ } ->
+    Logs.err (fun m ->
+        m "server busy: %d/%d inflight for this session" queued limit);
+    busy_exit
+  | Bye _ ->
+    Printf.printf "server shutting down\n";
+    0
+  | Failed { message; _ } ->
+    Logs.err (fun m -> m "%s" message);
+    runtime_error_exit
+
+let client_call socket port host session request =
+  with_client socket port host @@ fun c ->
+  print_response (Serve.Client.call c ?session request)
+
+let client_mine_cmd =
+  let run verbose socket port host session workloads fuzz seed lake label
+      quick digest =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    let source =
+      match (workloads, fuzz, lake) with
+      | [], None, None ->
+        Error "one of -w NAME, --fuzz N or --lake DIR is required"
+      | ws, None, None -> Ok (Serve.Proto.Names ws)
+      | [], Some count, None -> Ok (Serve.Proto.Fuzz { seed; count })
+      | [], None, Some dir -> Ok (Serve.Proto.Lake dir)
+      | _ -> Error "-w, --fuzz and --lake are mutually exclusive"
+    in
+    match source with
+    | Error e ->
+      Logs.err (fun m -> m "%s" e);
+      runtime_error_exit
+    | Ok source ->
+      client_call socket port host session
+        (Serve.Proto.Mine { source; label; row = not quick; digest })
+  in
+  let workloads =
+    Arg.(value & opt_all string []
+         & info [ "w"; "workload" ] ~docv:"NAME"
+           ~doc:"Mine this workload into the session (repeatable).")
+  in
+  let fuzz =
+    Arg.(value & opt (some int) None
+         & info [ "fuzz" ] ~docv:"N"
+           ~doc:"Mine $(docv) deterministic fuzz candidates instead of \
+                 named workloads.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"S" ~doc:"Fuzz seed for $(b,--fuzz).")
+  in
+  let lake =
+    Arg.(value & opt (some string) None
+         & info [ "lake" ] ~docv:"DIR"
+           ~doc:"Mine the trace-lake directory $(docv) ($(i,server-side) \
+                 path) instead of simulating workloads.")
+  in
+  let label =
+    Arg.(value & opt (some string) None
+         & info [ "label" ] ~docv:"LABEL"
+           ~doc:"Figure 3 row label (default: the workload names).")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+           ~doc:"Absorb the traces without extracting invariants — \
+                 cheaper when batching many mine requests before one \
+                 $(b,check) or final mine.")
+  in
+  let digest =
+    Arg.(value & flag
+         & info [ "digest" ]
+           ~doc:"Also return the session engine's snapshot digest (for \
+                 determinism checks against a batch run).")
+  in
+  Cmd.v (Cmd.info "mine" ~exits:client_exits
+           ~doc:"Mine workloads, fuzz candidates or a lake into a session.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg $ client_session_arg $ workloads $ fuzz $ seed
+          $ lake $ label $ quick $ digest)
+
+let client_check_cmd =
+  let run verbose socket port host session file =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    let text =
+      if file = "-" then In_channel.input_all In_channel.stdin
+      else In_channel.with_open_text file In_channel.input_all
+    in
+    client_call socket port host session (Serve.Proto.Check { text })
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+           ~doc:"Invariant file in the $(b,mine -o) text grammar \
+                 ($(b,-) reads stdin). Each invariant is validated \
+                 against everything the session has mined.")
+  in
+  Cmd.v (Cmd.info "check" ~exits:client_exits
+           ~doc:"Check invariants against a session's mined corpus.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg $ client_session_arg $ file)
+
+let client_campaign_cmd =
+  let run verbose socket port host session seed mutants triggers tries =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    client_call socket port host session
+      (Serve.Proto.Campaign { seed; mutants; triggers; tries })
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Mutant seed.")
+  in
+  let mutants =
+    Arg.(value & opt int 200
+         & info [ "mutants" ] ~docv:"N" ~doc:"Mutants to generate.")
+  in
+  let triggers =
+    Arg.(value & opt int 48
+         & info [ "triggers" ] ~docv:"N"
+           ~doc:"Trigger workloads per mutant.")
+  in
+  let tries =
+    Arg.(value & opt int 3
+         & info [ "tries" ] ~docv:"N" ~doc:"Generation attempts per slot.")
+  in
+  Cmd.v (Cmd.info "campaign" ~exits:client_exits
+           ~doc:"Run the mutant campaign against the session's optimised \
+                 SCIs.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg $ client_session_arg $ seed $ mutants $ triggers
+          $ tries)
+
+let client_snapshot_cmd =
+  let run verbose socket port host session path =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    client_call socket port host session (Serve.Proto.Snapshot { path })
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH"
+           ~doc:"Where the $(i,server) writes the engine snapshot.")
+  in
+  Cmd.v (Cmd.info "snapshot" ~exits:client_exits
+           ~doc:"Persist the session's engine state server-side.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg $ client_session_arg $ path)
+
+let client_status_cmd =
+  let run verbose socket port host =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    client_call socket port host None Serve.Proto.Status
+  in
+  Cmd.v (Cmd.info "status" ~exits:client_exits
+           ~doc:"Print server uptime, queue depths, per-session state and \
+                 the p99 job latency.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg)
+
+let client_cancel_cmd =
+  let run verbose socket port host session target =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    client_call socket port host session (Serve.Proto.Cancel { target })
+  in
+  let target =
+    Arg.(required & pos 0 (some int) None
+         & info [] ~docv:"ID"
+           ~doc:"Request id to drop from the session's queue (running \
+                 jobs cannot be cancelled).")
+  in
+  Cmd.v (Cmd.info "cancel" ~exits:client_exits
+           ~doc:"Drop a queued request from a session.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg $ client_session_arg $ target)
+
+let client_shutdown_cmd =
+  let run verbose socket port host =
+    setup_logs verbose;
+    run_guarded @@ fun () ->
+    client_call socket port host None Serve.Proto.Shutdown
+  in
+  Cmd.v (Cmd.info "shutdown" ~exits:client_exits
+           ~doc:"Ask the server to drain queued jobs and stop.")
+    Term.(const run $ verbose_arg $ client_socket_arg $ client_port_arg
+          $ client_host_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client" ~exits:client_exits
+       ~doc:"Talk to a running $(b,scifinder serve) over its socket: \
+             mine into sessions, check invariants, run campaigns, \
+             snapshot engines, inspect or control the server.")
+    [ client_mine_cmd; client_check_cmd; client_campaign_cmd;
+      client_snapshot_cmd; client_status_cmd; client_cancel_cmd;
+      client_shutdown_cmd ]
+
 let () =
   let doc = "semi-automatic generation of security-critical processor invariants" in
   let info = Cmd.info "scifinder" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
                      [ mine_cmd; identify_cmd; infer_cmd; verify_cmd;
                        campaign_cmd; verilog_cmd; fuzz_cmd; trace_cmd;
-                       report_cmd; bugs_cmd; workloads_cmd ]))
+                       serve_cmd; client_cmd; report_cmd; bugs_cmd;
+                       workloads_cmd ]))

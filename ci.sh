@@ -88,3 +88,33 @@ grep -q 'recorded 477 records to /tmp/scif_lake/pi.seg' /tmp/lakecli.out
 dune exec bin/scifinder.exe -- mine --from-lake /tmp/scif_lake --limit 1 | tee /tmp/lakemine.out
 grep -q 'lake: 477 records from 1 segments' /tmp/lakemine.out
 rm -rf /tmp/scif_lake
+# Servebench gate: hundreds of concurrent synthetic clients against the
+# in-process mining service must sustain >= 0.8x the direct batch mining
+# throughput on the same worker count, record a p99 job latency, answer
+# window overflow with explicit busy, and stay byte-identical
+# (SCIFSNAP engine digest) to a direct sequential session.
+dune exec bench/main.exe -- servebench | tee /tmp/servebench.out
+grep -q 'servebench gate (>=200 clients, rps >= 0.8x batch, p99 recorded, busy backpressure, serve==batch): PASS' /tmp/servebench.out
+# Serve CLI smoke: a real daemon on a Unix socket, driven by the client
+# subcommands, then SIGTERM — the graceful path must drain, exit 0, and
+# flush a parseable telemetry stream (the signal-flush guarantee).
+rm -f /tmp/scif_serve.sock /tmp/scif_serve.jsonl
+dune exec bin/scifinder.exe -- serve --socket /tmp/scif_serve.sock \
+  --metrics /tmp/scif_serve.jsonl -j 2 &
+SERVE_PID=$!
+i=0
+while [ ! -S /tmp/scif_serve.sock ]; do
+  i=$((i + 1)); [ $i -le 100 ] || { echo "serve socket never appeared"; exit 1; }
+  sleep 0.1
+done
+dune exec bin/scifinder.exe -- client mine --socket /tmp/scif_serve.sock -w pi | tee /tmp/servecli.out
+grep -q 'mined 477 records (session total 477)' /tmp/servecli.out
+dune exec bin/scifinder.exe -- client mine --socket /tmp/scif_serve.sock -w helloworld | tee /tmp/servecli2.out
+grep -q 'mined 329 records (session total 806)' /tmp/servecli2.out
+dune exec bin/scifinder.exe -- client status --socket /tmp/scif_serve.sock | tee /tmp/servestatus.out
+grep -q 'p99 job' /tmp/servestatus.out
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+test -s /tmp/scif_serve.jsonl
+dune exec bench/check_json.exe -- /tmp/scif_serve.jsonl
+rm -f /tmp/scif_serve.sock /tmp/scif_serve.jsonl

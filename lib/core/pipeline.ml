@@ -374,43 +374,406 @@ let absorb_shard engine shard =
   Obs.Metrics.add c_merge_ns (Int64.to_int (Obs.Clock.ns_since m0));
   Obs.Metrics.incr c_merges
 
-(* The cold path: trace (or load cached shards), merge in corpus order,
-   and snapshot the Figure 3 series group by group. *)
-let mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir () =
-    let engine = Daikon.Engine.create ~config ~provenance () in
-    (* jobs = 1 streams everything through the one engine, exactly the
-       paper's sequential setup; jobs > 1 — or any cached run — mines
-       per-workload shards and folds them into [engine] in the same
-       corpus order. *)
-    let shards =
-      if jobs <= 1 && cache_dir = None then None
-      else
-        Some (mine_shards ~config ~provenance ~jobs ~cache_dir
-                (Array.of_list (List.concat groups)))
-    in
+(* Replay one lake segment into an engine, block by block, under the
+   same span the live [mine_lake] fold always used. *)
+let replay_segment_into engine path =
+  let (), info =
+    Obs.Span.with_ ~name:"lake.replay"
+      ~attrs:[ ("segment", Obs.Sink.S (Filename.basename path)) ]
+      (fun () ->
+         Trace.Segment.fold
+           ~on_workload:(Daikon.Engine.set_workload engine)
+           ~init:()
+           ~f:(fun () r -> Daikon.Engine.observe engine r)
+           path)
+  in
+  info
+
+(* ---- Lake-level warm cache ----
+
+   The analogue of the corpus summary for [mine_lake]: the cache key is
+   a digest over the codec version, the config fingerprint and every
+   segment's per-block MD5 digests (readable from the frame headers
+   without decoding a single payload), so touching any byte of the lake
+   — appending a block, replacing a segment — misses positively. A hit
+   restores the full mining result from [lake-<key>.summary]; the final
+   engine is persisted alongside as [lake-<key>.snap] so a serve session
+   mining the same lake adopts it whole (bit-identical snapshot bytes —
+   the codec is canonical). *)
+
+module Lake_cache = struct
+  let lake_magic = "SCIFLAKE"
+
+  let key ~config ~provenance segments =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      (Printf.sprintf "scifinder-lake/%d\n" Daikon.Engine.codec_version);
+    if provenance then Buffer.add_string b "provenance\n";
+    Buffer.add_string b (Daikon.Config.canonical_string config);
+    Buffer.add_char b '\n';
+    List.iter
+      (fun path ->
+         Buffer.add_string b (Filename.basename path);
+         Buffer.add_char b ':';
+         List.iter (Buffer.add_string b) (Trace.Segment.block_digests path);
+         Buffer.add_char b ';')
+      segments;
+    Digest.to_hex (Digest.string (Buffer.contents b))
+
+  let snap_path dir key =
+    Filename.concat dir (Printf.sprintf "lake-%s.snap" (String.sub key 0 16))
+
+  let sum_path dir key =
+    Filename.concat dir
+      (Printf.sprintf "lake-%s.summary" (String.sub key 0 16))
+
+  (* Same frame discipline as the corpus summary, plus the real on-disk
+     trace_bytes (a lake summary must restore it exactly, not estimate). *)
+  let encode_summary ~key (m : mining) =
+    let p = Util.Binio.writer () in
+    Util.Binio.write_uint p (List.length m.figure3);
+    List.iter
+      (fun r ->
+         Util.Binio.write_string p r.group_label;
+         Util.Binio.write_uint p r.unmodified;
+         Util.Binio.write_uint p r.fresh;
+         Util.Binio.write_uint p r.deleted;
+         Util.Binio.write_uint p r.total)
+      m.figure3;
+    Util.Binio.write_uint p m.record_count;
+    Util.Binio.write_uint p m.trace_bytes;
+    Util.Binio.write_uint p (List.length m.mnemonic_coverage);
+    List.iter (Util.Binio.write_string p) m.mnemonic_coverage;
+    Util.Binio.write_string p
+      (String.concat "\n" (List.map Expr.to_string m.invariants));
+    let payload = Util.Binio.contents p in
+    let h = Util.Binio.writer () in
+    Util.Binio.write_raw h lake_magic;
+    Util.Binio.write_string h key;
+    Util.Binio.write_raw h (Digest.string payload);
+    Util.Binio.write_string h payload;
+    Util.Binio.contents h
+
+  let decode_summary ~key data =
+    match
+      let r = Util.Binio.reader data in
+      if Util.Binio.read_string_exact r (String.length lake_magic)
+         <> lake_magic
+      then None
+      else if not (String.equal (Util.Binio.read_string r) key) then None
+      else begin
+        let digest = Util.Binio.read_string_exact r 16 in
+        let payload = Util.Binio.read_string r in
+        if Digest.string payload <> digest then None
+        else begin
+          let p = Util.Binio.reader payload in
+          let figure3 =
+            read_seq (Util.Binio.read_uint p) (fun () ->
+                let group_label = Util.Binio.read_string p in
+                let unmodified = Util.Binio.read_uint p in
+                let fresh = Util.Binio.read_uint p in
+                let deleted = Util.Binio.read_uint p in
+                let total = Util.Binio.read_uint p in
+                { group_label; unmodified; fresh; deleted; total })
+          in
+          let record_count = Util.Binio.read_uint p in
+          let trace_bytes = Util.Binio.read_uint p in
+          let mnemonic_coverage =
+            read_seq (Util.Binio.read_uint p) (fun () ->
+                Util.Binio.read_string p)
+          in
+          let invariants =
+            Invariant.Io.of_string (Util.Binio.read_string p)
+          in
+          Some
+            { invariants; figure3; record_count; trace_bytes;
+              mnemonic_coverage; prov = None; seconds = 0.0 }
+        end
+      end
+    with
+    | m -> m
+    | exception Util.Binio.Truncated -> None
+    | exception Invariant.Io.Parse_error _ -> None
+
+  let load_summary dir ~key =
+    let path = sum_path dir key in
+    if not (Sys.file_exists path) then None
+    else
+      match Util.Binio.read_file path with
+      | data -> decode_summary ~key data
+      | exception Sys_error _ -> None
+
+  let save dir ~key engine m =
+    Cache.mkdir_p dir;
+    Daikon.Engine.save ~key engine (snap_path dir key);
+    Util.Binio.atomic_write (sum_path dir key) (encode_summary ~key m)
+
+  let load_engine ~config dir ~key =
+    let path = snap_path dir key in
+    if not (Sys.file_exists path) then None
+    else
+      match Daikon.Engine.load ~key ~config path with
+      | engine -> Some engine
+      | exception Daikon.Engine.Stale_snapshot _
+      | exception Daikon.Engine.Corrupt_snapshot _
+      | exception Sys_error _ ->
+        None
+end
+
+(* ---- Sessions: the incremental entry points the batch paths ride on.
+
+   A session owns one engine plus the Figure 3 diff state and remembers
+   every source it absorbed (workloads for re-streaming, lake dirs for
+   re-folding) so imported invariants can later be checked against its
+   corpus. [scifinder serve] holds one per client; [mine_cold] below is
+   now a thin wrapper: create a session, feed it the corpus groups. *)
+
+module Session = struct
+  type source =
+    | Src_workload of Workloads.Rt.t
+    | Src_lake of string
+
+  type t = {
+    config : Daikon.Config.t;
+    provenance : bool;
+    jobs : int;
+    cache_dir : string option;
+    mutable engine : Daikon.Engine.t;
+    mutable previous : (string, unit) Hashtbl.t;
+    mutable sources : source list;  (* newest first *)
+  }
+
+  let create ?(config = Daikon.Config.default) ?(jobs = 1)
+      ?(provenance = false) ?cache_dir () =
+    { config; provenance; jobs; cache_dir;
+      engine = Daikon.Engine.create ~config ~provenance ();
+      previous = Hashtbl.create 1;
+      sources = [] }
+
+  let record_count t = Daikon.Engine.record_count t.engine
+  let invariants t = Daikon.Engine.invariants t.engine
+
+  let workloads t =
+    List.filter_map
+      (function Src_workload w -> Some w | Src_lake _ -> None)
+      (List.rev t.sources)
+
+  let source_count t = List.length t.sources
+
+  (* Shard-or-stream plan, exactly the batch rule: [jobs <= 1] with no
+     cache streams straight into the session engine (the paper's
+     sequential setup, byte-identical to a live run); anything else
+     mines per-workload shards and merges them in order. *)
+  let shard_plan t ws =
+    if t.jobs <= 1 && t.cache_dir = None then None
+    else
+      Some
+        (mine_shards ~config:t.config ~provenance:t.provenance ~jobs:t.jobs
+           ~cache_dir:t.cache_dir (Array.of_list ws))
+
+  let absorb_list t shards idx ws =
+    List.iter
+      (fun w ->
+         (match shards with
+          | Some shards -> absorb_shard t.engine shards.(!idx)
+          | None -> trace_workload_into t.engine w);
+         incr idx;
+         t.sources <- Src_workload w :: t.sources)
+      ws
+
+  let snapshot_row t ~label =
+    let previous = ref t.previous in
+    let row = fig3_row ~previous ~label t.engine in
+    t.previous <- !previous;
+    Obs.Metrics.add c_mine_fresh row.fresh;
+    Obs.Metrics.add c_mine_deleted row.deleted;
+    row
+
+  let mine_groups t ~labels groups =
+    let before = record_count t in
+    let shards = shard_plan t (List.concat groups) in
     let idx = ref 0 in
-    let absorb w =
-      (match shards with
-       | Some shards -> absorb_shard engine shards.(!idx)
-       | None -> trace_workload_into engine w);
-      incr idx
-    in
-    let previous = ref (Hashtbl.create 1) in
     let rows = ref [] in
     List.iter2
       (fun group label ->
-         List.iter absorb group;
-         rows := fig3_row ~previous ~label engine :: !rows)
+         absorb_list t shards idx group;
+         rows := snapshot_row t ~label :: !rows)
       groups labels;
+    Obs.Metrics.add c_mine_records (record_count t - before);
+    List.rev !rows
+
+  type outcome = {
+    o_rows : figure3_row list;  (* [] when the caller skipped the diff *)
+    o_records : int;            (* records this call added *)
+  }
+
+  let default_label ws =
+    String.concat "+" (List.map (fun w -> w.Workloads.Rt.name) ws)
+
+  let mine t ?label ?(row = true) ws =
+    let before = record_count t in
+    if row then
+      let label = match label with Some l -> l | None -> default_label ws in
+      let rows = mine_groups t ~labels:[ label ] [ ws ] in
+      { o_rows = rows; o_records = record_count t - before }
+    else begin
+      (* No Figure 3 snapshot: absorb without extracting, leaving
+         [previous] alone so the next snapshotted call diffs against the
+         last row the caller actually asked for. *)
+      let shards = shard_plan t ws in
+      absorb_list t shards (ref 0) ws;
+      Obs.Metrics.add c_mine_records (record_count t - before);
+      { o_rows = []; o_records = record_count t - before }
+    end
+
+  let mine_lake t dir =
+    let segments = Trace.Segment.lake_segments dir in
+    if segments = [] then
+      invalid_arg ("Pipeline.Session.mine_lake: no segments under " ^ dir);
+    let before = record_count t in
+    let fresh = before = 0 && t.sources = [] in
+    let key =
+      match t.cache_dir with
+      | Some _ when not t.provenance ->
+        Some (Lake_cache.key ~config:t.config ~provenance:t.provenance
+                segments)
+      | _ -> None
+    in
+    (* Warm path: a fresh session adopts the cached lake engine whole —
+       snapshot bytes are canonical, so this is bit-identical to folding
+       every segment again. A session that already holds state folds
+       live (merging would perturb the sequential byte identity). *)
+    let warm =
+      match (fresh, t.cache_dir, key) with
+      | true, Some cdir, Some key ->
+        (match
+           ( Lake_cache.load_engine ~config:t.config cdir ~key,
+             Lake_cache.load_summary cdir ~key )
+         with
+         | Some engine, Some m ->
+           Obs.Metrics.incr c_summary_hit;
+           t.engine <- engine;
+           t.previous <- canon_set m.invariants;
+           Some m
+         | _ ->
+           Obs.Metrics.incr c_summary_miss;
+           None)
+      | _ -> None
+    in
+    match warm with
+    | Some m ->
+      t.sources <- Src_lake dir :: t.sources;
+      m
+    | None ->
+      let disk_bytes = ref 0 in
+      let rows =
+        List.map
+          (fun path ->
+             let info = replay_segment_into t.engine path in
+             disk_bytes := !disk_bytes + info.Trace.Segment.bytes;
+             let label = String.concat "+" info.Trace.Segment.workloads in
+             snapshot_row t ~label)
+          segments
+      in
+      t.sources <- Src_lake dir :: t.sources;
+      let records = record_count t - before in
+      Obs.Metrics.add c_mine_records records;
+      let invariants = invariants t in
+      let m =
+        { invariants;
+          figure3 = rows;
+          record_count = records;
+          trace_bytes = !disk_bytes;  (* real on-disk bytes *)
+          mnemonic_coverage = missing_mnemonics t.engine;
+          prov = prov_report ~provenance:t.provenance t.engine invariants;
+          seconds = 0.0 }
+      in
+      (match (fresh, t.cache_dir, key) with
+       | true, Some cdir, Some key ->
+         (* The cached summary never carries provenance ([key] is None on
+            a provenance run, so this branch is unreachable then). *)
+         Lake_cache.save cdir ~key t.engine { m with prov = None }
+       | _ -> ());
+      m
+
+  type check_status = Supported | Violated | Vacuous
+
+  let check_status_name = function
+    | Supported -> "supported"
+    | Violated -> "violated"
+    | Vacuous -> "vacuous"
+
+  (* Validate imported invariants against everything this session has
+     absorbed, re-streaming workloads and re-folding lake segments (the
+     engine keeps no trace). One pass over the corpus: each record is
+     dispatched to the candidates of its program point only. *)
+  let check t invs =
+    Obs.Span.with_ ~name:"session.check"
+      ~attrs:[ ("invariants", Obs.Sink.I (List.length invs)) ]
+      (fun () ->
+         let arr = Array.of_list invs in
+         let n = Array.length arr in
+         let seen = Array.make (max n 1) false in
+         let violated = Array.make (max n 1) false in
+         let by_point = Hashtbl.create 97 in
+         Array.iteri
+           (fun i (inv : Expr.t) ->
+              let prev =
+                Option.value ~default:[]
+                  (Hashtbl.find_opt by_point inv.point)
+              in
+              Hashtbl.replace by_point inv.point (i :: prev))
+           arr;
+         let observe (r : Trace.Record.t) =
+           match Hashtbl.find_opt by_point r.Trace.Record.point with
+           | None -> ()
+           | Some idxs ->
+             List.iter
+               (fun i ->
+                  seen.(i) <- true;
+                  if (not violated.(i)) && Expr.violated_here arr.(i) r then
+                    violated.(i) <- true)
+               idxs
+         in
+         List.iter
+           (function
+             | Src_workload (w : Workloads.Rt.t) ->
+               ignore
+                 (Trace.Runner.stream ~tick_period:w.tick_period
+                    ~entry:w.entry ~observer:observe w.image)
+             | Src_lake dir ->
+               List.iter
+                 (fun path ->
+                    ignore
+                      (Trace.Segment.fold ~init:()
+                         ~f:(fun () r -> observe r) path))
+                 (Trace.Segment.lake_segments dir))
+           (List.rev t.sources);
+         Array.to_list
+           (Array.mapi
+              (fun i inv ->
+                 ( inv,
+                   if not seen.(i) then Vacuous
+                   else if violated.(i) then Violated
+                   else Supported ))
+              arr))
+
+  let encode t = Daikon.Engine.encode t.engine
+
+  let engine_digest t = Digest.to_hex (Digest.string (encode t))
+
+  let save t path = Daikon.Engine.save t.engine path
+end
+
+(* The cold path, now expressed over a session: trace (or load cached
+   shards), merge in corpus order, and snapshot the Figure 3 series
+   group by group. *)
+let mine_cold ~config ~provenance ~groups ~labels ~jobs ~cache_dir () =
+    let s = Session.create ~config ~jobs ~provenance ?cache_dir () in
+    let rows = Session.mine_groups s ~labels groups in
+    let engine = s.Session.engine in
     let invariants = Daikon.Engine.invariants engine in
     let record_count = Daikon.Engine.record_count engine in
-    let rows = List.rev !rows in
-    Obs.Metrics.add c_mine_records record_count;
-    List.iter
-      (fun r ->
-         Obs.Metrics.add c_mine_fresh r.fresh;
-         Obs.Metrics.add c_mine_deleted r.deleted)
-      rows;
     publish_engine_stats engine;
     let prov = prov_report ~provenance engine invariants in
     { invariants;
@@ -522,43 +885,16 @@ let record_lake ?(workloads = []) ?names ~dir () =
   in
   { r with lake_seconds }
 
-let mine_lake ?(config = Daikon.Config.default) ?(provenance = false) dir =
+let mine_lake ?(config = Daikon.Config.default) ?(provenance = false)
+    ?cache_dir dir =
   let segments = Trace.Segment.lake_segments dir in
   if segments = [] then
     invalid_arg ("Pipeline.mine_lake: no segments under " ^ dir);
   let body () =
-    let engine = Daikon.Engine.create ~config ~provenance () in
-    let previous = ref (Hashtbl.create 1) in
-    let rows = ref [] in
-    let disk_bytes = ref 0 in
-    List.iter
-      (fun path ->
-         let (), info =
-           Obs.Span.with_ ~name:"lake.replay"
-             ~attrs:
-               [ ("segment", Obs.Sink.S (Filename.basename path)) ]
-             (fun () ->
-                Trace.Segment.fold
-                  ~on_workload:(Daikon.Engine.set_workload engine)
-                  ~init:()
-                  ~f:(fun () r -> Daikon.Engine.observe engine r)
-                  path)
-         in
-         disk_bytes := !disk_bytes + info.Trace.Segment.bytes;
-         let label = String.concat "+" info.Trace.Segment.workloads in
-         rows := fig3_row ~previous ~label engine :: !rows)
-      segments;
-    let invariants = Daikon.Engine.invariants engine in
-    let record_count = Daikon.Engine.record_count engine in
-    Obs.Metrics.add c_mine_records record_count;
-    publish_engine_stats engine;
-    { invariants;
-      figure3 = List.rev !rows;
-      record_count;
-      trace_bytes = !disk_bytes;  (* real on-disk bytes, not an estimate *)
-      mnemonic_coverage = missing_mnemonics engine;
-      prov = prov_report ~provenance engine invariants;
-      seconds = 0.0 }
+    let s = Session.create ~config ~provenance ?cache_dir () in
+    let m = Session.mine_lake s dir in
+    publish_engine_stats s.Session.engine;
+    m
   in
   let r, seconds =
     Obs.Span.timed ~name:"pipeline.mine"

@@ -120,14 +120,101 @@ val record_lake :
     corpus. *)
 
 val mine_lake :
-  ?config:Daikon.Config.t -> ?provenance:bool -> string -> mining
+  ?config:Daikon.Config.t -> ?provenance:bool -> ?cache_dir:string ->
+  string -> mining
 (** Mine a lake directory out-of-core: fold every segment (in sorted
     filename order — deterministic) through a single engine, one block
     in memory at a time. The result is bit-identical to mining the same
     workload sequence live with [jobs = 1]; [figure3] carries one row
     per segment file and [trace_bytes] is the real on-disk size.
+
+    [cache_dir] enables a lake-level warm cache: the key digests the
+    codec version, the config fingerprint and every segment's per-block
+    MD5 digests (read from the frame headers without decoding payloads),
+    so appending a block or touching any segment re-mines. A warm hit
+    restores the full result from [lake-<key>.summary] and adopts the
+    engine persisted in [lake-<key>.snap] — bit-identical to the cold
+    fold, including the engine snapshot bytes. A provenance run bypasses
+    the lake cache (summaries store no provenance).
     @raise Invalid_argument if [dir] holds no segments.
     @raise Trace.Segment.Corrupt_segment on a torn or damaged segment. *)
+
+(** {1 Sessions: incremental mining (the substrate of [scifinder serve])}
+
+    A session owns one {!Daikon.Engine.t} plus the Figure 3 diff state
+    and remembers every source it absorbed, so workloads can be mined
+    incrementally, imported invariants checked against the accumulated
+    corpus, and the engine snapshotted at any point. The batch entry
+    points above are thin wrappers over a fresh session. *)
+
+module Session : sig
+  type t
+
+  val create :
+    ?config:Daikon.Config.t ->
+    ?jobs:int ->
+    ?provenance:bool ->
+    ?cache_dir:string ->
+    unit -> t
+  (** A fresh session. [jobs] (default 1) and [cache_dir] follow the
+      {!mine} rules: [jobs <= 1] with no cache streams every workload
+      sequentially through the session engine — the paper's setup, and
+      the byte-identity reference — while anything else mines
+      per-workload shards (hitting the shard cache) and merges them in
+      submission order. *)
+
+  type outcome = {
+    o_rows : figure3_row list;  (** [[]] when the caller skipped the diff *)
+    o_records : int;            (** records this call added *)
+  }
+
+  val mine : t -> ?label:string -> ?row:bool -> Workloads.Rt.t list -> outcome
+  (** Absorb the workloads into the session engine. [row] (default true)
+      snapshots one {!figure3_row} diffed against the previous
+      snapshotted call; [row:false] skips invariant extraction entirely
+      (cheap absorption) and leaves the diff baseline untouched. *)
+
+  val mine_groups : t -> labels:string list -> Workloads.Rt.t list list ->
+    figure3_row list
+  (** The cumulative-corpus form of {!mine}: absorb each group and
+      snapshot a row after it, exactly as the batch {!val-mine} does. *)
+
+  val mine_lake : t -> string -> mining
+  (** Fold a lake directory into the session (see {!val-mine_lake}).
+      On a fresh session with a [cache_dir], a warm hit adopts the
+      cached engine whole; a cold fold on a fresh session populates the
+      cache. [record_count]/[trace_bytes] in the result count this call
+      only; [invariants] is the full session set afterwards. *)
+
+  type check_status = Supported | Violated | Vacuous
+
+  val check_status_name : check_status -> string
+  (** ["supported"] / ["violated"] / ["vacuous"]. *)
+
+  val check : t -> Invariant.Expr.t list -> (Invariant.Expr.t * check_status) list
+  (** Validate imported invariants against everything this session has
+      absorbed, re-streaming its workloads and re-folding its lake
+      segments in one pass. [Vacuous]: the invariant's program point
+      never appeared in the corpus. *)
+
+  val invariants : t -> Invariant.Expr.t list
+  val record_count : t -> int
+  val workloads : t -> Workloads.Rt.t list
+  (** Absorbed workloads, oldest first (lake sources not included). *)
+
+  val source_count : t -> int
+  (** Mined sources (workloads + lake directories) so far. *)
+
+  val encode : t -> string
+  (** The engine's canonical snapshot bytes ({!Daikon.Engine.encode}) —
+      equal sessions produce equal bytes. *)
+
+  val engine_digest : t -> string
+  (** MD5 hex of {!encode}: the serve-vs-batch identity fingerprint. *)
+
+  val save : t -> string -> unit
+  (** Persist the engine snapshot atomically ({!Daikon.Engine.save}). *)
+end
 
 (** {1 §3.2 optimisation (Table 2)} *)
 

@@ -104,6 +104,8 @@ let observe h v =
       if v < h.hmin then h.hmin <- v;
       if v > h.hmax then h.hmax <- v)
 
+let histogram_count h = Mutex.protect h.lock (fun () -> h.count)
+
 (* Upper bound of the bucket holding the q-th observation. *)
 let percentile_estimate h q =
   if h.count = 0 then 0
@@ -116,6 +118,9 @@ let percentile_estimate h q =
     done;
     min h.hmax (if !b = 0 then 1 else (1 lsl (!b + 1)) - 1)
   end
+
+let histogram_percentile h q =
+  Mutex.protect h.lock (fun () -> percentile_estimate h q)
 
 type snapshot = {
   metric : string;

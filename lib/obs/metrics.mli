@@ -32,6 +32,14 @@ val histogram : ?unit:string -> string -> histogram
 val observe : histogram -> int -> unit
 (** Record one non-negative integer observation (typically nanoseconds). *)
 
+val histogram_count : histogram -> int
+
+val histogram_percentile : histogram -> float -> int
+(** Bucketed estimate of the [q]-th quantile ([q] in [\[0, 1\]]): the
+    upper bound of the power-of-two bucket holding the q-th observation,
+    clamped to the observed maximum — the same estimate the snapshot's
+    [p50]/[p95]/[p99] attrs report. 0 for an empty histogram. *)
+
 (** One registered instrument, flattened for emission. *)
 type snapshot = {
   metric : string;

@@ -1,0 +1,28 @@
+(** Blocking client for the serve protocol. Not thread-safe: one client
+    per domain. *)
+
+exception Protocol_error of string
+(** The server broke framing, sent undecodable JSON, or closed the
+    connection mid-conversation. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : host:string -> port:int -> t
+val connect_sockaddr : Unix.sockaddr -> t
+val close : t -> unit
+
+val send : t -> ?session:string -> Proto.request -> int
+(** Fire one request (ids are allocated 1, 2, ... per connection) and
+    return its id without waiting — the pipelining primitive. *)
+
+val recv : t -> Proto.response
+(** Next response in arrival order (stashed out-of-order responses
+    first). Blocks. *)
+
+val recv_id : t -> int -> Proto.response
+(** The response to a specific {!send}, stashing any other responses
+    that arrive first. *)
+
+val call : t -> ?session:string -> Proto.request -> Proto.response
+(** [send] + [recv_id]. *)

@@ -1,0 +1,89 @@
+(* Length-framed JSONL: "<decimal length>\n<payload>\n". The explicit
+   length makes payload scanning O(1) per frame and lets the decoder
+   reject a hostile length line before buffering a single payload byte;
+   the trailing newline keeps the stream greppable and catches
+   length/payload disagreement positively. *)
+
+let max_frame = 16 * 1024 * 1024
+
+(* Enough digits for [max_frame]; a longer run of digits (or any junk
+   before the first newline) is hostile by construction. *)
+let max_digits = 9
+
+type error =
+  | Oversized of int
+  | Bad_length of string
+  | Bad_terminator
+
+let clip s = if String.length s <= 32 then s else String.sub s 0 32 ^ "..."
+
+let error_message = function
+  | Oversized n ->
+    Printf.sprintf "frame length %d exceeds limit %d" n max_frame
+  | Bad_length s -> Printf.sprintf "malformed frame length %S" (clip s)
+  | Bad_terminator -> "frame payload not terminated by newline"
+
+let encode payload =
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+(* Incremental decoder: bytes accumulate in [acc] and are consumed from
+   [off]; the consumed prefix is compacted away once it outgrows 64 KiB,
+   so a long-lived connection stays O(largest frame) in memory. *)
+type decoder = {
+  acc : Buffer.t;
+  mutable off : int;
+}
+
+let decoder () = { acc = Buffer.create 4096; off = 0 }
+
+let pending d = Buffer.length d.acc - d.off
+
+let feed d s = Buffer.add_string d.acc s
+
+let compact d =
+  if d.off > 0 then begin
+    let rest = Buffer.sub d.acc d.off (pending d) in
+    Buffer.clear d.acc;
+    Buffer.add_string d.acc rest;
+    d.off <- 0
+  end
+
+let parse_length line =
+  let n = String.length line in
+  if n = 0 || n > max_digits then Error (Bad_length line)
+  else begin
+    let ok = ref true in
+    String.iter (fun c -> if c < '0' || c > '9' then ok := false) line;
+    if not !ok then Error (Bad_length line)
+    else
+      let v = int_of_string line in
+      if v > max_frame then Error (Oversized v) else Ok v
+  end
+
+(* A decode error is sticky in spirit: the caller cannot resynchronise a
+   stream whose framing lied, so it should report and disconnect. *)
+let next d =
+  let len = Buffer.length d.acc in
+  let limit = min len (d.off + max_digits + 1) in
+  let rec find_nl i =
+    if i >= limit then None
+    else if Buffer.nth d.acc i = '\n' then Some i
+    else find_nl (i + 1)
+  in
+  match find_nl d.off with
+  | None ->
+    if len - d.off > max_digits then
+      `Error (Bad_length (Buffer.sub d.acc d.off (min 16 (len - d.off))))
+    else `Await
+  | Some nl ->
+    (match parse_length (Buffer.sub d.acc d.off (nl - d.off)) with
+     | Error e -> `Error e
+     | Ok n ->
+       if len - (nl + 1) < n + 1 then `Await
+       else if Buffer.nth d.acc (nl + 1 + n) <> '\n' then `Error Bad_terminator
+       else begin
+         let payload = Buffer.sub d.acc (nl + 1) n in
+         d.off <- nl + 1 + n + 1;
+         if d.off > 65536 then compact d;
+         `Frame payload
+       end)

@@ -1,0 +1,37 @@
+(** The serve wire framing: ["<decimal length>\n<payload>\n"].
+
+    The length prefix bounds every allocation before it happens and the
+    trailing newline cross-checks it, so a hostile peer can neither make
+    the decoder buffer unbounded garbage nor desynchronise it silently.
+    Anything that is not a well-formed frame is a structured
+    {!type-error} — decoding never raises. *)
+
+val max_frame : int
+(** Hard payload cap (16 MiB). A declared length above this is rejected
+    before any payload is read. *)
+
+val encode : string -> string
+(** [encode payload] is the full frame, ready to write. *)
+
+type error =
+  | Oversized of int      (** declared length above {!max_frame} *)
+  | Bad_length of string  (** length line not 1-9 ASCII digits *)
+  | Bad_terminator        (** payload not followed by ['\n'] *)
+
+val error_message : error -> string
+
+(** {1 Incremental decoding}
+
+    One decoder per connection. Feed whatever bytes arrive; pull frames
+    until [`Await]. After [`Error] the stream cannot be resynchronised —
+    report the error and disconnect. *)
+
+type decoder
+
+val decoder : unit -> decoder
+val feed : decoder -> string -> unit
+
+val next : decoder -> [ `Frame of string | `Await | `Error of error ]
+
+val pending : decoder -> int
+(** Unconsumed bytes buffered so far. *)

@@ -1,0 +1,511 @@
+(* Request/response vocabulary of the mining service, with its JSON wire
+   codec. Encoding reuses the telemetry JSON writers ([Obs.Sink]);
+   decoding goes through [Obs.Json.parse], so hostile payloads surface
+   as [Error _] — never as an escaping exception. *)
+
+type mine_source =
+  | Names of string list
+  | Fuzz of { seed : int; count : int }
+  | Lake of string
+
+type request =
+  | Mine of {
+      source : mine_source;
+      label : string option;
+      row : bool;
+      digest : bool;
+    }
+  | Check of { text : string }
+  | Campaign of { seed : int; mutants : int; triggers : int; tries : int }
+  | Snapshot of { path : string }
+  | Status
+  | Cancel of { target : int }
+  | Shutdown
+
+type envelope = { id : int; session : string option; request : request }
+
+type row = {
+  r_label : string;
+  r_unmodified : int;
+  r_fresh : int;
+  r_deleted : int;
+  r_total : int;
+}
+
+type session_stat = {
+  st_name : string;
+  st_records : int;
+  st_sources : int;
+  st_queued : int;
+  st_running : bool;
+}
+
+type response =
+  | Mined of {
+      id : int;
+      records : int;        (* added by this request *)
+      total_records : int;  (* session total afterwards *)
+      rows : row list;
+      invariants : int;     (* -1 when extraction was skipped *)
+      digest : string option;
+    }
+  | Checked of {
+      id : int;
+      supported : int;
+      violated : int;
+      vacuous : int;
+      statuses : string list;  (* one per input invariant, in order *)
+    }
+  | Campaigned of {
+      id : int;
+      mutants : int;
+      detected : int;
+      fp_triggers : int;
+      fingerprint : string;
+    }
+  | Snapshotted of { id : int; path : string; bytes : int; digest : string }
+  | Stats of {
+      id : int;
+      uptime_ms : int;
+      sessions : session_stat list;
+      queued : int;
+      running : int;
+      completed : int;
+      busy : int;     (* requests bounced with Busy since start *)
+      evicted : int;  (* idle sessions evicted since start *)
+      p99_job_ms : float;
+    }
+  | Cancelled of { id : int; target : int; found : bool }
+  | Busy of { id : int; queued : int; limit : int }
+  | Bye of { id : int }
+  | Failed of { id : int; message : string }
+
+let response_id = function
+  | Mined { id; _ } | Checked { id; _ } | Campaigned { id; _ }
+  | Snapshotted { id; _ } | Stats { id; _ } | Cancelled { id; _ }
+  | Busy { id; _ } | Bye { id } | Failed { id; _ } ->
+    id
+
+(* ---- Encoding ---- *)
+
+let buf_str = Obs.Sink.buf_add_json_string
+let buf_float = Obs.Sink.buf_add_json_float
+
+let buf_kv_int b key v =
+  buf_str b key;
+  Buffer.add_char b ':';
+  Buffer.add_string b (string_of_int v)
+
+let buf_kv_str b key v =
+  buf_str b key;
+  Buffer.add_char b ':';
+  buf_str b v
+
+let buf_kv_bool b key v =
+  buf_str b key;
+  Buffer.add_char b ':';
+  Buffer.add_string b (if v then "true" else "false")
+
+let encode_request (e : envelope) =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  buf_kv_int b "id" e.id;
+  (match e.session with
+   | None -> ()
+   | Some s ->
+     Buffer.add_char b ',';
+     buf_kv_str b "session" s);
+  Buffer.add_char b ',';
+  (match e.request with
+   | Mine { source; label; row; digest } ->
+     buf_kv_str b "type" "mine";
+     Buffer.add_char b ',';
+     (match source with
+      | Names names ->
+        buf_str b "names";
+        Buffer.add_string b ":[";
+        List.iteri
+          (fun i n ->
+             if i > 0 then Buffer.add_char b ',';
+             buf_str b n)
+          names;
+        Buffer.add_char b ']'
+      | Fuzz { seed; count } ->
+        buf_str b "fuzz";
+        Buffer.add_string b ":{";
+        buf_kv_int b "seed" seed;
+        Buffer.add_char b ',';
+        buf_kv_int b "count" count;
+        Buffer.add_char b '}'
+      | Lake dir -> buf_kv_str b "lake" dir);
+     (match label with
+      | None -> ()
+      | Some l ->
+        Buffer.add_char b ',';
+        buf_kv_str b "label" l);
+     Buffer.add_char b ',';
+     buf_kv_bool b "row" row;
+     Buffer.add_char b ',';
+     buf_kv_bool b "digest" digest
+   | Check { text } ->
+     buf_kv_str b "type" "check";
+     Buffer.add_char b ',';
+     buf_kv_str b "text" text
+   | Campaign { seed; mutants; triggers; tries } ->
+     buf_kv_str b "type" "campaign";
+     Buffer.add_char b ',';
+     buf_kv_int b "seed" seed;
+     Buffer.add_char b ',';
+     buf_kv_int b "mutants" mutants;
+     Buffer.add_char b ',';
+     buf_kv_int b "triggers" triggers;
+     Buffer.add_char b ',';
+     buf_kv_int b "tries" tries
+   | Snapshot { path } ->
+     buf_kv_str b "type" "snapshot";
+     Buffer.add_char b ',';
+     buf_kv_str b "path" path
+   | Status -> buf_kv_str b "type" "status"
+   | Cancel { target } ->
+     buf_kv_str b "type" "cancel";
+     Buffer.add_char b ',';
+     buf_kv_int b "target" target
+   | Shutdown -> buf_kv_str b "type" "shutdown");
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let encode_response (r : response) =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '{';
+  (match r with
+   | Mined { id; records; total_records; rows; invariants; digest } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "mined";
+     Buffer.add_char b ',';
+     buf_kv_int b "records" records;
+     Buffer.add_char b ',';
+     buf_kv_int b "total_records" total_records;
+     Buffer.add_char b ',';
+     buf_kv_int b "invariants" invariants;
+     Buffer.add_char b ',';
+     (match digest with
+      | None ->
+        buf_str b "digest";
+        Buffer.add_string b ":null"
+      | Some d -> buf_kv_str b "digest" d);
+     Buffer.add_char b ',';
+     buf_str b "rows";
+     Buffer.add_string b ":[";
+     List.iteri
+       (fun i row ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '{';
+          buf_kv_str b "label" row.r_label;
+          Buffer.add_char b ',';
+          buf_kv_int b "unmodified" row.r_unmodified;
+          Buffer.add_char b ',';
+          buf_kv_int b "fresh" row.r_fresh;
+          Buffer.add_char b ',';
+          buf_kv_int b "deleted" row.r_deleted;
+          Buffer.add_char b ',';
+          buf_kv_int b "total" row.r_total;
+          Buffer.add_char b '}')
+       rows;
+     Buffer.add_char b ']'
+   | Checked { id; supported; violated; vacuous; statuses } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "checked";
+     Buffer.add_char b ',';
+     buf_kv_int b "supported" supported;
+     Buffer.add_char b ',';
+     buf_kv_int b "violated" violated;
+     Buffer.add_char b ',';
+     buf_kv_int b "vacuous" vacuous;
+     Buffer.add_char b ',';
+     buf_str b "statuses";
+     Buffer.add_string b ":[";
+     List.iteri
+       (fun i s ->
+          if i > 0 then Buffer.add_char b ',';
+          buf_str b s)
+       statuses;
+     Buffer.add_char b ']'
+   | Campaigned { id; mutants; detected; fp_triggers; fingerprint } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "campaigned";
+     Buffer.add_char b ',';
+     buf_kv_int b "mutants" mutants;
+     Buffer.add_char b ',';
+     buf_kv_int b "detected" detected;
+     Buffer.add_char b ',';
+     buf_kv_int b "fp_triggers" fp_triggers;
+     Buffer.add_char b ',';
+     buf_kv_str b "fingerprint" fingerprint
+   | Snapshotted { id; path; bytes; digest } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "snapshotted";
+     Buffer.add_char b ',';
+     buf_kv_str b "path" path;
+     Buffer.add_char b ',';
+     buf_kv_int b "bytes" bytes;
+     Buffer.add_char b ',';
+     buf_kv_str b "digest" digest
+   | Stats
+       { id; uptime_ms; sessions; queued; running; completed; busy;
+         evicted; p99_job_ms } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "stats";
+     Buffer.add_char b ',';
+     buf_kv_int b "uptime_ms" uptime_ms;
+     Buffer.add_char b ',';
+     buf_kv_int b "queued" queued;
+     Buffer.add_char b ',';
+     buf_kv_int b "running" running;
+     Buffer.add_char b ',';
+     buf_kv_int b "completed" completed;
+     Buffer.add_char b ',';
+     buf_kv_int b "busy" busy;
+     Buffer.add_char b ',';
+     buf_kv_int b "evicted" evicted;
+     Buffer.add_char b ',';
+     buf_str b "p99_job_ms";
+     Buffer.add_char b ':';
+     buf_float b p99_job_ms;
+     Buffer.add_char b ',';
+     buf_str b "sessions";
+     Buffer.add_string b ":[";
+     List.iteri
+       (fun i s ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '{';
+          buf_kv_str b "name" s.st_name;
+          Buffer.add_char b ',';
+          buf_kv_int b "records" s.st_records;
+          Buffer.add_char b ',';
+          buf_kv_int b "sources" s.st_sources;
+          Buffer.add_char b ',';
+          buf_kv_int b "queued" s.st_queued;
+          Buffer.add_char b ',';
+          buf_kv_bool b "running" s.st_running;
+          Buffer.add_char b '}')
+       sessions;
+     Buffer.add_char b ']'
+   | Cancelled { id; target; found } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "cancelled";
+     Buffer.add_char b ',';
+     buf_kv_int b "target" target;
+     Buffer.add_char b ',';
+     buf_kv_bool b "found" found
+   | Busy { id; queued; limit } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "busy";
+     Buffer.add_char b ',';
+     buf_kv_int b "queued" queued;
+     Buffer.add_char b ',';
+     buf_kv_int b "limit" limit
+   | Bye { id } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "bye"
+   | Failed { id; message } ->
+     buf_kv_int b "id" id;
+     Buffer.add_char b ',';
+     buf_kv_str b "type" "error";
+     Buffer.add_char b ',';
+     buf_kv_str b "message" message);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---- Decoding ---- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let as_int name = function
+  | Obs.Json.Num f ->
+    if Float.is_integer f && Float.abs f <= 1e15 then int_of_float f
+    else fail "field %S is not an integer" name
+  | _ -> fail "field %S is not a number" name
+
+let as_str name = function
+  | Obs.Json.Str s -> s
+  | _ -> fail "field %S is not a string" name
+
+let as_bool name = function
+  | Obs.Json.Bool v -> v
+  | _ -> fail "field %S is not a boolean" name
+
+let req_field j name =
+  match Obs.Json.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let int_field j name = as_int name (req_field j name)
+let str_field j name = as_str name (req_field j name)
+
+let opt_int_field j name ~default =
+  match Obs.Json.member name j with
+  | None | Some Obs.Json.Null -> default
+  | Some v -> as_int name v
+
+let opt_bool_field j name ~default =
+  match Obs.Json.member name j with
+  | None | Some Obs.Json.Null -> default
+  | Some v -> as_bool name v
+
+let opt_str_field j name =
+  match Obs.Json.member name j with
+  | None | Some Obs.Json.Null -> None
+  | Some v -> Some (as_str name v)
+
+let str_list_field j name =
+  match req_field j name with
+  | Obs.Json.Arr items ->
+    List.mapi
+      (fun i v ->
+         match v with
+         | Obs.Json.Str s -> s
+         | _ -> fail "element %d of %S is not a string" i name)
+      items
+  | _ -> fail "field %S is not an array" name
+
+let guard f s =
+  match Obs.Json.parse s with
+  | Error m -> Error (Printf.sprintf "invalid JSON: %s" m)
+  | Ok j -> (try Ok (f j) with Bad m -> Error m)
+
+let decode_request =
+  guard (fun j ->
+      let id = int_field j "id" in
+      let session = opt_str_field j "session" in
+      let request =
+        match str_field j "type" with
+        | "mine" ->
+          let source =
+            match
+              ( Obs.Json.member "names" j,
+                Obs.Json.member "fuzz" j,
+                Obs.Json.member "lake" j )
+            with
+            | Some _, None, None -> Names (str_list_field j "names")
+            | None, Some f, None ->
+              Fuzz
+                { seed = int_field f "seed"; count = int_field f "count" }
+            | None, None, Some _ -> Lake (str_field j "lake")
+            | _ -> fail "mine needs exactly one of names/fuzz/lake"
+          in
+          Mine
+            { source;
+              label = opt_str_field j "label";
+              row = opt_bool_field j "row" ~default:true;
+              digest = opt_bool_field j "digest" ~default:false }
+        | "check" -> Check { text = str_field j "text" }
+        | "campaign" ->
+          Campaign
+            { seed = opt_int_field j "seed" ~default:42;
+              mutants = opt_int_field j "mutants" ~default:200;
+              triggers = opt_int_field j "triggers" ~default:48;
+              tries = opt_int_field j "tries" ~default:3 }
+        | "snapshot" -> Snapshot { path = str_field j "path" }
+        | "status" -> Status
+        | "cancel" -> Cancel { target = int_field j "target" }
+        | "shutdown" -> Shutdown
+        | t -> fail "unknown request type %S" t
+      in
+      { id; session; request })
+
+let decode_response =
+  guard (fun j ->
+      let id = int_field j "id" in
+      match str_field j "type" with
+      | "mined" ->
+        let rows =
+          match req_field j "rows" with
+          | Obs.Json.Arr items ->
+            List.map
+              (fun r ->
+                 { r_label = str_field r "label";
+                   r_unmodified = int_field r "unmodified";
+                   r_fresh = int_field r "fresh";
+                   r_deleted = int_field r "deleted";
+                   r_total = int_field r "total" })
+              items
+          | _ -> fail "field \"rows\" is not an array"
+        in
+        Mined
+          { id;
+            records = int_field j "records";
+            total_records = int_field j "total_records";
+            rows;
+            invariants = int_field j "invariants";
+            digest = opt_str_field j "digest" }
+      | "checked" ->
+        Checked
+          { id;
+            supported = int_field j "supported";
+            violated = int_field j "violated";
+            vacuous = int_field j "vacuous";
+            statuses = str_list_field j "statuses" }
+      | "campaigned" ->
+        Campaigned
+          { id;
+            mutants = int_field j "mutants";
+            detected = int_field j "detected";
+            fp_triggers = int_field j "fp_triggers";
+            fingerprint = str_field j "fingerprint" }
+      | "snapshotted" ->
+        Snapshotted
+          { id;
+            path = str_field j "path";
+            bytes = int_field j "bytes";
+            digest = str_field j "digest" }
+      | "stats" ->
+        let sessions =
+          match req_field j "sessions" with
+          | Obs.Json.Arr items ->
+            List.map
+              (fun s ->
+                 { st_name = str_field s "name";
+                   st_records = int_field s "records";
+                   st_sources = int_field s "sources";
+                   st_queued = int_field s "queued";
+                   st_running = as_bool "running" (req_field s "running") })
+              items
+          | _ -> fail "field \"sessions\" is not an array"
+        in
+        let p99 =
+          match req_field j "p99_job_ms" with
+          | Obs.Json.Num f -> f
+          | Obs.Json.Null -> Float.nan
+          | _ -> fail "field \"p99_job_ms\" is not a number"
+        in
+        Stats
+          { id;
+            uptime_ms = int_field j "uptime_ms";
+            sessions;
+            queued = int_field j "queued";
+            running = int_field j "running";
+            completed = int_field j "completed";
+            busy = int_field j "busy";
+            evicted = int_field j "evicted";
+            p99_job_ms = p99 }
+      | "cancelled" ->
+        Cancelled
+          { id;
+            target = int_field j "target";
+            found = as_bool "found" (req_field j "found") }
+      | "busy" ->
+        Busy
+          { id; queued = int_field j "queued"; limit = int_field j "limit" }
+      | "bye" -> Bye { id }
+      | "error" -> Failed { id; message = str_field j "message" }
+      | t -> fail "unknown response type %S" t)

@@ -1,0 +1,103 @@
+(** The serve protocol: request/response vocabulary and its JSON wire
+    codec.
+
+    One JSON object per {!Frame}; requests carry a client-chosen [id]
+    that every response echoes (responses to one session come back in
+    submission order, but a pipelining client should still match on
+    [id]). Decoding is total: hostile bytes come back as [Error _],
+    never as an exception. *)
+
+type mine_source =
+  | Names of string list        (** suite / registered workload names *)
+  | Fuzz of { seed : int; count : int }
+      (** [count] deterministic fuzz candidates of [seed] *)
+  | Lake of string              (** a trace-lake directory on the server *)
+
+type request =
+  | Mine of {
+      source : mine_source;
+      label : string option;  (** Figure 3 row label (default: the names) *)
+      row : bool;     (** extract and diff invariants (default true) *)
+      digest : bool;  (** return the engine snapshot digest (default false) *)
+    }
+  | Check of { text : string }
+      (** invariants in the {!Invariant.Io} text grammar, validated
+          against everything the session has mined *)
+  | Campaign of { seed : int; mutants : int; triggers : int; tries : int }
+      (** run the mutant campaign against the session's optimised SCIs *)
+  | Snapshot of { path : string }
+      (** persist the session engine server-side *)
+  | Status
+  | Cancel of { target : int }
+      (** drop the session's queued (not yet running) request [target] *)
+  | Shutdown
+      (** graceful: drains every queued job, then stops the server *)
+
+type envelope = { id : int; session : string option; request : request }
+(** [session] defaults to ["default"] server-side. *)
+
+type row = {
+  r_label : string;
+  r_unmodified : int;
+  r_fresh : int;
+  r_deleted : int;
+  r_total : int;
+}
+
+type session_stat = {
+  st_name : string;
+  st_records : int;
+  st_sources : int;
+  st_queued : int;
+  st_running : bool;
+}
+
+type response =
+  | Mined of {
+      id : int;
+      records : int;        (** added by this request *)
+      total_records : int;  (** session total afterwards *)
+      rows : row list;
+      invariants : int;     (** [-1] when extraction was skipped *)
+      digest : string option;
+    }
+  | Checked of {
+      id : int;
+      supported : int;
+      violated : int;
+      vacuous : int;
+      statuses : string list;  (** one per input invariant, in order *)
+    }
+  | Campaigned of {
+      id : int;
+      mutants : int;
+      detected : int;
+      fp_triggers : int;
+      fingerprint : string;
+    }
+  | Snapshotted of { id : int; path : string; bytes : int; digest : string }
+  | Stats of {
+      id : int;
+      uptime_ms : int;
+      sessions : session_stat list;
+      queued : int;
+      running : int;
+      completed : int;
+      busy : int;
+      evicted : int;
+      p99_job_ms : float;
+    }
+  | Cancelled of { id : int; target : int; found : bool }
+  | Busy of { id : int; queued : int; limit : int }
+      (** backpressure: the session's inflight queue is full; nothing
+          was enqueued — resubmit after a response frees a slot *)
+  | Bye of { id : int }
+  | Failed of { id : int; message : string }
+
+val response_id : response -> int
+
+val encode_request : envelope -> string
+val encode_response : response -> string
+
+val decode_request : string -> (envelope, string) result
+val decode_response : string -> (response, string) result

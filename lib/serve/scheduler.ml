@@ -1,0 +1,239 @@
+(* Fair round-robin job scheduler over a pool of worker domains.
+
+   Each session owns a FIFO of pending jobs and runs at most ONE job at
+   a time — session state (an incremental mining engine) is
+   single-writer by construction, and responses to one session come back
+   in submission order because [on_complete] fires before the session is
+   marked idle again. Fairness is a rotating session order: whenever a
+   worker takes a job it moves that session to the back, so one client
+   pipelining hundreds of requests cannot starve the rest.
+
+   Backpressure is a hard per-session bound on inflight jobs (queued +
+   running): [submit] refuses with [`Busy] instead of queueing
+   unboundedly, and the server turns that into an explicit wire
+   response. *)
+
+let h_wait = Obs.Metrics.histogram ~unit:"ns" "serve.job.wait_ns"
+let h_run = Obs.Metrics.histogram ~unit:"ns" "serve.job.run_ns"
+let h_total = Obs.Metrics.histogram ~unit:"ns" "serve.job.total_ns"
+let c_jobs = Obs.Metrics.counter "serve.jobs"
+let c_busy = Obs.Metrics.counter "serve.busy"
+let g_depth = Obs.Metrics.gauge "serve.queue_depth"
+
+type 'r job = {
+  jsess : string;
+  tag : int;
+  key : int;
+  work : unit -> 'r;
+  submitted_ns : int64;
+}
+
+type 'r sess = {
+  sname : string;
+  jq : 'r job Queue.t;
+  mutable running : bool;
+}
+
+type 'r t = {
+  lock : Mutex.t;
+  work_cond : Condition.t;
+  idle_cond : Condition.t;
+  sessions : (string, 'r sess) Hashtbl.t;
+  mutable order : string list;  (* round-robin rotation, front = next up *)
+  mutable stopping : bool;
+  mutable inflight : int;       (* queued + running, across sessions *)
+  mutable queued : int;
+  mutable completed : int;
+  mutable next_jid : int;
+  max_inflight : int;
+  on_complete : tag:int -> key:int -> 'r -> unit;
+  mutable domains : unit Domain.t list;
+}
+
+let queue_depth t = float_of_int t.queued
+
+(* First session in rotation order that is idle and has work; rotate it
+   to the back so the next pick starts after it. Caller holds the lock. *)
+let take t =
+  let rec scan acc = function
+    | [] -> None
+    | name :: rest ->
+      let s = Hashtbl.find t.sessions name in
+      if (not s.running) && not (Queue.is_empty s.jq) then begin
+        t.order <- List.rev_append acc (rest @ [ name ]);
+        s.running <- true;
+        let job = Queue.pop s.jq in
+        t.queued <- t.queued - 1;
+        Obs.Metrics.set g_depth (queue_depth t);
+        Some job
+      end
+      else scan (name :: acc) rest
+  in
+  scan [] t.order
+
+let rec worker t =
+  Mutex.lock t.lock;
+  let job =
+    let rec await () =
+      match take t with
+      | Some job -> Some job
+      | None ->
+        if t.stopping && t.queued = 0 then None
+        else begin
+          Condition.wait t.work_cond t.lock;
+          await ()
+        end
+    in
+    await ()
+  in
+  Mutex.unlock t.lock;
+  match job with
+  | None -> ()
+  | Some job ->
+    let wait_ns = Int64.to_int (Obs.Clock.ns_since job.submitted_ns) in
+    Obs.Metrics.observe h_wait wait_ns;
+    let t0 = Obs.Clock.now_ns () in
+    let r = job.work () in
+    let run_ns = Int64.to_int (Obs.Clock.ns_since t0) in
+    Obs.Metrics.observe h_run run_ns;
+    Obs.Metrics.observe h_total (wait_ns + run_ns);
+    (* Deliver BEFORE releasing the session: the session's next job
+       cannot start — let alone complete — until this response is
+       enqueued, so per-session response order is submission order. *)
+    t.on_complete ~tag:job.tag ~key:job.key r;
+    Mutex.lock t.lock;
+    let s = Hashtbl.find t.sessions job.jsess in
+    s.running <- false;
+    t.inflight <- t.inflight - 1;
+    t.completed <- t.completed + 1;
+    Condition.broadcast t.work_cond;
+    if t.inflight = 0 then Condition.broadcast t.idle_cond;
+    Mutex.unlock t.lock;
+    worker t
+
+let create ~jobs ~max_inflight ~on_complete () =
+  let t =
+    { lock = Mutex.create ();
+      work_cond = Condition.create ();
+      idle_cond = Condition.create ();
+      sessions = Hashtbl.create 17;
+      order = [];
+      stopping = false;
+      inflight = 0;
+      queued = 0;
+      completed = 0;
+      next_jid = 0;
+      max_inflight = max 1 max_inflight;
+      on_complete;
+      domains = [] }
+  in
+  t.domains <- List.init (max 1 jobs) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let submit t ~session ~tag ~key ~work =
+  Mutex.protect t.lock (fun () ->
+      if t.stopping then `Stopping
+      else begin
+        let s =
+          match Hashtbl.find_opt t.sessions session with
+          | Some s -> s
+          | None ->
+            let s = { sname = session; jq = Queue.create (); running = false } in
+            Hashtbl.add t.sessions session s;
+            t.order <- t.order @ [ session ];
+            s
+        in
+        let depth = Queue.length s.jq + if s.running then 1 else 0 in
+        if depth >= t.max_inflight then begin
+          Obs.Metrics.incr c_busy;
+          `Busy (depth, t.max_inflight)
+        end
+        else begin
+          let jid = t.next_jid in
+          t.next_jid <- jid + 1;
+          Queue.add
+            { jsess = s.sname; tag; key; work;
+              submitted_ns = Obs.Clock.now_ns () }
+            s.jq;
+          t.inflight <- t.inflight + 1;
+          t.queued <- t.queued + 1;
+          Obs.Metrics.incr c_jobs;
+          Obs.Metrics.set g_depth (queue_depth t);
+          Condition.signal t.work_cond;
+          `Queued jid
+        end
+      end)
+
+let cancel t ~session ~key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> []
+      | Some s ->
+        let keep = Queue.create () and dropped = ref [] in
+        Queue.iter
+          (fun job ->
+             if job.key = key then dropped := (job.tag, job.key) :: !dropped
+             else Queue.add job keep)
+          s.jq;
+        Queue.clear s.jq;
+        Queue.transfer keep s.jq;
+        let n = List.length !dropped in
+        t.inflight <- t.inflight - n;
+        t.queued <- t.queued - n;
+        Obs.Metrics.set g_depth (queue_depth t);
+        if t.inflight = 0 then Condition.broadcast t.idle_cond;
+        List.rev !dropped)
+
+let session_idle t session =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> true
+      | Some s -> (not s.running) && Queue.is_empty s.jq)
+
+let forget t session =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | None -> true
+      | Some s ->
+        if s.running || not (Queue.is_empty s.jq) then false
+        else begin
+          Hashtbl.remove t.sessions session;
+          t.order <-
+            List.filter (fun n -> not (String.equal n session)) t.order;
+          true
+        end)
+
+type stats = {
+  queued : int;
+  running : int;
+  completed : int;
+  per_session : (string * int * bool) list;  (* name, queued, running *)
+}
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      let per_session =
+        List.map
+          (fun name ->
+             let s = Hashtbl.find t.sessions name in
+             (name, Queue.length s.jq, s.running))
+          t.order
+      in
+      { queued = t.queued;
+        running = t.inflight - t.queued;
+        completed = t.completed;
+        per_session })
+
+let inflight t = Mutex.protect t.lock (fun () -> t.inflight)
+
+let drain t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_cond;
+  while t.inflight > 0 do
+    Condition.wait t.idle_cond t.lock
+  done;
+  Condition.broadcast t.work_cond;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,58 @@
+(** Fair scheduler: per-session FIFOs served round-robin by a pool of
+    worker domains, with a hard per-session inflight bound.
+
+    Invariants the server leans on:
+    - at most one job of a session runs at a time (session state is
+      single-writer), and [on_complete] fires {e before} the session is
+      released, so per-session completion order is submission order;
+    - a session with a full inflight window (queued + running =
+      [max_inflight]) gets [`Busy] back instead of an unbounded queue;
+    - the rotation order advances past a session each time it is served,
+      so a flood from one session cannot starve the others. *)
+
+type 'r t
+
+val create :
+  jobs:int ->
+  max_inflight:int ->
+  on_complete:(tag:int -> key:int -> 'r -> unit) ->
+  unit -> 'r t
+(** Spawn [jobs] worker domains (at least 1). [on_complete] runs on a
+    worker domain and must not raise; [tag]/[key] echo the values given
+    to {!submit} (the server uses connection id / request id). *)
+
+val submit :
+  'r t -> session:string -> tag:int -> key:int -> work:(unit -> 'r) ->
+  [ `Queued of int | `Busy of int * int | `Stopping ]
+(** Enqueue [work] on [session] (created on first use). [`Busy (depth,
+    limit)] when the session's inflight window is full. [work] runs on a
+    worker domain and must not raise. *)
+
+val cancel : 'r t -> session:string -> key:int -> (int * int) list
+(** Drop every {e queued} job of [session] whose key is [key] (a running
+    job is never interrupted). Returns the [(tag, key)] of each dropped
+    job so the server can answer them. *)
+
+val session_idle : 'r t -> string -> bool
+(** No queued and no running job (an unknown session is idle). *)
+
+val forget : 'r t -> string -> bool
+(** Remove an idle session from the rotation; [false] (and no-op) if it
+    still has work. Unknown sessions return [true]. *)
+
+type stats = {
+  queued : int;
+  running : int;
+  completed : int;
+  per_session : (string * int * bool) list;
+      (** (name, queued jobs, running), in current rotation order *)
+}
+
+val stats : 'r t -> stats
+
+val inflight : 'r t -> int
+(** Queued + running, across all sessions. *)
+
+val drain : 'r t -> unit
+(** Stop accepting ({!submit} returns [`Stopping]), run every queued job
+    to completion, then join the worker domains. *)

@@ -1,0 +1,477 @@
+(* The persistent mining service: a single-threaded select loop owning
+   every socket, with all job work on the scheduler's worker domains.
+
+   Data flow: bytes in -> Frame.decoder -> Proto.decode_request ->
+   either answered inline (control requests) or submitted to the
+   scheduler. Workers push completed responses onto a mutex-protected
+   queue and write one byte down the self-pipe, which wakes the select
+   so the loop can serialise them onto the right connection — sockets
+   are only ever touched by the loop thread.
+
+   Shutdown (SIGINT/SIGTERM via [stop], or a Shutdown request) is
+   graceful: stop accepting, let every queued job finish, drain every
+   connection's output buffer, then join the workers and flush the
+   global telemetry sink. *)
+
+type listen = Unix_sock of string | Tcp of string * int
+
+type config = {
+  listen : listen;
+  jobs : int;           (* scheduler worker domains *)
+  max_inflight : int;   (* per-session queued+running bound *)
+  idle_timeout : float; (* seconds; 0 disables eviction *)
+  cache_dir : string option;
+  mine_jobs : int;      (* per-session mining parallelism *)
+}
+
+let default_config listen =
+  { listen;
+    jobs = 2;
+    max_inflight = 4;
+    idle_timeout = 300.0;
+    cache_dir = None;
+    mine_jobs = 1 }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  dec : Frame.decoder;
+  out : Buffer.t;
+  mutable out_off : int;
+  mutable closing : bool;  (* close once [out] drains *)
+}
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  lock : Mutex.t;
+  completions : (int * Proto.response) Queue.t;  (* (conn id, response) *)
+  mutable sched : Proto.response Scheduler.t option;
+  sessions : (string, Session.t) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable next_cid : int;
+  stop_flag : bool Atomic.t;
+  mutable listen_open : bool;
+  started_ns : int64;
+  mutable busy_count : int;
+  mutable evicted : int;
+}
+
+let c_evicted = Obs.Metrics.counter "serve.sessions_evicted"
+let c_conns = Obs.Metrics.counter "serve.connections"
+let g_sessions = Obs.Metrics.gauge "serve.sessions"
+
+let listen_sockaddr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    Unix.ADDR_INET (addr, port)
+
+let create cfg =
+  (* A client vanishing mid-reply must surface as EPIPE on the write,
+     not kill the whole process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let domain =
+    match cfg.listen with
+    | Unix_sock _ -> Unix.PF_UNIX
+    | Tcp _ -> Unix.PF_INET
+  in
+  (match cfg.listen with
+   | Unix_sock path when Sys.file_exists path -> (try Unix.unlink path with _ -> ())
+   | _ -> ());
+  let listen_fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match cfg.listen with
+   | Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+   | Unix_sock _ -> ());
+  Unix.bind listen_fd (listen_sockaddr cfg.listen);
+  Unix.listen listen_fd 128;
+  Unix.set_nonblock listen_fd;
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  (* Nonblocking writes: a full pipe already means a wakeup is pending,
+     and a signal handler must never block here. *)
+  Unix.set_nonblock wake_w;
+  { cfg;
+    listen_fd;
+    wake_r;
+    wake_w;
+    lock = Mutex.create ();
+    completions = Queue.create ();
+    sched = None;
+    sessions = Hashtbl.create 17;
+    conns = Hashtbl.create 17;
+    next_cid = 0;
+    stop_flag = Atomic.make false;
+    listen_open = true;
+    started_ns = Obs.Clock.now_ns ();
+    busy_count = 0;
+    evicted = 0 }
+
+let sockaddr t = Unix.getsockname t.listen_fd
+
+(* Signal-safe: one atomic store and one pipe write. *)
+let stop t =
+  Atomic.set t.stop_flag true;
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '.') 0 1) with _ -> ()
+
+let enqueue_response conn resp =
+  Buffer.add_string conn.out (Frame.encode (Proto.encode_response resp))
+
+let close_conn t conn =
+  Hashtbl.remove t.conns conn.cid;
+  try Unix.close conn.fd with _ -> ()
+
+(* ---- Control requests, answered inline on the loop thread ---- *)
+
+let stats_response t ~id =
+  let s =
+    match t.sched with
+    | Some sched -> Scheduler.stats sched
+    | None ->
+      { Scheduler.queued = 0; running = 0; completed = 0; per_session = [] }
+  in
+  let sessions =
+    Hashtbl.fold
+      (fun name sess acc ->
+         let queued, running =
+           match
+             List.find_opt
+               (fun (n, _, _) -> String.equal n name)
+               s.Scheduler.per_session
+           with
+           | Some (_, q, r) -> (q, r)
+           | None -> (0, false)
+         in
+         { Proto.st_name = name;
+           st_records = Session.records sess;
+           st_sources = Session.sources sess;
+           st_queued = queued;
+           st_running = running }
+         :: acc)
+      t.sessions []
+    |> List.sort (fun a b -> compare a.Proto.st_name b.Proto.st_name)
+  in
+  let p99_ms =
+    float_of_int
+      (Obs.Metrics.histogram_percentile
+         (Obs.Metrics.histogram ~unit:"ns" "serve.job.total_ns") 0.99)
+    /. 1e6
+  in
+  Proto.Stats
+    { id;
+      uptime_ms =
+        Int64.to_int (Int64.div (Obs.Clock.ns_since t.started_ns) 1_000_000L);
+      sessions;
+      queued = s.Scheduler.queued;
+      running = s.Scheduler.running;
+      completed = s.Scheduler.completed;
+      busy = t.busy_count;
+      evicted = t.evicted;
+      p99_job_ms = p99_ms }
+
+let session_of t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> s
+  | None ->
+    let s =
+      Session.create ?cache_dir:t.cfg.cache_dir ~mine_jobs:t.cfg.mine_jobs
+        name
+    in
+    Hashtbl.add t.sessions name s;
+    Obs.Metrics.set g_sessions (float_of_int (Hashtbl.length t.sessions));
+    s
+
+let handle_request t conn (env : Proto.envelope) =
+  let sname = Option.value env.session ~default:"default" in
+  match env.request with
+  | Proto.Status -> enqueue_response conn (stats_response t ~id:env.id)
+  | Proto.Cancel { target } ->
+    let dropped =
+      match t.sched with
+      | None -> []
+      | Some sched -> Scheduler.cancel sched ~session:sname ~key:target
+    in
+    (* Answer each dropped request on the connection that submitted it
+       (it may be gone — then the answer is moot). *)
+    List.iter
+      (fun (tag, key) ->
+         match Hashtbl.find_opt t.conns tag with
+         | Some c ->
+           enqueue_response c
+             (Proto.Failed { id = key; message = "cancelled" })
+         | None -> ())
+      dropped;
+    enqueue_response conn
+      (Proto.Cancelled
+         { id = env.id; target; found = dropped <> [] });
+    (match Hashtbl.find_opt t.sessions sname with
+     | Some s -> Session.touch s
+     | None -> ())
+  | Proto.Shutdown ->
+    enqueue_response conn (Proto.Bye { id = env.id });
+    Atomic.set t.stop_flag true
+  | Proto.Mine _ | Proto.Check _ | Proto.Campaign _ | Proto.Snapshot _ ->
+    let sess = session_of t sname in
+    Session.touch sess;
+    let sched =
+      match t.sched with Some s -> s | None -> assert false
+    in
+    let id = env.id and req = env.request in
+    (match
+       Scheduler.submit sched ~session:sname ~tag:conn.cid ~key:env.id
+         ~work:(fun () -> Session.execute sess ~id req)
+     with
+     | `Queued _ -> ()
+     | `Busy (queued, limit) ->
+       t.busy_count <- t.busy_count + 1;
+       enqueue_response conn (Proto.Busy { id = env.id; queued; limit })
+     | `Stopping ->
+       enqueue_response conn
+         (Proto.Failed { id = env.id; message = "server shutting down" }))
+
+let handle_frame t conn payload =
+  match Proto.decode_request payload with
+  | Error m ->
+    (* The frame was well-formed, so the stream is still in sync: report
+       and keep the connection. *)
+    enqueue_response conn
+      (Proto.Failed { id = 0; message = "bad request: " ^ m })
+  | Ok env -> handle_request t conn env
+
+let read_chunk = Bytes.create 65536
+
+let handle_readable t conn =
+  let closed =
+    match Unix.read conn.fd read_chunk 0 (Bytes.length read_chunk) with
+    | 0 -> true
+    | n ->
+      Frame.feed conn.dec (Bytes.sub_string read_chunk 0 n);
+      false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> false
+    | exception Unix.Unix_error _ -> true
+  in
+  if closed then close_conn t conn
+  else begin
+    let rec drain () =
+      if not conn.closing then
+        match Frame.next conn.dec with
+        | `Frame payload ->
+          handle_frame t conn payload;
+          drain ()
+        | `Await -> ()
+        | `Error e ->
+          (* Framing is unrecoverable: answer once, flush, close. *)
+          enqueue_response conn
+            (Proto.Failed { id = 0; message = Frame.error_message e });
+          conn.closing <- true
+    in
+    drain ()
+  end
+
+let handle_writable t conn =
+  let data = Buffer.contents conn.out in
+  let len = String.length data - conn.out_off in
+  if len > 0 then begin
+    match
+      Unix.write_substring conn.fd data conn.out_off len
+    with
+    | n ->
+      conn.out_off <- conn.out_off + n;
+      if conn.out_off = String.length data then begin
+        Buffer.clear conn.out;
+        conn.out_off <- 0
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn
+  end;
+  if conn.closing && Buffer.length conn.out = conn.out_off
+     && Hashtbl.mem t.conns conn.cid
+  then close_conn t conn
+
+let accept_ready t =
+  let rec loop () =
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      let cid = t.next_cid in
+      t.next_cid <- cid + 1;
+      Hashtbl.replace t.conns cid
+        { fd; cid; dec = Frame.decoder (); out = Buffer.create 256;
+          out_off = 0; closing = false };
+      Obs.Metrics.incr c_conns;
+      loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+let drain_completions t =
+  let pending =
+    Mutex.protect t.lock (fun () ->
+        let l = List.of_seq (Queue.to_seq t.completions) in
+        Queue.clear t.completions;
+        l)
+  in
+  List.iter
+    (fun (cid, resp) ->
+       match Hashtbl.find_opt t.conns cid with
+       | Some conn -> enqueue_response conn resp
+       | None -> ())
+    pending
+
+let evict_idle t =
+  if t.cfg.idle_timeout > 0.0 then begin
+    let now = Obs.Clock.now_s () in
+    let victims =
+      Hashtbl.fold
+        (fun name s acc ->
+           if now -. Session.last_active s > t.cfg.idle_timeout then
+             name :: acc
+           else acc)
+        t.sessions []
+    in
+    List.iter
+      (fun name ->
+         let idle =
+           match t.sched with
+           | None -> true
+           | Some sched ->
+             Scheduler.session_idle sched name
+             && Scheduler.forget sched name
+         in
+         if idle then begin
+           Hashtbl.remove t.sessions name;
+           t.evicted <- t.evicted + 1;
+           Obs.Metrics.incr c_evicted;
+           Obs.Metrics.set g_sessions
+             (float_of_int (Hashtbl.length t.sessions))
+         end)
+      victims
+  end
+
+let drain_wake_pipe t =
+  let b = Bytes.create 64 in
+  let rec loop () =
+    match Unix.read t.wake_r b 0 64 with
+    | _ -> loop ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+  in
+  loop ()
+
+let outstanding_output t =
+  Hashtbl.fold
+    (fun _ c acc -> acc || Buffer.length c.out > c.out_off)
+    t.conns false
+
+let run t =
+  let sched =
+    Scheduler.create ~jobs:t.cfg.jobs ~max_inflight:t.cfg.max_inflight
+      ~on_complete:(fun ~tag ~key:_ resp ->
+          Mutex.protect t.lock (fun () ->
+              Queue.add (tag, resp) t.completions);
+          wake t)
+      ()
+  in
+  t.sched <- Some sched;
+  let finished = ref false in
+  while not !finished do
+    let stopping = Atomic.get t.stop_flag in
+    if stopping && t.listen_open then begin
+      t.listen_open <- false;
+      (try Unix.close t.listen_fd with _ -> ());
+      (match t.cfg.listen with
+       | Unix_sock path -> (try Unix.unlink path with _ -> ())
+       | Tcp _ -> ())
+    end;
+    drain_completions t;
+    if stopping
+       && Scheduler.inflight sched = 0
+       && not (outstanding_output t)
+    then finished := true
+    else begin
+      let reads =
+        t.wake_r
+        :: (if t.listen_open then [ t.listen_fd ] else [])
+        @ Hashtbl.fold (fun _ c acc -> c.fd :: acc) t.conns []
+      in
+      let writes =
+        Hashtbl.fold
+          (fun _ c acc ->
+             if Buffer.length c.out > c.out_off then c.fd :: acc else acc)
+          t.conns []
+      in
+      match Unix.select reads writes [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+        if List.mem t.wake_r readable then drain_wake_pipe t;
+        if t.listen_open && List.mem t.listen_fd readable then
+          accept_ready t;
+        (* Snapshot: handlers mutate t.conns. *)
+        let by_fd fd =
+          Hashtbl.fold
+            (fun _ c acc -> if c.fd = fd then Some c else acc)
+            t.conns None
+        in
+        List.iter
+          (fun fd ->
+             if fd <> t.wake_r && (not t.listen_open || fd <> t.listen_fd)
+             then
+               match by_fd fd with
+               | Some conn -> handle_readable t conn
+               | None -> ())
+          readable;
+        drain_completions t;
+        List.iter
+          (fun fd ->
+             match by_fd fd with
+             | Some conn -> handle_writable t conn
+             | None -> ())
+          writable;
+        (* Freshly queued output gets one immediate write attempt; what
+           remains waits for the next writability round. *)
+        Hashtbl.iter
+          (fun _ conn ->
+             if Buffer.length conn.out > conn.out_off
+                && not (List.mem conn.fd writable)
+             then handle_writable t conn)
+          (Hashtbl.copy t.conns);
+        evict_idle t
+    end
+  done;
+  Scheduler.drain sched;
+  drain_completions t;
+  (* Final synchronous flush of any responses completed during drain. *)
+  Hashtbl.iter
+    (fun _ conn ->
+       (try Unix.clear_nonblock conn.fd with _ -> ());
+       let data = Buffer.contents conn.out in
+       let len = String.length data - conn.out_off in
+       if len > 0 then
+         try ignore (Unix.write_substring conn.fd data conn.out_off len)
+         with _ -> ())
+    t.conns;
+  Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with _ -> ()) t.conns;
+  Hashtbl.reset t.conns;
+  if t.listen_open then begin
+    t.listen_open <- false;
+    (try Unix.close t.listen_fd with _ -> ());
+    match t.cfg.listen with
+    | Unix_sock path -> (try Unix.unlink path with _ -> ())
+    | Tcp _ -> ()
+  end;
+  (try Unix.close t.wake_r with _ -> ());
+  (try Unix.close t.wake_w with _ -> ());
+  Obs.Sink.flush (Obs.Sink.global ())

@@ -1,0 +1,28 @@
+(** One client session: a {!Scifinder_core.Pipeline.Session} plus
+    idle-eviction bookkeeping, and the executor mapping protocol
+    requests onto it. *)
+
+type t
+
+val create : ?cache_dir:string -> mine_jobs:int -> string -> t
+(** [create name] — [mine_jobs]/[cache_dir] follow the
+    {!Scifinder_core.Pipeline.Session.create} rules ([mine_jobs = 1]
+    with no cache is the byte-identity reference configuration). *)
+
+val name : t -> string
+val records : t -> int
+val sources : t -> int
+
+val touch : t -> unit
+val last_active : t -> float
+(** Monotonic seconds ({!Obs.Clock.now_s}) of the last {!touch} /
+    {!execute} — the idle-eviction clock. *)
+
+val pipeline_session : t -> Scifinder_core.Pipeline.Session.t
+
+val execute : t -> id:int -> Proto.request -> Proto.response
+(** Run one job request against the session. Total: failures (unknown
+    workloads, parse errors, corrupt segments, I/O) come back as
+    [Proto.Failed]. Must only run one-at-a-time per session — the
+    {!Scheduler} guarantees that. Control requests ([Status] / [Cancel]
+    / [Shutdown]) are not executable here. *)

@@ -378,6 +378,41 @@ let fold ?(on_workload = fun (_ : string) -> ()) ~init ~f path =
 let iter ?on_workload ~f path =
   snd (fold ?on_workload ~init:() ~f:(fun () r -> f r) path)
 
+(* Header-only scan: the per-block MD5 digest already lives in the frame
+   header, so fingerprinting a segment for a cache key costs one seek
+   per block — payloads are skipped, not read or verified. The framing
+   checks mirror [input_payload]'s, so a torn tail still surfaces as
+   [Corrupt_segment] instead of keying a cache entry. *)
+let block_digests path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+       let size = in_channel_length ic in
+       let rec loop acc =
+         match input_char ic with
+         | exception End_of_file -> List.rev acc
+         | c0 ->
+           let rest = Bytes.create (header_len - 1) in
+           (try really_input ic rest 0 (header_len - 1)
+            with End_of_file -> corrupt "torn block header");
+           if c0 <> magic.[0]
+              || Bytes.sub_string rest 0 6 <> String.sub magic 1 6
+           then corrupt "bad segment magic";
+           let v = Char.code (Bytes.get rest 6) in
+           if v < 1 || v > version then
+             corrupt "unsupported segment version %d" v;
+           let digest = Bytes.sub_string rest 7 16 in
+           let len = Int32.to_int (Bytes.get_int32_be rest 23) in
+           if len < 0 then corrupt "negative block length";
+           if pos_in ic + len > size then corrupt "torn block payload";
+           seek_in ic (pos_in ic + len);
+           loop (digest :: acc)
+       in
+       let digests = loop [] in
+       if digests = [] then corrupt "empty segment file";
+       digests)
+
 (* ---- lake layout: one append-only segment file per workload ---- *)
 
 let segment_path ~dir ~workload =

@@ -67,6 +67,15 @@ val fold :
 
 val iter : ?on_workload:(string -> unit) -> f:(Record.t -> unit) -> string -> info
 
+val block_digests : string -> string list
+(** The 16-byte MD5 digest of every block, in file order, read from the
+    frame headers alone — payloads are seeked over, not decoded or
+    verified, so fingerprinting a multi-GB segment for a cache key costs
+    one seek per block. The framing checks match {!fold}'s: a torn tail,
+    foreign magic or future version raises {!Corrupt_segment} (payload
+    bit-rot does not — that is {!fold}'s job when the data is actually
+    read). *)
+
 (** {1 Lake layout}
 
     A lake directory holds one append-only segment per workload, named

@@ -211,6 +211,59 @@ let test_cache_slash_named_workload () =
       Alcotest.(check int) "records identical"
         cold.Pipeline.record_count warm.Pipeline.record_count)
 
+(* ---- the lake warm cache ----
+
+   mine_lake over a cache directory keys its snapshot on the segment
+   BLOCK digests (Segment.block_digests), so a warm hit is provably
+   bound to the lake's bytes: byte-identical engine on a hit, and any
+   appended or altered block changes the key and re-mines. *)
+
+let summary_hits () =
+  Obs.Metrics.counter_value (Obs.Metrics.counter "mine.cache.summary_hit")
+
+let lake_session_digest ?cache_dir dir =
+  let s = Pipeline.Session.create ?cache_dir () in
+  ignore (Pipeline.Session.mine_lake s dir);
+  Pipeline.Session.engine_digest s
+
+let test_lake_cache_warm_equals_cold () =
+  with_cache_dir (fun lake ->
+      with_cache_dir (fun cache ->
+          ignore (Pipeline.record_lake ~names ~dir:lake ());
+          let reference = lake_session_digest lake in
+          let cold = Pipeline.mine_lake ~cache_dir:cache lake in
+          let hits = summary_hits () in
+          let warm = Pipeline.mine_lake ~cache_dir:cache lake in
+          Alcotest.(check int) "warm run hit the summary cache"
+            (hits + 1) (summary_hits ());
+          let s = List.map Expr.to_string in
+          Alcotest.(check (list string)) "invariants"
+            (s cold.Pipeline.invariants) (s warm.Pipeline.invariants);
+          Alcotest.(check bool) "figure3 rows identical" true
+            (cold.Pipeline.figure3 = warm.Pipeline.figure3);
+          Alcotest.(check int) "records"
+            cold.Pipeline.record_count warm.Pipeline.record_count;
+          Alcotest.(check int) "trace bytes"
+            cold.Pipeline.trace_bytes warm.Pipeline.trace_bytes;
+          Alcotest.(check string) "warm engine bytes == uncached sequential"
+            reference (lake_session_digest ~cache_dir:cache lake)))
+
+let test_lake_cache_append_invalidates () =
+  with_cache_dir (fun lake ->
+      with_cache_dir (fun cache ->
+          let s1 = Pipeline.record_lake ~names ~dir:lake () in
+          let cold = Pipeline.mine_lake ~cache_dir:cache lake in
+          (* Appending to the lake changes the block digests: the stale
+             snapshot must not be served. *)
+          ignore (Pipeline.record_lake ~names ~dir:lake ());
+          let grown = Pipeline.mine_lake ~cache_dir:cache lake in
+          Alcotest.(check int) "appended records mined, not stale-served"
+            (cold.Pipeline.record_count + s1.Pipeline.lake_records)
+            grown.Pipeline.record_count;
+          Alcotest.(check string) "grown engine == uncached over grown lake"
+            (lake_session_digest lake)
+            (lake_session_digest ~cache_dir:cache lake)))
+
 let () =
   Alcotest.run "snapshot"
     [ ("engine",
@@ -228,4 +281,9 @@ let () =
          Alcotest.test_case "damage re-mined" `Quick test_cache_rejects_damage;
          Alcotest.test_case "config fingerprint" `Quick test_cache_stale_config;
          Alcotest.test_case "slash-named workload contained" `Quick
-           test_cache_slash_named_workload ]) ]
+           test_cache_slash_named_workload ]);
+      ("lake cache",
+       [ Alcotest.test_case "warm equals cold (digest-keyed)" `Quick
+           test_lake_cache_warm_equals_cold;
+         Alcotest.test_case "append invalidates" `Quick
+           test_lake_cache_append_invalidates ]) ]
