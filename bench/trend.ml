@@ -51,6 +51,7 @@ let spec =
     ("minebench_speedup", [ "minebench"; "speedup" ], Higher);
     ("mutbench_speedup", [ "mutbench"; "speedup" ], Higher);
     ("lakebench_rps_ratio", [ "lakebench"; "rps_ratio" ], Higher);
+    ("lake_par_ratio", [ "lakebench"; "par_ratio" ], Higher);
     ("servebench_ratio", [ "servebench"; "rps_ratio" ], Higher);
     ("serve_p99_ms", [ "servebench"; "p99_job_ms" ], Watch);
     ("overhead_pct", [ "overhead"; "est_null_overhead_pct" ], Lower) ]
@@ -285,6 +286,15 @@ let selftest () =
     (gate (sbase @ [ sentry 1000.0 0.7 ]) <> []);
   expect "servebench ratio wobble flagged"
     (gate (sbase @ [ sentry 1000.0 0.9 ]) = []);
+  (* So is the parallel lake-replay speedup. *)
+  let pentry rps ratio =
+    [ ("records_per_sec", rps); ("lake_par_ratio", ratio) ]
+  in
+  let pbase = [ pentry 1000.0 2.4; pentry 1000.0 2.5; pentry 1000.0 2.3 ] in
+  expect "lake par ratio drop not flagged"
+    (gate (pbase @ [ pentry 1000.0 1.6 ]) <> []);
+  expect "lake par ratio wobble flagged"
+    (gate (pbase @ [ pentry 1000.0 2.2 ]) = []);
   Printf.printf "trend gate (synthetic 20%% regression flagged): PASS\n";
   0
 

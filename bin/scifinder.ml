@@ -235,7 +235,7 @@ let mine_cmd =
            block by block, instead of re-simulating anything. *)
         let m =
           Scifinder_core.Pipeline.mine_lake
-            ~provenance:(explain <> None) ?cache_dir dir
+            ~provenance:(explain <> None) ~jobs ?cache_dir dir
         in
         Printf.printf
           "lake: %d records from %d segments (%d bytes on disk)\n"
@@ -322,9 +322,12 @@ let mine_cmd =
                  (recorded with $(b,trace --record-out) or \
                  $(b,fuzz --lake)) instead of simulating workloads. \
                  Segments are replayed in sorted filename order, one \
-                 block in memory at a time; the mined set is \
-                 bit-identical to a live sequential run over the same \
-                 traces.")
+                 block in memory at a time; with $(b,-j) N the replay \
+                 shards into byte-balanced block ranges across N \
+                 domains, with block read-ahead overlapping disk and \
+                 decode. The mined set — and the engine snapshot, byte \
+                 for byte — is identical for any N and bit-identical \
+                 to a live sequential run over the same traces.")
   in
   Cmd.v (Cmd.info "mine" ~exits:common_exits
            ~doc:"Mine likely processor invariants from the trace corpus.")
@@ -617,10 +620,12 @@ let fuzz_cmd =
         | None -> ()
         | Some dir ->
           (* Appending each run's traces grows the lake across seeds —
-             replication without re-simulation. *)
+             replication without re-simulation. Each accepted program
+             owns its segment file, so recording shards across the
+             domain pool. *)
           let s =
             Scifinder_core.Pipeline.record_lake ~workloads
-              ~names:(Fuzz.Corpus.names corpus) ~dir ()
+              ~names:(Fuzz.Corpus.names corpus) ~jobs ~dir ()
           in
           Printf.printf
             "lake: appended %d records (%d bytes) across %d segments in %s\n"
@@ -682,7 +687,9 @@ let fuzz_cmd =
            ~doc:"Append the accepted programs' traces to the on-disk \
                  trace lake at $(docv) (created if missing), one segment \
                  per workload, for later $(b,mine --from-lake) runs. \
-                 Re-running with different seeds accumulates.")
+                 Recording runs $(b,-j) workloads in parallel (each \
+                 owns its segment file). Re-running with different \
+                 seeds accumulates.")
   in
   Cmd.v (Cmd.info "fuzz" ~exits:common_exits
            ~doc:"Grow a coverage-guided corpus of generated OR1200 \
@@ -693,11 +700,17 @@ let fuzz_cmd =
 (* ---- trace ---- *)
 
 let trace_cmd =
-  let run verbose metrics trace_out workload_name limit point_filter
+  let run verbose metrics trace_out jobs workload_name limit point_filter
       no_decode_cache record_out =
     setup_logs verbose;
     setup_metrics metrics trace_out;
     run_guarded @@ fun () ->
+    (* Accepted for CLI uniformity with [fuzz --lake] and
+       [mine --from-lake]: a single workload records on one domain. *)
+    if jobs > 1 then
+      Logs.info (fun m ->
+          m "trace records one workload on one domain; -j %d shards \
+             fuzz --lake recording and mine --from-lake replay" jobs);
     match Workloads.Suite.by_name workload_name with
     | None ->
       Logs.err (fun m ->
@@ -796,8 +809,8 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~exits:common_exits
            ~doc:"Stream one workload's fused trace records without \
                  materialising the trace.")
-    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ workload
-          $ limit $ point $ no_decode_cache $ record_out)
+    Term.(const run $ verbose_arg $ metrics_arg $ trace_out_arg $ jobs_arg
+          $ workload $ limit $ point $ no_decode_cache $ record_out)
 
 (* ---- report ---- *)
 

@@ -23,6 +23,10 @@ let c_merge_ns = Obs.Metrics.counter "mine.merge_ns"
 let c_cache_hit = Obs.Metrics.counter "mine.cache.hit"
 let c_cache_miss = Obs.Metrics.counter "mine.cache.miss"
 let c_cache_stale = Obs.Metrics.counter "mine.cache.stale"
+
+(* Segment files recorded but unstat-able afterwards: the lake byte
+   totals skip them, and this counter is the only trace of the skip. *)
+let c_lake_stat_errors = Obs.Metrics.counter "lake.stat_errors"
 let c_summary_hit = Obs.Metrics.counter "mine.cache.summary_hit"
 let c_summary_miss = Obs.Metrics.counter "mine.cache.summary_miss"
 
@@ -375,7 +379,9 @@ let absorb_shard engine shard =
   Obs.Metrics.incr c_merges
 
 (* Replay one lake segment into an engine, block by block, under the
-   same span the live [mine_lake] fold always used. *)
+   same span the live [mine_lake] fold always used. Scratch decode and
+   read-ahead are safe here: the engine copies the values it keeps at
+   observation, so nothing aliases the recycled rows past the fold. *)
 let replay_segment_into engine path =
   let (), info =
     Obs.Span.with_ ~name:"lake.replay"
@@ -383,9 +389,35 @@ let replay_segment_into engine path =
       (fun () ->
          Trace.Segment.fold
            ~on_workload:(Daikon.Engine.set_workload engine)
+           ~read_ahead:true
+           ~scratch:(Trace.Segment.scratch ())
            ~init:()
            ~f:(fun () r -> Daikon.Engine.observe engine r)
            path)
+  in
+  info
+
+(* Replay one shard-plan span into a fresh engine on the calling
+   domain. The per-span engines later merge in span order, so the
+   workload attribution [set_workload] writes here matches what a
+   sequential fold of the same blocks would have written. *)
+let replay_span_into engine (sp : Trace.Segment.span) =
+  let (), info =
+    Obs.Span.with_ ~name:"lake.replay"
+      ~attrs:
+        [ ("segment", Obs.Sink.S (Filename.basename sp.Trace.Segment.sp_path));
+          ("first_block", Obs.Sink.I sp.Trace.Segment.sp_first);
+          ("last_block", Obs.Sink.I sp.Trace.Segment.sp_last) ]
+      (fun () ->
+         Trace.Segment.fold_range
+           ~on_workload:(Daikon.Engine.set_workload engine)
+           ~read_ahead:true
+           ~scratch:(Trace.Segment.scratch ())
+           ~first_block:sp.Trace.Segment.sp_first
+           ~last_block:sp.Trace.Segment.sp_last
+           ~init:()
+           ~f:(fun () r -> Daikon.Engine.observe engine r)
+           sp.Trace.Segment.sp_path)
   in
   info
 
@@ -667,13 +699,71 @@ module Session = struct
     | None ->
       let disk_bytes = ref 0 in
       let rows =
-        List.map
-          (fun path ->
-             let info = replay_segment_into t.engine path in
-             disk_bytes := !disk_bytes + info.Trace.Segment.bytes;
-             let label = String.concat "+" info.Trace.Segment.workloads in
-             snapshot_row t ~label)
-          segments
+        (* Parallel cold path: shard the lake into byte-balanced block
+           spans, fold each span into its own engine on the domain pool,
+           then merge in span order — [merge_into] is an exact join and
+           blocks are self-contained, so the merged engine is
+           byte-identical (canonical SCIFSNAP) to the sequential fold.
+           Provenance replays stay sequential: the death ring is an
+           eviction-lossy trace whose merge order is part of its
+           meaning. *)
+        if t.jobs > 1 && not t.provenance then begin
+          let spans = Trace.Segment.shard_spans ~jobs:t.jobs segments in
+          let parent = Obs.Span.current () in
+          let shards =
+            Util.Parallel.map
+              ~wrap:(fun th -> Obs.Span.with_context parent th)
+              ~jobs:t.jobs
+              (fun sp ->
+                 let shard =
+                   Daikon.Engine.create ~config:t.config ~provenance:false ()
+                 in
+                 let info = replay_span_into shard sp in
+                 (sp, shard, info))
+              (Array.of_list spans)
+          in
+          let rows = ref [] in
+          (* One Figure 3 row per segment, as the sequential fold
+             produces: merge spans in order, snapshotting when the next
+             span (or the end) leaves the current segment. The label is
+             the segment's distinct workloads in first-appearance
+             order — span infos concatenate to exactly that. *)
+          let seg_workloads = ref [] in
+          Array.iteri
+            (fun i (sp, shard, (info : Trace.Segment.info)) ->
+               absorb_shard t.engine shard;
+               disk_bytes := !disk_bytes + info.Trace.Segment.bytes;
+               List.iter
+                 (fun w ->
+                    if not (List.mem w !seg_workloads) then
+                      seg_workloads := w :: !seg_workloads)
+                 info.Trace.Segment.workloads;
+               let seg_end =
+                 i + 1 = Array.length shards
+                 ||
+                 let next, _, _ = shards.(i + 1) in
+                 not
+                   (String.equal next.Trace.Segment.sp_path
+                      sp.Trace.Segment.sp_path)
+               in
+               if seg_end then begin
+                 let label =
+                   String.concat "+" (List.rev !seg_workloads)
+                 in
+                 rows := snapshot_row t ~label :: !rows;
+                 seg_workloads := []
+               end)
+            shards;
+          List.rev !rows
+        end
+        else
+          List.map
+            (fun path ->
+               let info = replay_segment_into t.engine path in
+               disk_bytes := !disk_bytes + info.Trace.Segment.bytes;
+               let label = String.concat "+" info.Trace.Segment.workloads in
+               snapshot_row t ~label)
+            segments
       in
       t.sources <- Src_lake dir :: t.sources;
       let records = record_count t - before in
@@ -855,50 +945,77 @@ type lake_stats = {
   lake_seconds : float;
 }
 
-let record_lake ?(workloads = []) ?names ~dir () =
+let record_lake ?(workloads = []) ?names ?(jobs = 1) ~dir () =
   let names = match names with None -> Workloads.Suite.names | Some l -> l in
   let ws = List.map (resolve_exn ~workloads) names in
+  (* Each workload appends to its own segment file, so recording
+     parallelizes across workloads — except when a name repeats: two
+     writers appending the same file would interleave half-built
+     blocks, so duplicates fall back to the sequential path, where
+     appends compose. *)
+  let jobs =
+    if List.length (List.sort_uniq String.compare names) = List.length names
+    then jobs
+    else 1
+  in
   let r, lake_seconds =
     Obs.Span.timed ~name:"lake.record"
-      ~attrs:[ ("segments", Obs.Sink.I (List.length ws)) ]
+      ~attrs:
+        [ ("segments", Obs.Sink.I (List.length ws));
+          ("jobs", Obs.Sink.I jobs) ]
       (fun () ->
          Cache.mkdir_p dir;
-         let records = ref 0 and bytes = ref 0 in
-         List.iter
-           (fun (w : Workloads.Rt.t) ->
-              let path = Trace.Segment.segment_path ~dir ~workload:w.name in
-              Trace.Segment.with_writer ~workload:w.name path (fun sw ->
-                  ignore
-                    (Trace.Runner.stream_to_segment
-                       ~tick_period:w.tick_period ~entry:w.entry ~writer:sw
-                       w.image);
-                  records := !records + Trace.Segment.written sw);
-              bytes :=
-                !bytes
-                + (try (Unix.stat path).Unix.st_size
-                   with Unix.Unix_error _ -> 0))
-           ws;
+         let parent = Obs.Span.current () in
+         let per_workload =
+           Util.Parallel.map
+             ~wrap:(fun th -> Obs.Span.with_context parent th)
+             ~jobs
+             (fun (w : Workloads.Rt.t) ->
+                let path = Trace.Segment.segment_path ~dir ~workload:w.name in
+                let records =
+                  Trace.Segment.with_writer ~workload:w.name path (fun sw ->
+                      ignore
+                        (Trace.Runner.stream_to_segment
+                           ~tick_period:w.tick_period ~entry:w.entry
+                           ~writer:sw w.image);
+                      Trace.Segment.written sw)
+                in
+                let bytes =
+                  try (Unix.stat path).Unix.st_size
+                  with Unix.Unix_error _ ->
+                    (* A segment we just wrote but cannot stat back is
+                       worth surfacing: count the skip instead of
+                       silently folding a zero into the total. *)
+                    Obs.Metrics.incr c_lake_stat_errors;
+                    0
+                in
+                (records, bytes))
+             (Array.of_list ws)
+         in
+         let records = Array.fold_left (fun a (r, _) -> a + r) 0 per_workload in
+         let bytes = Array.fold_left (fun a (_, b) -> a + b) 0 per_workload in
          { lake_segments = List.length ws;
-           lake_records = !records;
-           lake_bytes = !bytes;
+           lake_records = records;
+           lake_bytes = bytes;
            lake_seconds = 0.0 })
   in
   { r with lake_seconds }
 
 let mine_lake ?(config = Daikon.Config.default) ?(provenance = false)
-    ?cache_dir dir =
+    ?(jobs = 1) ?cache_dir dir =
   let segments = Trace.Segment.lake_segments dir in
   if segments = [] then
     invalid_arg ("Pipeline.mine_lake: no segments under " ^ dir);
   let body () =
-    let s = Session.create ~config ~provenance ?cache_dir () in
+    let s = Session.create ~config ~provenance ~jobs ?cache_dir () in
     let m = Session.mine_lake s dir in
     publish_engine_stats s.Session.engine;
     m
   in
   let r, seconds =
     Obs.Span.timed ~name:"pipeline.mine"
-      ~attrs:[ ("source", Obs.Sink.S "lake") ] body
+      ~attrs:[ ("source", Obs.Sink.S "lake"); ("jobs", Obs.Sink.I jobs) ]
+      body
   in
   { r with seconds }
 

@@ -111,22 +111,38 @@ type lake_stats = {
 val record_lake :
   ?workloads:Workloads.Rt.t list ->
   ?names:string list ->
+  ?jobs:int ->
   dir:string -> unit -> lake_stats
 (** Trace every named workload (default: the whole suite; names resolve
     against [workloads] first, then the suite) and append its records to
     [dir]'s segment for that workload, creating directory and segments
     as needed. Append-only: recording the same workload again extends
     its segment, which is how a fuzz run accumulates a multi-100×
-    corpus. *)
+    corpus. [jobs] (default 1) records workloads in parallel on a
+    domain pool — each workload owns its segment file, so writers never
+    share a file; a name list with duplicates falls back to sequential
+    recording (appends to one file must not interleave). A recorded
+    segment that cannot be stat-ed back is skipped from [lake_bytes]
+    and counted in the [lake.stat_errors] metric. *)
 
 val mine_lake :
-  ?config:Daikon.Config.t -> ?provenance:bool -> ?cache_dir:string ->
-  string -> mining
+  ?config:Daikon.Config.t -> ?provenance:bool -> ?jobs:int ->
+  ?cache_dir:string -> string -> mining
 (** Mine a lake directory out-of-core: fold every segment (in sorted
     filename order — deterministic) through a single engine, one block
     in memory at a time. The result is bit-identical to mining the same
     workload sequence live with [jobs = 1]; [figure3] carries one row
     per segment file and [trace_bytes] is the real on-disk size.
+
+    [jobs] (default 1) shards the replay: the lake is cut into
+    byte-balanced block spans ({!Trace.Segment.shard_spans}), each span
+    folds into its own engine on a domain pool with scratch decode and
+    block read-ahead, and the span engines merge back in span order —
+    an exact join, so the result (rows, invariants, and the canonical
+    SCIFSNAP engine bytes) is byte-identical for every [jobs >= 1]. A
+    provenance replay always runs sequentially ([jobs] is ignored): the
+    death ring is an eviction-lossy trace whose order is part of its
+    meaning.
 
     [cache_dir] enables a lake-level warm cache: the key digests the
     codec version, the config fingerprint and every segment's per-block
@@ -161,7 +177,8 @@ module Session : sig
       sequentially through the session engine — the paper's setup, and
       the byte-identity reference — while anything else mines
       per-workload shards (hitting the shard cache) and merges them in
-      submission order. *)
+      submission order. [jobs] also shards {!mine_lake} replays across
+      the same pool (see {!val-mine_lake}). *)
 
   type outcome = {
     o_rows : figure3_row list;  (** [[]] when the caller skipped the diff *)
@@ -183,8 +200,13 @@ module Session : sig
   (** Fold a lake directory into the session (see {!val-mine_lake}).
       On a fresh session with a [cache_dir], a warm hit adopts the
       cached engine whole; a cold fold on a fresh session populates the
-      cache. [record_count]/[trace_bytes] in the result count this call
-      only; [invariants] is the full session set afterwards. *)
+      cache. With [jobs > 1] (and no provenance) the cold fold runs the
+      sharded parallel replay and merges the span engines into the
+      session engine — byte-identical to the sequential fold, on fresh
+      and non-fresh sessions alike, and the cache key ignores [jobs]
+      entirely (a lake mined at any [jobs] warms every other).
+      [record_count]/[trace_bytes] in the result count this call only;
+      [invariants] is the full session set afterwards. *)
 
   type check_status = Supported | Violated | Vacuous
 

@@ -1133,7 +1133,14 @@ let encode_pair w p =
   Util.Binio.write_bool w p.diff_live;
   Util.Binio.write_uint w p.scale_ij;
   Util.Binio.write_uint w p.scale_ji;
-  Util.Binio.write_uint w p.scale_nonzero
+  (* Once every scale mask is dead the support count is frozen wherever
+     the kill happened — a stream-order artifact that extraction never
+     reads (both masks gate it) and that a shard merge cannot reproduce
+     (the count is the one pair field [merge_pair] sums approximately).
+     Canonicalize it to 0 so snapshot bytes are a function of exactly
+     the mergeable state: jobs=N replay == jobs=1, byte for byte. *)
+  Util.Binio.write_uint w
+    (if p.scale_ij = 0 && p.scale_ji = 0 then 0 else p.scale_nonzero)
 
 let decode_pair r =
   let pi = Util.Binio.read_uint r in

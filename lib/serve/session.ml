@@ -67,6 +67,10 @@ let resolve_workloads = function
 let execute_exn t ~id (req : Proto.request) : Proto.response =
   match req with
   | Proto.Mine { source = Proto.Lake dir; label = _; row; digest } ->
+    (* With [mine_jobs > 1] this replay shards across the session's
+       domain pool and merges back into the session engine — the digest
+       reported below is byte-identical to a sequential replay, so
+       serve == batch identity gates hold at any worker count. *)
     let m = Pipeline.Session.mine_lake t.ps dir in
     Proto.Mined
       { id;

@@ -7,7 +7,10 @@ type t
 val create : ?cache_dir:string -> mine_jobs:int -> string -> t
 (** [create name] — [mine_jobs]/[cache_dir] follow the
     {!Scifinder_core.Pipeline.Session.create} rules ([mine_jobs = 1]
-    with no cache is the byte-identity reference configuration). *)
+    with no cache is the byte-identity reference configuration).
+    [mine_jobs] also shards lake replays ([Proto.Lake] mines) into
+    byte-balanced block spans; the merged engine — and the digest the
+    response reports — is byte-identical to a sequential replay. *)
 
 val name : t -> string
 val records : t -> int

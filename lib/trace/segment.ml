@@ -238,36 +238,63 @@ let with_writer ?records_per_block ~workload path f =
 
 (* ---- reading ---- *)
 
+(* Frame-header fields from the first byte plus the remaining
+   [header_len - 1] bytes: every framing check except the payload
+   digest, shared by the streaming reader and the header-only scans. *)
+let parse_frame_rest c0 rest =
+  if c0 <> magic.[0] || Bytes.sub_string rest 0 6 <> String.sub magic 1 6
+  then corrupt "bad segment magic";
+  let v = Char.code (Bytes.get rest 6) in
+  if v < 1 || v > version then corrupt "unsupported segment version %d" v;
+  let digest = Bytes.sub_string rest 7 16 in
+  let len = Int32.to_int (Bytes.get_int32_be rest 23) in
+  if len < 0 then corrupt "negative block length";
+  (digest, len)
+
 (* One framed block from the channel: [None] at a clean end of file,
-   [Corrupt_segment] on a torn or damaged one. The first byte is read
-   separately so EOF exactly on a block boundary is distinguishable from
-   a tail that dies mid-header. *)
-let input_payload ic =
+   [Corrupt_segment] on a torn one. The first byte is read separately so
+   EOF exactly on a block boundary is distinguishable from a tail that
+   dies mid-header. Pure I/O plus framing — the digest is NOT verified
+   here, so a read-ahead domain can pull frames off disk while the
+   consuming domain checks and decodes them. *)
+let input_frame ic =
   match input_char ic with
   | exception End_of_file -> None
   | c0 ->
     let rest = Bytes.create (header_len - 1) in
     (try really_input ic rest 0 (header_len - 1)
      with End_of_file -> corrupt "torn block header");
-    if c0 <> magic.[0] || Bytes.sub_string rest 0 6 <> String.sub magic 1 6
-    then corrupt "bad segment magic";
-    let v = Char.code (Bytes.get rest 6) in
-    if v < 1 || v > version then corrupt "unsupported segment version %d" v;
-    let digest = Bytes.sub_string rest 7 16 in
-    let len = Int32.to_int (Bytes.get_int32_be rest 23) in
-    if len < 0 then corrupt "negative block length";
+    let digest, len = parse_frame_rest c0 rest in
     let payload =
       try really_input_string ic len
       with End_of_file -> corrupt "torn block payload"
     in
-    if not (String.equal (Digest.string payload) digest) then
-      corrupt "block digest mismatch";
-    Some payload
+    Some (digest, payload)
+
+let verify_frame (digest, payload) =
+  if not (String.equal (Digest.string payload) digest) then
+    corrupt "block digest mismatch";
+  payload
+
+(* Reusable decode buffers. A fresh decode allocates one [Var.total]
+   int row per record per block; across a multi-GB replay that is the
+   dominant allocation. A [scratch] lets one consumer (one domain)
+   recycle the rows block after block — safe only because the records
+   handed to the fold callback alias the scratch rows and are
+   invalidated by the next block, so scratch decoding is opt-in and
+   reserved for consumers that provably do not retain records (the
+   mining engine copies values at observation). *)
+type scratch = {
+  mutable srows : int array array;  (* recycled value rows *)
+  mutable sidx : int array;  (* recycled point-index column *)
+}
+
+let scratch () = { srows = [||]; sidx = [||] }
 
 (* Decode a verified payload into a batch of records. Lengths are
    bounded by the payload size before any allocation, so a hostile
    count cannot balloon memory past the block it arrived in. *)
-let decode_payload payload =
+let decode_payload ?scratch payload =
   try
     let r = Util.Binio.reader payload in
     let workload = Util.Binio.read_string r in
@@ -281,27 +308,53 @@ let decode_payload payload =
       pnames.(j) <- Util.Binio.read_string r;
       pmasks.(j) <- read_mask r
     done;
-    let idx = Array.make (max n 1) 0 in
+    let idx =
+      match scratch with
+      | None -> Array.make (max n 1) 0
+      | Some s ->
+        if Array.length s.sidx < n then s.sidx <- Array.make (max n 16) 0;
+        s.sidx
+    in
     for i = 0 to n - 1 do
       let j = Util.Binio.read_uint r in
       if j >= npoints then corrupt "point index out of range";
       idx.(i) <- j
     done;
-    let values = Array.init n (fun _ -> Array.make Var.total 0) in
+    (* With a scratch, rows carry the previous block's values, so the
+       zero-skip shortcuts below must write explicitly ([dirty]); a
+       fresh [Array.make] row arrives zeroed and can skip them. *)
+    let dirty = scratch <> None in
+    let values =
+      match scratch with
+      | None -> Array.init n (fun _ -> Array.make Var.total 0)
+      | Some s ->
+        if Array.length s.srows < n then begin
+          let old = s.srows in
+          s.srows <-
+            Array.init (max n 16) (fun i ->
+                if i < Array.length old then old.(i)
+                else Array.make Var.total 0)
+        end;
+        s.srows
+    in
     if n > 0 then
       for c = 0 to Var.total - 1 do
         match Util.Binio.read_uint r with
         | t when t = tag_zero ->
-          (* Untouched column: the freshly-zeroed values already hold
-             it; a post column mirrors its (already decoded) pre. *)
+          (* Untouched column: a fresh row already holds it; a post
+             column mirrors its (already decoded) pre. *)
           if post_dual c then
             for i = 0 to n - 1 do
               let v = values.(i) in
               v.(c) <- v.(c - Var.dual_count)
             done
+          else if dirty then
+            for i = 0 to n - 1 do
+              values.(i).(c) <- 0
+            done
         | t when t = tag_const ->
           let x = Util.Binio.read_int r in
-          if x <> 0 then
+          if x <> 0 || dirty then
             for i = 0 to n - 1 do
               values.(i).(c) <- x
             done
@@ -340,50 +393,165 @@ type info = {
   workloads : string list;  (* distinct, in first-appearance order *)
 }
 
-let fold ?(on_workload = fun (_ : string) -> ()) ~init ~f path =
+(* Double-buffered read-ahead: a reader domain pulls frames off disk
+   ([input_frame] — pure I/O) into a bounded two-slot queue while the
+   consuming domain digest-checks and decodes the previous one, so the
+   fold is never stalled on the disk and never more than two undecoded
+   frames sit in memory. Reader-side exceptions (a torn tail) are
+   carried across and re-raised at the consumer's next take, preserving
+   the sequential error surface. *)
+let read_frames_prefetched ic ~budget consume =
+  let m = Mutex.create () in
+  let nonempty = Condition.create () in
+  let nonfull = Condition.create () in
+  let q : (string * string) Queue.t = Queue.create () in
+  let cap = 2 in
+  let state = ref `Running in
+  let abort = ref false in
+  let producer () =
+    let push fr =
+      Mutex.lock m;
+      while Queue.length q >= cap && not !abort do
+        Condition.wait nonfull m
+      done;
+      let keep = not !abort in
+      if keep then begin
+        Queue.push fr q;
+        Condition.signal nonempty
+      end;
+      Mutex.unlock m;
+      keep
+    in
+    let rec go n =
+      if n > 0 then
+        match input_frame ic with
+        | None -> ()
+        | Some fr -> if push fr then go (n - 1)
+    in
+    let final = try go budget; `Eof with e -> `Err e in
+    Mutex.lock m;
+    (match !state with `Running -> state := final | _ -> ());
+    Condition.signal nonempty;
+    Mutex.unlock m
+  in
+  let dom = Domain.spawn producer in
+  Fun.protect
+    ~finally:(fun () ->
+        Mutex.lock m;
+        abort := true;
+        Condition.broadcast nonfull;
+        Mutex.unlock m;
+        Domain.join dom)
+    (fun () ->
+       let processed = ref 0 in
+       let finished = ref false in
+       while (not !finished) && !processed < budget do
+         Mutex.lock m;
+         while
+           Queue.is_empty q
+           && match !state with `Running -> true | _ -> false
+         do
+           Condition.wait nonempty m
+         done;
+         let item = if Queue.is_empty q then None else Some (Queue.pop q) in
+         let st = !state in
+         if item <> None then Condition.signal nonfull;
+         Mutex.unlock m;
+         match item with
+         | Some fr ->
+           consume fr;
+           incr processed
+         | None ->
+           (match st with
+            | `Err e -> raise e
+            | `Eof | `Running -> finished := true)
+       done)
+
+(* Stream the half-open block range [first_block, last_block) of the
+   segment at [path] through [f]. Pre-range frames are seeked over with
+   framing checks only (like {!block_digests}); decoding — and digest
+   verification — starts at [first_block]. Blocks are self-contained
+   (deltas reset at block boundaries), so a range fold decodes exactly
+   what a whole-file fold decodes for those blocks, which is what makes
+   block-granular sharding of a replay exact. *)
+let fold_range ?(on_workload = fun (_ : string) -> ()) ?(read_ahead = false)
+    ?scratch ?(first_block = 0) ?(last_block = max_int) ~init ~f path =
+  if first_block < 0 || last_block < first_block then
+    invalid_arg "Segment.fold_range: invalid block range";
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-       let bytes = in_channel_length ic in
+       let size = in_channel_length ic in
+       (* Seek past the frames before the range; a file with fewer
+          blocks than [first_block] yields an empty range, not an
+          error — shard planners size ranges from the same headers. *)
+       let skipped = ref 0 in
+       (try
+          while !skipped < first_block do
+            match input_char ic with
+            | exception End_of_file -> raise Exit
+            | c0 ->
+              let rest = Bytes.create (header_len - 1) in
+              (try really_input ic rest 0 (header_len - 1)
+               with End_of_file -> corrupt "torn block header");
+              let _digest, len = parse_frame_rest c0 rest in
+              if pos_in ic + len > size then corrupt "torn block payload";
+              seek_in ic (pos_in ic + len);
+              incr skipped
+          done
+        with Exit -> ());
        let acc = ref init in
        let records = ref 0 in
        let blocks = ref 0 in
+       let bytes = ref 0 in
        let workloads = ref [] in
-       let rec loop () =
-         match input_payload ic with
-         | None -> ()
-         | Some payload ->
-           let workload, batch = decode_payload payload in
-           if not (List.mem workload !workloads) then
-             workloads := workload :: !workloads;
-           on_workload workload;
-           Array.iter (fun r -> acc := f !acc r) batch;
-           records := !records + Array.length batch;
-           blocks := !blocks + 1;
-           Obs.Metrics.incr c_blocks_read;
-           Obs.Metrics.add c_records_read (Array.length batch);
-           loop ()
+       let consume (_, payload as frame) =
+         let payload_len = String.length payload in
+         ignore (verify_frame frame : string);
+         let workload, batch = decode_payload ?scratch payload in
+         if not (List.mem workload !workloads) then
+           workloads := workload :: !workloads;
+         on_workload workload;
+         Array.iter (fun r -> acc := f !acc r) batch;
+         records := !records + Array.length batch;
+         blocks := !blocks + 1;
+         bytes := !bytes + header_len + payload_len;
+         Obs.Metrics.incr c_blocks_read;
+         Obs.Metrics.add c_records_read (Array.length batch)
        in
-       loop ();
-       if !blocks = 0 then corrupt "empty segment file";
+       let budget = last_block - first_block in
+       if !skipped = first_block && budget > 0 then
+         if read_ahead then read_frames_prefetched ic ~budget consume
+         else begin
+           let continue = ref true in
+           while !continue && !blocks < budget do
+             match input_frame ic with
+             | None -> continue := false
+             | Some frame -> consume frame
+           done
+         end;
        ( !acc,
          {
            records = !records;
            blocks = !blocks;
-           bytes;
+           bytes = !bytes;
            workloads = List.rev !workloads;
          } ))
+
+let fold ?on_workload ?read_ahead ?scratch ~init ~f path =
+  let acc, info = fold_range ?on_workload ?read_ahead ?scratch ~init ~f path in
+  if info.blocks = 0 then corrupt "empty segment file";
+  (acc, info)
 
 let iter ?on_workload ~f path =
   snd (fold ?on_workload ~init:() ~f:(fun () r -> f r) path)
 
-(* Header-only scan: the per-block MD5 digest already lives in the frame
-   header, so fingerprinting a segment for a cache key costs one seek
-   per block — payloads are skipped, not read or verified. The framing
-   checks mirror [input_payload]'s, so a torn tail still surfaces as
-   [Corrupt_segment] instead of keying a cache entry. *)
-let block_digests path =
+(* Header-only scan: per-block (digest, on-disk size), one seek per
+   block — payloads are skipped, not read or verified. The framing
+   checks mirror [input_frame]'s, so a torn tail still surfaces as
+   [Corrupt_segment] instead of keying a cache entry or a shard plan. *)
+let scan_frames path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -396,22 +564,17 @@ let block_digests path =
            let rest = Bytes.create (header_len - 1) in
            (try really_input ic rest 0 (header_len - 1)
             with End_of_file -> corrupt "torn block header");
-           if c0 <> magic.[0]
-              || Bytes.sub_string rest 0 6 <> String.sub magic 1 6
-           then corrupt "bad segment magic";
-           let v = Char.code (Bytes.get rest 6) in
-           if v < 1 || v > version then
-             corrupt "unsupported segment version %d" v;
-           let digest = Bytes.sub_string rest 7 16 in
-           let len = Int32.to_int (Bytes.get_int32_be rest 23) in
-           if len < 0 then corrupt "negative block length";
+           let digest, len = parse_frame_rest c0 rest in
            if pos_in ic + len > size then corrupt "torn block payload";
            seek_in ic (pos_in ic + len);
-           loop (digest :: acc)
+           loop ((digest, header_len + len) :: acc)
        in
-       let digests = loop [] in
-       if digests = [] then corrupt "empty segment file";
-       digests)
+       let frames = loop [] in
+       if frames = [] then corrupt "empty segment file";
+       frames)
+
+let block_digests path = List.map fst (scan_frames path)
+let block_sizes path = List.map snd (scan_frames path)
 
 (* ---- lake layout: one append-only segment file per workload ---- *)
 
@@ -428,3 +591,74 @@ let lake_segments dir =
       |> List.map (Filename.concat dir)
     in
     List.sort String.compare segs
+
+(* ---- sharding a replay ---- *)
+
+type span = {
+  sp_path : string;
+  sp_first : int;  (* first block, inclusive *)
+  sp_last : int;  (* last block, exclusive *)
+  sp_bytes : int;  (* on-disk bytes of the range *)
+}
+
+(* Cut [sizes] (per-block on-disk bytes) into [k] contiguous ranges
+   balanced by cumulative bytes: close a piece once it has reached its
+   proportional share of the total, as long as enough blocks remain to
+   give every later piece at least one. Deterministic in the sizes
+   alone. *)
+let cut_ranges sizes k =
+  let n = Array.length sizes in
+  let k = max 1 (min k n) in
+  let total = max 1 (Array.fold_left ( + ) 0 sizes) in
+  let ranges = ref [] in
+  let start = ref 0 in
+  let piece = ref 1 in
+  let cum = ref 0 in
+  for i = 0 to n - 1 do
+    cum := !cum + sizes.(i);
+    let blocks_left = n - (i + 1) in
+    let pieces_left = k - !piece in
+    if
+      !piece < k
+      && ((!cum * k >= !piece * total && blocks_left >= pieces_left)
+          || blocks_left = pieces_left)
+    then begin
+      ranges := (!start, i + 1) :: !ranges;
+      start := i + 1;
+      incr piece
+    end
+  done;
+  ranges := (!start, n) :: !ranges;
+  List.rev !ranges
+
+(* Plan a [jobs]-way replay of [paths] (typically {!lake_segments}
+   output): every block of every segment lands in exactly one span,
+   spans never cross a segment boundary, and a segment bigger than its
+   proportional share is split at block boundaries so one huge segment
+   cannot serialize the whole replay. The plan depends only on the
+   on-disk frame headers, so it is deterministic across runs and
+   hosts. *)
+let shard_spans ~jobs paths =
+  let jobs = max 1 jobs in
+  let sized =
+    List.map (fun p -> (p, Array.of_list (block_sizes p))) paths
+  in
+  let total =
+    List.fold_left (fun a (_, s) -> a + Array.fold_left ( + ) 0 s) 0 sized
+  in
+  let target = max 1 (total / jobs) in
+  List.concat_map
+    (fun (p, sizes) ->
+       let seg_bytes = Array.fold_left ( + ) 0 sizes in
+       let k =
+         if jobs <= 1 then 1 else (seg_bytes + target - 1) / target
+       in
+       List.map
+         (fun (first, last) ->
+            let b = ref 0 in
+            for i = first to last - 1 do
+              b := !b + sizes.(i)
+            done;
+            { sp_path = p; sp_first = first; sp_last = last; sp_bytes = !b })
+         (cut_ranges sizes k))
+    sized

@@ -292,6 +292,266 @@ let test_lake_slash_named_workload () =
       Alcotest.(check int) "records survive"
         stats.Pipeline.lake_records m.Pipeline.record_count)
 
+(* ---- sharded parallel replay ---- *)
+
+let session_digest ?pre ~jobs dir =
+  let s = Pipeline.Session.create ~jobs () in
+  (match pre with
+   | None -> ()
+   | Some w -> ignore (Pipeline.Session.mine s [ w ]));
+  let m = Pipeline.Session.mine_lake s dir in
+  (Pipeline.Session.encode s, m)
+
+let test_fold_range_partition_exact () =
+  with_tmp_dir (fun dir ->
+      (* records_per_block:7 over a 477-record trace leaves a partial
+         final block, so every split point below exercises it. *)
+      let w = workload "pi" in
+      let path = Filename.concat dir "w.seg" in
+      record ~records_per_block:7 w path;
+      let full, info = Segment.fold ~init:[] ~f:(fun acc r -> r :: acc) path in
+      let nblocks = info.Segment.blocks in
+      Alcotest.(check bool) "several blocks" true (nblocks > 2);
+      for k = 0 to nblocks do
+        let head, hinfo =
+          Segment.fold_range ~last_block:k ~init:[]
+            ~f:(fun acc r -> r :: acc) path
+        in
+        let tail, tinfo =
+          Segment.fold_range ~first_block:k ~init:[]
+            ~f:(fun acc r -> r :: acc) path
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "blocks split at %d" k)
+          nblocks
+          (hinfo.Segment.blocks + tinfo.Segment.blocks);
+        Alcotest.(check int)
+          (Printf.sprintf "bytes split at %d" k)
+          info.Segment.bytes
+          (hinfo.Segment.bytes + tinfo.Segment.bytes);
+        Alcotest.(check bool)
+          (Printf.sprintf "records split at %d" k)
+          true
+          (full = tail @ head)
+      done;
+      (* A range past the end is empty, not an error. *)
+      let past, pinfo =
+        Segment.fold_range ~first_block:(nblocks + 3) ~init:[]
+          ~f:(fun acc r -> r :: acc) path
+      in
+      Alcotest.(check bool) "past-end range is empty" true
+        (past = [] && pinfo.Segment.blocks = 0);
+      Alcotest.check_raises "inverted range"
+        (Invalid_argument "Segment.fold_range: invalid block range")
+        (fun () ->
+           ignore (Segment.fold_range ~first_block:3 ~last_block:1 ~init:()
+                     ~f:(fun () _ -> ()) path)))
+
+let test_fold_range_empty_and_single_block () =
+  with_tmp_dir (fun dir ->
+      (* An empty segment: one self-describing empty block. *)
+      let empty = Filename.concat dir "empty.seg" in
+      Segment.with_writer ~workload:"nothing" empty (fun _ -> ());
+      let n, info =
+        Segment.fold_range ~init:0 ~f:(fun n _ -> n + 1) empty
+      in
+      Alcotest.(check int) "empty segment: no records" 0 n;
+      Alcotest.(check int) "empty segment: one block" 1 info.Segment.blocks;
+      Alcotest.(check (list string)) "empty segment: workload survives"
+        [ "nothing" ] info.Segment.workloads;
+      (* Single-block segment: the only valid proper split is trivial. *)
+      let w = workload "helloworld" in
+      let one = Filename.concat dir "one.seg" in
+      record ~records_per_block:100000 w one;
+      let full, finfo = Segment.fold ~init:0 ~f:(fun n _ -> n + 1) one in
+      Alcotest.(check int) "single block" 1 finfo.Segment.blocks;
+      let ranged, rinfo =
+        Segment.fold_range ~first_block:0 ~last_block:1 ~init:0
+          ~f:(fun n _ -> n + 1) one
+      in
+      Alcotest.(check int) "single block range == fold" full ranged;
+      Alcotest.(check int) "single block range bytes" finfo.Segment.bytes
+        rinfo.Segment.bytes)
+
+let test_read_ahead_and_scratch_equal () =
+  with_tmp_dir (fun dir ->
+      let w = workload "bitcount" in
+      let path = Filename.concat dir "w.seg" in
+      record ~records_per_block:16 w path;
+      let digest ?read_ahead ?scratch () =
+        let engine = Engine.create () in
+        let (), info =
+          Segment.fold ?read_ahead ?scratch ~init:()
+            ~f:(fun () r -> Engine.observe engine r) path
+        in
+        (Engine.encode engine, info)
+      in
+      let base, binfo = digest () in
+      let ahead, ainfo = digest ~read_ahead:true () in
+      let scr, sinfo = digest ~scratch:(Segment.scratch ()) () in
+      let both, _ =
+        digest ~read_ahead:true ~scratch:(Segment.scratch ()) ()
+      in
+      Alcotest.(check bool) "read-ahead identical" true (String.equal base ahead);
+      Alcotest.(check bool) "scratch identical" true (String.equal base scr);
+      Alcotest.(check bool) "read-ahead + scratch identical" true
+        (String.equal base both);
+      Alcotest.(check int) "infos agree" binfo.Segment.records
+        (min ainfo.Segment.records sinfo.Segment.records);
+      (* One scratch reused across segments must not leak state. *)
+      let scratch = Segment.scratch () in
+      let e2 = Engine.create () in
+      let fold_into () =
+        ignore
+          (Segment.fold ~scratch ~init:()
+             ~f:(fun () r -> Engine.observe e2 r) path)
+      in
+      fold_into ();
+      fold_into ();
+      Alcotest.(check bool) "scratch reuse == append semantics" true
+        (String.equal (Engine.encode (mine_live [ w; w ])) (Engine.encode e2));
+      (* The error surface survives the helper domain: a torn tail read
+         with read-ahead still raises Corrupt_segment. *)
+      let bytes = Util.Binio.read_file path in
+      let torn = Filename.concat dir "torn.seg" in
+      let oc = open_out_bin torn in
+      output_string oc (String.sub bytes 0 (String.length bytes - 3));
+      close_out oc;
+      expect_corrupt "torn tail under read-ahead" (fun () ->
+          Segment.fold ~read_ahead:true ~init:0 ~f:(fun n _ -> n + 1) torn))
+
+let prop_shard_spans_partition =
+  qtest ~count:30 "shard_spans partitions every block of every segment"
+    QCheck.(pair (int_range 1 12) (int_range 3 40))
+    (fun (jobs, records_per_block) ->
+       with_tmp_dir (fun dir ->
+           let names = [ "helloworld"; "pi" ] in
+           List.iter
+             (fun n ->
+                record ~records_per_block (workload n)
+                  (Segment.segment_path ~dir ~workload:n))
+             names;
+           let segments = Segment.lake_segments dir in
+           let spans = Segment.shard_spans ~jobs segments in
+           List.for_all
+             (fun path ->
+                let sizes = Array.of_list (Segment.block_sizes path) in
+                let mine =
+                  List.filter
+                    (fun sp -> String.equal sp.Segment.sp_path path)
+                    spans
+                in
+                (* Contiguous, ordered, covering [0, nblocks), with
+                   byte counts matching the headers. *)
+                let rec covers next = function
+                  | [] -> next = Array.length sizes
+                  | sp :: rest ->
+                    sp.Segment.sp_first = next
+                    && sp.Segment.sp_last > sp.Segment.sp_first
+                    && sp.Segment.sp_bytes
+                       = (let b = ref 0 in
+                          for i = sp.Segment.sp_first
+                            to sp.Segment.sp_last - 1 do
+                            b := !b + sizes.(i)
+                          done;
+                          !b)
+                    && covers sp.Segment.sp_last rest
+                in
+                covers 0 mine)
+             segments))
+
+let prop_parallel_lake_identical =
+  qtest ~count:10 "mine_lake jobs=n == jobs=1 (SCIFSNAP bytes + rows)"
+    QCheck.(triple (int_range 2 8) (int_bound 1000) (int_range 3 60))
+    (fun (jobs, seed, records_per_block) ->
+       with_tmp_dir (fun dir ->
+           (* Two fuzz workloads with tiny blocks so the shard planner
+              has real split points, plus an appended segment so one
+              file holds two workloads' blocks. *)
+           let w1 = Fuzz.Gen.candidate ~seed ~index:1 in
+           let w2 = Fuzz.Gen.candidate ~seed ~index:2 in
+           let p1 = Segment.segment_path ~dir ~workload:"a" in
+           record ~records_per_block w1 p1;
+           (* Append the second workload to the same file: one segment,
+              two workload labels, so a span boundary can land between
+              them and the row label must still stitch to "w1+w2". *)
+           record ~records_per_block w2 p1;
+           record ~records_per_block w2 (Segment.segment_path ~dir ~workload:"b");
+           let seq, mseq = session_digest ~jobs:1 dir in
+           let par, mpar = session_digest ~jobs dir in
+           String.equal seq par
+           && mseq.Pipeline.record_count = mpar.Pipeline.record_count
+           && mseq.Pipeline.trace_bytes = mpar.Pipeline.trace_bytes
+           && List.map (fun r -> r.Pipeline.group_label) mseq.Pipeline.figure3
+              = List.map (fun r -> r.Pipeline.group_label) mpar.Pipeline.figure3))
+
+let test_parallel_more_jobs_than_blocks () =
+  with_tmp_dir (fun dir ->
+      (* One single-block segment and one empty segment, replayed at
+         jobs far beyond the block count. *)
+      let w = workload "helloworld" in
+      record ~records_per_block:100000 w
+        (Segment.segment_path ~dir ~workload:w.Workloads.Rt.name);
+      Segment.with_writer ~workload:"nothing"
+        (Segment.segment_path ~dir ~workload:"nothing") (fun _ -> ());
+      let seq, mseq = session_digest ~jobs:1 dir in
+      let par, mpar = session_digest ~jobs:16 dir in
+      Alcotest.(check bool) "jobs=16 == jobs=1 on a 2-block lake" true
+        (String.equal seq par);
+      Alcotest.(check int) "row per segment" 2
+        (List.length mpar.Pipeline.figure3);
+      Alcotest.(check int) "record counts agree" mseq.Pipeline.record_count
+        mpar.Pipeline.record_count)
+
+let test_parallel_incremental_session () =
+  with_tmp_dir (fun dir ->
+      (* A session that already holds live-mined state must absorb a
+         parallel lake replay identically to a sequential one. *)
+      let names = [ "bitcount"; "pi" ] in
+      ignore (Pipeline.record_lake ~names ~dir ());
+      let pre = workload "helloworld" in
+      let seq, _ = session_digest ~pre ~jobs:1 dir in
+      let par, _ = session_digest ~pre ~jobs:4 dir in
+      Alcotest.(check bool) "incremental parallel == sequential" true
+        (String.equal seq par))
+
+let test_record_lake_parallel_identical () =
+  with_tmp_dir (fun seq_dir ->
+      with_tmp_dir (fun par_dir ->
+          let names = [ "bitcount"; "helloworld"; "pi" ] in
+          let s1 = Pipeline.record_lake ~names ~jobs:1 ~dir:seq_dir () in
+          let s3 = Pipeline.record_lake ~names ~jobs:3 ~dir:par_dir () in
+          Alcotest.(check int) "records agree" s1.Pipeline.lake_records
+            s3.Pipeline.lake_records;
+          Alcotest.(check int) "bytes agree" s1.Pipeline.lake_bytes
+            s3.Pipeline.lake_bytes;
+          List.iter
+            (fun n ->
+               let read dir =
+                 Util.Binio.read_file (Segment.segment_path ~dir ~workload:n)
+               in
+               Alcotest.(check bool)
+                 (Printf.sprintf "segment %s byte-identical" n)
+                 true
+                 (String.equal (read seq_dir) (read par_dir)))
+            names))
+
+let test_record_lake_duplicate_names_sequential () =
+  with_tmp_dir (fun dir ->
+      (* Duplicate names share one segment file: parallel recording must
+         fall back to sequential appends rather than interleave. *)
+      let stats =
+        Pipeline.record_lake ~names:[ "pi"; "pi" ] ~jobs:4 ~dir ()
+      in
+      Alcotest.(check int) "two recordings" 2 stats.Pipeline.lake_segments;
+      let w = workload "pi" in
+      Alcotest.(check bool) "lake == live twice" true
+        (String.equal
+           (Engine.encode (mine_live [ w; w ]))
+           (Engine.encode
+              (mine_segment
+                 (Segment.segment_path ~dir ~workload:w.Workloads.Rt.name)))))
+
 let () =
   Alcotest.run "segment"
     [ ("roundtrip",
@@ -315,4 +575,21 @@ let () =
          Alcotest.test_case "append accumulates" `Quick
            test_lake_append_accumulates;
          Alcotest.test_case "hostile workload name contained" `Quick
-           test_lake_slash_named_workload ]) ]
+           test_lake_slash_named_workload ]);
+      ("parallel",
+       [ Alcotest.test_case "fold_range partitions exactly at every block"
+           `Quick test_fold_range_partition_exact;
+         Alcotest.test_case "empty segment and single block" `Quick
+           test_fold_range_empty_and_single_block;
+         Alcotest.test_case "read-ahead and scratch change nothing" `Quick
+           test_read_ahead_and_scratch_equal;
+         prop_shard_spans_partition;
+         prop_parallel_lake_identical;
+         Alcotest.test_case "more jobs than blocks" `Quick
+           test_parallel_more_jobs_than_blocks;
+         Alcotest.test_case "parallel replay into a non-fresh session" `Quick
+           test_parallel_incremental_session;
+         Alcotest.test_case "parallel record_lake byte-identical" `Quick
+           test_record_lake_parallel_identical;
+         Alcotest.test_case "duplicate names record sequentially" `Quick
+           test_record_lake_duplicate_names_sequential ]) ]
